@@ -1,0 +1,173 @@
+// Shared scaffolding for the per-figure bench binaries: flag parsing and the
+// quick/full scale presets.
+//
+// Default scale ("quick") finishes the whole suite in minutes on a laptop:
+// fewer users, 256-bucket histograms, few trials. --full switches to the
+// paper's granularities (256/1024 buckets), larger n and more trials; the
+// qualitative shapes are already stable at quick scale because every
+// estimator's noise term scales identically in n.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "eval/method.h"
+#include "eval/runner.h"
+
+namespace numdist {
+namespace bench {
+
+struct BenchFlags {
+  size_t n = 0;          // users; 0 -> scale preset
+  size_t trials = 0;     // 0 -> scale preset
+  std::vector<double> epsilons = {0.5, 1.0, 1.5, 2.0, 2.5};
+  std::vector<std::string> datasets = {"beta", "taxi", "income", "retirement"};
+  bool csv = false;      // machine-readable output only
+  bool full = false;     // paper-scale granularity and trials
+  uint64_t seed = 2026;
+};
+
+inline void PrintUsage(const char* binary) {
+  fprintf(stderr,
+          "usage: %s [--n=N] [--trials=T] [--epsilons=0.5,1.0,...]\n"
+          "          [--datasets=beta,taxi,...] [--seed=S] [--csv] [--full]\n",
+          binary);
+}
+
+inline std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const size_t len = strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--n=")) {
+      flags.n = static_cast<size_t>(atoll(v));
+    } else if (const char* v = value("--trials=")) {
+      flags.trials = static_cast<size_t>(atoll(v));
+    } else if (const char* v = value("--seed=")) {
+      flags.seed = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = value("--epsilons=")) {
+      flags.epsilons.clear();
+      for (const std::string& tok : SplitCsv(v)) {
+        flags.epsilons.push_back(atof(tok.c_str()));
+      }
+    } else if (const char* v = value("--datasets=")) {
+      flags.datasets = SplitCsv(v);
+    } else if (arg == "--csv") {
+      flags.csv = true;
+    } else if (arg == "--full") {
+      flags.full = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      exit(0);
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage(argv[0]);
+      exit(2);
+    }
+  }
+  return flags;
+}
+
+/// Users per experiment at the current scale.
+inline size_t UsersFor(const BenchFlags& flags) {
+  if (flags.n > 0) return flags.n;
+  return flags.full ? 200000 : 40000;
+}
+
+/// Trials per (method, epsilon) point at the current scale.
+inline size_t TrialsFor(const BenchFlags& flags) {
+  if (flags.trials > 0) return flags.trials;
+  return flags.full ? 10 : 3;
+}
+
+/// Histogram granularity: paper values under --full (256 for Beta, 1024
+/// otherwise), 256 everywhere at quick scale.
+inline size_t GranularityFor(const BenchFlags& flags, DatasetId id) {
+  if (flags.full) return GetDatasetSpec(id).default_buckets;
+  return 256;
+}
+
+/// Resolves the --datasets flag to ids (exits on unknown names).
+inline std::vector<DatasetId> DatasetsFor(const BenchFlags& flags) {
+  std::vector<DatasetId> ids;
+  for (const std::string& name : flags.datasets) {
+    DatasetId id;
+    if (!ParseDatasetId(name, &id)) {
+      fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+      exit(2);
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+/// One point of a (dataset x method x epsilon) sweep.
+struct SweepPoint {
+  std::string dataset;
+  std::string method;
+  double epsilon;
+  AggregateMetrics agg;
+};
+
+/// Runs every method in `methods` on every configured dataset and epsilon,
+/// printing progress to stderr. The workhorse behind Figures 2-4.
+inline std::vector<SweepPoint> RunStandardSweep(
+    const BenchFlags& flags,
+    const std::vector<std::unique_ptr<DistributionMethod>>& methods) {
+  std::vector<SweepPoint> points;
+  for (DatasetId id : DatasetsFor(flags)) {
+    const DatasetSpec& spec = GetDatasetSpec(id);
+    const size_t d = GranularityFor(flags, id);
+    const size_t n = UsersFor(flags);
+    Rng rng(flags.seed);
+    const std::vector<double> values = GenerateDataset(id, n, rng);
+    const GroundTruth truth = ComputeGroundTruth(values, d);
+    for (const auto& method : methods) {
+      for (double eps : flags.epsilons) {
+        RunnerOptions opts;
+        opts.trials = TrialsFor(flags);
+        opts.seed = flags.seed;
+        fprintf(stderr, "[sweep] %s %s eps=%.2f ...\n", spec.name.c_str(),
+                method->name().c_str(), eps);
+        Result<AggregateMetrics> agg =
+            RunTrials(*method, values, truth, eps, d, opts);
+        if (!agg.ok()) {
+          fprintf(stderr, "  failed: %s\n", agg.status().ToString().c_str());
+          continue;
+        }
+        points.push_back({spec.name, method->name(), eps,
+                          std::move(agg).value()});
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace bench
+}  // namespace numdist

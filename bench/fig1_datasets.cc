@@ -1,0 +1,70 @@
+// Figure 1: normalized frequencies of the four evaluation datasets.
+// Prints each dataset's histogram as CSV series (bucket, frequency) plus a
+// coarse ASCII sketch, so the shapes can be compared against Fig 1(a)-(d).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "eval/table.h"
+
+using namespace numdist;
+using bench::BenchFlags;
+
+namespace {
+
+void AsciiSketch(const std::vector<double>& h) {
+  // 64 columns x 8 rows sketch of the histogram.
+  const size_t cols = 64;
+  const size_t chunk = h.size() / cols;
+  std::vector<double> coarse(cols, 0.0);
+  double peak = 0.0;
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t j = 0; j < chunk; ++j) coarse[c] += h[c * chunk + j];
+    peak = std::max(peak, coarse[c]);
+  }
+  const int rows = 8;
+  for (int r = rows; r >= 1; --r) {
+    printf("    ");
+    for (size_t c = 0; c < cols; ++c) {
+      putchar(coarse[c] >= peak * r / rows ? '#' : ' ');
+    }
+    putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = bench::ParseFlags(argc, argv);
+  printf("=== Figure 1: dataset shapes (normalized frequencies) ===\n");
+  for (DatasetId id : bench::DatasetsFor(flags)) {
+    const DatasetSpec& spec = GetDatasetSpec(id);
+    const size_t d = bench::GranularityFor(flags, id);
+    const size_t n = bench::UsersFor(flags);
+    Rng rng(flags.seed);
+    const std::vector<double> values = GenerateDataset(id, n, rng);
+    const std::vector<double> h = hist::FromSamples(values, d);
+
+    printf("\n--- %s (n=%zu, %zu buckets; paper n=%zu, %zu buckets) ---\n",
+           spec.name.c_str(), n, d, spec.paper_n, spec.default_buckets);
+    if (flags.csv) {
+      printf("dataset,bucket,frequency\n");
+      for (size_t i = 0; i < d; ++i) {
+        printf("%s,%zu,%.6e\n", spec.name.c_str(), i, h[i]);
+      }
+    } else {
+      AsciiSketch(h);
+      double peak = 0.0;
+      size_t peak_at = 0;
+      for (size_t i = 0; i < d; ++i) {
+        if (h[i] > peak) {
+          peak = h[i];
+          peak_at = i;
+        }
+      }
+      printf("    peak %.4f at bucket %zu/%zu\n", peak, peak_at, d);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 5: comparison of General Wave shapes at eps = 1, varying b.
+// Trapezoid waves with top/bottom ratio in {0.2, 0.4, 0.6, 0.8}, the
+// triangle (ratio 0) and the Square Wave (ratio 1), each followed by EMS;
+// the metric is the Wasserstein distance of the reconstruction.
+//
+// Expected shape (paper): the square wave is best at every b; accuracy
+// degrades as the ratio decreases toward the triangle.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "core/ems.h"
+#include "core/square_wave.h"
+#include "core/wave.h"
+#include "eval/table.h"
+#include "metrics/distance.h"
+
+using namespace numdist;
+
+namespace {
+
+// Reconstruction error for one (wave shape, b) point, averaged over trials.
+// ratio == 1 selects the Square Wave mechanism.
+double WaveW1(double ratio, double b, double eps,
+              const std::vector<double>& values,
+              const std::vector<double>& truth, size_t d, size_t trials,
+              uint64_t seed) {
+  double acc = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    Rng rng(SplitMix64(seed ^ (0x51ed2701ULL * (t + 1))));
+    std::vector<uint64_t> counts;
+    Matrix m;
+    if (ratio >= 1.0) {
+      const SquareWave sw = SquareWave::Make(eps, b).ValueOrDie();
+      std::vector<double> reports;
+      reports.reserve(values.size());
+      for (double v : values) reports.push_back(sw.Perturb(v, rng));
+      counts = sw.BucketizeReports(reports, d);
+      m = sw.TransitionMatrix(d, d);
+    } else {
+      const GeneralWave gw = GeneralWave::Make(eps, b, ratio).ValueOrDie();
+      std::vector<double> reports;
+      reports.reserve(values.size());
+      for (double v : values) reports.push_back(gw.Perturb(v, rng));
+      counts = gw.BucketizeReports(reports, d);
+      m = gw.TransitionMatrix(d, d);
+    }
+    const EmResult res = EstimateEms(m, counts).ValueOrDie();
+    acc += WassersteinDistance(truth, res.estimate);
+  }
+  return acc / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const double eps = 1.0;  // the paper's Figure 5 setting
+  const std::vector<double> ratios = {1.0, 0.8, 0.6, 0.4, 0.2, 0.0};
+  const std::vector<double> bs = {0.05, 0.10, 0.15, 0.20, 0.256,
+                                  0.30, 0.35};
+
+  printf("=== Figure 5: General Wave shapes at eps=%.1f, varying b ===\n",
+         eps);
+  printf("(ratio 1.0 = square wave, 0.0 = triangle; metric: Wasserstein)\n\n");
+
+  for (DatasetId id : bench::DatasetsFor(flags)) {
+    const DatasetSpec& spec = GetDatasetSpec(id);
+    const size_t d = bench::GranularityFor(flags, id);
+    Rng rng(flags.seed);
+    const std::vector<double> values =
+        GenerateDataset(id, bench::UsersFor(flags), rng);
+    const std::vector<double> truth = hist::FromSamples(values, d);
+
+    printf("--- %s ---\n", spec.name.c_str());
+    TablePrinter table([&] {
+      std::vector<std::string> headers = {"ratio"};
+      for (double b : bs) headers.push_back("b=" + FormatG(b, 3));
+      return headers;
+    }());
+    for (double ratio : ratios) {
+      fprintf(stderr, "[fig5] %s ratio=%.1f ...\n", spec.name.c_str(), ratio);
+      std::vector<std::string> row = {FormatG(ratio, 2)};
+      for (double b : bs) {
+        row.push_back(FormatSci(WaveW1(ratio, b, eps, values, truth, d,
+                                       bench::TrialsFor(flags), flags.seed)));
+      }
+      table.AddRow(std::move(row));
+    }
+    if (flags.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 7: Wasserstein distance of SW+EMS with different bucketization
+// granularities (256 / 512 / 1024 / 2048 buckets for both domains), varying
+// epsilon. Reconstructions are compared on a common 256-bucket grid (the
+// coarsest), so the numbers are comparable across granularities.
+//
+// Expected shape (paper): the best granularity is dataset-dependent —
+// 256 for Beta(5,2), ~1024 for the larger datasets (near sqrt(N)).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "core/sw_estimator.h"
+#include "eval/table.h"
+#include "metrics/distance.h"
+
+using namespace numdist;
+
+namespace {
+
+// Folds a fine histogram onto `coarse_d` buckets (coarse_d divides d).
+std::vector<double> Coarsen(const std::vector<double>& fine, size_t coarse_d) {
+  const size_t chunk = fine.size() / coarse_d;
+  std::vector<double> out(coarse_d, 0.0);
+  for (size_t i = 0; i < fine.size(); ++i) out[i / chunk] += fine[i];
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  const std::vector<size_t> granularities = {256, 512, 1024, 2048};
+  const size_t common_d = 256;
+
+  printf("=== Figure 7: SW+EMS accuracy vs bucketization granularity ===\n");
+  printf("(W1 evaluated on a common %zu-bucket grid)\n\n", common_d);
+
+  for (DatasetId id : bench::DatasetsFor(flags)) {
+    const DatasetSpec& spec = GetDatasetSpec(id);
+    Rng rng(flags.seed);
+    const std::vector<double> values =
+        GenerateDataset(id, bench::UsersFor(flags), rng);
+    const std::vector<double> truth = hist::FromSamples(values, common_d);
+
+    printf("--- %s ---\n", spec.name.c_str());
+    TablePrinter table([&] {
+      std::vector<std::string> headers = {"buckets"};
+      for (double eps : flags.epsilons) {
+        headers.push_back("eps=" + FormatG(eps, 3));
+      }
+      return headers;
+    }());
+    for (size_t d : granularities) {
+      fprintf(stderr, "[fig7] %s d=%zu ...\n", spec.name.c_str(), d);
+      std::vector<std::string> row = {std::to_string(d)};
+      for (double eps : flags.epsilons) {
+        double acc = 0.0;
+        const size_t trials = bench::TrialsFor(flags);
+        for (size_t t = 0; t < trials; ++t) {
+          SwEstimatorOptions options;
+          options.epsilon = eps;
+          options.d = d;
+          const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+          Rng trial_rng(SplitMix64(flags.seed ^ (0x777ULL * (t + 1))));
+          const std::vector<double> dist =
+              est.EstimateDistribution(values, trial_rng).ValueOrDie();
+          acc += WassersteinDistance(truth, Coarsen(dist, common_d));
+        }
+        row.push_back(FormatSci(acc / trials));
+      }
+      table.AddRow(std::move(row));
+    }
+    if (flags.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    printf("\n");
+  }
+  return 0;
+}

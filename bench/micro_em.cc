@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark): EM/EMS reconstruction cost as a
+// function of the histogram granularity — the aggregator's post-processing
+// budget (one mat-vec pair per iteration, O(d^2) each).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/em.h"
+#include "core/ems.h"
+#include "core/square_wave.h"
+#include "hierarchy/admm.h"
+#include "hierarchy/constrained.h"
+#include "hierarchy/hh.h"
+
+namespace {
+
+using namespace numdist;
+
+// Shared fixture data: SW observations of a bimodal distribution.
+struct EmInput {
+  Matrix m;
+  std::vector<uint64_t> counts;
+};
+
+EmInput MakeEmInput(size_t d) {
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  Rng rng(42);
+  std::vector<double> reports;
+  const size_t n = 50000;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = rng.Bernoulli(0.5) ? 0.3 : 0.7;
+    reports.push_back(sw.Perturb(v, rng));
+  }
+  return {sw.TransitionMatrix(d, d), sw.BucketizeReports(reports, d)};
+}
+
+void BM_EmIteration(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const EmInput input = MakeEmInput(d);
+  EmOptions opts;
+  opts.max_iterations = 10;
+  opts.min_iterations = 10;
+  opts.tol = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateEm(input.m, input.counts, opts));
+  }
+  // 10 iterations of 2 mat-vecs each.
+  state.SetItemsProcessed(state.iterations() * 10 * 2 * d * d);
+}
+BENCHMARK(BM_EmIteration)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_EmsFullConvergence(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const EmInput input = MakeEmInput(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateEms(input.m, input.counts));
+  }
+}
+BENCHMARK(BM_EmsFullConvergence)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BinomialSmooth(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  std::vector<double> x(d, 1.0 / static_cast<double>(d));
+  for (auto _ : state) {
+    BinomialSmooth(&x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_BinomialSmooth)->Arg(1024)->Arg(4096);
+
+void BM_ConstrainedInference(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const HierarchyTree tree = HierarchyTree::Make(d, 4).ValueOrDie();
+  Rng rng(7);
+  std::vector<double> nodes(tree.NumNodes());
+  for (double& v : nodes) v = rng.Uniform(-0.1, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConstrainedInference(tree, nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.NumNodes());
+}
+BENCHMARK(BM_ConstrainedInference)->Arg(256)->Arg(1024);
+
+void BM_HhAdmm(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const HierarchyTree tree = HierarchyTree::Make(d, 4).ValueOrDie();
+  Rng rng(8);
+  std::vector<double> nodes(tree.NumNodes());
+  for (double& v : nodes) v = rng.Uniform(-0.1, 0.3);
+  nodes[0] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HhAdmm(tree, nodes));
+  }
+}
+BENCHMARK(BM_HhAdmm)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark): per-report perturbation cost and
+// server-side aggregation/estimation cost of every mechanism. These bound
+// the client CPU cost and the aggregator's per-user work.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/square_wave.h"
+#include "fo/grr.h"
+#include "fo/hrr.h"
+#include "fo/olh.h"
+#include "mean/pm.h"
+#include "mean/sr.h"
+
+namespace {
+
+using namespace numdist;
+
+void BM_SquareWavePerturb(benchmark::State& state) {
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  Rng rng(1);
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.Perturb(v, rng));
+    v += 0.001;
+    if (v > 1.0) v = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SquareWavePerturb);
+
+void BM_DiscreteSquareWavePerturb(benchmark::State& state) {
+  const DiscreteSquareWave dsw =
+      DiscreteSquareWave::Make(1.0, 1024).ValueOrDie();
+  Rng rng(2);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsw.Perturb(v, rng));
+    v = (v + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteSquareWavePerturb);
+
+void BM_GrrPerturb(benchmark::State& state) {
+  const Grr grr = Grr::Make(1.0, static_cast<size_t>(state.range(0)))
+                      .ValueOrDie();
+  Rng rng(3);
+  uint32_t v = 0;
+  const uint32_t d = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grr.Perturb(v, rng));
+    v = (v + 1) % d;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GrrPerturb)->Arg(16)->Arg(1024);
+
+void BM_OlhPerturb(benchmark::State& state) {
+  const Olh olh = Olh::Make(1.0, 1024).ValueOrDie();
+  Rng rng(4);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(olh.Perturb(v, rng));
+    v = (v + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OlhPerturb);
+
+void BM_HrrPerturb(benchmark::State& state) {
+  const Hrr hrr = Hrr::Make(1.0, 1024).ValueOrDie();
+  Rng rng(5);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hrr.Perturb(v, rng));
+    v = (v + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HrrPerturb);
+
+void BM_PmPerturb(benchmark::State& state) {
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(1.0).ValueOrDie();
+  Rng rng(6);
+  double v = -1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.Perturb(v, rng));
+    v += 0.001;
+    if (v > 1.0) v = -1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmPerturb);
+
+void BM_SrPerturb(benchmark::State& state) {
+  const StochasticRounding sr = StochasticRounding::Make(1.0).ValueOrDie();
+  Rng rng(7);
+  double v = -1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sr.Perturb(v, rng));
+    v += 0.001;
+    if (v > 1.0) v = -1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SrPerturb);
+
+void BM_OlhAggregate(benchmark::State& state) {
+  // Server-side support counting: the O(n * d) hot loop.
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 2000;
+  const Olh olh = Olh::Make(1.0, d).ValueOrDie();
+  Rng rng(8);
+  std::vector<OlhReport> reports;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    reports.push_back(
+        olh.Perturb(static_cast<uint32_t>(rng.UniformInt(d)), rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(olh.Estimate(reports));
+  }
+  state.SetItemsProcessed(state.iterations() * n * d);
+}
+BENCHMARK(BM_OlhAggregate)->Arg(64)->Arg(256);
+
+void BM_SwTransitionMatrix(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.TransitionMatrix(d, d));
+  }
+  state.SetItemsProcessed(state.iterations() * d * d);
+}
+BENCHMARK(BM_SwTransitionMatrix)->Arg(256)->Arg(1024);
+
+}  // namespace

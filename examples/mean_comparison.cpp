@@ -1,0 +1,71 @@
+// Mean & variance under LDP: compares the dedicated scalar protocols
+// (Stochastic Rounding, Piecewise Mechanism) against deriving the moments
+// from the full SW+EMS distribution estimate — the paper's Figure 4 story:
+// SW-EMS recovers the *entire distribution* yet estimates the mean about as
+// well as protocols that spend the whole budget on the mean alone.
+//
+//   ./mean_comparison [epsilon] [num_users]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/sw_estimator.h"
+#include "data/datasets.h"
+#include "mean/moments.h"
+#include "metrics/queries.h"
+
+int main(int argc, char** argv) {
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const size_t n = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 200000;
+
+  numdist::Rng rng(5);
+  const std::vector<double> values =
+      numdist::GenerateDataset(numdist::DatasetId::kRetirement, n, rng);
+
+  double true_mean = 0.0;
+  for (double v : values) true_mean += v;
+  true_mean /= static_cast<double>(values.size());
+  double true_var = 0.0;
+  for (double v : values) true_var += (v - true_mean) * (v - true_mean);
+  true_var /= static_cast<double>(values.size());
+
+  printf("Mean/variance estimation under %.2f-LDP, %zu users\n", epsilon, n);
+  printf("truth: mean=%.5f variance=%.5f\n\n", true_mean, true_var);
+  printf("%-22s %-12s %-12s %-12s %-12s\n", "method", "mean", "|err|",
+         "variance", "|err|");
+
+  // Stochastic Rounding and Piecewise Mechanism (two-phase for variance).
+  for (auto [mech, name] :
+       {std::pair{numdist::MeanMechanism::kStochasticRounding, "SR (Duchi)"},
+        std::pair{numdist::MeanMechanism::kPiecewiseMechanism,
+                  "PM (piecewise)"}}) {
+    numdist::Rng mech_rng(23);
+    const numdist::MomentsEstimate est =
+        numdist::EstimateMoments(values, mech, epsilon, mech_rng).ValueOrDie();
+    printf("%-22s %-12.5f %-12.5f %-12.5f %-12.5f\n", name, est.mean,
+           std::fabs(est.mean - true_mean), est.variance,
+           std::fabs(est.variance - true_var));
+  }
+
+  // SW + EMS: reconstruct the whole distribution, then read off moments.
+  numdist::SwEstimatorOptions options;
+  options.epsilon = epsilon;
+  options.d = 512;
+  const numdist::SwEstimator estimator =
+      numdist::SwEstimator::Make(options).ValueOrDie();
+  numdist::Rng sw_rng(23);
+  const std::vector<double> dist =
+      estimator.EstimateDistribution(values, sw_rng).ValueOrDie();
+  const double sw_mean = numdist::HistMean(dist);
+  const double sw_var = numdist::HistVariance(dist);
+  printf("%-22s %-12.5f %-12.5f %-12.5f %-12.5f\n",
+         "SW-EMS (full dist.)", sw_mean, std::fabs(sw_mean - true_mean),
+         sw_var, std::fabs(sw_var - true_var));
+  printf("\n(SW-EMS additionally yields every quantile, e.g. median %.5f "
+         "vs true %.5f)\n",
+         numdist::Quantile(dist, 0.5),
+         numdist::Quantile(numdist::hist::FromSamples(values, 512), 0.5));
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "common/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+std::vector<double> Matrix::Multiply(const std::vector<double>& x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::TransposeMultiply(
+    const std::vector<double>& x) const {
+  assert(x.size() == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) y[j] += r[j] * xi;
+  }
+  return y;
+}
+
+double Matrix::ColumnSum(size_t j) const {
+  assert(j < cols_);
+  double s = 0.0;
+  for (size_t i = 0; i < rows_; ++i) s += (*this)(i, j);
+  return s;
+}
+
+bool Matrix::SolveInPlace(Matrix& a, std::vector<double>& b) {
+  assert(a.rows() == a.cols() && b.size() == a.rows());
+  const size_t n = a.rows();
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > best) {
+        best = std::fabs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t j = col; j < n; ++j) a(r, j) -= factor * a(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= a(i, j) * b[j];
+    b[i] = acc / a(i, i);
+  }
+  return true;
+}
+
+}  // namespace numdist

@@ -1,0 +1,49 @@
+// Minimal dense row-major matrix: transition matrices and the small linear
+// solves used in tests. Not a general linear-algebra library — only what the
+// estimators need (storage, mat-vec, transpose-vec).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace numdist {
+
+/// \brief Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a rows x cols matrix initialized to `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Pointer to the start of row i (contiguous, cols() entries).
+  const double* row(size_t i) const { return data_.data() + i * cols_; }
+  double* row(size_t i) { return data_.data() + i * cols_; }
+
+  /// y = A x  (x.size() == cols()).
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// y = A^T x  (x.size() == rows()).
+  std::vector<double> TransposeMultiply(const std::vector<double>& x) const;
+
+  /// Sum of column j.
+  double ColumnSum(size_t j) const;
+
+  /// Solves A x = b in-place by Gaussian elimination with partial pivoting.
+  /// Returns false if the matrix is (numerically) singular. A is destroyed.
+  /// Used only in tests and small post-processing problems.
+  static bool SolveInPlace(Matrix& a, std::vector<double>& b);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace numdist

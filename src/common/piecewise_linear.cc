@@ -1,0 +1,140 @@
+#include "common/piecewise_linear.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+Result<PiecewiseLinear> PiecewiseLinear::Make(std::vector<double> xs,
+                                              std::vector<double> ys) {
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("PiecewiseLinear needs >= 2 knots");
+  }
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("knot/value size mismatch");
+  }
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (!(xs[i] < xs[i + 1])) {
+      return Status::InvalidArgument("knots must be strictly increasing");
+    }
+  }
+  for (double y : ys) {
+    if (!std::isfinite(y)) {
+      return Status::InvalidArgument("knot values must be finite");
+    }
+  }
+  return PiecewiseLinear(std::move(xs), std::move(ys));
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  const size_t k = xs_.size();
+  cum_.assign(k, 0.0);
+  cum2_.assign(k, 0.0);
+  for (size_t i = 0; i + 1 < k; ++i) {
+    const double h = xs_[i + 1] - xs_[i];
+    const double m = (ys_[i + 1] - ys_[i]) / h;
+    cum_[i + 1] = cum_[i] + ys_[i] * h + 0.5 * m * h * h;
+    cum2_[i + 1] = cum2_[i] + cum_[i] * h + 0.5 * ys_[i] * h * h +
+                   m * h * h * h / 6.0;
+  }
+}
+
+size_t PiecewiseLinear::SegmentOf(double x) const {
+  // Largest i with xs_[i] <= x; callers guarantee xs_.front() <= x <= back().
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  size_t i = static_cast<size_t>(it - xs_.begin());
+  if (i == 0) return 0;
+  i -= 1;
+  return std::min(i, xs_.size() - 2);
+}
+
+double PiecewiseLinear::Evaluate(double x) const {
+  if (x < xs_.front() || x > xs_.back()) return 0.0;
+  const size_t i = SegmentOf(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  return ys_[i] + (ys_[i + 1] - ys_[i]) * t;
+}
+
+double PiecewiseLinear::Antiderivative(double x) const {
+  if (x <= xs_.front()) return 0.0;
+  if (x >= xs_.back()) return cum_.back();
+  const size_t i = SegmentOf(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double m = (ys_[i + 1] - ys_[i]) / h;
+  const double t = x - xs_[i];
+  return cum_[i] + ys_[i] * t + 0.5 * m * t * t;
+}
+
+double PiecewiseLinear::SecondAntiderivative(double x) const {
+  if (x <= xs_.front()) return 0.0;
+  if (x >= xs_.back()) {
+    return cum2_.back() + cum_.back() * (x - xs_.back());
+  }
+  const size_t i = SegmentOf(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double m = (ys_[i + 1] - ys_[i]) / h;
+  const double t = x - xs_[i];
+  return cum2_[i] + cum_[i] * t + 0.5 * ys_[i] * t * t + m * t * t * t / 6.0;
+}
+
+double PiecewiseLinear::IntegralBetween(double a, double b) const {
+  assert(a <= b);
+  return Antiderivative(b) - Antiderivative(a);
+}
+
+double PiecewiseLinear::TotalIntegral() const { return cum_.back(); }
+
+double PiecewiseLinear::RectangleConvolutionIntegral(double l, double r,
+                                                     double a,
+                                                     double b) const {
+  // ∫_a^b ∫_l^r f(u - v) du dv
+  //   = ∫_a^b [F(r - v) - F(l - v)] dv
+  //   = [G(r - a) - G(r - b)] - [G(l - a) - G(l - b)].
+  assert(l <= r && a <= b);
+  return (SecondAntiderivative(r - a) - SecondAntiderivative(r - b)) -
+         (SecondAntiderivative(l - a) - SecondAntiderivative(l - b));
+}
+
+double PiecewiseLinear::MinValue() const {
+  return *std::min_element(ys_.begin(), ys_.end());
+}
+
+double PiecewiseLinear::MaxValue() const {
+  return *std::max_element(ys_.begin(), ys_.end());
+}
+
+double PiecewiseLinear::SampleDensity(double lo, double hi, Rng& rng) const {
+  assert(lo < hi);
+  const double flo = Antiderivative(lo);
+  const double fhi = Antiderivative(hi);
+  const double total = fhi - flo;
+  assert(total > 0.0);
+  const double target = flo + rng.Uniform() * total;
+
+  // Locate the knot segment whose cumulative range contains `target`.
+  // F is non-decreasing (density must be >= 0 where sampled).
+  auto it = std::upper_bound(cum_.begin(), cum_.end(), target);
+  size_t i = (it == cum_.begin()) ? 0 : static_cast<size_t>(it - cum_.begin()) - 1;
+  i = std::min(i, xs_.size() - 2);
+
+  const double h = xs_[i + 1] - xs_[i];
+  const double m = (ys_[i + 1] - ys_[i]) / h;
+  const double rem = target - cum_[i];
+  double t;
+  if (std::fabs(m) < 1e-14) {
+    t = (ys_[i] > 0.0) ? rem / ys_[i] : 0.5 * h;
+  } else {
+    // Solve ys_[i]*t + m*t^2/2 == rem for t in [0, h].
+    const double disc = ys_[i] * ys_[i] + 2.0 * m * rem;
+    const double root = std::sqrt(std::max(0.0, disc));
+    t = (-ys_[i] + root) / m;
+    if (t < 0.0 || t > h) t = (-ys_[i] - root) / m;
+  }
+  t = std::clamp(t, 0.0, h);
+  return std::clamp(xs_[i] + t, lo, hi);
+}
+
+}  // namespace numdist

@@ -1,0 +1,83 @@
+// Exact algebra on piecewise-linear functions.
+//
+// Every wave shape in the General Wave family (square, trapezoid, triangle)
+// is piecewise linear, so transition-matrix entries — double integrals of
+// W(out - in) over bucket rectangles — have closed forms via the first and
+// second antiderivatives of W. This class provides those, plus exact
+// inverse-CDF sampling when the function is used as an (unnormalized)
+// probability density.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// \brief A continuous piecewise-linear function on [x_0, x_k], zero outside.
+///
+/// Defined by strictly increasing knots x_0 < ... < x_k and values y_i at
+/// each knot; linear interpolation between knots; identically 0 outside the
+/// knot range. Immutable after construction.
+class PiecewiseLinear {
+ public:
+  /// Builds the function. Requirements: >= 2 knots, strictly increasing xs,
+  /// xs.size() == ys.size(), all ys finite.
+  static Result<PiecewiseLinear> Make(std::vector<double> xs,
+                                      std::vector<double> ys);
+
+  /// Function value at `x` (0 outside the knot range).
+  double Evaluate(double x) const;
+
+  /// First antiderivative F(x) = integral of f over (-inf, x].
+  double Antiderivative(double x) const;
+
+  /// Second antiderivative G(x) = integral of F over (-inf, x].
+  /// Note F is constant (== TotalIntegral()) right of the last knot, so G
+  /// grows linearly there; both tails are handled exactly.
+  double SecondAntiderivative(double x) const;
+
+  /// Exact integral of f over [a, b] (a <= b).
+  double IntegralBetween(double a, double b) const;
+
+  /// Integral of f over its full support.
+  double TotalIntegral() const;
+
+  /// Exact double integral  ∫_{v=a}^{b} ∫_{u=l}^{r} f(u - v) du dv.
+  /// This is the workhorse of transition-matrix construction.
+  double RectangleConvolutionIntegral(double l, double r, double a,
+                                      double b) const;
+
+  /// Minimum function value over the support.
+  double MinValue() const;
+  /// Maximum function value over the support.
+  double MaxValue() const;
+
+  /// Leftmost knot.
+  double xmin() const { return xs_.front(); }
+  /// Rightmost knot.
+  double xmax() const { return xs_.back(); }
+  /// The knot abscissae.
+  const std::vector<double>& knots() const { return xs_; }
+  /// The knot ordinates.
+  const std::vector<double>& values() const { return ys_; }
+
+  /// Draws a sample with density proportional to f restricted to [lo, hi].
+  /// Requires f >= 0 on [lo, hi] and a positive integral there.
+  /// Exact inverse-CDF sampling (quadratic solve per linear segment).
+  double SampleDensity(double lo, double hi, Rng& rng) const;
+
+ private:
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  size_t SegmentOf(double x) const;  // index i with xs_[i] <= x < xs_[i+1]
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> cum_;   // F at each knot (cum_[0] == 0)
+  std::vector<double> cum2_;  // G at each knot (cum2_[0] == 0)
+};
+
+}  // namespace numdist

@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, the library's fallible-constructor return type.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace numdist {
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// Usage:
+/// \code
+///   Result<SquareWave> sw = SquareWave::Make(epsilon);
+///   if (!sw.ok()) return sw.status();
+///   sw->Perturb(...);
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, Arrow-style).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a Result holding an error. `status.ok()` must be false.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok());
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; Status::OK() if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  /// The held value (mutable). Requires ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  /// Moves the held value out. Requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Pointer-style access to the held value. Requires ok().
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  /// Returns the value or aborts with the error message (tests/examples).
+  T ValueOrDie() && {
+    if (!ok()) {
+      // Examples and tests use this for brevity; the library itself does not.
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              status().ToString().c_str());
+      abort();
+    }
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace numdist
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define NUMDIST_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto&& _res_##__LINE__ = (expr);                   \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value();

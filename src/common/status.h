@@ -1,0 +1,86 @@
+// Arrow/RocksDB-style status type: library entry points that can fail return
+// Status (or Result<T>, see result.h) instead of throwing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace numdist {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotConverged = 4,
+  kInternal = 5,
+};
+
+/// \brief Lightweight success/error carrier.
+///
+/// A `Status` is either OK (no payload) or an error with a code and message.
+/// Modeled after arrow::Status; cheap to move, cheap to test for OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an invalid-argument error with the given message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns an out-of-range error with the given message.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Returns a failed-precondition error with the given message.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// Returns a not-converged error with the given message.
+  static Status NotConverged(std::string message) {
+    return Status(StatusCode::kNotConverged, std::move(message));
+  }
+  /// Returns an internal error with the given message.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: epsilon must be > 0".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace numdist
+
+/// Propagates an error status from an expression, Arrow-style.
+#define NUMDIST_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::numdist::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)

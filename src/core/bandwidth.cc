@@ -1,0 +1,56 @@
+#include "core/bandwidth.h"
+
+#include <cmath>
+
+namespace numdist {
+
+double OptimalBandwidth(double epsilon) {
+  // Small-eps guard: numerator ~ eps^2/2 and denominator ~ eps^2, both -> 0;
+  // the limit is 1/2 and the floating-point ratio below loses precision for
+  // very small eps, so switch to the limit.
+  if (epsilon < 1e-4) return 0.5;
+  const double e = std::exp(epsilon);
+  const double numerator = epsilon * e - e + 1.0;
+  const double denominator = 2.0 * e * (e - 1.0 - epsilon);
+  return numerator / denominator;
+}
+
+double MutualInformationUpperBound(double epsilon, double b) {
+  const double e = std::exp(epsilon);
+  const double denom = 2.0 * b * e + 1.0;
+  return std::log((2.0 * b + 1.0) / denom) + 2.0 * b * epsilon * e / denom;
+}
+
+double NumericOptimalBandwidth(double epsilon) {
+  // Golden-section search for the maximizer on (0, 1/2].
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 1e-9;
+  double hi = 0.5;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = MutualInformationUpperBound(epsilon, x1);
+  double f2 = MutualInformationUpperBound(epsilon, x2);
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-12; ++iter) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = MutualInformationUpperBound(epsilon, x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = MutualInformationUpperBound(epsilon, x1);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+size_t DiscreteOptimalBandwidth(double epsilon, size_t d) {
+  return static_cast<size_t>(
+      std::floor(OptimalBandwidth(epsilon) * static_cast<double>(d)));
+}
+
+}  // namespace numdist

@@ -1,0 +1,30 @@
+// Bandwidth selection for the Square Wave mechanism (paper §5.3).
+//
+// b is chosen to maximize an upper bound on the mutual information between
+// the private input and the randomized report; the closed form is
+//   b*(eps) = (eps e^eps - e^eps + 1) / (2 e^eps (e^eps - 1 - eps)).
+#pragma once
+
+#include <cstddef>
+
+namespace numdist {
+
+/// Closed-form mutual-information-optimal bandwidth b*(eps).
+/// Monotone non-increasing in eps; b* -> 1/2 as eps -> 0, -> 0 as eps -> inf.
+/// Requires eps > 0 (eps <= 0 returns the eps->0 limit 0.5).
+double OptimalBandwidth(double epsilon);
+
+/// The maximized objective from §5.3:
+///   MI_bound(eps, b) = log((2b+1)/(2b e^eps + 1)) + 2 b eps e^eps/(2b e^eps + 1).
+/// (The upper bound of I(V, V~) up to the constant h(U) terms; see paper.)
+double MutualInformationUpperBound(double epsilon, double b);
+
+/// Maximizes MutualInformationUpperBound over b in (0, 1/2] numerically
+/// (golden-section search). Exists to validate the closed form; tests assert
+/// it agrees with OptimalBandwidth to ~1e-6.
+double NumericOptimalBandwidth(double epsilon);
+
+/// Discrete-domain bandwidth (paper §5.4): floor(b*(eps) * d) buckets.
+size_t DiscreteOptimalBandwidth(double epsilon, size_t d);
+
+}  // namespace numdist

@@ -1,0 +1,106 @@
+#include "core/em.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/histogram.h"
+
+namespace numdist {
+
+void BinomialSmooth(std::vector<double>* x) {
+  const size_t d = x->size();
+  if (d < 3) return;
+  std::vector<double>& v = *x;
+  double prev = v[0];
+  const double first = (2.0 * v[0] + v[1]) / 3.0;
+  for (size_t i = 1; i + 1 < d; ++i) {
+    const double cur = v[i];
+    v[i] = 0.25 * prev + 0.5 * cur + 0.25 * v[i + 1];
+    prev = cur;
+  }
+  v[d - 1] = (prev + 2.0 * v[d - 1]) / 3.0;
+  v[0] = first;
+  hist::Normalize(x);
+}
+
+Result<EmResult> EstimateEm(const ObservationModel& model,
+                            const std::vector<uint64_t>& counts,
+                            const EmOptions& opts) {
+  const size_t d_out = model.rows();
+  const size_t d = model.cols();
+  if (d == 0 || d_out == 0) {
+    return Status::InvalidArgument("EM: empty observation model");
+  }
+  if (counts.size() != d_out) {
+    return Status::InvalidArgument("EM: counts size != model rows");
+  }
+  double n = 0.0;
+  for (uint64_t c : counts) n += static_cast<double>(c);
+  if (n <= 0.0) {
+    return Status::InvalidArgument("EM: no observations");
+  }
+  if (!(opts.tol >= 0.0)) {
+    return Status::InvalidArgument("EM: tol must be >= 0");
+  }
+
+  EmResult result;
+  result.estimate.assign(d, 1.0 / static_cast<double>(d));
+  std::vector<double>& x = result.estimate;
+  std::vector<double> y(d_out, 0.0);
+  std::vector<double> weights(d_out, 0.0);
+  std::vector<double> p(d, 0.0);
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 1; iter <= opts.max_iterations; ++iter) {
+    // y = M x: predicted output distribution under the current estimate.
+    model.Apply(x, &y);
+
+    // Total log-likelihood and the E-step weights n_j / y_j.
+    double ll = 0.0;
+    for (size_t j = 0; j < d_out; ++j) {
+      if (counts[j] == 0) {
+        weights[j] = 0.0;
+        continue;
+      }
+      // y_j > 0 whenever x has support reaching bucket j; with the SW model
+      // every output bucket is reachable (q > 0), so this guard only trips
+      // on degenerate custom matrices.
+      const double yj = std::max(y[j], 1e-300);
+      weights[j] = static_cast<double>(counts[j]) / yj;
+      ll += static_cast<double>(counts[j]) * std::log(yj);
+    }
+
+    // Combined E+M step: x_i <- x_i * (M^T w)_i, renormalized.
+    model.ApplyTranspose(weights, &p);
+    double total = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      p[i] *= x[i];
+      total += p[i];
+    }
+    if (total <= 0.0) {
+      return Status::Internal("EM: estimate collapsed to zero mass");
+    }
+    for (size_t i = 0; i < d; ++i) x[i] = p[i] / total;
+
+    if (opts.smoothing) BinomialSmooth(&x);
+
+    result.iterations = iter;
+    result.log_likelihood = ll;
+    if (iter >= opts.min_iterations && ll - prev_ll < opts.tol &&
+        std::isfinite(prev_ll)) {
+      result.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  return result;
+}
+
+Result<EmResult> EstimateEm(const Matrix& m,
+                            const std::vector<uint64_t>& counts,
+                            const EmOptions& opts) {
+  const DenseObservationModel model(m);
+  return EstimateEm(model, counts, opts);
+}
+
+}  // namespace numdist

@@ -1,0 +1,35 @@
+#include "core/ems.h"
+
+#include "common/histogram.h"
+#include "core/transition.h"
+
+namespace numdist {
+
+Result<EmResult> EstimateEms(const Matrix& m,
+                             const std::vector<uint64_t>& counts,
+                             EmOptions opts) {
+  opts.smoothing = true;
+  return EstimateEm(m, counts, opts);
+}
+
+std::vector<double> SmoothingOnlyEstimate(const std::vector<uint64_t>& counts,
+                                          size_t d, size_t passes) {
+  // Resample the observed output-domain frequencies onto the d input buckets
+  // by simple proportional binning, then smooth.
+  std::vector<double> obs = NormalizeCounts(counts);
+  std::vector<double> x(d, 0.0);
+  const size_t d_out = obs.size();
+  for (size_t j = 0; j < d_out; ++j) {
+    // Map output bucket j onto the input grid position proportionally.
+    const double pos = (static_cast<double>(j) + 0.5) /
+                       static_cast<double>(d_out) * static_cast<double>(d);
+    size_t i = static_cast<size_t>(pos);
+    if (i >= d) i = d - 1;
+    x[i] += obs[j];
+  }
+  hist::Normalize(&x);
+  for (size_t pass = 0; pass < passes; ++pass) BinomialSmooth(&x);
+  return x;
+}
+
+}  // namespace numdist

@@ -1,0 +1,26 @@
+// Expectation Maximization with Smoothing (EMS), the paper's recommended
+// post-processing (§5.5): plain EM plus a binomial smoothing step after each
+// M step. Smoothing is equivalent to a regularizer penalizing spiky
+// estimates (Nychka 1990), which keeps EM from fitting the LDP noise — this
+// is what makes the stopping condition insensitive to tuning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/em.h"
+
+namespace numdist {
+
+/// Runs EMS: forces opts.smoothing = true (tol defaults to 1e-3 as in §6.1).
+Result<EmResult> EstimateEms(const Matrix& m,
+                             const std::vector<uint64_t>& counts,
+                             EmOptions opts = EmOptions());
+
+/// Ablation helper: no EM at all — de-noises by repeated smoothing of the
+/// raw observed frequencies truncated to the input domain. Used by the
+/// post-processing ablation bench to show EM is load-bearing.
+std::vector<double> SmoothingOnlyEstimate(const std::vector<uint64_t>& counts,
+                                          size_t d, size_t passes = 16);
+
+}  // namespace numdist

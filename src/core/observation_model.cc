@@ -1,0 +1,80 @@
+#include "core/observation_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+void DenseObservationModel::Apply(const std::vector<double>& x,
+                                  std::vector<double>* y) const {
+  *y = m_.Multiply(x);
+}
+
+void DenseObservationModel::ApplyTranspose(const std::vector<double>& z,
+                                           std::vector<double>* out) const {
+  *out = m_.TransposeMultiply(z);
+}
+
+BandedObservationModel BandedObservationModel::FromDense(const Matrix& m,
+                                                         double background,
+                                                         double tol) {
+  BandedObservationModel model(m.rows(), m.cols(), background);
+  model.band_start_.resize(m.cols());
+  model.band_offset_.resize(m.cols());
+  model.band_len_.resize(m.cols());
+  for (size_t i = 0; i < m.cols(); ++i) {
+    size_t first = m.rows();
+    size_t last = 0;  // exclusive
+    for (size_t j = 0; j < m.rows(); ++j) {
+      if (std::fabs(m(j, i) - background) > tol) {
+        if (first == m.rows()) first = j;
+        last = j + 1;
+      }
+    }
+    if (first == m.rows()) {  // column is pure background
+      first = 0;
+      last = 0;
+    }
+    model.band_start_[i] = first;
+    model.band_offset_[i] = model.band_values_.size();
+    model.band_len_[i] = last - first;
+    for (size_t j = first; j < last; ++j) {
+      model.band_values_.push_back(m(j, i) - background);
+    }
+  }
+  return model;
+}
+
+void BandedObservationModel::Apply(const std::vector<double>& x,
+                                   std::vector<double>* y) const {
+  assert(x.size() == cols_);
+  double total = 0.0;
+  for (double v : x) total += v;
+  y->assign(rows_, background_ * total);
+  for (size_t i = 0; i < cols_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* band = band_values_.data() + band_offset_[i];
+    double* dst = y->data() + band_start_[i];
+    const size_t len = band_len_[i];
+    for (size_t k = 0; k < len; ++k) dst[k] += band[k] * xi;
+  }
+}
+
+void BandedObservationModel::ApplyTranspose(const std::vector<double>& z,
+                                            std::vector<double>* out) const {
+  assert(z.size() == rows_);
+  double total = 0.0;
+  for (double v : z) total += v;
+  out->assign(cols_, background_ * total);
+  for (size_t i = 0; i < cols_; ++i) {
+    const double* band = band_values_.data() + band_offset_[i];
+    const double* src = z.data() + band_start_[i];
+    const size_t len = band_len_[i];
+    double acc = 0.0;
+    for (size_t k = 0; k < len; ++k) acc += band[k] * src[k];
+    (*out)[i] += acc;
+  }
+}
+
+}  // namespace numdist

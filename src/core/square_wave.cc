@@ -1,0 +1,167 @@
+#include "core/square_wave.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/bandwidth.h"
+
+namespace numdist {
+
+namespace {
+
+// Second antiderivative of the box indicator 1[|z| <= b]:
+//   G(z) = 0            for z <= -b,
+//          (z + b)^2/2  for |z| <= b,
+//          2 b z        for z >= b.
+// Used for the closed-form average wave/bucket overlap integral.
+double BoxSecondAntiderivative(double z, double b) {
+  if (z <= -b) return 0.0;
+  if (z >= b) return 2.0 * b * z;
+  const double t = z + b;
+  return 0.5 * t * t;
+}
+
+// Exact double integral of the box overlap over an output x input rectangle:
+//   ∫_{v=a}^{c} ∫_{u=l}^{r} 1[|u - v| <= b] du dv.
+double BoxRectangleIntegral(double l, double r, double a, double c, double b) {
+  return (BoxSecondAntiderivative(r - a, b) -
+          BoxSecondAntiderivative(r - c, b)) -
+         (BoxSecondAntiderivative(l - a, b) -
+          BoxSecondAntiderivative(l - c, b));
+}
+
+}  // namespace
+
+Result<SquareWave> SquareWave::Make(double epsilon, double b) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("SW: epsilon must be positive and finite");
+  }
+  if (b < 0.0) b = OptimalBandwidth(epsilon);
+  if (!(b > 0.0) || b > 1.0) {
+    return Status::InvalidArgument("SW: bandwidth b must be in (0, 1]");
+  }
+  return SquareWave(epsilon, b);
+}
+
+SquareWave::SquareWave(double epsilon, double b)
+    : epsilon_(epsilon), b_(b) {
+  const double e = std::exp(epsilon);
+  p_ = e / (2.0 * b * e + 1.0);
+  q_ = 1.0 / (2.0 * b * e + 1.0);
+}
+
+double SquareWave::Perturb(double v, Rng& rng) const {
+  assert(v >= 0.0 && v <= 1.0);
+  const double in_wave_mass = 2.0 * b_ * p_;  // + q * 1 == 1 by construction
+  if (rng.Bernoulli(in_wave_mass)) {
+    return rng.Uniform(v - b_, v + b_);
+  }
+  // Uniform over [-b, 1+b] \ [v-b, v+b]; the two flat pieces have total
+  // length exactly 1: left piece [-b, v-b) has length v.
+  const double u = rng.Uniform();
+  return (u < v) ? (-b_ + u) : (v + b_ + (u - v));
+}
+
+double SquareWave::Density(double v, double out) const {
+  assert(v >= 0.0 && v <= 1.0);
+  if (out < -b_ || out > 1.0 + b_) return 0.0;
+  return (std::fabs(out - v) <= b_) ? p_ : q_;
+}
+
+Matrix SquareWave::TransitionMatrix(size_t d_in, size_t d_out) const {
+  assert(d_in >= 1 && d_out >= 1);
+  Matrix m(d_out, d_in);
+  const double out_lo = -b_;
+  const double out_width = (1.0 + 2.0 * b_) / static_cast<double>(d_out);
+  const double in_width = 1.0 / static_cast<double>(d_in);
+  for (size_t j = 0; j < d_out; ++j) {
+    const double l = out_lo + static_cast<double>(j) * out_width;
+    const double r = l + out_width;
+    for (size_t i = 0; i < d_in; ++i) {
+      const double a = static_cast<double>(i) * in_width;
+      const double c = a + in_width;
+      const double overlap = BoxRectangleIntegral(l, r, a, c, b_) / in_width;
+      m(j, i) = q_ * out_width + (p_ - q_) * overlap;
+    }
+  }
+  return m;
+}
+
+std::vector<uint64_t> SquareWave::BucketizeReports(
+    const std::vector<double>& reports, size_t d_out) const {
+  std::vector<uint64_t> counts(d_out, 0);
+  const double lo = -b_;
+  const double span = 1.0 + 2.0 * b_;
+  for (double r : reports) {
+    double t = (r - lo) / span;
+    t = std::clamp(t, 0.0, 1.0);
+    size_t j = static_cast<size_t>(t * static_cast<double>(d_out));
+    if (j >= d_out) j = d_out - 1;
+    ++counts[j];
+  }
+  return counts;
+}
+
+Result<DiscreteSquareWave> DiscreteSquareWave::Make(double epsilon, size_t d,
+                                                    int64_t b) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("DSW: epsilon must be positive and finite");
+  }
+  if (d < 2) return Status::InvalidArgument("DSW: d must be >= 2");
+  if (b < 0) b = static_cast<int64_t>(DiscreteOptimalBandwidth(epsilon, d));
+  if (static_cast<size_t>(b) >= d) {
+    return Status::InvalidArgument("DSW: b must be < d");
+  }
+  return DiscreteSquareWave(epsilon, d, static_cast<size_t>(b));
+}
+
+DiscreteSquareWave::DiscreteSquareWave(double epsilon, size_t d, size_t b)
+    : epsilon_(epsilon), d_(d), b_(b) {
+  const double e = std::exp(epsilon);
+  const double denom =
+      (2.0 * static_cast<double>(b) + 1.0) * e + static_cast<double>(d) - 1.0;
+  p_ = e / denom;
+  q_ = 1.0 / denom;
+}
+
+uint32_t DiscreteSquareWave::Perturb(uint32_t v, Rng& rng) const {
+  assert(v < d_);
+  const double in_wave_mass = (2.0 * static_cast<double>(b_) + 1.0) * p_;
+  if (rng.Bernoulli(in_wave_mass)) {
+    // Output index v~ in [v, v + 2b] <=> |position(v~) - v| <= b.
+    return v + static_cast<uint32_t>(rng.UniformInt(2 * b_ + 1));
+  }
+  // Uniform over the other d - 1 output indices (skip the wave window).
+  uint32_t r = static_cast<uint32_t>(rng.UniformInt(d_ - 1));
+  return (r >= v) ? r + static_cast<uint32_t>(2 * b_ + 1) : r;
+}
+
+double DiscreteSquareWave::Probability(uint32_t v, uint32_t out) const {
+  assert(v < d_ && out < output_domain());
+  return (out >= v && out <= v + 2 * b_) ? p_ : q_;
+}
+
+Matrix DiscreteSquareWave::TransitionMatrix() const {
+  const size_t d_out = output_domain();
+  Matrix m(d_out, d_);
+  for (size_t j = 0; j < d_out; ++j) {
+    for (size_t i = 0; i < d_; ++i) {
+      m(j, i) = Probability(static_cast<uint32_t>(i),
+                            static_cast<uint32_t>(j));
+    }
+  }
+  return m;
+}
+
+std::vector<uint64_t> DiscreteSquareWave::AggregateReports(
+    const std::vector<uint32_t>& reports) const {
+  std::vector<uint64_t> counts(output_domain(), 0);
+  for (uint32_t r : reports) {
+    assert(r < output_domain());
+    ++counts[r];
+  }
+  return counts;
+}
+
+}  // namespace numdist

@@ -1,0 +1,108 @@
+// The Square Wave (SW) mechanism (paper §5.2 and §5.4), the paper's primary
+// reporting mechanism. Two variants:
+//  - SquareWave: continuous input domain [0,1] ("randomize before
+//    bucketize"), output domain [-b, 1+b];
+//  - DiscreteSquareWave: discrete input domain {0..d-1} ("bucketize before
+//    randomize"), output domain {0..d+2b-1}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// \brief Continuous Square Wave mechanism on [0,1] -> [-b, 1+b].
+///
+/// Given input v, reports a value in [v-b, v+b] with density
+/// p = e^eps / (2b e^eps + 1) and anywhere else in [-b, 1+b] with density
+/// q = 1 / (2b e^eps + 1). Satisfies eps-LDP (Theorem 5.2); among all
+/// General Wave mechanisms it maximizes the Wasserstein distance between
+/// output distributions (Theorem 5.3).
+class SquareWave {
+ public:
+  /// Creates the mechanism. Requires epsilon > 0; `b` < 0 selects the
+  /// mutual-information-optimal bandwidth b*(eps) (§5.3); otherwise requires
+  /// 0 < b <= 1.
+  static Result<SquareWave> Make(double epsilon, double b = -1.0);
+
+  /// Randomizes one value (client side). Requires v in [0, 1].
+  double Perturb(double v, Rng& rng) const;
+
+  /// Exact output density M_v(out) for input v (p inside the wave, q outside,
+  /// 0 outside [-b, 1+b]).
+  double Density(double v, double out) const;
+
+  /// Transition matrix M (d_out x d_in): M(j, i) is the probability that the
+  /// report falls in output bucket j of [-b, 1+b] given the input is uniform
+  /// within input bucket i of [0, 1]. Columns sum to 1 exactly (closed-form
+  /// overlap integrals, no quadrature). This is the EM observation model.
+  Matrix TransitionMatrix(size_t d_in, size_t d_out) const;
+
+  /// Buckets raw reports into d_out equal bins over [-b, 1+b].
+  std::vector<uint64_t> BucketizeReports(const std::vector<double>& reports,
+                                         size_t d_out) const;
+
+  double epsilon() const { return epsilon_; }
+  double b() const { return b_; }
+  /// In-wave density.
+  double p() const { return p_; }
+  /// Out-of-wave density.
+  double q() const { return q_; }
+
+ private:
+  SquareWave(double epsilon, double b);
+
+  double epsilon_;
+  double b_;
+  double p_;
+  double q_;
+};
+
+/// \brief Discrete Square Wave mechanism on {0..d-1} -> {0..d+2b-1}
+/// ("bucketize before randomize", §5.4).
+///
+/// Output index v~ represents domain position v~ - b; the 2b+1 outputs with
+/// |position - v| <= b each have probability p = e^eps / ((2b+1) e^eps + d - 1),
+/// the remaining d - 1 outputs probability q = p / e^eps.
+class DiscreteSquareWave {
+ public:
+  /// Creates the mechanism. Requires epsilon > 0, d >= 2.
+  /// `b` < 0 selects floor(b*(eps) * d); b == 0 degenerates to GRR.
+  static Result<DiscreteSquareWave> Make(double epsilon, size_t d,
+                                         int64_t b = -1);
+
+  /// Randomizes one value (client side). Requires v < d.
+  uint32_t Perturb(uint32_t v, Rng& rng) const;
+
+  /// Exact report probability Pr[output == out | input == v].
+  double Probability(uint32_t v, uint32_t out) const;
+
+  /// Transition matrix M ((d + 2b) x d): M(j, i) = Pr[output j | input i].
+  Matrix TransitionMatrix() const;
+
+  /// Aggregates discrete reports into output-domain counts.
+  std::vector<uint64_t> AggregateReports(
+      const std::vector<uint32_t>& reports) const;
+
+  double epsilon() const { return epsilon_; }
+  size_t d() const { return d_; }
+  size_t b() const { return b_; }
+  size_t output_domain() const { return d_ + 2 * b_; }
+  double p() const { return p_; }
+  double q() const { return q_; }
+
+ private:
+  DiscreteSquareWave(double epsilon, size_t d, size_t b);
+
+  double epsilon_;
+  size_t d_;
+  size_t b_;
+  double p_;
+  double q_;
+};
+
+}  // namespace numdist

@@ -1,0 +1,130 @@
+#include "core/sw_estimator.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "core/bandwidth.h"
+#include "core/ems.h"
+#include "core/transition.h"
+
+namespace numdist {
+
+Result<SwEstimator> SwEstimator::Make(const SwEstimatorOptions& options) {
+  if (!(options.epsilon > 0.0) || !std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument(
+        "SwEstimator: epsilon must be positive and finite");
+  }
+  if (options.d < 2) {
+    return Status::InvalidArgument("SwEstimator: d must be >= 2");
+  }
+  const size_t d_out = options.d_out == 0 ? options.d : options.d_out;
+
+  Result<SquareWave> sw = SquareWave::Make(options.epsilon, options.b);
+  if (!sw.ok()) return sw.status();
+
+  // The discrete mechanism's bandwidth is the continuous one scaled to
+  // bucket units (paper §5.4).
+  const int64_t db =
+      options.b < 0.0
+          ? -1
+          : static_cast<int64_t>(
+                std::floor(options.b * static_cast<double>(options.d)));
+  Result<DiscreteSquareWave> dsw =
+      DiscreteSquareWave::Make(options.epsilon, options.d,
+                               std::max<int64_t>(db, options.b < 0 ? -1 : 0));
+  if (!dsw.ok()) return dsw.status();
+
+  Matrix transition;
+  double background = 0.0;
+  if (options.pipeline ==
+      SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize) {
+    transition = sw->TransitionMatrix(options.d, d_out);
+    background =
+        sw->q() * (1.0 + 2.0 * sw->b()) / static_cast<double>(d_out);
+  } else {
+    transition = dsw->TransitionMatrix();
+    background = dsw->q();
+  }
+  NormalizeColumns(&transition);
+  NUMDIST_RETURN_NOT_OK(ValidateTransitionMatrix(transition));
+  BandedObservationModel model =
+      BandedObservationModel::FromDense(transition, background, 1e-13);
+
+  EmOptions em_options;
+  em_options.smoothing = options.post == SwEstimatorOptions::Post::kEms;
+  em_options.max_iterations = options.max_iterations;
+  if (options.tol > 0.0) {
+    em_options.tol = options.tol;
+  } else {
+    // Paper §6.1: tau = 1e-3 * e^eps for EM, 1e-3 for EMS (thresholds on the
+    // total log-likelihood improvement).
+    em_options.tol = em_options.smoothing
+                         ? 1e-3
+                         : 1e-3 * std::exp(options.epsilon);
+  }
+
+  SwEstimatorOptions resolved = options;
+  resolved.d_out = d_out;
+  return SwEstimator(resolved, std::move(sw).value(), std::move(dsw).value(),
+                     std::move(transition), std::move(model), em_options);
+}
+
+SwEstimator::SwEstimator(SwEstimatorOptions options, SquareWave sw,
+                         DiscreteSquareWave dsw, Matrix transition,
+                         BandedObservationModel model, EmOptions em_options)
+    : options_(options),
+      sw_(std::move(sw)),
+      dsw_(std::move(dsw)),
+      transition_(std::move(transition)),
+      model_(std::move(model)),
+      em_options_(em_options) {}
+
+double SwEstimator::b() const { return sw_.b(); }
+
+double SwEstimator::PerturbOne(double v, Rng& rng) const {
+  assert(v >= 0.0 && v <= 1.0);
+  if (options_.pipeline ==
+      SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize) {
+    return sw_.Perturb(v, rng);
+  }
+  const uint32_t bucket = static_cast<uint32_t>(
+      std::min<size_t>(static_cast<size_t>(v * static_cast<double>(options_.d)),
+                       options_.d - 1));
+  return static_cast<double>(dsw_.Perturb(bucket, rng));
+}
+
+std::vector<uint64_t> SwEstimator::Aggregate(
+    const std::vector<double>& reports) const {
+  if (options_.pipeline ==
+      SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize) {
+    return sw_.BucketizeReports(reports, options_.d_out);
+  }
+  std::vector<uint64_t> counts(dsw_.output_domain(), 0);
+  for (double r : reports) {
+    const size_t j = static_cast<size_t>(r);
+    assert(j < counts.size());
+    ++counts[j];
+  }
+  return counts;
+}
+
+Result<EmResult> SwEstimator::Reconstruct(
+    const std::vector<uint64_t>& counts) const {
+  return EstimateEm(model_, counts, em_options_);
+}
+
+Result<std::vector<double>> SwEstimator::EstimateDistribution(
+    const std::vector<double>& values, Rng& rng) const {
+  if (values.empty()) {
+    return Status::InvalidArgument("SwEstimator: no input values");
+  }
+  std::vector<double> reports;
+  reports.reserve(values.size());
+  for (double v : values) reports.push_back(PerturbOne(v, rng));
+  Result<EmResult> em = Reconstruct(Aggregate(reports));
+  if (!em.ok()) return em.status();
+  return std::move(em).value().estimate;
+}
+
+}  // namespace numdist

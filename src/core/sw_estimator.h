@@ -1,0 +1,96 @@
+// End-to-end Square Wave distribution estimator — the library's primary
+// public API. Wires together: SW reporting (continuous R-B or discrete B-R),
+// report bucketization, the exact transition matrix, and EM/EMS
+// reconstruction (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/em.h"
+#include "core/observation_model.h"
+#include "core/square_wave.h"
+
+namespace numdist {
+
+/// Configuration of the end-to-end SW estimator.
+struct SwEstimatorOptions {
+  /// Privacy budget (> 0).
+  double epsilon = 1.0;
+  /// Number of input histogram buckets.
+  size_t d = 1024;
+  /// Number of output (report) buckets; 0 means equal to d (paper default).
+  size_t d_out = 0;
+  /// Wave half-width; < 0 selects the mutual-information-optimal b*(eps).
+  double b = -1.0;
+  /// Post-processing: EMS (recommended) or plain EM.
+  enum class Post { kEms, kEm } post = Post::kEms;
+  /// Report pipeline: continuous "randomize before bucketize" (paper's
+  /// experimental default) or discrete "bucketize before randomize".
+  enum class Pipeline { kRandomizeBeforeBucketize, kBucketizeBeforeRandomize }
+      pipeline = Pipeline::kRandomizeBeforeBucketize;
+  /// EM iteration controls. `tol` <= 0 selects the paper defaults
+  /// (1e-3 for EMS, 1e-3 * e^eps for EM).
+  double tol = -1.0;
+  size_t max_iterations = 10000;
+};
+
+/// \brief One-stop SW + EM/EMS distribution estimator.
+///
+/// Typical usage (aggregator side owns the estimator; each client calls
+/// PerturbOne with its own value and sends the report):
+/// \code
+///   auto est = SwEstimator::Make({.epsilon = 1.0, .d = 256}).ValueOrDie();
+///   std::vector<double> reports;  // collected from clients
+///   for (double v : private_values) reports.push_back(est.PerturbOne(v, rng));
+///   auto dist = est.Reconstruct(est.Aggregate(reports)).ValueOrDie();
+/// \endcode
+class SwEstimator {
+ public:
+  /// Validates options and builds the estimator (transition matrix included).
+  static Result<SwEstimator> Make(const SwEstimatorOptions& options);
+
+  /// Client-side report for one private value v in [0, 1]. For the
+  /// continuous pipeline the report is a real in [-b, 1+b]; for the discrete
+  /// pipeline it is an output bucket index (stored in the double).
+  double PerturbOne(double v, Rng& rng) const;
+
+  /// Server-side: histogram of raw reports over the output buckets.
+  std::vector<uint64_t> Aggregate(const std::vector<double>& reports) const;
+
+  /// Server-side: reconstructs the d-bucket input distribution from
+  /// aggregated output counts via EM or EMS.
+  Result<EmResult> Reconstruct(const std::vector<uint64_t>& counts) const;
+
+  /// Convenience one-shot pipeline: perturb every value, aggregate,
+  /// reconstruct. Returns the reconstructed distribution.
+  Result<std::vector<double>> EstimateDistribution(
+      const std::vector<double>& values, Rng& rng) const;
+
+  /// The observation model (d_out' x d; exposed for tests/diagnostics).
+  const Matrix& transition() const { return transition_; }
+  const SwEstimatorOptions& options() const { return options_; }
+  /// Resolved wave half-width (continuous scale).
+  double b() const;
+  /// Number of output buckets actually used.
+  size_t output_buckets() const { return transition_.rows(); }
+
+ private:
+  SwEstimator(SwEstimatorOptions options, SquareWave sw,
+              DiscreteSquareWave dsw, Matrix transition,
+              BandedObservationModel model, EmOptions em_options);
+
+  SwEstimatorOptions options_;
+  SquareWave sw_;           // used by the continuous pipeline
+  DiscreteSquareWave dsw_;  // used by the discrete pipeline
+  Matrix transition_;
+  // Band-structured view of transition_ used by EM (several times faster
+  // than the dense mat-vec at large d; see observation_model.h).
+  BandedObservationModel model_;
+  EmOptions em_options_;
+};
+
+}  // namespace numdist

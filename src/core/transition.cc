@@ -1,0 +1,50 @@
+#include "core/transition.h"
+
+#include <cmath>
+#include <string>
+
+namespace numdist {
+
+Status ValidateTransitionMatrix(const Matrix& m, double tol) {
+  for (size_t j = 0; j < m.cols(); ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m.rows(); ++i) {
+      const double e = m(i, j);
+      if (std::isnan(e) || e < -tol || e > 1.0 + tol) {
+        return Status::Internal("transition entry out of [0,1] at (" +
+                                std::to_string(i) + "," + std::to_string(j) +
+                                ")");
+      }
+      sum += e;
+    }
+    if (std::fabs(sum - 1.0) > tol) {
+      return Status::Internal("transition column " + std::to_string(j) +
+                              " sums to " + std::to_string(sum));
+    }
+  }
+  return Status::OK();
+}
+
+void NormalizeColumns(Matrix* m) {
+  for (size_t j = 0; j < m->cols(); ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m->rows(); ++i) sum += (*m)(i, j);
+    if (sum <= 0.0) continue;
+    const double inv = 1.0 / sum;
+    for (size_t i = 0; i < m->rows(); ++i) (*m)(i, j) *= inv;
+  }
+}
+
+std::vector<double> NormalizeCounts(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  std::vector<double> freq(counts.size(), 0.0);
+  if (total == 0) return freq;
+  const double inv = 1.0 / static_cast<double>(total);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    freq[i] = static_cast<double>(counts[i]) * inv;
+  }
+  return freq;
+}
+
+}  // namespace numdist

@@ -1,0 +1,24 @@
+// Transition-matrix validation and shared observation-model helpers used by
+// the EM/EMS reconstruction path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace numdist {
+
+/// Checks that `m` is a valid column-stochastic observation model: all
+/// entries in [0, 1+tol] and every column sums to 1 within `tol`.
+Status ValidateTransitionMatrix(const Matrix& m, double tol = 1e-8);
+
+/// Rescales every column of `m` to sum exactly to 1 (defensive cleanup after
+/// floating-point accumulation; no-op for already-stochastic matrices).
+void NormalizeColumns(Matrix* m);
+
+/// Normalizes integer observation counts into frequencies.
+std::vector<double> NormalizeCounts(const std::vector<uint64_t>& counts);
+
+}  // namespace numdist

@@ -1,0 +1,119 @@
+#include "core/wave.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "core/bandwidth.h"
+
+namespace numdist {
+
+Result<GeneralWave> GeneralWave::Make(double epsilon, double b,
+                                      double top_ratio) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("GW: epsilon must be positive and finite");
+  }
+  if (b < 0.0) b = OptimalBandwidth(epsilon);
+  if (!(b > 0.0) || b > 1.0) {
+    return Status::InvalidArgument("GW: bandwidth b must be in (0, 1]");
+  }
+  if (top_ratio < 0.0 || top_ratio >= 1.0) {
+    return Status::InvalidArgument(
+        "GW: top_ratio must be in [0, 1); use SquareWave for ratio 1");
+  }
+
+  const double e = std::exp(epsilon);
+  // Minimal q subject to the GW constraints with plateau at e^eps q:
+  // flat area q(1+2b) plus bump area (e^eps q - q) * b (1 + r) must be 1.
+  const double q =
+      1.0 / (1.0 + 2.0 * b + (e - 1.0) * b * (1.0 + top_ratio));
+  const double peak = e * q;
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> bump_xs;
+  std::vector<double> bump_ys;
+  if (top_ratio > 0.0) {
+    xs = {-(1.0 + b), -b, -top_ratio * b, top_ratio * b, b, 1.0 + b};
+    ys = {q, q, peak, peak, q, q};
+    bump_xs = {-b, -top_ratio * b, top_ratio * b, b};
+    bump_ys = {0.0, peak - q, peak - q, 0.0};
+  } else {
+    xs = {-(1.0 + b), -b, 0.0, b, 1.0 + b};
+    ys = {q, q, peak, q, q};
+    bump_xs = {-b, 0.0, b};
+    bump_ys = {0.0, peak - q, 0.0};
+  }
+  Result<PiecewiseLinear> wave = PiecewiseLinear::Make(std::move(xs),
+                                                       std::move(ys));
+  if (!wave.ok()) return wave.status();
+  Result<PiecewiseLinear> bump = PiecewiseLinear::Make(std::move(bump_xs),
+                                                       std::move(bump_ys));
+  if (!bump.ok()) return bump.status();
+  return GeneralWave(epsilon, b, top_ratio, std::move(wave).value(),
+                     std::move(bump).value());
+}
+
+GeneralWave::GeneralWave(double epsilon, double b, double top_ratio,
+                         PiecewiseLinear wave, PiecewiseLinear bump)
+    : epsilon_(epsilon),
+      b_(b),
+      top_ratio_(top_ratio),
+      wave_(std::move(wave)),
+      bump_(std::move(bump)) {
+  const double e = std::exp(epsilon);
+  q_ = 1.0 / (1.0 + 2.0 * b + (e - 1.0) * b * (1.0 + top_ratio));
+  peak_ = e * q_;
+}
+
+double GeneralWave::Perturb(double v, Rng& rng) const {
+  assert(v >= 0.0 && v <= 1.0);
+  // Decompose the output density into a flat U[-b, 1+b] component of mass
+  // q (1+2b) and the centered bump (W - q) of mass 1 - q (1+2b).
+  const double flat_mass = q_ * (1.0 + 2.0 * b_);
+  if (rng.Bernoulli(flat_mass)) {
+    return rng.Uniform(-b_, 1.0 + b_);
+  }
+  return v + bump_.SampleDensity(-b_, b_, rng);
+}
+
+double GeneralWave::Density(double v, double out) const {
+  assert(v >= 0.0 && v <= 1.0);
+  if (out < -b_ || out > 1.0 + b_) return 0.0;
+  return wave_.Evaluate(out - v);
+}
+
+Matrix GeneralWave::TransitionMatrix(size_t d_in, size_t d_out) const {
+  assert(d_in >= 1 && d_out >= 1);
+  Matrix m(d_out, d_in);
+  const double out_lo = -b_;
+  const double out_width = (1.0 + 2.0 * b_) / static_cast<double>(d_out);
+  const double in_width = 1.0 / static_cast<double>(d_in);
+  for (size_t j = 0; j < d_out; ++j) {
+    const double l = out_lo + static_cast<double>(j) * out_width;
+    const double r = l + out_width;
+    for (size_t i = 0; i < d_in; ++i) {
+      const double a = static_cast<double>(i) * in_width;
+      const double c = a + in_width;
+      m(j, i) = wave_.RectangleConvolutionIntegral(l, r, a, c) / in_width;
+    }
+  }
+  return m;
+}
+
+std::vector<uint64_t> GeneralWave::BucketizeReports(
+    const std::vector<double>& reports, size_t d_out) const {
+  std::vector<uint64_t> counts(d_out, 0);
+  const double lo = -b_;
+  const double span = 1.0 + 2.0 * b_;
+  for (double r : reports) {
+    double t = (r - lo) / span;
+    t = std::min(std::max(t, 0.0), 1.0);
+    size_t j = static_cast<size_t>(t * static_cast<double>(d_out));
+    if (j >= d_out) j = d_out - 1;
+    ++counts[j];
+  }
+  return counts;
+}
+
+}  // namespace numdist

@@ -1,0 +1,69 @@
+// The General Wave (GW) mechanism family (paper §5.1): output density is a
+// shifted wave W(out - v) with W == q outside [-b, b] and q <= W <= e^eps q
+// inside. This implementation covers all symmetric piecewise-linear waves —
+// triangle (top_ratio = 0) through trapezoids (0 < top_ratio < 1). The
+// square wave (top_ratio = 1, a discontinuous density) has its own exact
+// implementation in square_wave.h; together they cover the shape study of
+// §6.4 / Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/piecewise_linear.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// \brief Trapezoid/triangle General Wave mechanism on [0,1] -> [-b, 1+b].
+///
+/// For a given top/bottom ratio r, the wave rises linearly from q at |z| = b
+/// to the plateau e^eps q over |z| <= r b. The baseline
+/// q = 1 / (1 + 2b + (e^eps - 1) b (1 + r)) makes the density integrate to 1;
+/// as r -> 1 this converges to the Square Wave's q = 1/(2b e^eps + 1).
+class GeneralWave {
+ public:
+  /// Creates the mechanism. Requires epsilon > 0, 0 < b <= 1 (b < 0 selects
+  /// the SW-optimal b*(eps)), and 0 <= top_ratio < 1.
+  static Result<GeneralWave> Make(double epsilon, double b, double top_ratio);
+
+  /// Randomizes one value (client side). Requires v in [0, 1].
+  double Perturb(double v, Rng& rng) const;
+
+  /// Exact output density M_v(out) (0 outside [-b, 1+b]).
+  double Density(double v, double out) const;
+
+  /// Transition matrix M (d_out x d_in), columns summing to 1; exact via the
+  /// wave's second antiderivative. This is the EM observation model.
+  Matrix TransitionMatrix(size_t d_in, size_t d_out) const;
+
+  /// Buckets raw reports into d_out equal bins over [-b, 1+b].
+  std::vector<uint64_t> BucketizeReports(const std::vector<double>& reports,
+                                         size_t d_out) const;
+
+  double epsilon() const { return epsilon_; }
+  double b() const { return b_; }
+  double top_ratio() const { return top_ratio_; }
+  /// Baseline (far-region) density.
+  double q() const { return q_; }
+  /// Plateau density (= e^eps q).
+  double peak() const { return peak_; }
+  /// The wave function W over [-(1+b), 1+b] (exposed for tests).
+  const PiecewiseLinear& wave() const { return wave_; }
+
+ private:
+  GeneralWave(double epsilon, double b, double top_ratio, PiecewiseLinear wave,
+              PiecewiseLinear bump);
+
+  double epsilon_;
+  double b_;
+  double top_ratio_;
+  double q_;
+  double peak_;
+  PiecewiseLinear wave_;  // W(z) over [-(1+b), 1+b]
+  PiecewiseLinear bump_;  // W(z) - q over [-b, b], the non-flat part
+};
+
+}  // namespace numdist

@@ -1,0 +1,121 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+namespace {
+
+const std::vector<DatasetSpec> kSpecs = {
+    {DatasetId::kBeta, "beta", 256, 100000},
+    {DatasetId::kTaxi, "taxi", 1024, 2189968},
+    {DatasetId::kIncome, "income", 1024, 2308374},
+    {DatasetId::kRetirement, "retirement", 1024, 178012},
+};
+
+// Truncated-Gaussian draw on [0, 1] by rejection (acceptance is high for the
+// component parameters used below).
+double TruncGaussian(double mean, double stddev, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = mean + stddev * rng.Gaussian();
+    if (v >= 0.0 && v < 1.0) return v;
+  }
+  return std::clamp(mean, 0.0, 1.0 - 1e-12);
+}
+
+// Taxi pickup time-of-day stand-in: deep overnight trough, morning commute
+// bump, broad midday plateau, tall evening peak — the qualitative shape of
+// the NYC TLC Jan-2018 pickup histogram (smooth, multimodal).
+double SampleTaxi(Rng& rng) {
+  const double u = rng.Uniform();
+  if (u < 0.18) return TruncGaussian(0.36, 0.055, rng);   // morning rush
+  if (u < 0.55) return TruncGaussian(0.76, 0.085, rng);   // evening peak
+  if (u < 0.80) return TruncGaussian(0.55, 0.14, rng);    // midday plateau
+  if (u < 0.92) return rng.Uniform();                     // background
+  return TruncGaussian(0.08, 0.05, rng);                  // late night
+}
+
+// Income stand-in: log-normal body clipped to [0, 2^19) dollars, with a
+// large fraction of reports snapped to round numbers — the spikiness the
+// paper highlights ("people report $3000, not $3050").
+double SampleIncome(Rng& rng) {
+  constexpr double kClip = 524288.0;  // 2^19, as in the paper
+  double dollars;
+  do {
+    dollars = std::exp(10.7 + 0.75 * rng.Gaussian());
+  } while (dollars >= kClip);
+  const double u = rng.Uniform();
+  if (u < 0.35) {
+    dollars = std::round(dollars / 1000.0) * 1000.0;  // nearest $1000
+  } else if (u < 0.50) {
+    dollars = std::round(dollars / 500.0) * 500.0;    // nearest $500
+  } else if (u < 0.60) {
+    dollars = std::round(dollars / 100.0) * 100.0;    // nearest $100
+  }
+  return std::min(dollars, kClip - 1.0) / kClip;
+}
+
+// Retirement stand-in: right-skewed gamma body over [0, 60000) with a small
+// near-zero component (plan members with minimal benefits), matching the
+// smooth skewed shape of Fig 1(d).
+double SampleRetirement(Rng& rng) {
+  constexpr double kClip = 60000.0;
+  double dollars;
+  const double u = rng.Uniform();
+  do {
+    if (u < 0.25) {
+      dollars = 2500.0 * rng.Gamma(1.2);  // small-benefit mass near zero
+    } else {
+      dollars = 5200.0 * rng.Gamma(3.5);  // main body, mode ~ $13k
+    }
+  } while (dollars >= kClip);
+  return dollars / kClip;
+}
+
+}  // namespace
+
+const DatasetSpec& GetDatasetSpec(DatasetId id) {
+  for (const DatasetSpec& spec : kSpecs) {
+    if (spec.id == id) return spec;
+  }
+  assert(false && "unknown dataset id");
+  return kSpecs[0];
+}
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() { return kSpecs; }
+
+std::vector<double> GenerateDataset(DatasetId id, size_t n, Rng& rng) {
+  std::vector<double> values;
+  values.reserve(n);
+  switch (id) {
+    case DatasetId::kBeta:
+      for (size_t i = 0; i < n; ++i) {
+        values.push_back(std::min(rng.Beta(5.0, 2.0), 1.0 - 1e-12));
+      }
+      break;
+    case DatasetId::kTaxi:
+      for (size_t i = 0; i < n; ++i) values.push_back(SampleTaxi(rng));
+      break;
+    case DatasetId::kIncome:
+      for (size_t i = 0; i < n; ++i) values.push_back(SampleIncome(rng));
+      break;
+    case DatasetId::kRetirement:
+      for (size_t i = 0; i < n; ++i) values.push_back(SampleRetirement(rng));
+      break;
+  }
+  return values;
+}
+
+bool ParseDatasetId(const std::string& name, DatasetId* out) {
+  for (const DatasetSpec& spec : kSpecs) {
+    if (spec.name == name) {
+      *out = spec.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace numdist

@@ -1,0 +1,47 @@
+// Evaluation datasets (paper §6.1). Beta(5,2) is generated exactly as in the
+// paper. The three real datasets (NYC Taxi pickup times, ACS income, SF
+// retirement) are not redistributable, so seeded synthetic generators
+// reproduce the properties the paper's evaluation depends on — see
+// DESIGN.md §3 "Substitutions" for the mapping and rationale.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace numdist {
+
+/// The four evaluation datasets.
+enum class DatasetId {
+  kBeta,        ///< Beta(5, 2) samples (synthetic in the paper as well).
+  kTaxi,        ///< Taxi pickup time-of-day stand-in: smooth, bimodal.
+  kIncome,      ///< Income stand-in: log-normal with round-number spikes.
+  kRetirement,  ///< Retirement benefits stand-in: right-skewed, smooth.
+};
+
+/// Static description of a dataset.
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;
+  /// Histogram granularity used in the paper's experiments.
+  size_t default_buckets;
+  /// Sample count in the paper's original dataset.
+  size_t paper_n;
+};
+
+/// Spec for one dataset.
+const DatasetSpec& GetDatasetSpec(DatasetId id);
+
+/// All four dataset specs in paper order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Draws `n` samples from the dataset's generative model, each in [0, 1].
+std::vector<double> GenerateDataset(DatasetId id, size_t n, Rng& rng);
+
+/// Parses a dataset name ("beta", "taxi", "income", "retirement");
+/// returns true on success.
+bool ParseDatasetId(const std::string& name, DatasetId* out);
+
+}  // namespace numdist

@@ -1,0 +1,39 @@
+// Loading real numeric datasets from disk. The paper's real datasets (NYC
+// Taxi, ACS income, SF retirement) are single numeric columns; this loader
+// reads such files (one value per line, or a chosen CSV column), applies the
+// paper's preprocessing (filter to [min, max), map to [0, 1]), and returns
+// values ready for any estimator in the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace numdist {
+
+/// Preprocessing applied while loading (mirrors the paper's §6.1 recipes).
+struct LoadOptions {
+  /// Keep only values in [min_value, max_value); the paper clips income to
+  /// [0, 2^19) and retirement to [0, 60000).
+  double min_value = 0.0;
+  double max_value = 1.0;
+  /// Zero-based CSV column to read; 0 with no commas = whole line.
+  size_t column = 0;
+  /// CSV field separator.
+  char delimiter = ',';
+  /// Skip the first line (header).
+  bool skip_header = false;
+};
+
+/// Parses numeric values from `text` (file contents), filters to
+/// [min_value, max_value), and maps them affinely onto [0, 1). Non-numeric
+/// rows are skipped; returns an error if nothing survives.
+Result<std::vector<double>> ParseNumericColumn(const std::string& text,
+                                               const LoadOptions& options);
+
+/// Reads `path` and applies ParseNumericColumn.
+Result<std::vector<double>> LoadNumericFile(const std::string& path,
+                                            const LoadOptions& options);
+
+}  // namespace numdist

@@ -1,0 +1,236 @@
+#include "eval/method.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "common/histogram.h"
+#include "core/sw_estimator.h"
+#include "fo/adaptive.h"
+#include "hierarchy/admm.h"
+#include "hierarchy/constrained.h"
+#include "hierarchy/haar.h"
+#include "hierarchy/hh.h"
+#include "hierarchy/tree.h"
+#include "metrics/queries.h"
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+
+namespace {
+
+// Range query backed by a reconstructed distribution histogram.
+std::function<double(double, double)> DistributionRangeQuery(
+    std::vector<double> dist) {
+  return [dist = std::move(dist)](double lo, double alpha) {
+    return RangeQuery(dist, lo, alpha);
+  };
+}
+
+class SwMethod final : public DistributionMethod {
+ public:
+  explicit SwMethod(SwEstimatorOptions::Post post)
+      : post_(post), name_(post == SwEstimatorOptions::Post::kEms ? "SW-EMS"
+                                                                  : "SW-EM") {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return true; }
+
+  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
+                           size_t d, Rng& rng) const override {
+    SwEstimatorOptions options;
+    options.epsilon = epsilon;
+    options.d = d;
+    options.post = post_;
+    Result<SwEstimator> est = SwEstimator::Make(options);
+    if (!est.ok()) return est.status();
+    Result<std::vector<double>> dist = est->EstimateDistribution(values, rng);
+    if (!dist.ok()) return dist.status();
+    MethodOutput out;
+    out.distribution = std::move(dist).value();
+    out.range_query = DistributionRangeQuery(out.distribution);
+    return out;
+  }
+
+ private:
+  SwEstimatorOptions::Post post_;
+  std::string name_;
+};
+
+class CfoBinningMethod final : public DistributionMethod {
+ public:
+  explicit CfoBinningMethod(size_t bins)
+      : bins_(bins), name_("CFO-bin-" + std::to_string(bins)) {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return true; }
+
+  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
+                           size_t d, Rng& rng) const override {
+    if (bins_ == 0 || d % bins_ != 0) {
+      return Status::InvalidArgument(
+          "CFO binning: bins must divide the reconstruction granularity");
+    }
+    Result<AdaptiveFo> fo = AdaptiveFo::Make(epsilon, bins_);
+    if (!fo.ok()) return fo.status();
+    std::vector<uint32_t> binned;
+    binned.reserve(values.size());
+    for (double v : values) {
+      binned.push_back(static_cast<uint32_t>(hist::BucketOf(v, bins_)));
+    }
+    const std::vector<double> noisy = fo->Run(binned, rng);
+    const std::vector<double> clean = NormSub(noisy, 1.0);
+    // Expand to d buckets assuming a uniform distribution within each bin.
+    const size_t chunk = d / bins_;
+    MethodOutput out;
+    out.distribution.resize(d);
+    for (size_t c = 0; c < bins_; ++c) {
+      const double share = clean[c] / static_cast<double>(chunk);
+      for (size_t j = 0; j < chunk; ++j) {
+        out.distribution[c * chunk + j] = share;
+      }
+    }
+    out.range_query = DistributionRangeQuery(out.distribution);
+    return out;
+  }
+
+ private:
+  size_t bins_;
+  std::string name_;
+};
+
+class HhMethod final : public DistributionMethod {
+ public:
+  explicit HhMethod(size_t beta) : beta_(beta), name_("HH") {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return false; }
+
+  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
+                           size_t d, Rng& rng) const override {
+    Result<HhProtocol> protocol = HhProtocol::Make(epsilon, d, beta_);
+    if (!protocol.ok()) return protocol.status();
+    std::vector<uint32_t> leaves;
+    leaves.reserve(values.size());
+    for (double v : values) {
+      leaves.push_back(static_cast<uint32_t>(hist::BucketOf(v, d)));
+    }
+    std::vector<double> nodes = protocol->CollectNodeEstimates(leaves, rng);
+    nodes = ConstrainedInference(protocol->tree(), nodes, /*fix_root=*/true);
+    MethodOutput out;
+    // HH's estimates contain negatives: no valid distribution (Table 2);
+    // range queries go straight to the consistent tree.
+    auto tree = std::make_shared<HierarchyTree>(protocol->tree());
+    out.range_query = [tree, nodes = std::move(nodes)](double lo,
+                                                       double alpha) {
+      return TreeRangeQueryContinuous(*tree, nodes, lo, lo + alpha);
+    };
+    return out;
+  }
+
+ private:
+  size_t beta_;
+  std::string name_;
+};
+
+class HaarHrrMethod final : public DistributionMethod {
+ public:
+  HaarHrrMethod() : name_("HaarHRR") {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return false; }
+
+  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
+                           size_t d, Rng& rng) const override {
+    Result<HaarHrrProtocol> protocol = HaarHrrProtocol::Make(epsilon, d);
+    if (!protocol.ok()) return protocol.status();
+    std::vector<uint32_t> leaves;
+    leaves.reserve(values.size());
+    for (double v : values) {
+      leaves.push_back(static_cast<uint32_t>(hist::BucketOf(v, d)));
+    }
+    std::vector<double> nodes = protocol->CollectNodeEstimates(leaves, rng);
+    MethodOutput out;
+    auto tree = std::make_shared<HierarchyTree>(protocol->tree());
+    out.range_query = [tree, nodes = std::move(nodes)](double lo,
+                                                       double alpha) {
+      return TreeRangeQueryContinuous(*tree, nodes, lo, lo + alpha);
+    };
+    return out;
+  }
+
+ private:
+  std::string name_;
+};
+
+class HhAdmmMethod final : public DistributionMethod {
+ public:
+  explicit HhAdmmMethod(size_t beta) : beta_(beta), name_("HH-ADMM") {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return true; }
+
+  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
+                           size_t d, Rng& rng) const override {
+    Result<HhProtocol> protocol = HhProtocol::Make(epsilon, d, beta_);
+    if (!protocol.ok()) return protocol.status();
+    std::vector<uint32_t> leaves;
+    leaves.reserve(values.size());
+    for (double v : values) {
+      leaves.push_back(static_cast<uint32_t>(hist::BucketOf(v, d)));
+    }
+    const std::vector<double> nodes =
+        protocol->CollectNodeEstimates(leaves, rng);
+    Result<AdmmResult> admm = HhAdmm(protocol->tree(), nodes);
+    if (!admm.ok()) return admm.status();
+    MethodOutput out;
+    out.distribution = std::move(admm).value().distribution;
+    out.range_query = DistributionRangeQuery(out.distribution);
+    return out;
+  }
+
+ private:
+  size_t beta_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<DistributionMethod> MakeSwEmsMethod() {
+  return std::make_unique<SwMethod>(SwEstimatorOptions::Post::kEms);
+}
+
+std::unique_ptr<DistributionMethod> MakeSwEmMethod() {
+  return std::make_unique<SwMethod>(SwEstimatorOptions::Post::kEm);
+}
+
+std::unique_ptr<DistributionMethod> MakeCfoBinningMethod(size_t bins) {
+  return std::make_unique<CfoBinningMethod>(bins);
+}
+
+std::unique_ptr<DistributionMethod> MakeHhMethod(size_t beta) {
+  return std::make_unique<HhMethod>(beta);
+}
+
+std::unique_ptr<DistributionMethod> MakeHaarHrrMethod() {
+  return std::make_unique<HaarHrrMethod>();
+}
+
+std::unique_ptr<DistributionMethod> MakeHhAdmmMethod(size_t beta) {
+  return std::make_unique<HhAdmmMethod>(beta);
+}
+
+std::vector<std::unique_ptr<DistributionMethod>> MakeStandardSuite() {
+  std::vector<std::unique_ptr<DistributionMethod>> suite;
+  suite.push_back(MakeSwEmsMethod());
+  suite.push_back(MakeSwEmMethod());
+  suite.push_back(MakeHhAdmmMethod());
+  suite.push_back(MakeCfoBinningMethod(16));
+  suite.push_back(MakeCfoBinningMethod(32));
+  suite.push_back(MakeCfoBinningMethod(64));
+  suite.push_back(MakeHhMethod());
+  suite.push_back(MakeHaarHrrMethod());
+  return suite;
+}
+
+}  // namespace numdist

@@ -1,0 +1,65 @@
+// Method registry for the paper's evaluation (Table 2): every competitor is
+// wrapped behind one interface so the experiment runner and the per-figure
+// benches can sweep them uniformly.
+//
+//   SW-EMS / SW-EM      (this paper, §5)        -> distribution + all metrics
+//   HH-ADMM             (this paper, §4.3)      -> distribution + all metrics
+//   CFO binning c=16/32/64 (§4.1)               -> distribution + all metrics
+//   HH, HaarHRR         ([18], §4.2)            -> range queries only
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// What one protocol run produces.
+struct MethodOutput {
+  /// Reconstructed d-bucket distribution over [0,1]. Empty when the method
+  /// cannot produce a valid distribution (HH, HaarHRR — their estimates
+  /// contain negatives and are evaluated on range queries only, per Table 2).
+  std::vector<double> distribution;
+  /// Answers R(lo, alpha) = mass of [lo, lo+alpha]. Always callable; for
+  /// hierarchy methods this queries the tree directly.
+  std::function<double(double lo, double alpha)> range_query;
+};
+
+/// \brief A distribution-estimation protocol under evaluation.
+class DistributionMethod {
+ public:
+  virtual ~DistributionMethod() = default;
+  /// Display name, e.g. "SW-EMS", "CFO-bin-32".
+  virtual const std::string& name() const = 0;
+  /// True iff Run() fills MethodOutput::distribution.
+  virtual bool yields_distribution() const = 0;
+  /// Executes the full protocol (client perturbation + server estimation)
+  /// on raw values in [0,1], reconstructing at granularity d.
+  virtual Result<MethodOutput> Run(const std::vector<double>& values,
+                                   double epsilon, size_t d,
+                                   Rng& rng) const = 0;
+};
+
+/// SW reporting + EMS reconstruction (the paper's headline method).
+std::unique_ptr<DistributionMethod> MakeSwEmsMethod();
+/// SW reporting + plain EM reconstruction.
+std::unique_ptr<DistributionMethod> MakeSwEmMethod();
+/// CFO (adaptive GRR/OLH) on `bins` chunks + Norm-Sub + uniform expansion.
+/// Requires bins to divide the reconstruction granularity d.
+std::unique_ptr<DistributionMethod> MakeCfoBinningMethod(size_t bins);
+/// Hierarchical histogram with constrained inference (range queries only).
+std::unique_ptr<DistributionMethod> MakeHhMethod(size_t beta = 4);
+/// Haar wavelet + HRR (range queries only).
+std::unique_ptr<DistributionMethod> MakeHaarHrrMethod();
+/// Hierarchical histogram post-processed with ADMM (this paper).
+std::unique_ptr<DistributionMethod> MakeHhAdmmMethod(size_t beta = 4);
+
+/// The full suite evaluated in the paper's figures, in display order:
+/// SW-EMS, SW-EM, HH-ADMM, CFO-bin-16/32/64, HH, HaarHRR.
+std::vector<std::unique_ptr<DistributionMethod>> MakeStandardSuite();
+
+}  // namespace numdist

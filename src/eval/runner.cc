@@ -1,0 +1,149 @@
+#include "eval/runner.h"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/histogram.h"
+#include "metrics/distance.h"
+#include "metrics/queries.h"
+
+namespace numdist {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// Range-query MAE against a callable estimator (shared query points come
+// from the caller's rng so truth and estimate see identical queries).
+double RangeMaeAgainst(const std::vector<double>& truth,
+                       const std::function<double(double, double)>& est,
+                       double alpha, size_t num_queries, Rng& rng) {
+  double acc = 0.0;
+  for (size_t k = 0; k < num_queries; ++k) {
+    const double lo = rng.Uniform() * (1.0 - alpha);
+    acc += std::fabs(RangeQuery(truth, lo, alpha) - est(lo, alpha));
+  }
+  return acc / static_cast<double>(num_queries);
+}
+
+TrialMetrics EvaluateTrial(const MethodOutput& output,
+                           const GroundTruth& truth,
+                           const RunnerOptions& opts, Rng& rng) {
+  TrialMetrics m;
+  m.range_small = RangeMaeAgainst(truth.histogram, output.range_query,
+                                  opts.alpha_small, opts.range_queries, rng);
+  m.range_large = RangeMaeAgainst(truth.histogram, output.range_query,
+                                  opts.alpha_large, opts.range_queries, rng);
+  if (!output.distribution.empty()) {
+    m.wasserstein = WassersteinDistance(truth.histogram, output.distribution);
+    m.ks = KsDistance(truth.histogram, output.distribution);
+    m.mean_err = std::fabs(truth.mean - HistMean(output.distribution));
+    m.variance_err =
+        std::fabs(truth.variance - HistVariance(output.distribution));
+    m.quantile_err = QuantileMae(truth.histogram, output.distribution);
+  } else {
+    m.wasserstein = kNan;
+    m.ks = kNan;
+    m.mean_err = kNan;
+    m.variance_err = kNan;
+    m.quantile_err = kNan;
+  }
+  return m;
+}
+
+// Field-wise accumulation helpers (kept local; TrialMetrics is a plain
+// record of doubles).
+template <typename F>
+void ForEachField(TrialMetrics& a, const TrialMetrics& b, F&& f) {
+  f(a.wasserstein, b.wasserstein);
+  f(a.ks, b.ks);
+  f(a.range_small, b.range_small);
+  f(a.range_large, b.range_large);
+  f(a.mean_err, b.mean_err);
+  f(a.variance_err, b.variance_err);
+  f(a.quantile_err, b.quantile_err);
+}
+
+}  // namespace
+
+GroundTruth ComputeGroundTruth(const std::vector<double>& values, size_t d) {
+  GroundTruth truth;
+  truth.histogram = hist::FromSamples(values, d);
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  truth.mean = mean;
+  truth.variance = var;
+  return truth;
+}
+
+Result<AggregateMetrics> RunTrials(const DistributionMethod& method,
+                                   const std::vector<double>& values,
+                                   const GroundTruth& truth, double epsilon,
+                                   size_t d, const RunnerOptions& opts) {
+  if (opts.trials == 0) {
+    return Status::InvalidArgument("RunTrials: trials must be > 0");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("RunTrials: empty dataset");
+  }
+
+  std::vector<TrialMetrics> metrics(opts.trials);
+  std::vector<Status> failures(opts.trials, Status::OK());
+  size_t threads = opts.threads == 0
+                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                       : opts.threads;
+  threads = std::min(threads, opts.trials);
+
+  const auto worker = [&](size_t worker_id) {
+    for (size_t t = worker_id; t < opts.trials; t += threads) {
+      // Independent, reproducible stream per trial.
+      Rng rng(SplitMix64(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1))));
+      Result<MethodOutput> out = method.Run(values, epsilon, d, rng);
+      if (!out.ok()) {
+        failures[t] = out.status();
+        continue;
+      }
+      Rng query_rng(SplitMix64(opts.seed + 0x51ed2701 + t));
+      metrics[t] = EvaluateTrial(out.value(), truth, opts, query_rng);
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (std::thread& th : pool) th.join();
+  }
+
+  for (const Status& st : failures) {
+    if (!st.ok()) return st;
+  }
+
+  AggregateMetrics agg;
+  agg.trials = opts.trials;
+  for (const TrialMetrics& m : metrics) {
+    ForEachField(agg.mean, m, [](double& a, double b) { a += b; });
+  }
+  const double inv = 1.0 / static_cast<double>(opts.trials);
+  ForEachField(agg.mean, agg.mean, [&](double& a, double) { a *= inv; });
+  for (const TrialMetrics& m : metrics) {
+    TrialMetrics diff = m;
+    ForEachField(diff, agg.mean, [](double& a, double b) {
+      const double delta = a - b;
+      a = delta * delta;
+    });
+    ForEachField(agg.stddev, diff, [](double& a, double b) { a += b; });
+  }
+  ForEachField(agg.stddev, agg.stddev,
+               [&](double& a, double) { a = std::sqrt(a * inv); });
+  return agg;
+}
+
+}  // namespace numdist

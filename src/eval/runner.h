@@ -1,0 +1,63 @@
+// Experiment runner: repeats (method x dataset x epsilon) trials with
+// independent seeds, multithreaded, and aggregates every §3 utility metric.
+// All figure benches are thin loops over RunTrials.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/method.h"
+
+namespace numdist {
+
+/// All §3 metrics for one trial. Distribution metrics are NaN when the
+/// method yields no valid distribution (HH, HaarHRR).
+struct TrialMetrics {
+  double wasserstein = 0.0;
+  double ks = 0.0;
+  double range_small = 0.0;   ///< MAE of random range queries, alpha small
+  double range_large = 0.0;   ///< MAE of random range queries, alpha large
+  double mean_err = 0.0;      ///< |mu - mu^|
+  double variance_err = 0.0;  ///< |sigma^2 - sigma^2^|
+  double quantile_err = 0.0;  ///< mean |Q(beta) - Q^(beta)| over deciles
+};
+
+/// Mean and standard deviation of metrics across trials.
+struct AggregateMetrics {
+  TrialMetrics mean;
+  TrialMetrics stddev;
+  size_t trials = 0;
+};
+
+/// Trial-loop configuration.
+struct RunnerOptions {
+  size_t trials = 5;
+  uint64_t seed = 42;
+  /// Worker threads; 0 = hardware concurrency.
+  size_t threads = 0;
+  double alpha_small = 0.1;
+  double alpha_large = 0.4;
+  /// Random range queries per trial per alpha.
+  size_t range_queries = 200;
+};
+
+/// Ground truth for an experiment: the dataset's exact histogram and moments.
+struct GroundTruth {
+  std::vector<double> histogram;  // d buckets
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Computes the exact ground truth for `values` at granularity d
+/// (moments from the raw values, not the histogram).
+GroundTruth ComputeGroundTruth(const std::vector<double>& values, size_t d);
+
+/// Runs `opts.trials` independent executions of `method` and aggregates the
+/// metrics against the ground truth. Deterministic for a fixed seed.
+Result<AggregateMetrics> RunTrials(const DistributionMethod& method,
+                                   const std::vector<double>& values,
+                                   const GroundTruth& truth, double epsilon,
+                                   size_t d, const RunnerOptions& opts);
+
+}  // namespace numdist

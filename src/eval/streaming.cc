@@ -1,0 +1,50 @@
+#include "eval/streaming.h"
+
+#include <utility>
+
+namespace numdist {
+
+Result<StreamingAggregator> StreamingAggregator::Make(
+    const SwEstimatorOptions& options) {
+  Result<SwEstimator> estimator = SwEstimator::Make(options);
+  if (!estimator.ok()) return estimator.status();
+  return StreamingAggregator(std::move(estimator).value());
+}
+
+StreamingAggregator::StreamingAggregator(SwEstimator estimator)
+    : estimator_(std::move(estimator)),
+      counts_(estimator_.output_buckets(), 0) {}
+
+void StreamingAggregator::Accept(double report) {
+  // Reuse the estimator's bucketization for a single report.
+  const std::vector<uint64_t> one =
+      estimator_.Aggregate(std::vector<double>{report});
+  for (size_t j = 0; j < counts_.size(); ++j) counts_[j] += one[j];
+  ++count_;
+}
+
+void StreamingAggregator::AcceptBatch(const std::vector<double>& reports) {
+  const std::vector<uint64_t> batch = estimator_.Aggregate(reports);
+  for (size_t j = 0; j < counts_.size(); ++j) counts_[j] += batch[j];
+  count_ += reports.size();
+}
+
+Status StreamingAggregator::Merge(const StreamingAggregator& other) {
+  if (other.counts_.size() != counts_.size()) {
+    return Status::InvalidArgument(
+        "StreamingAggregator: shard bucket counts differ");
+  }
+  for (size_t j = 0; j < counts_.size(); ++j) counts_[j] += other.counts_[j];
+  count_ += other.count_;
+  return Status::OK();
+}
+
+Result<EmResult> StreamingAggregator::Snapshot() const {
+  if (count_ == 0) {
+    return Status::FailedPrecondition(
+        "StreamingAggregator: no reports ingested");
+  }
+  return estimator_.Reconstruct(counts_);
+}
+
+}  // namespace numdist

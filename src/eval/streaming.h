@@ -1,0 +1,56 @@
+// Streaming server-side aggregation for SW collection.
+//
+// A deployment does not hold all raw reports in memory: reports arrive one
+// at a time (possibly at several collector shards) and only the per-bucket
+// counts are kept. StreamingAggregator is that server: O(1) per report,
+// O(d~) state, shards merge by count addition, and the distribution can be
+// reconstructed (EM/EMS) at any point without stopping ingestion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sw_estimator.h"
+
+namespace numdist {
+
+/// \brief Incremental report sink + on-demand reconstruction.
+class StreamingAggregator {
+ public:
+  /// Builds an aggregator for the given estimator configuration.
+  static Result<StreamingAggregator> Make(const SwEstimatorOptions& options);
+
+  /// Ingests one client report (the value returned by
+  /// SwEstimator::PerturbOne on the client). O(1).
+  void Accept(double report);
+
+  /// Ingests a batch of reports.
+  void AcceptBatch(const std::vector<double>& reports);
+
+  /// Merges another shard's counts into this one. The shards must have been
+  /// created with identical options (checked: same bucket count).
+  Status Merge(const StreamingAggregator& other);
+
+  /// Reports ingested so far.
+  uint64_t count() const { return count_; }
+
+  /// Current per-bucket report counts (size = output buckets).
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Reconstructs the input distribution from the counts seen so far.
+  /// Requires count() > 0. Does not modify the aggregator.
+  Result<EmResult> Snapshot() const;
+
+  /// The underlying estimator (for clients: PerturbOne lives here).
+  const SwEstimator& estimator() const { return estimator_; }
+
+ private:
+  explicit StreamingAggregator(SwEstimator estimator);
+
+  SwEstimator estimator_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace numdist

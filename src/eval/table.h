@@ -1,0 +1,39 @@
+// Result-table rendering for the benches: aligned human-readable tables and
+// machine-readable CSV on the same data.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace numdist {
+
+/// \brief Collects rows of string cells and renders them aligned or as CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing trailing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as CSV (header row first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double in compact scientific form ("1.234e-02"); NaN -> "-".
+std::string FormatSci(double v);
+
+/// Formats a double with `digits` significant digits; NaN -> "-".
+std::string FormatG(double v, int digits = 4);
+
+}  // namespace numdist

@@ -1,0 +1,46 @@
+#include "fo/adaptive.h"
+
+#include <cmath>
+#include <utility>
+
+namespace numdist {
+
+Result<AdaptiveFo> AdaptiveFo::Make(double epsilon, size_t domain) {
+  Result<Grr> grr = Grr::Make(epsilon, domain);
+  if (!grr.ok()) return grr.status();
+  Result<Olh> olh = Olh::Make(epsilon, domain);
+  if (!olh.ok()) return olh.status();
+  const bool use_grr =
+      static_cast<double>(domain) - 2.0 < 3.0 * std::exp(epsilon);
+  return AdaptiveFo(epsilon, domain, use_grr, std::move(grr).value(),
+                    std::move(olh).value());
+}
+
+AdaptiveFo::AdaptiveFo(double epsilon, size_t domain, bool use_grr, Grr grr,
+                       Olh olh)
+    : epsilon_(epsilon),
+      domain_(domain),
+      use_grr_(use_grr),
+      grr_(std::move(grr)),
+      olh_(std::move(olh)) {}
+
+std::vector<double> AdaptiveFo::Run(const std::vector<uint32_t>& values,
+                                    Rng& rng) const {
+  if (use_grr_) {
+    std::vector<uint64_t> counts(domain_, 0);
+    for (uint32_t v : values) ++counts[grr_.Perturb(v, rng)];
+    return grr_.EstimateFromCounts(counts, values.size());
+  }
+  std::vector<OlhReport> reports;
+  reports.reserve(values.size());
+  for (uint32_t v : values) reports.push_back(olh_.Perturb(v, rng));
+  return olh_.Estimate(reports);
+}
+
+double AdaptiveFo::VariancePerEstimate(size_t n) const {
+  if (n == 0) return 0.0;
+  return use_grr_ ? Grr::Variance(epsilon_, domain_, n)
+                  : Olh::Variance(epsilon_, n);
+}
+
+}  // namespace numdist

@@ -1,0 +1,47 @@
+// Adaptive categorical frequency oracle: picks GRR or OLH per (epsilon, d)
+// by comparing their analytical variances (paper §2.1: GRR wins iff
+// d - 2 < 3 e^eps). This is the FO used by CFO-with-binning and by each
+// layer of the hierarchical histogram.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "fo/grr.h"
+#include "fo/olh.h"
+
+namespace numdist {
+
+/// \brief Variance-adaptive frequency oracle (GRR for small domains, OLH for
+/// large ones), with a one-shot perturb-and-estimate pipeline.
+class AdaptiveFo {
+ public:
+  /// Creates the adaptive oracle. Requires epsilon > 0 and domain >= 2.
+  static Result<AdaptiveFo> Make(double epsilon, size_t domain);
+
+  /// True iff GRR was selected (d - 2 < 3 e^eps).
+  bool uses_grr() const { return use_grr_; }
+
+  /// Perturbs every value and returns unbiased frequency estimates.
+  /// `values` are in {0..domain-1}. Estimates may be negative.
+  std::vector<double> Run(const std::vector<uint32_t>& values, Rng& rng) const;
+
+  /// Analytical per-estimate variance of the selected protocol for n users.
+  double VariancePerEstimate(size_t n) const;
+
+  double epsilon() const { return epsilon_; }
+  size_t domain() const { return domain_; }
+
+ private:
+  AdaptiveFo(double epsilon, size_t domain, bool use_grr, Grr grr, Olh olh);
+
+  double epsilon_;
+  size_t domain_;
+  bool use_grr_;
+  Grr grr_;
+  Olh olh_;
+};
+
+}  // namespace numdist

@@ -1,0 +1,63 @@
+#include "fo/grr.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+Result<Grr> Grr::Make(double epsilon, size_t domain) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("GRR: epsilon must be positive and finite");
+  }
+  if (domain < 2) {
+    return Status::InvalidArgument("GRR: domain size must be >= 2");
+  }
+  if (domain > (1ULL << 31)) {
+    return Status::InvalidArgument("GRR: domain too large");
+  }
+  return Grr(epsilon, domain);
+}
+
+Grr::Grr(double epsilon, size_t domain) : epsilon_(epsilon), domain_(domain) {
+  const double e = std::exp(epsilon);
+  p_ = e / (e + static_cast<double>(domain) - 1.0);
+  q_ = 1.0 / (e + static_cast<double>(domain) - 1.0);
+}
+
+uint32_t Grr::Perturb(uint32_t v, Rng& rng) const {
+  assert(v < domain_);
+  if (rng.Bernoulli(p_)) return v;
+  // Uniform over the d-1 other values: draw from [0, d-1) and skip v.
+  uint32_t r = static_cast<uint32_t>(rng.UniformInt(domain_ - 1));
+  return (r >= v) ? r + 1 : r;
+}
+
+std::vector<double> Grr::Estimate(const std::vector<uint32_t>& reports) const {
+  std::vector<uint64_t> counts(domain_, 0);
+  for (uint32_t r : reports) {
+    assert(r < domain_);
+    ++counts[r];
+  }
+  return EstimateFromCounts(counts, reports.size());
+}
+
+std::vector<double> Grr::EstimateFromCounts(
+    const std::vector<uint64_t>& counts, size_t n) const {
+  assert(counts.size() == domain_);
+  std::vector<double> est(domain_, 0.0);
+  if (n == 0) return est;
+  const double denom = p_ - q_;
+  for (size_t v = 0; v < domain_; ++v) {
+    const double c = static_cast<double>(counts[v]) / static_cast<double>(n);
+    est[v] = (c - q_) / denom;
+  }
+  return est;
+}
+
+double Grr::Variance(double epsilon, size_t domain, size_t n) {
+  const double e = std::exp(epsilon);
+  return (static_cast<double>(domain) - 2.0 + e) /
+         ((e - 1.0) * (e - 1.0) * static_cast<double>(n));
+}
+
+}  // namespace numdist

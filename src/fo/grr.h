@@ -1,0 +1,52 @@
+// Generalized Randomized Response (GRR), the basic categorical frequency
+// oracle (paper §2.1). Reports the true value with probability
+// p = e^eps / (e^eps + d - 1) and any other value with probability
+// q = 1 / (e^eps + d - 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// \brief GRR frequency oracle over the categorical domain {0..d-1}.
+class Grr {
+ public:
+  /// Creates a GRR instance. Requires epsilon > 0 and domain >= 2.
+  static Result<Grr> Make(double epsilon, size_t domain);
+
+  /// Randomizes one value (client side).
+  uint32_t Perturb(uint32_t v, Rng& rng) const;
+
+  /// Unbiased frequency estimates from raw reports (server side).
+  /// Output has `domain` entries; entries may be negative.
+  std::vector<double> Estimate(const std::vector<uint32_t>& reports) const;
+
+  /// Unbiased frequency estimates from a pre-aggregated report histogram.
+  std::vector<double> EstimateFromCounts(const std::vector<uint64_t>& counts,
+                                         size_t n) const;
+
+  /// Per-estimate variance for a frequency near 0: (d-2+e^eps)/((e^eps-1)^2 n)
+  /// (paper Eq. 1).
+  static double Variance(double epsilon, size_t domain, size_t n);
+
+  double epsilon() const { return epsilon_; }
+  size_t domain() const { return domain_; }
+  /// Probability of reporting the true value.
+  double p() const { return p_; }
+  /// Probability of reporting any specific other value.
+  double q() const { return q_; }
+
+ private:
+  Grr(double epsilon, size_t domain);
+
+  double epsilon_;
+  size_t domain_;
+  double p_;
+  double q_;
+};
+
+}  // namespace numdist

@@ -1,0 +1,3 @@
+// Intentionally empty: hash.h is header-only; this TU anchors it in the
+// library so missing-include breakage is caught at library build time.
+#include "fo/hash.h"

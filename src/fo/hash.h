@@ -1,0 +1,37 @@
+// Seeded hash family used by Optimized Local Hashing (OLH).
+//
+// OLH needs a family {H_seed} of hash functions D -> {0..g-1} such that a
+// fresh random seed gives an (approximately) pairwise-independent function.
+// We use splitmix64 over (seed, value), which is the standard choice in
+// LDP reference implementations and passes avalanche tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace numdist {
+
+/// Hash of `value` under the family member identified by `seed`, reduced to
+/// {0..g-1} via the fixed-point multiply (unbiased enough for g << 2^32).
+inline uint32_t OlhHash(uint64_t seed, uint64_t value, uint32_t g) {
+  const uint64_t h = SplitMix64(seed ^ (value * 0x9e3779b97f4a7c15ULL));
+  // Multiply-shift range reduction: maps uniform 64-bit h to [0, g).
+  return static_cast<uint32_t>(
+      (static_cast<__uint128_t>(h) * g) >> 64);
+}
+
+/// Entry (row, col) of the {-1,+1} Hadamard matrix of any power-of-two order:
+/// phi[r][c] = (-1)^{popcount(r & c)}.
+inline int HadamardEntry(uint32_t row, uint32_t col) {
+  return (__builtin_popcount(row & col) & 1) ? -1 : 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+inline uint32_t NextPow2(uint32_t x) {
+  uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace numdist

@@ -1,0 +1,61 @@
+#include "fo/hrr.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fo/hash.h"
+
+namespace numdist {
+
+Result<Hrr> Hrr::Make(double epsilon, size_t domain) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("HRR: epsilon must be positive and finite");
+  }
+  if (domain < 2) {
+    return Status::InvalidArgument("HRR: domain size must be >= 2");
+  }
+  if (domain > (1ULL << 30)) {
+    return Status::InvalidArgument("HRR: domain too large");
+  }
+  return Hrr(epsilon, domain);
+}
+
+Hrr::Hrr(double epsilon, size_t domain)
+    : epsilon_(epsilon),
+      domain_(domain),
+      order_(NextPow2(static_cast<uint32_t>(domain))) {
+  const double e = std::exp(epsilon);
+  p_ = e / (e + 1.0);
+}
+
+HrrReport Hrr::Perturb(uint32_t v, Rng& rng) const {
+  assert(v < domain_);
+  HrrReport report;
+  report.col = static_cast<uint32_t>(rng.UniformInt(order_));
+  const int entry = HadamardEntry(v, report.col);
+  report.bit = static_cast<int8_t>(rng.Bernoulli(p_) ? entry : -entry);
+  return report;
+}
+
+std::vector<double> Hrr::Estimate(const std::vector<HrrReport>& reports) const {
+  std::vector<double> est(domain_, 0.0);
+  const size_t n = reports.size();
+  if (n == 0) return est;
+  // E[phi[t][col] * bit] = (2p - 1) * 1[t == value], by row orthogonality.
+  const double scale = 1.0 / ((2.0 * p_ - 1.0) * static_cast<double>(n));
+  for (const HrrReport& rep : reports) {
+    for (size_t t = 0; t < domain_; ++t) {
+      est[t] += HadamardEntry(static_cast<uint32_t>(t), rep.col) * rep.bit;
+    }
+  }
+  for (double& e : est) e *= scale;
+  return est;
+}
+
+double Hrr::Variance(double epsilon, size_t n) {
+  const double e = std::exp(epsilon);
+  const double r = (e + 1.0) / (e - 1.0);
+  return r * r / static_cast<double>(n);
+}
+
+}  // namespace numdist

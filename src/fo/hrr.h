@@ -1,0 +1,56 @@
+// Hadamard Randomized Response (HRR), the frequency oracle Kulkarni et al.
+// (PVLDB 2019) use inside HaarHRR (paper §4.2). The user's value indexes a
+// row of the {-1,+1} Hadamard matrix; the user samples a uniform column,
+// reads the +-1 entry, flips it with probability 1/(e^eps + 1), and reports
+// (column, bit). Row orthogonality makes the de-biased correlation an
+// unbiased frequency estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// One HRR report: the sampled Hadamard column and the (possibly flipped)
+/// matrix entry.
+struct HrrReport {
+  uint32_t col;
+  int8_t bit;  // -1 or +1
+};
+
+/// \brief Hadamard Randomized Response frequency oracle over {0..d-1}.
+class Hrr {
+ public:
+  /// Creates an HRR instance. Requires epsilon > 0 and 2 <= domain.
+  /// The Hadamard order is the smallest power of two >= domain.
+  static Result<Hrr> Make(double epsilon, size_t domain);
+
+  /// Randomizes one value (client side).
+  HrrReport Perturb(uint32_t v, Rng& rng) const;
+
+  /// Unbiased frequency estimates (server side). O(n * domain) popcounts.
+  std::vector<double> Estimate(const std::vector<HrrReport>& reports) const;
+
+  /// Approximate per-estimate variance ((e^eps+1)/(e^eps-1))^2 / n.
+  static double Variance(double epsilon, size_t n);
+
+  double epsilon() const { return epsilon_; }
+  size_t domain() const { return domain_; }
+  /// Hadamard matrix order (power of two >= domain).
+  uint32_t order() const { return order_; }
+  /// Probability of reporting the entry un-flipped.
+  double p() const { return p_; }
+
+ private:
+  Hrr(double epsilon, size_t domain);
+
+  double epsilon_;
+  size_t domain_;
+  uint32_t order_;
+  double p_;
+};
+
+}  // namespace numdist

@@ -1,0 +1,75 @@
+#include "fo/olh.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fo/hash.h"
+
+namespace numdist {
+
+Result<Olh> Olh::Make(double epsilon, size_t domain, uint32_t g) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("OLH: epsilon must be positive and finite");
+  }
+  if (domain < 2) {
+    return Status::InvalidArgument("OLH: domain size must be >= 2");
+  }
+  if (g == 0) {
+    g = static_cast<uint32_t>(std::lround(std::exp(epsilon))) + 1;
+    if (g < 2) g = 2;
+  }
+  if (g < 2) return Status::InvalidArgument("OLH: g must be >= 2");
+  return Olh(epsilon, domain, g);
+}
+
+Olh::Olh(double epsilon, size_t domain, uint32_t g)
+    : epsilon_(epsilon), domain_(domain), g_(g) {
+  const double e = std::exp(epsilon);
+  p_ = e / (e + static_cast<double>(g) - 1.0);
+}
+
+OlhReport Olh::Perturb(uint32_t v, Rng& rng) const {
+  assert(v < domain_);
+  OlhReport report;
+  report.seed = rng.Next();
+  const uint32_t h = OlhHash(report.seed, v, g_);
+  if (rng.Bernoulli(p_)) {
+    report.y = h;
+  } else {
+    uint32_t r = static_cast<uint32_t>(rng.UniformInt(g_ - 1));
+    report.y = (r >= h) ? r + 1 : r;
+  }
+  return report;
+}
+
+std::vector<uint64_t> Olh::SupportCounts(
+    const std::vector<OlhReport>& reports) const {
+  std::vector<uint64_t> counts(domain_, 0);
+  for (const OlhReport& rep : reports) {
+    for (size_t v = 0; v < domain_; ++v) {
+      if (OlhHash(rep.seed, v, g_) == rep.y) ++counts[v];
+    }
+  }
+  return counts;
+}
+
+std::vector<double> Olh::Estimate(const std::vector<OlhReport>& reports) const {
+  const std::vector<uint64_t> counts = SupportCounts(reports);
+  const size_t n = reports.size();
+  std::vector<double> est(domain_, 0.0);
+  if (n == 0) return est;
+  const double one_over_g = 1.0 / static_cast<double>(g_);
+  const double denom = p_ - one_over_g;
+  for (size_t v = 0; v < domain_; ++v) {
+    const double c = static_cast<double>(counts[v]) / static_cast<double>(n);
+    est[v] = (c - one_over_g) / denom;
+  }
+  return est;
+}
+
+double Olh::Variance(double epsilon, size_t n) {
+  const double e = std::exp(epsilon);
+  return 4.0 * e / ((e - 1.0) * (e - 1.0) * static_cast<double>(n));
+}
+
+}  // namespace numdist

@@ -1,0 +1,58 @@
+// Optimized Local Hashing (OLH), Wang et al. USENIX Security 2017
+// (paper §2.1). Each user hashes the value into a small domain of size
+// g = round(e^eps) + 1 with a private random hash seed, then applies GRR on
+// the hashed value. Variance is ~4 e^eps / ((e^eps - 1)^2 n), independent of
+// the original domain size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// One OLH report: the (public) hash seed and the perturbed hash value.
+struct OlhReport {
+  uint64_t seed;
+  uint32_t y;
+};
+
+/// \brief OLH frequency oracle over the categorical domain {0..d-1}.
+class Olh {
+ public:
+  /// Creates an OLH instance. Requires epsilon > 0 and domain >= 2.
+  /// `g` overrides the hashed-domain size; 0 selects the variance-optimal
+  /// g = round(e^eps) + 1 (clamped to >= 2).
+  static Result<Olh> Make(double epsilon, size_t domain, uint32_t g = 0);
+
+  /// Randomizes one value (client side): fresh seed + GRR on the hash.
+  OlhReport Perturb(uint32_t v, Rng& rng) const;
+
+  /// Unbiased frequency estimates (server side). O(n * domain) hashing.
+  std::vector<double> Estimate(const std::vector<OlhReport>& reports) const;
+
+  /// Support counts C(v) = |{j : H_j(v) == y_j}| (exposed for tests).
+  std::vector<uint64_t> SupportCounts(
+      const std::vector<OlhReport>& reports) const;
+
+  /// Approximate per-estimate variance 4 e^eps / ((e^eps - 1)^2 n).
+  static double Variance(double epsilon, size_t n);
+
+  double epsilon() const { return epsilon_; }
+  size_t domain() const { return domain_; }
+  uint32_t g() const { return g_; }
+  /// GRR retain probability on the hashed domain.
+  double p() const { return p_; }
+
+ private:
+  Olh(double epsilon, size_t domain, uint32_t g);
+
+  double epsilon_;
+  size_t domain_;
+  uint32_t g_;
+  double p_;
+};
+
+}  // namespace numdist

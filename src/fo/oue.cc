@@ -1,0 +1,66 @@
+#include "fo/oue.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+Result<Oue> Oue::Make(double epsilon, size_t domain) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("OUE: epsilon must be positive and finite");
+  }
+  if (domain < 2) {
+    return Status::InvalidArgument("OUE: domain size must be >= 2");
+  }
+  return Oue(epsilon, domain);
+}
+
+Oue::Oue(double epsilon, size_t domain)
+    : epsilon_(epsilon), domain_(domain) {
+  q_ = 1.0 / (std::exp(epsilon) + 1.0);
+}
+
+std::vector<uint8_t> Oue::Perturb(uint32_t v, Rng& rng) const {
+  assert(v < domain_);
+  std::vector<uint8_t> bits(domain_, 0);
+  for (size_t j = 0; j < domain_; ++j) {
+    const double keep = (j == v) ? 0.5 : q_;
+    bits[j] = rng.Bernoulli(keep) ? 1 : 0;
+  }
+  return bits;
+}
+
+std::vector<double> Oue::EstimateFromOnes(const std::vector<uint64_t>& ones,
+                                          size_t n) const {
+  assert(ones.size() == domain_);
+  std::vector<double> est(domain_, 0.0);
+  if (n == 0) return est;
+  // E[ones_v / n] = 0.5 f_v + q (1 - f_v); invert the affine map.
+  const double denom = 0.5 - q_;
+  for (size_t v = 0; v < domain_; ++v) {
+    const double c = static_cast<double>(ones[v]) / static_cast<double>(n);
+    est[v] = (c - q_) / denom;
+  }
+  return est;
+}
+
+std::vector<double> Oue::Run(const std::vector<uint32_t>& values,
+                             Rng& rng) const {
+  std::vector<uint64_t> ones(domain_, 0);
+  for (uint32_t v : values) {
+    // Accumulate the perturbed bits directly; no per-user vector retained.
+    assert(v < domain_);
+    for (size_t j = 0; j < domain_; ++j) {
+      const double keep = (j == v) ? 0.5 : q_;
+      if (rng.Bernoulli(keep)) ++ones[j];
+    }
+  }
+  return EstimateFromOnes(ones, values.size());
+}
+
+double Oue::Variance(double epsilon, size_t n) {
+  const double e = std::exp(epsilon);
+  return 4.0 * e / ((e - 1.0) * (e - 1.0) * static_cast<double>(n));
+}
+
+}  // namespace numdist

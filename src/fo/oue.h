@@ -1,0 +1,54 @@
+// Optimized Unary Encoding (OUE), Wang et al. USENIX Security 2017 — the
+// third protocol of the CFO family the paper builds on ([32], §2.1). The
+// value is one-hot encoded; the '1' bit is kept with probability 1/2 and
+// each '0' bit flips to 1 with probability 1/(e^eps + 1). Matches OLH's
+// variance 4 e^eps / ((e^eps - 1)^2 n) with a d-bit report instead of a
+// hash seed (bandwidth/CPU trade-off).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// \brief OUE frequency oracle over the categorical domain {0..d-1}.
+class Oue {
+ public:
+  /// Creates an OUE instance. Requires epsilon > 0 and domain >= 2.
+  static Result<Oue> Make(double epsilon, size_t domain);
+
+  /// Randomizes one value (client side): returns the perturbed bit vector.
+  std::vector<uint8_t> Perturb(uint32_t v, Rng& rng) const;
+
+  /// Unbiased frequency estimates from summed bit vectors (server side).
+  /// `ones[v]` is the number of reports with bit v set; n is the number of
+  /// reports.
+  std::vector<double> EstimateFromOnes(const std::vector<uint64_t>& ones,
+                                       size_t n) const;
+
+  /// Convenience: perturbs every value and estimates in one pass,
+  /// accumulating only the per-bit counts (O(d) server state).
+  std::vector<double> Run(const std::vector<uint32_t>& values, Rng& rng) const;
+
+  /// Per-estimate variance 4 e^eps / ((e^eps - 1)^2 n) — same as OLH.
+  static double Variance(double epsilon, size_t n);
+
+  double epsilon() const { return epsilon_; }
+  size_t domain() const { return domain_; }
+  /// Probability the true '1' bit stays 1 (= 1/2, the optimized choice).
+  double p() const { return 0.5; }
+  /// Probability a '0' bit flips to 1 (= 1/(e^eps + 1)).
+  double q() const { return q_; }
+
+ private:
+  Oue(double epsilon, size_t domain);
+
+  double epsilon_;
+  size_t domain_;
+  double q_;
+};
+
+}  // namespace numdist

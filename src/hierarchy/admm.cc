@@ -1,0 +1,96 @@
+#include "hierarchy/admm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hierarchy/constrained.h"
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+
+namespace {
+
+// Pi_N+: per-level Norm-Sub. Every level of a consistent normalized tree
+// sums to 1, so each level is independently projected onto its simplex.
+std::vector<double> ProjectLevelsSimplex(const HierarchyTree& tree,
+                                         const std::vector<double>& x) {
+  std::vector<double> out(x.size());
+  for (size_t level = 0; level < tree.num_levels(); ++level) {
+    const size_t off = tree.LevelOffset(level);
+    const size_t size = tree.LevelSize(level);
+    const std::vector<double> level_vals(x.begin() + off,
+                                         x.begin() + off + size);
+    const std::vector<double> projected = NormSub(level_vals, 1.0);
+    for (size_t i = 0; i < size; ++i) out[off + i] = projected[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AdmmResult> HhAdmm(const HierarchyTree& tree,
+                          const std::vector<double>& noisy_nodes,
+                          const AdmmOptions& options) {
+  if (noisy_nodes.size() != tree.NumNodes()) {
+    return Status::InvalidArgument(
+        "HhAdmm: node vector size != tree.NumNodes()");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("HhAdmm: max_iterations must be > 0");
+  }
+  const size_t n = noisy_nodes.size();
+  const std::vector<double>& xt = noisy_nodes;  // x~ in the paper
+
+  std::vector<double> x = xt;  // x^
+  std::vector<double> y(n, 0.0), z(n, 0.0), w(n, 0.0);
+  std::vector<double> mu(n, 0.0), nu(n, 0.0), eta(n, 0.0);
+  std::vector<double> tmp(n, 0.0);
+
+  AdmmResult result;
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // y-update: argmin 1/2||y||^2 + 1/2||x - x~ - y + mu||^2.
+    for (size_t i = 0; i < n; ++i) y[i] = 0.5 * (x[i] - xt[i] + mu[i]);
+
+    // z-update: project (x + nu) onto the consistency subspace.
+    for (size_t i = 0; i < n; ++i) tmp[i] = x[i] + nu[i];
+    z = ConstrainedInference(tree, tmp, /*fix_root=*/false);
+
+    // w-update: project (x + eta) onto per-level simplexes.
+    for (size_t i = 0; i < n; ++i) tmp[i] = x[i] + eta[i];
+    w = ProjectLevelsSimplex(tree, tmp);
+
+    // x-update: average of the three quadratic targets.
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = ((y[i] + xt[i] - mu[i]) + (z[i] - nu[i]) + (w[i] - eta[i])) / 3.0;
+    }
+
+    // Dual updates.
+    double r_primal = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double ry = x[i] - xt[i] - y[i];
+      const double rz = x[i] - z[i];
+      const double rw = x[i] - w[i];
+      mu[i] += ry;
+      nu[i] += rz;
+      eta[i] += rw;
+      r_primal = std::max({r_primal, std::fabs(rz), std::fabs(rw)});
+    }
+
+    result.iterations = iter;
+    if (r_primal < options.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final cleanup: per-level simplex projection guarantees the output is a
+  // valid (non-negative, normalized) tree; consistency holds to ADMM tol.
+  result.node_values = ProjectLevelsSimplex(tree, x);
+  const size_t leaf_off = tree.LevelOffset(tree.height());
+  result.distribution.assign(result.node_values.begin() + leaf_off,
+                             result.node_values.end());
+  return result;
+}
+
+}  // namespace numdist

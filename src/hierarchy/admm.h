@@ -1,0 +1,47 @@
+// HH-ADMM post-processing (paper §4.3, Algorithm 2, Appendix B): given the
+// noisy hierarchy estimates x~, find the closest vector satisfying
+//   (i)  hierarchy consistency (parent == sum of children),
+//   (ii) non-negativity,
+//   (iii) per-level normalization (each level sums to 1; the total user
+//        count is public under LDP),
+// by ADMM with scaled dual variables and penalty rho = 1:
+//   y <- (x^ - x~ + mu) / 2
+//   z <- Pi_C(x^ + nu)          (constrained inference, constrained.h)
+//   w <- Pi_N+(x^ + eta)        (per-level Norm-Sub, norm_sub.h)
+//   x^ <- ((y + x~ - mu) + (z - nu) + (w - eta)) / 3
+//   mu += x^ - x~ - y;  nu += x^ - z;  eta += x^ - w.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/tree.h"
+
+namespace numdist {
+
+/// ADMM iteration controls.
+struct AdmmOptions {
+  /// Iteration cap.
+  size_t max_iterations = 300;
+  /// Stop when all primal residuals fall below this (infinity norm).
+  double tol = 1e-7;
+};
+
+/// Outcome of an HH-ADMM run.
+struct AdmmResult {
+  /// Post-processed node vector: per-level non-negative & normalized
+  /// (final Pi_N+ applied), consistency satisfied up to the ADMM tolerance.
+  std::vector<double> node_values;
+  /// The leaf level as a valid probability distribution (size tree.d()).
+  std::vector<double> distribution;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs HH-ADMM on the flattened noisy estimates (size tree.NumNodes()).
+Result<AdmmResult> HhAdmm(const HierarchyTree& tree,
+                          const std::vector<double>& noisy_nodes,
+                          const AdmmOptions& options = AdmmOptions());
+
+}  // namespace numdist

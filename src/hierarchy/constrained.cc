@@ -1,0 +1,128 @@
+#include "hierarchy/constrained.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/matrix.h"
+
+namespace numdist {
+
+std::vector<double> ConstrainedInference(const HierarchyTree& tree,
+                                         const std::vector<double>& node_values,
+                                         bool fix_root, double root_value) {
+  assert(node_values.size() == tree.NumNodes());
+  const size_t beta = tree.beta();
+  const size_t h = tree.height();
+  std::vector<double> z = node_values;
+
+  // Pass 1 (bottom-up): z_v = w * x~_v + (1 - w) * sum(children z), with w
+  // the inverse-variance weight. Unit leaf variance; level variance V
+  // satisfies V_level = beta * V_child / (1 + beta * V_child).
+  double v_child = 1.0;  // variance of z at the level below the current one
+  for (size_t level = h; level-- > 0;) {
+    const double bv = static_cast<double>(beta) * v_child;
+    const double w = bv / (1.0 + bv);
+    const size_t off = tree.LevelOffset(level);
+    const size_t child_off = tree.LevelOffset(level + 1);
+    for (size_t i = 0; i < tree.LevelSize(level); ++i) {
+      double child_sum = 0.0;
+      for (size_t c = 0; c < beta; ++c) {
+        child_sum += z[child_off + i * beta + c];
+      }
+      z[off + i] = w * z[off + i] + (1.0 - w) * child_sum;
+    }
+    v_child = w;  // combined variance at this level equals the weight
+  }
+
+  // Pass 2 (top-down): mean consistency.
+  std::vector<double> out = z;
+  if (fix_root) out[0] = root_value;
+  for (size_t level = 0; level < h; ++level) {
+    const size_t off = tree.LevelOffset(level);
+    const size_t child_off = tree.LevelOffset(level + 1);
+    for (size_t i = 0; i < tree.LevelSize(level); ++i) {
+      double child_sum = 0.0;
+      for (size_t c = 0; c < beta; ++c) {
+        child_sum += z[child_off + i * beta + c];
+      }
+      const double adjust =
+          (out[off + i] - child_sum) / static_cast<double>(beta);
+      for (size_t c = 0; c < beta; ++c) {
+        const size_t ci = child_off + i * beta + c;
+        out[ci] = z[ci] + adjust;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConstrainedInferenceBruteForce(
+    const HierarchyTree& tree, const std::vector<double>& node_values,
+    bool fix_root, double root_value) {
+  assert(node_values.size() == tree.NumNodes());
+  const size_t n = tree.NumNodes();
+  const size_t beta = tree.beta();
+  // Constraints: one per internal node (parent - sum children = 0), plus
+  // optionally root = root_value.
+  size_t num_internal = 0;
+  for (size_t level = 0; level < tree.height(); ++level) {
+    num_internal += tree.LevelSize(level);
+  }
+  const size_t m = num_internal + (fix_root ? 1 : 0);
+
+  // KKT system for min ||x - v||^2 s.t. A x = b:
+  //   [ I  A^T ] [x]   [v]
+  //   [ A   0  ] [l] = [b]
+  const size_t dim = n + m;
+  Matrix kkt(dim, dim, 0.0);
+  std::vector<double> rhs(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    kkt(i, i) = 1.0;
+    rhs[i] = node_values[i];
+  }
+  size_t row = 0;
+  for (size_t level = 0; level < tree.height(); ++level) {
+    for (size_t i = 0; i < tree.LevelSize(level); ++i) {
+      const size_t parent = tree.FlatIndex(level, i);
+      kkt(n + row, parent) = 1.0;
+      kkt(parent, n + row) = 1.0;
+      for (size_t c = 0; c < beta; ++c) {
+        const size_t child = tree.FlatIndex(level + 1, i * beta + c);
+        kkt(n + row, child) = -1.0;
+        kkt(child, n + row) = -1.0;
+      }
+      rhs[n + row] = 0.0;
+      ++row;
+    }
+  }
+  if (fix_root) {
+    kkt(n + row, 0) = 1.0;
+    kkt(0, n + row) = 1.0;
+    rhs[n + row] = root_value;
+  }
+  const bool solved = Matrix::SolveInPlace(kkt, rhs);
+  assert(solved);
+  (void)solved;
+  return std::vector<double>(rhs.begin(), rhs.begin() + n);
+}
+
+double ConsistencyResidual(const HierarchyTree& tree,
+                           const std::vector<double>& node_values) {
+  assert(node_values.size() == tree.NumNodes());
+  double worst = 0.0;
+  const size_t beta = tree.beta();
+  for (size_t level = 0; level < tree.height(); ++level) {
+    const size_t off = tree.LevelOffset(level);
+    const size_t child_off = tree.LevelOffset(level + 1);
+    for (size_t i = 0; i < tree.LevelSize(level); ++i) {
+      double child_sum = 0.0;
+      for (size_t c = 0; c < beta; ++c) {
+        child_sum += node_values[child_off + i * beta + c];
+      }
+      worst = std::max(worst, std::fabs(node_values[off + i] - child_sum));
+    }
+  }
+  return worst;
+}
+
+}  // namespace numdist

@@ -1,0 +1,41 @@
+// Constrained inference over hierarchy estimates (Hay et al., PVLDB 2010) —
+// used both as HH's post-processing and as the exact Euclidean projection
+// Pi_C onto the consistency subspace {x : parent == sum of children} inside
+// HH-ADMM (paper §4.2, §4.3, Appendix B).
+//
+// Two passes, both O(number of nodes):
+//  1. bottom-up: replace each internal estimate by the inverse-variance
+//     weighted average of itself and its children's combined estimate;
+//  2. top-down: redistribute each parent/children mismatch equally among the
+//     children (mean consistency).
+// For i.i.d. unit-variance noise this yields exactly the least-squares
+// consistent tree, i.e. the orthogonal projection (verified against a
+// brute-force KKT solve in tests).
+#pragma once
+
+#include <vector>
+
+#include "hierarchy/tree.h"
+
+namespace numdist {
+
+/// Returns the L2-closest consistent node vector to `node_values`
+/// (flattened, size tree.NumNodes()). If `fix_root` is true the root is
+/// additionally pinned to `root_value` (HH knows the total is exactly 1).
+std::vector<double> ConstrainedInference(const HierarchyTree& tree,
+                                         const std::vector<double>& node_values,
+                                         bool fix_root = false,
+                                         double root_value = 1.0);
+
+/// Brute-force reference: solves the projection KKT system by dense Gaussian
+/// elimination. O(NumNodes^3) — only for tests on small trees.
+std::vector<double> ConstrainedInferenceBruteForce(
+    const HierarchyTree& tree, const std::vector<double>& node_values,
+    bool fix_root = false, double root_value = 1.0);
+
+/// Max over internal nodes of |value(node) - sum(values of children)|:
+/// zero (up to FP) iff the vector is hierarchy-consistent.
+double ConsistencyResidual(const HierarchyTree& tree,
+                           const std::vector<double>& node_values);
+
+}  // namespace numdist

@@ -1,0 +1,75 @@
+#include "hierarchy/haar.h"
+
+#include <cassert>
+#include <utility>
+
+namespace numdist {
+
+Result<HaarHrrProtocol> HaarHrrProtocol::Make(double epsilon, size_t d) {
+  Result<HierarchyTree> tree = HierarchyTree::Make(d, 2);
+  if (!tree.ok()) return tree.status();
+  std::vector<Hrr> hrrs;
+  hrrs.reserve(tree->height());
+  for (size_t t = 0; t < tree->height(); ++t) {
+    // Items at internal level t: (node index, sign) -> 2 * 2^t values.
+    Result<Hrr> hrr = Hrr::Make(epsilon, 2 * tree->LevelSize(t));
+    if (!hrr.ok()) return hrr.status();
+    hrrs.push_back(std::move(hrr).value());
+  }
+  return HaarHrrProtocol(epsilon, std::move(tree).value(), std::move(hrrs));
+}
+
+HaarHrrProtocol::HaarHrrProtocol(double epsilon, HierarchyTree tree,
+                                 std::vector<Hrr> hrrs)
+    : epsilon_(epsilon),
+      tree_(std::move(tree)),
+      level_hrrs_(std::move(hrrs)) {}
+
+std::vector<double> HaarHrrProtocol::CollectNodeEstimates(
+    const std::vector<uint32_t>& leaf_values, Rng& rng) const {
+  const size_t h = tree_.height();
+
+  // Population division over the h internal levels; each user reports the
+  // (ancestor node, half) pair at their level through HRR.
+  std::vector<std::vector<HrrReport>> reports(h);
+  std::vector<size_t> group_sizes(h, 0);
+  for (uint32_t leaf : leaf_values) {
+    assert(leaf < tree_.d());
+    const size_t t = rng.UniformInt(h);
+    const size_t node = tree_.AncestorAt(leaf, t);
+    // Sign: +1 (item 2*node) if the value lies in the left half of the
+    // node's span, -1 (item 2*node+1) otherwise.
+    const size_t child = tree_.AncestorAt(leaf, t + 1);
+    const uint32_t item = static_cast<uint32_t>(
+        2 * node + ((child % 2 == 0) ? 0 : 1));
+    reports[t].push_back(level_hrrs_[t].Perturb(item, rng));
+    ++group_sizes[t];
+  }
+
+  // Per-level signed differences delta_a = F(a,left) - F(a,right).
+  std::vector<std::vector<double>> delta(h);
+  for (size_t t = 0; t < h; ++t) {
+    const std::vector<double> freq = level_hrrs_[t].Estimate(reports[t]);
+    delta[t].resize(tree_.LevelSize(t));
+    for (size_t a = 0; a < tree_.LevelSize(t); ++a) {
+      delta[t][a] = freq[2 * a] - freq[2 * a + 1];
+    }
+  }
+
+  // Haar synthesis, top-down.
+  std::vector<double> nodes(tree_.NumNodes(), 0.0);
+  nodes[0] = 1.0;
+  for (size_t t = 0; t < h; ++t) {
+    const size_t off = tree_.LevelOffset(t);
+    const size_t child_off = tree_.LevelOffset(t + 1);
+    for (size_t a = 0; a < tree_.LevelSize(t); ++a) {
+      const double fa = nodes[off + a];
+      const double da = delta[t][a];
+      nodes[child_off + 2 * a] = 0.5 * (fa + da);
+      nodes[child_off + 2 * a + 1] = 0.5 * (fa - da);
+    }
+  }
+  return nodes;
+}
+
+}  // namespace numdist

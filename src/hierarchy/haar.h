@@ -1,0 +1,49 @@
+// HaarHRR: range-query estimation via the Discrete Haar Transform with
+// Hadamard Randomized Response as the frequency oracle (paper §4.2;
+// Kulkarni et al. [18]).
+//
+// Binary tree over d = 2^h leaves. Each user's value induces, at every
+// internal level, exactly one nonzero Haar coefficient contribution: +-1 at
+// the ancestor node (sign = which half of the node's span the value lies
+// in). Users are split uniformly over the h internal levels and report
+// their (node, sign) pair through HRR. The aggregator estimates each node's
+// signed difference delta_a = F_left - F_right and synthesizes node
+// frequencies top-down:
+//   F_root = 1,  F_left = (F_a + delta_a)/2,  F_right = (F_a - delta_a)/2,
+// which is exactly the inverse Haar transform of the estimated coefficients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "fo/hrr.h"
+#include "hierarchy/tree.h"
+
+namespace numdist {
+
+/// \brief The HaarHRR collection + reconstruction protocol.
+class HaarHrrProtocol {
+ public:
+  /// Creates the protocol. Requires epsilon > 0 and d a power of two >= 2.
+  static Result<HaarHrrProtocol> Make(double epsilon, size_t d);
+
+  /// Runs collection and Haar synthesis. Returns the flattened node
+  /// frequency vector over the binary tree (levels 0..h); entries can be
+  /// negative — HaarHRR is used for range queries only, like HH.
+  std::vector<double> CollectNodeEstimates(
+      const std::vector<uint32_t>& leaf_values, Rng& rng) const;
+
+  const HierarchyTree& tree() const { return tree_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  HaarHrrProtocol(double epsilon, HierarchyTree tree, std::vector<Hrr> hrrs);
+
+  double epsilon_;
+  HierarchyTree tree_;
+  std::vector<Hrr> level_hrrs_;  // index t: internal level t, domain 2^(t+1)
+};
+
+}  // namespace numdist

@@ -1,0 +1,78 @@
+#include "hierarchy/hh.h"
+
+#include <cassert>
+#include <utility>
+
+namespace numdist {
+
+Result<HhProtocol> HhProtocol::Make(double epsilon, size_t d, size_t beta,
+                                    HhBudgetStrategy strategy) {
+  Result<HierarchyTree> tree = HierarchyTree::Make(d, beta);
+  if (!tree.ok()) return tree.status();
+  // Divide-budget spends eps/h on each of the h levels (sequential
+  // composition across the levels one report touches).
+  const double level_epsilon =
+      strategy == HhBudgetStrategy::kDividePopulation
+          ? epsilon
+          : epsilon / static_cast<double>(tree->height());
+  std::vector<AdaptiveFo> level_fos;
+  level_fos.reserve(tree->height());
+  for (size_t level = 1; level <= tree->height(); ++level) {
+    Result<AdaptiveFo> fo =
+        AdaptiveFo::Make(level_epsilon, tree->LevelSize(level));
+    if (!fo.ok()) return fo.status();
+    level_fos.push_back(std::move(fo).value());
+  }
+  return HhProtocol(epsilon, strategy, std::move(tree).value(),
+                    std::move(level_fos));
+}
+
+HhProtocol::HhProtocol(double epsilon, HhBudgetStrategy strategy,
+                       HierarchyTree tree, std::vector<AdaptiveFo> level_fos)
+    : epsilon_(epsilon),
+      strategy_(strategy),
+      tree_(std::move(tree)),
+      level_fos_(std::move(level_fos)) {}
+
+double HhProtocol::per_report_epsilon() const {
+  return strategy_ == HhBudgetStrategy::kDividePopulation
+             ? epsilon_
+             : epsilon_ / static_cast<double>(tree_.height());
+}
+
+std::vector<double> HhProtocol::CollectNodeEstimates(
+    const std::vector<uint32_t>& leaf_values, Rng& rng) const {
+  const size_t h = tree_.height();
+  std::vector<std::vector<uint32_t>> per_level(h);
+  if (strategy_ == HhBudgetStrategy::kDividePopulation) {
+    // Each user contributes to exactly one level with the full budget (the
+    // right trade-off in the local setting, §4.2).
+    for (uint32_t leaf : leaf_values) {
+      assert(leaf < tree_.d());
+      const size_t level = 1 + rng.UniformInt(h);
+      per_level[level - 1].push_back(
+          static_cast<uint32_t>(tree_.AncestorAt(leaf, level)));
+    }
+  } else {
+    // Every user reports every level with budget eps/h.
+    for (uint32_t leaf : leaf_values) {
+      assert(leaf < tree_.d());
+      for (size_t level = 1; level <= h; ++level) {
+        per_level[level - 1].push_back(
+            static_cast<uint32_t>(tree_.AncestorAt(leaf, level)));
+      }
+    }
+  }
+
+  std::vector<double> nodes(tree_.NumNodes(), 0.0);
+  nodes[0] = 1.0;  // the total count is public in LDP
+  for (size_t level = 1; level <= h; ++level) {
+    const std::vector<double> est =
+        level_fos_[level - 1].Run(per_level[level - 1], rng);
+    const size_t off = tree_.LevelOffset(level);
+    for (size_t i = 0; i < est.size(); ++i) nodes[off + i] = est[i];
+  }
+  return nodes;
+}
+
+}  // namespace numdist

@@ -1,0 +1,65 @@
+// Hierarchical Histogram under LDP (paper §4.2; Kulkarni et al. [18]).
+//
+// Population division: each user is assigned one tree level 1..h uniformly
+// at random, reports the ancestor of their value at that level through the
+// variance-adaptive frequency oracle for that level's domain (GRR for small
+// levels, OLH for large ones), and the aggregator assembles per-level
+// frequency estimates into a flattened node vector (root pinned to 1, since
+// LDP hides values, not participation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "fo/adaptive.h"
+#include "hierarchy/tree.h"
+
+namespace numdist {
+
+/// How the privacy budget is allocated across tree levels (§4.2).
+enum class HhBudgetStrategy {
+  /// Each user reports a single uniformly-chosen level with the full budget.
+  /// Better under LDP (the paper's choice): noise dominates sampling error.
+  kDividePopulation,
+  /// Every user reports every level with budget eps/h (sequential
+  /// composition). Better in the centralized setting; implemented to
+  /// demonstrate the §4.2 comparison under LDP.
+  kDivideBudget,
+};
+
+/// \brief The HH collection protocol: per-level adaptive FO over disjoint
+/// user groups (or over the whole population with a split budget).
+class HhProtocol {
+ public:
+  /// Creates the protocol. Requires epsilon > 0, beta >= 2, d = beta^h.
+  /// The paper's experiments use beta = 4 (the LDP-optimal fan-out is ~4-5).
+  static Result<HhProtocol> Make(
+      double epsilon, size_t d, size_t beta = 4,
+      HhBudgetStrategy strategy = HhBudgetStrategy::kDividePopulation);
+
+  /// Runs collection: assigns each user a uniform level, perturbs their
+  /// ancestor, estimates each level's frequencies. Returns the flattened
+  /// node vector (level 0 == 1 exactly; estimates may be negative).
+  /// `leaf_values` are histogram bucket indices in {0..d-1}.
+  std::vector<double> CollectNodeEstimates(
+      const std::vector<uint32_t>& leaf_values, Rng& rng) const;
+
+  const HierarchyTree& tree() const { return tree_; }
+  double epsilon() const { return epsilon_; }
+  HhBudgetStrategy strategy() const { return strategy_; }
+  /// Budget spent per report: eps (divide-population) or eps/h (divide-budget).
+  double per_report_epsilon() const;
+
+ private:
+  HhProtocol(double epsilon, HhBudgetStrategy strategy, HierarchyTree tree,
+             std::vector<AdaptiveFo> level_fos);
+
+  double epsilon_;
+  HhBudgetStrategy strategy_;
+  HierarchyTree tree_;
+  std::vector<AdaptiveFo> level_fos_;  // index 0 -> tree level 1, etc.
+};
+
+}  // namespace numdist

@@ -1,0 +1,130 @@
+#include "hierarchy/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+Result<HierarchyTree> HierarchyTree::Make(size_t d, size_t beta) {
+  if (beta < 2) {
+    return Status::InvalidArgument("HierarchyTree: beta must be >= 2");
+  }
+  if (d < beta) {
+    return Status::InvalidArgument("HierarchyTree: d must be >= beta");
+  }
+  size_t height = 0;
+  size_t power = 1;
+  while (power < d) {
+    power *= beta;
+    ++height;
+    if (height > 63) break;
+  }
+  if (power != d) {
+    return Status::InvalidArgument(
+        "HierarchyTree: d must be an exact power of beta");
+  }
+  return HierarchyTree(d, beta, height);
+}
+
+HierarchyTree::HierarchyTree(size_t d, size_t beta, size_t height)
+    : d_(d), beta_(beta), height_(height) {
+  level_sizes_.resize(height_ + 1);
+  level_offsets_.resize(height_ + 1);
+  size_t size = 1;
+  size_t offset = 0;
+  for (size_t level = 0; level <= height_; ++level) {
+    level_sizes_[level] = size;
+    level_offsets_[level] = offset;
+    offset += size;
+    size *= beta_;
+  }
+  num_nodes_ = offset;
+}
+
+size_t HierarchyTree::AncestorAt(size_t leaf, size_t level) const {
+  assert(leaf < d_ && level <= height_);
+  size_t span = d_;
+  for (size_t l = 0; l < level; ++l) span /= beta_;
+  return leaf / span;
+}
+
+std::pair<size_t, size_t> HierarchyTree::LeafSpan(size_t level,
+                                                  size_t idx) const {
+  assert(level <= height_ && idx < level_sizes_[level]);
+  size_t span = d_;
+  for (size_t l = 0; l < level; ++l) span /= beta_;
+  return {idx * span, (idx + 1) * span};
+}
+
+void HierarchyTree::DecomposeInto(size_t level, size_t idx, size_t lo,
+                                  size_t hi,
+                                  std::vector<TreeNode>* out) const {
+  const auto [s, e] = LeafSpan(level, idx);
+  if (s >= hi || e <= lo) return;         // disjoint
+  if (lo <= s && e <= hi) {               // fully covered: canonical node
+    out->push_back({level, idx});
+    return;
+  }
+  assert(level < height_);                // leaves are never partial
+  for (size_t c = 0; c < beta_; ++c) {
+    DecomposeInto(level + 1, idx * beta_ + c, lo, hi, out);
+  }
+}
+
+std::vector<TreeNode> HierarchyTree::DecomposeRange(size_t leaf_lo,
+                                                    size_t leaf_hi) const {
+  assert(leaf_lo <= leaf_hi && leaf_hi <= d_);
+  std::vector<TreeNode> out;
+  if (leaf_lo == leaf_hi) return out;
+  DecomposeInto(0, 0, leaf_lo, leaf_hi, &out);
+  return out;
+}
+
+double TreeRangeQuery(const HierarchyTree& tree,
+                      const std::vector<double>& nodes, size_t leaf_lo,
+                      size_t leaf_hi) {
+  assert(nodes.size() == tree.NumNodes());
+  double acc = 0.0;
+  for (const TreeNode& node : tree.DecomposeRange(leaf_lo, leaf_hi)) {
+    acc += nodes[tree.FlatIndex(node.level, node.index)];
+  }
+  return acc;
+}
+
+double TreeRangeQueryContinuous(const HierarchyTree& tree,
+                                const std::vector<double>& nodes, double lo,
+                                double hi) {
+  assert(nodes.size() == tree.NumNodes());
+  const double d = static_cast<double>(tree.d());
+  double pos_lo = std::max(0.0, lo) * d;
+  double pos_hi = std::min(1.0, hi) * d;
+  if (pos_hi <= pos_lo) return 0.0;
+
+  const size_t leaf_off = tree.LevelOffset(tree.height());
+  const auto leaf_value = [&](size_t i) { return nodes[leaf_off + i]; };
+
+  size_t full_lo = static_cast<size_t>(std::ceil(pos_lo));
+  size_t full_hi = static_cast<size_t>(std::floor(pos_hi));
+  if (full_lo >= full_hi) {
+    // Entire range within one leaf (or a leaf boundary pair).
+    const size_t leaf =
+        std::min(static_cast<size_t>(pos_lo), tree.d() - 1);
+    const size_t leaf2 =
+        std::min(static_cast<size_t>(pos_hi), tree.d() - 1);
+    if (leaf == leaf2) return (pos_hi - pos_lo) * leaf_value(leaf);
+    // Range straddles a boundary but covers no full leaf.
+    return (static_cast<double>(leaf + 1) - pos_lo) * leaf_value(leaf) +
+           (pos_hi - static_cast<double>(leaf2)) * leaf_value(leaf2);
+  }
+  double acc = TreeRangeQuery(tree, nodes, full_lo, full_hi);
+  if (pos_lo < static_cast<double>(full_lo)) {
+    acc += (static_cast<double>(full_lo) - pos_lo) * leaf_value(full_lo - 1);
+  }
+  if (pos_hi > static_cast<double>(full_hi) && full_hi < tree.d()) {
+    acc += (pos_hi - static_cast<double>(full_hi)) * leaf_value(full_hi);
+  }
+  return acc;
+}
+
+}  // namespace numdist

@@ -1,0 +1,89 @@
+// Complete beta-ary hierarchy over a discrete ordered domain of d = beta^h
+// leaves — the substrate for HH, HaarHRR and HH-ADMM (paper §4.2, §4.3).
+//
+// Levels are numbered 0 (root) .. h (leaves); node (level, idx) covers the
+// leaf span [idx * beta^(h-level), (idx+1) * beta^(h-level)). Node estimates
+// live in a single flattened vector with levels concatenated in order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace numdist {
+
+/// Identifies one node: (level, index within level).
+struct TreeNode {
+  size_t level;
+  size_t index;
+  bool operator==(const TreeNode& other) const {
+    return level == other.level && index == other.index;
+  }
+};
+
+/// \brief Shape and index arithmetic of a complete beta-ary tree.
+class HierarchyTree {
+ public:
+  /// Creates a tree. Requires beta >= 2 and d an exact power of beta with
+  /// at least one internal level (d >= beta).
+  static Result<HierarchyTree> Make(size_t d, size_t beta);
+
+  /// Number of leaves (the histogram granularity).
+  size_t d() const { return d_; }
+  /// Branching factor.
+  size_t beta() const { return beta_; }
+  /// Tree height h (leaves live at level h; d == beta^h).
+  size_t height() const { return height_; }
+  /// Number of levels (h + 1, including the root level).
+  size_t num_levels() const { return height_ + 1; }
+  /// Number of nodes at `level` (beta^level).
+  size_t LevelSize(size_t level) const { return level_sizes_[level]; }
+  /// Offset of `level`'s first node in the flattened vector.
+  size_t LevelOffset(size_t level) const { return level_offsets_[level]; }
+  /// Total node count across all levels.
+  size_t NumNodes() const { return num_nodes_; }
+  /// Flattened position of node (level, idx).
+  size_t FlatIndex(size_t level, size_t idx) const {
+    return level_offsets_[level] + idx;
+  }
+  /// Index (within `level`) of the ancestor of `leaf` at `level`.
+  size_t AncestorAt(size_t leaf, size_t level) const;
+  /// Leaf span [lo, hi) covered by node (level, idx).
+  std::pair<size_t, size_t> LeafSpan(size_t level, size_t idx) const;
+
+  /// Canonical decomposition: a minimal set of nodes whose leaf spans
+  /// partition [leaf_lo, leaf_hi). At most beta * h + ... nodes; O(beta h).
+  std::vector<TreeNode> DecomposeRange(size_t leaf_lo, size_t leaf_hi) const;
+
+ private:
+  HierarchyTree(size_t d, size_t beta, size_t height);
+
+  void DecomposeInto(size_t level, size_t idx, size_t lo, size_t hi,
+                     std::vector<TreeNode>* out) const;
+
+  size_t d_;
+  size_t beta_;
+  size_t height_;
+  size_t num_nodes_;
+  std::vector<size_t> level_sizes_;
+  std::vector<size_t> level_offsets_;
+};
+
+/// Sum of node estimates over the canonical decomposition of
+/// [leaf_lo, leaf_hi) — the hierarchy answer to a range query.
+/// `nodes` is the flattened estimate vector.
+double TreeRangeQuery(const HierarchyTree& tree,
+                      const std::vector<double>& nodes, size_t leaf_lo,
+                      size_t leaf_hi);
+
+/// Continuous-endpoint range query over [lo, hi] in [0, 1]: canonical-node
+/// sum over fully covered leaves plus linear interpolation within the two
+/// partial edge leaves (mass assumed uniform within a leaf).
+double TreeRangeQueryContinuous(const HierarchyTree& tree,
+                                const std::vector<double>& nodes, double lo,
+                                double hi);
+
+}  // namespace numdist

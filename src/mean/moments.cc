@@ -1,0 +1,90 @@
+#include "mean/moments.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mean/pm.h"
+#include "mean/sr.h"
+
+namespace numdist {
+
+namespace {
+
+// Perturbs every value (already mapped into [-1, 1]) and returns the report
+// average, i.e. the unbiased estimate of the mapped mean.
+Result<double> MeanOfPerturbed(const std::vector<double>& mapped,
+                               MeanMechanism mechanism, double epsilon,
+                               Rng& rng) {
+  double acc = 0.0;
+  if (mechanism == MeanMechanism::kStochasticRounding) {
+    Result<StochasticRounding> sr = StochasticRounding::Make(epsilon);
+    if (!sr.ok()) return sr.status();
+    for (double v : mapped) acc += sr->Perturb(v, rng);
+  } else {
+    Result<PiecewiseMechanism> pm = PiecewiseMechanism::Make(epsilon);
+    if (!pm.ok()) return pm.status();
+    for (double v : mapped) acc += pm->Perturb(v, rng);
+  }
+  return acc / static_cast<double>(mapped.size());
+}
+
+}  // namespace
+
+Result<double> EstimateMean(const std::vector<double>& values,
+                            MeanMechanism mechanism, double epsilon,
+                            Rng& rng) {
+  if (values.empty()) {
+    return Status::InvalidArgument("EstimateMean: no input values");
+  }
+  std::vector<double> mapped;
+  mapped.reserve(values.size());
+  for (double v : values) {
+    assert(v >= 0.0 && v <= 1.0);
+    mapped.push_back(2.0 * v - 1.0);
+  }
+  Result<double> m = MeanOfPerturbed(mapped, mechanism, epsilon, rng);
+  if (!m.ok()) return m.status();
+  return (m.value() + 1.0) / 2.0;  // unmap [-1,1] -> [0,1]
+}
+
+Result<MomentsEstimate> EstimateMoments(const std::vector<double>& values,
+                                        MeanMechanism mechanism,
+                                        double epsilon, Rng& rng) {
+  if (values.size() < 2) {
+    return Status::InvalidArgument("EstimateMoments: need >= 2 users");
+  }
+  // Random 50/50 split (sampling without replacement via index shuffle).
+  std::vector<size_t> order(values.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i-- > 1;) {
+    std::swap(order[i], order[rng.UniformInt(i + 1)]);
+  }
+  const size_t half = values.size() / 2;
+
+  // Phase 1: mean from the first half.
+  std::vector<double> phase1;
+  phase1.reserve(half);
+  for (size_t i = 0; i < half; ++i) phase1.push_back(values[order[i]]);
+  Result<double> mean = EstimateMean(phase1, mechanism, epsilon, rng);
+  if (!mean.ok()) return mean.status();
+  const double mu = std::clamp(mean.value(), 0.0, 1.0);
+
+  // Phase 2: squared deviations from the broadcast mean, second half.
+  // (v - mu)^2 is in [0, 1]; map to [-1, 1] for the mechanism.
+  std::vector<double> mapped;
+  mapped.reserve(values.size() - half);
+  for (size_t i = half; i < values.size(); ++i) {
+    const double dev = values[order[i]] - mu;
+    mapped.push_back(2.0 * dev * dev - 1.0);
+  }
+  Result<double> dev_mean = MeanOfPerturbed(mapped, mechanism, epsilon, rng);
+  if (!dev_mean.ok()) return dev_mean.status();
+
+  MomentsEstimate out;
+  out.mean = mu;
+  out.variance = std::max(0.0, (dev_mean.value() + 1.0) / 2.0);
+  return out;
+}
+
+}  // namespace numdist

@@ -1,0 +1,42 @@
+// Mean and variance estimation protocols built on SR/PM (paper §6.3).
+//
+// Mean: every user perturbs their value (mapped to [-1, 1]) with the chosen
+// mechanism; the de-biased report average is the estimate.
+//
+// Variance: two-phase protocol — a random half of the users estimate the
+// mean; the estimate is broadcast; the other half report their squared
+// deviation (v - mu~)^2 (mapped to [-1, 1]); the average is the variance
+// estimate. The (mu - mu~)^2 bias term is quadratically small and, as in
+// the paper, not corrected.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace numdist {
+
+/// Which scalar mechanism the protocol uses.
+enum class MeanMechanism {
+  kStochasticRounding,
+  kPiecewiseMechanism,
+};
+
+/// Mean/variance estimates over the canonical [0, 1] domain.
+struct MomentsEstimate {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Mean-only protocol: all users spend the full budget on the mean.
+/// `values` are in [0, 1]. Requires epsilon > 0 and non-empty input.
+Result<double> EstimateMean(const std::vector<double>& values,
+                            MeanMechanism mechanism, double epsilon, Rng& rng);
+
+/// Two-phase mean + variance protocol (half the population each).
+Result<MomentsEstimate> EstimateMoments(const std::vector<double>& values,
+                                        MeanMechanism mechanism,
+                                        double epsilon, Rng& rng);
+
+}  // namespace numdist

@@ -1,0 +1,54 @@
+#include "mean/pm.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+Result<PiecewiseMechanism> PiecewiseMechanism::Make(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("PM: epsilon must be positive and finite");
+  }
+  return PiecewiseMechanism(epsilon);
+}
+
+PiecewiseMechanism::PiecewiseMechanism(double epsilon) : epsilon_(epsilon) {
+  const double e2 = std::exp(epsilon / 2.0);
+  s_ = (e2 + 1.0) / (e2 - 1.0);
+  high_density_ = (e2 / 2.0) * (e2 - 1.0) / (e2 + 1.0);
+  low_density_ = (1.0 / (2.0 * e2)) * (e2 - 1.0) / (e2 + 1.0);
+  in_window_mass_ = e2 / (e2 + 1.0);
+}
+
+double PiecewiseMechanism::WindowLeft(double v) const {
+  const double e2 = std::exp(epsilon_ / 2.0);
+  return (e2 * v - 1.0) / (e2 - 1.0);
+}
+
+double PiecewiseMechanism::WindowRight(double v) const {
+  const double e2 = std::exp(epsilon_ / 2.0);
+  return (e2 * v + 1.0) / (e2 - 1.0);
+}
+
+double PiecewiseMechanism::Perturb(double v, Rng& rng) const {
+  assert(v >= -1.0 && v <= 1.0);
+  const double l = WindowLeft(v);
+  const double r = WindowRight(v);
+  if (rng.Bernoulli(in_window_mass_)) {
+    return rng.Uniform(l, r);
+  }
+  // Uniform over [-s, l] u [r, s], proportionally to segment lengths.
+  const double left_len = l - (-s_);
+  const double right_len = s_ - r;
+  const double u = rng.Uniform() * (left_len + right_len);
+  return (u < left_len) ? (-s_ + u) : (r + (u - left_len));
+}
+
+double PiecewiseMechanism::MeanOfReports(const std::vector<double>& reports) {
+  if (reports.empty()) return 0.0;
+  double acc = 0.0;
+  for (double r : reports) acc += r;
+  return acc / static_cast<double>(reports.size());
+}
+
+}  // namespace numdist

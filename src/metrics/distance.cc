@@ -1,0 +1,52 @@
+#include "metrics/distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+double WassersteinDistance(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  assert(x.size() == y.size() && !x.empty());
+  double acc = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    cx += x[i];
+    cy += y[i];
+    acc += std::fabs(cx - cy);
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+double KsDistance(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size() && !x.empty());
+  double best = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    cx += x[i];
+    cy += y[i];
+    best = std::max(best, std::fabs(cx - cy));
+  }
+  return best;
+}
+
+double L1Distance(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += std::fabs(x[i] - y[i]);
+  return acc;
+}
+
+double L2Distance(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace numdist

@@ -1,0 +1,27 @@
+// Distribution-distance metrics (paper §3.1). Both operate on d-bucket
+// distributions over the canonical [0, 1] domain and reflect the ordered
+// nature of the domain via the CDFs.
+#pragma once
+
+#include <vector>
+
+namespace numdist {
+
+/// 1-D Wasserstein (earth-mover) distance between two d-bucket distributions
+/// over [0,1]: the integral of |CDF_x - CDF_y|, i.e. (1/d) * sum_i |P_i - Q_i|.
+/// Requires x.size() == y.size() > 0.
+double WassersteinDistance(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Kolmogorov-Smirnov distance: max_i |CDF_x(i) - CDF_y(i)|.
+/// Requires x.size() == y.size() > 0.
+double KsDistance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pointwise L1 distance sum_i |x_i - y_i| (diagnostic; the paper argues
+/// CDF-based metrics are the right ones for numerical domains).
+double L1Distance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pointwise L2 distance sqrt(sum_i (x_i - y_i)^2) (diagnostic).
+double L2Distance(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace numdist

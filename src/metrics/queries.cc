@@ -1,0 +1,96 @@
+#include "metrics/queries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+double CdfAt(const std::vector<double>& x, double t) {
+  const size_t d = x.size();
+  assert(d > 0);
+  t = std::clamp(t, 0.0, 1.0);
+  const double pos = t * static_cast<double>(d);
+  const size_t full = std::min(static_cast<size_t>(pos), d);
+  double acc = 0.0;
+  for (size_t i = 0; i < full; ++i) acc += x[i];
+  if (full < d) {
+    acc += x[full] * (pos - static_cast<double>(full));
+  }
+  return acc;
+}
+
+double RangeQuery(const std::vector<double>& x, double i, double alpha) {
+  assert(i >= 0.0 && alpha >= 0.0 && i + alpha <= 1.0 + 1e-12);
+  return CdfAt(x, i + alpha) - CdfAt(x, i);
+}
+
+double RangeQueryMae(const std::vector<double>& truth,
+                     const std::vector<double>& estimate, double alpha,
+                     size_t num_queries, Rng& rng) {
+  assert(truth.size() == estimate.size());
+  assert(alpha > 0.0 && alpha <= 1.0);
+  assert(num_queries > 0);
+  // Precompute CDFs once: queries only need CDF lookups.
+  double acc = 0.0;
+  for (size_t k = 0; k < num_queries; ++k) {
+    const double i = rng.Uniform() * (1.0 - alpha);
+    acc += std::fabs(RangeQuery(truth, i, alpha) -
+                     RangeQuery(estimate, i, alpha));
+  }
+  return acc / static_cast<double>(num_queries);
+}
+
+double HistMean(const std::vector<double>& x) {
+  const size_t d = x.size();
+  assert(d > 0);
+  double mean = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    mean += x[i] * ((static_cast<double>(i) + 0.5) / static_cast<double>(d));
+  }
+  return mean;
+}
+
+double HistVariance(const std::vector<double>& x) {
+  const size_t d = x.size();
+  assert(d > 0);
+  const double mean = HistMean(x);
+  double var = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double c = (static_cast<double>(i) + 0.5) / static_cast<double>(d);
+    var += x[i] * (c - mean) * (c - mean);
+  }
+  return var;
+}
+
+double Quantile(const std::vector<double>& x, double beta) {
+  const size_t d = x.size();
+  assert(d > 0);
+  beta = std::clamp(beta, 0.0, 1.0);
+  double acc = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double next = acc + x[i];
+    if (next >= beta) {
+      // Interpolate within bucket i.
+      const double frac = (x[i] > 0.0) ? (beta - acc) / x[i] : 0.0;
+      return (static_cast<double>(i) + frac) / static_cast<double>(d);
+    }
+    acc = next;
+  }
+  return 1.0;
+}
+
+double QuantileMae(const std::vector<double>& truth,
+                   const std::vector<double>& estimate) {
+  assert(truth.size() == estimate.size());
+  double acc = 0.0;
+  int count = 0;
+  for (int pct = 10; pct <= 90; pct += 10) {
+    const double beta = static_cast<double>(pct) / 100.0;
+    acc += std::fabs(Quantile(truth, beta) - Quantile(estimate, beta));
+    ++count;
+  }
+  return acc / count;
+}
+
+}  // namespace numdist

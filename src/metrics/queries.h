@@ -1,0 +1,40 @@
+// Semantic/statistical utility metrics (paper §3.2): range queries, mean,
+// variance, quantiles — all computed from d-bucket distributions over [0,1].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace numdist {
+
+/// CDF value P(x, t) for t in [0, 1], with linear interpolation inside the
+/// bucket containing t (mass assumed uniform within a bucket).
+double CdfAt(const std::vector<double>& x, double t);
+
+/// Range query R(x, i, alpha) = P(x, i + alpha) - P(x, i) (paper §3.2).
+/// Requires 0 <= i and i + alpha <= 1.
+double RangeQuery(const std::vector<double>& x, double i, double alpha);
+
+/// Mean absolute range-query error over `num_queries` uniformly random
+/// left endpoints i in [0, 1 - alpha], for fixed range size alpha.
+double RangeQueryMae(const std::vector<double>& truth,
+                     const std::vector<double>& estimate, double alpha,
+                     size_t num_queries, Rng& rng);
+
+/// Mean of the distribution (bucket centers).
+double HistMean(const std::vector<double>& x);
+
+/// Variance of the distribution (bucket centers).
+double HistVariance(const std::vector<double>& x);
+
+/// beta-quantile: the smallest t in [0,1] with P(x, t) >= beta, located by
+/// linear interpolation within the crossing bucket.
+double Quantile(const std::vector<double>& x, double beta);
+
+/// Mean absolute quantile error over B = {10%, ..., 90%} (paper §3.2).
+double QuantileMae(const std::vector<double>& truth,
+                   const std::vector<double>& estimate);
+
+}  // namespace numdist

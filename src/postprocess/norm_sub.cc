@@ -1,0 +1,88 @@
+#include "postprocess/norm_sub.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace numdist {
+
+std::vector<double> NormSub(const std::vector<double>& x, double target) {
+  assert(target >= 0.0);
+  const size_t d = x.size();
+  std::vector<double> out(d, 0.0);
+  if (d == 0 || target == 0.0) return out;
+
+  // Find delta with sum_i max(0, x_i + delta) == target. With entries sorted
+  // descending, the active set is a prefix; scan prefixes until the implied
+  // delta keeps the prefix positive.
+  std::vector<double> sorted(x);
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double prefix = 0.0;
+  double delta = 0.0;
+  for (size_t k = 1; k <= d; ++k) {
+    prefix += sorted[k - 1];
+    const double candidate = (target - prefix) / static_cast<double>(k);
+    // The prefix {0..k-1} stays positive iff sorted[k-1] + candidate > 0;
+    // the complement stays clamped iff sorted[k] + candidate <= 0.
+    const bool prefix_ok = sorted[k - 1] + candidate > 0.0;
+    const bool rest_ok = (k == d) || (sorted[k] + candidate <= 0.0);
+    if (prefix_ok && rest_ok) {
+      delta = candidate;
+      break;
+    }
+    if (k == d) delta = candidate;  // all active (can only raise everything)
+  }
+  for (size_t i = 0; i < d; ++i) out[i] = std::max(0.0, x[i] + delta);
+  return out;
+}
+
+std::vector<double> NormSubIterative(const std::vector<double>& x,
+                                     double target) {
+  assert(target >= 0.0);
+  std::vector<double> cur(x);
+  const size_t d = cur.size();
+  if (d == 0 || target == 0.0) return std::vector<double>(d, 0.0);
+  std::vector<bool> clamped(d, false);
+  for (size_t round = 0; round < d + 2; ++round) {
+    double sum = 0.0;
+    size_t active = 0;
+    for (size_t i = 0; i < d; ++i) {
+      if (clamped[i]) continue;
+      sum += cur[i];
+      ++active;
+    }
+    if (active == 0) break;
+    const double delta = (target - sum) / static_cast<double>(active);
+    bool newly_clamped = false;
+    for (size_t i = 0; i < d; ++i) {
+      if (clamped[i]) continue;
+      cur[i] += delta;
+      if (cur[i] <= 0.0) {
+        cur[i] = 0.0;
+        clamped[i] = true;
+        newly_clamped = true;
+      }
+    }
+    if (!newly_clamped) break;
+  }
+  for (size_t i = 0; i < d; ++i) cur[i] = std::max(0.0, cur[i]);
+  return cur;
+}
+
+std::vector<double> NormCut(const std::vector<double>& x, double target) {
+  assert(target >= 0.0);
+  std::vector<double> out(x.size(), 0.0);
+  double positive = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0) {
+      out[i] = x[i];
+      positive += x[i];
+    }
+  }
+  if (positive <= 0.0) return out;
+  const double scale = target / positive;
+  for (double& v : out) v *= scale;
+  return out;
+}
+
+}  // namespace numdist

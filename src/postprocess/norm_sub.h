@@ -1,0 +1,29 @@
+// Norm-Sub post-processing (paper §4.1, Wang et al. [35]): shifts all
+// estimates by a common delta and clamps negatives to zero so the result is
+// non-negative and sums to the target. This is exactly the Euclidean
+// projection onto the (scaled) probability simplex; we provide both the
+// O(d log d) sort-based projection and the paper's fixed-point iteration
+// (tests assert they agree).
+#pragma once
+
+#include <vector>
+
+namespace numdist {
+
+/// Sort-based Norm-Sub: returns max(0, x_i + delta) with delta chosen so the
+/// result sums to `target` (>= 0). If every entry would be clamped
+/// (target == 0), returns all zeros. O(d log d).
+std::vector<double> NormSub(const std::vector<double>& x, double target = 1.0);
+
+/// The paper's iterative formulation: clamp negatives, redistribute the
+/// deficit/surplus uniformly over the remaining positives, repeat.
+/// Exposed for tests; semantics identical to NormSub.
+std::vector<double> NormSubIterative(const std::vector<double>& x,
+                                     double target = 1.0);
+
+/// Norm-Cut variant (baseline post-processing): clamp negatives to zero and
+/// rescale positives multiplicatively to hit `target`. Cheaper but biased;
+/// used in the post-processing ablation bench.
+std::vector<double> NormCut(const std::vector<double>& x, double target = 1.0);
+
+}  // namespace numdist

@@ -1,0 +1,29 @@
+#include "postprocess/norm_variants.h"
+
+#include <algorithm>
+
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+
+std::vector<double> NormShift(const std::vector<double>& x, double target) {
+  std::vector<double> out(x);
+  if (out.empty()) return out;
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  const double delta = (target - sum) / static_cast<double>(out.size());
+  for (double& v : out) v += delta;
+  return out;
+}
+
+std::vector<double> BasePos(const std::vector<double>& x) {
+  std::vector<double> out(x);
+  for (double& v : out) v = std::max(0.0, v);
+  return out;
+}
+
+std::vector<double> NormMul(const std::vector<double>& x, double target) {
+  return NormCut(x, target);
+}
+
+}  // namespace numdist

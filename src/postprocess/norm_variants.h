@@ -1,0 +1,25 @@
+// Additional frequency-estimate post-processors from the consistency line
+// of work the paper builds on (Wang et al. [35], §7): alternatives to
+// Norm-Sub with different bias/variance trade-offs. Used by the ablation
+// bench and available to library users who want cheaper cleanups.
+#pragma once
+
+#include <vector>
+
+namespace numdist {
+
+/// "Norm": adds a common delta so the sum hits `target`, WITHOUT clamping —
+/// the result may stay negative. Unbiased; the MLE under pure Gaussian noise
+/// with a known total.
+std::vector<double> NormShift(const std::vector<double>& x,
+                              double target = 1.0);
+
+/// "Base-Pos": clamps negatives to zero, no renormalization. The result
+/// sums to >= the positive mass of x (typically > target under noise).
+std::vector<double> BasePos(const std::vector<double>& x);
+
+/// "Norm-Mul": clamps negatives to zero, then rescales multiplicatively to
+/// `target` (alias of NormCut semantics, kept under the literature's name).
+std::vector<double> NormMul(const std::vector<double>& x, double target = 1.0);
+
+}  // namespace numdist

@@ -1,0 +1,144 @@
+#include "hierarchy/admm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "hierarchy/constrained.h"
+#include "hierarchy/hh.h"
+
+namespace numdist {
+namespace {
+
+// Consistent, normalized node vector from given leaves (must sum to 1).
+std::vector<double> NodesFromLeaves(const HierarchyTree& t,
+                                    const std::vector<double>& leaves) {
+  std::vector<double> nodes(t.NumNodes(), 0.0);
+  for (size_t level = 0; level <= t.height(); ++level) {
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      const auto [s, e] = t.LeafSpan(level, i);
+      for (size_t leaf = s; leaf < e; ++leaf) {
+        nodes[t.FlatIndex(level, i)] += leaves[leaf];
+      }
+    }
+  }
+  return nodes;
+}
+
+TEST(HhAdmmTest, RejectsWrongSize) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  EXPECT_FALSE(HhAdmm(t, std::vector<double>(3, 0.0)).ok());
+}
+
+TEST(HhAdmmTest, RejectsZeroIterations) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  AdmmOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(HhAdmm(t, std::vector<double>(t.NumNodes(), 0.0), opts).ok());
+}
+
+TEST(HhAdmmTest, CleanInputIsFixedPoint) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  std::vector<double> leaves(16, 1.0 / 16.0);
+  const std::vector<double> nodes = NodesFromLeaves(t, leaves);
+  const AdmmResult res = HhAdmm(t, nodes).ValueOrDie();
+  EXPECT_TRUE(res.converged);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_NEAR(res.node_values[i], nodes[i], 1e-5) << "i=" << i;
+  }
+}
+
+TEST(HhAdmmTest, OutputLeavesAreDistribution) {
+  const HierarchyTree t = HierarchyTree::Make(64, 4).ValueOrDie();
+  Rng rng(1);
+  std::vector<double> noisy(t.NumNodes());
+  for (double& v : noisy) v = rng.Uniform(-0.3, 0.6);
+  noisy[0] = 1.0;
+  const AdmmResult res = HhAdmm(t, noisy).ValueOrDie();
+  EXPECT_EQ(res.distribution.size(), 64u);
+  EXPECT_TRUE(hist::IsDistribution(res.distribution, 1e-9));
+}
+
+TEST(HhAdmmTest, OutputIsNearlyConsistent) {
+  const HierarchyTree t = HierarchyTree::Make(64, 4).ValueOrDie();
+  Rng rng(2);
+  std::vector<double> leaves(64);
+  double total = 0.0;
+  for (double& v : leaves) {
+    v = rng.Uniform();
+    total += v;
+  }
+  for (double& v : leaves) v /= total;
+  std::vector<double> noisy = NodesFromLeaves(t, leaves);
+  for (double& v : noisy) v += 0.02 * rng.Gaussian();
+  noisy[0] = 1.0;
+  const AdmmResult res = HhAdmm(t, noisy).ValueOrDie();
+  EXPECT_LT(ConsistencyResidual(t, res.node_values), 1e-3);
+}
+
+TEST(HhAdmmTest, ImprovesLeafAccuracyOverRawNoisyTree) {
+  const HierarchyTree t = HierarchyTree::Make(64, 4).ValueOrDie();
+  Rng rng(3);
+  std::vector<double> leaves(64);
+  double total = 0.0;
+  for (double& v : leaves) {
+    v = rng.Uniform();
+    total += v;
+  }
+  for (double& v : leaves) v /= total;
+
+  double err_raw = 0.0;
+  double err_admm = 0.0;
+  for (int rep = 0; rep < 8; ++rep) {
+    std::vector<double> noisy = NodesFromLeaves(t, leaves);
+    for (size_t i = 1; i < noisy.size(); ++i) noisy[i] += 0.03 * rng.Gaussian();
+    noisy[0] = 1.0;
+    const AdmmResult res = HhAdmm(t, noisy).ValueOrDie();
+    const size_t off = t.LevelOffset(t.height());
+    for (size_t leaf = 0; leaf < 64; ++leaf) {
+      const double dr = noisy[off + leaf] - leaves[leaf];
+      const double da = res.distribution[leaf] - leaves[leaf];
+      err_raw += dr * dr;
+      err_admm += da * da;
+    }
+  }
+  EXPECT_LT(err_admm, err_raw);
+}
+
+TEST(HhAdmmTest, EndToEndWithHhProtocol) {
+  const size_t d = 64;
+  const HhProtocol hh = HhProtocol::Make(1.0, d, 4).ValueOrDie();
+  Rng rng(4);
+  // Skewed distribution.
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 40000; ++i) {
+    values.push_back(
+        static_cast<uint32_t>(rng.UniformInt(rng.Bernoulli(0.7) ? d / 4 : d)));
+  }
+  const std::vector<double> noisy = hh.CollectNodeEstimates(values, rng);
+  const AdmmResult res = HhAdmm(hh.tree(), noisy).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(res.distribution, 1e-9));
+  // The first quarter of the domain should hold much more mass than the last.
+  double first = 0.0;
+  double last = 0.0;
+  for (size_t i = 0; i < d / 4; ++i) first += res.distribution[i];
+  for (size_t i = 3 * d / 4; i < d; ++i) last += res.distribution[i];
+  EXPECT_GT(first, last + 0.2);
+}
+
+TEST(HhAdmmTest, ReportsIterations) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  Rng rng(5);
+  std::vector<double> noisy(t.NumNodes());
+  for (double& v : noisy) v = rng.Uniform(-0.2, 0.5);
+  AdmmOptions opts;
+  opts.max_iterations = 5;
+  opts.tol = 0.0;
+  const AdmmResult res = HhAdmm(t, noisy, opts).ValueOrDie();
+  EXPECT_EQ(res.iterations, 5u);
+  EXPECT_FALSE(res.converged);
+}
+
+}  // namespace
+}  // namespace numdist

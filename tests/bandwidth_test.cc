@@ -1,0 +1,94 @@
+#include "core/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace numdist {
+namespace {
+
+TEST(BandwidthTest, PaperValuesFigure6) {
+  // Figure 6 captions report b_SW at eps = 1..4.
+  EXPECT_NEAR(OptimalBandwidth(1.0), 0.256, 0.001);
+  EXPECT_NEAR(OptimalBandwidth(2.0), 0.129, 0.001);
+  EXPECT_NEAR(OptimalBandwidth(3.0), 0.064, 0.001);
+  EXPECT_NEAR(OptimalBandwidth(4.0), 0.030, 0.001);
+}
+
+TEST(BandwidthTest, ClosedFormExactAtEps1) {
+  // b*(1) = (e - e + 1) / (2 e (e - 2)) = 1 / (2e(e-2)).
+  const double e = std::exp(1.0);
+  EXPECT_NEAR(OptimalBandwidth(1.0), 1.0 / (2.0 * e * (e - 2.0)), 1e-12);
+}
+
+TEST(BandwidthTest, SmallEpsLimitIsHalf) {
+  EXPECT_DOUBLE_EQ(OptimalBandwidth(1e-6), 0.5);
+  EXPECT_NEAR(OptimalBandwidth(0.01), 0.5, 0.01);
+}
+
+TEST(BandwidthTest, LargeEpsGoesToZero) {
+  EXPECT_LT(OptimalBandwidth(10.0), 0.01);
+  EXPECT_LT(OptimalBandwidth(20.0), 1e-4);
+}
+
+TEST(BandwidthTest, MonotoneNonIncreasing) {
+  double prev = OptimalBandwidth(0.05);
+  for (double eps = 0.1; eps <= 8.0; eps += 0.1) {
+    const double b = OptimalBandwidth(eps);
+    EXPECT_LE(b, prev + 1e-12) << "eps=" << eps;
+    prev = b;
+  }
+}
+
+TEST(BandwidthTest, AlwaysInHalfOpenInterval) {
+  for (double eps = 0.05; eps <= 10.0; eps += 0.05) {
+    const double b = OptimalBandwidth(eps);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, 0.5);
+  }
+}
+
+TEST(BandwidthTest, DiscreteBandwidthScales) {
+  EXPECT_EQ(DiscreteOptimalBandwidth(1.0, 1024),
+            static_cast<size_t>(std::floor(OptimalBandwidth(1.0) * 1024)));
+  EXPECT_EQ(DiscreteOptimalBandwidth(1.0, 4), 1u);  // 0.256 * 4 = 1.02
+}
+
+TEST(BandwidthTest, MutualInformationBoundIsFiniteAndSmooth) {
+  for (double eps : {0.5, 1.0, 2.0}) {
+    for (double b = 0.01; b < 0.5; b += 0.01) {
+      const double mi = MutualInformationUpperBound(eps, b);
+      EXPECT_TRUE(std::isfinite(mi));
+    }
+  }
+}
+
+// Parameterized check: the closed form maximizes the MI bound (agrees with a
+// numeric golden-section maximizer across the practical eps range).
+class BandwidthOptimalityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthOptimalityTest, ClosedFormMatchesNumericMaximizer) {
+  const double eps = GetParam();
+  const double closed = OptimalBandwidth(eps);
+  const double numeric = NumericOptimalBandwidth(eps);
+  EXPECT_NEAR(closed, numeric, 1e-5) << "eps=" << eps;
+}
+
+TEST_P(BandwidthOptimalityTest, NeighborhoodIsNotBetter) {
+  const double eps = GetParam();
+  const double b = OptimalBandwidth(eps);
+  const double f = MutualInformationUpperBound(eps, b);
+  for (double delta : {-0.02, -0.005, 0.005, 0.02}) {
+    const double other = b + delta;
+    if (other <= 0.0 || other > 0.5) continue;
+    EXPECT_GE(f + 1e-9, MutualInformationUpperBound(eps, other))
+        << "eps=" << eps << " delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonSweep, BandwidthOptimalityTest,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0, 1.5, 2.0,
+                                           2.5, 3.0, 4.0, 5.0, 6.0));
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,189 @@
+#include "hierarchy/constrained.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace numdist {
+namespace {
+
+std::vector<double> RandomNodes(const HierarchyTree& tree, Rng& rng) {
+  std::vector<double> nodes(tree.NumNodes());
+  for (double& v : nodes) v = rng.Uniform(-0.5, 1.5);
+  return nodes;
+}
+
+TEST(ConstrainedInferenceTest, OutputIsConsistent) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  Rng rng(1);
+  const std::vector<double> noisy = RandomNodes(t, rng);
+  const std::vector<double> out = ConstrainedInference(t, noisy);
+  EXPECT_LT(ConsistencyResidual(t, out), 1e-10);
+}
+
+TEST(ConstrainedInferenceTest, ConsistentInputIsFixedPoint) {
+  const HierarchyTree t = HierarchyTree::Make(8, 2).ValueOrDie();
+  // Build an exactly consistent vector from leaves.
+  std::vector<double> leaves = {0.1, 0.2, 0.05, 0.05, 0.3, 0.1, 0.15, 0.05};
+  std::vector<double> nodes(t.NumNodes(), 0.0);
+  for (size_t level = 0; level <= t.height(); ++level) {
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      const auto [s, e] = t.LeafSpan(level, i);
+      for (size_t leaf = s; leaf < e; ++leaf) {
+        nodes[t.FlatIndex(level, i)] += leaves[leaf];
+      }
+    }
+  }
+  const std::vector<double> out = ConstrainedInference(t, nodes);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_NEAR(out[i], nodes[i], 1e-10) << "i=" << i;
+  }
+}
+
+TEST(ConstrainedInferenceTest, MatchesBruteForceBinary) {
+  const HierarchyTree t = HierarchyTree::Make(8, 2).ValueOrDie();
+  Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::vector<double> noisy = RandomNodes(t, rng);
+    const std::vector<double> fast = ConstrainedInference(t, noisy);
+    const std::vector<double> exact = ConstrainedInferenceBruteForce(t, noisy);
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], exact[i], 1e-8) << "rep=" << rep << " i=" << i;
+    }
+  }
+}
+
+TEST(ConstrainedInferenceTest, MatchesBruteForceTernary) {
+  const HierarchyTree t = HierarchyTree::Make(9, 3).ValueOrDie();
+  Rng rng(3);
+  const std::vector<double> noisy = RandomNodes(t, rng);
+  const std::vector<double> fast = ConstrainedInference(t, noisy);
+  const std::vector<double> exact = ConstrainedInferenceBruteForce(t, noisy);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], exact[i], 1e-8);
+  }
+}
+
+TEST(ConstrainedInferenceTest, MatchesBruteForceQuaternary) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  Rng rng(4);
+  const std::vector<double> noisy = RandomNodes(t, rng);
+  const std::vector<double> fast = ConstrainedInference(t, noisy);
+  const std::vector<double> exact = ConstrainedInferenceBruteForce(t, noisy);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], exact[i], 1e-8);
+  }
+}
+
+TEST(ConstrainedInferenceTest, FixRootPinsRoot) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  Rng rng(5);
+  const std::vector<double> noisy = RandomNodes(t, rng);
+  const std::vector<double> out =
+      ConstrainedInference(t, noisy, /*fix_root=*/true, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_LT(ConsistencyResidual(t, out), 1e-10);
+}
+
+TEST(ConstrainedInferenceTest, FixRootMatchesBruteForce) {
+  const HierarchyTree t = HierarchyTree::Make(8, 2).ValueOrDie();
+  Rng rng(6);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::vector<double> noisy = RandomNodes(t, rng);
+    const std::vector<double> fast =
+        ConstrainedInference(t, noisy, /*fix_root=*/true, 1.0);
+    const std::vector<double> exact =
+        ConstrainedInferenceBruteForce(t, noisy, /*fix_root=*/true, 1.0);
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], exact[i], 1e-8) << "rep=" << rep << " i=" << i;
+    }
+  }
+}
+
+TEST(ConstrainedInferenceTest, IsIdempotent) {
+  const HierarchyTree t = HierarchyTree::Make(16, 2).ValueOrDie();
+  Rng rng(7);
+  const std::vector<double> noisy = RandomNodes(t, rng);
+  const std::vector<double> once = ConstrainedInference(t, noisy);
+  const std::vector<double> twice = ConstrainedInference(t, once);
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(once[i], twice[i], 1e-10);
+  }
+}
+
+TEST(ConstrainedInferenceTest, IsOrthogonalProjection) {
+  // Pythagoras: for any consistent vector c,
+  // ||noisy - c||^2 == ||noisy - proj||^2 + ||proj - c||^2.
+  const HierarchyTree t = HierarchyTree::Make(8, 2).ValueOrDie();
+  Rng rng(8);
+  const std::vector<double> noisy = RandomNodes(t, rng);
+  const std::vector<double> proj = ConstrainedInference(t, noisy);
+
+  // A consistent comparison vector built from random leaves.
+  std::vector<double> leaves(8);
+  for (double& v : leaves) v = rng.Uniform();
+  std::vector<double> c(t.NumNodes(), 0.0);
+  for (size_t level = 0; level <= t.height(); ++level) {
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      const auto [s, e] = t.LeafSpan(level, i);
+      for (size_t leaf = s; leaf < e; ++leaf) {
+        c[t.FlatIndex(level, i)] += leaves[leaf];
+      }
+    }
+  }
+  auto sqdist = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return acc;
+  };
+  EXPECT_NEAR(sqdist(noisy, c), sqdist(noisy, proj) + sqdist(proj, c), 1e-8);
+}
+
+TEST(ConstrainedInferenceTest, ReducesLeafError) {
+  // With noisy per-level observations of a known distribution, constrained
+  // inference should not increase leaf-level squared error (averaged).
+  const HierarchyTree t = HierarchyTree::Make(64, 4).ValueOrDie();
+  Rng rng(9);
+  std::vector<double> leaves(64);
+  for (double& v : leaves) v = rng.Uniform();
+  double total = 0.0;
+  for (double v : leaves) total += v;
+  for (double& v : leaves) v /= total;
+
+  double err_noisy = 0.0;
+  double err_ci = 0.0;
+  const int reps = 20;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> nodes(t.NumNodes(), 0.0);
+    for (size_t level = 0; level <= t.height(); ++level) {
+      for (size_t i = 0; i < t.LevelSize(level); ++i) {
+        const auto [s, e] = t.LeafSpan(level, i);
+        double truth = 0.0;
+        for (size_t leaf = s; leaf < e; ++leaf) truth += leaves[leaf];
+        nodes[t.FlatIndex(level, i)] = truth + 0.05 * rng.Gaussian();
+      }
+    }
+    const std::vector<double> ci = ConstrainedInference(t, nodes);
+    const size_t off = t.LevelOffset(t.height());
+    for (size_t leaf = 0; leaf < 64; ++leaf) {
+      const double dn = nodes[off + leaf] - leaves[leaf];
+      const double dc = ci[off + leaf] - leaves[leaf];
+      err_noisy += dn * dn;
+      err_ci += dc * dc;
+    }
+  }
+  EXPECT_LT(err_ci, err_noisy);
+}
+
+TEST(ConsistencyResidualTest, DetectsViolations) {
+  const HierarchyTree t = HierarchyTree::Make(4, 2).ValueOrDie();
+  std::vector<double> nodes = {1.0, 0.5, 0.5, 0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(ConsistencyResidual(t, nodes), 0.0, 1e-12);
+  nodes[1] = 0.6;
+  EXPECT_NEAR(ConsistencyResidual(t, nodes), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace numdist

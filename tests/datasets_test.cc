@@ -1,0 +1,137 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/histogram.h"
+
+namespace numdist {
+namespace {
+
+TEST(DatasetsTest, SpecsExistForAllIds) {
+  EXPECT_EQ(AllDatasetSpecs().size(), 4u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kBeta).name, "beta");
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kTaxi).name, "taxi");
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kIncome).name, "income");
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kRetirement).name, "retirement");
+}
+
+TEST(DatasetsTest, SpecsMatchPaperParameters) {
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kBeta).default_buckets, 256u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kTaxi).default_buckets, 1024u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kBeta).paper_n, 100000u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kTaxi).paper_n, 2189968u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kIncome).paper_n, 2308374u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kRetirement).paper_n, 178012u);
+}
+
+TEST(DatasetsTest, ParseDatasetId) {
+  DatasetId id;
+  EXPECT_TRUE(ParseDatasetId("income", &id));
+  EXPECT_EQ(id, DatasetId::kIncome);
+  EXPECT_FALSE(ParseDatasetId("bogus", &id));
+}
+
+TEST(DatasetsTest, AllValuesInUnitInterval) {
+  Rng rng(1);
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    const std::vector<double> values = GenerateDataset(spec.id, 20000, rng);
+    EXPECT_EQ(values.size(), 20000u);
+    for (double v : values) {
+      EXPECT_GE(v, 0.0) << spec.name;
+      EXPECT_LT(v, 1.0) << spec.name;
+    }
+  }
+}
+
+TEST(DatasetsTest, DeterministicForFixedSeed) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    Rng rng1(7);
+    Rng rng2(7);
+    EXPECT_EQ(GenerateDataset(spec.id, 1000, rng1),
+              GenerateDataset(spec.id, 1000, rng2))
+        << spec.name;
+  }
+}
+
+TEST(DatasetsTest, BetaMomentsMatchTheory) {
+  Rng rng(2);
+  const std::vector<double> values =
+      GenerateDataset(DatasetId::kBeta, 200000, rng);
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  EXPECT_NEAR(mean, 5.0 / 7.0, 0.005);  // Beta(5,2) mean
+}
+
+TEST(DatasetsTest, TaxiIsMultimodal) {
+  Rng rng(3);
+  const std::vector<double> values =
+      GenerateDataset(DatasetId::kTaxi, 200000, rng);
+  const std::vector<double> h = hist::FromSamples(values, 64);
+  // Evening peak (around 0.76) dominates the overnight trough (around 0.2).
+  double evening = 0.0;
+  double trough = 0.0;
+  for (size_t i = 46; i < 52; ++i) evening += h[i];
+  for (size_t i = 12; i < 18; ++i) trough += h[i];
+  EXPECT_GT(evening, 2.0 * trough);
+  // Morning bump (around 0.36) also dominates the trough.
+  double morning = 0.0;
+  for (size_t i = 21; i < 27; ++i) morning += h[i];
+  EXPECT_GT(morning, trough);
+}
+
+TEST(DatasetsTest, IncomeIsSpiky) {
+  Rng rng(4);
+  const std::vector<double> values =
+      GenerateDataset(DatasetId::kIncome, 200000, rng);
+  const std::vector<double> h = hist::FromSamples(values, 1024);
+  // Round-number snapping concentrates mass in few buckets: the largest
+  // bucket should tower over the local median level.
+  double max_bucket = 0.0;
+  for (double v : h) max_bucket = std::max(max_bucket, v);
+  std::vector<double> sorted = h;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_GT(max_bucket, 10.0 * std::max(median, 1e-6));
+}
+
+TEST(DatasetsTest, IncomeSpikierThanRetirement) {
+  Rng rng(5);
+  const auto spikiness = [&](DatasetId id) {
+    Rng local(11);
+    const std::vector<double> values = GenerateDataset(id, 150000, local);
+    const std::vector<double> h = hist::FromSamples(values, 1024);
+    double acc = 0.0;
+    for (size_t i = 0; i + 1 < h.size(); ++i) {
+      acc += std::fabs(h[i + 1] - h[i]);
+    }
+    return acc;  // total variation: high = spiky
+  };
+  EXPECT_GT(spikiness(DatasetId::kIncome),
+            3.0 * spikiness(DatasetId::kRetirement));
+  (void)rng;
+}
+
+TEST(DatasetsTest, RetirementIsRightSkewed) {
+  Rng rng(6);
+  const std::vector<double> values =
+      GenerateDataset(DatasetId::kRetirement, 100000, rng);
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_GT(mean, median);  // right skew
+}
+
+TEST(DatasetsTest, ZeroSamplesGiveEmptyVector) {
+  Rng rng(8);
+  EXPECT_TRUE(GenerateDataset(DatasetId::kBeta, 0, rng).empty());
+}
+
+}  // namespace
+}  // namespace numdist

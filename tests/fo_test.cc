@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "fo/adaptive.h"
+#include "fo/grr.h"
+#include "fo/hash.h"
+#include "fo/hrr.h"
+#include "fo/olh.h"
+
+namespace numdist {
+namespace {
+
+// A fixed skewed distribution over a small domain, used for unbiasedness
+// checks across all oracles.
+std::vector<uint32_t> MakeValues(size_t n, size_t domain, Rng& rng) {
+  std::vector<double> weights(domain);
+  for (size_t i = 0; i < domain; ++i) {
+    weights[i] = static_cast<double>(domain - i);  // linearly decreasing
+  }
+  DiscreteSampler sampler(weights);
+  std::vector<uint32_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<uint32_t>(sampler.Sample(rng)));
+  }
+  return values;
+}
+
+std::vector<double> TrueFrequencies(const std::vector<uint32_t>& values,
+                                    size_t domain) {
+  std::vector<double> freq(domain, 0.0);
+  for (uint32_t v : values) freq[v] += 1.0;
+  for (double& f : freq) f /= static_cast<double>(values.size());
+  return freq;
+}
+
+// ---------------------------------------------------------------- GRR --
+
+TEST(GrrTest, MakeValidation) {
+  EXPECT_FALSE(Grr::Make(0.0, 4).ok());
+  EXPECT_FALSE(Grr::Make(-1.0, 4).ok());
+  EXPECT_FALSE(Grr::Make(1.0, 1).ok());
+  EXPECT_TRUE(Grr::Make(1.0, 2).ok());
+}
+
+TEST(GrrTest, ProbabilitiesMatchFormula) {
+  const double eps = 1.2;
+  const size_t d = 8;
+  const Grr grr = Grr::Make(eps, d).ValueOrDie();
+  const double e = std::exp(eps);
+  EXPECT_NEAR(grr.p(), e / (e + d - 1), 1e-12);
+  EXPECT_NEAR(grr.q(), 1.0 / (e + d - 1), 1e-12);
+  EXPECT_NEAR(grr.p() + (d - 1) * grr.q(), 1.0, 1e-12);
+  EXPECT_NEAR(grr.p() / grr.q(), e, 1e-9);
+}
+
+TEST(GrrTest, PerturbStaysInDomain) {
+  const Grr grr = Grr::Make(0.5, 10).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(grr.Perturb(i % 10, rng), 10u);
+  }
+}
+
+TEST(GrrTest, PerturbRetainsWithProbabilityP) {
+  const Grr grr = Grr::Make(2.0, 5).ValueOrDie();
+  Rng rng(2);
+  int kept = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) kept += (grr.Perturb(3, rng) == 3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(kept) / n, grr.p(), 0.01);
+}
+
+TEST(GrrTest, EstimateIsUnbiased) {
+  Rng rng(3);
+  const size_t d = 6;
+  const auto values = MakeValues(200000, d, rng);
+  const auto truth = TrueFrequencies(values, d);
+  const Grr grr = Grr::Make(1.0, d).ValueOrDie();
+  std::vector<uint32_t> reports;
+  reports.reserve(values.size());
+  for (uint32_t v : values) reports.push_back(grr.Perturb(v, rng));
+  const auto est = grr.Estimate(reports);
+  for (size_t v = 0; v < d; ++v) {
+    EXPECT_NEAR(est[v], truth[v], 0.02) << "v=" << v;
+  }
+}
+
+TEST(GrrTest, EstimatesSumToOne) {
+  // The GRR de-biasing is affine in the counts, so estimates always sum to 1.
+  Rng rng(4);
+  const size_t d = 4;
+  const auto values = MakeValues(5000, d, rng);
+  const Grr grr = Grr::Make(0.5, d).ValueOrDie();
+  std::vector<uint32_t> reports;
+  for (uint32_t v : values) reports.push_back(grr.Perturb(v, rng));
+  const auto est = grr.Estimate(reports);
+  EXPECT_NEAR(hist::Sum(est), 1.0, 1e-9);
+}
+
+TEST(GrrTest, EmpiricalVarianceMatchesFormula) {
+  const double eps = 1.0;
+  const size_t d = 16;
+  const size_t n = 20000;
+  const Grr grr = Grr::Make(eps, d).ValueOrDie();
+  Rng rng(5);
+  // All users hold value 0; measure variance of the estimate for value 7
+  // (true frequency 0) across repetitions.
+  const int reps = 60;
+  double sq = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<uint64_t> counts(d, 0);
+    for (size_t i = 0; i < n; ++i) ++counts[grr.Perturb(0, rng)];
+    const auto est = grr.EstimateFromCounts(counts, n);
+    sq += est[7] * est[7];
+  }
+  const double var = sq / reps;
+  EXPECT_NEAR(var, Grr::Variance(eps, d, n), Grr::Variance(eps, d, n) * 0.6);
+}
+
+// ---------------------------------------------------------------- OLH --
+
+TEST(OlhTest, MakeValidation) {
+  EXPECT_FALSE(Olh::Make(0.0, 16).ok());
+  EXPECT_FALSE(Olh::Make(1.0, 1).ok());
+  EXPECT_TRUE(Olh::Make(1.0, 16).ok());
+}
+
+TEST(OlhTest, OptimalGIsExpEpsPlusOne) {
+  const Olh olh = Olh::Make(std::log(3.0), 100).ValueOrDie();
+  EXPECT_EQ(olh.g(), 4u);  // round(e^eps) + 1 = 3 + 1
+  const Olh olh2 = Olh::Make(0.1, 100).ValueOrDie();
+  EXPECT_EQ(olh2.g(), 2u);  // clamped to >= 2
+}
+
+TEST(OlhTest, ExplicitGOverride) {
+  const Olh olh = Olh::Make(1.0, 100, 8).ValueOrDie();
+  EXPECT_EQ(olh.g(), 8u);
+}
+
+TEST(OlhTest, ReportsStayInHashedDomain) {
+  const Olh olh = Olh::Make(1.0, 64).ValueOrDie();
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const OlhReport rep = olh.Perturb(i % 64, rng);
+    EXPECT_LT(rep.y, olh.g());
+  }
+}
+
+TEST(OlhTest, EstimateIsUnbiased) {
+  Rng rng(7);
+  const size_t d = 32;
+  const auto values = MakeValues(150000, d, rng);
+  const auto truth = TrueFrequencies(values, d);
+  const Olh olh = Olh::Make(1.0, d).ValueOrDie();
+  std::vector<OlhReport> reports;
+  reports.reserve(values.size());
+  for (uint32_t v : values) reports.push_back(olh.Perturb(v, rng));
+  const auto est = olh.Estimate(reports);
+  for (size_t v = 0; v < d; ++v) {
+    EXPECT_NEAR(est[v], truth[v], 0.025) << "v=" << v;
+  }
+}
+
+TEST(OlhTest, VarianceIndependentOfDomain) {
+  EXPECT_DOUBLE_EQ(Olh::Variance(1.0, 1000), Olh::Variance(1.0, 1000));
+  const double v = Olh::Variance(1.0, 10000);
+  const double e = std::exp(1.0);
+  EXPECT_NEAR(v, 4.0 * e / ((e - 1) * (e - 1) * 10000.0), 1e-15);
+}
+
+TEST(OlhHashTest, DeterministicAndInRange) {
+  for (uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    for (uint64_t v = 0; v < 100; ++v) {
+      const uint32_t h1 = OlhHash(seed, v, 16);
+      const uint32_t h2 = OlhHash(seed, v, 16);
+      EXPECT_EQ(h1, h2);
+      EXPECT_LT(h1, 16u);
+    }
+  }
+}
+
+TEST(OlhHashTest, ApproximatelyUniform) {
+  const uint32_t g = 8;
+  std::vector<int> counts(g, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[OlhHash(0x1234, static_cast<uint64_t>(i), g)];
+  }
+  for (uint32_t b = 0; b < g; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / n, 1.0 / g, 0.01);
+  }
+}
+
+// ---------------------------------------------------------------- HRR --
+
+TEST(HrrTest, MakeValidation) {
+  EXPECT_FALSE(Hrr::Make(0.0, 8).ok());
+  EXPECT_FALSE(Hrr::Make(1.0, 1).ok());
+  EXPECT_TRUE(Hrr::Make(1.0, 8).ok());
+}
+
+TEST(HrrTest, OrderIsNextPowerOfTwo) {
+  EXPECT_EQ(Hrr::Make(1.0, 8).ValueOrDie().order(), 8u);
+  EXPECT_EQ(Hrr::Make(1.0, 9).ValueOrDie().order(), 16u);
+  EXPECT_EQ(Hrr::Make(1.0, 2).ValueOrDie().order(), 2u);
+}
+
+TEST(HrrTest, HadamardEntriesAreOrthogonal) {
+  const uint32_t k = 16;
+  for (uint32_t r1 = 0; r1 < k; ++r1) {
+    for (uint32_t r2 = 0; r2 < k; ++r2) {
+      int dot = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        dot += HadamardEntry(r1, c) * HadamardEntry(r2, c);
+      }
+      EXPECT_EQ(dot, r1 == r2 ? static_cast<int>(k) : 0);
+    }
+  }
+}
+
+TEST(HrrTest, ReportBitsAreSigns) {
+  const Hrr hrr = Hrr::Make(1.0, 8).ValueOrDie();
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const HrrReport rep = hrr.Perturb(i % 8, rng);
+    EXPECT_TRUE(rep.bit == 1 || rep.bit == -1);
+    EXPECT_LT(rep.col, hrr.order());
+  }
+}
+
+TEST(HrrTest, EstimateIsUnbiased) {
+  Rng rng(9);
+  const size_t d = 16;
+  const auto values = MakeValues(200000, d, rng);
+  const auto truth = TrueFrequencies(values, d);
+  const Hrr hrr = Hrr::Make(1.0, d).ValueOrDie();
+  std::vector<HrrReport> reports;
+  reports.reserve(values.size());
+  for (uint32_t v : values) reports.push_back(hrr.Perturb(v, rng));
+  const auto est = hrr.Estimate(reports);
+  for (size_t v = 0; v < d; ++v) {
+    EXPECT_NEAR(est[v], truth[v], 0.03) << "v=" << v;
+  }
+}
+
+// ----------------------------------------------------------- Adaptive --
+
+TEST(AdaptiveFoTest, SelectsGrrForSmallDomains) {
+  // d - 2 < 3 e^eps: with eps=1, threshold ~ 10.15 -> d=8 uses GRR.
+  EXPECT_TRUE(AdaptiveFo::Make(1.0, 8).ValueOrDie().uses_grr());
+}
+
+TEST(AdaptiveFoTest, SelectsOlhForLargeDomains) {
+  EXPECT_FALSE(AdaptiveFo::Make(1.0, 256).ValueOrDie().uses_grr());
+}
+
+TEST(AdaptiveFoTest, BoundaryFollowsVarianceRule) {
+  const double eps = 1.0;
+  const double threshold = 3.0 * std::exp(eps) + 2.0;  // d < threshold -> GRR
+  const size_t below = static_cast<size_t>(threshold) - 1;
+  const size_t above = static_cast<size_t>(threshold) + 2;
+  EXPECT_TRUE(AdaptiveFo::Make(eps, below).ValueOrDie().uses_grr());
+  EXPECT_FALSE(AdaptiveFo::Make(eps, above).ValueOrDie().uses_grr());
+}
+
+TEST(AdaptiveFoTest, RunProducesNearTruthEstimates) {
+  Rng rng(10);
+  const size_t d = 16;
+  const auto values = MakeValues(100000, d, rng);
+  const auto truth = TrueFrequencies(values, d);
+  const AdaptiveFo fo = AdaptiveFo::Make(2.0, d).ValueOrDie();
+  const auto est = fo.Run(values, rng);
+  for (size_t v = 0; v < d; ++v) {
+    EXPECT_NEAR(est[v], truth[v], 0.02);
+  }
+}
+
+TEST(AdaptiveFoTest, VarianceMatchesSelectedProtocol) {
+  const AdaptiveFo grr_like = AdaptiveFo::Make(1.0, 4).ValueOrDie();
+  EXPECT_DOUBLE_EQ(grr_like.VariancePerEstimate(1000),
+                   Grr::Variance(1.0, 4, 1000));
+  const AdaptiveFo olh_like = AdaptiveFo::Make(1.0, 1024).ValueOrDie();
+  EXPECT_DOUBLE_EQ(olh_like.VariancePerEstimate(1000),
+                   Olh::Variance(1.0, 1000));
+}
+
+TEST(NextPow2Test, Values) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(17), 32u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,105 @@
+#include "hierarchy/haar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace numdist {
+namespace {
+
+std::vector<uint32_t> StepLeafValues(size_t n, size_t d, Rng& rng) {
+  // 70% of mass in the first quarter of the domain.
+  std::vector<uint32_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.7)) {
+      values.push_back(static_cast<uint32_t>(rng.UniformInt(d / 4)));
+    } else {
+      values.push_back(static_cast<uint32_t>(rng.UniformInt(d)));
+    }
+  }
+  return values;
+}
+
+TEST(HaarHrrTest, MakeValidation) {
+  EXPECT_FALSE(HaarHrrProtocol::Make(0.0, 16).ok());
+  EXPECT_FALSE(HaarHrrProtocol::Make(1.0, 15).ok());  // not a power of two
+  EXPECT_TRUE(HaarHrrProtocol::Make(1.0, 16).ok());
+  EXPECT_TRUE(HaarHrrProtocol::Make(1.0, 1024).ok());
+}
+
+TEST(HaarHrrTest, TreeIsBinary) {
+  const HaarHrrProtocol haar = HaarHrrProtocol::Make(1.0, 64).ValueOrDie();
+  EXPECT_EQ(haar.tree().beta(), 2u);
+  EXPECT_EQ(haar.tree().height(), 6u);
+}
+
+TEST(HaarHrrTest, SynthesisIsExactlyConsistent) {
+  // The top-down Haar synthesis guarantees parent == left + right exactly.
+  const HaarHrrProtocol haar = HaarHrrProtocol::Make(1.0, 32).ValueOrDie();
+  Rng rng(1);
+  const auto values = StepLeafValues(20000, 32, rng);
+  const std::vector<double> nodes = haar.CollectNodeEstimates(values, rng);
+  const HierarchyTree& t = haar.tree();
+  for (size_t level = 0; level < t.height(); ++level) {
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      const double parent = nodes[t.FlatIndex(level, i)];
+      const double kids = nodes[t.FlatIndex(level + 1, 2 * i)] +
+                          nodes[t.FlatIndex(level + 1, 2 * i + 1)];
+      EXPECT_NEAR(parent, kids, 1e-10);
+    }
+  }
+}
+
+TEST(HaarHrrTest, RootIsOne) {
+  const HaarHrrProtocol haar = HaarHrrProtocol::Make(1.0, 16).ValueOrDie();
+  Rng rng(2);
+  const auto values = StepLeafValues(5000, 16, rng);
+  const std::vector<double> nodes = haar.CollectNodeEstimates(values, rng);
+  EXPECT_DOUBLE_EQ(nodes[0], 1.0);
+}
+
+TEST(HaarHrrTest, HighEpsilonLeavesNearTruth) {
+  const size_t d = 16;
+  const HaarHrrProtocol haar = HaarHrrProtocol::Make(6.0, d).ValueOrDie();
+  Rng rng(3);
+  const auto values = StepLeafValues(200000, d, rng);
+  std::vector<double> truth(d, 0.0);
+  for (uint32_t v : values) truth[v] += 1.0 / values.size();
+  const std::vector<double> nodes = haar.CollectNodeEstimates(values, rng);
+  const size_t off = haar.tree().LevelOffset(haar.tree().height());
+  for (size_t i = 0; i < d; ++i) {
+    EXPECT_NEAR(nodes[off + i], truth[i], 0.04) << "leaf=" << i;
+  }
+}
+
+TEST(HaarHrrTest, RangeQueriesTrackTruth) {
+  const size_t d = 64;
+  const HaarHrrProtocol haar = HaarHrrProtocol::Make(3.0, d).ValueOrDie();
+  Rng rng(4);
+  const auto values = StepLeafValues(200000, d, rng);
+  std::vector<double> truth(d, 0.0);
+  for (uint32_t v : values) truth[v] += 1.0 / values.size();
+  const std::vector<double> nodes = haar.CollectNodeEstimates(values, rng);
+  for (size_t lo : {0u, 8u, 16u}) {
+    for (size_t hi : {24u, 48u, 64u}) {
+      double expected = 0.0;
+      for (size_t leaf = lo; leaf < hi; ++leaf) expected += truth[leaf];
+      EXPECT_NEAR(TreeRangeQuery(haar.tree(), nodes, lo, hi), expected, 0.06)
+          << "lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(HaarHrrTest, DeterministicForFixedSeed) {
+  const HaarHrrProtocol haar = HaarHrrProtocol::Make(1.0, 16).ValueOrDie();
+  Rng rng_data(5);
+  const auto values = StepLeafValues(3000, 16, rng_data);
+  Rng rng1(9);
+  Rng rng2(9);
+  EXPECT_EQ(haar.CollectNodeEstimates(values, rng1),
+            haar.CollectNodeEstimates(values, rng2));
+}
+
+}  // namespace
+}  // namespace numdist

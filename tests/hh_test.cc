@@ -1,0 +1,179 @@
+#include "hierarchy/hh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hierarchy/constrained.h"
+
+namespace numdist {
+namespace {
+
+std::vector<uint32_t> SkewedLeafValues(size_t n, size_t d, Rng& rng) {
+  std::vector<double> weights(d);
+  for (size_t i = 0; i < d; ++i) {
+    weights[i] = std::exp(-static_cast<double>(i) / (d / 4.0));
+  }
+  DiscreteSampler sampler(weights);
+  std::vector<uint32_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<uint32_t>(sampler.Sample(rng)));
+  }
+  return values;
+}
+
+TEST(HhProtocolTest, MakeValidation) {
+  EXPECT_FALSE(HhProtocol::Make(0.0, 16, 4).ok());
+  EXPECT_FALSE(HhProtocol::Make(1.0, 15, 4).ok());
+  EXPECT_TRUE(HhProtocol::Make(1.0, 16, 4).ok());
+  EXPECT_TRUE(HhProtocol::Make(1.0, 64, 4).ok());
+}
+
+TEST(HhProtocolTest, RootIsAlwaysOne) {
+  const HhProtocol hh = HhProtocol::Make(1.0, 16, 4).ValueOrDie();
+  Rng rng(1);
+  const auto values = SkewedLeafValues(5000, 16, rng);
+  const std::vector<double> nodes = hh.CollectNodeEstimates(values, rng);
+  EXPECT_DOUBLE_EQ(nodes[0], 1.0);
+  EXPECT_EQ(nodes.size(), hh.tree().NumNodes());
+}
+
+TEST(HhProtocolTest, LevelEstimatesRoughlySumToOne) {
+  // Each level's frequency estimates are produced by an (affine-debiased)
+  // frequency oracle; sums are close to 1.
+  const HhProtocol hh = HhProtocol::Make(2.0, 64, 4).ValueOrDie();
+  Rng rng(2);
+  const auto values = SkewedLeafValues(60000, 64, rng);
+  const std::vector<double> nodes = hh.CollectNodeEstimates(values, rng);
+  const HierarchyTree& t = hh.tree();
+  for (size_t level = 1; level <= t.height(); ++level) {
+    double sum = 0.0;
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      sum += nodes[t.FlatIndex(level, i)];
+    }
+    EXPECT_NEAR(sum, 1.0, 0.15) << "level=" << level;
+  }
+}
+
+TEST(HhProtocolTest, HighEpsilonEstimatesNearTruth) {
+  const size_t d = 16;
+  const HhProtocol hh = HhProtocol::Make(6.0, d, 4).ValueOrDie();
+  Rng rng(3);
+  const auto values = SkewedLeafValues(100000, d, rng);
+  std::vector<double> truth(d, 0.0);
+  for (uint32_t v : values) truth[v] += 1.0 / values.size();
+  const std::vector<double> nodes = hh.CollectNodeEstimates(values, rng);
+  const size_t off = hh.tree().LevelOffset(hh.tree().height());
+  for (size_t i = 0; i < d; ++i) {
+    EXPECT_NEAR(nodes[off + i], truth[i], 0.03) << "leaf=" << i;
+  }
+}
+
+TEST(HhProtocolTest, RangeQueryAfterConstrainedInference) {
+  const size_t d = 64;
+  const HhProtocol hh = HhProtocol::Make(3.0, d, 4).ValueOrDie();
+  Rng rng(4);
+  const auto values = SkewedLeafValues(150000, d, rng);
+  std::vector<double> truth(d, 0.0);
+  for (uint32_t v : values) truth[v] += 1.0 / values.size();
+
+  std::vector<double> nodes = hh.CollectNodeEstimates(values, rng);
+  nodes = ConstrainedInference(hh.tree(), nodes, /*fix_root=*/true);
+
+  for (size_t lo : {0u, 10u, 32u}) {
+    for (size_t hi : {16u, 40u, 64u}) {
+      if (hi <= lo) continue;
+      double expected = 0.0;
+      for (size_t leaf = lo; leaf < hi; ++leaf) expected += truth[leaf];
+      EXPECT_NEAR(TreeRangeQuery(hh.tree(), nodes, lo, hi), expected, 0.05)
+          << "lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(HhProtocolTest, DeterministicForFixedSeed) {
+  const HhProtocol hh = HhProtocol::Make(1.0, 16, 4).ValueOrDie();
+  Rng rng_data(5);
+  const auto values = SkewedLeafValues(2000, 16, rng_data);
+  Rng rng1(6);
+  Rng rng2(6);
+  const auto nodes1 = hh.CollectNodeEstimates(values, rng1);
+  const auto nodes2 = hh.CollectNodeEstimates(values, rng2);
+  EXPECT_EQ(nodes1, nodes2);
+}
+
+TEST(HhProtocolTest, BinaryTreeAlsoWorks) {
+  const HhProtocol hh = HhProtocol::Make(1.0, 32, 2).ValueOrDie();
+  Rng rng(7);
+  const auto values = SkewedLeafValues(10000, 32, rng);
+  const std::vector<double> nodes = hh.CollectNodeEstimates(values, rng);
+  EXPECT_EQ(nodes.size(), hh.tree().NumNodes());
+  EXPECT_EQ(hh.tree().height(), 5u);
+}
+
+TEST(HhProtocolTest, DefaultStrategyIsDividePopulation) {
+  const HhProtocol hh = HhProtocol::Make(1.0, 16, 4).ValueOrDie();
+  EXPECT_EQ(hh.strategy(), HhBudgetStrategy::kDividePopulation);
+  EXPECT_DOUBLE_EQ(hh.per_report_epsilon(), 1.0);
+}
+
+TEST(HhProtocolTest, DivideBudgetSplitsEpsilonAcrossLevels) {
+  const HhProtocol hh =
+      HhProtocol::Make(2.0, 64, 4, HhBudgetStrategy::kDivideBudget)
+          .ValueOrDie();
+  EXPECT_EQ(hh.tree().height(), 3u);
+  EXPECT_DOUBLE_EQ(hh.per_report_epsilon(), 2.0 / 3.0);
+}
+
+TEST(HhProtocolTest, DivideBudgetProducesFullTree) {
+  const HhProtocol hh =
+      HhProtocol::Make(1.0, 16, 4, HhBudgetStrategy::kDivideBudget)
+          .ValueOrDie();
+  Rng rng(8);
+  const auto values = SkewedLeafValues(20000, 16, rng);
+  const std::vector<double> nodes = hh.CollectNodeEstimates(values, rng);
+  EXPECT_EQ(nodes.size(), hh.tree().NumNodes());
+  EXPECT_DOUBLE_EQ(nodes[0], 1.0);
+  // Every level still estimates frequencies summing to ~1.
+  const HierarchyTree& t = hh.tree();
+  for (size_t level = 1; level <= t.height(); ++level) {
+    double sum = 0.0;
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      sum += nodes[t.FlatIndex(level, i)];
+    }
+    EXPECT_NEAR(sum, 1.0, 0.2) << "level=" << level;
+  }
+}
+
+TEST(HhProtocolTest, DividePopulationBeatsDivideBudgetUnderLdp) {
+  // The §4.2 claim, at test scale: leaf-level error of the constrained tree
+  // is lower with population division.
+  const size_t d = 64;
+  Rng rng(9);
+  const auto values = SkewedLeafValues(60000, d, rng);
+  std::vector<double> truth(d, 0.0);
+  for (uint32_t v : values) truth[v] += 1.0 / values.size();
+
+  double err[2] = {0.0, 0.0};
+  int k = 0;
+  for (auto strategy : {HhBudgetStrategy::kDividePopulation,
+                        HhBudgetStrategy::kDivideBudget}) {
+    const HhProtocol hh = HhProtocol::Make(1.0, d, 4, strategy).ValueOrDie();
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      Rng trial_rng(100 + seed);
+      std::vector<double> nodes = hh.CollectNodeEstimates(values, trial_rng);
+      nodes = ConstrainedInference(hh.tree(), nodes, /*fix_root=*/true);
+      const size_t off = hh.tree().LevelOffset(hh.tree().height());
+      for (size_t leaf = 0; leaf < d; ++leaf) {
+        const double diff = nodes[off + leaf] - truth[leaf];
+        err[k] += diff * diff;
+      }
+    }
+    ++k;
+  }
+  EXPECT_LT(err[0], err[1]);
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,98 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace numdist {
+namespace {
+
+TEST(HistogramTest, BucketOfBasics) {
+  EXPECT_EQ(hist::BucketOf(0.0, 4), 0u);
+  EXPECT_EQ(hist::BucketOf(0.24, 4), 0u);
+  EXPECT_EQ(hist::BucketOf(0.25, 4), 1u);
+  EXPECT_EQ(hist::BucketOf(0.5, 4), 2u);
+  EXPECT_EQ(hist::BucketOf(0.99, 4), 3u);
+}
+
+TEST(HistogramTest, BucketOfClosesLastBucket) {
+  EXPECT_EQ(hist::BucketOf(1.0, 4), 3u);
+}
+
+TEST(HistogramTest, BucketOfClampsOutOfRange) {
+  EXPECT_EQ(hist::BucketOf(-0.5, 8), 0u);
+  EXPECT_EQ(hist::BucketOf(1.5, 8), 7u);
+}
+
+TEST(HistogramTest, BucketOfCustomRange) {
+  EXPECT_EQ(hist::BucketOf(15.0, 10, 10.0, 20.0), 5u);
+  EXPECT_EQ(hist::BucketOf(10.0, 10, 10.0, 20.0), 0u);
+  EXPECT_EQ(hist::BucketOf(20.0, 10, 10.0, 20.0), 9u);
+}
+
+TEST(HistogramTest, BucketCenter) {
+  EXPECT_DOUBLE_EQ(hist::BucketCenter(0, 4), 0.125);
+  EXPECT_DOUBLE_EQ(hist::BucketCenter(3, 4), 0.875);
+}
+
+TEST(HistogramTest, CountsSumToN) {
+  const std::vector<double> values = {0.1, 0.1, 0.6, 0.9, 0.95};
+  const std::vector<uint64_t> counts = hist::Counts(values, 4);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+}
+
+TEST(HistogramTest, FromSamplesIsNormalized) {
+  const std::vector<double> values = {0.1, 0.3, 0.6, 0.9};
+  const std::vector<double> freq = hist::FromSamples(values, 4);
+  EXPECT_TRUE(hist::IsDistribution(freq));
+  EXPECT_DOUBLE_EQ(freq[0], 0.25);
+}
+
+TEST(HistogramTest, FromSamplesEmpty) {
+  const std::vector<double> freq = hist::FromSamples({}, 4);
+  EXPECT_EQ(freq.size(), 4u);
+  EXPECT_DOUBLE_EQ(hist::Sum(freq), 0.0);
+}
+
+TEST(HistogramTest, NormalizeMakesSumOne) {
+  std::vector<double> x = {1.0, 3.0};
+  hist::Normalize(&x);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.75);
+}
+
+TEST(HistogramTest, NormalizeZeroVectorIsNoOp) {
+  std::vector<double> x = {0.0, 0.0};
+  hist::Normalize(&x);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(HistogramTest, CdfIsPrefixSum) {
+  const std::vector<double> cdf = hist::Cdf({0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.1);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.3);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.6);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+}
+
+TEST(HistogramTest, IsDistributionAcceptsValid) {
+  EXPECT_TRUE(hist::IsDistribution({0.5, 0.5}));
+  EXPECT_TRUE(hist::IsDistribution({1.0, 0.0}));
+}
+
+TEST(HistogramTest, IsDistributionRejectsNegative) {
+  EXPECT_FALSE(hist::IsDistribution({1.1, -0.1}));
+}
+
+TEST(HistogramTest, IsDistributionRejectsWrongSum) {
+  EXPECT_FALSE(hist::IsDistribution({0.5, 0.4}));
+}
+
+TEST(HistogramTest, IsDistributionToleratesRoundoff) {
+  EXPECT_TRUE(hist::IsDistribution({0.5, 0.5 + 1e-12}));
+}
+
+}  // namespace
+}  // namespace numdist

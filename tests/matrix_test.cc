@@ -1,0 +1,116 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace numdist {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  Matrix m(2, 2);
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  const double* r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 4.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 1, 1] = [6, 15]
+  double v = 1.0;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) m(i, j) = v++;
+  }
+  const std::vector<double> y = m.Multiply({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, TransposeMultiply) {
+  Matrix m(2, 3);
+  double v = 1.0;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) m(i, j) = v++;
+  }
+  const std::vector<double> y = m.TransposeMultiply({1.0, 2.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0 + 10.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0 + 12.0);
+}
+
+TEST(MatrixTest, ColumnSum) {
+  Matrix m(3, 2);
+  m(0, 0) = 1.0;
+  m(1, 0) = 2.0;
+  m(2, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.ColumnSum(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.ColumnSum(1), 0.0);
+}
+
+TEST(MatrixTest, SolveSimpleSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  std::vector<double> b = {5.0, 10.0};
+  ASSERT_TRUE(Matrix::SolveInPlace(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveNeedsPivoting) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  std::vector<double> b = {2.0, 3.0};
+  ASSERT_TRUE(Matrix::SolveInPlace(a, b));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveDetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_FALSE(Matrix::SolveInPlace(a, b));
+}
+
+TEST(MatrixTest, SolveLargerRandomSystemRoundTrips) {
+  const size_t n = 12;
+  Matrix a(n, n);
+  std::vector<double> x_true(n);
+  uint64_t state = 99;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40) / (1 << 24) - 0.5;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    x_true[i] = next();
+    for (size_t j = 0; j < n; ++j) a(i, j) = next();
+    a(i, i) += 4.0;  // diagonal dominance -> well-conditioned
+  }
+  Matrix a_copy = a;
+  std::vector<double> b = a.Multiply(x_true);
+  ASSERT_TRUE(Matrix::SolveInPlace(a_copy, b));
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace numdist

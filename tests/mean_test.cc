@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mean/moments.h"
+#include "mean/pm.h"
+#include "mean/sr.h"
+
+namespace numdist {
+namespace {
+
+// -------------------------------------------------------------- SR --
+
+TEST(SrTest, MakeValidation) {
+  EXPECT_FALSE(StochasticRounding::Make(0.0).ok());
+  EXPECT_FALSE(StochasticRounding::Make(-2.0).ok());
+  EXPECT_TRUE(StochasticRounding::Make(1.0).ok());
+}
+
+TEST(SrTest, ReportMagnitude) {
+  const double eps = 1.0;
+  const StochasticRounding sr = StochasticRounding::Make(eps).ValueOrDie();
+  const double e = std::exp(eps);
+  EXPECT_NEAR(sr.report_magnitude(), (e + 1.0) / (e - 1.0), 1e-12);
+}
+
+TEST(SrTest, ReportsAreExtremes) {
+  const StochasticRounding sr = StochasticRounding::Make(1.0).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = sr.Perturb(0.4, rng);
+    EXPECT_NEAR(std::fabs(r), sr.report_magnitude(), 1e-12);
+  }
+}
+
+TEST(SrTest, UnbiasedAcrossInputs) {
+  const StochasticRounding sr = StochasticRounding::Make(1.0).ValueOrDie();
+  Rng rng(2);
+  for (double v : {-1.0, -0.5, 0.0, 0.3, 1.0}) {
+    double acc = 0.0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) acc += sr.Perturb(v, rng);
+    EXPECT_NEAR(acc / n, v, 0.02) << "v=" << v;
+  }
+}
+
+TEST(SrTest, MeanOfReports) {
+  EXPECT_DOUBLE_EQ(StochasticRounding::MeanOfReports({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StochasticRounding::MeanOfReports({}), 0.0);
+}
+
+// -------------------------------------------------------------- PM --
+
+TEST(PmTest, MakeValidation) {
+  EXPECT_FALSE(PiecewiseMechanism::Make(0.0).ok());
+  EXPECT_TRUE(PiecewiseMechanism::Make(0.5).ok());
+}
+
+TEST(PmTest, OutputBound) {
+  const double eps = 1.0;
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(eps).ValueOrDie();
+  const double e2 = std::exp(eps / 2.0);
+  EXPECT_NEAR(pm.s(), (e2 + 1.0) / (e2 - 1.0), 1e-12);
+}
+
+TEST(PmTest, WindowGeometry) {
+  const double eps = 2.0;
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(eps).ValueOrDie();
+  const double e2 = std::exp(eps / 2.0);
+  for (double v : {-1.0, 0.0, 0.5, 1.0}) {
+    const double l = pm.WindowLeft(v);
+    const double r = pm.WindowRight(v);
+    EXPECT_NEAR(r - l, 2.0 / (e2 - 1.0), 1e-12);          // constant width
+    EXPECT_NEAR((l + r) / 2.0, e2 * v / (e2 - 1.0), 1e-12);  // scaled center
+    EXPECT_GE(l, -pm.s() - 1e-12);
+    EXPECT_LE(r, pm.s() + 1e-12);
+  }
+}
+
+TEST(PmTest, DensityRatioIsExpEps) {
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(1.4).ValueOrDie();
+  EXPECT_NEAR(pm.high_density() / pm.low_density(), std::exp(1.4), 1e-9);
+}
+
+TEST(PmTest, ReportsStayInRange) {
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(1.0).ValueOrDie();
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = -1.0 + 2.0 * (i % 100) / 99.0;
+    const double r = pm.Perturb(v, rng);
+    EXPECT_GE(r, -pm.s() - 1e-12);
+    EXPECT_LE(r, pm.s() + 1e-12);
+  }
+}
+
+TEST(PmTest, UnbiasedAcrossInputs) {
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(1.0).ValueOrDie();
+  Rng rng(4);
+  for (double v : {-1.0, -0.4, 0.0, 0.7, 1.0}) {
+    double acc = 0.0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) acc += pm.Perturb(v, rng);
+    EXPECT_NEAR(acc / n, v, 0.02) << "v=" << v;
+  }
+}
+
+TEST(PmTest, HighProbabilityWindowMass) {
+  const double eps = 1.0;
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(eps).ValueOrDie();
+  Rng rng(5);
+  const double v = 0.25;
+  const double l = pm.WindowLeft(v);
+  const double r = pm.WindowRight(v);
+  int inside = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double rep = pm.Perturb(v, rng);
+    if (rep >= l && rep <= r) ++inside;
+  }
+  const double e2 = std::exp(eps / 2.0);
+  EXPECT_NEAR(static_cast<double>(inside) / n, e2 / (e2 + 1.0), 0.005);
+}
+
+TEST(PmTest, LowerVarianceThanSrAtLargeEps) {
+  // Paper §2.2: PM beats SR when eps is large.
+  const double eps = 4.0;
+  const StochasticRounding sr = StochasticRounding::Make(eps).ValueOrDie();
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(eps).ValueOrDie();
+  Rng rng(6);
+  const double v = 0.5;
+  double var_sr = 0.0;
+  double var_pm = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double a = sr.Perturb(v, rng) - v;
+    const double b = pm.Perturb(v, rng) - v;
+    var_sr += a * a;
+    var_pm += b * b;
+  }
+  EXPECT_LT(var_pm, var_sr);
+}
+
+// ---------------------------------------------------------- moments --
+
+TEST(MomentsTest, EstimateMeanValidation) {
+  Rng rng(7);
+  EXPECT_FALSE(
+      EstimateMean({}, MeanMechanism::kPiecewiseMechanism, 1.0, rng).ok());
+}
+
+TEST(MomentsTest, MeanRecoveredByBothMechanisms) {
+  Rng data_rng(8);
+  std::vector<double> values;
+  double truth = 0.0;
+  for (int i = 0; i < 150000; ++i) {
+    const double v = std::clamp(0.3 + 0.1 * data_rng.Gaussian(), 0.0, 1.0);
+    values.push_back(v);
+    truth += v;
+  }
+  truth /= values.size();
+  for (auto mech : {MeanMechanism::kStochasticRounding,
+                    MeanMechanism::kPiecewiseMechanism}) {
+    Rng rng(9);
+    const double est = EstimateMean(values, mech, 1.0, rng).ValueOrDie();
+    EXPECT_NEAR(est, truth, 0.02);
+  }
+}
+
+TEST(MomentsTest, VarianceProtocolRecoversVariance) {
+  Rng data_rng(10);
+  std::vector<double> values;
+  for (int i = 0; i < 200000; ++i) {
+    values.push_back(data_rng.Uniform());  // variance 1/12
+  }
+  Rng rng(11);
+  const MomentsEstimate est =
+      EstimateMoments(values, MeanMechanism::kPiecewiseMechanism, 2.0, rng)
+          .ValueOrDie();
+  EXPECT_NEAR(est.mean, 0.5, 0.02);
+  EXPECT_NEAR(est.variance, 1.0 / 12.0, 0.02);
+}
+
+TEST(MomentsTest, NeedsAtLeastTwoUsers) {
+  Rng rng(12);
+  EXPECT_FALSE(
+      EstimateMoments({0.5}, MeanMechanism::kStochasticRounding, 1.0, rng)
+          .ok());
+}
+
+TEST(MomentsTest, VarianceIsNonNegative) {
+  Rng rng(13);
+  std::vector<double> values(2000, 0.5);  // zero-variance data, heavy noise
+  const MomentsEstimate est =
+      EstimateMoments(values, MeanMechanism::kStochasticRounding, 0.2, rng)
+          .ValueOrDie();
+  EXPECT_GE(est.variance, 0.0);
+}
+
+}  // namespace
+}  // namespace numdist

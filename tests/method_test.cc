@@ -1,0 +1,106 @@
+#include "eval/method.h"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "data/datasets.h"
+
+namespace numdist {
+namespace {
+
+std::vector<double> TestValues(size_t n) {
+  Rng rng(1234);
+  return GenerateDataset(DatasetId::kBeta, n, rng);
+}
+
+TEST(MethodTest, StandardSuiteHasAllPaperMethods) {
+  const auto suite = MakeStandardSuite();
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite[0]->name(), "SW-EMS");
+  EXPECT_EQ(suite[1]->name(), "SW-EM");
+  EXPECT_EQ(suite[2]->name(), "HH-ADMM");
+  EXPECT_EQ(suite[3]->name(), "CFO-bin-16");
+  EXPECT_EQ(suite[4]->name(), "CFO-bin-32");
+  EXPECT_EQ(suite[5]->name(), "CFO-bin-64");
+  EXPECT_EQ(suite[6]->name(), "HH");
+  EXPECT_EQ(suite[7]->name(), "HaarHRR");
+}
+
+TEST(MethodTest, DistributionAvailabilityMatchesTable2) {
+  const auto suite = MakeStandardSuite();
+  EXPECT_TRUE(suite[0]->yields_distribution());   // SW-EMS
+  EXPECT_TRUE(suite[1]->yields_distribution());   // SW-EM
+  EXPECT_TRUE(suite[2]->yields_distribution());   // HH-ADMM
+  EXPECT_TRUE(suite[3]->yields_distribution());   // CFO binning
+  EXPECT_FALSE(suite[6]->yields_distribution());  // HH: range queries only
+  EXPECT_FALSE(suite[7]->yields_distribution());  // HaarHRR
+}
+
+TEST(MethodTest, EveryMethodRunsAndAnswersRangeQueries) {
+  const auto values = TestValues(8000);
+  const size_t d = 64;
+  Rng rng(5);
+  for (const auto& method : MakeStandardSuite()) {
+    Rng trial_rng = rng.Fork();
+    const MethodOutput out =
+        method->Run(values, 1.0, d, trial_rng).ValueOrDie();
+    ASSERT_TRUE(out.range_query) << method->name();
+    const double full = out.range_query(0.0, 1.0);
+    EXPECT_NEAR(full, 1.0, 0.3) << method->name();
+    if (method->yields_distribution()) {
+      EXPECT_EQ(out.distribution.size(), d) << method->name();
+      EXPECT_TRUE(hist::IsDistribution(out.distribution, 1e-6))
+          << method->name();
+    } else {
+      EXPECT_TRUE(out.distribution.empty()) << method->name();
+    }
+  }
+}
+
+TEST(MethodTest, CfoBinningRequiresDivisibility) {
+  const auto method = MakeCfoBinningMethod(48);
+  Rng rng(6);
+  EXPECT_FALSE(method->Run(TestValues(100), 1.0, 64, rng).ok());
+}
+
+TEST(MethodTest, CfoBinningExpandsUniformlyWithinBins) {
+  const auto method = MakeCfoBinningMethod(16);
+  Rng rng(7);
+  const MethodOutput out =
+      method->Run(TestValues(20000), 2.0, 64, rng).ValueOrDie();
+  // Buckets within one chunk of 4 must be equal.
+  for (size_t c = 0; c < 16; ++c) {
+    for (size_t j = 1; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(out.distribution[c * 4], out.distribution[c * 4 + j]);
+    }
+  }
+}
+
+TEST(MethodTest, HaarHrrRequiresPowerOfTwoGranularity) {
+  const auto method = MakeHaarHrrMethod();
+  Rng rng(8);
+  EXPECT_FALSE(method->Run(TestValues(100), 1.0, 48, rng).ok());
+}
+
+TEST(MethodTest, HhRequiresPowerOfBetaGranularity) {
+  const auto method = MakeHhMethod(4);
+  Rng rng(9);
+  EXPECT_FALSE(method->Run(TestValues(100), 1.0, 48, rng).ok());
+  EXPECT_TRUE(method->Run(TestValues(100), 1.0, 64, rng).ok());
+}
+
+TEST(MethodTest, MethodsAreDeterministicGivenSeed) {
+  const auto values = TestValues(4000);
+  for (const auto& method : MakeStandardSuite()) {
+    Rng rng1(42);
+    Rng rng2(42);
+    const MethodOutput a = method->Run(values, 1.0, 64, rng1).ValueOrDie();
+    const MethodOutput b = method->Run(values, 1.0, 64, rng2).ValueOrDie();
+    EXPECT_EQ(a.distribution, b.distribution) << method->name();
+    EXPECT_DOUBLE_EQ(a.range_query(0.2, 0.3), b.range_query(0.2, 0.3))
+        << method->name();
+  }
+}
+
+}  // namespace
+}  // namespace numdist

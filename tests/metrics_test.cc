@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/distance.h"
+#include "metrics/queries.h"
+
+namespace numdist {
+namespace {
+
+// ---------------------------------------------------------- distance --
+
+TEST(WassersteinTest, IdenticalDistributionsHaveZeroDistance) {
+  const std::vector<double> x = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(WassersteinDistance(x, x), 0.0);
+}
+
+TEST(WassersteinTest, AdjacentSwapCost) {
+  // Moving mass 1 by one bucket (width 1/d) costs 1/d.
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> y = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(WassersteinDistance(x, y), 0.5);  // 1 * (1/2)
+}
+
+TEST(WassersteinTest, PaperSection31Example) {
+  // x = [0.7 0.1 0.1 0.1]; x^1 shifts the spike by one bucket, x^2 by three.
+  // W1 must order x^1 closer than x^2 (L1/L2/KL cannot).
+  const std::vector<double> x = {0.7, 0.1, 0.1, 0.1};
+  const std::vector<double> xhat1 = {0.1, 0.7, 0.1, 0.1};
+  const std::vector<double> xhat2 = {0.1, 0.1, 0.1, 0.7};
+  EXPECT_LT(WassersteinDistance(x, xhat1), WassersteinDistance(x, xhat2));
+  EXPECT_DOUBLE_EQ(L1Distance(x, xhat1), L1Distance(x, xhat2));
+  EXPECT_DOUBLE_EQ(L2Distance(x, xhat1), L2Distance(x, xhat2));
+}
+
+TEST(WassersteinTest, ScalesWithShiftDistance) {
+  const std::vector<double> x = {1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> y1 = {0.0, 1.0, 0.0, 0.0};
+  const std::vector<double> y3 = {0.0, 0.0, 0.0, 1.0};
+  EXPECT_NEAR(WassersteinDistance(x, y3), 3.0 * WassersteinDistance(x, y1),
+              1e-12);
+}
+
+TEST(WassersteinTest, SymmetricAndNonNegative) {
+  const std::vector<double> x = {0.6, 0.3, 0.1};
+  const std::vector<double> y = {0.2, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(WassersteinDistance(x, y), WassersteinDistance(y, x));
+  EXPECT_GT(WassersteinDistance(x, y), 0.0);
+}
+
+TEST(KsTest, MaxCdfGap) {
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> y = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(KsDistance(x, y), 1.0);
+}
+
+TEST(KsTest, DetectsSpikeMismatch) {
+  const std::vector<double> x = {0.5, 0.0, 0.5, 0.0};
+  const std::vector<double> y = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(KsDistance(x, y), 0.25);
+}
+
+TEST(KsTest, BoundedByOne) {
+  const std::vector<double> x = {1.0, 0.0, 0.0};
+  const std::vector<double> y = {0.0, 0.0, 1.0};
+  EXPECT_LE(KsDistance(x, y), 1.0);
+}
+
+TEST(L1L2Test, BasicValues) {
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> y = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(L1Distance(x, y), 2.0);
+  EXPECT_DOUBLE_EQ(L2Distance(x, y), std::sqrt(2.0));
+}
+
+// ------------------------------------------------------------ CDF --
+
+TEST(CdfAtTest, InterpolatesWithinBuckets) {
+  const std::vector<double> x = {0.4, 0.6};
+  EXPECT_DOUBLE_EQ(CdfAt(x, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(CdfAt(x, 0.25), 0.2);   // half of bucket 0
+  EXPECT_DOUBLE_EQ(CdfAt(x, 0.5), 0.4);
+  EXPECT_DOUBLE_EQ(CdfAt(x, 0.75), 0.7);
+  EXPECT_DOUBLE_EQ(CdfAt(x, 1.0), 1.0);
+}
+
+TEST(CdfAtTest, ClampsArguments) {
+  const std::vector<double> x = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(CdfAt(x, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(CdfAt(x, 2.0), 1.0);
+}
+
+TEST(RangeQueryTest, MatchesCdfDifference) {
+  const std::vector<double> x = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(RangeQuery(x, 0.25, 0.5), CdfAt(x, 0.75) - CdfAt(x, 0.25),
+              1e-12);
+  EXPECT_NEAR(RangeQuery(x, 0.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(RangeQueryMaeTest, ZeroForIdenticalDistributions) {
+  const std::vector<double> x = {0.1, 0.2, 0.3, 0.4};
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(RangeQueryMae(x, x, 0.3, 50, rng), 0.0);
+}
+
+TEST(RangeQueryMaeTest, DetectsDifferences) {
+  const std::vector<double> x = {1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> y = {0.0, 0.0, 0.0, 1.0};
+  Rng rng(2);
+  EXPECT_GT(RangeQueryMae(x, y, 0.25, 100, rng), 0.3);
+}
+
+// ---------------------------------------------------------- moments --
+
+TEST(HistMeanTest, UniformIsHalf) {
+  EXPECT_DOUBLE_EQ(HistMean(std::vector<double>(10, 0.1)), 0.5);
+}
+
+TEST(HistMeanTest, PointMassAtBucketCenter) {
+  std::vector<double> x(4, 0.0);
+  x[1] = 1.0;
+  EXPECT_DOUBLE_EQ(HistMean(x), 0.375);
+}
+
+TEST(HistVarianceTest, PointMassHasZeroVariance) {
+  std::vector<double> x(8, 0.0);
+  x[3] = 1.0;
+  EXPECT_DOUBLE_EQ(HistVariance(x), 0.0);
+}
+
+TEST(HistVarianceTest, UniformApproachesOneTwelfth) {
+  // Discrete uniform over bucket centers -> (1 - 1/d^2)/12.
+  const size_t d = 100;
+  const double var = HistVariance(std::vector<double>(d, 1.0 / d));
+  EXPECT_NEAR(var, (1.0 - 1.0 / (d * d)) / 12.0, 1e-12);
+}
+
+TEST(HistVarianceTest, TwoPointDistribution) {
+  // Mass 1/2 at centers 0.25 and 0.75: variance = 0.0625.
+  const std::vector<double> x = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(HistVariance(x), 0.0625);
+}
+
+// --------------------------------------------------------- quantiles --
+
+TEST(QuantileTest, UniformQuantilesAreLinear) {
+  const std::vector<double> x(10, 0.1);
+  for (int pct = 10; pct <= 90; pct += 10) {
+    const double beta = pct / 100.0;
+    EXPECT_NEAR(Quantile(x, beta), beta, 1e-12);
+  }
+}
+
+TEST(QuantileTest, PointMass) {
+  std::vector<double> x(4, 0.0);
+  x[2] = 1.0;  // mass on [0.5, 0.75)
+  EXPECT_NEAR(Quantile(x, 0.5), 0.625, 1e-12);
+  EXPECT_GE(Quantile(x, 0.01), 0.5);
+  EXPECT_LE(Quantile(x, 0.99), 0.75);
+}
+
+TEST(QuantileTest, EdgeBetas) {
+  const std::vector<double> x = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 1.0), 1.0);
+}
+
+TEST(QuantileMaeTest, ZeroForIdentical) {
+  const std::vector<double> x = {0.1, 0.4, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(QuantileMae(x, x), 0.0);
+}
+
+TEST(QuantileMaeTest, ShiftedDistributions) {
+  std::vector<double> x(10, 0.0);
+  std::vector<double> y(10, 0.0);
+  x[2] = 1.0;
+  y[7] = 1.0;
+  EXPECT_NEAR(QuantileMae(x, y), 0.5, 1e-12);  // every decile shifts by 0.5
+}
+
+}  // namespace
+}  // namespace numdist

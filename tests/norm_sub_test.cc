@@ -1,0 +1,135 @@
+#include "postprocess/norm_sub.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace numdist {
+namespace {
+
+TEST(NormSubTest, AlreadyValidIsUnchanged) {
+  const std::vector<double> x = {0.25, 0.25, 0.5};
+  const std::vector<double> out = NormSub(x);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(out[i], x[i], 1e-12);
+}
+
+TEST(NormSubTest, ClampsNegativesAndRenormalizes) {
+  const std::vector<double> out = NormSub({0.8, 0.5, -0.3});
+  EXPECT_TRUE(hist::IsDistribution(out, 1e-9));
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  EXPECT_GT(out[0], out[1]);
+}
+
+TEST(NormSubTest, KnownCase) {
+  // x = {0.9, 0.5, -0.4}: active set {0.9, 0.5}, delta = (1 - 1.4)/2 = -0.2.
+  const std::vector<double> out = NormSub({0.9, 0.5, -0.4});
+  EXPECT_NEAR(out[0], 0.7, 1e-12);
+  EXPECT_NEAR(out[1], 0.3, 1e-12);
+  EXPECT_NEAR(out[2], 0.0, 1e-12);
+}
+
+TEST(NormSubTest, CascadingClamp) {
+  // After the first shift, a small positive entry goes negative and must be
+  // clamped in a later round.
+  const std::vector<double> out = NormSub({2.0, 0.05, -0.5});
+  EXPECT_TRUE(hist::IsDistribution(out, 1e-9));
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  EXPECT_NEAR(out[0], 1.0, 1e-12);
+}
+
+TEST(NormSubTest, DeficitRaisesEntries) {
+  // Sum < target: delta is positive and spread across all entries.
+  const std::vector<double> out = NormSub({0.2, 0.2});
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+}
+
+TEST(NormSubTest, AllNegativeInput) {
+  const std::vector<double> out = NormSub({-1.0, -2.0, -3.0});
+  EXPECT_TRUE(hist::IsDistribution(out, 1e-9));
+  // The least-negative entry absorbs all mass.
+  EXPECT_NEAR(out[0], 1.0, 1e-9);
+}
+
+TEST(NormSubTest, CustomTarget) {
+  const std::vector<double> out = NormSub({1.0, 1.0}, 4.0);
+  EXPECT_NEAR(out[0], 2.0, 1e-12);
+  EXPECT_NEAR(out[1], 2.0, 1e-12);
+}
+
+TEST(NormSubTest, ZeroTargetGivesZeros) {
+  const std::vector<double> out = NormSub({1.0, -1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(NormSubTest, EmptyInput) {
+  EXPECT_TRUE(NormSub({}).empty());
+}
+
+TEST(NormSubTest, MatchesIterativeFormulation) {
+  Rng rng(1);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> x(16);
+    for (double& v : x) v = rng.Uniform(-0.5, 0.7);
+    const std::vector<double> fast = NormSub(x);
+    const std::vector<double> iter = NormSubIterative(x);
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(fast[i], iter[i], 1e-9) << "rep=" << rep << " i=" << i;
+    }
+  }
+}
+
+TEST(NormSubTest, IsIdempotent) {
+  Rng rng(2);
+  std::vector<double> x(32);
+  for (double& v : x) v = rng.Uniform(-0.4, 0.6);
+  const std::vector<double> once = NormSub(x);
+  const std::vector<double> twice = NormSub(once);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(once[i], twice[i], 1e-12);
+}
+
+TEST(NormSubTest, IsEuclideanProjection) {
+  // Projection optimality: for random valid distributions y,
+  // ||x - NormSub(x)|| <= ||x - y||.
+  Rng rng(3);
+  std::vector<double> x(8);
+  for (double& v : x) v = rng.Uniform(-0.5, 0.8);
+  const std::vector<double> proj = NormSub(x);
+  auto dist2 = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return acc;
+  };
+  const double proj_dist = dist2(x, proj);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> y(8);
+    double total = 0.0;
+    for (double& v : y) {
+      v = rng.Uniform();
+      total += v;
+    }
+    for (double& v : y) v /= total;
+    EXPECT_GE(dist2(x, y) + 1e-12, proj_dist);
+  }
+}
+
+TEST(NormCutTest, ClampsAndRescales) {
+  const std::vector<double> out = NormCut({0.5, -0.5, 1.5});
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_NEAR(out[0] + out[2], 1.0, 1e-12);
+  EXPECT_NEAR(out[2] / out[0], 3.0, 1e-12);  // ratios preserved
+}
+
+TEST(NormCutTest, AllNonPositiveGivesZeros) {
+  const std::vector<double> out = NormCut({-1.0, 0.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,67 @@
+#include "postprocess/norm_variants.h"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+namespace {
+
+TEST(NormShiftTest, ShiftsToTargetWithoutClamping) {
+  const std::vector<double> out = NormShift({0.5, -0.3, 0.2}, 1.0);
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0, 1e-12);
+  EXPECT_LT(out[1], 0.0);  // negatives survive
+  // Common delta: pairwise differences preserved.
+  EXPECT_NEAR(out[0] - out[1], 0.8, 1e-12);
+}
+
+TEST(NormShiftTest, AlreadyNormalizedIsUnchanged) {
+  const std::vector<double> out = NormShift({0.6, 0.4}, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.6);
+  EXPECT_DOUBLE_EQ(out[1], 0.4);
+}
+
+TEST(NormShiftTest, EmptyInput) { EXPECT_TRUE(NormShift({}).empty()); }
+
+TEST(BasePosTest, ClampsOnly) {
+  const std::vector<double> out = BasePos({0.5, -0.3, 0.2});
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.2);
+  // Sum can exceed nothing here, but is not renormalized.
+  EXPECT_NEAR(hist::Sum(out), 0.7, 1e-12);
+}
+
+TEST(NormMulTest, MatchesNormCut) {
+  Rng rng(1);
+  std::vector<double> x(16);
+  for (double& v : x) v = rng.Uniform(-0.4, 0.6);
+  const std::vector<double> a = NormMul(x);
+  const std::vector<double> b = NormCut(x);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(NormVariantsTest, NormSubIsClosestProjectionAmongVariants) {
+  // Norm-Sub is the Euclidean projection; the other valid-distribution
+  // variant (Norm-Mul) cannot be closer in L2.
+  Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> x(12);
+    for (double& v : x) v = rng.Uniform(-0.5, 0.7);
+    const std::vector<double> sub = NormSub(x);
+    const std::vector<double> mul = NormMul(x);
+    if (!hist::IsDistribution(mul, 1e-9)) continue;  // all-negative corner
+    double d_sub = 0.0;
+    double d_mul = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      d_sub += (x[i] - sub[i]) * (x[i] - sub[i]);
+      d_mul += (x[i] - mul[i]) * (x[i] - mul[i]);
+    }
+    EXPECT_LE(d_sub, d_mul + 1e-12) << "rep=" << rep;
+  }
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,104 @@
+#include "fo/oue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "fo/olh.h"
+
+namespace numdist {
+namespace {
+
+TEST(OueTest, MakeValidation) {
+  EXPECT_FALSE(Oue::Make(0.0, 8).ok());
+  EXPECT_FALSE(Oue::Make(1.0, 1).ok());
+  EXPECT_TRUE(Oue::Make(1.0, 8).ok());
+}
+
+TEST(OueTest, ProbabilitiesAreOptimizedChoice) {
+  const Oue oue = Oue::Make(1.3, 16).ValueOrDie();
+  EXPECT_DOUBLE_EQ(oue.p(), 0.5);
+  EXPECT_NEAR(oue.q(), 1.0 / (std::exp(1.3) + 1.0), 1e-12);
+  // The bit-level privacy ratio: p/q vs (1-q)/(1-p) — the binding one is
+  // (p / q) * ((1 - q) / (1 - p)) == e^eps for OUE's asymmetric flips.
+  const double ratio =
+      (oue.p() / oue.q()) * ((1.0 - oue.q()) / (1.0 - oue.p()));
+  EXPECT_NEAR(ratio, std::exp(1.3), 1e-9);
+}
+
+TEST(OueTest, PerturbProducesBitVector) {
+  const Oue oue = Oue::Make(1.0, 12).ValueOrDie();
+  Rng rng(1);
+  const std::vector<uint8_t> bits = oue.Perturb(5, rng);
+  EXPECT_EQ(bits.size(), 12u);
+  for (uint8_t b : bits) EXPECT_TRUE(b == 0 || b == 1);
+}
+
+TEST(OueTest, BitFlipRatesMatch) {
+  const Oue oue = Oue::Make(1.0, 8).ValueOrDie();
+  Rng rng(2);
+  const uint32_t v = 3;
+  std::vector<int> ones(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<uint8_t> bits = oue.Perturb(v, rng);
+    for (size_t j = 0; j < 8; ++j) ones[j] += bits[j];
+  }
+  EXPECT_NEAR(static_cast<double>(ones[v]) / n, 0.5, 0.005);
+  for (size_t j = 0; j < 8; ++j) {
+    if (j == v) continue;
+    EXPECT_NEAR(static_cast<double>(ones[j]) / n, oue.q(), 0.005) << j;
+  }
+}
+
+TEST(OueTest, EstimateIsUnbiased) {
+  Rng rng(3);
+  const size_t d = 16;
+  // Skewed distribution.
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 120000; ++i) {
+    values.push_back(rng.Bernoulli(0.4)
+                         ? 2
+                         : static_cast<uint32_t>(rng.UniformInt(d)));
+  }
+  std::vector<double> truth(d, 0.0);
+  for (uint32_t v : values) truth[v] += 1.0 / values.size();
+
+  const Oue oue = Oue::Make(1.0, d).ValueOrDie();
+  const std::vector<double> est = oue.Run(values, rng);
+  for (size_t v = 0; v < d; ++v) {
+    EXPECT_NEAR(est[v], truth[v], 0.02) << "v=" << v;
+  }
+}
+
+TEST(OueTest, VarianceMatchesOlh) {
+  EXPECT_DOUBLE_EQ(Oue::Variance(1.0, 5000), Olh::Variance(1.0, 5000));
+}
+
+TEST(OueTest, EmpiricalVarianceNearFormula) {
+  const double eps = 1.0;
+  const size_t d = 16;
+  const size_t n = 20000;
+  const Oue oue = Oue::Make(eps, d).ValueOrDie();
+  Rng rng(4);
+  const std::vector<uint32_t> values(n, 0);  // everyone holds 0
+  const int reps = 50;
+  double sq = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const std::vector<double> est = oue.Run(values, rng);
+    sq += est[9] * est[9];  // true frequency 0
+  }
+  const double var = sq / reps;
+  EXPECT_NEAR(var, Oue::Variance(eps, n), Oue::Variance(eps, n) * 0.6);
+}
+
+TEST(OueTest, EstimateFromOnesEmptyInput) {
+  const Oue oue = Oue::Make(1.0, 4).ValueOrDie();
+  const std::vector<double> est =
+      oue.EstimateFromOnes(std::vector<uint64_t>(4, 0), 0);
+  for (double v : est) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,174 @@
+#include "common/piecewise_linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace numdist {
+namespace {
+
+PiecewiseLinear MakeTriangle() {
+  // Triangle on [-1, 1], peak 1 at 0; integral = 1.
+  return PiecewiseLinear::Make({-1.0, 0.0, 1.0}, {0.0, 1.0, 0.0}).ValueOrDie();
+}
+
+TEST(PiecewiseLinearTest, MakeValidation) {
+  EXPECT_FALSE(PiecewiseLinear::Make({0.0}, {1.0}).ok());
+  EXPECT_FALSE(PiecewiseLinear::Make({0.0, 1.0}, {1.0}).ok());
+  EXPECT_FALSE(PiecewiseLinear::Make({1.0, 0.0}, {1.0, 1.0}).ok());
+  EXPECT_FALSE(PiecewiseLinear::Make({0.0, 0.0}, {1.0, 1.0}).ok());
+  EXPECT_FALSE(
+      PiecewiseLinear::Make({0.0, 1.0}, {1.0, std::nan("")}).ok());
+  EXPECT_TRUE(PiecewiseLinear::Make({0.0, 1.0}, {1.0, 1.0}).ok());
+}
+
+TEST(PiecewiseLinearTest, EvaluateInterpolates) {
+  const PiecewiseLinear tri = MakeTriangle();
+  EXPECT_DOUBLE_EQ(tri.Evaluate(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(tri.Evaluate(-0.5), 0.5);
+  EXPECT_DOUBLE_EQ(tri.Evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(tri.Evaluate(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(tri.Evaluate(1.0), 0.0);
+}
+
+TEST(PiecewiseLinearTest, EvaluateZeroOutsideSupport) {
+  const PiecewiseLinear tri = MakeTriangle();
+  EXPECT_DOUBLE_EQ(tri.Evaluate(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(tri.Evaluate(2.0), 0.0);
+}
+
+TEST(PiecewiseLinearTest, TotalIntegral) {
+  EXPECT_DOUBLE_EQ(MakeTriangle().TotalIntegral(), 1.0);
+  const PiecewiseLinear flat =
+      PiecewiseLinear::Make({0.0, 2.0}, {3.0, 3.0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(flat.TotalIntegral(), 6.0);
+}
+
+TEST(PiecewiseLinearTest, AntiderivativeMatchesNumericQuadrature) {
+  const PiecewiseLinear f =
+      PiecewiseLinear::Make({-1.0, -0.2, 0.5, 2.0}, {0.5, 2.0, 0.1, 1.0})
+          .ValueOrDie();
+  for (double x : {-1.0, -0.7, -0.2, 0.0, 0.5, 1.3, 2.0}) {
+    // Trapezoid quadrature with fine steps.
+    double acc = 0.0;
+    const int steps = 20000;
+    const double lo = -1.0;
+    const double h = (x - lo) / steps;
+    for (int i = 0; i < steps; ++i) {
+      acc += 0.5 * (f.Evaluate(lo + i * h) + f.Evaluate(lo + (i + 1) * h)) * h;
+    }
+    EXPECT_NEAR(f.Antiderivative(x), acc, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(PiecewiseLinearTest, SecondAntiderivativeMatchesNumeric) {
+  const PiecewiseLinear f = MakeTriangle();
+  for (double x : {-1.0, -0.3, 0.0, 0.4, 1.0, 1.5, 3.0}) {
+    double acc = 0.0;
+    const int steps = 20000;
+    const double lo = -1.0;
+    const double h = (x - lo) / steps;
+    for (int i = 0; i < steps; ++i) {
+      acc += 0.5 *
+             (f.Antiderivative(lo + i * h) +
+              f.Antiderivative(lo + (i + 1) * h)) *
+             h;
+    }
+    EXPECT_NEAR(f.SecondAntiderivative(x), acc, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(PiecewiseLinearTest, IntegralBetween) {
+  const PiecewiseLinear tri = MakeTriangle();
+  EXPECT_NEAR(tri.IntegralBetween(-1.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(tri.IntegralBetween(-1.0, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(tri.IntegralBetween(-0.5, 0.5), 0.75, 1e-12);
+  EXPECT_NEAR(tri.IntegralBetween(-5.0, 5.0), 1.0, 1e-12);
+}
+
+TEST(PiecewiseLinearTest, RectangleConvolutionMatchesBruteForce) {
+  const PiecewiseLinear tri = MakeTriangle();
+  // Brute-force the double integral on a grid.
+  const double l = -0.3, r = 0.6, a = 0.1, b = 0.9;
+  const int steps = 400;
+  double acc = 0.0;
+  const double du = (r - l) / steps;
+  const double dv = (b - a) / steps;
+  for (int i = 0; i < steps; ++i) {
+    for (int j = 0; j < steps; ++j) {
+      const double u = l + (i + 0.5) * du;
+      const double v = a + (j + 0.5) * dv;
+      acc += tri.Evaluate(u - v) * du * dv;
+    }
+  }
+  EXPECT_NEAR(tri.RectangleConvolutionIntegral(l, r, a, b), acc, 1e-4);
+}
+
+TEST(PiecewiseLinearTest, MinMaxValues) {
+  const PiecewiseLinear f =
+      PiecewiseLinear::Make({0.0, 1.0, 2.0}, {0.5, 3.0, -1.0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(f.MinValue(), -1.0);
+  EXPECT_DOUBLE_EQ(f.MaxValue(), 3.0);
+}
+
+TEST(PiecewiseLinearTest, KnotAccessors) {
+  const PiecewiseLinear tri = MakeTriangle();
+  EXPECT_DOUBLE_EQ(tri.xmin(), -1.0);
+  EXPECT_DOUBLE_EQ(tri.xmax(), 1.0);
+  EXPECT_EQ(tri.knots().size(), 3u);
+}
+
+TEST(PiecewiseLinearTest, SampleDensityStaysInRange) {
+  const PiecewiseLinear tri = MakeTriangle();
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = tri.SampleDensity(-1.0, 1.0, rng);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(PiecewiseLinearTest, SampleDensityMatchesDensityHistogram) {
+  const PiecewiseLinear tri = MakeTriangle();
+  Rng rng(9);
+  const int n = 400000;
+  const int bins = 20;
+  std::vector<int> counts(bins, 0);
+  for (int i = 0; i < n; ++i) {
+    const double x = tri.SampleDensity(-1.0, 1.0, rng);
+    int b = static_cast<int>((x + 1.0) / 2.0 * bins);
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  for (int b = 0; b < bins; ++b) {
+    const double lo = -1.0 + 2.0 * b / bins;
+    const double hi = lo + 2.0 / bins;
+    const double expected = tri.IntegralBetween(lo, hi);
+    EXPECT_NEAR(static_cast<double>(counts[b]) / n, expected, 0.004)
+        << "bin " << b;
+  }
+}
+
+TEST(PiecewiseLinearTest, SampleDensityRestrictedRange) {
+  const PiecewiseLinear tri = MakeTriangle();
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = tri.SampleDensity(0.2, 0.8, rng);
+    EXPECT_GE(x, 0.2);
+    EXPECT_LE(x, 0.8);
+  }
+}
+
+TEST(PiecewiseLinearTest, SampleUniformSegment) {
+  // Flat density: samples should be uniform.
+  const PiecewiseLinear flat =
+      PiecewiseLinear::Make({0.0, 1.0}, {1.0, 1.0}).ValueOrDie();
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += flat.SampleDensity(0.0, 1.0, rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+}  // namespace
+}  // namespace numdist

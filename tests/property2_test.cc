@@ -1,0 +1,251 @@
+// Second parameterized property suite: observation-model invariants for the
+// General Wave family, ADMM invariants across tree shapes, metric axioms,
+// and end-to-end reconstruction consistency sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "core/em.h"
+#include "core/ems.h"
+#include "core/transition.h"
+#include "core/wave.h"
+#include "hierarchy/admm.h"
+#include "hierarchy/constrained.h"
+#include "metrics/distance.h"
+#include "metrics/queries.h"
+
+namespace numdist {
+namespace {
+
+// ------------------------------------------ GW observation-model sweep --
+
+struct GwParam {
+  double epsilon;
+  double b;
+  double ratio;
+};
+
+class GwModelSweep : public ::testing::TestWithParam<GwParam> {};
+
+TEST_P(GwModelSweep, TransitionIsColumnStochastic) {
+  const GwParam p = GetParam();
+  const GeneralWave gw = GeneralWave::Make(p.epsilon, p.b, p.ratio)
+                             .ValueOrDie();
+  EXPECT_TRUE(ValidateTransitionMatrix(gw.TransitionMatrix(24, 24)).ok());
+  EXPECT_TRUE(ValidateTransitionMatrix(gw.TransitionMatrix(24, 40)).ok());
+}
+
+TEST_P(GwModelSweep, WaveIntegralIsOne) {
+  const GwParam p = GetParam();
+  const GeneralWave gw = GeneralWave::Make(p.epsilon, p.b, p.ratio)
+                             .ValueOrDie();
+  // Flat mass + bump mass over the output domain must be exactly 1.
+  const double flat = gw.q() * (1.0 + 2.0 * gw.b());
+  const double bump =
+      gw.wave().IntegralBetween(-gw.b(), gw.b()) - gw.q() * 2.0 * gw.b();
+  EXPECT_NEAR(flat + bump, 1.0, 1e-12);
+}
+
+TEST_P(GwModelSweep, PeakRespectsPrivacyEnvelope) {
+  const GwParam p = GetParam();
+  const GeneralWave gw = GeneralWave::Make(p.epsilon, p.b, p.ratio)
+                             .ValueOrDie();
+  EXPECT_LE(gw.peak(), std::exp(p.epsilon) * gw.q() * (1 + 1e-12));
+  EXPECT_GE(gw.peak(), gw.q());
+}
+
+TEST_P(GwModelSweep, EmRecoversSpikeFromExactObservations) {
+  const GwParam p = GetParam();
+  const GeneralWave gw = GeneralWave::Make(p.epsilon, p.b, p.ratio)
+                             .ValueOrDie();
+  const size_t d = 24;
+  const Matrix m = gw.TransitionMatrix(d, d);
+  std::vector<double> truth(d, 0.0);
+  truth[6] = 0.75;
+  truth[17] = 0.25;
+  const std::vector<double> out = m.Multiply(truth);
+  std::vector<uint64_t> counts(out.size());
+  for (size_t j = 0; j < out.size(); ++j) {
+    counts[j] = static_cast<uint64_t>(std::llround(out[j] * 3e6));
+  }
+  EmOptions opts;
+  opts.tol = 1e-7;
+  opts.max_iterations = 30000;
+  const EmResult res = EstimateEm(m, counts, opts).ValueOrDie();
+  // Mass concentrates around the true spikes (allow neighbor leakage).
+  double near6 = 0.0;
+  double near17 = 0.0;
+  for (size_t i = 4; i <= 8; ++i) near6 += res.estimate[i];
+  for (size_t i = 15; i <= 19; ++i) near17 += res.estimate[i];
+  EXPECT_GT(near6, 0.55);
+  EXPECT_GT(near17, 0.13);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GwGrid, GwModelSweep,
+    ::testing::Values(GwParam{0.5, 0.3, 0.0}, GwParam{1.0, 0.25, 0.2},
+                      GwParam{1.0, 0.25, 0.8}, GwParam{2.0, 0.12, 0.5},
+                      GwParam{3.0, 0.06, 0.4}, GwParam{1.5, 0.4, 0.6}));
+
+// ---------------------------------------------------- ADMM shape sweep --
+
+struct AdmmParam {
+  size_t d;
+  size_t beta;
+  double noise;
+};
+
+class AdmmShapeSweep : public ::testing::TestWithParam<AdmmParam> {};
+
+TEST_P(AdmmShapeSweep, OutputsValidConsistentTree) {
+  const AdmmParam p = GetParam();
+  const HierarchyTree tree = HierarchyTree::Make(p.d, p.beta).ValueOrDie();
+  Rng rng(1234 + p.d + p.beta);
+  // Consistent ground truth + additive noise.
+  std::vector<double> leaves(p.d);
+  double total = 0.0;
+  for (double& v : leaves) {
+    v = rng.Uniform();
+    total += v;
+  }
+  for (double& v : leaves) v /= total;
+  std::vector<double> nodes(tree.NumNodes(), 0.0);
+  for (size_t level = 0; level <= tree.height(); ++level) {
+    for (size_t i = 0; i < tree.LevelSize(level); ++i) {
+      const auto [s, e] = tree.LeafSpan(level, i);
+      for (size_t leaf = s; leaf < e; ++leaf) {
+        nodes[tree.FlatIndex(level, i)] += leaves[leaf];
+      }
+    }
+  }
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    nodes[i] += p.noise * rng.Gaussian();
+  }
+  const AdmmResult res = HhAdmm(tree, nodes).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(res.distribution, 1e-9));
+  EXPECT_LT(ConsistencyResidual(tree, res.node_values), 5e-3);
+  // Leaf error no worse than the raw noisy leaves (L2).
+  double err_raw = 0.0;
+  double err_admm = 0.0;
+  const size_t off = tree.LevelOffset(tree.height());
+  for (size_t leaf = 0; leaf < p.d; ++leaf) {
+    err_raw += (nodes[off + leaf] - leaves[leaf]) *
+               (nodes[off + leaf] - leaves[leaf]);
+    err_admm += (res.distribution[leaf] - leaves[leaf]) *
+                (res.distribution[leaf] - leaves[leaf]);
+  }
+  EXPECT_LE(err_admm, err_raw * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdmmShapeSweep,
+    ::testing::Values(AdmmParam{16, 2, 0.01}, AdmmParam{16, 4, 0.02},
+                      AdmmParam{64, 4, 0.02}, AdmmParam{64, 2, 0.005},
+                      AdmmParam{81, 3, 0.02}, AdmmParam{256, 4, 0.01}));
+
+// ----------------------------------------------------- metric axioms --
+
+class MetricAxiomSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MetricAxiomSweep, WassersteinIsAMetric) {
+  const size_t d = GetParam();
+  Rng rng(99 + d);
+  const auto random_dist = [&] {
+    std::vector<double> x(d);
+    double total = 0.0;
+    for (double& v : x) {
+      v = rng.Uniform();
+      total += v;
+    }
+    for (double& v : x) v /= total;
+    return x;
+  };
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto x = random_dist();
+    const auto y = random_dist();
+    const auto z = random_dist();
+    // Identity, symmetry, triangle inequality.
+    EXPECT_NEAR(WassersteinDistance(x, x), 0.0, 1e-12);
+    EXPECT_NEAR(WassersteinDistance(x, y), WassersteinDistance(y, x), 1e-12);
+    EXPECT_LE(WassersteinDistance(x, z),
+              WassersteinDistance(x, y) + WassersteinDistance(y, z) + 1e-12);
+    // KS axioms.
+    EXPECT_NEAR(KsDistance(x, x), 0.0, 1e-12);
+    EXPECT_LE(KsDistance(x, z), KsDistance(x, y) + KsDistance(y, z) + 1e-12);
+    // KS <= d * W1 relationship on the shared grid: both derive from the
+    // same CDF differences, max <= sum.
+    EXPECT_LE(KsDistance(x, y),
+              WassersteinDistance(x, y) * static_cast<double>(d) + 1e-12);
+  }
+}
+
+TEST_P(MetricAxiomSweep, QuantileIsCdfInverse) {
+  const size_t d = GetParam();
+  Rng rng(7 + d);
+  std::vector<double> x(d);
+  double total = 0.0;
+  for (double& v : x) {
+    v = 0.05 + rng.Uniform();  // strictly positive -> strictly monotone CDF
+    total += v;
+  }
+  for (double& v : x) v /= total;
+  for (double beta : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double q = Quantile(x, beta);
+    EXPECT_NEAR(CdfAt(x, q), beta, 1e-9) << "beta=" << beta;
+  }
+}
+
+TEST_P(MetricAxiomSweep, RangeQueryAdditivity) {
+  const size_t d = GetParam();
+  Rng rng(13 + d);
+  std::vector<double> x(d);
+  double total = 0.0;
+  for (double& v : x) {
+    v = rng.Uniform();
+    total += v;
+  }
+  for (double& v : x) v /= total;
+  // R(0, a) + R(a, b - a) == R(0, b).
+  for (double a : {0.2, 0.5}) {
+    for (double b : {0.7, 1.0}) {
+      EXPECT_NEAR(RangeQuery(x, 0.0, a) + RangeQuery(x, a, b - a),
+                  RangeQuery(x, 0.0, b), 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MetricAxiomSweep,
+                         ::testing::Values(4, 16, 64, 256));
+
+// --------------------------------------- EMS rectangular-model sweep --
+
+struct RectParam {
+  size_t d_in;
+  size_t d_out;
+};
+
+class EmsRectangularSweep : public ::testing::TestWithParam<RectParam> {};
+
+TEST_P(EmsRectangularSweep, ReconstructionIsDistribution) {
+  const RectParam p = GetParam();
+  const GeneralWave gw = GeneralWave::Make(1.0, 0.25, 0.5).ValueOrDie();
+  const Matrix m = gw.TransitionMatrix(p.d_in, p.d_out);
+  Rng rng(31);
+  std::vector<uint64_t> counts(p.d_out);
+  for (uint64_t& c : counts) c = 10 + rng.UniformInt(90);
+  const EmResult res = EstimateEms(m, counts).ValueOrDie();
+  EXPECT_EQ(res.estimate.size(), p.d_in);
+  EXPECT_TRUE(hist::IsDistribution(res.estimate, 1e-9));
+  EXPECT_TRUE(res.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rects, EmsRectangularSweep,
+                         ::testing::Values(RectParam{16, 16},
+                                           RectParam{16, 64},
+                                           RectParam{64, 16},
+                                           RectParam{100, 150},
+                                           RectParam{256, 256}));
+
+}  // namespace
+}  // namespace numdist

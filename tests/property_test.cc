@@ -1,0 +1,293 @@
+// Parameterized property suites: the privacy and estimation invariants every
+// mechanism must satisfy, swept over the practical epsilon range and domain
+// sizes (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "core/em.h"
+#include "core/square_wave.h"
+#include "core/wave.h"
+#include "fo/grr.h"
+#include "fo/hrr.h"
+#include "fo/olh.h"
+#include "mean/pm.h"
+#include "mean/sr.h"
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+namespace {
+
+// ------------------------------------------- LDP property: pure DP ratio --
+
+// For report-probability mechanisms the eps-LDP property is: for every
+// output o and inputs v1, v2: Pr[o | v1] <= e^eps Pr[o | v2].
+class LdpEpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LdpEpsilonSweep, GrrProbabilityRatio) {
+  const double eps = GetParam();
+  const size_t d = 12;
+  const Grr grr = Grr::Make(eps, d).ValueOrDie();
+  // Outputs have probability p (if == input) or q: the extreme ratio is p/q.
+  EXPECT_LE(grr.p() / grr.q(), std::exp(eps) * (1 + 1e-12));
+  EXPECT_NEAR(grr.p() + (d - 1) * grr.q(), 1.0, 1e-12);
+}
+
+TEST_P(LdpEpsilonSweep, DiscreteSwProbabilityRatio) {
+  const double eps = GetParam();
+  const DiscreteSquareWave dsw =
+      DiscreteSquareWave::Make(eps, 32).ValueOrDie();
+  const double bound = std::exp(eps) * (1 + 1e-12);
+  for (uint32_t v1 = 0; v1 < 32; v1 += 5) {
+    for (uint32_t v2 = 0; v2 < 32; v2 += 7) {
+      for (uint32_t o = 0; o < dsw.output_domain(); o += 3) {
+        EXPECT_LE(dsw.Probability(v1, o) / dsw.Probability(v2, o), bound);
+      }
+    }
+  }
+}
+
+TEST_P(LdpEpsilonSweep, ContinuousSwDensityRatio) {
+  const double eps = GetParam();
+  const SquareWave sw = SquareWave::Make(eps).ValueOrDie();
+  const double bound = std::exp(eps) * (1 + 1e-12);
+  for (double v1 = 0.0; v1 <= 1.0; v1 += 0.25) {
+    for (double v2 = 0.0; v2 <= 1.0; v2 += 0.25) {
+      for (double o = -sw.b(); o <= 1.0 + sw.b(); o += 0.11) {
+        const double d2 = sw.Density(v2, o);
+        if (d2 > 0.0) {
+          EXPECT_LE(sw.Density(v1, o) / d2, bound);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LdpEpsilonSweep, GeneralWaveDensityRatio) {
+  const double eps = GetParam();
+  for (double ratio : {0.0, 0.5}) {
+    const GeneralWave gw = GeneralWave::Make(eps, -1.0, ratio).ValueOrDie();
+    const double bound = std::exp(eps) * (1 + 1e-12);
+    for (double v1 = 0.0; v1 <= 1.0; v1 += 0.5) {
+      for (double v2 = 0.0; v2 <= 1.0; v2 += 0.5) {
+        for (double o = -gw.b(); o <= 1.0 + gw.b(); o += 0.13) {
+          const double d2 = gw.Density(v2, o);
+          if (d2 > 0.0) {
+            EXPECT_LE(gw.Density(v1, o) / d2, bound);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LdpEpsilonSweep, PiecewiseMechanismDensityRatio) {
+  // PM guarantees eps-LDP: density is two-valued with ratio e^eps.
+  const double eps = GetParam();
+  const PiecewiseMechanism pm = PiecewiseMechanism::Make(eps).ValueOrDie();
+  EXPECT_LE(pm.high_density() / pm.low_density(),
+            std::exp(eps) * (1 + 1e-12));
+}
+
+TEST_P(LdpEpsilonSweep, SrReportProbabilityRatio) {
+  const double eps = GetParam();
+  const StochasticRounding sr = StochasticRounding::Make(eps).ValueOrDie();
+  // Report +1 probabilities for extreme inputs -1 and 1 are q and p; the
+  // privacy ratio across any two inputs is at most p/q = e^eps.
+  const double e = std::exp(eps);
+  const double p = e / (e + 1.0);
+  const double q = 1.0 - p;
+  EXPECT_NEAR(p / q, e, 1e-9);
+  (void)sr;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonGrid, LdpEpsilonSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 1.5, 2.0, 2.5,
+                                           3.0, 4.0));
+
+// ---------------------------------------- SW transition model invariants --
+
+struct SwModelParam {
+  double epsilon;
+  size_t d_in;
+  size_t d_out;
+};
+
+class SwModelSweep : public ::testing::TestWithParam<SwModelParam> {};
+
+TEST_P(SwModelSweep, TransitionIsColumnStochastic) {
+  const SwModelParam p = GetParam();
+  const SquareWave sw = SquareWave::Make(p.epsilon).ValueOrDie();
+  const Matrix m = sw.TransitionMatrix(p.d_in, p.d_out);
+  ASSERT_EQ(m.rows(), p.d_out);
+  ASSERT_EQ(m.cols(), p.d_in);
+  for (size_t j = 0; j < p.d_in; ++j) {
+    EXPECT_NEAR(m.ColumnSum(j), 1.0, 1e-9) << "col=" << j;
+    for (size_t i = 0; i < p.d_out; ++i) EXPECT_GE(m(i, j), -1e-12);
+  }
+}
+
+TEST_P(SwModelSweep, EmOnExactObservationsRecoversUniform) {
+  const SwModelParam p = GetParam();
+  const SquareWave sw = SquareWave::Make(p.epsilon).ValueOrDie();
+  const Matrix m = sw.TransitionMatrix(p.d_in, p.d_out);
+  // Observations exactly matching the uniform input distribution.
+  const std::vector<double> uniform(p.d_in, 1.0 / p.d_in);
+  const std::vector<double> out = m.Multiply(uniform);
+  std::vector<uint64_t> counts(out.size());
+  for (size_t j = 0; j < out.size(); ++j) {
+    counts[j] = static_cast<uint64_t>(std::llround(out[j] * 1e6));
+  }
+  const EmResult res = EstimateEm(m, counts).ValueOrDie();
+  for (size_t i = 0; i < p.d_in; ++i) {
+    EXPECT_NEAR(res.estimate[i], 1.0 / p.d_in, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelGrid, SwModelSweep,
+    ::testing::Values(SwModelParam{0.5, 16, 16}, SwModelParam{1.0, 16, 16},
+                      SwModelParam{1.0, 32, 48}, SwModelParam{2.0, 64, 64},
+                      SwModelParam{4.0, 16, 24}, SwModelParam{1.0, 8, 64}));
+
+// ------------------------------------------------ FO unbiasedness sweep --
+
+struct FoParam {
+  double epsilon;
+  size_t domain;
+};
+
+class FoUnbiasednessSweep : public ::testing::TestWithParam<FoParam> {};
+
+TEST_P(FoUnbiasednessSweep, GrrFrequencySumsToOne) {
+  const FoParam p = GetParam();
+  const Grr grr = Grr::Make(p.epsilon, p.domain).ValueOrDie();
+  Rng rng(71);
+  std::vector<uint64_t> counts(p.domain, 0);
+  const size_t n = 30000;
+  for (size_t i = 0; i < n; ++i) {
+    ++counts[grr.Perturb(static_cast<uint32_t>(i % p.domain), rng)];
+  }
+  const auto est = grr.EstimateFromCounts(counts, n);
+  EXPECT_NEAR(hist::Sum(est), 1.0, 1e-9);
+}
+
+TEST_P(FoUnbiasednessSweep, GrrPointEstimateNearTruth) {
+  const FoParam p = GetParam();
+  const Grr grr = Grr::Make(p.epsilon, p.domain).ValueOrDie();
+  Rng rng(73);
+  // True distribution: value 0 with probability 0.5, uniform otherwise.
+  std::vector<uint64_t> counts(p.domain, 0);
+  const size_t n = 60000;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = rng.Bernoulli(0.5)
+                           ? 0
+                           : static_cast<uint32_t>(rng.UniformInt(p.domain));
+    ++counts[grr.Perturb(v, rng)];
+  }
+  const auto est = grr.EstimateFromCounts(counts, n);
+  EXPECT_NEAR(est[0], 0.5 + 0.5 / p.domain,
+              6.0 * std::sqrt(Grr::Variance(p.epsilon, p.domain, n)));
+}
+
+TEST_P(FoUnbiasednessSweep, OlhPointEstimateNearTruth) {
+  const FoParam p = GetParam();
+  const Olh olh = Olh::Make(p.epsilon, p.domain).ValueOrDie();
+  Rng rng(79);
+  std::vector<OlhReport> reports;
+  const size_t n = 30000;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = rng.Bernoulli(0.5)
+                           ? 0
+                           : static_cast<uint32_t>(rng.UniformInt(p.domain));
+    reports.push_back(olh.Perturb(v, rng));
+  }
+  const auto est = olh.Estimate(reports);
+  EXPECT_NEAR(est[0], 0.5 + 0.5 / p.domain,
+              6.0 * std::sqrt(Olh::Variance(p.epsilon, n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(FoGrid, FoUnbiasednessSweep,
+                         ::testing::Values(FoParam{0.5, 4}, FoParam{1.0, 4},
+                                           FoParam{1.0, 16}, FoParam{2.0, 16},
+                                           FoParam{1.0, 64},
+                                           FoParam{3.0, 32}));
+
+// ----------------------------------------------- NormSub random sweeps --
+
+class NormSubSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NormSubSweep, ProjectionInvariants) {
+  const size_t d = GetParam();
+  Rng rng(101 + d);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> x(d);
+    for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+    const std::vector<double> out = NormSub(x);
+    // Valid distribution.
+    EXPECT_TRUE(hist::IsDistribution(out, 1e-9));
+    // Order preservation: x_i >= x_j implies out_i >= out_j.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        if (x[i] >= x[j]) {
+          EXPECT_GE(out[i] + 1e-12, out[j]);
+        }
+      }
+    }
+    // Agreement with the iterative formulation.
+    const std::vector<double> iter = NormSubIterative(x);
+    for (size_t i = 0; i < d; ++i) EXPECT_NEAR(out[i], iter[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NormSubSweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 64));
+
+// ---------------------------------------------- smoothing invariants --
+
+class SmoothingSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SmoothingSweep, PreservesSimplexAndMass) {
+  const size_t d = GetParam();
+  Rng rng(211 + d);
+  std::vector<double> x(d);
+  double total = 0.0;
+  for (double& v : x) {
+    v = rng.Uniform();
+    total += v;
+  }
+  for (double& v : x) v /= total;
+  BinomialSmooth(&x);
+  EXPECT_TRUE(hist::IsDistribution(x, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SmoothingSweep,
+                         ::testing::Values(3, 4, 7, 16, 33, 128, 1024));
+
+// ------------------------------------------ bucketize/aggregate duality --
+
+class DiscreteSwSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteSwSweep, PerturbDistributionMatchesTransitionColumn) {
+  const double eps = GetParam();
+  const size_t d = 16;
+  const DiscreteSquareWave dsw = DiscreteSquareWave::Make(eps, d).ValueOrDie();
+  const Matrix m = dsw.TransitionMatrix();
+  Rng rng(307);
+  const uint32_t v = 9;
+  std::vector<uint64_t> counts(dsw.output_domain(), 0);
+  const size_t n = 150000;
+  for (size_t i = 0; i < n; ++i) ++counts[dsw.Perturb(v, rng)];
+  for (size_t j = 0; j < dsw.output_domain(); ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, m(j, v), 0.01)
+        << "eps=" << eps << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsGrid, DiscreteSwSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace numdist

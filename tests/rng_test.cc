@@ -1,0 +1,228 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace numdist {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all categories hit
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(19);
+  const uint64_t k = 5;
+  std::vector<int> counts(k, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(k)];
+  for (uint64_t v = 0; v < k; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / n, 1.0 / k, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIntOne) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(37);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMoments) {
+  Rng rng(41);
+  const double shape = 3.5;
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gamma(shape);
+    EXPECT_GT(g, 0.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape, 0.05);                        // E[Gamma(k,1)] = k
+  EXPECT_NEAR(sq / n - mean * mean, shape, 0.15);        // Var = k
+}
+
+TEST(RngTest, GammaSmallShape) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gamma(0.5);
+    EXPECT_GT(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BetaMomentsMatchTheory) {
+  Rng rng(47);
+  const double a = 5.0;
+  const double b = 2.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Beta(a, b);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, a / (a + b), 0.005);  // 5/7
+  EXPECT_NEAR(var, a * b / ((a + b) * (a + b) * (a + b + 1.0)), 0.002);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(53);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(59);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  std::vector<double> weights = {0.1, 0.4, 0.0, 0.5};
+  DiscreteSampler sampler(weights);
+  EXPECT_EQ(sampler.size(), 4u);
+  Rng rng(61);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.4, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.5, 0.01);
+}
+
+TEST(DiscreteSamplerTest, SingleCategory) {
+  DiscreteSampler sampler({2.0});
+  Rng rng(67);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(DiscreteSamplerTest, UniformWeights) {
+  DiscreteSampler sampler(std::vector<double>(8, 1.0));
+  Rng rng(71);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+TEST(SplitMix64Test, KnownAvalanche) {
+  // Adjacent inputs must produce unrelated outputs.
+  const uint64_t a = SplitMix64(1);
+  const uint64_t b = SplitMix64(2);
+  EXPECT_NE(a, b);
+  EXPECT_GT(__builtin_popcountll(a ^ b), 16);
+}
+
+}  // namespace
+}  // namespace numdist

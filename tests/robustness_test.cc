@@ -1,0 +1,184 @@
+// Robustness / adversarial-input suite: the estimators must stay numerically
+// sane at the extremes a deployment will eventually hit — tiny cohorts,
+// extreme privacy budgets, degenerate (point-mass) data, adversarially spiky
+// observations, and pathological post-processing inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "core/ems.h"
+#include "core/sw_estimator.h"
+#include "hierarchy/admm.h"
+#include "hierarchy/hh.h"
+#include "mean/moments.h"
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+namespace {
+
+TEST(RobustnessTest, TinyCohortStillYieldsDistribution) {
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 64;
+  const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+  Rng rng(1);
+  // Three users only.
+  const std::vector<double> dist =
+      est.EstimateDistribution({0.1, 0.5, 0.9}, rng).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(dist, 1e-9));
+}
+
+TEST(RobustnessTest, SingleUser) {
+  SwEstimatorOptions options;
+  options.epsilon = 0.5;
+  options.d = 16;
+  const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+  Rng rng(2);
+  const std::vector<double> dist =
+      est.EstimateDistribution({0.5}, rng).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(dist, 1e-9));
+}
+
+TEST(RobustnessTest, ExtremePrivacyBudgets) {
+  for (double eps : {0.01, 10.0}) {
+    SwEstimatorOptions options;
+    options.epsilon = eps;
+    options.d = 32;
+    const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+    Rng rng(3);
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i) values.push_back(rng.Uniform());
+    const std::vector<double> dist =
+        est.EstimateDistribution(values, rng).ValueOrDie();
+    EXPECT_TRUE(hist::IsDistribution(dist, 1e-9)) << "eps=" << eps;
+  }
+}
+
+TEST(RobustnessTest, PointMassData) {
+  // All users hold exactly the same value.
+  SwEstimatorOptions options;
+  options.epsilon = 3.0;
+  options.d = 64;
+  const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+  Rng rng(4);
+  const std::vector<double> values(20000, 0.25);
+  const std::vector<double> dist =
+      est.EstimateDistribution(values, rng).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(dist, 1e-9));
+  // Mass concentrates around bucket 16 (0.25 * 64).
+  double near = 0.0;
+  for (size_t i = 12; i <= 20; ++i) near += dist[i];
+  EXPECT_GT(near, 0.5);
+}
+
+TEST(RobustnessTest, BoundaryValues) {
+  // Values exactly at the domain edges 0 and 1.
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 16;
+  const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) values.push_back(i % 2 == 0 ? 0.0 : 1.0);
+  const std::vector<double> dist =
+      est.EstimateDistribution(values, rng).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(dist, 1e-9));
+  // Both edge buckets should carry visible mass.
+  EXPECT_GT(dist.front(), 0.05);
+  EXPECT_GT(dist.back(), 0.05);
+}
+
+TEST(RobustnessTest, EmWithAllMassInOneOutputBucket) {
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  const Matrix m = sw.TransitionMatrix(32, 32);
+  std::vector<uint64_t> counts(32, 0);
+  counts[0] = 1000000;  // adversarially concentrated observations
+  const EmResult res = EstimateEms(m, counts).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(res.estimate, 1e-9));
+  for (double v : res.estimate) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, EmWithHugeCounts) {
+  // Counts near the paper's full population scale must not overflow.
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  const Matrix m = sw.TransitionMatrix(16, 16);
+  std::vector<uint64_t> counts(16, 200000000ULL);  // 3.2e9 total
+  const EmResult res = EstimateEms(m, counts).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(res.estimate, 1e-9));
+}
+
+TEST(RobustnessTest, NormSubWithExtremeMagnitudes) {
+  const std::vector<double> out = NormSub({1e12, -1e12, 3.0});
+  EXPECT_TRUE(hist::IsDistribution(out, 1e-6));
+  const std::vector<double> tiny = NormSub({1e-300, 2e-300});
+  EXPECT_TRUE(hist::IsDistribution(tiny, 1e-9));
+}
+
+TEST(RobustnessTest, AdmmWithAllZeroTree) {
+  const HierarchyTree tree = HierarchyTree::Make(16, 4).ValueOrDie();
+  const AdmmResult res =
+      HhAdmm(tree, std::vector<double>(tree.NumNodes(), 0.0)).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(res.distribution, 1e-9));
+}
+
+TEST(RobustnessTest, AdmmWithHostileNoise) {
+  const HierarchyTree tree = HierarchyTree::Make(64, 4).ValueOrDie();
+  Rng rng(6);
+  std::vector<double> nodes(tree.NumNodes());
+  for (double& v : nodes) v = rng.Uniform(-100.0, 100.0);
+  const AdmmResult res = HhAdmm(tree, nodes).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(res.distribution, 1e-9));
+  for (double v : res.node_values) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, HhWithFewerUsersThanLevels) {
+  const HhProtocol hh = HhProtocol::Make(1.0, 64, 4).ValueOrDie();
+  Rng rng(7);
+  // Two users, three levels: some levels see zero reports.
+  const std::vector<double> nodes =
+      hh.CollectNodeEstimates({3u, 40u}, rng);
+  EXPECT_EQ(nodes.size(), hh.tree().NumNodes());
+  for (double v : nodes) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, MomentsOnConstantData) {
+  Rng rng(8);
+  const std::vector<double> values(5000, 0.7);
+  const MomentsEstimate est =
+      EstimateMoments(values, MeanMechanism::kPiecewiseMechanism, 2.0, rng)
+          .ValueOrDie();
+  EXPECT_NEAR(est.mean, 0.7, 0.05);
+  EXPECT_GE(est.variance, 0.0);
+  EXPECT_LT(est.variance, 0.05);
+}
+
+TEST(RobustnessTest, SmoothingDegenerateVectors) {
+  std::vector<double> one = {1.0};
+  BinomialSmooth(&one);
+  EXPECT_DOUBLE_EQ(one[0], 1.0);
+  std::vector<double> zeros(8, 0.0);
+  BinomialSmooth(&zeros);
+  for (double v : zeros) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RobustnessTest, DiscretePipelineWithCoarseDomain) {
+  // d = 4 with default bandwidth: floor(b * 4) can be 1 or 0 -> both fine.
+  for (double eps : {0.5, 3.0}) {
+    SwEstimatorOptions options;
+    options.epsilon = eps;
+    options.d = 4;
+    options.pipeline =
+        SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
+    const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+    Rng rng(9);
+    std::vector<double> values;
+    for (int i = 0; i < 4000; ++i) values.push_back(rng.Uniform());
+    const std::vector<double> dist =
+        est.EstimateDistribution(values, rng).ValueOrDie();
+    EXPECT_TRUE(hist::IsDistribution(dist, 1e-9)) << "eps=" << eps;
+  }
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,125 @@
+#include "eval/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "metrics/distance.h"
+
+namespace numdist {
+namespace {
+
+SwEstimatorOptions TestOptions() {
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 64;
+  return options;
+}
+
+TEST(StreamingAggregatorTest, PropagatesConfigErrors) {
+  SwEstimatorOptions bad;
+  bad.epsilon = -1.0;
+  EXPECT_FALSE(StreamingAggregator::Make(bad).ok());
+}
+
+TEST(StreamingAggregatorTest, EmptySnapshotIsError) {
+  StreamingAggregator agg =
+      StreamingAggregator::Make(TestOptions()).ValueOrDie();
+  EXPECT_EQ(agg.count(), 0u);
+  const auto snap = agg.Snapshot();
+  EXPECT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingAggregatorTest, AcceptCountsReports) {
+  StreamingAggregator agg =
+      StreamingAggregator::Make(TestOptions()).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    agg.Accept(agg.estimator().PerturbOne(0.5, rng));
+  }
+  EXPECT_EQ(agg.count(), 100u);
+  uint64_t total = 0;
+  for (uint64_t c : agg.counts()) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(StreamingAggregatorTest, StreamingMatchesBatchPipeline) {
+  const SwEstimatorOptions options = TestOptions();
+  const SwEstimator estimator = SwEstimator::Make(options).ValueOrDie();
+  Rng rng(2);
+  std::vector<double> reports;
+  for (int i = 0; i < 20000; ++i) {
+    reports.push_back(estimator.PerturbOne(0.3 + 0.4 * (i % 2), rng));
+  }
+
+  // Batch path.
+  const EmResult batch =
+      estimator.Reconstruct(estimator.Aggregate(reports)).ValueOrDie();
+
+  // Streaming path, one report at a time.
+  StreamingAggregator agg = StreamingAggregator::Make(options).ValueOrDie();
+  for (double r : reports) agg.Accept(r);
+  const EmResult streamed = agg.Snapshot().ValueOrDie();
+
+  ASSERT_EQ(batch.estimate.size(), streamed.estimate.size());
+  for (size_t i = 0; i < batch.estimate.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch.estimate[i], streamed.estimate[i]);
+  }
+}
+
+TEST(StreamingAggregatorTest, ShardsMergeToSameAnswer) {
+  const SwEstimatorOptions options = TestOptions();
+  StreamingAggregator all = StreamingAggregator::Make(options).ValueOrDie();
+  StreamingAggregator shard1 = StreamingAggregator::Make(options).ValueOrDie();
+  StreamingAggregator shard2 = StreamingAggregator::Make(options).ValueOrDie();
+
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double report = all.estimator().PerturbOne(rng.Uniform(), rng);
+    all.Accept(report);
+    (i % 2 == 0 ? shard1 : shard2).Accept(report);
+  }
+  ASSERT_TRUE(shard1.Merge(shard2).ok());
+  EXPECT_EQ(shard1.count(), all.count());
+  EXPECT_EQ(shard1.counts(), all.counts());
+
+  const EmResult merged = shard1.Snapshot().ValueOrDie();
+  const EmResult direct = all.Snapshot().ValueOrDie();
+  for (size_t i = 0; i < merged.estimate.size(); ++i) {
+    EXPECT_DOUBLE_EQ(merged.estimate[i], direct.estimate[i]);
+  }
+}
+
+TEST(StreamingAggregatorTest, MergeRejectsMismatchedShards) {
+  StreamingAggregator a = StreamingAggregator::Make(TestOptions()).ValueOrDie();
+  SwEstimatorOptions other = TestOptions();
+  other.d = 32;
+  StreamingAggregator b = StreamingAggregator::Make(other).ValueOrDie();
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(StreamingAggregatorTest, SnapshotQualityImprovesWithData) {
+  const SwEstimatorOptions options = TestOptions();
+  StreamingAggregator agg = StreamingAggregator::Make(options).ValueOrDie();
+  Rng rng(4);
+  std::vector<double> values;
+  const auto ingest = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      const double v = rng.Beta(5.0, 2.0);
+      values.push_back(v);
+      agg.Accept(agg.estimator().PerturbOne(v, rng));
+    }
+  };
+  ingest(2000);
+  const std::vector<double> small_truth = hist::FromSamples(values, 64);
+  const double w1_small = WassersteinDistance(
+      small_truth, agg.Snapshot().ValueOrDie().estimate);
+  ingest(60000);
+  const std::vector<double> big_truth = hist::FromSamples(values, 64);
+  const double w1_big =
+      WassersteinDistance(big_truth, agg.Snapshot().ValueOrDie().estimate);
+  EXPECT_LT(w1_big, w1_small);
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,60 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace numdist {
+namespace {
+
+TEST(TablePrinterTest, AlignedOutputContainsHeadersAndCells) {
+  TablePrinter table({"method", "eps", "W1"});
+  table.AddRow({"SW-EMS", "1.0", "0.0012"});
+  table.AddRow({"CFO-bin-16", "1.0", "0.0100"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("SW-EMS"), std::string::npos);
+  EXPECT_NE(out.find("CFO-bin-16"), std::string::npos);
+  EXPECT_NE(out.find("0.0012"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,,\n");
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(FormatTest, Sci) {
+  EXPECT_EQ(FormatSci(0.00123), "1.230e-03");
+  EXPECT_EQ(FormatSci(std::nan("")), "-");
+}
+
+TEST(FormatTest, General) {
+  EXPECT_EQ(FormatG(0.5), "0.5");
+  EXPECT_EQ(FormatG(123456.0, 3), "1.23e+05");
+  EXPECT_EQ(FormatG(std::nan("")), "-");
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,183 @@
+// Tests pinned directly to the paper's stated theorems and lemmas:
+//   Theorem 5.2  - GW satisfies eps-LDP          (property_test.cc ratio sweeps)
+//   Lemma 5.4    - W1 between two GW output distributions = delta (1-(2b+1)q)
+//   Lemma 5.5    - the minimal baseline q over the GW family is the SW's q
+//   Theorem 5.3  - hence SW maximizes output separation (via 5.4 + 5.5)
+//   Theorem 5.6  - EM converges to the MLE (log-likelihood of the EM output
+//                  is not beaten by nearby distributions or the truth)
+//   Section 5.3  - b* formula maximizes the MI bound (bandwidth_test.cc)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/matrix.h"
+#include "core/em.h"
+#include "core/square_wave.h"
+#include "core/wave.h"
+
+namespace numdist {
+namespace {
+
+// Numerical 1-D Wasserstein distance between two output densities given as
+// callables over [-b, 1+b] (fine Riemann discretization of |CDF1 - CDF2|).
+template <typename F1, typename F2>
+double NumericW1(F1&& f1, F2&& f2, double lo, double hi) {
+  const int steps = 200000;
+  const double h = (hi - lo) / steps;
+  double cdf1 = 0.0;
+  double cdf2 = 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double z = lo + (i + 0.5) * h;
+    cdf1 += f1(z) * h;
+    cdf2 += f2(z) * h;
+    acc += std::fabs(cdf1 - cdf2) * h;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------- Lemma 5.4 --
+
+TEST(Lemma54Test, SquareWaveOutputW1MatchesClosedForm) {
+  const double eps = 1.0;
+  const double b = 0.25;
+  const SquareWave sw = SquareWave::Make(eps, b).ValueOrDie();
+  for (auto [v1, v2] : {std::pair{0.2, 0.5}, std::pair{0.0, 1.0},
+                        std::pair{0.4, 0.45}}) {
+    const double delta = std::fabs(v2 - v1);
+    const double expected = delta * (1.0 - (2.0 * b + 1.0) * sw.q());
+    const double measured = NumericW1(
+        [&](double z) { return sw.Density(v1, z); },
+        [&](double z) { return sw.Density(v2, z); }, -b, 1.0 + b);
+    EXPECT_NEAR(measured, expected, 2e-4)
+        << "v1=" << v1 << " v2=" << v2;
+  }
+}
+
+TEST(Lemma54Test, GeneralWaveOutputW1MatchesClosedForm) {
+  // The lemma covers the whole GW family with the shape's own q.
+  const double eps = 1.0;
+  const double b = 0.25;
+  for (double ratio : {0.0, 0.4, 0.8}) {
+    const GeneralWave gw = GeneralWave::Make(eps, b, ratio).ValueOrDie();
+    const double v1 = 0.3;
+    const double v2 = 0.7;
+    const double expected =
+        (v2 - v1) * (1.0 - (2.0 * b + 1.0) * gw.q());
+    const double measured = NumericW1(
+        [&](double z) { return gw.Density(v1, z); },
+        [&](double z) { return gw.Density(v2, z); }, -b, 1.0 + b);
+    EXPECT_NEAR(measured, expected, 2e-4) << "ratio=" << ratio;
+  }
+}
+
+TEST(Lemma54Test, SeparationScalesLinearlyInDelta) {
+  const SquareWave sw = SquareWave::Make(2.0, 0.15).ValueOrDie();
+  const double w_small = NumericW1(
+      [&](double z) { return sw.Density(0.4, z); },
+      [&](double z) { return sw.Density(0.5, z); }, -0.15, 1.15);
+  const double w_large = NumericW1(
+      [&](double z) { return sw.Density(0.2, z); },
+      [&](double z) { return sw.Density(0.6, z); }, -0.15, 1.15);
+  EXPECT_NEAR(w_large / w_small, 4.0, 0.02);  // delta 0.4 vs 0.1
+}
+
+// ---------------------------------------------------------- Lemma 5.5 --
+
+TEST(Lemma55Test, SquareWaveHasMinimalBaselineQ) {
+  // q_SW = 1/(2 b e^eps + 1) is the infimum over the GW family; every
+  // trapezoid/triangle has strictly larger q at the same (eps, b).
+  for (double eps : {0.5, 1.0, 2.0}) {
+    for (double b : {0.1, 0.25, 0.4}) {
+      const SquareWave sw = SquareWave::Make(eps, b).ValueOrDie();
+      for (double ratio : {0.0, 0.3, 0.6, 0.9, 0.99}) {
+        const GeneralWave gw = GeneralWave::Make(eps, b, ratio).ValueOrDie();
+        EXPECT_GT(gw.q(), sw.q())
+            << "eps=" << eps << " b=" << b << " ratio=" << ratio;
+      }
+      // And the limit ratio -> 1 approaches q_SW.
+      const GeneralWave limit = GeneralWave::Make(eps, b, 0.9999).ValueOrDie();
+      EXPECT_NEAR(limit.q(), sw.q(), 1e-3 * sw.q() * 10);
+    }
+  }
+}
+
+TEST(Theorem53Test, SquareWaveMaximizesOutputSeparation) {
+  // Combining 5.4 and 5.5: the SW's separation coefficient 1 - (2b+1) q is
+  // strictly larger than every other wave shape's at the same (eps, b).
+  const double eps = 1.0;
+  const double b = 0.25;
+  const SquareWave sw = SquareWave::Make(eps, b).ValueOrDie();
+  const double sw_sep = 1.0 - (2.0 * b + 1.0) * sw.q();
+  for (double ratio : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const GeneralWave gw = GeneralWave::Make(eps, b, ratio).ValueOrDie();
+    const double gw_sep = 1.0 - (2.0 * b + 1.0) * gw.q();
+    EXPECT_GT(sw_sep, gw_sep) << "ratio=" << ratio;
+  }
+}
+
+// --------------------------------------------------------- Theorem 5.6 --
+
+double LogLikelihood(const Matrix& m, const std::vector<uint64_t>& counts,
+                     const std::vector<double>& x) {
+  const std::vector<double> y = m.Multiply(x);
+  double ll = 0.0;
+  for (size_t j = 0; j < counts.size(); ++j) {
+    if (counts[j] == 0) continue;
+    ll += static_cast<double>(counts[j]) * std::log(std::max(y[j], 1e-300));
+  }
+  return ll;
+}
+
+// Perturbs one value with the SW mechanism and returns its report bucket.
+size_t PerturbToBucket(const SquareWave& sw, double v, size_t d, Rng& rng) {
+  const double report = sw.Perturb(v, rng);
+  const double t = (report + sw.b()) / (1.0 + 2.0 * sw.b());
+  const size_t j = static_cast<size_t>(std::clamp(t, 0.0, 1.0) *
+                                       static_cast<double>(d));
+  return std::min(j, d - 1);
+}
+
+TEST(Theorem56Test, EmBeatsTruthAndPerturbationsInLikelihood) {
+  // EM converges to the MLE: its log-likelihood must dominate both the
+  // (feasible) true distribution and random feasible perturbations of the
+  // EM solution itself.
+  const SquareWave sw = SquareWave::Make(1.0, 0.25).ValueOrDie();
+  const size_t d = 32;
+  const Matrix m = sw.TransitionMatrix(d, d);
+  Rng rng(5);
+  // Observations from a known input distribution.
+  std::vector<double> truth(d, 0.0);
+  truth[8] = 0.5;
+  truth[20] = 0.3;
+  truth[21] = 0.2;
+  std::vector<uint64_t> counts(d, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const size_t bucket = rng.Discrete(truth);
+    const double v = (static_cast<double>(bucket) + rng.Uniform()) / d;
+    counts[PerturbToBucket(sw, v, d, rng)] += 1;
+  }
+  EmOptions opts;
+  opts.tol = 1e-9;
+  opts.max_iterations = 50000;
+  const EmResult em = EstimateEm(m, counts, opts).ValueOrDie();
+  const double ll_em = LogLikelihood(m, counts, em.estimate);
+  EXPECT_GE(ll_em, LogLikelihood(m, counts, truth) - 1e-6);
+  for (int rep = 0; rep < 10; ++rep) {
+    // Random feasible perturbation: mix with a random distribution.
+    std::vector<double> other(d);
+    double total = 0.0;
+    for (double& v : other) {
+      v = rng.Uniform();
+      total += v;
+    }
+    for (size_t i = 0; i < d; ++i) {
+      other[i] = 0.9 * em.estimate[i] + 0.1 * other[i] / total;
+    }
+    EXPECT_GE(ll_em, LogLikelihood(m, counts, other) - 1e-6) << rep;
+  }
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,100 @@
+#include "core/transition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/square_wave.h"
+
+namespace numdist {
+namespace {
+
+Matrix Stochastic2x2() {
+  Matrix m(2, 2);
+  m(0, 0) = 0.7;
+  m(1, 0) = 0.3;
+  m(0, 1) = 0.2;
+  m(1, 1) = 0.8;
+  return m;
+}
+
+TEST(ValidateTransitionTest, AcceptsColumnStochastic) {
+  EXPECT_TRUE(ValidateTransitionMatrix(Stochastic2x2()).ok());
+}
+
+TEST(ValidateTransitionTest, RejectsBadColumnSum) {
+  Matrix m = Stochastic2x2();
+  m(0, 0) = 0.9;  // column 0 sums to 1.2
+  const Status st = ValidateTransitionMatrix(m);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(ValidateTransitionTest, RejectsNegativeEntry) {
+  Matrix m = Stochastic2x2();
+  m(0, 0) = -0.1;
+  m(1, 0) = 1.1;
+  EXPECT_FALSE(ValidateTransitionMatrix(m).ok());
+}
+
+TEST(ValidateTransitionTest, RejectsNaN) {
+  Matrix m = Stochastic2x2();
+  m(0, 0) = std::nan("");
+  EXPECT_FALSE(ValidateTransitionMatrix(m).ok());
+}
+
+TEST(ValidateTransitionTest, ToleranceIsConfigurable) {
+  Matrix m = Stochastic2x2();
+  m(0, 0) = 0.7 + 1e-6;
+  EXPECT_FALSE(ValidateTransitionMatrix(m, 1e-9).ok());
+  EXPECT_TRUE(ValidateTransitionMatrix(m, 1e-4).ok());
+}
+
+TEST(NormalizeColumnsTest, RescalesEachColumn) {
+  Matrix m(2, 2);
+  m(0, 0) = 2.0;
+  m(1, 0) = 2.0;
+  m(0, 1) = 1.0;
+  m(1, 1) = 3.0;
+  NormalizeColumns(&m);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.75);
+  EXPECT_TRUE(ValidateTransitionMatrix(m).ok());
+}
+
+TEST(NormalizeColumnsTest, ZeroColumnLeftAlone) {
+  Matrix m(2, 2, 0.0);
+  m(0, 1) = 1.0;
+  NormalizeColumns(&m);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+}
+
+TEST(NormalizeCountsTest, ProducesFrequencies) {
+  const std::vector<double> freq = NormalizeCounts({1, 3, 0, 4});
+  EXPECT_DOUBLE_EQ(freq[0], 0.125);
+  EXPECT_DOUBLE_EQ(freq[1], 0.375);
+  EXPECT_DOUBLE_EQ(freq[2], 0.0);
+  EXPECT_DOUBLE_EQ(freq[3], 0.5);
+}
+
+TEST(NormalizeCountsTest, AllZeroGivesZeros) {
+  const std::vector<double> freq = NormalizeCounts({0, 0});
+  EXPECT_DOUBLE_EQ(freq[0], 0.0);
+  EXPECT_DOUBLE_EQ(freq[1], 0.0);
+}
+
+TEST(ValidateTransitionTest, RealSwMatricesPassAtTightTolerance) {
+  for (double eps : {0.5, 1.0, 3.0}) {
+    const SquareWave sw = SquareWave::Make(eps).ValueOrDie();
+    EXPECT_TRUE(
+        ValidateTransitionMatrix(sw.TransitionMatrix(100, 130), 1e-10).ok())
+        << "eps=" << eps;
+  }
+}
+
+}  // namespace
+}  // namespace numdist

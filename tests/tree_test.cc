@@ -1,0 +1,182 @@
+#include "hierarchy/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace numdist {
+namespace {
+
+TEST(HierarchyTreeTest, MakeValidation) {
+  EXPECT_FALSE(HierarchyTree::Make(16, 1).ok());
+  EXPECT_FALSE(HierarchyTree::Make(2, 4).ok());
+  EXPECT_FALSE(HierarchyTree::Make(15, 4).ok());   // not a power of 4
+  EXPECT_FALSE(HierarchyTree::Make(24, 2).ok());   // not a power of 2
+  EXPECT_TRUE(HierarchyTree::Make(16, 4).ok());
+  EXPECT_TRUE(HierarchyTree::Make(16, 2).ok());
+  EXPECT_TRUE(HierarchyTree::Make(27, 3).ok());
+}
+
+TEST(HierarchyTreeTest, ShapeQuantities) {
+  const HierarchyTree t = HierarchyTree::Make(64, 4).ValueOrDie();
+  EXPECT_EQ(t.d(), 64u);
+  EXPECT_EQ(t.beta(), 4u);
+  EXPECT_EQ(t.height(), 3u);
+  EXPECT_EQ(t.num_levels(), 4u);
+  EXPECT_EQ(t.LevelSize(0), 1u);
+  EXPECT_EQ(t.LevelSize(1), 4u);
+  EXPECT_EQ(t.LevelSize(2), 16u);
+  EXPECT_EQ(t.LevelSize(3), 64u);
+  EXPECT_EQ(t.NumNodes(), 1u + 4u + 16u + 64u);
+}
+
+TEST(HierarchyTreeTest, LevelOffsetsAreCumulative) {
+  const HierarchyTree t = HierarchyTree::Make(27, 3).ValueOrDie();
+  EXPECT_EQ(t.LevelOffset(0), 0u);
+  EXPECT_EQ(t.LevelOffset(1), 1u);
+  EXPECT_EQ(t.LevelOffset(2), 4u);
+  EXPECT_EQ(t.LevelOffset(3), 13u);
+  EXPECT_EQ(t.NumNodes(), 40u);
+}
+
+TEST(HierarchyTreeTest, FlatIndex) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  EXPECT_EQ(t.FlatIndex(0, 0), 0u);
+  EXPECT_EQ(t.FlatIndex(1, 2), 3u);
+  EXPECT_EQ(t.FlatIndex(2, 0), 5u);
+}
+
+TEST(HierarchyTreeTest, AncestorAt) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  EXPECT_EQ(t.AncestorAt(13, 0), 0u);
+  EXPECT_EQ(t.AncestorAt(13, 1), 3u);   // 13 / 4
+  EXPECT_EQ(t.AncestorAt(13, 2), 13u);  // leaf level
+  EXPECT_EQ(t.AncestorAt(0, 1), 0u);
+  EXPECT_EQ(t.AncestorAt(15, 1), 3u);
+}
+
+TEST(HierarchyTreeTest, LeafSpan) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  EXPECT_EQ(t.LeafSpan(0, 0), (std::pair<size_t, size_t>{0, 16}));
+  EXPECT_EQ(t.LeafSpan(1, 1), (std::pair<size_t, size_t>{4, 8}));
+  EXPECT_EQ(t.LeafSpan(2, 7), (std::pair<size_t, size_t>{7, 8}));
+}
+
+TEST(HierarchyTreeTest, DecomposeEmptyRange) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  EXPECT_TRUE(t.DecomposeRange(5, 5).empty());
+}
+
+TEST(HierarchyTreeTest, DecomposeFullRangeIsRoot) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  const auto nodes = t.DecomposeRange(0, 16);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].level, 0u);
+  EXPECT_EQ(nodes[0].index, 0u);
+}
+
+TEST(HierarchyTreeTest, DecomposeAlignedRangeIsOneNode) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  const auto nodes = t.DecomposeRange(4, 8);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].level, 1u);
+  EXPECT_EQ(nodes[0].index, 1u);
+}
+
+TEST(HierarchyTreeTest, DecompositionsPartitionTheRange) {
+  const HierarchyTree t = HierarchyTree::Make(64, 4).ValueOrDie();
+  for (size_t lo = 0; lo < 64; lo += 7) {
+    for (size_t hi = lo + 1; hi <= 64; hi += 5) {
+      const auto nodes = t.DecomposeRange(lo, hi);
+      // Union of spans must be exactly [lo, hi) with no overlap.
+      std::vector<int> covered(64, 0);
+      for (const TreeNode& n : nodes) {
+        const auto [s, e] = t.LeafSpan(n.level, n.index);
+        for (size_t leaf = s; leaf < e; ++leaf) ++covered[leaf];
+      }
+      for (size_t leaf = 0; leaf < 64; ++leaf) {
+        EXPECT_EQ(covered[leaf], (leaf >= lo && leaf < hi) ? 1 : 0)
+            << "lo=" << lo << " hi=" << hi << " leaf=" << leaf;
+      }
+    }
+  }
+}
+
+TEST(HierarchyTreeTest, DecompositionIsSmall) {
+  const HierarchyTree t = HierarchyTree::Make(1024, 4).ValueOrDie();
+  for (size_t lo : {1u, 13u, 100u, 511u}) {
+    for (size_t hi : {514u, 700u, 1023u}) {
+      const auto nodes = t.DecomposeRange(lo, hi);
+      // At most 2 (beta - 1) per level.
+      EXPECT_LE(nodes.size(), 2 * (t.beta() - 1) * t.height());
+    }
+  }
+}
+
+TEST(TreeRangeQueryTest, SumsCanonicalNodes) {
+  const HierarchyTree t = HierarchyTree::Make(16, 4).ValueOrDie();
+  // Node values: each node holds the exact sum of an arithmetic leaf vector.
+  std::vector<double> leaves(16);
+  std::iota(leaves.begin(), leaves.end(), 1.0);  // 1..16
+  std::vector<double> nodes(t.NumNodes(), 0.0);
+  for (size_t level = 0; level <= t.height(); ++level) {
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      const auto [s, e] = t.LeafSpan(level, i);
+      double acc = 0.0;
+      for (size_t leaf = s; leaf < e; ++leaf) acc += leaves[leaf];
+      nodes[t.FlatIndex(level, i)] = acc;
+    }
+  }
+  for (size_t lo = 0; lo < 16; ++lo) {
+    for (size_t hi = lo; hi <= 16; ++hi) {
+      double expected = 0.0;
+      for (size_t leaf = lo; leaf < hi; ++leaf) expected += leaves[leaf];
+      EXPECT_DOUBLE_EQ(TreeRangeQuery(t, nodes, lo, hi), expected);
+    }
+  }
+}
+
+TEST(TreeRangeQueryContinuousTest, MatchesDiscreteOnBucketBoundaries) {
+  const HierarchyTree t = HierarchyTree::Make(16, 2).ValueOrDie();
+  std::vector<double> nodes(t.NumNodes(), 0.0);
+  // Uniform distribution: each leaf 1/16.
+  for (size_t level = 0; level <= t.height(); ++level) {
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      const auto [s, e] = t.LeafSpan(level, i);
+      nodes[t.FlatIndex(level, i)] = static_cast<double>(e - s) / 16.0;
+    }
+  }
+  EXPECT_NEAR(TreeRangeQueryContinuous(t, nodes, 0.25, 0.75), 0.5, 1e-12);
+  EXPECT_NEAR(TreeRangeQueryContinuous(t, nodes, 0.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(TreeRangeQueryContinuousTest, InterpolatesPartialLeaves) {
+  const HierarchyTree t = HierarchyTree::Make(4, 2).ValueOrDie();
+  // Leaves: [0.4, 0.3, 0.2, 0.1].
+  const std::vector<double> leaves = {0.4, 0.3, 0.2, 0.1};
+  std::vector<double> nodes(t.NumNodes(), 0.0);
+  for (size_t level = 0; level <= t.height(); ++level) {
+    for (size_t i = 0; i < t.LevelSize(level); ++i) {
+      const auto [s, e] = t.LeafSpan(level, i);
+      for (size_t leaf = s; leaf < e; ++leaf) {
+        nodes[t.FlatIndex(level, i)] += leaves[leaf];
+      }
+    }
+  }
+  // [0.125, 0.375] covers half of leaf 0 and half of leaf 1.
+  EXPECT_NEAR(TreeRangeQueryContinuous(t, nodes, 0.125, 0.375),
+              0.5 * 0.4 + 0.5 * 0.3, 1e-12);
+  // Range inside a single leaf.
+  EXPECT_NEAR(TreeRangeQueryContinuous(t, nodes, 0.05, 0.20),
+              (0.20 - 0.05) * 4 * 0.4, 1e-12);
+}
+
+TEST(TreeRangeQueryContinuousTest, EmptyAndClampedRanges) {
+  const HierarchyTree t = HierarchyTree::Make(4, 2).ValueOrDie();
+  std::vector<double> nodes(t.NumNodes(), 0.25);
+  EXPECT_DOUBLE_EQ(TreeRangeQueryContinuous(t, nodes, 0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(TreeRangeQueryContinuous(t, nodes, 0.9, 0.3), 0.0);
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,187 @@
+#include "core/wave.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/square_wave.h"
+#include "core/transition.h"
+
+namespace numdist {
+namespace {
+
+TEST(GeneralWaveTest, MakeValidation) {
+  EXPECT_FALSE(GeneralWave::Make(0.0, 0.25, 0.5).ok());
+  EXPECT_FALSE(GeneralWave::Make(1.0, 0.25, 1.0).ok());   // ratio 1 = SW
+  EXPECT_FALSE(GeneralWave::Make(1.0, 0.25, -0.1).ok());
+  EXPECT_FALSE(GeneralWave::Make(1.0, 1.5, 0.5).ok());
+  EXPECT_TRUE(GeneralWave::Make(1.0, 0.25, 0.0).ok());    // triangle
+  EXPECT_TRUE(GeneralWave::Make(1.0, 0.25, 0.5).ok());    // trapezoid
+  EXPECT_TRUE(GeneralWave::Make(1.0, -1.0, 0.5).ok());    // default b
+}
+
+TEST(GeneralWaveTest, BaselineFormula) {
+  const double eps = 1.0;
+  const double b = 0.25;
+  for (double r : {0.0, 0.2, 0.5, 0.8}) {
+    const GeneralWave gw = GeneralWave::Make(eps, b, r).ValueOrDie();
+    const double e = std::exp(eps);
+    EXPECT_NEAR(gw.q(), 1.0 / (1.0 + 2 * b + (e - 1) * b * (1 + r)), 1e-12);
+    EXPECT_NEAR(gw.peak(), e * gw.q(), 1e-12);
+  }
+}
+
+TEST(GeneralWaveTest, ApproachesSquareWaveAsRatioGoesToOne) {
+  const double eps = 1.0;
+  const double b = 0.25;
+  const SquareWave sw = SquareWave::Make(eps, b).ValueOrDie();
+  const GeneralWave gw = GeneralWave::Make(eps, b, 0.999).ValueOrDie();
+  EXPECT_NEAR(gw.q(), sw.q(), 1e-3);
+  EXPECT_NEAR(gw.peak(), sw.p(), 1e-3);
+}
+
+TEST(GeneralWaveTest, DensityIntegratesToOneForAllInputs) {
+  for (double r : {0.0, 0.4, 0.8}) {
+    const GeneralWave gw = GeneralWave::Make(1.0, 0.25, r).ValueOrDie();
+    for (double v : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+      // Numeric integral of Density over the output domain.
+      double acc = 0.0;
+      const int steps = 20000;
+      const double lo = -gw.b();
+      const double hi = 1.0 + gw.b();
+      const double h = (hi - lo) / steps;
+      for (int i = 0; i < steps; ++i) {
+        acc += gw.Density(v, lo + (i + 0.5) * h) * h;
+      }
+      EXPECT_NEAR(acc, 1.0, 1e-5) << "r=" << r << " v=" << v;
+    }
+  }
+}
+
+TEST(GeneralWaveTest, WaveFunctionRespectsGwDefinition) {
+  // Definition 5.1: W(z) = q for |z| > b and integral over [-b, b] = 1 - q.
+  const GeneralWave gw = GeneralWave::Make(1.5, 0.3, 0.5).ValueOrDie();
+  const PiecewiseLinear& w = gw.wave();
+  EXPECT_NEAR(w.Evaluate(0.31), gw.q(), 1e-12);
+  EXPECT_NEAR(w.Evaluate(-0.31), gw.q(), 1e-12);
+  EXPECT_NEAR(w.Evaluate(1.0), gw.q(), 1e-12);
+  EXPECT_NEAR(w.IntegralBetween(-gw.b(), gw.b()), 1.0 - gw.q(), 1e-12);
+}
+
+TEST(GeneralWaveTest, DensityBoundedByLdpEnvelope) {
+  const double eps = 1.0;
+  const GeneralWave gw = GeneralWave::Make(eps, 0.25, 0.4).ValueOrDie();
+  for (double z = -1.25; z <= 1.25; z += 0.01) {
+    const double w = gw.wave().Evaluate(z);
+    EXPECT_GE(w, gw.q() - 1e-12);
+    EXPECT_LE(w, std::exp(eps) * gw.q() + 1e-12);
+  }
+}
+
+TEST(GeneralWaveTest, SatisfiesLdpDensityRatio) {
+  const double eps = 1.0;
+  const GeneralWave gw = GeneralWave::Make(eps, 0.3, 0.6).ValueOrDie();
+  const double bound = std::exp(eps) + 1e-9;
+  for (double v1 = 0.0; v1 <= 1.0; v1 += 0.2) {
+    for (double v2 = 0.0; v2 <= 1.0; v2 += 0.2) {
+      for (double out = -0.3; out <= 1.3; out += 0.04) {
+        const double d1 = gw.Density(v1, out);
+        const double d2 = gw.Density(v2, out);
+        if (d2 > 0.0) {
+          EXPECT_LE(d1 / d2, bound);
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneralWaveTest, PerturbStaysInOutputDomain) {
+  const GeneralWave gw = GeneralWave::Make(1.0, 0.25, 0.5).ValueOrDie();
+  Rng rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    const double v = static_cast<double>(i % 100) / 99.0;
+    const double out = gw.Perturb(v, rng);
+    EXPECT_GE(out, -gw.b() - 1e-12);
+    EXPECT_LE(out, 1.0 + gw.b() + 1e-12);
+  }
+}
+
+TEST(GeneralWaveTest, PerturbHistogramMatchesDensity) {
+  const GeneralWave gw = GeneralWave::Make(1.0, 0.25, 0.5).ValueOrDie();
+  Rng rng(32);
+  const double v = 0.6;
+  const int n = 300000;
+  const int bins = 25;
+  const double lo = -gw.b();
+  const double span = 1.0 + 2 * gw.b();
+  std::vector<int> counts(bins, 0);
+  for (int i = 0; i < n; ++i) {
+    int bin = static_cast<int>((gw.Perturb(v, rng) - lo) / span * bins);
+    if (bin >= bins) bin = bins - 1;
+    ++counts[bin];
+  }
+  for (int bin = 0; bin < bins; ++bin) {
+    const double a = lo + span * bin / bins;
+    const double c = a + span / bins;
+    // Expected mass via the wave's exact antiderivative.
+    const double expected =
+        gw.wave().IntegralBetween(a - v, c - v);
+    EXPECT_NEAR(static_cast<double>(counts[bin]) / n, expected, 0.004)
+        << "bin=" << bin;
+  }
+}
+
+TEST(GeneralWaveTest, TriangleSamplingWorks) {
+  const GeneralWave tri = GeneralWave::Make(2.0, 0.2, 0.0).ValueOrDie();
+  Rng rng(33);
+  // Samples centered near the input on average (symmetric wave).
+  const double v = 0.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += tri.Perturb(v, rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(GeneralWaveTest, TransitionColumnsSumToOne) {
+  for (double r : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const GeneralWave gw = GeneralWave::Make(1.0, 0.25, r).ValueOrDie();
+    EXPECT_TRUE(ValidateTransitionMatrix(gw.TransitionMatrix(32, 32)).ok())
+        << "ratio=" << r;
+  }
+}
+
+TEST(GeneralWaveTest, TransitionNearlyMatchesSquareWaveAtHighRatio) {
+  const double eps = 1.0;
+  const double b = 0.25;
+  const Matrix msw =
+      SquareWave::Make(eps, b).ValueOrDie().TransitionMatrix(16, 16);
+  const Matrix mgw =
+      GeneralWave::Make(eps, b, 0.995).ValueOrDie().TransitionMatrix(16, 16);
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = 0; j < 16; ++j) {
+      EXPECT_NEAR(mgw(j, i), msw(j, i), 5e-3);
+    }
+  }
+}
+
+TEST(GeneralWaveTest, TransitionMatchesEmpiricalSampling) {
+  const GeneralWave gw = GeneralWave::Make(1.0, 0.25, 0.5).ValueOrDie();
+  const size_t d = 8;
+  const Matrix m = gw.TransitionMatrix(d, d);
+  Rng rng(34);
+  const size_t i = 5;
+  const int n = 300000;
+  std::vector<double> reports;
+  reports.reserve(n);
+  for (int k = 0; k < n; ++k) {
+    const double v = (static_cast<double>(i) + rng.Uniform()) / d;
+    reports.push_back(gw.Perturb(v, rng));
+  }
+  const std::vector<uint64_t> counts = gw.BucketizeReports(reports, d);
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, m(j, i), 0.004);
+  }
+}
+
+}  // namespace
+}  // namespace numdist
