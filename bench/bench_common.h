@@ -28,6 +28,7 @@ namespace bench {
 struct BenchFlags {
   size_t n = 0;          // users; 0 -> scale preset
   size_t trials = 0;     // 0 -> scale preset
+  size_t threads = 0;    // shard workers per trial; 0 -> hardware concurrency
   std::vector<double> epsilons = {0.5, 1.0, 1.5, 2.0, 2.5};
   std::vector<std::string> datasets = {"beta", "taxi", "income", "retirement"};
   bool csv = false;      // machine-readable output only
@@ -37,8 +38,9 @@ struct BenchFlags {
 
 inline void PrintUsage(const char* binary) {
   fprintf(stderr,
-          "usage: %s [--n=N] [--trials=T] [--epsilons=0.5,1.0,...]\n"
-          "          [--datasets=beta,taxi,...] [--seed=S] [--csv] [--full]\n",
+          "usage: %s [--n=N] [--trials=T] [--threads=W]\n"
+          "          [--epsilons=0.5,1.0,...] [--datasets=beta,taxi,...]\n"
+          "          [--seed=S] [--csv] [--full]\n",
           binary);
 }
 
@@ -69,6 +71,8 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.n = static_cast<size_t>(atoll(v));
     } else if (const char* v = value("--trials=")) {
       flags.trials = static_cast<size_t>(atoll(v));
+    } else if (const char* v = value("--threads=")) {
+      flags.threads = static_cast<size_t>(atoll(v));
     } else if (const char* v = value("--seed=")) {
       flags.seed = static_cast<uint64_t>(atoll(v));
     } else if (const char* v = value("--epsilons=")) {
@@ -153,6 +157,7 @@ inline std::vector<SweepPoint> RunStandardSweep(
         RunnerOptions opts;
         opts.trials = TrialsFor(flags);
         opts.seed = flags.seed;
+        opts.threads = flags.threads;
         fprintf(stderr, "[sweep] %s %s eps=%.2f ...\n", spec.name.c_str(),
                 method->name().c_str(), eps);
         Result<AggregateMetrics> agg =

@@ -1,223 +1,101 @@
 #include "eval/method.h"
 
-#include <cassert>
-#include <memory>
+#include <functional>
 #include <utility>
 
-#include "common/histogram.h"
-#include "core/sw_estimator.h"
-#include "fo/adaptive.h"
-#include "hierarchy/admm.h"
-#include "hierarchy/constrained.h"
-#include "hierarchy/haar.h"
-#include "hierarchy/hh.h"
-#include "hierarchy/tree.h"
-#include "metrics/queries.h"
-#include "postprocess/norm_sub.h"
+#include "protocol/cfo_protocol.h"
+#include "protocol/hierarchy_protocol.h"
+#include "protocol/sw_protocol.h"
 
 namespace numdist {
 
 namespace {
 
-// Range query backed by a reconstructed distribution histogram.
-std::function<double(double, double)> DistributionRangeQuery(
-    std::vector<double> dist) {
-  return [dist = std::move(dist)](double lo, double alpha) {
-    return RangeQuery(dist, lo, alpha);
-  };
-}
-
-class SwMethod final : public DistributionMethod {
+// The only concrete method type: a name, the Table-2 capability flag, and
+// the factory binding a Protocol at (epsilon, d). Everything else is the
+// Protocol's business.
+class ProtocolMethod final : public DistributionMethod {
  public:
-  explicit SwMethod(SwEstimatorOptions::Post post)
-      : post_(post), name_(post == SwEstimatorOptions::Post::kEms ? "SW-EMS"
-                                                                  : "SW-EM") {}
+  using Factory = std::function<Result<ProtocolPtr>(double, size_t)>;
+
+  ProtocolMethod(std::string name, bool yields_distribution, Factory factory)
+      : name_(std::move(name)),
+        yields_distribution_(yields_distribution),
+        factory_(std::move(factory)) {}
 
   const std::string& name() const override { return name_; }
-  bool yields_distribution() const override { return true; }
+  bool yields_distribution() const override { return yields_distribution_; }
 
-  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
-                           size_t d, Rng& rng) const override {
-    SwEstimatorOptions options;
-    options.epsilon = epsilon;
-    options.d = d;
-    options.post = post_;
-    Result<SwEstimator> est = SwEstimator::Make(options);
-    if (!est.ok()) return est.status();
-    Result<std::vector<double>> dist = est->EstimateDistribution(values, rng);
-    if (!dist.ok()) return dist.status();
-    MethodOutput out;
-    out.distribution = std::move(dist).value();
-    out.range_query = DistributionRangeQuery(out.distribution);
-    return out;
-  }
-
- private:
-  SwEstimatorOptions::Post post_;
-  std::string name_;
-};
-
-class CfoBinningMethod final : public DistributionMethod {
- public:
-  explicit CfoBinningMethod(size_t bins)
-      : bins_(bins), name_("CFO-bin-" + std::to_string(bins)) {}
-
-  const std::string& name() const override { return name_; }
-  bool yields_distribution() const override { return true; }
-
-  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
-                           size_t d, Rng& rng) const override {
-    if (bins_ == 0 || d % bins_ != 0) {
-      return Status::InvalidArgument(
-          "CFO binning: bins must divide the reconstruction granularity");
-    }
-    Result<AdaptiveFo> fo = AdaptiveFo::Make(epsilon, bins_);
-    if (!fo.ok()) return fo.status();
-    std::vector<uint32_t> binned;
-    binned.reserve(values.size());
-    for (double v : values) {
-      binned.push_back(static_cast<uint32_t>(hist::BucketOf(v, bins_)));
-    }
-    const std::vector<double> noisy = fo->Run(binned, rng);
-    const std::vector<double> clean = NormSub(noisy, 1.0);
-    // Expand to d buckets assuming a uniform distribution within each bin.
-    const size_t chunk = d / bins_;
-    MethodOutput out;
-    out.distribution.resize(d);
-    for (size_t c = 0; c < bins_; ++c) {
-      const double share = clean[c] / static_cast<double>(chunk);
-      for (size_t j = 0; j < chunk; ++j) {
-        out.distribution[c * chunk + j] = share;
-      }
-    }
-    out.range_query = DistributionRangeQuery(out.distribution);
-    return out;
-  }
-
- private:
-  size_t bins_;
-  std::string name_;
-};
-
-class HhMethod final : public DistributionMethod {
- public:
-  explicit HhMethod(size_t beta) : beta_(beta), name_("HH") {}
-
-  const std::string& name() const override { return name_; }
-  bool yields_distribution() const override { return false; }
-
-  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
-                           size_t d, Rng& rng) const override {
-    Result<HhProtocol> protocol = HhProtocol::Make(epsilon, d, beta_);
-    if (!protocol.ok()) return protocol.status();
-    std::vector<uint32_t> leaves;
-    leaves.reserve(values.size());
-    for (double v : values) {
-      leaves.push_back(static_cast<uint32_t>(hist::BucketOf(v, d)));
-    }
-    std::vector<double> nodes = protocol->CollectNodeEstimates(leaves, rng);
-    nodes = ConstrainedInference(protocol->tree(), nodes, /*fix_root=*/true);
-    MethodOutput out;
-    // HH's estimates contain negatives: no valid distribution (Table 2);
-    // range queries go straight to the consistent tree.
-    auto tree = std::make_shared<HierarchyTree>(protocol->tree());
-    out.range_query = [tree, nodes = std::move(nodes)](double lo,
-                                                       double alpha) {
-      return TreeRangeQueryContinuous(*tree, nodes, lo, lo + alpha);
-    };
-    return out;
-  }
-
- private:
-  size_t beta_;
-  std::string name_;
-};
-
-class HaarHrrMethod final : public DistributionMethod {
- public:
-  HaarHrrMethod() : name_("HaarHRR") {}
-
-  const std::string& name() const override { return name_; }
-  bool yields_distribution() const override { return false; }
-
-  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
-                           size_t d, Rng& rng) const override {
-    Result<HaarHrrProtocol> protocol = HaarHrrProtocol::Make(epsilon, d);
-    if (!protocol.ok()) return protocol.status();
-    std::vector<uint32_t> leaves;
-    leaves.reserve(values.size());
-    for (double v : values) {
-      leaves.push_back(static_cast<uint32_t>(hist::BucketOf(v, d)));
-    }
-    std::vector<double> nodes = protocol->CollectNodeEstimates(leaves, rng);
-    MethodOutput out;
-    auto tree = std::make_shared<HierarchyTree>(protocol->tree());
-    out.range_query = [tree, nodes = std::move(nodes)](double lo,
-                                                       double alpha) {
-      return TreeRangeQueryContinuous(*tree, nodes, lo, lo + alpha);
-    };
-    return out;
+  Result<ProtocolPtr> MakeProtocol(double epsilon, size_t d) const override {
+    return factory_(epsilon, d);
   }
 
  private:
   std::string name_;
-};
-
-class HhAdmmMethod final : public DistributionMethod {
- public:
-  explicit HhAdmmMethod(size_t beta) : beta_(beta), name_("HH-ADMM") {}
-
-  const std::string& name() const override { return name_; }
-  bool yields_distribution() const override { return true; }
-
-  Result<MethodOutput> Run(const std::vector<double>& values, double epsilon,
-                           size_t d, Rng& rng) const override {
-    Result<HhProtocol> protocol = HhProtocol::Make(epsilon, d, beta_);
-    if (!protocol.ok()) return protocol.status();
-    std::vector<uint32_t> leaves;
-    leaves.reserve(values.size());
-    for (double v : values) {
-      leaves.push_back(static_cast<uint32_t>(hist::BucketOf(v, d)));
-    }
-    const std::vector<double> nodes =
-        protocol->CollectNodeEstimates(leaves, rng);
-    Result<AdmmResult> admm = HhAdmm(protocol->tree(), nodes);
-    if (!admm.ok()) return admm.status();
-    MethodOutput out;
-    out.distribution = std::move(admm).value().distribution;
-    out.range_query = DistributionRangeQuery(out.distribution);
-    return out;
-  }
-
- private:
-  size_t beta_;
-  std::string name_;
+  bool yields_distribution_;
+  Factory factory_;
 };
 
 }  // namespace
 
+Result<MethodOutput> DistributionMethod::Run(const std::vector<double>& values,
+                                             double epsilon, size_t d,
+                                             Rng& rng) const {
+  Result<ProtocolPtr> protocol = MakeProtocol(epsilon, d);
+  if (!protocol.ok()) return protocol.status();
+  return RunProtocol(*protocol.value(), values, rng);
+}
+
 std::unique_ptr<DistributionMethod> MakeSwEmsMethod() {
-  return std::make_unique<SwMethod>(SwEstimatorOptions::Post::kEms);
+  return std::make_unique<ProtocolMethod>(
+      "SW-EMS", /*yields_distribution=*/true, [](double epsilon, size_t d) {
+        SwEstimatorOptions options;
+        options.epsilon = epsilon;
+        options.d = d;
+        options.post = SwEstimatorOptions::Post::kEms;
+        return MakeSwProtocol(options);
+      });
 }
 
 std::unique_ptr<DistributionMethod> MakeSwEmMethod() {
-  return std::make_unique<SwMethod>(SwEstimatorOptions::Post::kEm);
+  return std::make_unique<ProtocolMethod>(
+      "SW-EM", /*yields_distribution=*/true, [](double epsilon, size_t d) {
+        SwEstimatorOptions options;
+        options.epsilon = epsilon;
+        options.d = d;
+        options.post = SwEstimatorOptions::Post::kEm;
+        return MakeSwProtocol(options);
+      });
 }
 
 std::unique_ptr<DistributionMethod> MakeCfoBinningMethod(size_t bins) {
-  return std::make_unique<CfoBinningMethod>(bins);
+  return std::make_unique<ProtocolMethod>(
+      "CFO-bin-" + std::to_string(bins), /*yields_distribution=*/true,
+      [bins](double epsilon, size_t d) {
+        return MakeCfoBinningProtocol(epsilon, d, bins);
+      });
 }
 
 std::unique_ptr<DistributionMethod> MakeHhMethod(size_t beta) {
-  return std::make_unique<HhMethod>(beta);
+  return std::make_unique<ProtocolMethod>(
+      "HH", /*yields_distribution=*/false, [beta](double epsilon, size_t d) {
+        return MakeHhBatchedProtocol(epsilon, d, beta, HhPost::kConstrained);
+      });
 }
 
 std::unique_ptr<DistributionMethod> MakeHaarHrrMethod() {
-  return std::make_unique<HaarHrrMethod>();
+  return std::make_unique<ProtocolMethod>(
+      "HaarHRR", /*yields_distribution=*/false, [](double epsilon, size_t d) {
+        return MakeHaarHrrBatchedProtocol(epsilon, d);
+      });
 }
 
 std::unique_ptr<DistributionMethod> MakeHhAdmmMethod(size_t beta) {
-  return std::make_unique<HhAdmmMethod>(beta);
+  return std::make_unique<ProtocolMethod>(
+      "HH-ADMM", /*yields_distribution=*/true,
+      [beta](double epsilon, size_t d) {
+        return MakeHhBatchedProtocol(epsilon, d, beta, HhPost::kAdmm);
+      });
 }
 
 std::vector<std::unique_ptr<DistributionMethod>> MakeStandardSuite() {

@@ -1,33 +1,32 @@
 // Method registry for the paper's evaluation (Table 2): every competitor is
-// wrapped behind one interface so the experiment runner and the per-figure
-// benches can sweep them uniformly.
+// a thin adapter over one batched Protocol (see protocol/protocol.h), so
+// the experiment runner and the per-figure benches can sweep them uniformly
+// and shard their report streams across threads.
 //
 //   SW-EMS / SW-EM      (this paper, §5)        -> distribution + all metrics
 //   HH-ADMM             (this paper, §4.3)      -> distribution + all metrics
 //   CFO binning c=16/32/64 (§4.1)               -> distribution + all metrics
 //   HH, HaarHRR         ([18], §4.2)            -> range queries only
+//
+// A DistributionMethod carries only a name, the Table-2 capability flag,
+// and a factory instantiating the underlying Protocol at a concrete
+// (epsilon, d). All client/server mechanics — batched encode+perturb,
+// mergeable accumulation, reconstruction — live behind the Protocol
+// contract; Run() is a convenience wrapper executing the whole pipeline as
+// a single report chunk with the caller's RNG (deterministic given the
+// seed). The runner instead uses MakeProtocol() directly and drives the
+// sharded path (protocol/sharded.h) with per-shard RNG streams.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "protocol/protocol.h"
 
 namespace numdist {
-
-/// What one protocol run produces.
-struct MethodOutput {
-  /// Reconstructed d-bucket distribution over [0,1]. Empty when the method
-  /// cannot produce a valid distribution (HH, HaarHRR — their estimates
-  /// contain negatives and are evaluated on range queries only, per Table 2).
-  std::vector<double> distribution;
-  /// Answers R(lo, alpha) = mass of [lo, lo+alpha]. Always callable; for
-  /// hierarchy methods this queries the tree directly.
-  std::function<double(double lo, double alpha)> range_query;
-};
 
 /// \brief A distribution-estimation protocol under evaluation.
 class DistributionMethod {
@@ -35,13 +34,16 @@ class DistributionMethod {
   virtual ~DistributionMethod() = default;
   /// Display name, e.g. "SW-EMS", "CFO-bin-32".
   virtual const std::string& name() const = 0;
-  /// True iff Run() fills MethodOutput::distribution.
+  /// True iff the method fills MethodOutput::distribution.
   virtual bool yields_distribution() const = 0;
+  /// Instantiates the underlying batched Protocol at privacy budget
+  /// `epsilon` and reconstruction granularity `d`.
+  virtual Result<ProtocolPtr> MakeProtocol(double epsilon, size_t d) const = 0;
   /// Executes the full protocol (client perturbation + server estimation)
-  /// on raw values in [0,1], reconstructing at granularity d.
+  /// on raw values in [0,1] as one report chunk. Convenience wrapper over
+  /// MakeProtocol + RunProtocol for tests, tools and examples.
   virtual Result<MethodOutput> Run(const std::vector<double>& values,
-                                   double epsilon, size_t d,
-                                   Rng& rng) const = 0;
+                                   double epsilon, size_t d, Rng& rng) const;
 };
 
 /// SW reporting + EMS reconstruction (the paper's headline method).

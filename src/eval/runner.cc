@@ -1,5 +1,6 @@
 #include "eval/runner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <thread>
@@ -7,6 +8,7 @@
 #include "common/histogram.h"
 #include "metrics/distance.h"
 #include "metrics/queries.h"
+#include "protocol/sharded.h"
 
 namespace numdist {
 
@@ -92,18 +94,35 @@ Result<AggregateMetrics> RunTrials(const DistributionMethod& method,
     return Status::InvalidArgument("RunTrials: empty dataset");
   }
 
+  // One Protocol instance serves every trial: it is immutable after
+  // construction, so trials and their shard workers share it freely.
+  Result<ProtocolPtr> protocol = method.MakeProtocol(epsilon, d);
+  if (!protocol.ok()) return protocol.status();
+
+  // Two-level thread split: independent trials (including the expensive
+  // reconstruction step) run in parallel, and whatever budget is left over
+  // threads each trial's shard accumulation. Results depend on neither
+  // layer's layout — trial streams are fixed by (seed, t), shard streams by
+  // (trial_seed, i) — so any (threads, trials) combination reproduces the
+  // single-threaded metrics exactly.
+  const size_t threads =
+      opts.threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : opts.threads;
+  const size_t trial_workers = std::min(threads, opts.trials);
+  ShardOptions shard_opts;
+  shard_opts.shard_size = opts.shard_size;
+  shard_opts.threads = std::max<size_t>(1, threads / trial_workers);
+
   std::vector<TrialMetrics> metrics(opts.trials);
   std::vector<Status> failures(opts.trials, Status::OK());
-  size_t threads = opts.threads == 0
-                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
-                       : opts.threads;
-  threads = std::min(threads, opts.trials);
-
-  const auto worker = [&](size_t worker_id) {
-    for (size_t t = worker_id; t < opts.trials; t += threads) {
-      // Independent, reproducible stream per trial.
-      Rng rng(SplitMix64(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1))));
-      Result<MethodOutput> out = method.Run(values, epsilon, d, rng);
+  const auto trial_worker = [&](size_t worker_id) {
+    for (size_t t = worker_id; t < opts.trials; t += trial_workers) {
+      // Independent, reproducible stream family per trial; the shard layer
+      // derives one stream per shard below it.
+      const uint64_t trial_seed = ShardSeed(opts.seed, t);
+      Result<MethodOutput> out = RunProtocolSharded(*protocol.value(), values,
+                                                   trial_seed, shard_opts);
       if (!out.ok()) {
         failures[t] = out.status();
         continue;
@@ -113,12 +132,14 @@ Result<AggregateMetrics> RunTrials(const DistributionMethod& method,
     }
   };
 
-  if (threads == 1) {
-    worker(0);
+  if (trial_workers == 1) {
+    trial_worker(0);
   } else {
     std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    pool.reserve(trial_workers);
+    for (size_t w = 0; w < trial_workers; ++w) {
+      pool.emplace_back(trial_worker, w);
+    }
     for (std::thread& th : pool) th.join();
   }
 

@@ -1,6 +1,17 @@
-// Experiment runner: repeats (method x dataset x epsilon) trials with
-// independent seeds, multithreaded, and aggregates every §3 utility metric.
-// All figure benches are thin loops over RunTrials.
+// Experiment runner: repeats (method x dataset x epsilon) trials and
+// aggregates every §3 utility metric. All figure benches are thin loops
+// over RunTrials.
+//
+// Execution model (adapter-over-Protocol): the method's Protocol is
+// instantiated once per RunTrials call. The thread budget is split on two
+// levels: independent trials (including the expensive reconstruction step)
+// run in parallel, and each trial cuts the value stream into fixed-size
+// shards — shard i is encoded+perturbed with its own RNG stream seeded by
+// mix(trial_seed, i), shard workers fold into per-thread accumulators, and
+// the accumulators are merged once before a single reconstruction. Because
+// trial streams depend only on (seed, trial) and shard layout/seeds only on
+// (trial_seed, shard_size) — never on the thread count at either level — a
+// fixed-seed run produces bit-identical metrics for 1 or N threads.
 #pragma once
 
 #include <cstdint>
@@ -34,8 +45,11 @@ struct AggregateMetrics {
 struct RunnerOptions {
   size_t trials = 5;
   uint64_t seed = 42;
-  /// Worker threads; 0 = hardware concurrency.
+  /// Worker threads sharding each trial's report stream; 0 = hardware
+  /// concurrency. The thread count never changes the results.
   size_t threads = 0;
+  /// Values per report shard (see protocol/sharded.h).
+  size_t shard_size = 8192;
   double alpha_small = 0.1;
   double alpha_large = 0.4;
   /// Random range queries per trial per alpha.
@@ -53,8 +67,9 @@ struct GroundTruth {
 /// (moments from the raw values, not the histogram).
 GroundTruth ComputeGroundTruth(const std::vector<double>& values, size_t d);
 
-/// Runs `opts.trials` independent executions of `method` and aggregates the
-/// metrics against the ground truth. Deterministic for a fixed seed.
+/// Runs `opts.trials` independent executions of `method`'s Protocol and
+/// aggregates the metrics against the ground truth. Deterministic for a
+/// fixed seed, independent of opts.threads.
 Result<AggregateMetrics> RunTrials(const DistributionMethod& method,
                                    const std::vector<double>& values,
                                    const GroundTruth& truth, double epsilon,

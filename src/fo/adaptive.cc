@@ -26,15 +26,33 @@ AdaptiveFo::AdaptiveFo(double epsilon, size_t domain, bool use_grr, Grr grr,
 
 std::vector<double> AdaptiveFo::Run(const std::vector<uint32_t>& values,
                                     Rng& rng) const {
+  FoSketch sketch = MakeSketch();
+  for (uint32_t v : values) Absorb(Perturb(v, rng), &sketch);
+  return EstimateFromSketch(sketch);
+}
+
+FoReport AdaptiveFo::Perturb(uint32_t v, Rng& rng) const {
+  if (use_grr_) return FoReport{0, grr_.Perturb(v, rng)};
+  const OlhReport rep = olh_.Perturb(v, rng);
+  return FoReport{rep.seed, rep.y};
+}
+
+FoSketch AdaptiveFo::MakeSketch() const {
+  return use_grr_ ? grr_.MakeSketch() : olh_.MakeSketch();
+}
+
+void AdaptiveFo::Absorb(const FoReport& report, FoSketch* sketch) const {
   if (use_grr_) {
-    std::vector<uint64_t> counts(domain_, 0);
-    for (uint32_t v : values) ++counts[grr_.Perturb(v, rng)];
-    return grr_.EstimateFromCounts(counts, values.size());
+    grr_.Absorb(report.value, sketch);
+  } else {
+    olh_.Absorb(OlhReport{report.seed, report.value}, sketch);
   }
-  std::vector<OlhReport> reports;
-  reports.reserve(values.size());
-  for (uint32_t v : values) reports.push_back(olh_.Perturb(v, rng));
-  return olh_.Estimate(reports);
+}
+
+std::vector<double> AdaptiveFo::EstimateFromSketch(
+    const FoSketch& sketch) const {
+  return use_grr_ ? grr_.EstimateFromSketch(sketch)
+                  : olh_.EstimateFromSketch(sketch);
 }
 
 double AdaptiveFo::VariancePerEstimate(size_t n) const {

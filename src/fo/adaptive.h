@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "fo/grr.h"
 #include "fo/olh.h"
+#include "fo/sketch.h"
 
 namespace numdist {
 
@@ -27,6 +28,24 @@ class AdaptiveFo {
   /// Perturbs every value and returns unbiased frequency estimates.
   /// `values` are in {0..domain-1}. Estimates may be negative.
   std::vector<double> Run(const std::vector<uint32_t>& values, Rng& rng) const;
+
+  /// Randomizes one value (client side) into the uniform wire format:
+  /// a GRR category or an OLH (seed, hash) pair, depending on the selected
+  /// protocol.
+  FoReport Perturb(uint32_t v, Rng& rng) const;
+
+  /// Empty aggregation state for the selected protocol.
+  FoSketch MakeSketch() const;
+
+  /// Folds one report into the sketch (O(1) for GRR, O(domain) for OLH).
+  void Absorb(const FoReport& report, FoSketch* sketch) const;
+
+  /// Unbiased frequency estimates from an absorbed sketch; identical to
+  /// Run() over the same values with the same RNG stream.
+  std::vector<double> EstimateFromSketch(const FoSketch& sketch) const;
+
+  const Grr& grr() const { return grr_; }
+  const Olh& olh() const { return olh_; }
 
   /// Analytical per-estimate variance of the selected protocol for n users.
   double VariancePerEstimate(size_t n) const;

@@ -1,0 +1,228 @@
+#include "fo/batched.h"
+
+#include <string>
+#include <utility>
+
+#include "fo/adaptive.h"
+#include "fo/grr.h"
+#include "fo/olh.h"
+#include "fo/oue.h"
+
+namespace numdist {
+
+namespace {
+
+// GRR, OLH, and the adaptive dispatcher all speak FoReport; AdaptiveFo
+// already routes between the two plain oracles, so wrapping it (or a
+// degenerate forced instance) covers three of the four kinds.
+class AdaptiveBatchedFo final : public BatchedFo {
+ public:
+  explicit AdaptiveBatchedFo(AdaptiveFo fo) : fo_(std::move(fo)) {}
+
+  size_t domain() const override { return fo_.domain(); }
+
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    FoChunk* chunk) const override {
+    chunk->reports.reserve(chunk->reports.size() + values.size());
+    for (uint32_t v : values) chunk->reports.push_back(fo_.Perturb(v, rng));
+    chunk->n += values.size();
+  }
+
+  FoSketch MakeSketch() const override { return fo_.MakeSketch(); }
+
+  Status Absorb(const FoChunk& chunk, FoSketch* sketch) const override {
+    if (chunk.reports.size() != chunk.n || !chunk.bits.empty()) {
+      return Status::InvalidArgument("BatchedFo: malformed report chunk");
+    }
+    // Reports come from untrusted clients: never index out of bounds on a
+    // bad GRR category (OLH hashes are compared, never indexed), and
+    // reject the whole chunk before folding anything so an error leaves
+    // the sketch untouched.
+    if (fo_.uses_grr()) {
+      for (const FoReport& rep : chunk.reports) {
+        if (rep.value >= fo_.domain()) {
+          return Status::InvalidArgument("BatchedFo: report out of domain");
+        }
+      }
+    }
+    for (const FoReport& rep : chunk.reports) fo_.Absorb(rep, sketch);
+    return Status::OK();
+  }
+
+  std::vector<double> Estimate(const FoSketch& sketch) const override {
+    return fo_.EstimateFromSketch(sketch);
+  }
+
+ private:
+  AdaptiveFo fo_;
+};
+
+class GrrBatchedFo final : public BatchedFo {
+ public:
+  explicit GrrBatchedFo(Grr grr) : grr_(std::move(grr)) {}
+
+  size_t domain() const override { return grr_.domain(); }
+
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    FoChunk* chunk) const override {
+    chunk->reports.reserve(chunk->reports.size() + values.size());
+    for (uint32_t v : values) {
+      chunk->reports.push_back(FoReport{0, grr_.Perturb(v, rng)});
+    }
+    chunk->n += values.size();
+  }
+
+  FoSketch MakeSketch() const override { return grr_.MakeSketch(); }
+
+  Status Absorb(const FoChunk& chunk, FoSketch* sketch) const override {
+    if (chunk.reports.size() != chunk.n || !chunk.bits.empty()) {
+      return Status::InvalidArgument("BatchedFo: malformed report chunk");
+    }
+    // Validate the whole chunk before folding anything so an error leaves
+    // the sketch untouched.
+    for (const FoReport& rep : chunk.reports) {
+      if (rep.value >= grr_.domain()) {
+        return Status::InvalidArgument("BatchedFo: report out of domain");
+      }
+    }
+    for (const FoReport& rep : chunk.reports) grr_.Absorb(rep.value, sketch);
+    return Status::OK();
+  }
+
+  std::vector<double> Estimate(const FoSketch& sketch) const override {
+    return grr_.EstimateFromSketch(sketch);
+  }
+
+ private:
+  Grr grr_;
+};
+
+class OlhBatchedFo final : public BatchedFo {
+ public:
+  explicit OlhBatchedFo(Olh olh) : olh_(std::move(olh)) {}
+
+  size_t domain() const override { return olh_.domain(); }
+
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    FoChunk* chunk) const override {
+    chunk->reports.reserve(chunk->reports.size() + values.size());
+    for (uint32_t v : values) {
+      const OlhReport rep = olh_.Perturb(v, rng);
+      chunk->reports.push_back(FoReport{rep.seed, rep.y});
+    }
+    chunk->n += values.size();
+  }
+
+  FoSketch MakeSketch() const override { return olh_.MakeSketch(); }
+
+  Status Absorb(const FoChunk& chunk, FoSketch* sketch) const override {
+    if (chunk.reports.size() != chunk.n || !chunk.bits.empty()) {
+      return Status::InvalidArgument("BatchedFo: malformed report chunk");
+    }
+    for (const FoReport& rep : chunk.reports) {
+      olh_.Absorb(OlhReport{rep.seed, rep.value}, sketch);
+    }
+    return Status::OK();
+  }
+
+  std::vector<double> Estimate(const FoSketch& sketch) const override {
+    return olh_.EstimateFromSketch(sketch);
+  }
+
+ private:
+  Olh olh_;
+};
+
+class OueBatchedFo final : public BatchedFo {
+ public:
+  explicit OueBatchedFo(Oue oue) : oue_(std::move(oue)) {}
+
+  size_t domain() const override { return oue_.domain(); }
+
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    FoChunk* chunk) const override {
+    chunk->bits.reserve(chunk->bits.size() + values.size() * oue_.domain());
+    for (uint32_t v : values) {
+      const std::vector<uint8_t> bits = oue_.Perturb(v, rng);
+      chunk->bits.insert(chunk->bits.end(), bits.begin(), bits.end());
+    }
+    chunk->n += values.size();
+  }
+
+  FoSketch MakeSketch() const override { return oue_.MakeSketch(); }
+
+  Status Absorb(const FoChunk& chunk, FoSketch* sketch) const override {
+    const size_t d = oue_.domain();
+    if (chunk.bits.size() != chunk.n * d || !chunk.reports.empty()) {
+      return Status::InvalidArgument("BatchedFo: malformed OUE chunk");
+    }
+    // Untrusted clients: a non-binary byte would silently inflate the ones
+    // counts. Reject the whole chunk before folding anything.
+    for (uint8_t bit : chunk.bits) {
+      if (bit > 1) {
+        return Status::InvalidArgument("BatchedFo: non-binary OUE bit");
+      }
+    }
+    for (uint64_t u = 0; u < chunk.n; ++u) {
+      for (size_t j = 0; j < d; ++j) {
+        sketch->counts[j] += chunk.bits[u * d + j];
+      }
+    }
+    sketch->n += chunk.n;
+    return Status::OK();
+  }
+
+  std::vector<double> Estimate(const FoSketch& sketch) const override {
+    return oue_.EstimateFromSketch(sketch);
+  }
+
+ private:
+  Oue oue_;
+};
+
+}  // namespace
+
+bool ParseFoKind(const std::string& name, FoKind* kind) {
+  if (name == "adaptive") {
+    *kind = FoKind::kAdaptive;
+  } else if (name == "grr") {
+    *kind = FoKind::kGrr;
+  } else if (name == "olh") {
+    *kind = FoKind::kOlh;
+  } else if (name == "oue") {
+    *kind = FoKind::kOue;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<BatchedFo>> MakeBatchedFo(FoKind kind, double epsilon,
+                                                 size_t domain) {
+  switch (kind) {
+    case FoKind::kAdaptive: {
+      Result<AdaptiveFo> fo = AdaptiveFo::Make(epsilon, domain);
+      if (!fo.ok()) return fo.status();
+      return std::unique_ptr<BatchedFo>(
+          new AdaptiveBatchedFo(std::move(fo).value()));
+    }
+    case FoKind::kGrr: {
+      Result<Grr> grr = Grr::Make(epsilon, domain);
+      if (!grr.ok()) return grr.status();
+      return std::unique_ptr<BatchedFo>(new GrrBatchedFo(std::move(grr).value()));
+    }
+    case FoKind::kOlh: {
+      Result<Olh> olh = Olh::Make(epsilon, domain);
+      if (!olh.ok()) return olh.status();
+      return std::unique_ptr<BatchedFo>(new OlhBatchedFo(std::move(olh).value()));
+    }
+    case FoKind::kOue: {
+      Result<Oue> oue = Oue::Make(epsilon, domain);
+      if (!oue.ok()) return oue.status();
+      return std::unique_ptr<BatchedFo>(new OueBatchedFo(std::move(oue).value()));
+    }
+  }
+  return Status::InvalidArgument("MakeBatchedFo: unknown oracle kind");
+}
+
+}  // namespace numdist

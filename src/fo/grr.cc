@@ -44,11 +44,24 @@ std::vector<double> Grr::Estimate(const std::vector<uint32_t>& reports) const {
 std::vector<double> Grr::EstimateFromCounts(
     const std::vector<uint64_t>& counts, size_t n) const {
   assert(counts.size() == domain_);
+  return EstimateFromSketch(
+      FoSketch{std::vector<int64_t>(counts.begin(), counts.end()), n});
+}
+
+void Grr::Absorb(uint32_t report, FoSketch* sketch) const {
+  assert(report < domain_ && sketch->counts.size() == domain_);
+  ++sketch->counts[report];
+  ++sketch->n;
+}
+
+std::vector<double> Grr::EstimateFromSketch(const FoSketch& sketch) const {
+  assert(sketch.counts.size() == domain_);
   std::vector<double> est(domain_, 0.0);
-  if (n == 0) return est;
+  if (sketch.n == 0) return est;
   const double denom = p_ - q_;
   for (size_t v = 0; v < domain_; ++v) {
-    const double c = static_cast<double>(counts[v]) / static_cast<double>(n);
+    const double c = static_cast<double>(sketch.counts[v]) /
+                     static_cast<double>(sketch.n);
     est[v] = (c - q_) / denom;
   }
   return est;

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "fo/sketch.h"
 
 namespace numdist {
 
@@ -28,6 +29,18 @@ class Grr {
   /// Unbiased frequency estimates from a pre-aggregated report histogram.
   std::vector<double> EstimateFromCounts(const std::vector<uint64_t>& counts,
                                          size_t n) const;
+
+  /// Empty aggregation state (`domain` report counts).
+  FoSketch MakeSketch() const {
+    return FoSketch{std::vector<int64_t>(domain_, 0), 0};
+  }
+
+  /// Folds one report into the sketch: counts[report]++. O(1).
+  void Absorb(uint32_t report, FoSketch* sketch) const;
+
+  /// Unbiased frequency estimates from an absorbed sketch; identical to
+  /// Estimate() over the same reports in any order.
+  std::vector<double> EstimateFromSketch(const FoSketch& sketch) const;
 
   /// Per-estimate variance for a frequency near 0: (d-2+e^eps)/((e^eps-1)^2 n)
   /// (paper Eq. 1).

@@ -38,17 +38,30 @@ HrrReport Hrr::Perturb(uint32_t v, Rng& rng) const {
 }
 
 std::vector<double> Hrr::Estimate(const std::vector<HrrReport>& reports) const {
-  std::vector<double> est(domain_, 0.0);
-  const size_t n = reports.size();
-  if (n == 0) return est;
-  // E[phi[t][col] * bit] = (2p - 1) * 1[t == value], by row orthogonality.
-  const double scale = 1.0 / ((2.0 * p_ - 1.0) * static_cast<double>(n));
-  for (const HrrReport& rep : reports) {
-    for (size_t t = 0; t < domain_; ++t) {
-      est[t] += HadamardEntry(static_cast<uint32_t>(t), rep.col) * rep.bit;
-    }
+  FoSketch sketch = MakeSketch();
+  for (const HrrReport& rep : reports) Absorb(rep, &sketch);
+  return EstimateFromSketch(sketch);
+}
+
+void Hrr::Absorb(const HrrReport& report, FoSketch* sketch) const {
+  assert(sketch->counts.size() == domain_);
+  for (size_t t = 0; t < domain_; ++t) {
+    sketch->counts[t] +=
+        HadamardEntry(static_cast<uint32_t>(t), report.col) * report.bit;
   }
-  for (double& e : est) e *= scale;
+  ++sketch->n;
+}
+
+std::vector<double> Hrr::EstimateFromSketch(const FoSketch& sketch) const {
+  assert(sketch.counts.size() == domain_);
+  std::vector<double> est(domain_, 0.0);
+  if (sketch.n == 0) return est;
+  // E[phi[t][col] * bit] = (2p - 1) * 1[t == value], by row orthogonality.
+  const double scale =
+      1.0 / ((2.0 * p_ - 1.0) * static_cast<double>(sketch.n));
+  for (size_t t = 0; t < domain_; ++t) {
+    est[t] = static_cast<double>(sketch.counts[t]) * scale;
+  }
   return est;
 }
 

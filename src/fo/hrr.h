@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "fo/sketch.h"
 
 namespace numdist {
 
@@ -33,6 +34,19 @@ class Hrr {
 
   /// Unbiased frequency estimates (server side). O(n * domain) popcounts.
   std::vector<double> Estimate(const std::vector<HrrReport>& reports) const;
+
+  /// Empty aggregation state (`domain` signed correlation sums).
+  FoSketch MakeSketch() const {
+    return FoSketch{std::vector<int64_t>(domain_, 0), 0};
+  }
+
+  /// Folds one report into the sketch: the O(domain) Hadamard correlation
+  /// pass, done here so shards parallelize it.
+  void Absorb(const HrrReport& report, FoSketch* sketch) const;
+
+  /// Unbiased frequency estimates from absorbed correlations; identical to
+  /// Estimate() over the same reports in any order.
+  std::vector<double> EstimateFromSketch(const FoSketch& sketch) const;
 
   /// Approximate per-estimate variance ((e^eps+1)/(e^eps-1))^2 / n.
   static double Variance(double epsilon, size_t n);

@@ -54,14 +54,28 @@ std::vector<uint64_t> Olh::SupportCounts(
 }
 
 std::vector<double> Olh::Estimate(const std::vector<OlhReport>& reports) const {
-  const std::vector<uint64_t> counts = SupportCounts(reports);
-  const size_t n = reports.size();
+  FoSketch sketch = MakeSketch();
+  for (const OlhReport& rep : reports) Absorb(rep, &sketch);
+  return EstimateFromSketch(sketch);
+}
+
+void Olh::Absorb(const OlhReport& report, FoSketch* sketch) const {
+  assert(sketch->counts.size() == domain_);
+  for (size_t v = 0; v < domain_; ++v) {
+    if (OlhHash(report.seed, v, g_) == report.y) ++sketch->counts[v];
+  }
+  ++sketch->n;
+}
+
+std::vector<double> Olh::EstimateFromSketch(const FoSketch& sketch) const {
+  assert(sketch.counts.size() == domain_);
   std::vector<double> est(domain_, 0.0);
-  if (n == 0) return est;
+  if (sketch.n == 0) return est;
   const double one_over_g = 1.0 / static_cast<double>(g_);
   const double denom = p_ - one_over_g;
   for (size_t v = 0; v < domain_; ++v) {
-    const double c = static_cast<double>(counts[v]) / static_cast<double>(n);
+    const double c = static_cast<double>(sketch.counts[v]) /
+                     static_cast<double>(sketch.n);
     est[v] = (c - one_over_g) / denom;
   }
   return est;

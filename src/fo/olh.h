@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "fo/sketch.h"
 
 namespace numdist {
 
@@ -36,6 +37,19 @@ class Olh {
   /// Support counts C(v) = |{j : H_j(v) == y_j}| (exposed for tests).
   std::vector<uint64_t> SupportCounts(
       const std::vector<OlhReport>& reports) const;
+
+  /// Empty aggregation state (`domain` support counts).
+  FoSketch MakeSketch() const {
+    return FoSketch{std::vector<int64_t>(domain_, 0), 0};
+  }
+
+  /// Folds one report into the sketch: the O(domain) hashing pass that
+  /// dominates server cost, done here so shards parallelize it.
+  void Absorb(const OlhReport& report, FoSketch* sketch) const;
+
+  /// Unbiased frequency estimates from absorbed support counts; identical
+  /// to Estimate() over the same reports in any order.
+  std::vector<double> EstimateFromSketch(const FoSketch& sketch) const;
 
   /// Approximate per-estimate variance 4 e^eps / ((e^eps - 1)^2 n).
   static double Variance(double epsilon, size_t n);

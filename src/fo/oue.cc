@@ -33,15 +33,8 @@ std::vector<uint8_t> Oue::Perturb(uint32_t v, Rng& rng) const {
 std::vector<double> Oue::EstimateFromOnes(const std::vector<uint64_t>& ones,
                                           size_t n) const {
   assert(ones.size() == domain_);
-  std::vector<double> est(domain_, 0.0);
-  if (n == 0) return est;
-  // E[ones_v / n] = 0.5 f_v + q (1 - f_v); invert the affine map.
-  const double denom = 0.5 - q_;
-  for (size_t v = 0; v < domain_; ++v) {
-    const double c = static_cast<double>(ones[v]) / static_cast<double>(n);
-    est[v] = (c - q_) / denom;
-  }
-  return est;
+  return EstimateFromSketch(
+      FoSketch{std::vector<int64_t>(ones.begin(), ones.end()), n});
 }
 
 std::vector<double> Oue::Run(const std::vector<uint32_t>& values,
@@ -56,6 +49,26 @@ std::vector<double> Oue::Run(const std::vector<uint32_t>& values,
     }
   }
   return EstimateFromOnes(ones, values.size());
+}
+
+void Oue::Absorb(const std::vector<uint8_t>& bits, FoSketch* sketch) const {
+  assert(bits.size() == domain_ && sketch->counts.size() == domain_);
+  for (size_t j = 0; j < domain_; ++j) sketch->counts[j] += bits[j];
+  ++sketch->n;
+}
+
+std::vector<double> Oue::EstimateFromSketch(const FoSketch& sketch) const {
+  assert(sketch.counts.size() == domain_);
+  std::vector<double> est(domain_, 0.0);
+  if (sketch.n == 0) return est;
+  // E[ones_v / n] = 0.5 f_v + q (1 - f_v); invert the affine map.
+  const double denom = 0.5 - q_;
+  for (size_t v = 0; v < domain_; ++v) {
+    const double c = static_cast<double>(sketch.counts[v]) /
+                     static_cast<double>(sketch.n);
+    est[v] = (c - q_) / denom;
+  }
+  return est;
 }
 
 double Oue::Variance(double epsilon, size_t n) {

@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "fo/sketch.h"
 
 namespace numdist {
 
@@ -32,6 +33,19 @@ class Oue {
   /// Convenience: perturbs every value and estimates in one pass,
   /// accumulating only the per-bit counts (O(d) server state).
   std::vector<double> Run(const std::vector<uint32_t>& values, Rng& rng) const;
+
+  /// Empty aggregation state (`domain` per-bit ones counts).
+  FoSketch MakeSketch() const {
+    return FoSketch{std::vector<int64_t>(domain_, 0), 0};
+  }
+
+  /// Folds one perturbed bit vector (as returned by Perturb) into the
+  /// sketch. `bits` must have `domain` entries.
+  void Absorb(const std::vector<uint8_t>& bits, FoSketch* sketch) const;
+
+  /// Unbiased frequency estimates from absorbed ones counts; identical to
+  /// EstimateFromOnes over the same reports in any order.
+  std::vector<double> EstimateFromSketch(const FoSketch& sketch) const;
 
   /// Per-estimate variance 4 e^eps / ((e^eps - 1)^2 n) — same as OLH.
   static double Variance(double epsilon, size_t n);

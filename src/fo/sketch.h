@@ -1,0 +1,46 @@
+// Wire and server-state primitives shared by every categorical frequency
+// oracle (GRR, OLH, OUE, HRR, and the variance-adaptive dispatcher).
+//
+// The batched protocol split is: clients emit compact FoReport values, the
+// aggregator folds them into an FoSketch (exact integer state, so shard
+// merges are associative and bit-reproducible regardless of how reports
+// were grouped across threads), and the oracle inverts the sketch into
+// unbiased frequency estimates once at the end.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace numdist {
+
+/// One perturbed report on the wire. The meaning of the fields is
+/// oracle-specific:
+///  - GRR: `value` is the perturbed category; `seed` unused.
+///  - OLH: `seed` is the public hash seed, `value` the perturbed hash.
+/// (HRR reports travel as HrrReport — the signed bit does not fit this
+/// shape; see fo/hrr.h.)
+struct FoReport {
+  uint64_t seed = 0;
+  uint32_t value = 0;
+};
+
+/// \brief Mergeable aggregation state of one frequency oracle.
+///
+/// `counts` semantics are oracle-specific (report counts for GRR, support
+/// counts for OLH, per-bit ones for OUE, signed Hadamard correlations for
+/// HRR) but always exact integers, so Merge is associative and commutative:
+/// any sharding of the report stream yields the same final sketch.
+struct FoSketch {
+  std::vector<int64_t> counts;
+  uint64_t n = 0;  ///< Reports absorbed.
+
+  /// Adds another shard's state. Requires identical sketch shape.
+  void Merge(const FoSketch& other) {
+    assert(counts.size() == other.counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+    n += other.n;
+  }
+};
+
+}  // namespace numdist

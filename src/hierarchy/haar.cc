@@ -27,12 +27,24 @@ HaarHrrProtocol::HaarHrrProtocol(double epsilon, HierarchyTree tree,
 
 std::vector<double> HaarHrrProtocol::CollectNodeEstimates(
     const std::vector<uint32_t>& leaf_values, Rng& rng) const {
-  const size_t h = tree_.height();
+  std::vector<HaarReport> reports;
+  PerturbBatch(leaf_values, rng, &reports);
+  std::vector<FoSketch> sketches = MakeSketches();
+  for (const HaarReport& report : reports) {
+    const Status st = Absorb(report, &sketches);
+    assert(st.ok());
+    (void)st;
+  }
+  return NodeEstimatesFromSketches(sketches);
+}
 
+void HaarHrrProtocol::PerturbBatch(std::span<const uint32_t> leaf_values,
+                                   Rng& rng,
+                                   std::vector<HaarReport>* out) const {
+  const size_t h = tree_.height();
+  out->reserve(out->size() + leaf_values.size());
   // Population division over the h internal levels; each user reports the
   // (ancestor node, half) pair at their level through HRR.
-  std::vector<std::vector<HrrReport>> reports(h);
-  std::vector<size_t> group_sizes(h, 0);
   for (uint32_t leaf : leaf_values) {
     assert(leaf < tree_.d());
     const size_t t = rng.UniformInt(h);
@@ -40,16 +52,52 @@ std::vector<double> HaarHrrProtocol::CollectNodeEstimates(
     // Sign: +1 (item 2*node) if the value lies in the left half of the
     // node's span, -1 (item 2*node+1) otherwise.
     const size_t child = tree_.AncestorAt(leaf, t + 1);
-    const uint32_t item = static_cast<uint32_t>(
-        2 * node + ((child % 2 == 0) ? 0 : 1));
-    reports[t].push_back(level_hrrs_[t].Perturb(item, rng));
-    ++group_sizes[t];
+    const uint32_t item =
+        static_cast<uint32_t>(2 * node + ((child % 2 == 0) ? 0 : 1));
+    out->push_back(HaarReport{static_cast<uint32_t>(t),
+                              level_hrrs_[t].Perturb(item, rng)});
   }
+}
+
+std::vector<FoSketch> HaarHrrProtocol::MakeSketches() const {
+  std::vector<FoSketch> sketches;
+  sketches.reserve(level_hrrs_.size());
+  for (const Hrr& hrr : level_hrrs_) sketches.push_back(hrr.MakeSketch());
+  return sketches;
+}
+
+Status HaarHrrProtocol::ValidateReport(const HaarReport& report) const {
+  if (report.level >= tree_.height()) {
+    return Status::InvalidArgument("HaarHRR: report level out of range");
+  }
+  // Untrusted clients: a non-±1 bit or out-of-order column would silently
+  // bias the correlation sums.
+  if (report.report.bit != 1 && report.report.bit != -1) {
+    return Status::InvalidArgument("HaarHRR: report bit must be +-1");
+  }
+  if (report.report.col >= level_hrrs_[report.level].order()) {
+    return Status::InvalidArgument("HaarHRR: report column out of range");
+  }
+  return Status::OK();
+}
+
+Status HaarHrrProtocol::Absorb(const HaarReport& report,
+                               std::vector<FoSketch>* sketches) const {
+  NUMDIST_RETURN_NOT_OK(ValidateReport(report));
+  level_hrrs_[report.level].Absorb(report.report, &(*sketches)[report.level]);
+  return Status::OK();
+}
+
+std::vector<double> HaarHrrProtocol::NodeEstimatesFromSketches(
+    const std::vector<FoSketch>& sketches) const {
+  const size_t h = tree_.height();
+  assert(sketches.size() == h);
 
   // Per-level signed differences delta_a = F(a,left) - F(a,right).
   std::vector<std::vector<double>> delta(h);
   for (size_t t = 0; t < h; ++t) {
-    const std::vector<double> freq = level_hrrs_[t].Estimate(reports[t]);
+    const std::vector<double> freq =
+        level_hrrs_[t].EstimateFromSketch(sketches[t]);
     delta[t].resize(tree_.LevelSize(t));
     for (size_t a = 0; a < tree_.LevelSize(t); ++a) {
       delta[t][a] = freq[2 * a] - freq[2 * a + 1];

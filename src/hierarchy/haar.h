@@ -14,14 +14,23 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "fo/hrr.h"
+#include "fo/sketch.h"
 #include "hierarchy/tree.h"
 
 namespace numdist {
+
+/// One HaarHRR wire report: the internal tree level the user was assigned
+/// and the HRR report for their (ancestor node, half) item at that level.
+struct HaarReport {
+  uint32_t level;  ///< internal level t in 0..height-1
+  HrrReport report;
+};
 
 /// \brief The HaarHRR collection + reconstruction protocol.
 class HaarHrrProtocol {
@@ -34,6 +43,29 @@ class HaarHrrProtocol {
   /// negative — HaarHRR is used for range queries only, like HH.
   std::vector<double> CollectNodeEstimates(
       const std::vector<uint32_t>& leaf_values, Rng& rng) const;
+
+  /// Client side, batched: assigns each user a uniform internal level and
+  /// appends their perturbed (node, sign) report to `*out`.
+  void PerturbBatch(std::span<const uint32_t> leaf_values, Rng& rng,
+                    std::vector<HaarReport>* out) const;
+
+  /// Server side: empty per-internal-level aggregation state.
+  std::vector<FoSketch> MakeSketches() const;
+
+  /// Rejects reports from untrusted clients that don't fit this protocol:
+  /// bad level, a non-±1 bit, or a column outside the level's Hadamard
+  /// order.
+  Status ValidateReport(const HaarReport& report) const;
+
+  /// Folds one wire report into the matching level sketch. The report must
+  /// pass ValidateReport.
+  Status Absorb(const HaarReport& report,
+                std::vector<FoSketch>* sketches) const;
+
+  /// Per-level signed differences + top-down Haar synthesis. Identical to
+  /// CollectNodeEstimates over the same reports in any order.
+  std::vector<double> NodeEstimatesFromSketches(
+      const std::vector<FoSketch>& sketches) const;
 
   const HierarchyTree& tree() const { return tree_; }
   double epsilon() const { return epsilon_; }

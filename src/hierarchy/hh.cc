@@ -42,33 +42,83 @@ double HhProtocol::per_report_epsilon() const {
 
 std::vector<double> HhProtocol::CollectNodeEstimates(
     const std::vector<uint32_t>& leaf_values, Rng& rng) const {
+  std::vector<HhReport> reports;
+  PerturbBatch(leaf_values, rng, &reports);
+  std::vector<FoSketch> sketches = MakeSketches();
+  for (const HhReport& report : reports) {
+    const Status st = Absorb(report, &sketches);
+    assert(st.ok());
+    (void)st;
+  }
+  return NodeEstimatesFromSketches(sketches);
+}
+
+void HhProtocol::PerturbBatch(std::span<const uint32_t> leaf_values, Rng& rng,
+                              std::vector<HhReport>* out) const {
   const size_t h = tree_.height();
-  std::vector<std::vector<uint32_t>> per_level(h);
   if (strategy_ == HhBudgetStrategy::kDividePopulation) {
     // Each user contributes to exactly one level with the full budget (the
     // right trade-off in the local setting, §4.2).
+    out->reserve(out->size() + leaf_values.size());
     for (uint32_t leaf : leaf_values) {
       assert(leaf < tree_.d());
       const size_t level = 1 + rng.UniformInt(h);
-      per_level[level - 1].push_back(
-          static_cast<uint32_t>(tree_.AncestorAt(leaf, level)));
+      const uint32_t ancestor =
+          static_cast<uint32_t>(tree_.AncestorAt(leaf, level));
+      out->push_back(HhReport{static_cast<uint32_t>(level),
+                              level_fos_[level - 1].Perturb(ancestor, rng)});
     }
   } else {
     // Every user reports every level with budget eps/h.
+    out->reserve(out->size() + leaf_values.size() * h);
     for (uint32_t leaf : leaf_values) {
       assert(leaf < tree_.d());
       for (size_t level = 1; level <= h; ++level) {
-        per_level[level - 1].push_back(
-            static_cast<uint32_t>(tree_.AncestorAt(leaf, level)));
+        const uint32_t ancestor =
+            static_cast<uint32_t>(tree_.AncestorAt(leaf, level));
+        out->push_back(HhReport{static_cast<uint32_t>(level),
+                                level_fos_[level - 1].Perturb(ancestor, rng)});
       }
     }
   }
+}
 
+std::vector<FoSketch> HhProtocol::MakeSketches() const {
+  std::vector<FoSketch> sketches;
+  sketches.reserve(level_fos_.size());
+  for (const AdaptiveFo& fo : level_fos_) sketches.push_back(fo.MakeSketch());
+  return sketches;
+}
+
+Status HhProtocol::ValidateReport(const HhReport& report) const {
+  if (report.level < 1 || report.level > tree_.height()) {
+    return Status::InvalidArgument("HH: report level out of range");
+  }
+  const AdaptiveFo& fo = level_fos_[report.level - 1];
+  // Reports come from untrusted clients: never index out of bounds on a
+  // bad GRR category. (OLH hashes are compared, never indexed.)
+  if (fo.uses_grr() && report.report.value >= fo.domain()) {
+    return Status::InvalidArgument("HH: report out of level domain");
+  }
+  return Status::OK();
+}
+
+Status HhProtocol::Absorb(const HhReport& report,
+                          std::vector<FoSketch>* sketches) const {
+  NUMDIST_RETURN_NOT_OK(ValidateReport(report));
+  level_fos_[report.level - 1].Absorb(report.report,
+                                      &(*sketches)[report.level - 1]);
+  return Status::OK();
+}
+
+std::vector<double> HhProtocol::NodeEstimatesFromSketches(
+    const std::vector<FoSketch>& sketches) const {
+  assert(sketches.size() == level_fos_.size());
   std::vector<double> nodes(tree_.NumNodes(), 0.0);
   nodes[0] = 1.0;  // the total count is public in LDP
-  for (size_t level = 1; level <= h; ++level) {
+  for (size_t level = 1; level <= tree_.height(); ++level) {
     const std::vector<double> est =
-        level_fos_[level - 1].Run(per_level[level - 1], rng);
+        level_fos_[level - 1].EstimateFromSketch(sketches[level - 1]);
     const size_t off = tree_.LevelOffset(level);
     for (size_t i = 0; i < est.size(); ++i) nodes[off + i] = est[i];
   }

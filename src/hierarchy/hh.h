@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "fo/adaptive.h"
+#include "fo/sketch.h"
 #include "hierarchy/tree.h"
 
 namespace numdist {
@@ -27,6 +29,13 @@ enum class HhBudgetStrategy {
   /// composition). Better in the centralized setting; implemented to
   /// demonstrate the §4.2 comparison under LDP.
   kDivideBudget,
+};
+
+/// One HH wire report: which tree level the user was assigned, plus the
+/// perturbed ancestor report for that level's frequency oracle.
+struct HhReport {
+  uint32_t level;  ///< 1..height
+  FoReport report;
 };
 
 /// \brief The HH collection protocol: per-level adaptive FO over disjoint
@@ -45,6 +54,29 @@ class HhProtocol {
   /// `leaf_values` are histogram bucket indices in {0..d-1}.
   std::vector<double> CollectNodeEstimates(
       const std::vector<uint32_t>& leaf_values, Rng& rng) const;
+
+  /// Client side, batched: encodes + perturbs every leaf value, appending
+  /// the wire reports to `*out`. Divide-population emits one report per
+  /// user at a uniformly drawn level; divide-budget emits one per level.
+  void PerturbBatch(std::span<const uint32_t> leaf_values, Rng& rng,
+                    std::vector<HhReport>* out) const;
+
+  /// Server side: empty per-level aggregation state (index 0 -> level 1).
+  std::vector<FoSketch> MakeSketches() const;
+
+  /// Rejects reports from untrusted clients that don't fit this protocol:
+  /// bad level, or a GRR category outside the level's domain.
+  Status ValidateReport(const HhReport& report) const;
+
+  /// Folds one wire report into the matching level sketch. The report must
+  /// pass ValidateReport.
+  Status Absorb(const HhReport& report, std::vector<FoSketch>* sketches) const;
+
+  /// Per-level frequency estimates assembled into the flattened node vector
+  /// (root pinned to 1). Identical to CollectNodeEstimates over the same
+  /// reports in any order.
+  std::vector<double> NodeEstimatesFromSketches(
+      const std::vector<FoSketch>& sketches) const;
 
   const HierarchyTree& tree() const { return tree_; }
   double epsilon() const { return epsilon_; }

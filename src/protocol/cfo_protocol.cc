@@ -1,0 +1,140 @@
+#include "protocol/cfo_protocol.h"
+
+#include <utility>
+
+#include "common/histogram.h"
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+
+namespace {
+
+class CfoChunk final : public ReportChunk {
+ public:
+  size_t num_reports() const override { return chunk.n; }
+  FoChunk chunk;
+  size_t domain = 0;  // oracle domain the chunk was encoded for
+};
+
+class CfoAccumulator final : public Accumulator {
+ public:
+  explicit CfoAccumulator(const BatchedFo* fo)
+      : fo_(fo), sketch_(fo->MakeSketch()) {}
+
+  Status Absorb(const ReportChunk& chunk) override {
+    const auto* cfo_chunk = dynamic_cast<const CfoChunk*>(&chunk);
+    if (cfo_chunk == nullptr) {
+      return Status::InvalidArgument("CFO: chunk from a different protocol");
+    }
+    if (cfo_chunk->domain != fo_->domain()) {
+      return Status::InvalidArgument("CFO: chunk domain mismatch");
+    }
+    return fo_->Absorb(cfo_chunk->chunk, &sketch_);
+  }
+
+  Status Merge(const Accumulator& other) override {
+    const auto* cfo_other = dynamic_cast<const CfoAccumulator*>(&other);
+    if (cfo_other == nullptr ||
+        cfo_other->sketch_.counts.size() != sketch_.counts.size()) {
+      return Status::InvalidArgument("CFO: accumulator shape mismatch");
+    }
+    sketch_.Merge(cfo_other->sketch_);
+    return Status::OK();
+  }
+
+  uint64_t num_reports() const override { return sketch_.n; }
+  const FoSketch& sketch() const { return sketch_; }
+
+ private:
+  const BatchedFo* fo_;
+  FoSketch sketch_;
+};
+
+class CfoBinningProtocol final : public Protocol {
+ public:
+  CfoBinningProtocol(std::unique_ptr<BatchedFo> fo, size_t d, size_t bins,
+                     std::string name)
+      : fo_(std::move(fo)), d_(d), bins_(bins), name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return true; }
+  size_t granularity() const override { return d_; }
+
+  std::unique_ptr<Accumulator> MakeAccumulator() const override {
+    return std::make_unique<CfoAccumulator>(fo_.get());
+  }
+
+  Result<std::unique_ptr<ReportChunk>> EncodePerturbBatch(
+      std::span<const double> values, Rng& rng) const override {
+    std::vector<uint32_t> binned;
+    binned.reserve(values.size());
+    for (double v : values) {
+      binned.push_back(static_cast<uint32_t>(hist::BucketOf(v, bins_)));
+    }
+    auto chunk = std::make_unique<CfoChunk>();
+    chunk->domain = fo_->domain();
+    fo_->PerturbBatch(binned, rng, &chunk->chunk);
+    return std::unique_ptr<ReportChunk>(std::move(chunk));
+  }
+
+  Result<MethodOutput> Reconstruct(const Accumulator& acc) const override {
+    const auto* cfo_acc = dynamic_cast<const CfoAccumulator*>(&acc);
+    if (cfo_acc == nullptr) {
+      return Status::InvalidArgument("CFO: accumulator from another protocol");
+    }
+    if (cfo_acc->num_reports() == 0) {
+      return Status::InvalidArgument("CFO: no reports absorbed");
+    }
+    const std::vector<double> noisy = fo_->Estimate(cfo_acc->sketch());
+    const std::vector<double> clean = NormSub(noisy, 1.0);
+    // Expand to d buckets assuming a uniform distribution within each bin.
+    const size_t chunk_size = d_ / bins_;
+    MethodOutput out;
+    out.distribution.resize(d_);
+    for (size_t c = 0; c < bins_; ++c) {
+      const double share = clean[c] / static_cast<double>(chunk_size);
+      for (size_t j = 0; j < chunk_size; ++j) {
+        out.distribution[c * chunk_size + j] = share;
+      }
+    }
+    out.range_query = DistributionRangeQuery(out.distribution);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<BatchedFo> fo_;
+  size_t d_;
+  size_t bins_;
+  std::string name_;
+};
+
+std::string OracleTag(FoKind oracle) {
+  switch (oracle) {
+    case FoKind::kAdaptive:
+      return "bin";
+    case FoKind::kGrr:
+      return "grr";
+    case FoKind::kOlh:
+      return "olh";
+    case FoKind::kOue:
+      return "oue";
+  }
+  return "bin";
+}
+
+}  // namespace
+
+Result<ProtocolPtr> MakeCfoBinningProtocol(double epsilon, size_t d,
+                                           size_t bins, FoKind oracle) {
+  if (bins == 0 || d % bins != 0) {
+    return Status::InvalidArgument(
+        "CFO binning: bins must divide the reconstruction granularity");
+  }
+  Result<std::unique_ptr<BatchedFo>> fo = MakeBatchedFo(oracle, epsilon, bins);
+  if (!fo.ok()) return fo.status();
+  std::string name = "CFO-" + OracleTag(oracle) + "-" + std::to_string(bins);
+  return ProtocolPtr(new CfoBinningProtocol(std::move(fo).value(), d, bins,
+                                            std::move(name)));
+}
+
+}  // namespace numdist

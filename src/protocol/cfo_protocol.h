@@ -1,0 +1,24 @@
+// CFO-with-binning behind the batched Protocol contract (paper §4.1):
+// values are bucketized into `bins` chunks, perturbed through a categorical
+// frequency oracle, the server folds reports into the oracle's mergeable
+// sketch, and reconstruction applies Norm-Sub then expands each bin
+// uniformly to the reconstruction granularity d.
+#pragma once
+
+#include <cstddef>
+
+#include "fo/batched.h"
+#include "protocol/protocol.h"
+
+namespace numdist {
+
+/// Builds the CFO binning protocol. Requires epsilon > 0, bins >= 2 and
+/// bins dividing d. `oracle` selects the frequency oracle family; the
+/// variance-adaptive default matches the paper's CFO and is named
+/// "CFO-bin-N"; forced oracles are named "CFO-grr-N" / "CFO-olh-N" /
+/// "CFO-oue-N".
+Result<ProtocolPtr> MakeCfoBinningProtocol(double epsilon, size_t d,
+                                           size_t bins,
+                                           FoKind oracle = FoKind::kAdaptive);
+
+}  // namespace numdist

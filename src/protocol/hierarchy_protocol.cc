@@ -1,0 +1,220 @@
+#include "protocol/hierarchy_protocol.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/histogram.h"
+#include "hierarchy/admm.h"
+#include "hierarchy/constrained.h"
+#include "hierarchy/haar.h"
+#include "hierarchy/tree.h"
+
+namespace numdist {
+
+namespace {
+
+// Shared accumulator shape for both hierarchy families: one FoSketch per
+// tree level, merged sketch-wise.
+template <typename Report>
+class LevelChunk final : public ReportChunk {
+ public:
+  size_t num_reports() const override { return reports.size(); }
+  std::vector<Report> reports;
+  size_t d = 0;  // tree granularity the chunk was encoded for
+};
+
+template <typename Report, typename Owner>
+class LevelAccumulator final : public Accumulator {
+ public:
+  LevelAccumulator(const Owner* owner, std::vector<FoSketch> sketches)
+      : owner_(owner), sketches_(std::move(sketches)) {}
+
+  Status Absorb(const ReportChunk& chunk) override {
+    const auto* level_chunk = dynamic_cast<const LevelChunk<Report>*>(&chunk);
+    if (level_chunk == nullptr) {
+      return Status::InvalidArgument(
+          "hierarchy: chunk from a different protocol");
+    }
+    if (level_chunk->d != owner_->tree().d()) {
+      return Status::InvalidArgument("hierarchy: chunk shape mismatch");
+    }
+    // Validate the whole chunk before folding anything so an error leaves
+    // the sketches untouched.
+    for (const Report& report : level_chunk->reports) {
+      NUMDIST_RETURN_NOT_OK(owner_->ValidateReport(report));
+    }
+    for (const Report& report : level_chunk->reports) {
+      NUMDIST_RETURN_NOT_OK(owner_->Absorb(report, &sketches_));
+      ++n_;
+    }
+    return Status::OK();
+  }
+
+  Status Merge(const Accumulator& other) override {
+    const auto* level_other =
+        dynamic_cast<const LevelAccumulator<Report, Owner>*>(&other);
+    if (level_other == nullptr ||
+        level_other->sketches_.size() != sketches_.size()) {
+      return Status::InvalidArgument("hierarchy: accumulator shape mismatch");
+    }
+    for (size_t t = 0; t < sketches_.size(); ++t) {
+      if (sketches_[t].counts.size() !=
+          level_other->sketches_[t].counts.size()) {
+        return Status::InvalidArgument("hierarchy: sketch shape mismatch");
+      }
+      sketches_[t].Merge(level_other->sketches_[t]);
+    }
+    n_ += level_other->n_;
+    return Status::OK();
+  }
+
+  uint64_t num_reports() const override { return n_; }
+  const std::vector<FoSketch>& sketches() const { return sketches_; }
+
+ private:
+  const Owner* owner_;
+  std::vector<FoSketch> sketches_;
+  uint64_t n_ = 0;
+};
+
+// Client side, shared by both hierarchy families: bucketize raw values to
+// leaves and perturb them through the collection protocol.
+template <typename Report, typename Collection>
+Result<std::unique_ptr<ReportChunk>> EncodeLevelChunk(
+    const Collection& collection, std::span<const double> values, Rng& rng) {
+  std::vector<uint32_t> leaves;
+  leaves.reserve(values.size());
+  const size_t d = collection.tree().d();
+  for (double v : values) {
+    leaves.push_back(static_cast<uint32_t>(hist::BucketOf(v, d)));
+  }
+  auto chunk = std::make_unique<LevelChunk<Report>>();
+  chunk->d = d;
+  collection.PerturbBatch(leaves, rng, &chunk->reports);
+  return std::unique_ptr<ReportChunk>(std::move(chunk));
+}
+
+// Tree-backed range query over a consistent node-estimate vector.
+std::function<double(double, double)> TreeQuery(
+    std::shared_ptr<const HierarchyTree> tree, std::vector<double> nodes) {
+  return [tree = std::move(tree), nodes = std::move(nodes)](double lo,
+                                                            double alpha) {
+    return TreeRangeQueryContinuous(*tree, nodes, lo, lo + alpha);
+  };
+}
+
+class HhBatchedProtocol final : public Protocol {
+ public:
+  HhBatchedProtocol(HhProtocol collection, HhPost post)
+      : collection_(std::move(collection)),
+        post_(post),
+        name_(post == HhPost::kAdmm ? "HH-ADMM" : "HH") {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return post_ == HhPost::kAdmm; }
+  size_t granularity() const override { return collection_.tree().d(); }
+
+  std::unique_ptr<Accumulator> MakeAccumulator() const override {
+    return std::make_unique<LevelAccumulator<HhReport, HhProtocol>>(
+        &collection_, collection_.MakeSketches());
+  }
+
+  Result<std::unique_ptr<ReportChunk>> EncodePerturbBatch(
+      std::span<const double> values, Rng& rng) const override {
+    return EncodeLevelChunk<HhReport>(collection_, values, rng);
+  }
+
+  Result<MethodOutput> Reconstruct(const Accumulator& acc) const override {
+    const auto* level_acc =
+        dynamic_cast<const LevelAccumulator<HhReport, HhProtocol>*>(&acc);
+    if (level_acc == nullptr) {
+      return Status::InvalidArgument("HH: accumulator from another protocol");
+    }
+    if (level_acc->num_reports() == 0) {
+      return Status::InvalidArgument("HH: no reports absorbed");
+    }
+    std::vector<double> nodes =
+        collection_.NodeEstimatesFromSketches(level_acc->sketches());
+    MethodOutput out;
+    if (post_ == HhPost::kAdmm) {
+      Result<AdmmResult> admm = HhAdmm(collection_.tree(), nodes);
+      if (!admm.ok()) return admm.status();
+      out.distribution = std::move(admm).value().distribution;
+      out.range_query = DistributionRangeQuery(out.distribution);
+      return out;
+    }
+    nodes = ConstrainedInference(collection_.tree(), nodes, /*fix_root=*/true);
+    // HH's estimates contain negatives: no valid distribution (Table 2);
+    // range queries go straight to the consistent tree.
+    auto tree = std::make_shared<const HierarchyTree>(collection_.tree());
+    out.range_query = TreeQuery(std::move(tree), std::move(nodes));
+    return out;
+  }
+
+ private:
+  HhProtocol collection_;
+  HhPost post_;
+  std::string name_;
+};
+
+class HaarHrrBatchedProtocol final : public Protocol {
+ public:
+  explicit HaarHrrBatchedProtocol(HaarHrrProtocol collection)
+      : collection_(std::move(collection)), name_("HaarHRR") {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return false; }
+  size_t granularity() const override { return collection_.tree().d(); }
+
+  std::unique_ptr<Accumulator> MakeAccumulator() const override {
+    return std::make_unique<LevelAccumulator<HaarReport, HaarHrrProtocol>>(
+        &collection_, collection_.MakeSketches());
+  }
+
+  Result<std::unique_ptr<ReportChunk>> EncodePerturbBatch(
+      std::span<const double> values, Rng& rng) const override {
+    return EncodeLevelChunk<HaarReport>(collection_, values, rng);
+  }
+
+  Result<MethodOutput> Reconstruct(const Accumulator& acc) const override {
+    const auto* level_acc =
+        dynamic_cast<const LevelAccumulator<HaarReport, HaarHrrProtocol>*>(
+            &acc);
+    if (level_acc == nullptr) {
+      return Status::InvalidArgument(
+          "HaarHRR: accumulator from another protocol");
+    }
+    if (level_acc->num_reports() == 0) {
+      return Status::InvalidArgument("HaarHRR: no reports absorbed");
+    }
+    std::vector<double> nodes =
+        collection_.NodeEstimatesFromSketches(level_acc->sketches());
+    MethodOutput out;
+    auto tree = std::make_shared<const HierarchyTree>(collection_.tree());
+    out.range_query = TreeQuery(std::move(tree), std::move(nodes));
+    return out;
+  }
+
+ private:
+  HaarHrrProtocol collection_;
+  std::string name_;
+};
+
+}  // namespace
+
+Result<ProtocolPtr> MakeHhBatchedProtocol(double epsilon, size_t d,
+                                          size_t beta, HhPost post,
+                                          HhBudgetStrategy strategy) {
+  Result<HhProtocol> collection = HhProtocol::Make(epsilon, d, beta, strategy);
+  if (!collection.ok()) return collection.status();
+  return ProtocolPtr(
+      new HhBatchedProtocol(std::move(collection).value(), post));
+}
+
+Result<ProtocolPtr> MakeHaarHrrBatchedProtocol(double epsilon, size_t d) {
+  Result<HaarHrrProtocol> collection = HaarHrrProtocol::Make(epsilon, d);
+  if (!collection.ok()) return collection.status();
+  return ProtocolPtr(new HaarHrrBatchedProtocol(std::move(collection).value()));
+}
+
+}  // namespace numdist

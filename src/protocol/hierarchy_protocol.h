@@ -1,0 +1,29 @@
+// Hierarchy methods behind the batched Protocol contract (paper §4.2-4.3):
+// HH (per-level adaptive FO + constrained inference, range queries only),
+// HH-ADMM (same collection, ADMM post-processing into a full distribution),
+// and HaarHRR (Haar coefficients through HRR, range queries only). The
+// accumulator is one mergeable FoSketch per tree level.
+#pragma once
+
+#include <cstddef>
+
+#include "hierarchy/hh.h"
+#include "protocol/protocol.h"
+
+namespace numdist {
+
+/// How HH node estimates are post-processed at reconstruction.
+enum class HhPost {
+  kConstrained,  ///< Constrained inference; range queries only ("HH").
+  kAdmm,         ///< ADMM projection to a distribution ("HH-ADMM").
+};
+
+/// Builds the HH protocol. Requires epsilon > 0, beta >= 2, d = beta^h.
+Result<ProtocolPtr> MakeHhBatchedProtocol(
+    double epsilon, size_t d, size_t beta = 4, HhPost post = HhPost::kConstrained,
+    HhBudgetStrategy strategy = HhBudgetStrategy::kDividePopulation);
+
+/// Builds the HaarHRR protocol. Requires epsilon > 0 and d a power of two.
+Result<ProtocolPtr> MakeHaarHrrBatchedProtocol(double epsilon, size_t d);
+
+}  // namespace numdist

@@ -1,0 +1,29 @@
+#include "protocol/protocol.h"
+
+#include <utility>
+
+#include "metrics/queries.h"
+
+namespace numdist {
+
+Result<MethodOutput> RunProtocol(const Protocol& protocol,
+                                 std::span<const double> values, Rng& rng) {
+  if (values.empty()) {
+    return Status::InvalidArgument(protocol.name() + ": no input values");
+  }
+  Result<std::unique_ptr<ReportChunk>> chunk =
+      protocol.EncodePerturbBatch(values, rng);
+  if (!chunk.ok()) return chunk.status();
+  std::unique_ptr<Accumulator> acc = protocol.MakeAccumulator();
+  NUMDIST_RETURN_NOT_OK(acc->Absorb(*chunk.value()));
+  return protocol.Reconstruct(*acc);
+}
+
+std::function<double(double, double)> DistributionRangeQuery(
+    std::vector<double> dist) {
+  return [dist = std::move(dist)](double lo, double alpha) {
+    return RangeQuery(dist, lo, alpha);
+  };
+}
+
+}  // namespace numdist

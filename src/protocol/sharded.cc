@@ -1,0 +1,84 @@
+#include "protocol/sharded.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace numdist {
+
+uint64_t ShardSeed(uint64_t seed, size_t shard) {
+  // Same splitmix-based stream separation the trial loop uses: one mix per
+  // shard index keeps streams independent of neighboring shards.
+  return SplitMix64(seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+}
+
+Result<std::unique_ptr<Accumulator>> AccumulateSharded(
+    const Protocol& protocol, std::span<const double> values, uint64_t seed,
+    const ShardOptions& opts) {
+  if (values.empty()) {
+    return Status::InvalidArgument(protocol.name() + ": no input values");
+  }
+  const size_t shard_size = std::max<size_t>(1, opts.shard_size);
+  const size_t num_shards = (values.size() + shard_size - 1) / shard_size;
+  size_t threads = opts.threads == 0
+                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                       : opts.threads;
+  threads = std::min(threads, num_shards);
+
+  std::vector<std::unique_ptr<Accumulator>> partials(threads);
+  std::vector<Status> failures(threads, Status::OK());
+
+  const auto worker = [&](size_t worker_id) {
+    std::unique_ptr<Accumulator> local = protocol.MakeAccumulator();
+    for (size_t i = worker_id; i < num_shards; i += threads) {
+      const size_t begin = i * shard_size;
+      const size_t len = std::min(shard_size, values.size() - begin);
+      Rng rng(ShardSeed(seed, i));
+      Result<std::unique_ptr<ReportChunk>> chunk =
+          protocol.EncodePerturbBatch(values.subspan(begin, len), rng);
+      if (!chunk.ok()) {
+        failures[worker_id] = chunk.status();
+        return;
+      }
+      const Status st = local->Absorb(*chunk.value());
+      if (!st.ok()) {
+        failures[worker_id] = st;
+        return;
+      }
+    }
+    partials[worker_id] = std::move(local);
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (std::thread& th : pool) th.join();
+  }
+
+  for (const Status& st : failures) {
+    if (!st.ok()) return st;
+  }
+
+  // One merge pass at the end; merge order is irrelevant for the built-in
+  // integer accumulators, but keep it fixed (worker order) anyway.
+  std::unique_ptr<Accumulator> merged = std::move(partials[0]);
+  for (size_t w = 1; w < partials.size(); ++w) {
+    NUMDIST_RETURN_NOT_OK(merged->Merge(*partials[w]));
+  }
+  return merged;
+}
+
+Result<MethodOutput> RunProtocolSharded(const Protocol& protocol,
+                                        std::span<const double> values,
+                                        uint64_t seed,
+                                        const ShardOptions& opts) {
+  Result<std::unique_ptr<Accumulator>> acc =
+      AccumulateSharded(protocol, values, seed, opts);
+  if (!acc.ok()) return acc.status();
+  return protocol.Reconstruct(*acc.value());
+}
+
+}  // namespace numdist

@@ -1,0 +1,46 @@
+// Deterministic sharded execution of a batched Protocol.
+//
+// The value stream is cut into fixed-size shards (a function of the data
+// and shard_size only — never of the thread count). Shard i is encoded with
+// its own RNG stream seeded by mix(seed, i), so the set of report chunks is
+// identical no matter how many workers run. Each worker folds its shards
+// into a private accumulator; the per-worker accumulators are merged once
+// at the end. Because every built-in accumulator is exact integer state,
+// the merged aggregate — and therefore the reconstructed estimate — is
+// bit-identical for 1 or N threads given a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "protocol/protocol.h"
+
+namespace numdist {
+
+/// Sharded-execution configuration.
+struct ShardOptions {
+  /// Values per shard (and per report chunk). Determines the work
+  /// granularity; results do not depend on it beyond RNG stream layout.
+  size_t shard_size = 8192;
+  /// Worker threads; 0 = hardware concurrency.
+  size_t threads = 0;
+};
+
+/// The RNG seed of shard `shard` under run seed `seed` (exposed so tests
+/// can reproduce a single shard's stream).
+uint64_t ShardSeed(uint64_t seed, size_t shard);
+
+/// Encodes + perturbs every value shard-by-shard and returns the merged
+/// accumulator. Deterministic for a fixed (seed, shard_size) regardless of
+/// opts.threads.
+Result<std::unique_ptr<Accumulator>> AccumulateSharded(
+    const Protocol& protocol, std::span<const double> values, uint64_t seed,
+    const ShardOptions& opts = {});
+
+/// AccumulateSharded + Reconstruct.
+Result<MethodOutput> RunProtocolSharded(const Protocol& protocol,
+                                        std::span<const double> values,
+                                        uint64_t seed,
+                                        const ShardOptions& opts = {});
+
+}  // namespace numdist

@@ -1,0 +1,130 @@
+#include "protocol/sw_protocol.h"
+
+#include <utility>
+
+namespace numdist {
+
+namespace {
+
+// Wire format: the raw per-user SW reports (a real in [-b, 1+b] for the
+// continuous pipeline, an output bucket index for the discrete one).
+class SwChunk final : public ReportChunk {
+ public:
+  size_t num_reports() const override { return reports.size(); }
+  std::vector<double> reports;
+  size_t output_buckets = 0;  // aggregation shape the chunk was encoded for
+  bool discrete = false;      // bucketize-before-randomize pipeline
+};
+
+class SwAccumulator final : public Accumulator {
+ public:
+  SwAccumulator(const SwEstimator* estimator, size_t buckets)
+      : estimator_(estimator), counts_(buckets, 0) {}
+
+  Status Absorb(const ReportChunk& chunk) override {
+    const auto* sw_chunk = dynamic_cast<const SwChunk*>(&chunk);
+    if (sw_chunk == nullptr) {
+      return Status::InvalidArgument("SW: chunk from a different protocol");
+    }
+    if (sw_chunk->output_buckets != counts_.size()) {
+      return Status::InvalidArgument("SW: chunk shape mismatch");
+    }
+    if (sw_chunk->discrete) {
+      // Discrete reports index the count vector directly; reports come
+      // from untrusted clients, so range-check before aggregation
+      // (the continuous pipeline clamps instead).
+      for (double r : sw_chunk->reports) {
+        if (!(r >= 0.0) || r >= static_cast<double>(counts_.size())) {
+          return Status::InvalidArgument("SW: report out of output domain");
+        }
+      }
+    }
+    const std::vector<uint64_t> batch =
+        estimator_->Aggregate(sw_chunk->reports);
+    for (size_t j = 0; j < counts_.size(); ++j) counts_[j] += batch[j];
+    n_ += sw_chunk->reports.size();
+    return Status::OK();
+  }
+
+  Status Merge(const Accumulator& other) override {
+    const auto* sw_other = dynamic_cast<const SwAccumulator*>(&other);
+    if (sw_other == nullptr || sw_other->counts_.size() != counts_.size()) {
+      return Status::InvalidArgument("SW: accumulator shape mismatch");
+    }
+    for (size_t j = 0; j < counts_.size(); ++j) {
+      counts_[j] += sw_other->counts_[j];
+    }
+    n_ += sw_other->n_;
+    return Status::OK();
+  }
+
+  uint64_t num_reports() const override { return n_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  const SwEstimator* estimator_;
+  std::vector<uint64_t> counts_;
+  uint64_t n_ = 0;
+};
+
+class SwProtocol final : public Protocol {
+ public:
+  explicit SwProtocol(SwEstimator estimator)
+      : estimator_(std::move(estimator)),
+        name_(estimator_.options().post == SwEstimatorOptions::Post::kEms
+                  ? "SW-EMS"
+                  : "SW-EM") {}
+
+  const std::string& name() const override { return name_; }
+  bool yields_distribution() const override { return true; }
+  size_t granularity() const override { return estimator_.options().d; }
+
+  std::unique_ptr<Accumulator> MakeAccumulator() const override {
+    return std::make_unique<SwAccumulator>(&estimator_,
+                                           estimator_.output_buckets());
+  }
+
+  Result<std::unique_ptr<ReportChunk>> EncodePerturbBatch(
+      std::span<const double> values, Rng& rng) const override {
+    auto chunk = std::make_unique<SwChunk>();
+    chunk->output_buckets = estimator_.output_buckets();
+    chunk->discrete =
+        estimator_.options().pipeline ==
+        SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
+    chunk->reports.reserve(values.size());
+    for (double v : values) {
+      chunk->reports.push_back(estimator_.PerturbOne(v, rng));
+    }
+    return std::unique_ptr<ReportChunk>(std::move(chunk));
+  }
+
+  Result<MethodOutput> Reconstruct(const Accumulator& acc) const override {
+    const auto* sw_acc = dynamic_cast<const SwAccumulator*>(&acc);
+    if (sw_acc == nullptr) {
+      return Status::InvalidArgument("SW: accumulator from another protocol");
+    }
+    if (sw_acc->num_reports() == 0) {
+      return Status::InvalidArgument("SW: no reports absorbed");
+    }
+    Result<EmResult> em = estimator_.Reconstruct(sw_acc->counts());
+    if (!em.ok()) return em.status();
+    MethodOutput out;
+    out.distribution = std::move(em).value().estimate;
+    out.range_query = DistributionRangeQuery(out.distribution);
+    return out;
+  }
+
+ private:
+  SwEstimator estimator_;
+  std::string name_;
+};
+
+}  // namespace
+
+Result<ProtocolPtr> MakeSwProtocol(const SwEstimatorOptions& options) {
+  Result<SwEstimator> estimator = SwEstimator::Make(options);
+  if (!estimator.ok()) return estimator.status();
+  return ProtocolPtr(new SwProtocol(std::move(estimator).value()));
+}
+
+}  // namespace numdist

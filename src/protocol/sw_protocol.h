@@ -1,0 +1,17 @@
+// Square Wave reporting + EM/EMS reconstruction behind the batched
+// Protocol contract (paper §5). Clients perturb values through the
+// continuous or discrete SW mechanism; the accumulator keeps only the
+// per-output-bucket report counts (O(d~) state, exact integer merge); the
+// reconstruction step runs EM or EMS once on the merged counts.
+#pragma once
+
+#include "core/sw_estimator.h"
+#include "protocol/protocol.h"
+
+namespace numdist {
+
+/// Builds the SW protocol for the given estimator configuration. The name
+/// is "SW-EMS" or "SW-EM" according to `options.post`.
+Result<ProtocolPtr> MakeSwProtocol(const SwEstimatorOptions& options);
+
+}  // namespace numdist

@@ -6,8 +6,11 @@
 //
 //   numdist --input=salaries.csv --column=2 --min=0 --max=524288
 //           --epsilon=1.0 --buckets=1024 --method=sw-ems [--csv] [--seed=S]
+//           [--threads=W]
 //
 // Methods: sw-ems (default), sw-em, hh-admm, cfo-16, cfo-32, cfo-64.
+// Aggregation shards the report stream across worker threads
+// (protocol/sharded.h); the result is identical for any thread count.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -20,6 +23,7 @@
 #include "data/loader.h"
 #include "eval/method.h"
 #include "metrics/queries.h"
+#include "protocol/sharded.h"
 
 using namespace numdist;
 
@@ -37,6 +41,7 @@ struct CliFlags {
   std::string method = "sw-ems";
   bool csv = false;
   uint64_t seed = 1;
+  size_t threads = 0;  // shard workers; 0 = hardware concurrency
 };
 
 void Usage() {
@@ -45,7 +50,7 @@ void Usage() {
           "               [--skip-header] [--min=LO] [--max=HI]\n"
           "               [--epsilon=E] [--buckets=D]\n"
           "               [--method=sw-ems|sw-em|hh-admm|cfo-16|cfo-32|cfo-64]\n"
-          "               [--csv] [--seed=S]\n");
+          "               [--csv] [--seed=S] [--threads=W]\n");
 }
 
 bool ParseCli(int argc, char** argv, CliFlags* flags) {
@@ -77,6 +82,8 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->csv = true;
     } else if (const char* v = value("--seed=")) {
       flags->seed = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = value("--threads=")) {
+      flags->threads = static_cast<size_t>(atoll(v));
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -124,9 +131,16 @@ int main(int argc, char** argv) {
   fprintf(stderr, "loaded %zu values from %s\n", values.value().size(),
           flags.input.c_str());
 
-  Rng rng(flags.seed);
-  Result<MethodOutput> output =
-      method->Run(values.value(), flags.epsilon, flags.buckets, rng);
+  Result<ProtocolPtr> protocol =
+      method->MakeProtocol(flags.epsilon, flags.buckets);
+  if (!protocol.ok()) {
+    fprintf(stderr, "error: %s\n", protocol.status().ToString().c_str());
+    return 1;
+  }
+  ShardOptions shard_opts;
+  shard_opts.threads = flags.threads;
+  Result<MethodOutput> output = RunProtocolSharded(
+      *protocol.value(), values.value(), flags.seed, shard_opts);
   if (!output.ok()) {
     fprintf(stderr, "error: %s\n", output.status().ToString().c_str());
     return 1;
