@@ -1,23 +1,48 @@
 // Micro-benchmarks (google-benchmark): EM/EMS reconstruction cost as a
 // function of the histogram granularity — the aggregator's post-processing
-// budget (one mat-vec pair per iteration, O(d^2) each).
+// budget (one mat-vec pair per iteration: O(d^2) dense, O(d * band) banded,
+// O(d) through the analytic sliding-window operator).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "common/rng.h"
 #include "core/em.h"
 #include "core/ems.h"
+#include "core/observation_model.h"
 #include "core/square_wave.h"
 #include "hierarchy/admm.h"
 #include "hierarchy/constrained.h"
 #include "hierarchy/hh.h"
 
+// Global allocation counter: lets the EM benches report heap allocations
+// per iteration as a hard counter instead of relying on inspection.
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace numdist;
 
-// Shared fixture data: SW observations of a bimodal distribution.
+// Shared fixture data: SW observations of a bimodal distribution, with the
+// dense matrix and both structured views of the same transition.
 struct EmInput {
+  SquareWave sw;
   Matrix m;
+  BandedObservationModel banded;
+  SlidingWindowObservationModel sliding;
   std::vector<uint64_t> counts;
 };
 
@@ -31,16 +56,25 @@ EmInput MakeEmInput(size_t d) {
     const double v = rng.Bernoulli(0.5) ? 0.3 : 0.7;
     reports.push_back(sw.Perturb(v, rng));
   }
-  return {sw.TransitionMatrix(d, d), sw.BucketizeReports(reports, d)};
+  Matrix m = sw.TransitionMatrix(d, d);
+  const double background = sw.q() * (1.0 + 2.0 * sw.b()) / d;
+  return {sw, m, BandedObservationModel::FromDense(m, background, 1e-13),
+          SlidingWindowObservationModel::FromContinuous(sw, d, d),
+          sw.BucketizeReports(reports, d)};
+}
+
+EmOptions TenFixedIterations() {
+  EmOptions opts;
+  opts.max_iterations = 10;
+  opts.min_iterations = 10;
+  opts.tol = 0.0;
+  return opts;
 }
 
 void BM_EmIteration(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const EmInput input = MakeEmInput(d);
-  EmOptions opts;
-  opts.max_iterations = 10;
-  opts.min_iterations = 10;
-  opts.tol = 0.0;
+  const EmOptions opts = TenFixedIterations();
   for (auto _ : state) {
     benchmark::DoNotOptimize(EstimateEm(input.m, input.counts, opts));
   }
@@ -48,6 +82,99 @@ void BM_EmIteration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10 * 2 * d * d);
 }
 BENCHMARK(BM_EmIteration)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_EmIterationBanded(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const EmInput input = MakeEmInput(d);
+  const EmOptions opts = TenFixedIterations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateEm(input.banded, input.counts, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * 2 * d * d);
+}
+BENCHMARK(BM_EmIterationBanded)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_EmIterationSliding(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const EmInput input = MakeEmInput(d);
+  const EmOptions opts = TenFixedIterations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateEm(input.sliding, input.counts, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * 2 * d * d);
+}
+BENCHMARK(BM_EmIterationSliding)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+// Heap allocations per EM iteration, measured by differencing a long run
+// against a short run on identical inputs (setup allocations cancel).
+// Must report 0 for every model: the whole iteration loop is in-place.
+void BM_EmAllocationsPerIteration(benchmark::State& state) {
+  const size_t d = 512;
+  const EmInput input = MakeEmInput(d);
+  EmOptions short_opts = TenFixedIterations();
+  EmOptions long_opts = TenFixedIterations();
+  long_opts.max_iterations = 510;
+  long_opts.min_iterations = 510;
+  double allocs_per_iter = 0.0;
+  for (auto _ : state) {
+    const int64_t before_short = g_allocations.load();
+    benchmark::DoNotOptimize(EstimateEm(input.sliding, input.counts,
+                                        short_opts));
+    const int64_t short_allocs = g_allocations.load() - before_short;
+    const int64_t before_long = g_allocations.load();
+    benchmark::DoNotOptimize(EstimateEm(input.sliding, input.counts,
+                                        long_opts));
+    const int64_t long_allocs = g_allocations.load() - before_long;
+    allocs_per_iter =
+        static_cast<double>(long_allocs - short_allocs) / 500.0;
+  }
+  state.counters["allocs_per_iter"] = allocs_per_iter;
+}
+BENCHMARK(BM_EmAllocationsPerIteration)->Iterations(1);
+
+// Raw mat-vec pair (Apply + ApplyTranspose) cost of the three
+// representations of the same SW transition operator.
+template <typename Model>
+void MatVecPairLoop(benchmark::State& state, const Model& model, size_t d) {
+  Rng rng(9);
+  std::vector<double> x(d);
+  for (double& v : x) v = rng.Uniform();
+  std::vector<double> y;
+  std::vector<double> xt;
+  for (auto _ : state) {
+    model.Apply(x, &y);
+    model.ApplyTranspose(y, &xt);
+    benchmark::DoNotOptimize(xt.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * d * d);
+}
+
+void BM_MatVecDense(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  const DenseObservationModel dense(sw.TransitionMatrix(d, d));
+  MatVecPairLoop(state, dense, d);
+}
+BENCHMARK(BM_MatVecDense)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MatVecBanded(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  const double background = sw.q() * (1.0 + 2.0 * sw.b()) / d;
+  const BandedObservationModel banded = BandedObservationModel::FromDense(
+      sw.TransitionMatrix(d, d), background, 1e-13);
+  MatVecPairLoop(state, banded, d);
+}
+BENCHMARK(BM_MatVecBanded)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MatVecSliding(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  const SlidingWindowObservationModel sliding =
+      SlidingWindowObservationModel::FromContinuous(sw, d, d);
+  MatVecPairLoop(state, sliding, d);
+}
+BENCHMARK(BM_MatVecSliding)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_EmsFullConvergence(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
@@ -57,6 +184,31 @@ void BM_EmsFullConvergence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmsFullConvergence)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Full EMS convergence through the sliding-window operator, plain vs
+// SQUAREM-accelerated: the end-to-end reconstruction cost the aggregator
+// actually pays per trial.
+void BM_EmsConvergenceSliding(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const EmInput input = MakeEmInput(d);
+  EmOptions opts;
+  opts.smoothing = true;
+  opts.acceleration = state.range(1) != 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    const EmResult res =
+        EstimateEm(input.sliding, input.counts, opts).ValueOrDie();
+    iterations = res.iterations;
+    benchmark::DoNotOptimize(res.estimate.data());
+  }
+  state.counters["em_steps"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_EmsConvergenceSliding)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_BinomialSmooth(benchmark::State& state) {

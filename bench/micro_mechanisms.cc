@@ -124,6 +124,48 @@ void BM_OlhAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_OlhAggregate)->Arg(64)->Arg(256);
 
+// OLH server absorb throughput (reports folded per second). The sequential
+// variant hashes one report at a time against the whole domain; the batch
+// variant is the blocked sweep the protocol layer uses.
+std::vector<OlhReport> MakeOlhReports(const Olh& olh, size_t n) {
+  Rng rng(9);
+  std::vector<OlhReport> reports;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    reports.push_back(olh.Perturb(
+        static_cast<uint32_t>(rng.UniformInt(olh.domain())), rng));
+  }
+  return reports;
+}
+
+void BM_OlhAbsorbSequential(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 4000;
+  const Olh olh = Olh::Make(1.0, d).ValueOrDie();
+  const std::vector<OlhReport> reports = MakeOlhReports(olh, n);
+  FoSketch sketch = olh.MakeSketch();
+  for (auto _ : state) {
+    for (const OlhReport& rep : reports) olh.Absorb(rep, &sketch);
+    benchmark::DoNotOptimize(sketch.counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OlhAbsorbSequential)->Arg(256)->Arg(1024);
+
+void BM_OlhAbsorbBatch(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 4000;
+  const Olh olh = Olh::Make(1.0, d).ValueOrDie();
+  const std::vector<OlhReport> reports = MakeOlhReports(olh, n);
+  FoSketch sketch = olh.MakeSketch();
+  for (auto _ : state) {
+    olh.AbsorbBatch(reports, &sketch);
+    benchmark::DoNotOptimize(sketch.counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OlhAbsorbBatch)->Arg(256)->Arg(1024);
+
 void BM_SwTransitionMatrix(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();

@@ -6,28 +6,42 @@
 namespace numdist {
 
 std::vector<double> Matrix::Multiply(const std::vector<double>& x) const {
-  assert(x.size() == cols_);
-  std::vector<double> y(rows_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* r = row(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
-    y[i] = acc;
-  }
+  std::vector<double> y;
+  MultiplyInto(x, &y);
   return y;
 }
 
 std::vector<double> Matrix::TransposeMultiply(
     const std::vector<double>& x) const {
+  std::vector<double> y;
+  TransposeMultiplyInto(x, &y);
+  return y;
+}
+
+void Matrix::MultiplyInto(const std::vector<double>& x,
+                          std::vector<double>* y) const {
+  assert(x.size() == cols_);
+  assert(&x != y);
+  y->resize(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
+    (*y)[i] = acc;
+  }
+}
+
+void Matrix::TransposeMultiplyInto(const std::vector<double>& x,
+                                   std::vector<double>* y) const {
   assert(x.size() == rows_);
-  std::vector<double> y(cols_, 0.0);
+  assert(&x != y);
+  y->assign(cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* r = row(i);
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (size_t j = 0; j < cols_; ++j) y[j] += r[j] * xi;
+    for (size_t j = 0; j < cols_; ++j) (*y)[j] += r[j] * xi;
   }
-  return y;
 }
 
 double Matrix::ColumnSum(size_t j) const {

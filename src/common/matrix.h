@@ -32,6 +32,14 @@ class Matrix {
   /// y = A^T x  (x.size() == rows()).
   std::vector<double> TransposeMultiply(const std::vector<double>& x) const;
 
+  /// y = A x into a caller-owned vector (resized to rows(); no allocation
+  /// when y already has the right capacity). &x != y required.
+  void MultiplyInto(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// y = A^T x into a caller-owned vector (resized to cols()). &x != y.
+  void TransposeMultiplyInto(const std::vector<double>& x,
+                             std::vector<double>* y) const;
+
   /// Sum of column j.
   double ColumnSum(size_t j) const;
 

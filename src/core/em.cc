@@ -23,6 +23,210 @@ void BinomialSmooth(std::vector<double>* x) {
   hist::Normalize(x);
 }
 
+namespace {
+
+// One combined E+M(+S) map shared by the plain and accelerated iterations.
+// Holds the per-run workspaces so the hot loop performs no heap allocations:
+// every vector is sized once here and reused across iterations.
+class EmStepper {
+ public:
+  EmStepper(const ObservationModel& model, const std::vector<uint64_t>& counts,
+            bool smoothing)
+      : model_(model),
+        counts_(counts),
+        smoothing_(smoothing),
+        y_(model.rows(), 0.0),
+        weights_(model.rows(), 0.0),
+        weights_spare_(model.rows(), 0.0) {}
+
+  // E half: y = M x, fills the weights n_j / y_j, returns the total
+  // log-likelihood of x.
+  double Predict(const std::vector<double>& x) {
+    model_.Apply(x, &y_);
+    const size_t d_out = y_.size();
+    double ll = 0.0;
+    for (size_t j = 0; j < d_out; ++j) {
+      if (counts_[j] == 0) {
+        weights_[j] = 0.0;
+        continue;
+      }
+      // y_j > 0 whenever x has support reaching bucket j; with the SW model
+      // every output bucket is reachable (q > 0), so this guard only trips
+      // on degenerate custom matrices.
+      const double yj = std::max(y_[j], 1e-300);
+      weights_[j] = static_cast<double>(counts_[j]) / yj;
+      ll += static_cast<double>(counts_[j]) * std::log(yj);
+    }
+    return ll;
+  }
+
+  // M half on the weights from the latest Predict: next = normalized
+  // x ⊙ (M^T w), smoothed if configured. next != &x.
+  Status Finish(const std::vector<double>& x, std::vector<double>* next) {
+    model_.ApplyTranspose(weights_, next);
+    const size_t d = x.size();
+    double total = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      (*next)[i] *= x[i];
+      total += (*next)[i];
+    }
+    if (total <= 0.0) {
+      return Status::Internal("EM: estimate collapsed to zero mass");
+    }
+    for (size_t i = 0; i < d; ++i) (*next)[i] /= total;
+    if (smoothing_) BinomialSmooth(next);
+    return Status::OK();
+  }
+
+  // Full map x -> *next; *ll receives the log-likelihood of x.
+  Status Step(const std::vector<double>& x, std::vector<double>* next,
+              double* ll) {
+    *ll = Predict(x);
+    return Finish(x, next);
+  }
+
+  // Swaps the live weights with the spare buffer, letting the accelerated
+  // loop keep the predictions of two candidate iterates at once (the
+  // swapped-in contents are garbage until the next Predict overwrites them).
+  void StashWeights() { std::swap(weights_, weights_spare_); }
+
+ private:
+  const ObservationModel& model_;
+  const std::vector<uint64_t>& counts_;
+  bool smoothing_;
+  std::vector<double> y_;
+  std::vector<double> weights_;
+  std::vector<double> weights_spare_;
+};
+
+// Classic fixed-point iteration (paper Algorithm 1). Kept byte-for-byte
+// equivalent to the historical loop so fixed-seed metrics do not move.
+Result<EmResult> RunPlainEm(EmStepper& stepper, size_t d,
+                            const EmOptions& opts) {
+  EmResult result;
+  result.estimate.assign(d, 1.0 / static_cast<double>(d));
+  std::vector<double> next(d, 0.0);
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 1; iter <= opts.max_iterations; ++iter) {
+    double ll = 0.0;
+    NUMDIST_RETURN_NOT_OK(stepper.Step(result.estimate, &next, &ll));
+    std::swap(result.estimate, next);
+
+    result.iterations = iter;
+    result.log_likelihood = ll;
+    if (iter >= opts.min_iterations && ll - prev_ll < opts.tol &&
+        std::isfinite(prev_ll)) {
+      result.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  return result;
+}
+
+// SQUAREM acceleration (Varadhan & Roland 2008, scheme S3): from the
+// current iterate x take two base steps x1 = F(x), x2 = F(x1), extrapolate
+//   x' = x - 2a r + a^2 v,  r = x1 - x,  v = x2 - 2 x1 + x,
+//   a = -||r|| / ||v||  (clamped to <= -1; a = -1 degenerates to x2),
+// clamp x' back onto the simplex, and accept the stabilization step F(x')
+// only when LL(x') >= LL(x2) — otherwise fall back to the plain step x2, so
+// the log-likelihood ascent property of EM is preserved. `iterations`
+// counts applications of the E+M map, comparable with the plain loop.
+Result<EmResult> RunSquaremEm(EmStepper& stepper, size_t d,
+                              const EmOptions& opts) {
+  EmResult result;
+  result.estimate.assign(d, 1.0 / static_cast<double>(d));
+  std::vector<double>& x = result.estimate;
+  std::vector<double> x1(d, 0.0);
+  std::vector<double> x2(d, 0.0);
+  std::vector<double> xacc(d, 0.0);
+
+  size_t iter = 0;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  // Each cycle applies the map 3 times (two base steps + one step from the
+  // safeguard branch); never start a cycle that would overshoot the cap.
+  while (iter + 3 <= opts.max_iterations) {
+    double ll0 = 0.0;
+    double ll1 = 0.0;
+    NUMDIST_RETURN_NOT_OK(stepper.Step(x, &x1, &ll0));
+    NUMDIST_RETURN_NOT_OK(stepper.Step(x1, &x2, &ll1));
+    iter += 2;
+    result.iterations = iter;
+    result.log_likelihood = ll1;
+    if (iter >= opts.min_iterations && ll1 - ll0 < opts.tol) {
+      std::swap(x, x2);  // keep the furthest computed iterate
+      result.converged = true;
+      return result;
+    }
+
+    // Squared-iterative steplength from the two base steps.
+    double rr = 0.0;
+    double vv = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double r = x1[i] - x[i];
+      const double v = (x2[i] - x1[i]) - r;
+      rr += r * r;
+      vv += v * v;
+    }
+    double alpha = vv > 0.0 ? -std::sqrt(rr / vv) : -1.0;
+    if (alpha > -1.0) alpha = -1.0;
+
+    // Extrapolate and project back onto the simplex.
+    double total = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double r = x1[i] - x[i];
+      const double v = (x2[i] - x1[i]) - r;
+      const double e = x[i] - 2.0 * alpha * r + alpha * alpha * v;
+      xacc[i] = e > 0.0 ? e : 0.0;
+      total += xacc[i];
+    }
+    if (total > 0.0) {
+      for (size_t i = 0; i < d; ++i) xacc[i] /= total;
+    } else {
+      xacc = x2;  // degenerate extrapolation: plain step
+    }
+
+    // Monotonicity safeguard: keep whichever of {extrapolated, plain}
+    // candidate is more likely, then advance one map application from it.
+    // Both candidates are predicted up front (stashing the extrapolated
+    // weights around the x2 prediction), so the rejected branch's E half is
+    // never wasted — it simply becomes the next step's prediction.
+    const double llacc = stepper.Predict(xacc);
+    stepper.StashWeights();  // save xacc's weights
+    const double ll2 = stepper.Predict(x2);
+    const bool accept = llacc >= ll2;
+    if (accept) stepper.StashWeights();  // restore xacc's weights
+    NUMDIST_RETURN_NOT_OK(stepper.Finish(accept ? xacc : x2, &x1));
+    std::swap(x, x1);
+    iter += 1;
+    result.iterations = iter;
+    result.log_likelihood = accept ? llacc : ll2;
+    prev_ll = result.log_likelihood;
+  }
+
+  // Finish any remaining budget (cap not a multiple of the cycle length,
+  // or a cap below one full cycle) with plain steps so the accelerated
+  // path honors max_iterations exactly, like the classic loop.
+  while (iter < opts.max_iterations) {
+    double ll = 0.0;
+    NUMDIST_RETURN_NOT_OK(stepper.Step(x, &x1, &ll));
+    std::swap(x, x1);
+    iter += 1;
+    result.iterations = iter;
+    result.log_likelihood = ll;
+    if (iter >= opts.min_iterations && ll - prev_ll < opts.tol &&
+        std::isfinite(prev_ll)) {
+      result.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  return result;
+}
+
+}  // namespace
+
 Result<EmResult> EstimateEm(const ObservationModel& model,
                             const std::vector<uint64_t>& counts,
                             const EmOptions& opts) {
@@ -43,57 +247,9 @@ Result<EmResult> EstimateEm(const ObservationModel& model,
     return Status::InvalidArgument("EM: tol must be >= 0");
   }
 
-  EmResult result;
-  result.estimate.assign(d, 1.0 / static_cast<double>(d));
-  std::vector<double>& x = result.estimate;
-  std::vector<double> y(d_out, 0.0);
-  std::vector<double> weights(d_out, 0.0);
-  std::vector<double> p(d, 0.0);
-
-  double prev_ll = -std::numeric_limits<double>::infinity();
-  for (size_t iter = 1; iter <= opts.max_iterations; ++iter) {
-    // y = M x: predicted output distribution under the current estimate.
-    model.Apply(x, &y);
-
-    // Total log-likelihood and the E-step weights n_j / y_j.
-    double ll = 0.0;
-    for (size_t j = 0; j < d_out; ++j) {
-      if (counts[j] == 0) {
-        weights[j] = 0.0;
-        continue;
-      }
-      // y_j > 0 whenever x has support reaching bucket j; with the SW model
-      // every output bucket is reachable (q > 0), so this guard only trips
-      // on degenerate custom matrices.
-      const double yj = std::max(y[j], 1e-300);
-      weights[j] = static_cast<double>(counts[j]) / yj;
-      ll += static_cast<double>(counts[j]) * std::log(yj);
-    }
-
-    // Combined E+M step: x_i <- x_i * (M^T w)_i, renormalized.
-    model.ApplyTranspose(weights, &p);
-    double total = 0.0;
-    for (size_t i = 0; i < d; ++i) {
-      p[i] *= x[i];
-      total += p[i];
-    }
-    if (total <= 0.0) {
-      return Status::Internal("EM: estimate collapsed to zero mass");
-    }
-    for (size_t i = 0; i < d; ++i) x[i] = p[i] / total;
-
-    if (opts.smoothing) BinomialSmooth(&x);
-
-    result.iterations = iter;
-    result.log_likelihood = ll;
-    if (iter >= opts.min_iterations && ll - prev_ll < opts.tol &&
-        std::isfinite(prev_ll)) {
-      result.converged = true;
-      break;
-    }
-    prev_ll = ll;
-  }
-  return result;
+  EmStepper stepper(model, counts, opts.smoothing);
+  return opts.acceleration ? RunSquaremEm(stepper, d, opts)
+                           : RunPlainEm(stepper, d, opts);
 }
 
 Result<EmResult> EstimateEm(const Matrix& m,

@@ -31,6 +31,13 @@ struct EmOptions {
   size_t min_iterations = 5;
   /// Apply the binomial smoothing step after each M step (EMS, §5.5).
   bool smoothing = false;
+  /// SQUAREM-style acceleration (Varadhan & Roland 2008): extrapolate
+  /// through pairs of E+M steps with the squared-iterative steplength and
+  /// fall back to the plain step whenever the extrapolated point lowers the
+  /// log-likelihood. Converges to the same fixed point in typically 3-5x
+  /// fewer iterations. Off by default so fixed-seed metric trajectories
+  /// stay bit-identical to the classic iteration.
+  bool acceleration = false;
 };
 
 /// Outcome of an EM / EMS run.
@@ -53,8 +60,10 @@ Result<EmResult> EstimateEm(const Matrix& m,
                             const EmOptions& opts = EmOptions());
 
 /// Operator-based variant: same algorithm, but the observation model is an
-/// abstract linear operator (use BandedObservationModel for SW/GW models —
-/// several times faster at large d; see observation_model.h).
+/// abstract linear operator (use SlidingWindowObservationModel for SW/DSW
+/// models — O(d) per product instead of O(d^2); see observation_model.h).
+/// The iteration loop performs no heap allocations: all workspaces are
+/// sized once up front.
 Result<EmResult> EstimateEm(const ObservationModel& model,
                             const std::vector<uint64_t>& counts,
                             const EmOptions& opts = EmOptions());

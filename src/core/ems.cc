@@ -1,5 +1,7 @@
 #include "core/ems.h"
 
+#include <algorithm>
+
 #include "common/histogram.h"
 #include "core/transition.h"
 
@@ -15,17 +17,28 @@ Result<EmResult> EstimateEms(const Matrix& m,
 std::vector<double> SmoothingOnlyEstimate(const std::vector<uint64_t>& counts,
                                           size_t d, size_t passes) {
   // Resample the observed output-domain frequencies onto the d input buckets
-  // by simple proportional binning, then smooth.
+  // by exact proportional binning — each output bucket's mass is split
+  // across every input bucket it overlaps, weighted by overlap length (not
+  // point-assigned to the bucket under its center) — then smooth.
   std::vector<double> obs = NormalizeCounts(counts);
   std::vector<double> x(d, 0.0);
   const size_t d_out = obs.size();
+  const double scale =
+      static_cast<double>(d) / static_cast<double>(d_out);
   for (size_t j = 0; j < d_out; ++j) {
-    // Map output bucket j onto the input grid position proportionally.
-    const double pos = (static_cast<double>(j) + 0.5) /
-                       static_cast<double>(d_out) * static_cast<double>(d);
-    size_t i = static_cast<size_t>(pos);
-    if (i >= d) i = d - 1;
-    x[i] += obs[j];
+    if (obs[j] == 0.0) continue;
+    // Output bucket j covers [j, j + 1) / d_out, i.e. input-grid interval
+    // [lo, hi) of length `scale`.
+    const double lo = static_cast<double>(j) * scale;
+    const double hi = lo + scale;
+    size_t i = std::min(static_cast<size_t>(lo), d - 1);
+    const double inv_len = 1.0 / scale;
+    for (; i < d; ++i) {
+      const double left = std::max(lo, static_cast<double>(i));
+      const double right = std::min(hi, static_cast<double>(i + 1));
+      if (right <= left) break;
+      x[i] += obs[j] * (right - left) * inv_len;
+    }
   }
   hist::Normalize(&x);
   for (size_t pass = 0; pass < passes; ++pass) BinomialSmooth(&x);

@@ -2,17 +2,18 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace numdist {
 
 void DenseObservationModel::Apply(const std::vector<double>& x,
                                   std::vector<double>* y) const {
-  *y = m_.Multiply(x);
+  m_.MultiplyInto(x, y);
 }
 
 void DenseObservationModel::ApplyTranspose(const std::vector<double>& z,
                                            std::vector<double>* out) const {
-  *out = m_.TransposeMultiply(z);
+  m_.TransposeMultiplyInto(z, out);
 }
 
 BandedObservationModel BandedObservationModel::FromDense(const Matrix& m,
@@ -74,6 +75,167 @@ void BandedObservationModel::ApplyTranspose(const std::vector<double>& z,
     double acc = 0.0;
     for (size_t k = 0; k < len; ++k) acc += band[k] * src[k];
     (*out)[i] += acc;
+  }
+}
+
+namespace {
+
+// Monotone cursor over the step density X(v) = h[i] on
+// [lo + i w, lo + (i+1) w), zero outside. Advance(t) integrates the CDF
+// F(t) = int_lo^t X over [previous position, t] in closed form (F is
+// piecewise linear, so the interval integral is piecewise quadratic) and
+// moves the cursor; queries must be non-decreasing. The first Advance
+// positions the cursor (its return value is discarded by the caller).
+// Each full left-to-right sweep costs O(n + #queries) in total.
+class PrefixIntegralCursor {
+ public:
+  PrefixIntegralCursor(const double* h, size_t n, double lo, double w)
+      : h_(h), n_(n), lo_(lo), w_(w), t_(lo) {}
+
+  double Advance(double t) {
+    if (t <= t_) return 0.0;  // query left of lo, where F == 0
+    double acc = 0.0;
+    for (;;) {
+      const bool inside = idx_ < n_;
+      const double h = inside ? h_[idx_] : 0.0;
+      const double next = inside
+                              ? lo_ + static_cast<double>(idx_ + 1) * w_
+                              : std::numeric_limits<double>::infinity();
+      const double stop = t < next ? t : next;
+      const double dt = stop - t_;
+      acc += (f_ + 0.5 * h * dt) * dt;
+      f_ += h * dt;
+      t_ = stop;
+      if (t <= next) return acc;
+      ++idx_;
+    }
+  }
+
+ private:
+  const double* h_;
+  size_t n_;
+  double lo_;
+  double w_;
+  double t_;       // current position (>= lo)
+  double f_ = 0.0; // F(t_)
+  size_t idx_ = 0; // bucket containing t_ (n_ once past the support)
+};
+
+}  // namespace
+
+SlidingWindowObservationModel SlidingWindowObservationModel::FromContinuous(
+    const SquareWave& sw, size_t d_in, size_t d_out) {
+  assert(d_in >= 1 && d_out >= 1);
+  SlidingWindowObservationModel m;
+  m.discrete_ = false;
+  m.rows_ = d_out;
+  m.cols_ = d_in;
+  m.p_ = sw.p();
+  m.q_ = sw.q();
+  m.b_ = sw.b();
+  m.w_in_ = 1.0 / static_cast<double>(d_in);
+  m.w_out_ = (1.0 + 2.0 * sw.b()) / static_cast<double>(d_out);
+  return m;
+}
+
+SlidingWindowObservationModel SlidingWindowObservationModel::FromDiscrete(
+    const DiscreteSquareWave& dsw) {
+  SlidingWindowObservationModel m;
+  m.discrete_ = true;
+  m.rows_ = dsw.output_domain();
+  m.cols_ = dsw.d();
+  m.p_ = dsw.p();
+  m.q_ = dsw.q();
+  m.db_ = dsw.b();
+  return m;
+}
+
+void SlidingWindowObservationModel::Apply(const std::vector<double>& x,
+                                          std::vector<double>* y) const {
+  assert(x.size() == cols_);
+  double total = 0.0;
+  for (double v : x) total += v;
+  y->resize(rows_);
+
+  if (discrete_) {
+    // y_j = q sum(x) + (p - q) sum_{i in [j - 2b, j]} x_i. The window sum is
+    // the difference of two prefix accumulators that each sweep x once.
+    const double background = q_ * total;
+    const double height = p_ - q_;
+    double sum_add = 0.0;  // sum of x[0 .. min(j, d-1)]
+    double sum_sub = 0.0;  // sum of x[0 .. j - 2b - 1]
+    size_t add = 0;
+    size_t sub = 0;
+    const size_t window = 2 * db_;
+    for (size_t j = 0; j < rows_; ++j) {
+      while (add <= j && add < cols_) sum_add += x[add++];
+      while (j >= window + 1 && sub + window + 1 <= j && sub < cols_) {
+        sum_sub += x[sub++];
+      }
+      (*y)[j] = background + height * (sum_add - sum_sub);
+    }
+    return;
+  }
+
+  // Continuous: with X(v) the step density of mass x_i on input bucket i and
+  // F its CDF,
+  //   sum_i overlap(j, i) x_i = int_{l_j}^{r_j} [F(u + b) - F(u - b)] du,
+  // i.e. the difference of two interval integrals of F at the shifted output
+  // bucket edges — two monotone cursor sweeps.
+  const double background = q_ * w_out_ * total;
+  const double scale = (p_ - q_) / w_in_;
+  PrefixIntegralCursor plus(x.data(), cols_, 0.0, w_in_);
+  PrefixIntegralCursor minus(x.data(), cols_, 0.0, w_in_);
+  const double out_lo = -b_;
+  plus.Advance(out_lo + b_);
+  minus.Advance(out_lo - b_);
+  for (size_t j = 0; j < rows_; ++j) {
+    const double r = out_lo + static_cast<double>(j + 1) * w_out_;
+    const double ip = plus.Advance(r + b_);
+    const double im = minus.Advance(r - b_);
+    (*y)[j] = background + scale * (ip - im);
+  }
+}
+
+void SlidingWindowObservationModel::ApplyTranspose(
+    const std::vector<double>& z, std::vector<double>* out) const {
+  assert(z.size() == rows_);
+  double total = 0.0;
+  for (double v : z) total += v;
+  out->resize(cols_);
+
+  if (discrete_) {
+    // out_i = q sum(z) + (p - q) sum_{j in [i, i + 2b]} z_j.
+    const double background = q_ * total;
+    const double height = p_ - q_;
+    double sum_add = 0.0;  // sum of z[0 .. min(i + 2b, rows - 1)]
+    double sum_sub = 0.0;  // sum of z[0 .. i - 1]
+    size_t add = 0;
+    size_t sub = 0;
+    const size_t window = 2 * db_;
+    for (size_t i = 0; i < cols_; ++i) {
+      while (add <= i + window && add < rows_) sum_add += z[add++];
+      while (sub < i) sum_sub += z[sub++];
+      (*out)[i] = background + height * (sum_add - sum_sub);
+    }
+    return;
+  }
+
+  // The overlap integral is symmetric in the two rectangles, so the same
+  // cursor construction applies with the roles swapped: Z is the step
+  // density of mass z_j on output bucket j of [-b, 1 + b], H its CDF, and
+  //   sum_j overlap(j, i) z_j = int_{a_i}^{c_i} [H(v + b) - H(v - b)] dv.
+  const double background = q_ * w_out_ * total;
+  const double scale = (p_ - q_) / w_in_;
+  PrefixIntegralCursor plus(z.data(), rows_, -b_, w_out_);
+  PrefixIntegralCursor minus(z.data(), rows_, -b_, w_out_);
+  plus.Advance(0.0 + b_);
+  minus.Advance(0.0 - b_);
+  for (size_t i = 0; i < cols_; ++i) {
+    const double c = static_cast<double>(i + 1) * w_in_;
+    const double hp = plus.Advance(c + b_);
+    const double hm = minus.Advance(c - b_);
+    (*out)[i] = background + scale * (hp - hm);
   }
 }
 

@@ -35,25 +35,28 @@ Result<SwEstimator> SwEstimator::Make(const SwEstimatorOptions& options) {
                                std::max<int64_t>(db, options.b < 0 ? -1 : 0));
   if (!dsw.ok()) return dsw.status();
 
+  // The dense matrix is kept only for validation and diagnostics; EM runs
+  // through the analytic sliding-window operator, which reproduces it to
+  // ~1e-13 without ever materializing O(d^2) state.
   Matrix transition;
-  double background = 0.0;
+  SlidingWindowObservationModel model =
+      options.pipeline == SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize
+          ? SlidingWindowObservationModel::FromContinuous(sw.value(),
+                                                          options.d, d_out)
+          : SlidingWindowObservationModel::FromDiscrete(dsw.value());
   if (options.pipeline ==
       SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize) {
     transition = sw->TransitionMatrix(options.d, d_out);
-    background =
-        sw->q() * (1.0 + 2.0 * sw->b()) / static_cast<double>(d_out);
   } else {
     transition = dsw->TransitionMatrix();
-    background = dsw->q();
   }
   NormalizeColumns(&transition);
   NUMDIST_RETURN_NOT_OK(ValidateTransitionMatrix(transition));
-  BandedObservationModel model =
-      BandedObservationModel::FromDense(transition, background, 1e-13);
 
   EmOptions em_options;
   em_options.smoothing = options.post == SwEstimatorOptions::Post::kEms;
   em_options.max_iterations = options.max_iterations;
+  em_options.acceleration = options.accelerate_em;
   if (options.tol > 0.0) {
     em_options.tol = options.tol;
   } else {
@@ -72,7 +75,8 @@ Result<SwEstimator> SwEstimator::Make(const SwEstimatorOptions& options) {
 
 SwEstimator::SwEstimator(SwEstimatorOptions options, SquareWave sw,
                          DiscreteSquareWave dsw, Matrix transition,
-                         BandedObservationModel model, EmOptions em_options)
+                         SlidingWindowObservationModel model,
+                         EmOptions em_options)
     : options_(options),
       sw_(std::move(sw)),
       dsw_(std::move(dsw)),

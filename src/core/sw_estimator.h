@@ -36,6 +36,10 @@ struct SwEstimatorOptions {
   /// (1e-3 for EMS, 1e-3 * e^eps for EM).
   double tol = -1.0;
   size_t max_iterations = 10000;
+  /// SQUAREM-accelerated reconstruction (see EmOptions::acceleration).
+  /// Off by default: the plain iteration keeps fixed-seed metrics
+  /// bit-identical across releases.
+  bool accelerate_em = false;
 };
 
 /// \brief One-stop SW + EM/EMS distribution estimator.
@@ -70,8 +74,12 @@ class SwEstimator {
   Result<std::vector<double>> EstimateDistribution(
       const std::vector<double>& values, Rng& rng) const;
 
-  /// The observation model (d_out' x d; exposed for tests/diagnostics).
+  /// The dense observation matrix (d_out' x d). Kept for validation, tests
+  /// and diagnostics only — reconstruction runs through the O(d) analytic
+  /// operator returned by model().
   const Matrix& transition() const { return transition_; }
+  /// The analytic sliding-window operator EM actually iterates with.
+  const ObservationModel& model() const { return model_; }
   const SwEstimatorOptions& options() const { return options_; }
   /// Resolved wave half-width (continuous scale).
   double b() const;
@@ -81,15 +89,16 @@ class SwEstimator {
  private:
   SwEstimator(SwEstimatorOptions options, SquareWave sw,
               DiscreteSquareWave dsw, Matrix transition,
-              BandedObservationModel model, EmOptions em_options);
+              SlidingWindowObservationModel model, EmOptions em_options);
 
   SwEstimatorOptions options_;
   SquareWave sw_;           // used by the continuous pipeline
   DiscreteSquareWave dsw_;  // used by the discrete pipeline
   Matrix transition_;
-  // Band-structured view of transition_ used by EM (several times faster
-  // than the dense mat-vec at large d; see observation_model.h).
-  BandedObservationModel model_;
+  // Analytic q-background + box-kernel view of the transition used by EM:
+  // O(d + d_out) per product, bandwidth-independent, never materialized
+  // (see observation_model.h).
+  SlidingWindowObservationModel model_;
   EmOptions em_options_;
 };
 

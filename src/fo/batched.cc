@@ -44,8 +44,11 @@ class AdaptiveBatchedFo final : public BatchedFo {
           return Status::InvalidArgument("BatchedFo: report out of domain");
         }
       }
+      for (const FoReport& rep : chunk.reports) fo_.Absorb(rep, sketch);
+    } else {
+      // OLH support counting dominates server cost; use the blocked path.
+      fo_.olh().AbsorbBatch(std::span<const FoReport>(chunk.reports), sketch);
     }
-    for (const FoReport& rep : chunk.reports) fo_.Absorb(rep, sketch);
     return Status::OK();
   }
 
@@ -119,9 +122,9 @@ class OlhBatchedFo final : public BatchedFo {
     if (chunk.reports.size() != chunk.n || !chunk.bits.empty()) {
       return Status::InvalidArgument("BatchedFo: malformed report chunk");
     }
-    for (const FoReport& rep : chunk.reports) {
-      olh_.Absorb(OlhReport{rep.seed, rep.value}, sketch);
-    }
+    // Blocked batch absorb: the OLH support-count pass is the aggregator's
+    // O(n * domain) hot loop, so hand the whole chunk down at once.
+    olh_.AbsorbBatch(std::span<const FoReport>(chunk.reports), sketch);
     return Status::OK();
   }
 

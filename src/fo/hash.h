@@ -12,13 +12,25 @@
 
 namespace numdist {
 
-/// Hash of `value` under the family member identified by `seed`, reduced to
-/// {0..g-1} via the fixed-point multiply (unbiased enough for g << 2^32).
-inline uint32_t OlhHash(uint64_t seed, uint64_t value, uint32_t g) {
-  const uint64_t h = SplitMix64(seed ^ (value * 0x9e3779b97f4a7c15ULL));
+/// Multiplier decorrelating consecutive values before the seed mix
+/// (splitmix64's golden-ratio gamma).
+inline constexpr uint64_t kOlhValueMix = 0x9e3779b97f4a7c15ULL;
+
+/// OlhHash with the value already multiplied by kOlhValueMix. Lets batched
+/// server loops hoist the per-value multiply out of their report-inner loop;
+/// bit-identical to OlhHash(seed, value, g).
+inline uint32_t OlhHashPremixed(uint64_t seed, uint64_t mixed_value,
+                                uint32_t g) {
+  const uint64_t h = SplitMix64(seed ^ mixed_value);
   // Multiply-shift range reduction: maps uniform 64-bit h to [0, g).
   return static_cast<uint32_t>(
       (static_cast<__uint128_t>(h) * g) >> 64);
+}
+
+/// Hash of `value` under the family member identified by `seed`, reduced to
+/// {0..g-1} via the fixed-point multiply (unbiased enough for g << 2^32).
+inline uint32_t OlhHash(uint64_t seed, uint64_t value, uint32_t g) {
+  return OlhHashPremixed(seed, value * kOlhValueMix, g);
 }
 
 /// Entry (row, col) of the {-1,+1} Hadamard matrix of any power-of-two order:

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -46,6 +47,17 @@ class Olh {
   /// Folds one report into the sketch: the O(domain) hashing pass that
   /// dominates server cost, done here so shards parallelize it.
   void Absorb(const OlhReport& report, FoSketch* sketch) const;
+
+  /// Folds a batch of reports into the sketch. Bit-identical to absorbing
+  /// each report in turn, but blocked: a fixed-size group of reports is
+  /// swept against the contiguous value axis so the support-count array is
+  /// touched once per block and the per-value hash mix is hoisted —
+  /// several times faster than per-report Absorb at large domains.
+  void AbsorbBatch(std::span<const OlhReport> reports, FoSketch* sketch) const;
+
+  /// Wire-format overload for the batched protocol layer (FoReport::value
+  /// carries the perturbed hash).
+  void AbsorbBatch(std::span<const FoReport> reports, FoSketch* sketch) const;
 
   /// Unbiased frequency estimates from absorbed support counts; identical
   /// to Estimate() over the same reports in any order.

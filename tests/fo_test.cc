@@ -164,6 +164,67 @@ TEST(OlhTest, EstimateIsUnbiased) {
   }
 }
 
+TEST(OlhTest, AbsorbBatchEqualsSequentialAbsorbExactly) {
+  // Exercise the remainder path too: a count that is not a multiple of the
+  // internal block size, over an odd domain.
+  const size_t d = 129;
+  const Olh olh = Olh::Make(1.0, d).ValueOrDie();
+  Rng rng(91);
+  std::vector<OlhReport> reports;
+  for (size_t i = 0; i < 1003; ++i) {
+    reports.push_back(
+        olh.Perturb(static_cast<uint32_t>(rng.UniformInt(d)), rng));
+  }
+  FoSketch sequential = olh.MakeSketch();
+  for (const OlhReport& rep : reports) olh.Absorb(rep, &sequential);
+  FoSketch batched = olh.MakeSketch();
+  olh.AbsorbBatch(reports, &batched);
+  EXPECT_EQ(sequential.n, batched.n);
+  ASSERT_EQ(sequential.counts.size(), batched.counts.size());
+  for (size_t v = 0; v < d; ++v) {
+    EXPECT_EQ(sequential.counts[v], batched.counts[v]) << "v=" << v;
+  }
+}
+
+TEST(OlhTest, WireFormatAbsorbBatchMatchesNative) {
+  const size_t d = 37;
+  const Olh olh = Olh::Make(0.8, d).ValueOrDie();
+  Rng rng(92);
+  std::vector<OlhReport> native;
+  std::vector<FoReport> wire;
+  for (size_t i = 0; i < 500; ++i) {
+    const OlhReport rep =
+        olh.Perturb(static_cast<uint32_t>(rng.UniformInt(d)), rng);
+    native.push_back(rep);
+    wire.push_back(FoReport{rep.seed, rep.y});
+  }
+  FoSketch a = olh.MakeSketch();
+  olh.AbsorbBatch(native, &a);
+  FoSketch b = olh.MakeSketch();
+  olh.AbsorbBatch(std::span<const FoReport>(wire), &b);
+  EXPECT_EQ(a.n, b.n);
+  for (size_t v = 0; v < d; ++v) EXPECT_EQ(a.counts[v], b.counts[v]);
+}
+
+TEST(OlhTest, SupportCountsMatchBruteForceHashing) {
+  const size_t d = 21;
+  const Olh olh = Olh::Make(1.0, d).ValueOrDie();
+  Rng rng(93);
+  std::vector<OlhReport> reports;
+  for (size_t i = 0; i < 200; ++i) {
+    reports.push_back(
+        olh.Perturb(static_cast<uint32_t>(rng.UniformInt(d)), rng));
+  }
+  const std::vector<uint64_t> counts = olh.SupportCounts(reports);
+  for (size_t v = 0; v < d; ++v) {
+    uint64_t expected = 0;
+    for (const OlhReport& rep : reports) {
+      if (OlhHash(rep.seed, v, olh.g()) == rep.y) ++expected;
+    }
+    EXPECT_EQ(counts[v], expected) << "v=" << v;
+  }
+}
+
 TEST(OlhTest, VarianceIndependentOfDomain) {
   EXPECT_DOUBLE_EQ(Olh::Variance(1.0, 1000), Olh::Variance(1.0, 1000));
   const double v = Olh::Variance(1.0, 10000);

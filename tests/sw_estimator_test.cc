@@ -180,6 +180,57 @@ TEST(SwEstimatorTest, PerturbOneDiscreteReturnsBucketIndex) {
   }
 }
 
+TEST(SwEstimatorTest, AnalyticModelMatchesDenseTransitionBothPipelines) {
+  // Reconstruction iterates the analytic sliding-window operator; the dense
+  // matrix is kept for validation. They must be views of the same operator.
+  for (const auto pipeline :
+       {SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize,
+        SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize}) {
+    SwEstimatorOptions opts;
+    opts.epsilon = 1.0;
+    opts.d = 64;
+    opts.pipeline = pipeline;
+    const SwEstimator est = SwEstimator::Make(opts).ValueOrDie();
+    ASSERT_EQ(est.model().rows(), est.transition().rows());
+    ASSERT_EQ(est.model().cols(), est.transition().cols());
+    Rng rng(77);
+    std::vector<double> x(est.model().cols());
+    for (double& v : x) v = rng.Uniform();
+    std::vector<double> fast;
+    est.model().Apply(x, &fast);
+    const std::vector<double> dense = est.transition().Multiply(x);
+    for (size_t j = 0; j < dense.size(); ++j) {
+      // 1e-10: the stored dense matrix has defensively renormalized columns.
+      EXPECT_NEAR(fast[j], dense[j], 1e-10) << "j=" << j;
+    }
+  }
+}
+
+TEST(SwEstimatorTest, AcceleratedReconstructionMatchesPlain) {
+  Rng data_rng(21);
+  const std::vector<double> values = BimodalValues(30000, data_rng);
+  SwEstimatorOptions opts;
+  opts.epsilon = 1.0;
+  opts.d = 64;
+  const SwEstimator plain_est = SwEstimator::Make(opts).ValueOrDie();
+  opts.accelerate_em = true;
+  const SwEstimator fast_est = SwEstimator::Make(opts).ValueOrDie();
+
+  Rng rng_a(22);
+  Rng rng_b(22);
+  const std::vector<double> plain =
+      plain_est.EstimateDistribution(values, rng_a).ValueOrDie();
+  const std::vector<double> fast =
+      fast_est.EstimateDistribution(values, rng_b).ValueOrDie();
+  ASSERT_EQ(plain.size(), fast.size());
+  EXPECT_TRUE(hist::IsDistribution(fast, 1e-9));
+  double l1 = 0.0;
+  for (size_t i = 0; i < plain.size(); ++i) {
+    l1 += std::fabs(plain[i] - fast[i]);
+  }
+  EXPECT_LT(l1, 0.05);
+}
+
 TEST(SwEstimatorTest, MoreUsersImproveAccuracy) {
   Rng data_rng(10);
   const std::vector<double> big = BimodalValues(120000, data_rng);

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and warn on regressions.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Prints one line per benchmark whose real_time regressed by more than the
+threshold relative to the baseline, plus a summary. Always exits 0: this is
+a warning signal for CI logs, not a gate — micro-bench noise on shared
+runners must never block a merge. Benchmarks present in only one file are
+reported informationally.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """name -> (real_time, time_unit) for every benchmark entry."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for entry in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if entry.get("run_type") == "aggregate":
+            continue
+        times[entry["name"]] = (float(entry["real_time"]),
+                                entry.get("time_unit", "ns"))
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown that counts as a regression")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_times(args.baseline)
+        current = load_times(args.current)
+    except (OSError, ValueError) as err:
+        print(f"compare_bench: cannot compare ({err}); skipping")
+        return 0
+
+    regressions = []
+    improvements = []
+    for name, (base_t, unit) in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None or base_t <= 0:
+            continue
+        cur_t = cur[0]
+        ratio = cur_t / base_t
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, base_t, cur_t, unit, ratio))
+        elif ratio < 1.0 - args.threshold:
+            improvements.append((name, base_t, cur_t, unit, ratio))
+
+    only_new = sorted(set(current) - set(baseline))
+    only_old = sorted(set(baseline) - set(current))
+
+    for name, base_t, cur_t, unit, ratio in regressions:
+        print(f"::warning title=bench regression::{name}: "
+              f"{base_t:.0f} {unit} -> {cur_t:.0f} {unit} ({ratio:.2f}x)")
+    for name, base_t, cur_t, unit, ratio in improvements:
+        print(f"improved: {name}: {base_t:.0f} {unit} -> {cur_t:.0f} {unit} "
+              f"({ratio:.2f}x)")
+    if only_new:
+        print(f"new benchmarks (no baseline): {', '.join(only_new)}")
+    if only_old:
+        print(f"removed benchmarks: {', '.join(only_old)}")
+
+    print(f"compare_bench: {len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s), "
+          f"{len(baseline)} baseline / {len(current)} current entries "
+          f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
