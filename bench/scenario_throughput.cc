@@ -1,0 +1,52 @@
+// Scenario engine throughput: end-to-end reports/s (mixture sampling +
+// SW perturbation + streaming ingestion + checkpoint merge/snapshot) for
+// the built-in drift scenario across shard counts and thread budgets.
+//
+//   scenario_throughput [--reports=N] [--threads=W]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/scenario.h"
+
+using namespace numdist;
+
+int main(int argc, char** argv) {
+  size_t reports = 200000;
+  size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--reports=", 0) == 0) {
+      reports = static_cast<size_t>(atoll(arg.c_str() + 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<size_t>(atoll(arg.c_str() + 10));
+    } else {
+      fprintf(stderr, "usage: scenario_throughput [--reports=N] [--threads=W]\n");
+      return 2;
+    }
+  }
+
+  printf("%-8s %10s %12s %14s\n", "shards", "reports", "wall_ms",
+         "reports_per_s");
+  for (size_t shards : {1, 2, 4, 8, 16}) {
+    ScenarioConfig config = BuiltinScenario("drift").ValueOrDie();
+    config.shards = shards;
+    config.threads = threads;
+    // Scale the drift preset's phases to the requested volume, keeping the
+    // 1:2 warmup/drift split.
+    config.phases[0].reports = reports / 3;
+    config.phases[1].reports = reports - config.phases[0].reports;
+
+    const auto start = std::chrono::steady_clock::now();
+    const ScenarioResult result = RunScenario(config).ValueOrDie();
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    printf("%-8zu %10llu %12.1f %14.0f\n", shards,
+           static_cast<unsigned long long>(result.total_reports), ms,
+           1000.0 * static_cast<double>(result.total_reports) / ms);
+  }
+  return 0;
+}

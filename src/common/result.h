@@ -75,8 +75,16 @@ class Result {
 
 }  // namespace numdist
 
-/// Assigns the value of a Result expression to `lhs`, or propagates its error.
-#define NUMDIST_ASSIGN_OR_RETURN(lhs, expr)          \
-  auto&& _res_##__LINE__ = (expr);                   \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value();
+#define NUMDIST_INTERNAL_CONCAT_(a, b) a##b
+#define NUMDIST_INTERNAL_CONCAT(a, b) NUMDIST_INTERNAL_CONCAT_(a, b)
+#define NUMDIST_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto&& tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value();
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error. The temporary's name goes through a two-level paste so __LINE__
+/// expands, letting several uses share one scope.
+#define NUMDIST_ASSIGN_OR_RETURN(lhs, expr) \
+  NUMDIST_INTERNAL_ASSIGN_OR_RETURN(        \
+      NUMDIST_INTERNAL_CONCAT(_numdist_res_, __LINE__), lhs, expr)

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/histogram.h"
 #include "core/bandwidth.h"
 
 namespace numdist {
@@ -91,14 +92,8 @@ Matrix SquareWave::TransitionMatrix(size_t d_in, size_t d_out) const {
 std::vector<uint64_t> SquareWave::BucketizeReports(
     const std::vector<double>& reports, size_t d_out) const {
   std::vector<uint64_t> counts(d_out, 0);
-  const double lo = -b_;
-  const double span = 1.0 + 2.0 * b_;
   for (double r : reports) {
-    double t = (r - lo) / span;
-    t = std::clamp(t, 0.0, 1.0);
-    size_t j = static_cast<size_t>(t * static_cast<double>(d_out));
-    if (j >= d_out) j = d_out - 1;
-    ++counts[j];
+    ++counts[hist::BucketOf(r, d_out, -b_, 1.0 + b_)];
   }
   return counts;
 }

@@ -1,9 +1,11 @@
 #include "core/sw_estimator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
 
+#include "common/histogram.h"
 #include "core/bandwidth.h"
 #include "core/ems.h"
 #include "core/transition.h"
@@ -111,6 +113,16 @@ std::vector<uint64_t> SwEstimator::Aggregate(
     ++counts[j];
   }
   return counts;
+}
+
+size_t SwEstimator::OutputBucketOf(double report) const {
+  if (options_.pipeline ==
+      SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize) {
+    return hist::BucketOf(report, options_.d_out, -sw_.b(), 1.0 + sw_.b());
+  }
+  const size_t j = static_cast<size_t>(report);
+  assert(j < dsw_.output_domain());
+  return j;
 }
 
 Result<EmResult> SwEstimator::Reconstruct(

@@ -65,6 +65,11 @@ class SwEstimator {
   /// Server-side: histogram of raw reports over the output buckets.
   std::vector<uint64_t> Aggregate(const std::vector<double>& reports) const;
 
+  /// Server-side: output bucket index of a single report — the O(1)
+  /// per-report primitive behind Aggregate, used by streaming ingestion
+  /// (eval/streaming.h) so one report never allocates a histogram.
+  size_t OutputBucketOf(double report) const;
+
   /// Server-side: reconstructs the d-bucket input distribution from
   /// aggregated output counts via EM or EMS.
   Result<EmResult> Reconstruct(const std::vector<uint64_t>& counts) const;

@@ -89,21 +89,100 @@ const std::vector<DatasetSpec>& AllDatasetSpecs() { return kSpecs; }
 std::vector<double> GenerateDataset(DatasetId id, size_t n, Rng& rng) {
   std::vector<double> values;
   values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(SampleDataset(id, rng));
+  return values;
+}
+
+double SampleDataset(DatasetId id, Rng& rng) {
   switch (id) {
     case DatasetId::kBeta:
-      for (size_t i = 0; i < n; ++i) {
-        values.push_back(std::min(rng.Beta(5.0, 2.0), 1.0 - 1e-12));
-      }
-      break;
+      return std::min(rng.Beta(5.0, 2.0), 1.0 - 1e-12);
     case DatasetId::kTaxi:
-      for (size_t i = 0; i < n; ++i) values.push_back(SampleTaxi(rng));
-      break;
+      return SampleTaxi(rng);
     case DatasetId::kIncome:
-      for (size_t i = 0; i < n; ++i) values.push_back(SampleIncome(rng));
-      break;
+      return SampleIncome(rng);
     case DatasetId::kRetirement:
-      for (size_t i = 0; i < n; ++i) values.push_back(SampleRetirement(rng));
-      break;
+      return SampleRetirement(rng);
+  }
+  assert(false && "unknown dataset id");
+  return 0.0;
+}
+
+double SampleMixture(const std::vector<MixtureComponent>& mixture, Rng& rng) {
+  assert(!mixture.empty());
+  if (mixture.size() == 1) return SampleDataset(mixture[0].dataset, rng);
+  double total = 0.0;
+  for (const MixtureComponent& c : mixture) total += std::max(c.weight, 0.0);
+  assert(total > 0.0);
+  double u = rng.Uniform() * total;
+  for (const MixtureComponent& c : mixture) {
+    u -= std::max(c.weight, 0.0);
+    if (u < 0.0) return SampleDataset(c.dataset, rng);
+  }
+  return SampleDataset(mixture.back().dataset, rng);
+}
+
+void AlignMixtures(const std::vector<MixtureComponent>& a,
+                   const std::vector<MixtureComponent>& b,
+                   std::vector<MixtureComponent>* a_out,
+                   std::vector<MixtureComponent>* b_out) {
+  std::vector<DatasetId> order;
+  std::vector<double> a_weight;
+  std::vector<double> b_weight;
+  const auto index_of = [&](DatasetId id) {
+    for (size_t k = 0; k < order.size(); ++k) {
+      if (order[k] == id) return k;
+    }
+    order.push_back(id);
+    a_weight.push_back(0.0);
+    b_weight.push_back(0.0);
+    return order.size() - 1;
+  };
+  for (const MixtureComponent& c : a) a_weight[index_of(c.dataset)] += c.weight;
+  for (const MixtureComponent& c : b) b_weight[index_of(c.dataset)] += c.weight;
+  a_out->clear();
+  b_out->clear();
+  for (size_t k = 0; k < order.size(); ++k) {
+    a_out->push_back({order[k], a_weight[k]});
+    b_out->push_back({order[k], b_weight[k]});
+  }
+}
+
+void LerpMixtureWeights(const std::vector<MixtureComponent>& start,
+                        const std::vector<MixtureComponent>& end, double t,
+                        std::vector<MixtureComponent>* out) {
+  assert(start.size() == end.size() && out->size() == start.size());
+  t = std::clamp(t, 0.0, 1.0);
+  for (size_t k = 0; k < start.size(); ++k) {
+    (*out)[k].weight = (1.0 - t) * start[k].weight + t * end[k].weight;
+  }
+}
+
+std::vector<MixtureComponent> InterpolateMixture(
+    const std::vector<MixtureComponent>& a,
+    const std::vector<MixtureComponent>& b, double t) {
+  std::vector<MixtureComponent> from;
+  std::vector<MixtureComponent> to;
+  AlignMixtures(a, b, &from, &to);
+  std::vector<MixtureComponent> out = from;
+  LerpMixtureWeights(from, to, t, &out);
+  return out;
+}
+
+std::vector<double> GenerateDriftDataset(
+    const std::vector<MixtureComponent>& from,
+    const std::vector<MixtureComponent>& to, size_t n, Rng& rng) {
+  // Align once; only the weights change per sample.
+  std::vector<MixtureComponent> start;
+  std::vector<MixtureComponent> end;
+  AlignMixtures(from, to, &start, &end);
+  std::vector<MixtureComponent> mix = start;
+  std::vector<double> values;
+  values.reserve(n);
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    LerpMixtureWeights(start, end, static_cast<double>(i) / denom, &mix);
+    values.push_back(SampleMixture(mix, rng));
   }
   return values;
 }

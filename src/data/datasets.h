@@ -40,6 +40,57 @@ const std::vector<DatasetSpec>& AllDatasetSpecs();
 /// Draws `n` samples from the dataset's generative model, each in [0, 1].
 std::vector<double> GenerateDataset(DatasetId id, size_t n, Rng& rng);
 
+/// Draws a single sample from the dataset's generative model, in [0, 1].
+/// The per-sample primitive behind GenerateDataset; the scenario engine
+/// uses it to interleave draws from several datasets in one stream.
+double SampleDataset(DatasetId id, Rng& rng);
+
+/// One component of a dataset mixture: draw from `dataset` with relative
+/// weight `weight` (weights need not be normalized).
+struct MixtureComponent {
+  DatasetId dataset;
+  double weight = 1.0;
+};
+
+/// Draws one sample from the mixture: picks a component with probability
+/// proportional to its weight, then samples that dataset. Requires at least
+/// one component with positive weight.
+double SampleMixture(const std::vector<MixtureComponent>& mixture, Rng& rng);
+
+/// Rewrites a drift pair onto one shared component list: the union of the
+/// datasets in first-appearance order, with weights of repeated components
+/// folded together and absent components entering at weight 0. After the
+/// call `a_out` and `b_out` have equal size with matching datasets, so
+/// per-report weight interpolation is a plain lerp (the scenario engine's
+/// inner loop relies on this).
+void AlignMixtures(const std::vector<MixtureComponent>& a,
+                   const std::vector<MixtureComponent>& b,
+                   std::vector<MixtureComponent>* a_out,
+                   std::vector<MixtureComponent>* b_out);
+
+/// In-place weight lerp over an aligned drift pair (see AlignMixtures):
+/// out[k].weight = (1-t) start[k].weight + t end[k].weight, t clamped into
+/// [0, 1]. `out` must already have start's component list (datasets are not
+/// touched); allocation-free, for per-report drift in hot loops.
+void LerpMixtureWeights(const std::vector<MixtureComponent>& start,
+                        const std::vector<MixtureComponent>& end, double t,
+                        std::vector<MixtureComponent>* out);
+
+/// Component weights linearly interpolated between two mixtures:
+/// out[k].weight = (1-t) a[k].weight + t b[k].weight over the aligned
+/// component list (see AlignMixtures; a and b may name different datasets).
+/// Models temporal drift between population distributions. t is clamped
+/// into [0, 1].
+std::vector<MixtureComponent> InterpolateMixture(
+    const std::vector<MixtureComponent>& a,
+    const std::vector<MixtureComponent>& b, double t);
+
+/// Draws `n` samples while the population drifts linearly from mixture
+/// `from` (at sample 0) to mixture `to` (at sample n-1).
+std::vector<double> GenerateDriftDataset(
+    const std::vector<MixtureComponent>& from,
+    const std::vector<MixtureComponent>& to, size_t n, Rng& rng);
+
 /// Parses a dataset name ("beta", "taxi", "income", "retirement");
 /// returns true on success.
 bool ParseDatasetId(const std::string& name, DatasetId* out);

@@ -1,5 +1,6 @@
 #include "eval/streaming.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace numdist {
@@ -8,23 +9,27 @@ Result<StreamingAggregator> StreamingAggregator::Make(
     const SwEstimatorOptions& options) {
   Result<SwEstimator> estimator = SwEstimator::Make(options);
   if (!estimator.ok()) return estimator.status();
-  return StreamingAggregator(std::move(estimator).value());
+  return StreamingAggregator(
+      std::make_shared<const SwEstimator>(std::move(estimator).value()));
 }
 
-StreamingAggregator::StreamingAggregator(SwEstimator estimator)
+StreamingAggregator StreamingAggregator::ForEstimator(
+    std::shared_ptr<const SwEstimator> estimator) {
+  return StreamingAggregator(std::move(estimator));
+}
+
+StreamingAggregator::StreamingAggregator(
+    std::shared_ptr<const SwEstimator> estimator)
     : estimator_(std::move(estimator)),
-      counts_(estimator_.output_buckets(), 0) {}
+      counts_(estimator_->output_buckets(), 0) {}
 
 void StreamingAggregator::Accept(double report) {
-  // Reuse the estimator's bucketization for a single report.
-  const std::vector<uint64_t> one =
-      estimator_.Aggregate(std::vector<double>{report});
-  for (size_t j = 0; j < counts_.size(); ++j) counts_[j] += one[j];
+  ++counts_[estimator_->OutputBucketOf(report)];
   ++count_;
 }
 
 void StreamingAggregator::AcceptBatch(const std::vector<double>& reports) {
-  const std::vector<uint64_t> batch = estimator_.Aggregate(reports);
+  const std::vector<uint64_t> batch = estimator_->Aggregate(reports);
   for (size_t j = 0; j < counts_.size(); ++j) counts_[j] += batch[j];
   count_ += reports.size();
 }
@@ -39,12 +44,17 @@ Status StreamingAggregator::Merge(const StreamingAggregator& other) {
   return Status::OK();
 }
 
+void StreamingAggregator::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+}
+
 Result<EmResult> StreamingAggregator::Snapshot() const {
   if (count_ == 0) {
     return Status::FailedPrecondition(
         "StreamingAggregator: no reports ingested");
   }
-  return estimator_.Reconstruct(counts_);
+  return estimator_->Reconstruct(counts_);
 }
 
 }  // namespace numdist

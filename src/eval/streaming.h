@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +22,12 @@ class StreamingAggregator {
   /// Builds an aggregator for the given estimator configuration.
   static Result<StreamingAggregator> Make(const SwEstimatorOptions& options);
 
+  /// Builds an aggregator over an existing (immutable, thread-safe)
+  /// estimator. A shard fleet shares one estimator instead of each shard
+  /// re-deriving the transition model (see scenario/scenario.cc).
+  static StreamingAggregator ForEstimator(
+      std::shared_ptr<const SwEstimator> estimator);
+
   /// Ingests one client report (the value returned by
   /// SwEstimator::PerturbOne on the client). O(1).
   void Accept(double report);
@@ -31,6 +38,11 @@ class StreamingAggregator {
   /// Merges another shard's counts into this one. The shards must have been
   /// created with identical options (checked: same bucket count).
   Status Merge(const StreamingAggregator& other);
+
+  /// Drops all ingested counts, keeping the (expensive to build) estimator.
+  /// Lets a merge target be reused across rounds instead of reconstructing
+  /// the transition model each time (see scenario/scenario.cc checkpoints).
+  void Reset();
 
   /// Reports ingested so far.
   uint64_t count() const { return count_; }
@@ -43,12 +55,12 @@ class StreamingAggregator {
   Result<EmResult> Snapshot() const;
 
   /// The underlying estimator (for clients: PerturbOne lives here).
-  const SwEstimator& estimator() const { return estimator_; }
+  const SwEstimator& estimator() const { return *estimator_; }
 
  private:
-  explicit StreamingAggregator(SwEstimator estimator);
+  explicit StreamingAggregator(std::shared_ptr<const SwEstimator> estimator);
 
-  SwEstimator estimator_;
+  std::shared_ptr<const SwEstimator> estimator_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;
 };

@@ -1,0 +1,503 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "eval/streaming.h"
+#include "metrics/distance.h"
+
+namespace numdist {
+
+namespace {
+
+// Fixed stream family: one independent RNG per (scenario seed, phase,
+// shard). The stream never depends on the thread count or on other shards'
+// progress, which is what makes scenarios bit-reproducible under any
+// parallel schedule.
+Rng PhaseShardRng(uint64_t seed, size_t phase, size_t shard) {
+  const uint64_t mixed =
+      SplitMix64(seed + 0xA24BAED4963EE407ULL * (phase + 1));
+  return Rng(SplitMix64(mixed ^ (0x9E3779B97F4A7C15ULL * (shard + 1))));
+}
+
+Status ValidateMixture(const std::vector<MixtureComponent>& mixture,
+                       const char* what, const std::string& phase) {
+  double total = 0.0;
+  for (const MixtureComponent& c : mixture) {
+    if (!(c.weight >= 0.0) || !std::isfinite(c.weight)) {
+      return Status::InvalidArgument("scenario phase '" + phase + "': " +
+                                     what + " has a negative or non-finite "
+                                     "component weight");
+    }
+    total += c.weight;
+  }
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument("scenario phase '" + phase + "': " + what +
+                                   " needs a positive total weight");
+  }
+  return Status::OK();
+}
+
+// Per-epsilon aggregation group: the shard topology plus the group's exact
+// running ground truth, both cumulative across phases.
+struct EpsilonGroup {
+  double epsilon = 0.0;
+  std::vector<StreamingAggregator> shards;
+  // Per-shard truth counts: workers touch only their own shard's vector,
+  // merged in shard order at each checkpoint.
+  std::vector<std::vector<uint64_t>> truth_counts;
+  // Reusable merge target for checkpoints: built once with the group's
+  // (expensive) transition model, Reset() per snapshot.
+  std::optional<StreamingAggregator> merge_scratch;
+  uint64_t reports = 0;
+};
+
+}  // namespace
+
+Status ValidateScenario(const ScenarioConfig& config) {
+  // Upper bounds are sanity caps, not capability limits: d drives an
+  // O(d^2) dense transition build per epsilon group, so a typo'd granularity
+  // must be an error, not a 30 GB allocation.
+  if (config.d < 2 || config.d > 8192) {
+    return Status::InvalidArgument("scenario: d must be in [2, 8192]");
+  }
+  if (config.shards == 0 || config.shards > 4096) {
+    return Status::InvalidArgument("scenario: shards must be in [1, 4096]");
+  }
+  if (!(config.epsilon > 0.0) || !std::isfinite(config.epsilon)) {
+    return Status::InvalidArgument(
+        "scenario: default epsilon must be positive and finite");
+  }
+  if (config.phases.empty()) {
+    return Status::InvalidArgument("scenario: needs at least one phase");
+  }
+  for (const ScenarioPhase& phase : config.phases) {
+    if (phase.reports == 0) {
+      return Status::InvalidArgument("scenario phase '" + phase.name +
+                                     "': reports must be > 0");
+    }
+    if (phase.checkpoints == 0 || phase.checkpoints > phase.reports) {
+      return Status::InvalidArgument(
+          "scenario phase '" + phase.name +
+          "': checkpoints must be in [1, reports]");
+    }
+    if (phase.epsilon != 0.0 &&
+        (!(phase.epsilon > 0.0) || !std::isfinite(phase.epsilon))) {
+      return Status::InvalidArgument("scenario phase '" + phase.name +
+                                     "': epsilon must be positive and finite");
+    }
+    if (phase.mixture.empty()) {
+      return Status::InvalidArgument("scenario phase '" + phase.name +
+                                     "': mixture is required");
+    }
+    NUMDIST_RETURN_NOT_OK(ValidateMixture(phase.mixture, "mixture",
+                                          phase.name));
+    if (!phase.end_mixture.empty()) {
+      NUMDIST_RETURN_NOT_OK(ValidateMixture(phase.end_mixture, "end_mixture",
+                                            phase.name));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
+  NUMDIST_RETURN_NOT_OK(ValidateScenario(config));
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t threads =
+      std::min(config.threads == 0 ? hw : config.threads, config.shards);
+
+  // Epsilon groups keyed by the budget's bit pattern (exact, no FP-compare
+  // pitfalls); groups are created lazily when a phase first uses a budget.
+  std::map<uint64_t, EpsilonGroup> groups;
+  const auto group_for = [&](double epsilon) -> Result<EpsilonGroup*> {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(epsilon));
+    std::memcpy(&bits, &epsilon, sizeof(bits));
+    auto it = groups.find(bits);
+    if (it != groups.end()) return &it->second;
+    EpsilonGroup group;
+    group.epsilon = epsilon;
+    SwEstimatorOptions options;
+    options.epsilon = epsilon;
+    options.d = config.d;
+    // One estimator (transition model included) serves the whole group:
+    // shard aggregators and the merge target only need its immutable
+    // per-report primitives, so sharing skips shards+1 identical O(d^2)
+    // model builds.
+    Result<SwEstimator> estimator = SwEstimator::Make(options);
+    if (!estimator.ok()) return estimator.status();
+    const auto shared =
+        std::make_shared<const SwEstimator>(std::move(estimator).value());
+    for (size_t s = 0; s < config.shards; ++s) {
+      group.shards.push_back(StreamingAggregator::ForEstimator(shared));
+      group.truth_counts.emplace_back(config.d, 0);
+    }
+    group.merge_scratch.emplace(StreamingAggregator::ForEstimator(shared));
+    return &groups.emplace(bits, std::move(group)).first->second;
+  };
+
+  ScenarioResult result;
+  for (size_t p = 0; p < config.phases.size(); ++p) {
+    const ScenarioPhase& phase = config.phases[p];
+    const double epsilon =
+        phase.epsilon > 0.0 ? phase.epsilon : config.epsilon;
+    NUMDIST_ASSIGN_OR_RETURN(EpsilonGroup* group, group_for(epsilon));
+
+    std::vector<MixtureComponent> start = phase.mixture;
+    std::vector<MixtureComponent> end = phase.mixture;
+    if (!phase.end_mixture.empty()) {
+      AlignMixtures(phase.mixture, phase.end_mixture, &start, &end);
+    }
+    const double drift_denom =
+        phase.reports > 1 ? static_cast<double>(phase.reports - 1) : 1.0;
+
+    // One persistent stream per shard for the whole phase; checkpoint
+    // boundaries never reset it, so the report sequence is independent of
+    // how the phase is chunked for snapshots.
+    std::vector<Rng> shard_rngs;
+    shard_rngs.reserve(config.shards);
+    for (size_t s = 0; s < config.shards; ++s) {
+      shard_rngs.push_back(PhaseShardRng(config.seed, p, s));
+    }
+
+    for (size_t c = 0; c < phase.checkpoints; ++c) {
+      const size_t begin = phase.reports * c / phase.checkpoints;
+      const size_t chunk_end = phase.reports * (c + 1) / phase.checkpoints;
+
+      // Shard worker: report i of the phase lands on shard i % shards;
+      // the worker draws the (possibly drifting) mixture value, records it
+      // in the shard's truth counts, perturbs it with the group's SW
+      // mechanism, and streams the report into the shard aggregator.
+      const auto shard_worker = [&](size_t worker_id) {
+        std::vector<MixtureComponent> mix = start;
+        for (size_t s = worker_id; s < config.shards; s += threads) {
+          Rng& rng = shard_rngs[s];
+          StreamingAggregator& agg = group->shards[s];
+          std::vector<uint64_t>& truth = group->truth_counts[s];
+          size_t i = begin + (s + config.shards - begin % config.shards) %
+                                 config.shards;
+          for (; i < chunk_end; i += config.shards) {
+            double v;
+            if (phase.end_mixture.empty()) {
+              v = SampleMixture(start, rng);
+            } else {
+              LerpMixtureWeights(start, end,
+                                 static_cast<double>(i) / drift_denom, &mix);
+              v = SampleMixture(mix, rng);
+            }
+            ++truth[hist::BucketOf(v, config.d)];
+            agg.Accept(agg.estimator().PerturbOne(v, rng));
+          }
+        }
+      };
+      if (threads == 1) {
+        shard_worker(0);
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (size_t w = 0; w < threads; ++w) pool.emplace_back(shard_worker, w);
+        for (std::thread& th : pool) th.join();
+      }
+      group->reports += chunk_end - begin;
+      result.total_reports += chunk_end - begin;
+
+      // Merge-then-snapshot: fold every shard of the group, in shard order,
+      // into the group's reusable merge target and reconstruct from the
+      // merged counts.
+      StreamingAggregator& merged = *group->merge_scratch;
+      merged.Reset();
+      for (const StreamingAggregator& shard : group->shards) {
+        NUMDIST_RETURN_NOT_OK(merged.Merge(shard));
+      }
+      NUMDIST_ASSIGN_OR_RETURN(EmResult em, merged.Snapshot());
+
+      std::vector<double> truth(config.d, 0.0);
+      for (const std::vector<uint64_t>& shard_truth : group->truth_counts) {
+        for (size_t i = 0; i < config.d; ++i) {
+          truth[i] += static_cast<double>(shard_truth[i]);
+        }
+      }
+      hist::Normalize(&truth);
+
+      ScenarioCheckpoint checkpoint;
+      checkpoint.phase_index = p;
+      checkpoint.phase = phase.name;
+      checkpoint.checkpoint_index = c;
+      checkpoint.epsilon = epsilon;
+      checkpoint.group_reports = group->reports;
+      checkpoint.total_reports = result.total_reports;
+      checkpoint.wasserstein = WassersteinDistance(truth, em.estimate);
+      checkpoint.ks = KsDistance(truth, em.estimate);
+      checkpoint.em_iterations = em.iterations;
+      checkpoint.em_converged = em.converged;
+      checkpoint.estimate = std::move(em.estimate);
+      checkpoint.truth = std::move(truth);
+      result.checkpoints.push_back(std::move(checkpoint));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Non-negative integer parse for scenario keys. Rejects negatives and
+// trailing garbage instead of letting them wrap through size_t (a literal
+// `d = -1` must be InvalidArgument, not a 2^64-bucket allocation).
+Result<uint64_t> ParseCount(const std::string& key, const std::string& value,
+                            size_t line_no) {
+  char* parse_end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &parse_end, 10);
+  if (value.empty() || parse_end != value.c_str() + value.size() ||
+      parsed < 0) {
+    return Status::InvalidArgument(
+        "scenario line " + std::to_string(line_no) + ": '" + key +
+        "' must be a non-negative integer, got '" + value + "'");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+// Positive finite double parse for epsilon keys.
+Result<double> ParseEpsilon(const std::string& value, size_t line_no) {
+  char* parse_end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &parse_end);
+  if (value.empty() || parse_end != value.c_str() + value.size() ||
+      !(parsed > 0.0) || !std::isfinite(parsed)) {
+    return Status::InvalidArgument(
+        "scenario line " + std::to_string(line_no) +
+        ": epsilon must be a positive number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+Result<std::vector<MixtureComponent>> ParseMixture(const std::string& text,
+                                                   size_t line_no) {
+  std::vector<MixtureComponent> mixture;
+  std::stringstream ss(text);
+  std::string term;
+  while (std::getline(ss, term, ',')) {
+    term = Trim(term);
+    if (term.empty()) continue;
+    std::string name = term;
+    double weight = 1.0;
+    const size_t colon = term.find(':');
+    if (colon != std::string::npos) {
+      name = Trim(term.substr(0, colon));
+      const std::string w = Trim(term.substr(colon + 1));
+      char* parse_end = nullptr;
+      weight = std::strtod(w.c_str(), &parse_end);
+      if (w.empty() || parse_end != w.c_str() + w.size()) {
+        return Status::InvalidArgument("scenario line " +
+                                       std::to_string(line_no) +
+                                       ": bad mixture weight '" + w + "'");
+      }
+    }
+    DatasetId id;
+    if (!ParseDatasetId(name, &id)) {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_no) +
+                                     ": unknown dataset '" + name + "'");
+    }
+    mixture.push_back({id, weight});
+  }
+  if (mixture.empty()) {
+    return Status::InvalidArgument("scenario line " + std::to_string(line_no) +
+                                   ": empty mixture");
+  }
+  return mixture;
+}
+
+}  // namespace
+
+Result<ScenarioConfig> ParseScenarioText(const std::string& text) {
+  ScenarioConfig config;
+  ScenarioPhase* phase = nullptr;
+  std::stringstream ss(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(ss, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line = Trim(raw);
+    if (line.empty()) continue;
+    if (line == "[phase]") {
+      config.phases.emplace_back();
+      phase = &config.phases.back();
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_no) +
+                                     ": expected key = value or [phase]");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    const auto bad_key = [&]() -> Status {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    };
+    if (phase == nullptr) {
+      if (key == "name") {
+        config.name = value;
+      } else if (key == "epsilon") {
+        NUMDIST_ASSIGN_OR_RETURN(config.epsilon,
+                                 ParseEpsilon(value, line_no));
+      } else if (key == "d") {
+        NUMDIST_ASSIGN_OR_RETURN(config.d, ParseCount(key, value, line_no));
+      } else if (key == "shards") {
+        NUMDIST_ASSIGN_OR_RETURN(config.shards,
+                                 ParseCount(key, value, line_no));
+      } else if (key == "seed") {
+        NUMDIST_ASSIGN_OR_RETURN(config.seed, ParseCount(key, value, line_no));
+      } else {
+        return bad_key();
+      }
+      continue;
+    }
+    if (key == "name") {
+      phase->name = value;
+    } else if (key == "mixture") {
+      NUMDIST_ASSIGN_OR_RETURN(phase->mixture, ParseMixture(value, line_no));
+    } else if (key == "end_mixture") {
+      NUMDIST_ASSIGN_OR_RETURN(phase->end_mixture,
+                               ParseMixture(value, line_no));
+    } else if (key == "reports") {
+      NUMDIST_ASSIGN_OR_RETURN(phase->reports,
+                               ParseCount(key, value, line_no));
+    } else if (key == "epsilon") {
+      NUMDIST_ASSIGN_OR_RETURN(phase->epsilon, ParseEpsilon(value, line_no));
+    } else if (key == "checkpoints") {
+      NUMDIST_ASSIGN_OR_RETURN(phase->checkpoints,
+                               ParseCount(key, value, line_no));
+    } else {
+      return bad_key();
+    }
+  }
+  NUMDIST_RETURN_NOT_OK(ValidateScenario(config));
+  return config;
+}
+
+Result<ScenarioConfig> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("scenario: cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseScenarioText(buffer.str());
+}
+
+const std::vector<std::string>& BuiltinScenarioNames() {
+  static const std::vector<std::string> kNames = {"drift", "ramp",
+                                                  "eps-schedule"};
+  return kNames;
+}
+
+Result<ScenarioConfig> BuiltinScenario(const std::string& name) {
+  if (name == "drift") {
+    // Population drifts from Beta(5,2) to the bimodal taxi shape while six
+    // collector shards merge at periodic checkpoints.
+    return ParseScenarioText(R"(
+      name = drift
+      epsilon = 1.0
+      d = 64
+      shards = 6
+
+      [phase]
+      name = warmup
+      mixture = beta
+      reports = 20000
+      checkpoints = 2
+
+      [phase]
+      name = drift
+      mixture = beta
+      end_mixture = taxi
+      reports = 40000
+      checkpoints = 4
+    )");
+  }
+  if (name == "ramp") {
+    // Population volume ramps 4x per phase on a fixed spiky distribution:
+    // accuracy trajectories under growing n.
+    return ParseScenarioText(R"(
+      name = ramp
+      epsilon = 1.0
+      d = 64
+      shards = 4
+
+      [phase]
+      name = pilot
+      mixture = income
+      reports = 5000
+      checkpoints = 1
+
+      [phase]
+      name = rollout
+      mixture = income
+      reports = 20000
+      checkpoints = 2
+
+      [phase]
+      name = full
+      mixture = income
+      reports = 80000
+      checkpoints = 2
+    )");
+  }
+  if (name == "eps-schedule") {
+    // Privacy budget tightens over time; each epsilon aggregates into its
+    // own group, so checkpoints track three separate reconstructions.
+    return ParseScenarioText(R"(
+      name = eps-schedule
+      epsilon = 1.0
+      d = 64
+      shards = 4
+
+      [phase]
+      name = eps-4
+      mixture = retirement
+      epsilon = 4.0
+      reports = 30000
+      checkpoints = 2
+
+      [phase]
+      name = eps-1
+      mixture = retirement
+      epsilon = 1.0
+      reports = 30000
+      checkpoints = 2
+
+      [phase]
+      name = eps-0.5
+      mixture = retirement
+      epsilon = 0.5
+      reports = 30000
+      checkpoints = 2
+    )");
+  }
+  return Status::InvalidArgument("scenario: unknown built-in '" + name +
+                                 "' (have: drift, ramp, eps-schedule)");
+}
+
+}  // namespace numdist

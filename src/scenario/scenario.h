@@ -1,0 +1,136 @@
+// Config-driven scenario engine: composes LDP collection workloads far
+// beyond the paper's four static §6.1 datasets. A scenario is a sequence of
+// phases; each phase draws its population from a dataset mixture that can
+// drift over the phase (temporal distribution shift), ramps in its own
+// report volume, and may run under its own privacy budget (epsilon
+// schedules). Reports are collected on a fixed shard topology of
+// StreamingAggregator instances; at periodic checkpoints the shards are
+// merged into a fresh aggregator and the distribution is reconstructed
+// (merge-then-snapshot), yielding Wasserstein/KS trajectories against the
+// scenario's exact running ground truth.
+//
+// Determinism: each (phase, shard) pair owns a fixed RNG stream derived
+// from the scenario seed, report i of a phase always lands on shard
+// i % shards, and checkpoint merges run in shard order — so a fixed-seed
+// scenario produces bit-identical results for any thread count.
+//
+// Scenarios come from three places: built-in named presets
+// (BuiltinScenario), the line-oriented text format (ParseScenarioText,
+// format documented there; runnable via tools/scenario_cli), and directly
+// constructed configs (tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/datasets.h"
+
+namespace numdist {
+
+/// One collection phase of a scenario.
+struct ScenarioPhase {
+  std::string name = "phase";
+  /// Population mixture at the start of the phase. Required, weights >= 0
+  /// with a positive sum.
+  std::vector<MixtureComponent> mixture;
+  /// Population mixture at the end of the phase; component weights are
+  /// interpolated linearly over the phase's reports (temporal drift).
+  /// Empty = no drift. May name datasets absent from `mixture` (and vice
+  /// versa); missing components enter with weight 0.
+  std::vector<MixtureComponent> end_mixture;
+  /// Reports collected in this phase (> 0).
+  size_t reports = 0;
+  /// Privacy budget for this phase; <= 0 inherits ScenarioConfig::epsilon.
+  /// Phases with different epsilons aggregate into separate per-epsilon
+  /// groups (reports under different budgets are not mixable in one
+  /// reconstruction).
+  double epsilon = 0.0;
+  /// Merge-and-snapshot checkpoints in this phase (>= 1, <= reports); the
+  /// phase's reports are split into this many equal chunks.
+  size_t checkpoints = 1;
+};
+
+/// A full scenario.
+struct ScenarioConfig {
+  std::string name = "scenario";
+  /// Default privacy budget for phases that do not set their own.
+  double epsilon = 1.0;
+  /// Reconstruction granularity (input buckets).
+  size_t d = 64;
+  /// Collector shards: every report stream is split over this many
+  /// StreamingAggregator instances (part of the scenario semantics, unlike
+  /// `threads`, which is pure execution parallelism).
+  size_t shards = 4;
+  uint64_t seed = 42;
+  /// Worker threads; 0 = hardware concurrency. Never changes the results.
+  size_t threads = 0;
+  std::vector<ScenarioPhase> phases;
+};
+
+/// Reconstruction + metrics at one checkpoint.
+struct ScenarioCheckpoint {
+  size_t phase_index = 0;
+  std::string phase;
+  /// Checkpoint ordinal within the phase.
+  size_t checkpoint_index = 0;
+  /// Epsilon group this checkpoint reconstructed.
+  double epsilon = 0.0;
+  /// Cumulative reports in the group / in the whole scenario so far.
+  uint64_t group_reports = 0;
+  uint64_t total_reports = 0;
+  /// Distance of the reconstruction to the group's exact running ground
+  /// truth (the histogram of every value actually drawn for the group).
+  double wasserstein = 0.0;
+  double ks = 0.0;
+  size_t em_iterations = 0;
+  bool em_converged = false;
+  /// Reconstructed distribution and ground truth, d buckets each.
+  std::vector<double> estimate;
+  std::vector<double> truth;
+};
+
+/// Outcome of a scenario run.
+struct ScenarioResult {
+  std::vector<ScenarioCheckpoint> checkpoints;
+  uint64_t total_reports = 0;
+};
+
+/// Checks a scenario for structural errors (empty phases, bad weights,
+/// invalid epsilon/d/shards/checkpoints). RunScenario validates first.
+Status ValidateScenario(const ScenarioConfig& config);
+
+/// Executes the scenario. Deterministic for a fixed config.seed at any
+/// config.threads.
+Result<ScenarioResult> RunScenario(const ScenarioConfig& config);
+
+/// Parses the line-oriented scenario text format:
+///
+///   # comment                      (blank lines ignored)
+///   name = drift-demo              (top-level keys before the first phase:
+///   epsilon = 1.0                   name, epsilon, d, shards, seed)
+///   d = 64
+///   shards = 4
+///
+///   [phase]                        (starts a phase; then per-phase keys:
+///   name = drift                    name, mixture, end_mixture, reports,
+///   mixture = beta:0.8, taxi:0.2    epsilon, checkpoints)
+///   end_mixture = taxi
+///   reports = 40000
+///   checkpoints = 4
+///
+/// Mixtures are comma-separated `dataset[:weight]` terms (weight defaults
+/// to 1) over the §6.1 dataset names.
+Result<ScenarioConfig> ParseScenarioText(const std::string& text);
+
+/// Reads and parses a scenario file.
+Result<ScenarioConfig> LoadScenarioFile(const std::string& path);
+
+/// Names of the built-in scenarios ("drift", "ramp", "eps-schedule").
+const std::vector<std::string>& BuiltinScenarioNames();
+
+/// Returns a built-in scenario by name, or InvalidArgument.
+Result<ScenarioConfig> BuiltinScenario(const std::string& name);
+
+}  // namespace numdist

@@ -1,0 +1,132 @@
+#include "stats/conformance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "stats/special.h"
+
+namespace numdist {
+namespace stats {
+
+Result<GofResult> ChiSquareGof(const std::vector<uint64_t>& observed,
+                               const std::vector<double>& expected_probs,
+                               double min_expected) {
+  if (observed.size() != expected_probs.size()) {
+    return Status::InvalidArgument("ChiSquareGof: size mismatch");
+  }
+  if (observed.size() < 2) {
+    return Status::InvalidArgument("ChiSquareGof: need >= 2 cells");
+  }
+  uint64_t n = 0;
+  for (uint64_t c : observed) n += c;
+  if (n == 0) return Status::InvalidArgument("ChiSquareGof: no observations");
+  double prob_sum = 0.0;
+  for (double p : expected_probs) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      return Status::InvalidArgument("ChiSquareGof: bad expected probability");
+    }
+    prob_sum += p;
+  }
+  if (std::fabs(prob_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        "ChiSquareGof: expected probabilities must sum to 1");
+  }
+
+  // Pool cells with expected count < min_expected into one rest cell so the
+  // asymptotic chi-square distribution of the statistic holds.
+  const double dn = static_cast<double>(n);
+  double stat = 0.0;
+  size_t kept = 0;
+  double pooled_expected = 0.0;
+  uint64_t pooled_observed = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probs[i] * dn;
+    if (expected < min_expected) {
+      pooled_expected += expected;
+      pooled_observed += observed[i];
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+    ++kept;
+  }
+  size_t cells = kept;
+  if (pooled_expected > 0.0 || pooled_observed > 0) {
+    if (pooled_expected <= 0.0) {
+      // Mass observed where the model says "impossible": certain rejection.
+      GofResult impossible;
+      impossible.statistic = std::numeric_limits<double>::infinity();
+      impossible.p_value = 0.0;
+      impossible.df = cells;
+      impossible.pooled_cells = cells + 1;
+      return impossible;
+    }
+    const double diff = static_cast<double>(pooled_observed) - pooled_expected;
+    stat += diff * diff / pooled_expected;
+    ++cells;
+  }
+  if (cells < 2) {
+    return Status::InvalidArgument(
+        "ChiSquareGof: fewer than 2 cells after pooling; raise N");
+  }
+
+  GofResult result;
+  result.statistic = stat;
+  result.df = cells - 1;
+  result.pooled_cells = cells;
+  result.p_value = ChiSquareSurvival(static_cast<double>(result.df), stat);
+  return result;
+}
+
+double BinomialTwoSidedP(uint64_t k, uint64_t n, double p) {
+  const double lower = BinomialCdf(k, n, p);
+  const double upper = BinomialSurvival(k, n, p);
+  return std::min(1.0, 2.0 * std::min(lower, upper));
+}
+
+double DkwEpsilon(uint64_t n, double alpha) {
+  return std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(n)));
+}
+
+double HistogramKs(const std::vector<uint64_t>& observed,
+                   const std::vector<double>& expected_probs) {
+  uint64_t n = 0;
+  for (uint64_t c : observed) n += c;
+  const double dn = static_cast<double>(n);
+  double cum_obs = 0.0;
+  double cum_exp = 0.0;
+  double ks = 0.0;
+  const size_t cells = std::min(observed.size(), expected_probs.size());
+  for (size_t j = 0; j < cells; ++j) {
+    cum_obs += static_cast<double>(observed[j]) / dn;
+    cum_exp += expected_probs[j];
+    ks = std::max(ks, std::fabs(cum_obs - cum_exp));
+  }
+  return ks;
+}
+
+double EmAgreementRadius(uint64_t n, double tol_a, double tol_b,
+                         double safety) {
+  return safety *
+         std::sqrt(2.0 * (tol_a + tol_b) / static_cast<double>(n));
+}
+
+double PerAssertionAlpha(double test_alpha, size_t assertions) {
+  return test_alpha / static_cast<double>(std::max<size_t>(assertions, 1));
+}
+
+uint64_t SampleBudget(uint64_t full_n, uint64_t min_n) {
+  double scale = 1.0;
+  if (const char* env = std::getenv("NUMDIST_STAT_SAMPLE_SCALE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0 && parsed <= 1.0) scale = parsed;
+  }
+  const uint64_t scaled =
+      static_cast<uint64_t>(std::llround(static_cast<double>(full_n) * scale));
+  return std::max(std::min(scaled, full_n), std::min(min_n, full_n));
+}
+
+}  // namespace stats
+}  // namespace numdist

@@ -1,0 +1,88 @@
+// Statistical conformance library: acceptance tests for randomized
+// mechanisms and reconstruction estimators with *explicit* false-positive
+// budgets, replacing fixed-seed point tolerances. Every tolerance returned
+// here is computed from (sample size, alpha) by a documented bound — see
+// docs/STATISTICAL_TESTING.md for the derivations.
+//
+// The three families:
+//  - Frequency conformance: Pearson chi-square GOF against the mechanism's
+//    analytic channel distribution (cells pooled to keep the asymptotic
+//    chi-square approximation honest).
+//  - Channel-probability conformance: exact binomial two-sided tests on
+//    per-event probabilities (GRR truth retention, OUE bit flips, ...).
+//  - CDF conformance: DKW-based KS / Wasserstein acceptance radii for the
+//    empirical report distribution against an analytic CDF, and
+//    likelihood-gap agreement radii for comparing two EM fixed points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace numdist {
+namespace stats {
+
+/// Outcome of a goodness-of-fit test.
+struct GofResult {
+  double statistic = 0.0;  ///< Pearson X^2 after pooling.
+  double p_value = 1.0;    ///< Chi-square survival at the statistic.
+  size_t df = 0;           ///< Degrees of freedom (pooled cells - 1).
+  size_t pooled_cells = 0; ///< Cells after pooling.
+};
+
+/// Pearson chi-square goodness-of-fit of observed counts against expected
+/// probabilities. Cells whose expected count is below `min_expected` are
+/// pooled into a single rest cell (standard Cochran condition), keeping the
+/// chi-square approximation valid in sparse tails (e.g. GRR's q-cells at
+/// small N). Errors if sizes mismatch, probabilities do not sum to ~1, or
+/// fewer than two cells survive pooling.
+Result<GofResult> ChiSquareGof(const std::vector<uint64_t>& observed,
+                               const std::vector<double>& expected_probs,
+                               double min_expected = 5.0);
+
+/// Exact two-sided binomial test: p-value for observing `k` successes in
+/// `n` trials under success probability `p` (2 * min tail, clamped to 1).
+double BinomialTwoSidedP(uint64_t k, uint64_t n, double p);
+
+/// Dvoretzky-Kiefer-Wolfowitz acceptance radius: with probability >= 1-alpha
+/// the empirical CDF of n iid samples stays within this sup-distance of the
+/// true CDF. Valid for the bucketized CDF too (coarsening can only shrink
+/// the sup), and — on a domain of length 1 — for the Wasserstein-1 distance,
+/// since W1 = integral |F_n - F| <= sup |F_n - F|.
+double DkwEpsilon(uint64_t n, double alpha);
+
+/// KS distance between a report histogram and expected bucket probabilities:
+/// max_j |cumsum(observed)/N - cumsum(expected)|.
+double HistogramKs(const std::vector<uint64_t>& observed,
+                   const std::vector<double>& expected_probs);
+
+/// Acceptance radius for the report-space distance between two near-optimal
+/// EM fixed points of the same multinomial likelihood. Stopping at
+/// log-likelihood improvement < tol leaves each iterate within ~tol of the
+/// maximum; a Pinsker-style argument then bounds the total-variation (and
+/// hence KS) distance between their fitted report distributions by
+/// sqrt(2 (tol_a + tol_b) / n). `safety` absorbs the slack in the
+/// near-optimality step (see docs/STATISTICAL_TESTING.md §4).
+double EmAgreementRadius(uint64_t n, double tol_a, double tol_b,
+                         double safety = 5.0);
+
+/// Per-assertion alpha for a test making `assertions` independent
+/// comparisons under a whole-test false-positive budget `test_alpha`
+/// (Bonferroni split).
+double PerAssertionAlpha(double test_alpha, size_t assertions);
+
+/// Whole-test false-positive budget used by the `statistical` ctest tier
+/// (documented acceptance criterion: <= 1e-6 per test).
+inline constexpr double kTestAlpha = 1e-6;
+
+/// Sample budget honoring the NUMDIST_STAT_SAMPLE_SCALE environment knob:
+/// returns round(full_n * scale) clamped to >= min_n, where scale is read
+/// from the environment (defaults to 1, clamped into (0, 1]). CI sanitizer
+/// jobs set the knob below 1 to trade statistical resolution for runtime;
+/// tests recompute their acceptance radii from the returned n, so the
+/// false-positive budget is unaffected.
+uint64_t SampleBudget(uint64_t full_n, uint64_t min_n = 2000);
+
+}  // namespace stats
+}  // namespace numdist

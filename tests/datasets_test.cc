@@ -133,5 +133,76 @@ TEST(DatasetsTest, ZeroSamplesGiveEmptyVector) {
   EXPECT_TRUE(GenerateDataset(DatasetId::kBeta, 0, rng).empty());
 }
 
+TEST(DatasetsTest, SampleDatasetDrivesGenerateDataset) {
+  // GenerateDataset is a loop over the single-draw primitive: the streams
+  // must coincide draw for draw.
+  Rng batch_rng(9);
+  Rng single_rng(9);
+  const std::vector<double> batch =
+      GenerateDataset(DatasetId::kTaxi, 500, batch_rng);
+  for (double expected : batch) {
+    EXPECT_EQ(SampleDataset(DatasetId::kTaxi, single_rng), expected);
+  }
+}
+
+TEST(MixtureTest, ZeroWeightComponentIsNeverSampled) {
+  // All mass on beta, income at weight 0: the sample mean must sit at the
+  // Beta(5,2) mean (~0.714), nowhere near income's (~0.1). Any appreciable
+  // probability of drawing the zero-weight component would drag it down.
+  Rng rng(10);
+  const std::vector<MixtureComponent> mixture = {
+      {DatasetId::kBeta, 1.0}, {DatasetId::kIncome, 0.0}};
+  double mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += SampleMixture(mixture, rng);
+  mean /= n;
+  EXPECT_NEAR(mean, 5.0 / 7.0, 0.01);
+}
+
+TEST(MixtureTest, InterpolateMixtureIsLinear) {
+  const std::vector<MixtureComponent> a = {{DatasetId::kBeta, 1.0},
+                                           {DatasetId::kTaxi, 0.0}};
+  const std::vector<MixtureComponent> b = {{DatasetId::kBeta, 0.0},
+                                           {DatasetId::kTaxi, 2.0}};
+  const std::vector<MixtureComponent> mid = InterpolateMixture(a, b, 0.25);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_DOUBLE_EQ(mid[0].weight, 0.75);
+  EXPECT_DOUBLE_EQ(mid[1].weight, 0.5);
+  // t is clamped.
+  EXPECT_DOUBLE_EQ(InterpolateMixture(a, b, 2.0)[1].weight, 2.0);
+  EXPECT_DOUBLE_EQ(InterpolateMixture(a, b, -1.0)[0].weight, 1.0);
+}
+
+TEST(MixtureTest, DriftEndpointsMatchPureDistributions) {
+  // A degenerate drift (from == to, single component) reproduces the plain
+  // generator stream exactly.
+  Rng drift_rng(11);
+  Rng plain_rng(11);
+  const std::vector<MixtureComponent> beta = {{DatasetId::kBeta, 1.0}};
+  EXPECT_EQ(GenerateDriftDataset(beta, beta, 400, drift_rng),
+            GenerateDataset(DatasetId::kBeta, 400, plain_rng));
+}
+
+TEST(MixtureTest, DriftShiftsMassTowardsTargetMixture) {
+  // Drifting beta -> taxi: the first quarter of the stream should look
+  // like beta (mass concentrated right of 0.5), the last quarter like taxi
+  // (bimodal with substantial mass below 0.5).
+  Rng rng(12);
+  const std::vector<MixtureComponent> from = {{DatasetId::kBeta, 1.0}};
+  const std::vector<MixtureComponent> to = {{DatasetId::kTaxi, 1.0}};
+  const size_t n = 40000;
+  const std::vector<double> values = GenerateDriftDataset(from, to, n, rng);
+  const auto mass_below_half = [&](size_t begin, size_t end) {
+    size_t below = 0;
+    for (size_t i = begin; i < end; ++i) below += values[i] < 0.5 ? 1 : 0;
+    return static_cast<double>(below) / static_cast<double>(end - begin);
+  };
+  const double early = mass_below_half(0, n / 4);
+  const double late = mass_below_half(3 * n / 4, n);
+  // Beta(5,2) has ~12% of its mass below 0.5; taxi has ~40%.
+  EXPECT_LT(early, 0.2);
+  EXPECT_GT(late, early + 0.1);
+}
+
 }  // namespace
 }  // namespace numdist

@@ -1,0 +1,213 @@
+// Statistical conformance tier (ctest label: statistical): every randomized
+// mechanism's empirical report distribution is tested against its analytic
+// p/q channel with explicit false-positive budgets — chi-square GOF over
+// report categories, exact binomial tests on channel probabilities, and
+// DKW-based KS acceptance for the continuous Square Wave.
+//
+// Tolerance derivations and the budget accounting are documented in
+// docs/STATISTICAL_TESTING.md. Per test the total false-positive budget is
+// stats::kTestAlpha = 1e-6, Bonferroni-split across the test's assertions;
+// seeds are fixed, so runs are deterministic — the statistics guarantee the
+// fixed seed is overwhelmingly likely to be an unremarkable one, i.e. the
+// assertions hold for ~every seed, not for one lucky seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/square_wave.h"
+#include "fo/grr.h"
+#include "fo/hash.h"
+#include "fo/hrr.h"
+#include "fo/olh.h"
+#include "fo/oue.h"
+#include "stats/conformance.h"
+
+namespace numdist {
+namespace {
+
+using stats::BinomialTwoSidedP;
+using stats::ChiSquareGof;
+using stats::DkwEpsilon;
+using stats::GofResult;
+using stats::kTestAlpha;
+using stats::PerAssertionAlpha;
+using stats::SampleBudget;
+
+TEST(MechanismConformanceTest, GrrChannelMatchesAnalyticPq) {
+  const double epsilon = 1.0;
+  const size_t domain = 16;
+  const uint32_t v = 3;
+  const uint64_t n = SampleBudget(200000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 2);
+
+  const Grr grr = Grr::Make(epsilon, domain).ValueOrDie();
+  Rng rng(0x6121);
+  std::vector<uint64_t> observed(domain, 0);
+  for (uint64_t i = 0; i < n; ++i) ++observed[grr.Perturb(v, rng)];
+
+  // Full report distribution: p at the true value, q elsewhere.
+  std::vector<double> expected(domain, grr.q());
+  expected[v] = grr.p();
+  const GofResult gof = ChiSquareGof(observed, expected).ValueOrDie();
+  EXPECT_GT(gof.p_value, alpha) << "chi-square statistic " << gof.statistic;
+
+  // Truth-retention probability, exactly binomial.
+  EXPECT_GT(BinomialTwoSidedP(observed[v], n, grr.p()), alpha);
+}
+
+TEST(MechanismConformanceTest, OlhSupportProbabilitiesAreExact) {
+  const double epsilon = 1.0;
+  const size_t domain = 32;
+  const uint32_t v = 7;
+  const uint32_t w = 20;  // arbitrary non-true value
+  const uint64_t n = SampleBudget(120000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 2);
+
+  const Olh olh = Olh::Make(epsilon, domain).ValueOrDie();
+  Rng rng(0x01b4);
+  uint64_t support_true = 0;
+  uint64_t support_other = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const OlhReport report = olh.Perturb(v, rng);
+    if (report.y == OlhHash(report.seed, v, olh.g())) ++support_true;
+    if (report.y == OlhHash(report.seed, w, olh.g())) ++support_other;
+  }
+
+  // The true value supports its report with the GRR retain probability p on
+  // the hashed domain; any other value with probability exactly 1/g
+  // (averaging hash collisions against GRR flips — see
+  // docs/STATISTICAL_TESTING.md §2).
+  EXPECT_GT(BinomialTwoSidedP(support_true, n, olh.p()), alpha);
+  EXPECT_GT(BinomialTwoSidedP(support_other, n, 1.0 / olh.g()), alpha);
+}
+
+TEST(MechanismConformanceTest, OueBitFlipProbabilitiesAreExact) {
+  const double epsilon = 1.0;
+  const size_t domain = 16;
+  const uint32_t v = 5;
+  const uint64_t n = SampleBudget(60000);
+  // One exact binomial per bit position.
+  const double alpha = PerAssertionAlpha(kTestAlpha, domain);
+
+  const Oue oue = Oue::Make(epsilon, domain).ValueOrDie();
+  Rng rng(0x07e5);
+  std::vector<uint64_t> ones(domain, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    const std::vector<uint8_t> bits = oue.Perturb(v, rng);
+    for (size_t j = 0; j < domain; ++j) ones[j] += bits[j];
+  }
+
+  for (size_t j = 0; j < domain; ++j) {
+    const double p = j == v ? oue.p() : oue.q();
+    EXPECT_GT(BinomialTwoSidedP(ones[j], n, p), alpha) << "bit " << j;
+  }
+}
+
+TEST(MechanismConformanceTest, HrrColumnAndFlipChannels) {
+  const double epsilon = 1.0;
+  const size_t domain = 16;
+  const uint32_t v = 9;
+  const uint64_t n = SampleBudget(150000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 2);
+
+  const Hrr hrr = Hrr::Make(epsilon, domain).ValueOrDie();
+  Rng rng(0x4242);
+  std::vector<uint64_t> column_counts(hrr.order(), 0);
+  uint64_t unflipped = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const HrrReport report = hrr.Perturb(v, rng);
+    ++column_counts[report.col];
+    if (report.bit == HadamardEntry(v, report.col)) ++unflipped;
+  }
+
+  // The sampled column is uniform over the Hadamard order.
+  const std::vector<double> uniform(hrr.order(), 1.0 / hrr.order());
+  const GofResult gof = ChiSquareGof(column_counts, uniform).ValueOrDie();
+  EXPECT_GT(gof.p_value, alpha) << "chi-square statistic " << gof.statistic;
+
+  // The entry survives unflipped with probability exactly p.
+  EXPECT_GT(BinomialTwoSidedP(unflipped, n, hrr.p()), alpha);
+}
+
+TEST(MechanismConformanceTest, SquareWaveContinuousChannel) {
+  const double epsilon = 1.0;
+  const double v = 0.3;
+  const uint64_t n = SampleBudget(150000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 3);
+
+  const SquareWave sw = SquareWave::Make(epsilon).ValueOrDie();
+  const double b = sw.b();
+  Rng rng(0x5157);
+  std::vector<double> reports;
+  reports.reserve(n);
+  uint64_t in_window = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double r = sw.Perturb(v, rng);
+    ASSERT_GE(r, -b - 1e-12);
+    ASSERT_LE(r, 1.0 + b + 1e-12);
+    reports.push_back(r);
+    if (r >= v - b && r <= v + b) ++in_window;
+  }
+
+  // (1) The wave carries total mass 2b * p.
+  EXPECT_GT(BinomialTwoSidedP(in_window, n, 2.0 * b * sw.p()), alpha);
+
+  // (2) The full empirical CDF stays within the DKW radius of the analytic
+  // CDF F(t) = q (t + b) + (p - q) overlap([v-b, v+b], (-inf, t]).
+  const auto cdf = [&](double t) {
+    const double overlap = std::clamp(t - (v - b), 0.0, 2.0 * b);
+    return sw.q() * (t + b) + (sw.p() - sw.q()) * overlap;
+  };
+  std::sort(reports.begin(), reports.end());
+  double ks = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double f = cdf(reports[i]);
+    ks = std::max(ks, std::fabs(f - static_cast<double>(i) / n));
+    ks = std::max(ks, std::fabs(f - static_cast<double>(i + 1) / n));
+  }
+  EXPECT_LE(ks, DkwEpsilon(n, alpha));
+
+  // (3) Bucketized view: chi-square against exact per-bucket masses.
+  const size_t cells = 64;
+  std::vector<uint64_t> observed(cells, 0);
+  const double span = 1.0 + 2.0 * b;
+  for (double r : reports) {
+    const double t = std::clamp((r + b) / span, 0.0, 1.0);
+    observed[std::min<size_t>(static_cast<size_t>(t * cells), cells - 1)]++;
+  }
+  std::vector<double> expected(cells);
+  for (size_t j = 0; j < cells; ++j) {
+    const double lo = -b + span * static_cast<double>(j) / cells;
+    const double hi = -b + span * static_cast<double>(j + 1) / cells;
+    expected[j] = cdf(hi) - cdf(lo);
+  }
+  const GofResult gof = ChiSquareGof(observed, expected).ValueOrDie();
+  EXPECT_GT(gof.p_value, alpha) << "chi-square statistic " << gof.statistic;
+}
+
+TEST(MechanismConformanceTest, DiscreteSquareWaveChannel) {
+  const double epsilon = 1.0;
+  const size_t d = 16;
+  const uint32_t v = 11;
+  const uint64_t n = SampleBudget(120000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 1);
+
+  const DiscreteSquareWave dsw = DiscreteSquareWave::Make(epsilon, d)
+                                     .ValueOrDie();
+  Rng rng(0xd51);
+  std::vector<uint64_t> observed(dsw.output_domain(), 0);
+  for (uint64_t i = 0; i < n; ++i) ++observed[dsw.Perturb(v, rng)];
+
+  std::vector<double> expected(dsw.output_domain());
+  for (uint32_t j = 0; j < dsw.output_domain(); ++j) {
+    expected[j] = dsw.Probability(v, j);
+  }
+  const GofResult gof = ChiSquareGof(observed, expected).ValueOrDie();
+  EXPECT_GT(gof.p_value, alpha) << "chi-square statistic " << gof.statistic;
+}
+
+}  // namespace
+}  // namespace numdist

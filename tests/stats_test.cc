@@ -1,0 +1,165 @@
+// Unit tests for the statistical conformance library itself: special
+// function accuracy against closed forms and reference values, and the
+// acceptance-bound helpers. Tolerance derivations for the statistical test
+// tier that builds on these live in docs/STATISTICAL_TESTING.md.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "stats/conformance.h"
+#include "stats/special.h"
+
+namespace numdist {
+namespace stats {
+namespace {
+
+TEST(SpecialTest, GammaPAndQAreComplementary) {
+  for (double a : {0.5, 1.0, 2.5, 8.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 80.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-13);
+    }
+  }
+}
+
+TEST(SpecialTest, ChiSquareDf2IsExponential) {
+  // With 2 degrees of freedom the chi-square survival is exactly exp(-x/2).
+  for (double x : {0.1, 1.0, 4.0, 20.0, 60.0}) {
+    EXPECT_NEAR(ChiSquareSurvival(2.0, x), std::exp(-0.5 * x),
+                1e-12 * std::exp(-0.5 * x) + 1e-300);
+  }
+}
+
+TEST(SpecialTest, ChiSquareReferenceQuantiles) {
+  // Classic critical values: P[X >= x] = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(1.0, 3.8414588206941254), 0.05, 1e-10);
+  EXPECT_NEAR(ChiSquareSurvival(10.0, 18.307038053275146), 0.05, 1e-10);
+  // Deep tail stays accurate (needed for 1e-7-level alphas).
+  EXPECT_NEAR(ChiSquareSurvival(4.0, 60.0) /
+                  (std::exp(-30.0) * (1.0 + 30.0)),
+              1.0, 1e-10);  // df=4: Q = e^{-x/2} (1 + x/2)
+}
+
+TEST(SpecialTest, RegularizedBetaClosedForms) {
+  // I_x(a, 1) = x^a and I_x(1, b) = 1 - (1-x)^b.
+  for (double x : {0.05, 0.3, 0.7, 0.95}) {
+    EXPECT_NEAR(RegularizedBeta(3.0, 1.0, x), std::pow(x, 3.0), 1e-13);
+    EXPECT_NEAR(RegularizedBeta(1.0, 4.0, x), 1.0 - std::pow(1.0 - x, 4.0),
+                1e-13);
+  }
+  EXPECT_DOUBLE_EQ(RegularizedBeta(2.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(2.0, 2.0, 1.0), 1.0);
+}
+
+TEST(SpecialTest, BinomialCdfMatchesDirectSummation) {
+  const uint64_t n = 25;
+  const double p = 0.3;
+  double cum = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    cum += std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                    std::lgamma(n - k + 1.0) +
+                    k * std::log(p) + (n - k) * std::log1p(-p));
+    EXPECT_NEAR(BinomialCdf(k, n, p), cum, 1e-12);
+    EXPECT_NEAR(BinomialSurvival(k + 1, n, p), 1.0 - cum, 1e-12);
+  }
+}
+
+TEST(SpecialTest, BinomialDeepTail) {
+  // P[X >= 100] for Binomial(100, 1/2) is exactly 2^-100.
+  const double exact = std::ldexp(1.0, -100);
+  EXPECT_NEAR(BinomialSurvival(100, 100, 0.5) / exact, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(BinomialSurvival(0, 100, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialSurvival(101, 100, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(100, 100, 0.5), 1.0);
+}
+
+TEST(ConformanceTest, ChiSquareGofAcceptsExactFit) {
+  // Observed counts exactly proportional to the expectation: statistic 0.
+  const std::vector<uint64_t> observed = {250, 250, 250, 250};
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  const GofResult result = ChiSquareGof(observed, probs).ValueOrDie();
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+  EXPECT_EQ(result.df, 3u);
+}
+
+TEST(ConformanceTest, ChiSquareGofRejectsGrossMisfit) {
+  const std::vector<uint64_t> observed = {900, 50, 25, 25};
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  const GofResult result = ChiSquareGof(observed, probs).ValueOrDie();
+  EXPECT_LT(result.p_value, 1e-12);
+}
+
+TEST(ConformanceTest, ChiSquareGofPoolsSparseCells) {
+  // Two tiny-expectation cells (expected 0.5 each at N=1000) must pool into
+  // one rest cell: 3 surviving cells + 1 pooled = df 3.
+  const std::vector<uint64_t> observed = {333, 333, 332, 1, 1};
+  const std::vector<double> probs = {0.333, 0.333, 0.333, 0.0005, 0.0005};
+  const GofResult result = ChiSquareGof(observed, probs).ValueOrDie();
+  EXPECT_EQ(result.pooled_cells, 4u);
+  EXPECT_EQ(result.df, 3u);
+  EXPECT_GT(result.p_value, 1e-6);
+}
+
+TEST(ConformanceTest, ChiSquareGofImpossibleMassIsCertainRejection) {
+  const std::vector<uint64_t> observed = {500, 490, 10};
+  const std::vector<double> probs = {0.5, 0.5, 0.0};
+  const GofResult result = ChiSquareGof(observed, probs).ValueOrDie();
+  EXPECT_EQ(result.p_value, 0.0);
+}
+
+TEST(ConformanceTest, ChiSquareGofValidatesInput) {
+  EXPECT_FALSE(ChiSquareGof({1, 2}, {0.5}).ok());
+  EXPECT_FALSE(ChiSquareGof({0, 0}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(ChiSquareGof({1, 2}, {0.9, 0.2}).ok());
+}
+
+TEST(ConformanceTest, BinomialTwoSidedPBehaves) {
+  // Dead-center observation: no evidence against p.
+  EXPECT_DOUBLE_EQ(BinomialTwoSidedP(500, 1000, 0.5), 1.0);
+  // 10-sigma deviation: overwhelming evidence.
+  EXPECT_LT(BinomialTwoSidedP(658, 1000, 0.5), 1e-20);
+  EXPECT_LT(BinomialTwoSidedP(342, 1000, 0.5), 1e-20);
+}
+
+TEST(ConformanceTest, DkwEpsilonFormula) {
+  EXPECT_NEAR(DkwEpsilon(10000, 0.05),
+              std::sqrt(std::log(2.0 / 0.05) / 20000.0), 1e-15);
+  // Radius shrinks with n, grows as alpha tightens.
+  EXPECT_LT(DkwEpsilon(40000, 1e-7), DkwEpsilon(10000, 1e-7));
+  EXPECT_GT(DkwEpsilon(10000, 1e-9), DkwEpsilon(10000, 1e-6));
+}
+
+TEST(ConformanceTest, HistogramKsAgainstExpected) {
+  const std::vector<uint64_t> observed = {10, 20, 30, 40};
+  const std::vector<double> exact = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(HistogramKs(observed, exact), 0.0, 1e-15);
+  const std::vector<double> shifted = {0.2, 0.2, 0.3, 0.3};
+  EXPECT_NEAR(HistogramKs(observed, shifted), 0.1, 1e-12);
+}
+
+TEST(ConformanceTest, AlphaHelpers) {
+  EXPECT_DOUBLE_EQ(PerAssertionAlpha(1e-6, 10), 1e-7);
+  EXPECT_DOUBLE_EQ(PerAssertionAlpha(1e-6, 0), 1e-6);
+  EXPECT_NEAR(EmAgreementRadius(10000, 1e-3, 1e-3, 5.0),
+              5.0 * std::sqrt(2.0 * 2e-3 / 10000.0), 1e-15);
+}
+
+TEST(ConformanceTest, SampleBudgetHonorsEnvKnob) {
+  unsetenv("NUMDIST_STAT_SAMPLE_SCALE");
+  EXPECT_EQ(SampleBudget(100000), 100000u);
+  setenv("NUMDIST_STAT_SAMPLE_SCALE", "0.25", 1);
+  EXPECT_EQ(SampleBudget(100000), 25000u);
+  // The floor keeps tests meaningful even under aggressive scaling.
+  EXPECT_EQ(SampleBudget(100000, 50000), 50000u);
+  // A floor above the full budget never inflates it.
+  EXPECT_EQ(SampleBudget(1000, 2000), 1000u);
+  setenv("NUMDIST_STAT_SAMPLE_SCALE", "7.0", 1);  // out of range: ignored
+  EXPECT_EQ(SampleBudget(100000), 100000u);
+  unsetenv("NUMDIST_STAT_SAMPLE_SCALE");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace numdist

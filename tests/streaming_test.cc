@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/histogram.h"
 #include "metrics/distance.h"
 
@@ -95,7 +97,96 @@ TEST(StreamingAggregatorTest, MergeRejectsMismatchedShards) {
   SwEstimatorOptions other = TestOptions();
   other.d = 32;
   StreamingAggregator b = StreamingAggregator::Make(other).ValueOrDie();
-  EXPECT_FALSE(a.Merge(b).ok());
+  const Status status = a.Merge(b);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The failed merge must leave the target untouched.
+  EXPECT_EQ(a.count(), 0u);
+
+  // Mismatched output granularity at equal d is rejected too.
+  SwEstimatorOptions wide = TestOptions();
+  wide.d_out = 2 * wide.d;
+  StreamingAggregator c = StreamingAggregator::Make(wide).ValueOrDie();
+  EXPECT_EQ(a.Merge(c).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingAggregatorTest, MergingEmptyShardsStaysEmpty) {
+  // Merging zero-report shards is a no-op and Snapshot still fails cleanly.
+  StreamingAggregator a = StreamingAggregator::Make(TestOptions()).ValueOrDie();
+  StreamingAggregator b = StreamingAggregator::Make(TestOptions()).ValueOrDie();
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Snapshot().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingAggregatorTest, MergeThenSnapshotBitForBitEqualsSingle) {
+  // Stronger than ShardsMergeToSameAnswer: the merged-shard snapshot must
+  // be byte-identical to the single-aggregator snapshot, not just within
+  // ULP tolerance — counts merge by exact integer addition, so the EM input
+  // (and hence its whole trajectory) is the same object.
+  const SwEstimatorOptions options = TestOptions();
+  StreamingAggregator all = StreamingAggregator::Make(options).ValueOrDie();
+  std::vector<StreamingAggregator> shards;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(StreamingAggregator::Make(options).ValueOrDie());
+  }
+  Rng rng(17);
+  for (int i = 0; i < 6000; ++i) {
+    const double report = all.estimator().PerturbOne(rng.Beta(5.0, 2.0), rng);
+    all.Accept(report);
+    shards[i % 3].Accept(report);
+  }
+  StreamingAggregator merged = StreamingAggregator::Make(options).ValueOrDie();
+  for (const StreamingAggregator& shard : shards) {
+    ASSERT_TRUE(merged.Merge(shard).ok());
+  }
+  ASSERT_EQ(merged.counts(), all.counts());
+
+  const EmResult from_merge = merged.Snapshot().ValueOrDie();
+  const EmResult direct = all.Snapshot().ValueOrDie();
+  ASSERT_EQ(from_merge.estimate.size(), direct.estimate.size());
+  EXPECT_EQ(std::memcmp(from_merge.estimate.data(), direct.estimate.data(),
+                        direct.estimate.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(from_merge.iterations, direct.iterations);
+  EXPECT_EQ(from_merge.log_likelihood, direct.log_likelihood);
+}
+
+TEST(StreamingAggregatorTest, ResetDropsCountsAndAllowsReuse) {
+  const SwEstimatorOptions options = TestOptions();
+  StreamingAggregator agg = StreamingAggregator::Make(options).ValueOrDie();
+  StreamingAggregator shard = StreamingAggregator::Make(options).ValueOrDie();
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    shard.Accept(shard.estimator().PerturbOne(rng.Uniform(), rng));
+  }
+  ASSERT_TRUE(agg.Merge(shard).ok());
+  EXPECT_EQ(agg.count(), 500u);
+  agg.Reset();
+  EXPECT_EQ(agg.count(), 0u);
+  EXPECT_EQ(agg.Snapshot().status().code(), StatusCode::kFailedPrecondition);
+  // A reset merge target reproduces a fresh aggregator's behavior exactly.
+  ASSERT_TRUE(agg.Merge(shard).ok());
+  EXPECT_EQ(agg.counts(), shard.counts());
+}
+
+TEST(StreamingAggregatorTest, AcceptMatchesAggregateForBothPipelines) {
+  // The O(1) per-report ingestion (SwEstimator::OutputBucketOf) must place
+  // every report in exactly the bucket the batch Aggregate path uses.
+  for (const auto pipeline :
+       {SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize,
+        SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize}) {
+    SwEstimatorOptions options = TestOptions();
+    options.pipeline = pipeline;
+    StreamingAggregator agg = StreamingAggregator::Make(options).ValueOrDie();
+    Rng rng(23);
+    std::vector<double> reports;
+    for (int i = 0; i < 5000; ++i) {
+      reports.push_back(agg.estimator().PerturbOne(rng.Uniform(), rng));
+      agg.Accept(reports.back());
+    }
+    EXPECT_EQ(agg.counts(), agg.estimator().Aggregate(reports));
+  }
 }
 
 TEST(StreamingAggregatorTest, SnapshotQualityImprovesWithData) {
