@@ -187,6 +187,18 @@ std::vector<double> GenerateDriftDataset(
   return values;
 }
 
+std::vector<double> GoldenRatioValues(size_t n) {
+  std::vector<double> values;
+  values.reserve(n);
+  double x = 0.381966011250105;  // 2 - golden ratio
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.6180339887498949;  // golden ratio - 1 (the Weyl increment)
+    x -= static_cast<double>(static_cast<long long>(x));
+    values.push_back(x);
+  }
+  return values;
+}
+
 bool ParseDatasetId(const std::string& name, DatasetId* out) {
   for (const DatasetSpec& spec : kSpecs) {
     if (spec.name == name) {

@@ -95,4 +95,10 @@ std::vector<double> GenerateDriftDataset(
 /// returns true on success.
 bool ParseDatasetId(const std::string& name, DatasetId* out);
 
+/// Deterministic low-discrepancy values in (0, 1): the golden-ratio
+/// (Weyl) sequence. Seedless and platform-identical — the fixture input
+/// for codec round-trip tests and wire benches, where bit-reproducible
+/// inputs matter more than randomness.
+std::vector<double> GoldenRatioValues(size_t n);
+
 }  // namespace numdist

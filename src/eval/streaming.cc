@@ -44,6 +44,32 @@ Status StreamingAggregator::Merge(const StreamingAggregator& other) {
   return Status::OK();
 }
 
+Status StreamingAggregator::MergeCounts(const std::vector<uint64_t>& counts,
+                                        uint64_t n) {
+  if (counts.size() != counts_.size()) {
+    return Status::InvalidArgument(
+        "StreamingAggregator: merged bucket counts differ in size");
+  }
+  // Every ingested report lands in exactly one bucket, so the counts must
+  // sum to the report count — rejects corrupted but well-shaped state.
+  // Overflow-checked so counts that wrap mod 2^64 back onto n don't pass.
+  uint64_t total = 0;
+  for (uint64_t c : counts) {
+    if (c > UINT64_MAX - total) {
+      return Status::InvalidArgument(
+          "StreamingAggregator: merged counts overflow");
+    }
+    total += c;
+  }
+  if (total != n) {
+    return Status::InvalidArgument(
+        "StreamingAggregator: merged counts do not sum to the report count");
+  }
+  for (size_t j = 0; j < counts_.size(); ++j) counts_[j] += counts[j];
+  count_ += n;
+  return Status::OK();
+}
+
 void StreamingAggregator::Reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

@@ -39,6 +39,12 @@ class StreamingAggregator {
   /// created with identical options (checked: same bucket count).
   Status Merge(const StreamingAggregator& other);
 
+  /// Merges raw per-bucket counts (a remote shard's state that crossed a
+  /// process boundary as a wire snapshot frame — see wire/wire.h). The
+  /// shape must match and the counts must sum to `n`; count addition is
+  /// exact, so this is bit-identical to Merge on the source shard.
+  Status MergeCounts(const std::vector<uint64_t>& counts, uint64_t n);
+
   /// Drops all ingested counts, keeping the (expensive to build) estimator.
   /// Lets a merge target be reused across rounds instead of reconstructing
   /// the transition model each time (see scenario/scenario.cc checkpoints).

@@ -45,6 +45,38 @@ class CfoAccumulator final : public Accumulator {
   uint64_t num_reports() const override { return sketch_.n; }
   const FoSketch& sketch() const { return sketch_; }
 
+  AccumulatorState ExportState() const override {
+    AccumulatorState state;
+    state.num_reports = sketch_.n;
+    state.tables.push_back(AccumulatorTable{sketch_.counts, sketch_.n});
+    return state;
+  }
+
+  Status ImportState(const AccumulatorState& state) override {
+    if (state.tables.size() != 1 ||
+        state.tables[0].counts.size() != sketch_.counts.size()) {
+      return Status::InvalidArgument("CFO: accumulator state shape mismatch");
+    }
+    if (state.tables[0].n != state.num_reports) {
+      return Status::InvalidArgument(
+          "CFO: inconsistent report counts in accumulator state");
+    }
+    // Integrity beyond shape: every CFO sketch cell is a per-user 0/1
+    // contribution summed over users (GRR category counts, OLH support
+    // counts, OUE ones counts), so each count must sit in [0, n]. Rejects
+    // poisoned-but-well-shaped state the same way the SW and hierarchy
+    // imports do.
+    for (int64_t c : state.tables[0].counts) {
+      if (c < 0 || static_cast<uint64_t>(c) > state.num_reports) {
+        return Status::InvalidArgument(
+            "CFO: sketch count outside [0, n] in accumulator state");
+      }
+    }
+    sketch_.counts = state.tables[0].counts;
+    sketch_.n = state.num_reports;
+    return Status::OK();
+  }
+
  private:
   const BatchedFo* fo_;
   FoSketch sketch_;
@@ -74,6 +106,85 @@ class CfoBinningProtocol final : public Protocol {
     auto chunk = std::make_unique<CfoChunk>();
     chunk->domain = fo_->domain();
     fo_->PerturbBatch(binned, rng, &chunk->chunk);
+    return std::unique_ptr<ReportChunk>(std::move(chunk));
+  }
+
+  // Wire payload (docs/WIRE_FORMAT.md): u32 oracle domain, u64 user count,
+  // u64 report-pair count, then (u64 seed, u32 value) per report, then a
+  // u64 OUE bit-vector length and the raw bit bytes. GRR/OLH/adaptive
+  // chunks carry report pairs and no bits; OUE chunks carry bits only.
+  Status EncodeChunkPayload(const ReportChunk& chunk,
+                            ByteWriter* out) const override {
+    const auto* cfo_chunk = dynamic_cast<const CfoChunk*>(&chunk);
+    if (cfo_chunk == nullptr) {
+      return Status::InvalidArgument("CFO: chunk from a different protocol");
+    }
+    out->PutU32(static_cast<uint32_t>(cfo_chunk->domain));
+    out->PutU64(cfo_chunk->chunk.n);
+    out->PutU64(cfo_chunk->chunk.reports.size());
+    for (const FoReport& r : cfo_chunk->chunk.reports) {
+      out->PutU64(r.seed);
+      out->PutU32(r.value);
+    }
+    out->PutU64(cfo_chunk->chunk.bits.size());
+    if (!cfo_chunk->chunk.bits.empty()) {
+      out->PutBytes(cfo_chunk->chunk.bits.data(), cfo_chunk->chunk.bits.size());
+    }
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<ReportChunk>> DecodeChunkPayload(
+      ByteReader* in) const override {
+    NUMDIST_ASSIGN_OR_RETURN(const uint32_t domain, in->U32());
+    if (domain != fo_->domain()) {
+      return Status::InvalidArgument(
+          "CFO: chunk domain does not match this protocol");
+    }
+    NUMDIST_ASSIGN_OR_RETURN(const uint64_t n, in->U64());
+    NUMDIST_ASSIGN_OR_RETURN(const uint64_t num_pairs, in->U64());
+    constexpr size_t kPairBytes = sizeof(uint64_t) + sizeof(uint32_t);
+    if (num_pairs > in->remaining() / kPairBytes) {
+      return Status::OutOfRange(
+          "CFO: chunk report count exceeds the remaining payload");
+    }
+    auto chunk = std::make_unique<CfoChunk>();
+    chunk->domain = domain;
+    chunk->chunk.n = n;
+    chunk->chunk.reports.reserve(num_pairs);
+    for (uint64_t i = 0; i < num_pairs; ++i) {
+      FoReport report;
+      NUMDIST_ASSIGN_OR_RETURN(report.seed, in->U64());
+      NUMDIST_ASSIGN_OR_RETURN(report.value, in->U32());
+      chunk->chunk.reports.push_back(report);
+    }
+    NUMDIST_ASSIGN_OR_RETURN(const uint64_t bits_len, in->U64());
+    if (bits_len > in->remaining()) {
+      return Status::OutOfRange(
+          "CFO: chunk bit-vector length exceeds the remaining payload");
+    }
+    chunk->chunk.bits.resize(bits_len);
+    if (bits_len > 0) {
+      NUMDIST_RETURN_NOT_OK(in->Bytes(chunk->chunk.bits.data(), bits_len));
+    }
+    // Cross-field consistency: a chunk is either report pairs (GRR/OLH,
+    // one per user) or flattened OUE bit vectors (domain bits per user).
+    if (!chunk->chunk.reports.empty() && !chunk->chunk.bits.empty()) {
+      return Status::InvalidArgument(
+          "CFO: chunk carries both report pairs and OUE bits");
+    }
+    if (!chunk->chunk.reports.empty() && chunk->chunk.reports.size() != n) {
+      return Status::InvalidArgument(
+          "CFO: chunk report count does not match its user count");
+    }
+    if (!chunk->chunk.bits.empty() &&
+        (chunk->chunk.bits.size() % domain != 0 ||
+         chunk->chunk.bits.size() / domain != n)) {
+      return Status::InvalidArgument(
+          "CFO: chunk bit-vector size does not match its user count");
+    }
+    if (chunk->chunk.reports.empty() && chunk->chunk.bits.empty() && n != 0) {
+      return Status::InvalidArgument("CFO: non-empty chunk with no reports");
+    }
     return std::unique_ptr<ReportChunk>(std::move(chunk));
   }
 

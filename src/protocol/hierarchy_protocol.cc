@@ -1,5 +1,6 @@
 #include "protocol/hierarchy_protocol.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -26,8 +27,14 @@ class LevelChunk final : public ReportChunk {
 template <typename Report, typename Owner>
 class LevelAccumulator final : public Accumulator {
  public:
-  LevelAccumulator(const Owner* owner, std::vector<FoSketch> sketches)
-      : owner_(owner), sketches_(std::move(sketches)) {}
+  /// `signed_counts`: HaarHRR level tables are signed Hadamard
+  /// correlations in [-n, n]; HH level tables are categorical FO counts
+  /// in [0, n]. ImportState validates imported state against the bound.
+  LevelAccumulator(const Owner* owner, std::vector<FoSketch> sketches,
+                   bool signed_counts)
+      : owner_(owner),
+        sketches_(std::move(sketches)),
+        signed_counts_(signed_counts) {}
 
   Status Absorb(const ReportChunk& chunk) override {
     const auto* level_chunk = dynamic_cast<const LevelChunk<Report>*>(&chunk);
@@ -71,11 +78,154 @@ class LevelAccumulator final : public Accumulator {
   uint64_t num_reports() const override { return n_; }
   const std::vector<FoSketch>& sketches() const { return sketches_; }
 
+  AccumulatorState ExportState() const override {
+    AccumulatorState state;
+    state.num_reports = n_;
+    state.tables.reserve(sketches_.size());
+    for (const FoSketch& sketch : sketches_) {
+      state.tables.push_back(AccumulatorTable{sketch.counts, sketch.n});
+    }
+    return state;
+  }
+
+  Status ImportState(const AccumulatorState& state) override {
+    if (state.tables.size() != sketches_.size()) {
+      return Status::InvalidArgument(
+          "hierarchy: accumulator state level count mismatch");
+    }
+    uint64_t total = 0;
+    for (size_t t = 0; t < sketches_.size(); ++t) {
+      if (state.tables[t].counts.size() != sketches_[t].counts.size()) {
+        return Status::InvalidArgument(
+            "hierarchy: accumulator state sketch shape mismatch");
+      }
+      // Overflow-checked: per-level counts crafted to wrap mod 2^64 back
+      // onto the total must not pass the consistency check below.
+      if (state.tables[t].n > UINT64_MAX - total) {
+        return Status::InvalidArgument(
+            "hierarchy: per-level report counts overflow");
+      }
+      total += state.tables[t].n;
+    }
+    // Every absorbed report lands in exactly one level sketch, so the
+    // per-level counts must sum to the total — rejects corrupted state
+    // that happens to be well-shaped.
+    if (total != state.num_reports) {
+      return Status::InvalidArgument(
+          "hierarchy: per-level report counts do not sum to the total");
+    }
+    // Per-cell bounds: each report contributes at most one unit (signed
+    // for Haar correlations, unsigned for HH category/support counts) to
+    // each cell of its level, so a count outside the level's [lo, n] band
+    // is corruption, not data — same poisoned-state defense as the SW and
+    // CFO imports.
+    for (const AccumulatorTable& table : state.tables) {
+      const int64_t hi = static_cast<int64_t>(
+          std::min<uint64_t>(table.n, static_cast<uint64_t>(INT64_MAX)));
+      const int64_t lo = signed_counts_ ? -hi : 0;
+      for (int64_t c : table.counts) {
+        if (c < lo || c > hi) {
+          return Status::InvalidArgument(
+              "hierarchy: sketch count outside the level's valid range");
+        }
+      }
+    }
+    for (size_t t = 0; t < sketches_.size(); ++t) {
+      sketches_[t].counts = state.tables[t].counts;
+      sketches_[t].n = state.tables[t].n;
+    }
+    n_ = state.num_reports;
+    return Status::OK();
+  }
+
  private:
   const Owner* owner_;
   std::vector<FoSketch> sketches_;
+  bool signed_counts_;
   uint64_t n_ = 0;
 };
+
+// Per-report wire layouts (docs/WIRE_FORMAT.md). HH reports are a tree
+// level plus a categorical FO report; HaarHRR reports are an internal level
+// plus a (Hadamard column, ±1 bit) pair — the sign travels as 0/1.
+constexpr size_t kHhReportWireBytes =
+    sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint32_t);
+constexpr size_t kHaarReportWireBytes =
+    sizeof(uint32_t) + sizeof(uint32_t) + sizeof(uint8_t);
+
+size_t ReportWireBytes(const HhReport*) { return kHhReportWireBytes; }
+size_t ReportWireBytes(const HaarReport*) { return kHaarReportWireBytes; }
+
+void EncodeReport(const HhReport& r, ByteWriter* out) {
+  out->PutU32(r.level);
+  out->PutU64(r.report.seed);
+  out->PutU32(r.report.value);
+}
+
+Status DecodeReport(ByteReader* in, HhReport* r) {
+  NUMDIST_ASSIGN_OR_RETURN(r->level, in->U32());
+  NUMDIST_ASSIGN_OR_RETURN(r->report.seed, in->U64());
+  NUMDIST_ASSIGN_OR_RETURN(r->report.value, in->U32());
+  return Status::OK();
+}
+
+void EncodeReport(const HaarReport& r, ByteWriter* out) {
+  out->PutU32(r.level);
+  out->PutU32(r.report.col);
+  out->PutU8(r.report.bit > 0 ? 1 : 0);
+}
+
+Status DecodeReport(ByteReader* in, HaarReport* r) {
+  NUMDIST_ASSIGN_OR_RETURN(r->level, in->U32());
+  NUMDIST_ASSIGN_OR_RETURN(r->report.col, in->U32());
+  NUMDIST_ASSIGN_OR_RETURN(const uint8_t sign, in->U8());
+  if (sign > 1) {
+    return Status::InvalidArgument("HaarHRR: bad sign byte in chunk payload");
+  }
+  r->report.bit = sign == 1 ? 1 : -1;
+  return Status::OK();
+}
+
+// Chunk payload shared by both hierarchy families: u32 tree granularity,
+// u64 report count, then the per-report records.
+template <typename Report>
+Status EncodeLevelChunkPayload(const ReportChunk& chunk, ByteWriter* out,
+                               const char* family) {
+  const auto* level_chunk = dynamic_cast<const LevelChunk<Report>*>(&chunk);
+  if (level_chunk == nullptr) {
+    return Status::InvalidArgument(std::string(family) +
+                                   ": chunk from a different protocol");
+  }
+  out->PutU32(static_cast<uint32_t>(level_chunk->d));
+  out->PutU64(level_chunk->reports.size());
+  for (const Report& report : level_chunk->reports) EncodeReport(report, out);
+  return Status::OK();
+}
+
+template <typename Report>
+Result<std::unique_ptr<ReportChunk>> DecodeLevelChunkPayload(
+    ByteReader* in, size_t expected_d, const char* family) {
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t d, in->U32());
+  if (d != expected_d) {
+    return Status::InvalidArgument(
+        std::string(family) +
+        ": chunk tree granularity does not match this protocol");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const uint64_t count, in->U64());
+  if (count > in->remaining() / ReportWireBytes(
+                                    static_cast<const Report*>(nullptr))) {
+    return Status::OutOfRange(std::string(family) +
+                              ": chunk report count exceeds the remaining "
+                              "payload");
+  }
+  auto chunk = std::make_unique<LevelChunk<Report>>();
+  chunk->d = d;
+  chunk->reports.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    NUMDIST_RETURN_NOT_OK(DecodeReport(in, &chunk->reports[i]));
+  }
+  return std::unique_ptr<ReportChunk>(std::move(chunk));
+}
 
 // Client side, shared by both hierarchy families: bucketize raw values to
 // leaves and perturb them through the collection protocol.
@@ -116,12 +266,22 @@ class HhBatchedProtocol final : public Protocol {
 
   std::unique_ptr<Accumulator> MakeAccumulator() const override {
     return std::make_unique<LevelAccumulator<HhReport, HhProtocol>>(
-        &collection_, collection_.MakeSketches());
+        &collection_, collection_.MakeSketches(), /*signed_counts=*/false);
   }
 
   Result<std::unique_ptr<ReportChunk>> EncodePerturbBatch(
       std::span<const double> values, Rng& rng) const override {
     return EncodeLevelChunk<HhReport>(collection_, values, rng);
+  }
+
+  Status EncodeChunkPayload(const ReportChunk& chunk,
+                            ByteWriter* out) const override {
+    return EncodeLevelChunkPayload<HhReport>(chunk, out, "HH");
+  }
+
+  Result<std::unique_ptr<ReportChunk>> DecodeChunkPayload(
+      ByteReader* in) const override {
+    return DecodeLevelChunkPayload<HhReport>(in, collection_.tree().d(), "HH");
   }
 
   Result<MethodOutput> Reconstruct(const Accumulator& acc) const override {
@@ -168,12 +328,23 @@ class HaarHrrBatchedProtocol final : public Protocol {
 
   std::unique_ptr<Accumulator> MakeAccumulator() const override {
     return std::make_unique<LevelAccumulator<HaarReport, HaarHrrProtocol>>(
-        &collection_, collection_.MakeSketches());
+        &collection_, collection_.MakeSketches(), /*signed_counts=*/true);
   }
 
   Result<std::unique_ptr<ReportChunk>> EncodePerturbBatch(
       std::span<const double> values, Rng& rng) const override {
     return EncodeLevelChunk<HaarReport>(collection_, values, rng);
+  }
+
+  Status EncodeChunkPayload(const ReportChunk& chunk,
+                            ByteWriter* out) const override {
+    return EncodeLevelChunkPayload<HaarReport>(chunk, out, "HaarHRR");
+  }
+
+  Result<std::unique_ptr<ReportChunk>> DecodeChunkPayload(
+      ByteReader* in) const override {
+    return DecodeLevelChunkPayload<HaarReport>(in, collection_.tree().d(),
+                                               "HaarHRR");
   }
 
   Result<MethodOutput> Reconstruct(const Accumulator& acc) const override {

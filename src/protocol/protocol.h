@@ -29,10 +29,32 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/rng.h"
 
 namespace numdist {
+
+/// One count table of an AccumulatorState, plus the number of reports
+/// attributed to it. Single-table protocols (SW, CFO) use one entry; the
+/// hierarchy protocols keep one table per tree level, each with its own
+/// per-level report count (level groups normalize independently).
+struct AccumulatorTable {
+  std::vector<int64_t> counts;
+  uint64_t n = 0;
+};
+
+/// \brief Portable exact-integer snapshot of an Accumulator.
+///
+/// Every built-in accumulator is exact integer state, so exporting,
+/// shipping, and re-importing it is lossless: ImportState followed by Merge
+/// on another process reproduces the bit-identical aggregate the
+/// in-process path would have built. The wire layer (src/wire/) serializes
+/// this into versioned sketch frames.
+struct AccumulatorState {
+  std::vector<AccumulatorTable> tables;
+  uint64_t num_reports = 0;
+};
 
 /// What one protocol run produces.
 struct MethodOutput {
@@ -67,6 +89,15 @@ class Accumulator {
   virtual Status Merge(const Accumulator& other) = 0;
   /// Reports absorbed so far (across merges).
   virtual uint64_t num_reports() const = 0;
+  /// Exports the exact integer aggregation state for transport (see
+  /// AccumulatorState). Lossless for every built-in protocol.
+  virtual AccumulatorState ExportState() const = 0;
+  /// Replaces this accumulator's state with `state`. The shape (table count
+  /// and per-table sizes) must match this accumulator's family; mismatches
+  /// are InvalidArgument and leave the accumulator unchanged. Typically
+  /// called on a fresh accumulator when decoding a wire sketch frame,
+  /// which is then Merge()d into the coordinator's aggregate.
+  virtual Status ImportState(const AccumulatorState& state) = 0;
 };
 
 /// \brief A distribution-estimation protocol under the batched contract.
@@ -91,6 +122,19 @@ class Protocol {
   /// Server side: inverts the aggregate into the method output.
   /// Requires acc.num_reports() > 0.
   virtual Result<MethodOutput> Reconstruct(const Accumulator& acc) const = 0;
+
+  /// Serializes one of this protocol's chunks for wire transport. The
+  /// payload layout is family-specific and documented byte-by-byte in
+  /// docs/WIRE_FORMAT.md; framing, versioning, and method identification
+  /// are the wire layer's job (src/wire/), not the payload's.
+  virtual Status EncodeChunkPayload(const ReportChunk& chunk,
+                                    ByteWriter* out) const = 0;
+  /// Strictly decodes a chunk payload produced by EncodeChunkPayload.
+  /// Truncation and shape mismatches (wrong domain/granularity for this
+  /// protocol instance) are typed errors; the returned chunk behaves
+  /// exactly like a locally encoded one under Absorb.
+  virtual Result<std::unique_ptr<ReportChunk>> DecodeChunkPayload(
+      ByteReader* in) const = 0;
 };
 
 using ProtocolPtr = std::unique_ptr<Protocol>;

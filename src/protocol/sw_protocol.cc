@@ -1,5 +1,6 @@
 #include "protocol/sw_protocol.h"
 
+#include <cmath>
 #include <utility>
 
 namespace numdist {
@@ -61,6 +62,54 @@ class SwAccumulator final : public Accumulator {
   uint64_t num_reports() const override { return n_; }
   const std::vector<uint64_t>& counts() const { return counts_; }
 
+  AccumulatorState ExportState() const override {
+    AccumulatorState state;
+    state.num_reports = n_;
+    AccumulatorTable table;
+    table.n = n_;
+    table.counts.assign(counts_.begin(), counts_.end());
+    state.tables.push_back(std::move(table));
+    return state;
+  }
+
+  Status ImportState(const AccumulatorState& state) override {
+    if (state.tables.size() != 1 ||
+        state.tables[0].counts.size() != counts_.size()) {
+      return Status::InvalidArgument("SW: accumulator state shape mismatch");
+    }
+    if (state.tables[0].n != state.num_reports) {
+      return Status::InvalidArgument(
+          "SW: inconsistent report counts in accumulator state");
+    }
+    // Every SW report lands in exactly one output bucket, so the counts
+    // must be non-negative and sum to the report count — cheap integrity
+    // checks that reject corrupted-but-well-shaped state. The sum is
+    // overflow-checked: counts crafted to wrap mod 2^64 back onto the
+    // report count must not pass.
+    uint64_t total = 0;
+    for (int64_t c : state.tables[0].counts) {
+      if (c < 0) {
+        return Status::InvalidArgument(
+            "SW: negative bucket count in accumulator state");
+      }
+      const uint64_t u = static_cast<uint64_t>(c);
+      if (u > UINT64_MAX - total) {
+        return Status::InvalidArgument(
+            "SW: bucket counts overflow in accumulator state");
+      }
+      total += u;
+    }
+    if (total != state.num_reports) {
+      return Status::InvalidArgument(
+          "SW: bucket counts do not sum to the report count");
+    }
+    for (size_t j = 0; j < counts_.size(); ++j) {
+      counts_[j] = static_cast<uint64_t>(state.tables[0].counts[j]);
+    }
+    n_ = state.num_reports;
+    return Status::OK();
+  }
+
  private:
   const SwEstimator* estimator_;
   std::vector<uint64_t> counts_;
@@ -94,6 +143,64 @@ class SwProtocol final : public Protocol {
     chunk->reports.reserve(values.size());
     for (double v : values) {
       chunk->reports.push_back(estimator_.PerturbOne(v, rng));
+    }
+    return std::unique_ptr<ReportChunk>(std::move(chunk));
+  }
+
+  // Wire payload (docs/WIRE_FORMAT.md): u8 pipeline flag, u32 output
+  // buckets, u64 report count, then one f64 bit pattern per report.
+  Status EncodeChunkPayload(const ReportChunk& chunk,
+                            ByteWriter* out) const override {
+    const auto* sw_chunk = dynamic_cast<const SwChunk*>(&chunk);
+    if (sw_chunk == nullptr) {
+      return Status::InvalidArgument("SW: chunk from a different protocol");
+    }
+    out->PutU8(sw_chunk->discrete ? 1 : 0);
+    out->PutU32(static_cast<uint32_t>(sw_chunk->output_buckets));
+    out->PutU64(sw_chunk->reports.size());
+    for (double r : sw_chunk->reports) out->PutF64(r);
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<ReportChunk>> DecodeChunkPayload(
+      ByteReader* in) const override {
+    NUMDIST_ASSIGN_OR_RETURN(const uint8_t discrete, in->U8());
+    if (discrete > 1) {
+      return Status::InvalidArgument("SW: bad pipeline flag in chunk payload");
+    }
+    const bool expect_discrete =
+        estimator_.options().pipeline ==
+        SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
+    if ((discrete == 1) != expect_discrete) {
+      return Status::InvalidArgument(
+          "SW: chunk pipeline does not match this protocol");
+    }
+    NUMDIST_ASSIGN_OR_RETURN(const uint32_t buckets, in->U32());
+    if (buckets != estimator_.output_buckets()) {
+      return Status::InvalidArgument(
+          "SW: chunk output-bucket count does not match this protocol");
+    }
+    NUMDIST_ASSIGN_OR_RETURN(const uint64_t count, in->U64());
+    if (count > in->remaining() / sizeof(uint64_t)) {
+      return Status::OutOfRange(
+          "SW: chunk report count exceeds the remaining payload");
+    }
+    auto chunk = std::make_unique<SwChunk>();
+    chunk->discrete = discrete == 1;
+    chunk->output_buckets = buckets;
+    chunk->reports.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      NUMDIST_ASSIGN_OR_RETURN(const double r, in->F64());
+      // Wire reports are untrusted. Finite out-of-range values are safe
+      // downstream (the continuous path clamps, the discrete path
+      // range-checks in Absorb), but a NaN would sail through the clamp —
+      // NaN comparisons are all false — into a float->index cast that is
+      // UB. Reject non-finite payloads here, at the trust boundary.
+      if (!std::isfinite(r)) {
+        return Status::InvalidArgument(
+            "SW: non-finite report in chunk payload");
+      }
+      chunk->reports.push_back(r);
     }
     return std::unique_ptr<ReportChunk>(std::move(chunk));
   }

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "eval/streaming.h"
 #include "metrics/distance.h"
+#include "wire/wire.h"
 
 namespace numdist {
 
@@ -214,11 +215,23 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
 
       // Merge-then-snapshot: fold every shard of the group, in shard order,
       // into the group's reusable merge target and reconstruct from the
-      // merged counts.
+      // merged counts. With wire_checkpoints each shard's state crosses
+      // the codec (snapshot frame encode -> strict decode -> count merge)
+      // first — the same path a cross-process shard fleet uses — which is
+      // bit-identical to the direct merge because counts are exact.
       StreamingAggregator& merged = *group->merge_scratch;
       merged.Reset();
+      std::string frame;
       for (const StreamingAggregator& shard : group->shards) {
-        NUMDIST_RETURN_NOT_OK(merged.Merge(shard));
+        if (config.wire_checkpoints) {
+          frame.clear();
+          NUMDIST_RETURN_NOT_OK(
+              wire::EncodeSnapshotFrame(group->epsilon, shard, &frame));
+          NUMDIST_RETURN_NOT_OK(wire::DecodeSnapshotFrameInto(
+              group->epsilon, wire::FrameBytes(frame), &merged));
+        } else {
+          NUMDIST_RETURN_NOT_OK(merged.Merge(shard));
+        }
       }
       NUMDIST_ASSIGN_OR_RETURN(EmResult em, merged.Snapshot());
 
@@ -369,6 +382,15 @@ Result<ScenarioConfig> ParseScenarioText(const std::string& text) {
                                  ParseCount(key, value, line_no));
       } else if (key == "seed") {
         NUMDIST_ASSIGN_OR_RETURN(config.seed, ParseCount(key, value, line_no));
+      } else if (key == "wire_checkpoints") {
+        NUMDIST_ASSIGN_OR_RETURN(const uint64_t flag,
+                                 ParseCount(key, value, line_no));
+        if (flag > 1) {
+          return Status::InvalidArgument(
+              "scenario line " + std::to_string(line_no) +
+              ": 'wire_checkpoints' must be 0 or 1");
+        }
+        config.wire_checkpoints = flag == 1;
       } else {
         return bad_key();
       }

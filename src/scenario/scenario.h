@@ -66,6 +66,14 @@ struct ScenarioConfig {
   uint64_t seed = 42;
   /// Worker threads; 0 = hardware concurrency. Never changes the results.
   size_t threads = 0;
+  /// Route every checkpoint merge through the wire codec: each shard is
+  /// serialized to a snapshot frame (wire/wire.h) and decoded-merged into
+  /// the checkpoint aggregate, exactly as a cross-process shard fleet
+  /// would ship its state to a coordinator. Counts are exact integers, so
+  /// results are bit-identical to the direct in-memory merge (asserted by
+  /// tests/scenario_test.cc); the flag exists to exercise the distributed
+  /// path end-to-end, not to change semantics.
+  bool wire_checkpoints = false;
   std::vector<ScenarioPhase> phases;
 };
 
@@ -109,7 +117,8 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config);
 ///
 ///   # comment                      (blank lines ignored)
 ///   name = drift-demo              (top-level keys before the first phase:
-///   epsilon = 1.0                   name, epsilon, d, shards, seed)
+///   epsilon = 1.0                   name, epsilon, d, shards, seed,
+///                                   wire_checkpoints)
 ///   d = 64
 ///   shards = 4
 ///
@@ -121,7 +130,8 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config);
 ///   checkpoints = 4
 ///
 /// Mixtures are comma-separated `dataset[:weight]` terms (weight defaults
-/// to 1) over the §6.1 dataset names.
+/// to 1) over the §6.1 dataset names. The complete format reference lives
+/// in docs/SCENARIO_FORMAT.md.
 Result<ScenarioConfig> ParseScenarioText(const std::string& text);
 
 /// Reads and parses a scenario file.

@@ -1,0 +1,73 @@
+#include "serve/collector.h"
+
+#include <ostream>
+#include <utility>
+
+#include "serve/framing.h"
+
+namespace numdist::serve {
+
+Result<CollectorSession> CollectorSession::Make(const wire::MethodSpec& spec) {
+  NUMDIST_ASSIGN_OR_RETURN(ProtocolPtr protocol,
+                           wire::MakeProtocolForSpec(spec));
+  std::unique_ptr<Accumulator> acc = protocol->MakeAccumulator();
+  return CollectorSession(spec, std::move(protocol), std::move(acc));
+}
+
+CollectorSession::CollectorSession(wire::MethodSpec spec, ProtocolPtr protocol,
+                                   std::unique_ptr<Accumulator> acc)
+    : spec_(spec), protocol_(std::move(protocol)), acc_(std::move(acc)) {}
+
+Status CollectorSession::HandleFrame(std::span<const uint8_t> frame) {
+  NUMDIST_ASSIGN_OR_RETURN(const wire::FrameInfo info, wire::PeekFrame(frame));
+  switch (info.type) {
+    case wire::FrameType::kReports: {
+      NUMDIST_ASSIGN_OR_RETURN(
+          std::unique_ptr<ReportChunk> chunk,
+          wire::DecodeReportFrame(spec_, *protocol_, frame));
+      return acc_->Absorb(*chunk);
+    }
+    case wire::FrameType::kSketch: {
+      NUMDIST_ASSIGN_OR_RETURN(
+          std::unique_ptr<Accumulator> other,
+          wire::DecodeSketchFrame(spec_, *protocol_, frame));
+      return acc_->Merge(*other);
+    }
+    case wire::FrameType::kSnapshot:
+      return Status::InvalidArgument(
+          "collector: snapshot frames belong to the scenario checkpoint "
+          "path, not a protocol collector");
+  }
+  return Status::InvalidArgument("collector: unknown frame type");
+}
+
+Status CollectorSession::HandleFrame(std::string_view frame) {
+  return HandleFrame(wire::FrameBytes(frame));
+}
+
+Result<std::string> CollectorSession::EncodeSketch() const {
+  std::string frame;
+  NUMDIST_RETURN_NOT_OK(wire::EncodeSketchFrame(spec_, *acc_, &frame));
+  return frame;
+}
+
+Result<MethodOutput> CollectorSession::Reconstruct() const {
+  return protocol_->Reconstruct(*acc_);
+}
+
+Status ServeStream(std::istream& in, std::ostream& out,
+                   CollectorSession* session) {
+  std::string frame;
+  bool eof = false;
+  while (true) {
+    NUMDIST_RETURN_NOT_OK(ReadFrame(in, &frame, &eof));
+    if (eof) break;
+    NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame));
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const std::string sketch, session->EncodeSketch());
+  NUMDIST_RETURN_NOT_OK(WriteFrame(out, sketch));
+  out.flush();
+  return Status::OK();
+}
+
+}  // namespace numdist::serve

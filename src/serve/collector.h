@@ -1,0 +1,74 @@
+// The cross-process collector: one CollectorSession per OS process, each
+// absorbing a stream of wire frames into a Protocol accumulator.
+//
+// Deployment shape (mirroring the paper's aggregator, scaled out):
+//
+//   client fleet ──report frames──▶ collector 1 ─┐
+//   client fleet ──report frames──▶ collector 2 ─┤─sketch frames─▶ coordinator
+//   client fleet ──report frames──▶ collector N ─┘                 (merge +
+//                                                                 reconstruct)
+//
+// Every collector and the coordinator are configured with the same
+// MethodSpec; frames carrying any other spec are rejected before their
+// payload is touched. Because accumulator state is exact integers and
+// merging is associative, the coordinator's estimate is bit-identical to a
+// single-process sharded run over the same report chunks — the invariant
+// tests/wire_process_test.cc asserts across real child processes.
+//
+// tools/collector_cli wraps ServeStream as a stdin/stdout daemon;
+// tools/report_client generates deterministic client load against it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "wire/wire.h"
+
+namespace numdist::serve {
+
+/// \brief One collector (or coordinator) process's aggregation state.
+class CollectorSession {
+ public:
+  /// Builds the protocol the spec describes and an empty accumulator.
+  static Result<CollectorSession> Make(const wire::MethodSpec& spec);
+
+  const wire::MethodSpec& spec() const { return spec_; }
+  /// Reports absorbed so far (report frames + merged sketch frames).
+  uint64_t num_reports() const { return acc_->num_reports(); }
+
+  /// Folds one wire frame in: report frames are decoded and absorbed,
+  /// sketch frames are decoded and merged. Snapshot or malformed frames
+  /// are typed errors; a failed frame leaves the aggregate untouched.
+  Status HandleFrame(std::span<const uint8_t> frame);
+  Status HandleFrame(std::string_view frame);
+
+  /// This session's aggregate as a wire sketch frame (what a collector
+  /// ships to the coordinator).
+  Result<std::string> EncodeSketch() const;
+
+  /// Inverts the aggregate into the method output. Requires
+  /// num_reports() > 0.
+  Result<MethodOutput> Reconstruct() const;
+
+ private:
+  CollectorSession(wire::MethodSpec spec, ProtocolPtr protocol,
+                   std::unique_ptr<Accumulator> acc);
+
+  wire::MethodSpec spec_;
+  ProtocolPtr protocol_;
+  std::unique_ptr<Accumulator> acc_;
+};
+
+/// The collector daemon loop: reads length-prefixed frames from `in` until
+/// a clean EOF, folds each into `session`, then writes the session's
+/// length-prefixed sketch frame to `out`. Any frame error aborts the loop
+/// with that error (and writes nothing), so a partial stream can never
+/// masquerade as a completed shard.
+Status ServeStream(std::istream& in, std::ostream& out,
+                   CollectorSession* session);
+
+}  // namespace numdist::serve

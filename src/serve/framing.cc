@@ -1,0 +1,68 @@
+#include "serve/framing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/bytes.h"
+
+namespace numdist::serve {
+
+Status WriteFrame(std::ostream& out, std::string_view frame,
+                  size_t max_bytes) {
+  // The prefix is a u32, so UINT32_MAX caps every frame no matter how far
+  // a caller raises max_bytes — otherwise the cast below would silently
+  // truncate the length and desynchronize the stream.
+  const size_t limit = std::min<size_t>(max_bytes, UINT32_MAX);
+  if (frame.size() > limit) {
+    return Status::InvalidArgument(
+        "framing: frame of " + std::to_string(frame.size()) +
+        " bytes exceeds the " + std::to_string(limit) + "-byte limit");
+  }
+  std::string prefix;
+  ByteWriter(&prefix).PutU32(static_cast<uint32_t>(frame.size()));
+  out.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!out) {
+    return Status::Internal("framing: stream write failed");
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(std::istream& in, std::string* frame, bool* eof,
+                 size_t max_bytes) {
+  frame->clear();
+  *eof = false;
+  char prefix[4];
+  in.read(prefix, sizeof(prefix));
+  if (in.gcount() == 0 && in.eof()) {
+    *eof = true;  // clean end of stream between frames
+    return Status::OK();
+  }
+  if (static_cast<size_t>(in.gcount()) < sizeof(prefix)) {
+    return Status::OutOfRange(
+        "framing: stream ended inside a length prefix (" +
+        std::to_string(in.gcount()) + " of 4 bytes)");
+  }
+  const uint32_t len =
+      ByteReader(std::string_view(prefix, sizeof(prefix))).U32().value();
+  if (len > max_bytes) {
+    return Status::InvalidArgument(
+        "framing: length prefix of " + std::to_string(len) +
+        " bytes exceeds the " + std::to_string(max_bytes) + "-byte limit");
+  }
+  frame->resize(len);
+  if (len > 0) {
+    in.read(frame->data(), static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(in.gcount()) < len) {
+      return Status::OutOfRange(
+          "framing: stream ended inside a frame (" +
+          std::to_string(in.gcount()) + " of " + std::to_string(len) +
+          " bytes)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace numdist::serve

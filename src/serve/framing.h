@@ -1,0 +1,42 @@
+// Stream transport for wire frames: u32 little-endian length prefix +
+// frame bytes, over any std::istream/std::ostream (pipes, sockets wrapped
+// in stdio, files). The length prefix is transport-only — everything
+// inside the frame, including its own integrity checks, is the wire
+// layer's business (wire/wire.h).
+//
+// Reading is strict: a clean EOF *between* frames is a normal end of
+// stream, but an EOF inside a length prefix or inside a frame body is a
+// typed OutOfRange error — a crashed peer can never be mistaken for a
+// completed stream. A length prefix above `max_bytes` is rejected before
+// any allocation, so garbage on the wire cannot drive memory use.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace numdist::serve {
+
+/// Default ceiling on a single frame's size (64 MiB). Generous for sketch
+/// frames (a d=1024 OLH sketch is ~8 KiB) while keeping a corrupt or
+/// hostile length prefix from requesting an absurd allocation.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one length-prefixed frame. Fails if the stream rejects bytes or
+/// the frame exceeds `max_bytes` (the receiver would refuse it anyway).
+Status WriteFrame(std::ostream& out, std::string_view frame,
+                  size_t max_bytes = kMaxFrameBytes);
+
+/// Reads one length-prefixed frame into `*frame`.
+///
+/// Returns OK with `*eof = true` (and `*frame` empty) on a clean end of
+/// stream before any prefix byte; OK with `*eof = false` on a full frame;
+/// OutOfRange on a stream that ends mid-prefix or mid-frame; and
+/// InvalidArgument on a prefix above `max_bytes`.
+Status ReadFrame(std::istream& in, std::string* frame, bool* eof,
+                 size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace numdist::serve

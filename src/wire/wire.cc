@@ -1,0 +1,446 @@
+#include "wire/wire.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/bytes.h"
+#include "protocol/cfo_protocol.h"
+#include "protocol/hierarchy_protocol.h"
+#include "protocol/sw_protocol.h"
+
+namespace numdist::wire {
+
+namespace {
+
+// Preamble layout (8 bytes): u32 magic, u16 version, u8 frame type,
+// u8 flags (must be zero in v1 — the forward-compatibility escape hatch).
+void WritePreamble(FrameType type, ByteWriter* out) {
+  out->PutU32(kMagic);
+  out->PutU16(kVersion);
+  out->PutU8(static_cast<uint8_t>(type));
+  out->PutU8(0);
+}
+
+Result<FrameType> ReadPreamble(ByteReader* in) {
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t magic, in->U32());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("wire: bad magic (not a numdist frame)");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const uint16_t version, in->U16());
+  if (version != kVersion) {
+    return Status::FailedPrecondition(
+        "wire: unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kVersion) + ")");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const uint8_t type, in->U8());
+  if (type < static_cast<uint8_t>(FrameType::kReports) ||
+      type > static_cast<uint8_t>(FrameType::kSnapshot)) {
+    return Status::InvalidArgument("wire: unknown frame type " +
+                                   std::to_string(type));
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const uint8_t flags, in->U8());
+  if (flags != 0) {
+    return Status::InvalidArgument(
+        "wire: unknown flags " + std::to_string(flags) +
+        " (version 1 defines none)");
+  }
+  return static_cast<FrameType>(type);
+}
+
+// Method context block (17 bytes): u8 method id, u32 family parameter,
+// u64 epsilon bits, u32 granularity d.
+void WriteMethodBlock(const MethodSpec& spec, ByteWriter* out) {
+  out->PutU8(static_cast<uint8_t>(spec.method));
+  out->PutU32(spec.param);
+  out->PutU64(MethodSpec::EpsilonBits(spec.epsilon));
+  out->PutU32(spec.d);
+}
+
+Result<MethodSpec> ReadMethodBlock(ByteReader* in) {
+  NUMDIST_ASSIGN_OR_RETURN(const uint8_t method, in->U8());
+  if (method < static_cast<uint8_t>(MethodId::kSwEms) ||
+      method > static_cast<uint8_t>(MethodId::kHaarHrr)) {
+    return Status::InvalidArgument("wire: unknown method id " +
+                                   std::to_string(method));
+  }
+  MethodSpec spec;
+  spec.method = static_cast<MethodId>(method);
+  NUMDIST_ASSIGN_OR_RETURN(spec.param, in->U32());
+  NUMDIST_ASSIGN_OR_RETURN(const uint64_t epsilon_bits, in->U64());
+  std::memcpy(&spec.epsilon, &epsilon_bits, sizeof(spec.epsilon));
+  NUMDIST_ASSIGN_OR_RETURN(spec.d, in->U32());
+  return spec;
+}
+
+// The per-field mismatch taxonomy: a frame must match the receiving
+// endpoint's spec exactly before its payload is even looked at.
+Status MatchSpec(const MethodSpec& frame, const MethodSpec& expected) {
+  if (frame.method != expected.method || frame.param != expected.param) {
+    return Status::InvalidArgument(
+        "wire: frame method " + MethodSpecName(frame) +
+        " does not match this endpoint (" + MethodSpecName(expected) + ")");
+  }
+  if (MethodSpec::EpsilonBits(frame.epsilon) !=
+      MethodSpec::EpsilonBits(expected.epsilon)) {
+    return Status::InvalidArgument(
+        "wire: frame epsilon does not match this endpoint (bit-exact "
+        "comparison; reports under different budgets must not be merged)");
+  }
+  if (frame.d != expected.d) {
+    return Status::InvalidArgument(
+        "wire: frame granularity d=" + std::to_string(frame.d) +
+        " does not match this endpoint (d=" + std::to_string(expected.d) +
+        ")");
+  }
+  return Status::OK();
+}
+
+Status ExpectFrameType(FrameType got, FrameType want) {
+  if (got != want) {
+    return Status::InvalidArgument(
+        "wire: expected frame type " +
+        std::to_string(static_cast<int>(want)) + ", got " +
+        std::to_string(static_cast<int>(got)));
+  }
+  return Status::OK();
+}
+
+Status ExpectFullyConsumed(const ByteReader& in, const char* what) {
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument(
+        "wire: " + std::to_string(in.remaining()) +
+        " trailing byte(s) after " + what + " payload");
+  }
+  return Status::OK();
+}
+
+// Sketch payload: u64 total reports, u32 table count, then per table a
+// u64 per-table report count, u64 length, and that many i64 counts.
+void WriteSketchPayload(const AccumulatorState& state, ByteWriter* out) {
+  out->PutU64(state.num_reports);
+  out->PutU32(static_cast<uint32_t>(state.tables.size()));
+  for (const AccumulatorTable& table : state.tables) {
+    out->PutU64(table.n);
+    out->PutU64(table.counts.size());
+    for (int64_t c : table.counts) out->PutI64(c);
+  }
+}
+
+Result<AccumulatorState> ReadSketchPayload(ByteReader* in) {
+  AccumulatorState state;
+  NUMDIST_ASSIGN_OR_RETURN(state.num_reports, in->U64());
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t num_tables, in->U32());
+  // Each table needs at least its two u64 length fields; bound before
+  // reserving anything so a hostile count cannot drive allocation.
+  if (num_tables > in->remaining() / (2 * sizeof(uint64_t))) {
+    return Status::OutOfRange(
+        "wire: sketch table count exceeds the remaining payload");
+  }
+  state.tables.reserve(num_tables);
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    AccumulatorTable table;
+    NUMDIST_ASSIGN_OR_RETURN(table.n, in->U64());
+    NUMDIST_ASSIGN_OR_RETURN(const uint64_t len, in->U64());
+    if (len > in->remaining() / sizeof(int64_t)) {
+      return Status::OutOfRange(
+          "wire: sketch table length exceeds the remaining payload");
+    }
+    table.counts.reserve(len);
+    for (uint64_t i = 0; i < len; ++i) {
+      NUMDIST_ASSIGN_OR_RETURN(const int64_t c, in->I64());
+      table.counts.push_back(c);
+    }
+    state.tables.push_back(std::move(table));
+  }
+  return state;
+}
+
+Result<uint32_t> ParseTrailingCount(const std::string& name, size_t prefix) {
+  if (name.size() <= prefix) {
+    return Status::InvalidArgument("wire: method '" + name +
+                                   "' is missing its bin count");
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("wire: bad bin count in method '" +
+                                     name + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    // Cap after accumulating, so e.g. 1000009 cannot sneak one digit past
+    // the ceiling (also keeps the u64 from ever overflowing).
+    if (value > 100000) {
+      return Status::InvalidArgument("wire: bin count in method '" + name +
+                                     "' exceeds 100000");
+    }
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+uint64_t MethodSpec::EpsilonBits(double epsilon) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(epsilon));
+  std::memcpy(&bits, &epsilon, sizeof(bits));
+  return bits;
+}
+
+Result<MethodSpec> ParseMethodSpec(const std::string& method, double epsilon,
+                                   uint32_t d) {
+  MethodSpec spec;
+  spec.epsilon = epsilon;
+  spec.d = d;
+  if (method == "sw-ems") {
+    spec.method = MethodId::kSwEms;
+  } else if (method == "sw-em") {
+    spec.method = MethodId::kSwEm;
+  } else if (method == "hh") {
+    spec.method = MethodId::kHh;
+    spec.param = 4;
+  } else if (method == "hh-admm") {
+    spec.method = MethodId::kHhAdmm;
+    spec.param = 4;
+  } else if (method == "haar-hrr") {
+    spec.method = MethodId::kHaarHrr;
+  } else if (method.rfind("cfo-grr-", 0) == 0) {
+    spec.method = MethodId::kCfoGrr;
+    NUMDIST_ASSIGN_OR_RETURN(spec.param, ParseTrailingCount(method, 8));
+  } else if (method.rfind("cfo-olh-", 0) == 0) {
+    spec.method = MethodId::kCfoOlh;
+    NUMDIST_ASSIGN_OR_RETURN(spec.param, ParseTrailingCount(method, 8));
+  } else if (method.rfind("cfo-oue-", 0) == 0) {
+    spec.method = MethodId::kCfoOue;
+    NUMDIST_ASSIGN_OR_RETURN(spec.param, ParseTrailingCount(method, 8));
+  } else if (method.rfind("cfo-", 0) == 0) {
+    spec.method = MethodId::kCfoAdaptive;
+    NUMDIST_ASSIGN_OR_RETURN(spec.param, ParseTrailingCount(method, 4));
+  } else {
+    return Status::InvalidArgument(
+        "wire: unknown method '" + method +
+        "' (expected sw-ems, sw-em, cfo-<bins>, cfo-grr-<bins>, "
+        "cfo-olh-<bins>, cfo-oue-<bins>, hh, hh-admm, or haar-hrr)");
+  }
+  return spec;
+}
+
+std::string MethodSpecName(const MethodSpec& spec) {
+  switch (spec.method) {
+    case MethodId::kSwEms:
+      return "sw-ems";
+    case MethodId::kSwEm:
+      return "sw-em";
+    case MethodId::kCfoAdaptive:
+      return "cfo-" + std::to_string(spec.param);
+    case MethodId::kCfoGrr:
+      return "cfo-grr-" + std::to_string(spec.param);
+    case MethodId::kCfoOlh:
+      return "cfo-olh-" + std::to_string(spec.param);
+    case MethodId::kCfoOue:
+      return "cfo-oue-" + std::to_string(spec.param);
+    case MethodId::kHh:
+      return "hh";
+    case MethodId::kHhAdmm:
+      return "hh-admm";
+    case MethodId::kHaarHrr:
+      return "haar-hrr";
+  }
+  return "unknown";
+}
+
+Result<ProtocolPtr> MakeProtocolForSpec(const MethodSpec& spec) {
+  if (!(spec.epsilon > 0.0) || !std::isfinite(spec.epsilon)) {
+    return Status::InvalidArgument(
+        "wire: method spec epsilon must be positive and finite");
+  }
+  switch (spec.method) {
+    case MethodId::kSwEms:
+    case MethodId::kSwEm: {
+      SwEstimatorOptions options;
+      options.epsilon = spec.epsilon;
+      options.d = spec.d;
+      options.post = spec.method == MethodId::kSwEms
+                         ? SwEstimatorOptions::Post::kEms
+                         : SwEstimatorOptions::Post::kEm;
+      return MakeSwProtocol(options);
+    }
+    case MethodId::kCfoAdaptive:
+      return MakeCfoBinningProtocol(spec.epsilon, spec.d, spec.param,
+                                    FoKind::kAdaptive);
+    case MethodId::kCfoGrr:
+      return MakeCfoBinningProtocol(spec.epsilon, spec.d, spec.param,
+                                    FoKind::kGrr);
+    case MethodId::kCfoOlh:
+      return MakeCfoBinningProtocol(spec.epsilon, spec.d, spec.param,
+                                    FoKind::kOlh);
+    case MethodId::kCfoOue:
+      return MakeCfoBinningProtocol(spec.epsilon, spec.d, spec.param,
+                                    FoKind::kOue);
+    case MethodId::kHh:
+      return MakeHhBatchedProtocol(spec.epsilon, spec.d, spec.param,
+                                   HhPost::kConstrained);
+    case MethodId::kHhAdmm:
+      return MakeHhBatchedProtocol(spec.epsilon, spec.d, spec.param,
+                                   HhPost::kAdmm);
+    case MethodId::kHaarHrr:
+      return MakeHaarHrrBatchedProtocol(spec.epsilon, spec.d);
+  }
+  return Status::InvalidArgument("wire: unknown method id in spec");
+}
+
+Result<FrameInfo> PeekFrame(std::span<const uint8_t> frame) {
+  ByteReader in(frame);
+  FrameInfo info;
+  NUMDIST_ASSIGN_OR_RETURN(info.type, ReadPreamble(&in));
+  if (info.type == FrameType::kSnapshot) {
+    NUMDIST_ASSIGN_OR_RETURN(const uint64_t epsilon_bits, in.U64());
+    std::memcpy(&info.snapshot_epsilon, &epsilon_bits,
+                sizeof(info.snapshot_epsilon));
+    NUMDIST_ASSIGN_OR_RETURN(info.snapshot_d, in.U32());
+    NUMDIST_ASSIGN_OR_RETURN(const uint8_t pipeline, in.U8());
+    if (pipeline > 1) {
+      return Status::InvalidArgument("wire: bad snapshot pipeline flag");
+    }
+    info.snapshot_discrete = pipeline == 1;
+    NUMDIST_ASSIGN_OR_RETURN(info.snapshot_buckets, in.U32());
+  } else {
+    NUMDIST_ASSIGN_OR_RETURN(info.spec, ReadMethodBlock(&in));
+  }
+  return info;
+}
+
+Result<FrameInfo> PeekFrame(std::string_view frame) {
+  return PeekFrame(FrameBytes(frame));
+}
+
+Status EncodeReportFrame(const MethodSpec& spec, const Protocol& protocol,
+                         const ReportChunk& chunk, std::string* out) {
+  // A payload-encode failure (e.g. a chunk from a different protocol)
+  // must leave *out untouched — callers batching frames into one buffer
+  // must never be left with orphan header bytes. Rolling back to the
+  // prior size keeps the hot path writing straight into *out (this is
+  // the encode path bench/wire_throughput holds to the 1M reports/s bar).
+  const size_t prev_size = out->size();
+  ByteWriter writer(out);
+  WritePreamble(FrameType::kReports, &writer);
+  WriteMethodBlock(spec, &writer);
+  const Status payload = protocol.EncodeChunkPayload(chunk, &writer);
+  if (!payload.ok()) {
+    out->resize(prev_size);
+    return payload;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ReportChunk>> DecodeReportFrame(
+    const MethodSpec& spec, const Protocol& protocol,
+    std::span<const uint8_t> frame) {
+  ByteReader in(frame);
+  NUMDIST_ASSIGN_OR_RETURN(const FrameType type, ReadPreamble(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFrameType(type, FrameType::kReports));
+  NUMDIST_ASSIGN_OR_RETURN(const MethodSpec frame_spec, ReadMethodBlock(&in));
+  NUMDIST_RETURN_NOT_OK(MatchSpec(frame_spec, spec));
+  NUMDIST_ASSIGN_OR_RETURN(std::unique_ptr<ReportChunk> chunk,
+                           protocol.DecodeChunkPayload(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "report"));
+  return chunk;
+}
+
+Status EncodeSketchFrame(const MethodSpec& spec, const Accumulator& acc,
+                         std::string* out) {
+  ByteWriter writer(out);
+  WritePreamble(FrameType::kSketch, &writer);
+  WriteMethodBlock(spec, &writer);
+  WriteSketchPayload(acc.ExportState(), &writer);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Accumulator>> DecodeSketchFrame(
+    const MethodSpec& spec, const Protocol& protocol,
+    std::span<const uint8_t> frame) {
+  ByteReader in(frame);
+  NUMDIST_ASSIGN_OR_RETURN(const FrameType type, ReadPreamble(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFrameType(type, FrameType::kSketch));
+  NUMDIST_ASSIGN_OR_RETURN(const MethodSpec frame_spec, ReadMethodBlock(&in));
+  NUMDIST_RETURN_NOT_OK(MatchSpec(frame_spec, spec));
+  NUMDIST_ASSIGN_OR_RETURN(const AccumulatorState state,
+                           ReadSketchPayload(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "sketch"));
+  std::unique_ptr<Accumulator> acc = protocol.MakeAccumulator();
+  NUMDIST_RETURN_NOT_OK(acc->ImportState(state));
+  return acc;
+}
+
+Status EncodeSnapshotFrame(double epsilon, const StreamingAggregator& agg,
+                           std::string* out) {
+  const SwEstimatorOptions& options = agg.estimator().options();
+  ByteWriter writer(out);
+  WritePreamble(FrameType::kSnapshot, &writer);
+  writer.PutU64(MethodSpec::EpsilonBits(epsilon));
+  // Full estimator context, not just the bucket count: two configurations
+  // with coincident output widths but different observation models (e.g.
+  // continuous d_out=64 vs discrete d+2b'=64) must never cross-merge.
+  writer.PutU32(static_cast<uint32_t>(options.d));
+  writer.PutU8(options.pipeline ==
+                       SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize
+                   ? 1
+                   : 0);
+  writer.PutU32(static_cast<uint32_t>(agg.counts().size()));
+  writer.PutU64(agg.count());
+  for (uint64_t c : agg.counts()) writer.PutU64(c);
+  return Status::OK();
+}
+
+Status DecodeSnapshotFrameInto(double epsilon,
+                               std::span<const uint8_t> frame,
+                               StreamingAggregator* agg) {
+  ByteReader in(frame);
+  NUMDIST_ASSIGN_OR_RETURN(const FrameType type, ReadPreamble(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFrameType(type, FrameType::kSnapshot));
+  NUMDIST_ASSIGN_OR_RETURN(const uint64_t epsilon_bits, in.U64());
+  if (epsilon_bits != MethodSpec::EpsilonBits(epsilon)) {
+    return Status::InvalidArgument(
+        "wire: snapshot epsilon group mismatch (bit-exact comparison)");
+  }
+  const SwEstimatorOptions& options = agg->estimator().options();
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t d, in.U32());
+  if (d != options.d) {
+    return Status::InvalidArgument(
+        "wire: snapshot granularity d=" + std::to_string(d) +
+        " does not match this aggregator (d=" + std::to_string(options.d) +
+        ")");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const uint8_t pipeline, in.U8());
+  if (pipeline > 1) {
+    return Status::InvalidArgument("wire: bad snapshot pipeline flag");
+  }
+  const bool discrete =
+      options.pipeline == SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
+  if ((pipeline == 1) != discrete) {
+    return Status::InvalidArgument(
+        "wire: snapshot pipeline does not match this aggregator");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t buckets, in.U32());
+  NUMDIST_ASSIGN_OR_RETURN(const uint64_t n, in.U64());
+  if (buckets > in.remaining() / sizeof(uint64_t)) {
+    return Status::OutOfRange(
+        "wire: snapshot bucket count exceeds the remaining payload");
+  }
+  std::vector<uint64_t> counts;
+  counts.reserve(buckets);
+  for (uint32_t j = 0; j < buckets; ++j) {
+    NUMDIST_ASSIGN_OR_RETURN(const uint64_t c, in.U64());
+    counts.push_back(c);
+  }
+  NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "snapshot"));
+  return agg->MergeCounts(counts, n);
+}
+
+std::span<const uint8_t> FrameBytes(std::string_view frame) {
+  return std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(frame.data()), frame.size());
+}
+
+}  // namespace numdist::wire

@@ -1,0 +1,162 @@
+// Versioned, endian-stable binary wire format for distributed collection.
+//
+// The paper's deployment model is millions of clients sending one
+// randomized report each to an untrusted aggregator; this layer gives
+// every in-memory artifact of that pipeline a serialized form so it can
+// cross a process or machine boundary:
+//
+//   report frames    one Protocol report chunk (a batch of perturbed
+//                    client reports in the mechanism's wire format);
+//   sketch frames    one Protocol accumulator's exact integer state
+//                    (AccumulatorState) — what collector shards ship to
+//                    the coordinator for merging;
+//   snapshot frames  one StreamingAggregator's per-bucket counts — the
+//                    scenario engine's shard-checkpoint currency.
+//
+// Every frame starts with the same 8-byte preamble (magic, version, frame
+// type, flags) followed by a context block binding the frame to a concrete
+// protocol configuration (method, epsilon as exact IEEE-754 bits,
+// granularity). Decoding is strict Result<T>-based: truncation, bad magic,
+// version skew, unknown enums, dimension mismatches, and trailing bytes
+// are typed errors — malformed input can never corrupt an aggregate or
+// invoke UB. Because accumulator state is exact integers, a
+// serialize-merge-deserialize round trip is bit-identical to the
+// in-process sharded path (tests/wire_process_test.cc proves this across
+// OS processes).
+//
+// Byte-level layouts and the compatibility policy are specified in
+// docs/WIRE_FORMAT.md; transport framing (length prefixes over
+// sockets/pipes) lives one layer up in serve/framing.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "eval/streaming.h"
+#include "protocol/protocol.h"
+
+namespace numdist::wire {
+
+/// First 4 bytes of every frame: "NDWP" on the wire.
+inline constexpr uint32_t kMagic = 0x5057444E;
+/// Current (and only) format version. Decoders accept exactly this version;
+/// see docs/WIRE_FORMAT.md for the compatibility policy.
+inline constexpr uint16_t kVersion = 1;
+
+/// Frame discriminator (preamble byte 6).
+enum class FrameType : uint8_t {
+  kReports = 1,   ///< A batch of perturbed client reports (one chunk).
+  kSketch = 2,    ///< A Protocol accumulator's exact integer state.
+  kSnapshot = 3,  ///< A StreamingAggregator's per-bucket counts.
+};
+
+/// Method tag carried by report and sketch frames. Values are part of the
+/// wire format: never renumber, only append.
+enum class MethodId : uint8_t {
+  kSwEms = 1,
+  kSwEm = 2,
+  kCfoAdaptive = 3,  ///< CFO binning over the variance-adaptive oracle.
+  kCfoGrr = 4,
+  kCfoOlh = 5,
+  kCfoOue = 6,
+  kHh = 7,
+  kHhAdmm = 8,
+  kHaarHrr = 9,
+};
+
+/// Complete protocol configuration a frame is bound to. Two endpoints can
+/// exchange frames iff their specs are identical (epsilon compared as
+/// exact bits — an aggregate mixes budgets only if the bits agree).
+struct MethodSpec {
+  MethodId method = MethodId::kSwEms;
+  /// Family parameter: bins for the CFO methods, tree fan-out beta for
+  /// HH/HH-ADMM, 0 for everything else.
+  uint32_t param = 0;
+  /// Privacy budget; travels as its IEEE-754 bit pattern (exact).
+  double epsilon = 1.0;
+  /// Reconstruction granularity d.
+  uint32_t d = 64;
+
+  /// The exact bit pattern epsilon travels as. Spec equality lives in one
+  /// place — the decoder's field-by-field MatchSpec (wire.cc), which also
+  /// produces the per-field mismatch errors.
+  static uint64_t EpsilonBits(double epsilon);
+};
+
+/// Parses a CLI-style method name into a spec: "sw-ems", "sw-em",
+/// "cfo-<bins>" (adaptive), "cfo-grr-<bins>", "cfo-olh-<bins>",
+/// "cfo-oue-<bins>", "hh", "hh-admm" (beta fixed at 4), "haar-hrr".
+Result<MethodSpec> ParseMethodSpec(const std::string& method, double epsilon,
+                                   uint32_t d);
+
+/// Canonical display name of a spec's method (e.g. "cfo-olh-32").
+std::string MethodSpecName(const MethodSpec& spec);
+
+/// Instantiates the protocol a spec describes. Two processes building the
+/// same spec get interchangeable protocols: chunks and sketches encoded by
+/// one decode and absorb on the other.
+Result<ProtocolPtr> MakeProtocolForSpec(const MethodSpec& spec);
+
+/// Parsed frame preamble + context, without touching the payload. Lets a
+/// collector dispatch and validate a frame before committing to a decode.
+struct FrameInfo {
+  FrameType type = FrameType::kReports;
+  /// Context of report/sketch frames (undefined for snapshots).
+  MethodSpec spec;
+  /// Context of snapshot frames (undefined otherwise): epsilon group,
+  /// estimator input granularity + pipeline, and output-bucket count.
+  double snapshot_epsilon = 0.0;
+  uint32_t snapshot_d = 0;
+  bool snapshot_discrete = false;
+  uint32_t snapshot_buckets = 0;
+};
+
+/// Validates the preamble and context block of any frame. Typed errors for
+/// truncation, bad magic, version skew, unknown frame type / method id,
+/// and non-zero flags.
+Result<FrameInfo> PeekFrame(std::span<const uint8_t> frame);
+Result<FrameInfo> PeekFrame(std::string_view frame);
+
+/// Encodes one report chunk produced by `protocol` (which must match
+/// `spec`) into a self-describing report frame appended to `*out`.
+Status EncodeReportFrame(const MethodSpec& spec, const Protocol& protocol,
+                         const ReportChunk& chunk, std::string* out);
+
+/// Strictly decodes a report frame: the frame's context must equal `spec`,
+/// the payload must decode under `protocol`, and the payload must consume
+/// the frame exactly (trailing bytes are an error).
+Result<std::unique_ptr<ReportChunk>> DecodeReportFrame(
+    const MethodSpec& spec, const Protocol& protocol,
+    std::span<const uint8_t> frame);
+
+/// Encodes an accumulator's exact integer state into a sketch frame
+/// appended to `*out`.
+Status EncodeSketchFrame(const MethodSpec& spec, const Accumulator& acc,
+                         std::string* out);
+
+/// Strictly decodes a sketch frame into a fresh accumulator of `protocol`.
+/// The decoded accumulator is bit-equivalent to the encoded one: merging
+/// it reproduces the exact in-process aggregate.
+Result<std::unique_ptr<Accumulator>> DecodeSketchFrame(
+    const MethodSpec& spec, const Protocol& protocol,
+    std::span<const uint8_t> frame);
+
+/// Encodes a StreamingAggregator's counts (with its epsilon-group context)
+/// into a snapshot frame appended to `*out`.
+Status EncodeSnapshotFrame(double epsilon, const StreamingAggregator& agg,
+                           std::string* out);
+
+/// Strictly decodes a snapshot frame and merges its counts into `*agg`
+/// (shape- and epsilon-checked). Adding counts is exact, so decode-merge
+/// is bit-identical to StreamingAggregator::Merge on the source shard.
+Status DecodeSnapshotFrameInto(double epsilon,
+                               std::span<const uint8_t> frame,
+                               StreamingAggregator* agg);
+
+/// Read-only byte view of frame bytes held in a string/string_view.
+std::span<const uint8_t> FrameBytes(std::string_view frame);
+
+}  // namespace numdist::wire

@@ -1,0 +1,206 @@
+// Collector service guarantees (serve/collector.h, serve/framing.h):
+// length-prefixed transport framing is strict (clean EOF vs mid-frame EOF
+// vs hostile length prefix), CollectorSession reproduces the in-process
+// sharded aggregate bit-for-bit from report + sketch frames, and
+// ServeStream drives a full collector lifecycle over plain iostreams.
+#include "serve/collector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "protocol/sharded.h"
+#include "serve/framing.h"
+#include "wire/wire.h"
+
+namespace numdist {
+namespace {
+
+std::vector<double> TestValues(size_t n) { return GoldenRatioValues(n); }
+
+TEST(FramingTest, RoundTripAndCleanEof) {
+  std::stringstream stream;
+  ASSERT_TRUE(serve::WriteFrame(stream, "hello").ok());
+  ASSERT_TRUE(serve::WriteFrame(stream, "").ok());
+  ASSERT_TRUE(serve::WriteFrame(stream, std::string(1000, 'x')).ok());
+
+  std::string frame;
+  bool eof = false;
+  ASSERT_TRUE(serve::ReadFrame(stream, &frame, &eof).ok());
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(frame, "hello");
+  ASSERT_TRUE(serve::ReadFrame(stream, &frame, &eof).ok());
+  EXPECT_EQ(frame, "");
+  ASSERT_TRUE(serve::ReadFrame(stream, &frame, &eof).ok());
+  EXPECT_EQ(frame.size(), 1000u);
+
+  // Clean end of stream between frames: OK + eof, not an error.
+  ASSERT_TRUE(serve::ReadFrame(stream, &frame, &eof).ok());
+  EXPECT_TRUE(eof);
+  EXPECT_TRUE(frame.empty());
+}
+
+TEST(FramingTest, MidFrameEofIsAnError) {
+  std::string encoded;
+  {
+    std::stringstream stream;
+    ASSERT_TRUE(serve::WriteFrame(stream, "payload-bytes").ok());
+    encoded = stream.str();
+  }
+  // Cut inside the length prefix.
+  {
+    std::stringstream cut(encoded.substr(0, 2));
+    std::string frame;
+    bool eof = false;
+    const Status st = serve::ReadFrame(cut, &frame, &eof);
+    EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  }
+  // Cut inside the frame body.
+  {
+    std::stringstream cut(encoded.substr(0, 8));
+    std::string frame;
+    bool eof = false;
+    const Status st = serve::ReadFrame(cut, &frame, &eof);
+    EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(FramingTest, HostileLengthPrefixIsRejectedBeforeAllocation) {
+  std::string bytes = "\xFF\xFF\xFF\xFF";  // 4 GiB claimed
+  std::stringstream stream(bytes);
+  std::string frame;
+  bool eof = false;
+  const Status st = serve::ReadFrame(stream, &frame, &eof);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(frame.empty());
+
+  // Writers refuse the same ceiling.
+  std::stringstream out;
+  EXPECT_FALSE(serve::WriteFrame(out, "abc", /*max_bytes=*/2).ok());
+}
+
+TEST(CollectorSessionTest, DistributedRunMatchesInProcessShardedRun) {
+  const std::vector<double> values = TestValues(20000);
+  const auto spec = wire::ParseMethodSpec("sw-ems", 1.0, 64).ValueOrDie();
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+
+  ShardOptions opts;
+  opts.shard_size = 4096;
+  opts.threads = 2;
+  auto reference =
+      RunProtocolSharded(*protocol, values, 21, opts).ValueOrDie();
+
+  // Three collector processes, round-robin over the shard set, then a
+  // coordinator that merges their sketch frames.
+  const size_t collectors = 3;
+  std::vector<serve::CollectorSession> sessions;
+  for (size_t c = 0; c < collectors; ++c) {
+    sessions.push_back(serve::CollectorSession::Make(spec).ValueOrDie());
+  }
+  const size_t num_shards =
+      (values.size() + opts.shard_size - 1) / opts.shard_size;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const size_t begin = i * opts.shard_size;
+    const size_t len = std::min(opts.shard_size, values.size() - begin);
+    Rng rng(ShardSeed(21, i));
+    auto chunk = protocol
+                     ->EncodePerturbBatch(
+                         std::span<const double>(values).subspan(begin, len),
+                         rng)
+                     .ValueOrDie();
+    std::string frame;
+    ASSERT_TRUE(wire::EncodeReportFrame(spec, *protocol, *chunk, &frame).ok());
+    ASSERT_TRUE(sessions[i % collectors].HandleFrame(frame).ok());
+  }
+
+  auto coordinator = serve::CollectorSession::Make(spec).ValueOrDie();
+  for (const serve::CollectorSession& session : sessions) {
+    const std::string sketch = session.EncodeSketch().ValueOrDie();
+    ASSERT_TRUE(coordinator.HandleFrame(sketch).ok());
+  }
+  EXPECT_EQ(coordinator.num_reports(), values.size());
+
+  auto output = coordinator.Reconstruct().ValueOrDie();
+  ASSERT_EQ(output.distribution.size(), reference.distribution.size());
+  EXPECT_EQ(0, std::memcmp(output.distribution.data(),
+                           reference.distribution.data(),
+                           reference.distribution.size() * sizeof(double)));
+}
+
+TEST(CollectorSessionTest, RejectsForeignAndSnapshotFrames) {
+  auto session =
+      serve::CollectorSession::Make(
+          wire::ParseMethodSpec("sw-ems", 1.0, 64).ValueOrDie())
+          .ValueOrDie();
+
+  // A frame for a different method configuration.
+  const auto other_spec = wire::ParseMethodSpec("sw-em", 1.0, 64).ValueOrDie();
+  auto other = serve::CollectorSession::Make(other_spec).ValueOrDie();
+  const std::string foreign = other.EncodeSketch().ValueOrDie();
+  EXPECT_FALSE(session.HandleFrame(foreign).ok());
+  EXPECT_EQ(session.num_reports(), 0u);
+
+  // Garbage.
+  EXPECT_FALSE(session.HandleFrame(std::string("not a frame")).ok());
+}
+
+TEST(ServeStreamTest, FullCollectorLifecycleOverIostreams) {
+  const std::vector<double> values = TestValues(8000);
+  const auto spec = wire::ParseMethodSpec("cfo-olh-16", 1.0, 64).ValueOrDie();
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+
+  // Client side: report frames onto the "socket".
+  std::stringstream client_to_collector;
+  const size_t shard_size = 2048;
+  const size_t num_shards = (values.size() + shard_size - 1) / shard_size;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const size_t begin = i * shard_size;
+    const size_t len = std::min(shard_size, values.size() - begin);
+    Rng rng(ShardSeed(3, i));
+    auto chunk = protocol
+                     ->EncodePerturbBatch(
+                         std::span<const double>(values).subspan(begin, len),
+                         rng)
+                     .ValueOrDie();
+    std::string frame;
+    ASSERT_TRUE(wire::EncodeReportFrame(spec, *protocol, *chunk, &frame).ok());
+    ASSERT_TRUE(serve::WriteFrame(client_to_collector, frame).ok());
+  }
+
+  // Collector daemon loop.
+  auto collector = serve::CollectorSession::Make(spec).ValueOrDie();
+  std::stringstream collector_to_coordinator;
+  ASSERT_TRUE(serve::ServeStream(client_to_collector,
+                                 collector_to_coordinator, &collector)
+                  .ok());
+  EXPECT_EQ(collector.num_reports(), values.size());
+
+  // Coordinator reads the emitted sketch frame and reconstructs.
+  std::string sketch;
+  bool eof = false;
+  ASSERT_TRUE(
+      serve::ReadFrame(collector_to_coordinator, &sketch, &eof).ok());
+  ASSERT_FALSE(eof);
+  auto coordinator = serve::CollectorSession::Make(spec).ValueOrDie();
+  ASSERT_TRUE(coordinator.HandleFrame(sketch).ok());
+
+  auto via_stream = coordinator.Reconstruct().ValueOrDie();
+  ShardOptions opts;
+  opts.shard_size = shard_size;
+  auto reference = RunProtocolSharded(*protocol, values, 3, opts).ValueOrDie();
+  EXPECT_EQ(via_stream.distribution, reference.distribution);
+
+  // A truncated stream must error out, not emit a sketch.
+  std::stringstream partial(std::string("\x08\x00\x00\x00half", 8));
+  auto broken = serve::CollectorSession::Make(spec).ValueOrDie();
+  std::stringstream sink;
+  EXPECT_FALSE(serve::ServeStream(partial, sink, &broken).ok());
+  EXPECT_TRUE(sink.str().empty());
+}
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,185 @@
+// Cross-process determinism (the acceptance invariant of the wire +
+// collector stack): N real child OS processes — report_client fleets piped
+// into collector_cli daemons — produce sketch files whose merged
+// reconstruction is byte-identical to a single-process sharded run with
+// the same seed, and the coordinator CLI prints the same estimate in any
+// merge order. Tool locations come from CMake (NUMDIST_*_PATH); the test
+// self-skips when the tools were not built.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "protocol/sharded.h"
+#include "serve/collector.h"
+#include "serve/framing.h"
+#include "wire/wire.h"
+
+namespace numdist {
+namespace {
+
+#if defined(NUMDIST_COLLECTOR_CLI_PATH) && defined(NUMDIST_REPORT_CLIENT_PATH)
+
+std::vector<double> TestValues(size_t n) { return GoldenRatioValues(n); }
+
+std::string WriteValuesFile(const std::vector<double>& values) {
+  const std::string path = testing::TempDir() + "wire_process_values.csv";
+  std::ofstream out(path);
+  for (double v : values) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.17g\n", v);
+    out << buf;
+  }
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+// Runs a shell pipeline; returns its exit code.
+int RunPipeline(const std::string& command) {
+  const int rc = std::system(command.c_str());
+  return rc;
+}
+
+// Captures stdout of a command via popen.
+std::string RunAndCapture(const std::string& command) {
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) return "";
+  std::string output;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output.append(buf, got);
+  }
+  EXPECT_EQ(pclose(pipe), 0) << command;
+  return output;
+}
+
+struct ProcessRunConfig {
+  std::string method;
+  double epsilon = 1.0;
+  size_t buckets = 64;
+};
+
+void RunCrossProcessCheck(const ProcessRunConfig& config) {
+  const std::string collector = NUMDIST_COLLECTOR_CLI_PATH;
+  const std::string client = NUMDIST_REPORT_CLIENT_PATH;
+  const uint64_t seed = 7;
+  const size_t shard_size = 4096;
+  const size_t processes = 2;
+
+  const std::vector<double> values = TestValues(20000);
+  const std::string values_path = WriteValuesFile(values);
+
+  // In-process sharded reference with the same seed and shard layout.
+  const auto spec =
+      wire::ParseMethodSpec(config.method, config.epsilon,
+                            static_cast<uint32_t>(config.buckets))
+          .ValueOrDie();
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+  ShardOptions opts;
+  opts.shard_size = shard_size;
+  opts.threads = 2;
+  auto reference =
+      RunProtocolSharded(*protocol, values, seed, opts).ValueOrDie();
+
+  const std::string common_flags =
+      " --method=" + config.method +
+      " --epsilon=" + std::to_string(config.epsilon) +
+      " --buckets=" + std::to_string(config.buckets);
+
+  // Child process pairs: client k of P | collector k -> sketch file k.
+  std::vector<std::string> sketch_paths;
+  for (size_t k = 0; k < processes; ++k) {
+    const std::string sketch_path = testing::TempDir() + "wire_process_" +
+                                    config.method + "_" + std::to_string(k) +
+                                    ".sketch";
+    sketch_paths.push_back(sketch_path);
+    const std::string command =
+        "'" + client + "'" + common_flags + " --input='" + values_path +
+        "'" + " --seed=" + std::to_string(seed) +
+        " --shard-size=" + std::to_string(shard_size) +
+        " --offset=" + std::to_string(k) +
+        " --stride=" + std::to_string(processes) + " 2>/dev/null | '" +
+        collector + "'" + common_flags + " --out='" + sketch_path +
+        "' 2>/dev/null";
+    ASSERT_EQ(RunPipeline(command), 0) << command;
+  }
+
+  // Coordinator (in-process): merge the children's sketch files.
+  auto coordinator = serve::CollectorSession::Make(spec).ValueOrDie();
+  for (const std::string& path : sketch_paths) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    std::string frame;
+    bool eof = false;
+    ASSERT_TRUE(serve::ReadFrame(in, &frame, &eof).ok()) << path;
+    ASSERT_FALSE(eof) << path;
+    ASSERT_TRUE(coordinator.HandleFrame(frame).ok()) << path;
+  }
+  EXPECT_EQ(coordinator.num_reports(), values.size());
+  auto merged = coordinator.Reconstruct().ValueOrDie();
+
+  // Byte-identical to the single-process sharded run.
+  ASSERT_EQ(merged.distribution.size(), reference.distribution.size());
+  EXPECT_EQ(0, std::memcmp(merged.distribution.data(),
+                           reference.distribution.data(),
+                           reference.distribution.size() * sizeof(double)))
+      << config.method;
+
+  // Coordinator CLI agrees, and merge order does not matter.
+  const std::string forward = RunAndCapture(
+      "'" + collector + "'" + common_flags + " --merge='" + sketch_paths[0] +
+      "," + sketch_paths[1] + "' --csv 2>/dev/null");
+  const std::string reverse = RunAndCapture(
+      "'" + collector + "'" + common_flags + " --merge='" + sketch_paths[1] +
+      "," + sketch_paths[0] + "' --csv 2>/dev/null");
+  EXPECT_EQ(forward, reverse) << config.method;
+
+  // The CLI's printed distribution matches the in-process estimate exactly
+  // (%.17g round-trips doubles).
+  std::vector<double> printed;
+  std::stringstream ss(forward);
+  std::string line;
+  std::getline(ss, line);  // header
+  while (std::getline(ss, line)) {
+    const size_t comma = line.find(',');
+    ASSERT_NE(comma, std::string::npos) << line;
+    printed.push_back(strtod(line.c_str() + comma + 1, nullptr));
+  }
+  ASSERT_EQ(printed.size(), merged.distribution.size()) << config.method;
+  for (size_t i = 0; i < printed.size(); ++i) {
+    EXPECT_EQ(printed[i], merged.distribution[i])
+        << config.method << " bucket " << i;
+  }
+
+  std::remove(values_path.c_str());
+  for (const std::string& path : sketch_paths) std::remove(path.c_str());
+}
+
+TEST(WireProcessTest, TwoChildProcessesMatchSingleProcessShardedRun) {
+  RunCrossProcessCheck({.method = "sw-ems", .epsilon = 1.0, .buckets = 64});
+}
+
+TEST(WireProcessTest, CrossProcessOlhPipelineIsBitIdentical) {
+  RunCrossProcessCheck(
+      {.method = "cfo-olh-16", .epsilon = 1.0, .buckets = 64});
+}
+
+#else
+
+TEST(WireProcessTest, SkippedWithoutTools) {
+  GTEST_SKIP() << "collector_cli / report_client were not built "
+                  "(NUMDIST_BUILD_TOOLS=OFF)";
+}
+
+#endif
+
+}  // namespace
+}  // namespace numdist

@@ -1,0 +1,572 @@
+// Wire codec guarantees (wire/wire.h, docs/WIRE_FORMAT.md):
+//  - encode -> decode is the identity for report chunks and accumulator
+//    sketches, across every method family x epsilon {0.5, 1, 4} x
+//    d {16, 256, 1024};
+//  - merging decoded sketches reproduces the bit-identical in-process
+//    aggregate (and therefore the bit-identical reconstruction);
+//  - malformed input — truncated at any byte, bad magic, version skew,
+//    unknown enums, mismatched method/epsilon/dimension context, trailing
+//    bytes, corrupted counts — is a typed error, never UB.
+#include "wire/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "data/datasets.h"
+#include "eval/streaming.h"
+#include "protocol/sharded.h"
+#include "protocol/sw_protocol.h"
+
+namespace numdist {
+namespace {
+
+// Deterministic quasi-random values in (0, 1): cheap, seedless, and
+// identical on every platform.
+std::vector<double> TestValues(size_t n) { return GoldenRatioValues(n); }
+
+void ExpectSameState(const AccumulatorState& a, const AccumulatorState& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.num_reports, b.num_reports) << context;
+  ASSERT_EQ(a.tables.size(), b.tables.size()) << context;
+  for (size_t t = 0; t < a.tables.size(); ++t) {
+    EXPECT_EQ(a.tables[t].n, b.tables[t].n) << context << " table " << t;
+    EXPECT_EQ(a.tables[t].counts, b.tables[t].counts)
+        << context << " table " << t;
+  }
+}
+
+// The method family grid the property tests sweep. All of 16/256/1024 are
+// powers of 4, so the HH tree constraint d = beta^h holds throughout; 16
+// bins divide all three granularities.
+std::vector<wire::MethodSpec> SpecsFor(double epsilon, uint32_t d) {
+  std::vector<wire::MethodSpec> specs;
+  for (const char* name :
+       {"sw-ems", "sw-em", "cfo-16", "cfo-grr-16", "cfo-olh-16", "cfo-oue-16",
+        "hh", "hh-admm", "haar-hrr"}) {
+    specs.push_back(wire::ParseMethodSpec(name, epsilon, d).ValueOrDie());
+  }
+  return specs;
+}
+
+TEST(WireRoundTrip, ChunkAndSketchIdentityAcrossMethodsEpsilonsAndD) {
+  const std::vector<double> values = TestValues(400);
+  const std::span<const double> half1(values.data(), 200);
+  const std::span<const double> half2(values.data() + 200, 200);
+
+  for (const double epsilon : {0.5, 1.0, 4.0}) {
+    for (const uint32_t d : {16u, 256u, 1024u}) {
+      for (const wire::MethodSpec& spec : SpecsFor(epsilon, d)) {
+        const std::string context =
+            wire::MethodSpecName(spec) + " eps=" + std::to_string(epsilon) +
+            " d=" + std::to_string(d);
+        auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+
+        // Two chunks from fixed client streams.
+        Rng rng1(ShardSeed(9, 0)), rng2(ShardSeed(9, 1));
+        auto chunk1 = protocol->EncodePerturbBatch(half1, rng1).ValueOrDie();
+        auto chunk2 = protocol->EncodePerturbBatch(half2, rng2).ValueOrDie();
+
+        // Reference: absorb both chunks directly.
+        auto direct = protocol->MakeAccumulator();
+        ASSERT_TRUE(direct->Absorb(*chunk1).ok()) << context;
+        ASSERT_TRUE(direct->Absorb(*chunk2).ok()) << context;
+
+        // Property 1: chunk encode -> decode -> absorb == direct absorb.
+        auto via_frames = protocol->MakeAccumulator();
+        for (const ReportChunk* chunk : {chunk1.get(), chunk2.get()}) {
+          std::string frame;
+          ASSERT_TRUE(
+              wire::EncodeReportFrame(spec, *protocol, *chunk, &frame).ok())
+              << context;
+          auto decoded = wire::DecodeReportFrame(spec, *protocol,
+                                                 wire::FrameBytes(frame));
+          ASSERT_TRUE(decoded.ok()) << context << ": "
+                                    << decoded.status().ToString();
+          ASSERT_TRUE(via_frames->Absorb(**decoded).ok()) << context;
+        }
+        ExpectSameState(direct->ExportState(), via_frames->ExportState(),
+                        context + " [report frames]");
+
+        // Property 2: sketch encode -> decode is the identity.
+        std::string sketch;
+        ASSERT_TRUE(wire::EncodeSketchFrame(spec, *direct, &sketch).ok())
+            << context;
+        auto imported = wire::DecodeSketchFrame(spec, *protocol,
+                                                wire::FrameBytes(sketch));
+        ASSERT_TRUE(imported.ok()) << context << ": "
+                                   << imported.status().ToString();
+        ExpectSameState(direct->ExportState(), (*imported)->ExportState(),
+                        context + " [sketch frame]");
+
+        // Property 3: merging sketches that crossed the wire reproduces
+        // the in-process aggregate exactly.
+        auto shard1 = protocol->MakeAccumulator();
+        auto shard2 = protocol->MakeAccumulator();
+        ASSERT_TRUE(shard1->Absorb(*chunk1).ok()) << context;
+        ASSERT_TRUE(shard2->Absorb(*chunk2).ok()) << context;
+        std::string frame1, frame2;
+        ASSERT_TRUE(wire::EncodeSketchFrame(spec, *shard1, &frame1).ok());
+        ASSERT_TRUE(wire::EncodeSketchFrame(spec, *shard2, &frame2).ok());
+        auto merged = wire::DecodeSketchFrame(spec, *protocol,
+                                              wire::FrameBytes(frame1))
+                          .ValueOrDie();
+        auto other = wire::DecodeSketchFrame(spec, *protocol,
+                                             wire::FrameBytes(frame2))
+                         .ValueOrDie();
+        ASSERT_TRUE(merged->Merge(*other).ok()) << context;
+        ExpectSameState(direct->ExportState(), merged->ExportState(),
+                        context + " [sketch merge]");
+      }
+    }
+  }
+}
+
+TEST(WireRoundTrip, DiscretePipelineChunksSurviveTheWire) {
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 64;
+  options.pipeline = SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
+  auto protocol = MakeSwProtocol(options).ValueOrDie();
+  const auto spec = wire::ParseMethodSpec("sw-ems", 1.0, 64).ValueOrDie();
+
+  const std::vector<double> values = TestValues(500);
+  Rng rng(77);
+  auto chunk = protocol->EncodePerturbBatch(values, rng).ValueOrDie();
+  std::string frame;
+  ASSERT_TRUE(wire::EncodeReportFrame(spec, *protocol, *chunk, &frame).ok());
+  auto decoded =
+      wire::DecodeReportFrame(spec, *protocol, wire::FrameBytes(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  auto direct = protocol->MakeAccumulator();
+  auto via_wire = protocol->MakeAccumulator();
+  ASSERT_TRUE(direct->Absorb(*chunk).ok());
+  ASSERT_TRUE(via_wire->Absorb(**decoded).ok());
+  ExpectSameState(direct->ExportState(), via_wire->ExportState(), "discrete");
+
+  // A continuous-pipeline endpoint must reject the discrete chunk.
+  SwEstimatorOptions continuous = options;
+  continuous.pipeline = SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize;
+  auto continuous_protocol = MakeSwProtocol(continuous).ValueOrDie();
+  auto rejected = wire::DecodeReportFrame(spec, *continuous_protocol,
+                                          wire::FrameBytes(frame));
+  EXPECT_FALSE(rejected.ok());
+}
+
+TEST(WireRoundTrip, ReconstructionAfterTheWireIsBitIdentical) {
+  const std::vector<double> values = TestValues(20000);
+  for (const char* name : {"sw-ems", "cfo-olh-16"}) {
+    const auto spec = wire::ParseMethodSpec(name, 1.0, 64).ValueOrDie();
+    auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+
+    // In-process sharded reference.
+    ShardOptions opts;
+    opts.shard_size = 4096;
+    opts.threads = 2;
+    auto reference = AccumulateSharded(*protocol, values, 7, opts).ValueOrDie();
+    auto reference_out = protocol->Reconstruct(*reference).ValueOrDie();
+
+    // The same chunks, each crossing the wire as a report frame into one
+    // of two "collector" accumulators, whose sketches then cross the wire
+    // to a "coordinator".
+    const size_t num_shards = (values.size() + opts.shard_size - 1) /
+                              opts.shard_size;
+    auto collector0 = protocol->MakeAccumulator();
+    auto collector1 = protocol->MakeAccumulator();
+    for (size_t i = 0; i < num_shards; ++i) {
+      const size_t begin = i * opts.shard_size;
+      const size_t len = std::min(opts.shard_size, values.size() - begin);
+      Rng rng(ShardSeed(7, i));
+      auto chunk = protocol
+                       ->EncodePerturbBatch(
+                           std::span<const double>(values).subspan(begin, len),
+                           rng)
+                       .ValueOrDie();
+      std::string frame;
+      ASSERT_TRUE(
+          wire::EncodeReportFrame(spec, *protocol, *chunk, &frame).ok());
+      auto decoded =
+          wire::DecodeReportFrame(spec, *protocol, wire::FrameBytes(frame))
+              .ValueOrDie();
+      Accumulator& target = (i % 2 == 0) ? *collector0 : *collector1;
+      ASSERT_TRUE(target.Absorb(*decoded).ok());
+    }
+    std::string sketch0, sketch1;
+    ASSERT_TRUE(wire::EncodeSketchFrame(spec, *collector0, &sketch0).ok());
+    ASSERT_TRUE(wire::EncodeSketchFrame(spec, *collector1, &sketch1).ok());
+    auto coordinator =
+        wire::DecodeSketchFrame(spec, *protocol, wire::FrameBytes(sketch0))
+            .ValueOrDie();
+    auto remote =
+        wire::DecodeSketchFrame(spec, *protocol, wire::FrameBytes(sketch1))
+            .ValueOrDie();
+    ASSERT_TRUE(coordinator->Merge(*remote).ok());
+    auto wire_out = protocol->Reconstruct(*coordinator).ValueOrDie();
+
+    ASSERT_EQ(reference_out.distribution.size(), wire_out.distribution.size());
+    EXPECT_EQ(0, std::memcmp(reference_out.distribution.data(),
+                             wire_out.distribution.data(),
+                             wire_out.distribution.size() * sizeof(double)))
+        << name;
+  }
+}
+
+TEST(WireRoundTrip, SnapshotFramesMergeBitIdentically) {
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 64;
+  auto shard = StreamingAggregator::Make(options).ValueOrDie();
+  Rng rng(5);
+  for (double v : TestValues(4000)) {
+    shard.Accept(shard.estimator().PerturbOne(v, rng));
+  }
+
+  std::string frame;
+  ASSERT_TRUE(wire::EncodeSnapshotFrame(1.0, shard, &frame).ok());
+  const auto info = wire::PeekFrame(wire::FrameBytes(frame)).ValueOrDie();
+  EXPECT_EQ(info.type, wire::FrameType::kSnapshot);
+  EXPECT_EQ(info.snapshot_epsilon, 1.0);
+  EXPECT_EQ(info.snapshot_d, 64u);
+  EXPECT_FALSE(info.snapshot_discrete);
+  EXPECT_EQ(info.snapshot_buckets, shard.counts().size());
+
+  auto merged = StreamingAggregator::Make(options).ValueOrDie();
+  ASSERT_TRUE(
+      wire::DecodeSnapshotFrameInto(1.0, wire::FrameBytes(frame), &merged)
+          .ok());
+  EXPECT_EQ(shard.counts(), merged.counts());
+  EXPECT_EQ(shard.count(), merged.count());
+
+  // Epsilon group mismatch is refused outright.
+  auto other = StreamingAggregator::Make(options).ValueOrDie();
+  EXPECT_FALSE(
+      wire::DecodeSnapshotFrameInto(2.0, wire::FrameBytes(frame), &other)
+          .ok());
+  EXPECT_EQ(other.count(), 0u);
+
+  // So is a structurally different estimator, even at the same epsilon:
+  // a different input granularity or the other report pipeline.
+  SwEstimatorOptions other_d = options;
+  other_d.d = 32;
+  auto mismatched_d = StreamingAggregator::Make(other_d).ValueOrDie();
+  EXPECT_FALSE(wire::DecodeSnapshotFrameInto(1.0, wire::FrameBytes(frame),
+                                             &mismatched_d)
+                   .ok());
+  SwEstimatorOptions other_pipeline = options;
+  other_pipeline.pipeline =
+      SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
+  auto mismatched_pipeline =
+      StreamingAggregator::Make(other_pipeline).ValueOrDie();
+  EXPECT_FALSE(wire::DecodeSnapshotFrameInto(1.0, wire::FrameBytes(frame),
+                                             &mismatched_pipeline)
+                   .ok());
+  EXPECT_EQ(mismatched_pipeline.count(), 0u);
+}
+
+TEST(WireSpec, ParseMethodSpecCoversTheCliNames) {
+  EXPECT_EQ(wire::ParseMethodSpec("sw-ems", 1.0, 64)->method,
+            wire::MethodId::kSwEms);
+  EXPECT_EQ(wire::ParseMethodSpec("cfo-32", 1.0, 64)->param, 32u);
+  EXPECT_EQ(wire::ParseMethodSpec("cfo-grr-8", 1.0, 64)->method,
+            wire::MethodId::kCfoGrr);
+  EXPECT_EQ(wire::ParseMethodSpec("cfo-olh-16", 1.0, 64)->method,
+            wire::MethodId::kCfoOlh);
+  EXPECT_EQ(wire::ParseMethodSpec("cfo-oue-16", 1.0, 64)->method,
+            wire::MethodId::kCfoOue);
+  EXPECT_EQ(wire::ParseMethodSpec("hh", 1.0, 64)->param, 4u);
+  EXPECT_EQ(wire::ParseMethodSpec("hh-admm", 1.0, 64)->method,
+            wire::MethodId::kHhAdmm);
+  EXPECT_EQ(wire::ParseMethodSpec("haar-hrr", 1.0, 64)->method,
+            wire::MethodId::kHaarHrr);
+  EXPECT_FALSE(wire::ParseMethodSpec("sw", 1.0, 64).ok());
+  EXPECT_FALSE(wire::ParseMethodSpec("cfo-", 1.0, 64).ok());
+  EXPECT_FALSE(wire::ParseMethodSpec("cfo-12x", 1.0, 64).ok());
+  // The bin-count ceiling must hold for every digit count.
+  EXPECT_FALSE(wire::ParseMethodSpec("cfo-grr-100001", 1.0, 64).ok());
+  EXPECT_FALSE(wire::ParseMethodSpec("cfo-grr-999999", 1.0, 64).ok());
+  EXPECT_FALSE(
+      wire::ParseMethodSpec("cfo-grr-99999999999999999999", 1.0, 64).ok());
+  EXPECT_EQ(wire::ParseMethodSpec("cfo-grr-100000", 1.0, 64)->param, 100000u);
+  // Round trip through the display name.
+  for (const char* name : {"sw-ems", "cfo-16", "cfo-olh-32", "hh-admm"}) {
+    EXPECT_EQ(wire::MethodSpecName(*wire::ParseMethodSpec(name, 1.0, 64)),
+              name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input. A small SW frame keeps the truncation sweep cheap.
+
+class WireRejectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = wire::ParseMethodSpec("sw-ems", 1.0, 16).ValueOrDie();
+    protocol_ = wire::MakeProtocolForSpec(spec_).ValueOrDie();
+    const std::vector<double> values = TestValues(8);
+    Rng rng(3);
+    chunk_ = protocol_->EncodePerturbBatch(values, rng).ValueOrDie();
+    ASSERT_TRUE(wire::EncodeReportFrame(spec_, *protocol_, *chunk_,
+                                        &report_frame_)
+                    .ok());
+    acc_ = protocol_->MakeAccumulator();
+    ASSERT_TRUE(acc_->Absorb(*chunk_).ok());
+    ASSERT_TRUE(wire::EncodeSketchFrame(spec_, *acc_, &sketch_frame_).ok());
+  }
+
+  Status DecodeReport(const std::string& frame) {
+    return wire::DecodeReportFrame(spec_, *protocol_, wire::FrameBytes(frame))
+        .status();
+  }
+  Status DecodeSketch(const std::string& frame) {
+    return wire::DecodeSketchFrame(spec_, *protocol_, wire::FrameBytes(frame))
+        .status();
+  }
+
+  wire::MethodSpec spec_;
+  ProtocolPtr protocol_;
+  std::unique_ptr<ReportChunk> chunk_;
+  std::unique_ptr<Accumulator> acc_;
+  std::string report_frame_;
+  std::string sketch_frame_;
+};
+
+TEST_F(WireRejectionTest, EveryTruncationIsATypedError) {
+  for (size_t len = 0; len < report_frame_.size(); ++len) {
+    const Status st = DecodeReport(report_frame_.substr(0, len));
+    EXPECT_FALSE(st.ok()) << "report frame truncated to " << len << " bytes";
+  }
+  for (size_t len = 0; len < sketch_frame_.size(); ++len) {
+    const Status st = DecodeSketch(sketch_frame_.substr(0, len));
+    EXPECT_FALSE(st.ok()) << "sketch frame truncated to " << len << " bytes";
+  }
+}
+
+TEST_F(WireRejectionTest, BadMagicVersionSkewFlagsAndFrameType) {
+  std::string frame = report_frame_;
+  frame[0] = static_cast<char>(frame[0] ^ 0xFF);
+  Status st = DecodeReport(frame);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("magic"), std::string::npos);
+
+  frame = report_frame_;
+  frame[4] = 2;  // version low byte
+  st = DecodeReport(frame);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+
+  frame = report_frame_;
+  frame[7] = 1;  // flags must be zero in v1
+  EXPECT_FALSE(DecodeReport(frame).ok());
+
+  frame = report_frame_;
+  frame[6] = 9;  // unknown frame type
+  EXPECT_FALSE(DecodeReport(frame).ok());
+  EXPECT_FALSE(wire::PeekFrame(wire::FrameBytes(frame)).ok());
+
+  // Right preamble, wrong frame kind for the call.
+  EXPECT_FALSE(DecodeReport(sketch_frame_).ok());
+  EXPECT_FALSE(DecodeSketch(report_frame_).ok());
+  StreamingAggregator agg =
+      StreamingAggregator::Make({.epsilon = 1.0, .d = 16}).ValueOrDie();
+  EXPECT_FALSE(wire::DecodeSnapshotFrameInto(
+                   1.0, wire::FrameBytes(report_frame_), &agg)
+                   .ok());
+}
+
+TEST_F(WireRejectionTest, UnknownMethodIdIsRejected) {
+  std::string frame = report_frame_;
+  frame[8] = 99;  // method id byte
+  EXPECT_FALSE(DecodeReport(frame).ok());
+  EXPECT_FALSE(wire::PeekFrame(wire::FrameBytes(frame)).ok());
+}
+
+TEST_F(WireRejectionTest, ContextMismatchesAreRejected) {
+  // Wrong method at the endpoint.
+  const auto em_spec = wire::ParseMethodSpec("sw-em", 1.0, 16).ValueOrDie();
+  auto em_protocol = wire::MakeProtocolForSpec(em_spec).ValueOrDie();
+  Status st = wire::DecodeReportFrame(em_spec, *em_protocol,
+                                      wire::FrameBytes(report_frame_))
+                  .status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("method"), std::string::npos);
+
+  // Wrong epsilon (bit-exact comparison).
+  const auto eps_spec = wire::ParseMethodSpec("sw-ems", 2.0, 16).ValueOrDie();
+  auto eps_protocol = wire::MakeProtocolForSpec(eps_spec).ValueOrDie();
+  st = wire::DecodeReportFrame(eps_spec, *eps_protocol,
+                               wire::FrameBytes(report_frame_))
+           .status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("epsilon"), std::string::npos);
+
+  // Wrong granularity.
+  const auto d_spec = wire::ParseMethodSpec("sw-ems", 1.0, 32).ValueOrDie();
+  auto d_protocol = wire::MakeProtocolForSpec(d_spec).ValueOrDie();
+  st = wire::DecodeSketchFrame(d_spec, *d_protocol,
+                               wire::FrameBytes(sketch_frame_))
+           .status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("granularity"), std::string::npos);
+}
+
+TEST_F(WireRejectionTest, TrailingBytesAreRejected) {
+  Status st = DecodeReport(report_frame_ + std::string(1, '\0'));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("trailing"), std::string::npos);
+  st = DecodeSketch(sketch_frame_ + std::string(3, 'x'));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("trailing"), std::string::npos);
+}
+
+TEST_F(WireRejectionTest, CorruptedSketchCountsAreRejected) {
+  // Sketch payload layout: preamble (8) + method block (17) + num_reports
+  // (8) + table count (4) + table n (8) + length (8) puts the first i64
+  // count at offset 53. Forcing its sign bit makes it negative, which the
+  // SW import integrity checks must refuse.
+  ASSERT_GT(sketch_frame_.size(), 61u);
+  std::string frame = sketch_frame_;
+  frame[60] = static_cast<char>(0x80);
+  EXPECT_FALSE(DecodeSketch(frame).ok());
+}
+
+TEST_F(WireRejectionTest, PoisonedCfoCountsAreRejected) {
+  // CFO sketch cells are per-user 0/1 contributions, so any imported
+  // count outside [0, n] is corruption, not data.
+  const auto spec = wire::ParseMethodSpec("cfo-grr-16", 1.0, 16).ValueOrDie();
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+  Rng rng(4);
+  auto chunk = protocol->EncodePerturbBatch(TestValues(50), rng).ValueOrDie();
+  auto acc = protocol->MakeAccumulator();
+  ASSERT_TRUE(acc->Absorb(*chunk).ok());
+
+  AccumulatorState negative = acc->ExportState();
+  negative.tables[0].counts[0] = -1;
+  EXPECT_FALSE(protocol->MakeAccumulator()->ImportState(negative).ok());
+
+  AccumulatorState oversized = acc->ExportState();
+  oversized.tables[0].counts[0] =
+      static_cast<int64_t>(oversized.num_reports) + 1;
+  EXPECT_FALSE(protocol->MakeAccumulator()->ImportState(oversized).ok());
+
+  // The untouched export still imports cleanly.
+  EXPECT_TRUE(protocol->MakeAccumulator()->ImportState(acc->ExportState())
+                  .ok());
+}
+
+TEST_F(WireRejectionTest, PoisonedHierarchyCountsAreRejected) {
+  // HH level tables are categorical FO counts in [0, n]; Haar level
+  // tables are signed correlations in [-n, n]. Anything outside the band
+  // is corruption.
+  for (const char* name : {"hh", "haar-hrr"}) {
+    const auto spec = wire::ParseMethodSpec(name, 1.0, 16).ValueOrDie();
+    auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+    Rng rng(6);
+    auto chunk =
+        protocol->EncodePerturbBatch(TestValues(50), rng).ValueOrDie();
+    auto acc = protocol->MakeAccumulator();
+    ASSERT_TRUE(acc->Absorb(*chunk).ok()) << name;
+
+    // Find a level that received reports and push a count out of band.
+    AccumulatorState oversized = acc->ExportState();
+    for (AccumulatorTable& table : oversized.tables) {
+      if (table.n > 0) {
+        table.counts[0] = static_cast<int64_t>(table.n) + 1;
+        break;
+      }
+    }
+    EXPECT_FALSE(protocol->MakeAccumulator()->ImportState(oversized).ok())
+        << name;
+
+    if (std::string(name) == "hh") {
+      AccumulatorState negative = acc->ExportState();
+      negative.tables[0].counts[0] = -1;
+      EXPECT_FALSE(protocol->MakeAccumulator()->ImportState(negative).ok())
+          << name;
+    }
+
+    // The untouched export still imports cleanly.
+    EXPECT_TRUE(
+        protocol->MakeAccumulator()->ImportState(acc->ExportState()).ok())
+        << name;
+  }
+}
+
+TEST_F(WireRejectionTest, NonFiniteReportsAreRejected) {
+  // A NaN report would sail through the continuous pipeline's clamp (NaN
+  // comparisons are all false) into a float->index cast that is UB, so
+  // the decoder must refuse it at the trust boundary. Report payload
+  // layout: preamble (8) + method block (17) + pipeline flag (1) +
+  // output buckets (4) + count (8) puts the first f64 at offset 38.
+  ASSERT_GT(report_frame_.size(), 46u);
+  std::string frame = report_frame_;
+  const uint64_t nan_bits = 0x7FF8000000000000ULL;
+  for (size_t i = 0; i < 8; ++i) {
+    frame[38 + i] = static_cast<char>((nan_bits >> (8 * i)) & 0xFF);
+  }
+  const Status st = DecodeReport(frame);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("non-finite"), std::string::npos);
+}
+
+TEST_F(WireRejectionTest, WrappingCountSumsAreRejected) {
+  // Counts whose u64 sum wraps mod 2^64 back onto the report count must
+  // not pass the import integrity checks: each addition is
+  // overflow-checked, so "sum == n via wraparound" is a typed error, not
+  // an accepted state.
+  AccumulatorState state = acc_->ExportState();
+  ASSERT_EQ(state.tables.size(), 1u);
+  ASSERT_GE(state.tables[0].counts.size(), 5u);
+  const uint64_t n = state.num_reports;
+  std::fill(state.tables[0].counts.begin(), state.tables[0].counts.end(),
+            int64_t{0});
+  // Four 2^62 terms sum to 2^64 ≡ 0, then + n lands exactly on n.
+  for (size_t i = 0; i < 4; ++i) {
+    state.tables[0].counts[i] = int64_t{1} << 62;
+  }
+  state.tables[0].counts[4] = static_cast<int64_t>(n);
+  auto fresh = protocol_->MakeAccumulator();
+  EXPECT_FALSE(fresh->ImportState(state).ok());
+
+  // Same guard on the streaming-count merge path.
+  StreamingAggregator agg =
+      StreamingAggregator::Make({.epsilon = 1.0, .d = 16}).ValueOrDie();
+  std::vector<uint64_t> counts(agg.counts().size(), 0);
+  ASSERT_GE(counts.size(), 3u);
+  counts[0] = uint64_t{1} << 63;
+  counts[1] = uint64_t{1} << 63;
+  counts[2] = 5;
+  EXPECT_FALSE(agg.MergeCounts(counts, 5).ok());
+  EXPECT_EQ(agg.count(), 0u);
+}
+
+TEST_F(WireRejectionTest, CorruptedSnapshotCountsAreRejected) {
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 16;
+  auto shard = StreamingAggregator::Make(options).ValueOrDie();
+  Rng rng(11);
+  for (double v : TestValues(200)) {
+    shard.Accept(shard.estimator().PerturbOne(v, rng));
+  }
+  std::string frame;
+  ASSERT_TRUE(wire::EncodeSnapshotFrame(1.0, shard, &frame).ok());
+  // Snapshot layout: preamble (8) + epsilon (8) + d (4) + pipeline (1) +
+  // buckets (4) + count (8) puts the first bucket count at offset 33;
+  // bump it so the counts no longer sum to the report count.
+  std::string corrupt = frame;
+  corrupt[33] = static_cast<char>(corrupt[33] + 1);
+  auto target = StreamingAggregator::Make(options).ValueOrDie();
+  EXPECT_FALSE(
+      wire::DecodeSnapshotFrameInto(1.0, wire::FrameBytes(corrupt), &target)
+          .ok());
+  EXPECT_EQ(target.count(), 0u);
+}
+
+}  // namespace
+}  // namespace numdist

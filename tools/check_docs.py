@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Doc-sync check: documented examples must keep working.
+
+Extracts fenced code blocks from README.md and docs/*.md and verifies them
+against the tree, so examples cannot rot:
+
+  ```cpp    compiled with `--cxx -fsyntax-only -std=c++20 -I src` (each
+            block must be a self-contained translation unit); add
+            `fragment` to the info string (```cpp fragment) to skip a
+            block that is intentionally partial;
+  ```sh     every `./build/...` binary must correspond to a registered
+            CMake executable target whose source exists, and every
+            `--flag` passed to it must appear in that source (so a renamed
+            tool or flag breaks this check, not a user); `--benchmark_*`
+            flags belong to google-benchmark and are whitelisted;
+  ```ini    parsed + validated as a scenario file via
+            `--scenario-cli <path> --validate` (skipped when the binary
+            is unavailable); `fragment` skips here too.
+
+Exit code 0 = all blocks check out; 1 = at least one stale example, each
+reported as file:line. Run by CI and by the numdist_check_docs ctest.
+
+Usage:
+  python3 tools/check_docs.py --repo . [--cxx g++] \
+      [--scenario-cli build/tools/scenario_cli]
+"""
+
+import argparse
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+# google-benchmark parses these itself; they never appear in our sources.
+FLAG_WHITELIST_PREFIXES = ("--benchmark_",)
+
+# Shell builtins / external commands whose arguments we do not validate.
+IGNORED_COMMANDS = {
+    "cmake", "ctest", "cd", "diff", "seq", "awk", "python3", "python",
+    "echo", "cat", "for", "do", "done", "git", "mkdir", "rm", "export",
+}
+
+
+def find_blocks(path):
+    """Yields (start_line, info_string, [lines]) per fenced block."""
+    blocks, info, start, buf = [], None, 0, []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            stripped = line.rstrip("\n")
+            if stripped.strip().startswith("```"):
+                if info is None:
+                    info = stripped.strip()[3:].strip()
+                    start = lineno
+                    buf = []
+                else:
+                    blocks.append((start, info, buf))
+                    info = None
+            elif info is not None:
+                buf.append(stripped)
+    return blocks
+
+
+def executable_targets(repo):
+    """Maps binary basename -> source path for every registered executable.
+
+    Targets must be derivable from the CMakeLists themselves (explicit
+    add_executable, OUTPUT_NAME, set()-list + foreach-ITEMS names) — a
+    stray source file that is no longer registered must NOT count, so a
+    doc example invoking a deregistered tool fails this check. The only
+    directory-driven cases are tests/ and examples/, whose CMakeLists use
+    file(GLOB): there, source presence genuinely implies a target.
+    """
+    targets = {}
+    add_exe = re.compile(r"add_executable\(\s*([\w$@{}]+)\s+([\w./]+)")
+    out_name = re.compile(
+        r"set_target_properties\(\s*(\w+)\s+PROPERTIES\s+OUTPUT_NAME\s+(\w+)")
+    set_list = re.compile(r"set\(\s*(\w+)\s+([^)]*)\)", re.MULTILINE)
+    foreach_items = re.compile(r"foreach\(\s*\w+\s+IN\s+ITEMS\s+([^)]*)\)")
+    for subdir in ("tools", "bench", "examples", "tests"):
+        cml = os.path.join(repo, subdir, "CMakeLists.txt")
+        if not os.path.exists(cml):
+            continue
+        text = open(cml, encoding="utf-8").read()
+        uses_glob = "file(GLOB" in text
+        for match in add_exe.finditer(text):
+            name, source = match.groups()
+            if "{" in name:  # foreach-generated; names resolved below
+                continue
+            targets[name] = os.path.join(subdir, source)
+        # List-generated targets: set(<var> a b c) / foreach(x IN ITEMS a b)
+        # followed by add_executable(${x} ${x}.cc).
+        names = []
+        for match in set_list.finditer(text):
+            names += match.group(2).split()
+        for match in foreach_items.finditer(text):
+            names += match.group(1).split()
+        for name in names:
+            source = os.path.join(subdir, name + ".cc")
+            if re.fullmatch(r"\w+", name) and os.path.exists(
+                    os.path.join(repo, source)):
+                targets.setdefault(name, source)
+        for match in out_name.finditer(text):
+            target, output = match.groups()
+            if target in targets:
+                targets[output] = targets[target]
+        # file(GLOB)-driven directories: every source is a target.
+        if uses_glob:
+            for entry in sorted(os.listdir(os.path.join(repo, subdir))):
+                base, ext = os.path.splitext(entry)
+                if subdir == "examples" and ext == ".cpp":
+                    targets.setdefault("example_" + base,
+                                       os.path.join(subdir, entry))
+                elif subdir == "tests" and ext == ".cc":
+                    targets.setdefault("numdist_" + base,
+                                       os.path.join(subdir, entry))
+    return targets
+
+
+def check_cpp(repo, cxx, block, errors, context):
+    start, _, lines = block
+    if cxx is None:
+        return
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cc", delete=False) as tmp:
+        tmp.write("\n".join(lines) + "\n")
+        tmp_path = tmp.name
+    try:
+        cmd = [cxx, "-fsyntax-only", "-std=c++20", "-Wall",
+               "-I", os.path.join(repo, "src"), "-x", "c++", tmp_path]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            errors.append("%s: cpp block does not compile:\n%s"
+                          % (context, proc.stderr.strip()))
+    finally:
+        os.unlink(tmp_path)
+
+
+def shell_segments(lines):
+    """Joins continuations, strips comments, splits on |, &&, ;."""
+    joined, pending = [], ""
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        joined.append(pending + line)
+        pending = ""
+    if pending:
+        joined.append(pending)
+    segments = []
+    for line in joined:
+        line = line.split(" #", 1)[0]
+        for seg in re.split(r"\||&&|;", line):
+            seg = seg.strip()
+            if seg:
+                segments.append(seg)
+    return segments
+
+
+def check_sh(repo, targets, block, errors, context):
+    for segment in shell_segments(block[2]):
+        try:
+            tokens = shlex.split(segment)
+        except ValueError as exc:
+            errors.append("%s: unparseable sh line '%s' (%s)"
+                          % (context, segment, exc))
+            continue
+        if not tokens:
+            continue
+        # Shell-keyword prefixes (`do ./build/...` inside a for loop) must
+        # not hide the real command from validation.
+        while tokens and tokens[0] in ("do", "then", "else", "time"):
+            tokens = tokens[1:]
+        if not tokens:
+            continue
+        command = tokens[0]
+        # Redirections leak into tokens under shlex; drop obvious ones.
+        tokens = [t for t in tokens if t not in (">", ">>", "<")]
+        if not (command.startswith("./build/") or
+                command.startswith("build/")):
+            base = os.path.basename(command)
+            if base not in IGNORED_COMMANDS and base not in targets:
+                # Unknown non-build command: tolerated (PATH tools), but a
+                # ./build-style typo would be caught above.
+                pass
+            continue
+        base = os.path.basename(command)
+        if base not in targets:
+            errors.append("%s: '%s' is not a registered executable target"
+                          % (context, command))
+            continue
+        source = os.path.join(repo, targets[base])
+        if not os.path.exists(source):
+            errors.append("%s: source %s for '%s' does not exist"
+                          % (context, targets[base], command))
+            continue
+        source_text = open(source, encoding="utf-8").read()
+        # Flag parsing may be factored into a sibling header (e.g. the
+        # benches share bench_common.h): follow local quoted includes one
+        # hop so shared flags resolve.
+        for include in re.findall(r'#include\s+"([^"]+)"', source_text):
+            local = os.path.join(os.path.dirname(source), include)
+            if os.path.exists(local):
+                source_text += open(local, encoding="utf-8").read()
+        for token in tokens[1:]:
+            if not token.startswith("--"):
+                continue
+            flag = token.split("=", 1)[0]
+            if flag.startswith(FLAG_WHITELIST_PREFIXES):
+                continue
+            # Boundary-anchored match: '--in' must not pass because
+            # '--input=' appears in the source.
+            if not re.search(re.escape(flag) + r"(?![\w-])", source_text):
+                errors.append("%s: flag '%s' not found in %s"
+                              % (context, flag, targets[base]))
+
+
+def check_scenario(scenario_cli, block, errors, context):
+    if scenario_cli is None:
+        return
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".scenario", delete=False) as tmp:
+        tmp.write("\n".join(block[2]) + "\n")
+        tmp_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [scenario_cli, "--validate", "--scenario=" + tmp_path],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            errors.append("%s: scenario block rejected by scenario_cli:\n%s"
+                          % (context, proc.stderr.strip()))
+    finally:
+        os.unlink(tmp_path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=".",
+                        help="repository root (contains README.md, docs/)")
+    parser.add_argument("--cxx", default=None,
+                        help="C++ compiler for ```cpp blocks (skip if unset)")
+    parser.add_argument("--scenario-cli", default=None,
+                        help="scenario_cli binary for ```ini blocks "
+                             "(skip if unset/missing)")
+    args = parser.parse_args()
+    repo = os.path.abspath(args.repo)
+
+    scenario_cli = args.scenario_cli
+    if scenario_cli is not None and not os.path.exists(scenario_cli):
+        print("note: %s not found; skipping scenario validation"
+              % scenario_cli)
+        scenario_cli = None
+
+    files = [os.path.join(repo, "README.md")]
+    docs_dir = os.path.join(repo, "docs")
+    if os.path.isdir(docs_dir):
+        files += sorted(
+            os.path.join(docs_dir, f) for f in os.listdir(docs_dir)
+            if f.endswith(".md"))
+
+    targets = executable_targets(repo)
+    errors, checked = [], 0
+    for path in files:
+        if not os.path.exists(path):
+            errors.append("%s: file missing" % path)
+            continue
+        for block in find_blocks(path):
+            start, info, _ = block
+            lang = info.split()[0] if info else ""
+            if "fragment" in info.split():
+                continue
+            context = "%s:%d" % (os.path.relpath(path, repo), start)
+            if lang == "cpp":
+                check_cpp(repo, args.cxx, block, errors, context)
+                checked += 1
+            elif lang == "sh":
+                check_sh(repo, targets, block, errors, context)
+                checked += 1
+            elif lang == "ini":
+                check_scenario(scenario_cli, block, errors, context)
+                checked += 1
+
+    if errors:
+        print("check_docs: %d stale example(s):" % len(errors))
+        for err in errors:
+            print("  " + err)
+        return 1
+    print("check_docs: %d block(s) across %d file(s) are in sync"
+          % (checked, len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+// collector_cli — one aggregator process of the distributed collector.
+//
+// Collector mode (default): read length-prefixed wire frames (report
+// chunks from clients and/or sketch frames from other collectors) from
+// stdin or --in until EOF, then emit this process's aggregate as one
+// length-prefixed sketch frame on stdout or --out:
+//
+//   report_client ... | collector_cli --method=sw-ems --epsilon=1.0
+//       --buckets=64 --out=shard0.sketch
+//
+// Coordinator mode (--merge): read sketch frame files produced by
+// collector processes, merge them, reconstruct, and print the estimated
+// distribution (or a range-query grid for the range-only methods):
+//
+//   collector_cli --method=sw-ems --epsilon=1.0 --buckets=64
+//       --merge=shard0.sketch,shard1.sketch --csv
+//
+// All endpoints must agree on (--method, --epsilon, --buckets): frames
+// carrying any other configuration are rejected with a typed error
+// (docs/WIRE_FORMAT.md). Merging is exact integer addition, so the
+// coordinator's output is bit-identical to a single-process run over the
+// same report chunks, in any merge order.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "serve/collector.h"
+#include "serve/framing.h"
+#include "wire/wire.h"
+
+using namespace numdist;
+using numdist::tools::Fail;
+using numdist::tools::FlagValue;
+
+namespace {
+
+struct CliFlags {
+  std::string method = "sw-ems";
+  double epsilon = 1.0;
+  size_t buckets = 64;
+  std::string in_path;   // empty = stdin
+  std::string out_path;  // empty = stdout
+  std::string merge;     // comma-separated sketch files -> coordinator mode
+  bool csv = false;
+};
+
+void Usage() {
+  fprintf(stderr,
+          "usage: collector_cli --method=M --epsilon=E --buckets=D\n"
+          "                     [--in=FILE] [--out=FILE]\n"
+          "       collector_cli --method=M --epsilon=E --buckets=D\n"
+          "                     --merge=a.sketch,b.sketch[,...] [--csv]\n"
+          "methods: sw-ems sw-em cfo-<bins> cfo-grr-<bins> cfo-olh-<bins>\n"
+          "         cfo-oue-<bins> hh hh-admm haar-hrr\n");
+}
+
+bool ParseCli(int argc, char** argv, CliFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const char* v = FlagValue(arg, "--method=")) {
+      flags->method = v;
+    } else if (const char* v = FlagValue(arg, "--epsilon=")) {
+      flags->epsilon = atof(v);
+    } else if (const char* v = FlagValue(arg, "--buckets=")) {
+      flags->buckets = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--in=")) {
+      flags->in_path = v;
+    } else if (const char* v = FlagValue(arg, "--out=")) {
+      flags->out_path = v;
+    } else if (const char* v = FlagValue(arg, "--merge=")) {
+      flags->merge = v;
+    } else if (arg == "--csv") {
+      flags->csv = true;
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Folds every length-prefixed frame of a collector output file into the
+// session — a file may hold several concatenated sketch frames (e.g.
+// `cat shard*.sketch > all.sketch`), and silently dropping any of them
+// would under-count, so the file is drained to a clean EOF.
+Status MergeSketchFile(const std::string& path,
+                       serve::CollectorSession* session) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("collector: cannot open '" + path + "'");
+  }
+  std::string frame;
+  bool eof = false;
+  size_t frames = 0;
+  while (true) {
+    NUMDIST_RETURN_NOT_OK(serve::ReadFrame(in, &frame, &eof));
+    if (eof) break;
+    NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame));
+    ++frames;
+  }
+  if (frames == 0) {
+    return Status::InvalidArgument("collector: '" + path +
+                                   "' holds no sketch frame");
+  }
+  return Status::OK();
+}
+
+int RunCoordinator(const CliFlags& flags, serve::CollectorSession* session) {
+  std::vector<std::string> paths;
+  std::stringstream ss(flags.merge);
+  std::string path;
+  while (std::getline(ss, path, ',')) {
+    if (!path.empty()) paths.push_back(path);
+  }
+  if (paths.empty()) {
+    fprintf(stderr, "--merge needs at least one sketch file\n");
+    return 2;
+  }
+  for (const std::string& p : paths) {
+    const Status st = MergeSketchFile(p, session);
+    if (!st.ok()) return Fail(st);
+  }
+  Result<MethodOutput> output = session->Reconstruct();
+  if (!output.ok()) return Fail(output.status());
+
+  fprintf(stderr, "merged %zu sketch(es), %llu reports\n", paths.size(),
+          static_cast<unsigned long long>(session->num_reports()));
+  if (!output->distribution.empty()) {
+    if (flags.csv) {
+      // Machine mode: full-precision rows, byte-diffable across merge
+      // orders and against the in-process run.
+      printf("bucket,probability\n");
+      for (size_t i = 0; i < output->distribution.size(); ++i) {
+        printf("%zu,%.17g\n", i, output->distribution[i]);
+      }
+    } else {
+      // Human mode: configuration plus summary statistics of the merged
+      // estimate (full data via --csv).
+      const size_t d = output->distribution.size();
+      double mean = 0.0, m2 = 0.0;
+      for (size_t i = 0; i < d; ++i) {
+        const double mid = (static_cast<double>(i) + 0.5) /
+                           static_cast<double>(d);
+        mean += output->distribution[i] * mid;
+        m2 += output->distribution[i] * mid * mid;
+      }
+      const double var = std::max(0.0, m2 - mean * mean);
+      printf("method=%s reports=%llu buckets=%zu\n",
+             wire::MethodSpecName(session->spec()).c_str(),
+             static_cast<unsigned long long>(session->num_reports()), d);
+      printf("estimated mean=%.6f stddev=%.6f mass[0,0.5)=%.6f\n", mean,
+             std::sqrt(var), output->range_query(0.0, 0.5));
+    }
+  } else {
+    // Range-only methods (hh, haar-hrr): a deterministic query grid so
+    // coordinator outputs stay diffable.
+    const size_t grid = 16;
+    if (flags.csv) {
+      printf("lo,alpha,mass\n");
+      for (size_t i = 0; i < grid; ++i) {
+        const double lo = static_cast<double>(i) / grid;
+        printf("%.17g,%.17g,%.17g\n", lo, 1.0 / grid,
+               output->range_query(lo, 1.0 / grid));
+      }
+    } else {
+      printf("%-8s %-8s %s\n", "lo", "alpha", "mass");
+      for (size_t i = 0; i < grid; ++i) {
+        const double lo = static_cast<double>(i) / grid;
+        printf("%-8.4f %-8.4f %.6f\n", lo, 1.0 / grid,
+               output->range_query(lo, 1.0 / grid));
+      }
+    }
+  }
+  return 0;
+}
+
+int RunCollector(const CliFlags& flags, serve::CollectorSession* session) {
+  std::ifstream file_in;
+  if (!flags.in_path.empty()) {
+    file_in.open(flags.in_path, std::ios::binary);
+    if (!file_in) {
+      fprintf(stderr, "error: cannot open '%s'\n", flags.in_path.c_str());
+      return 1;
+    }
+  }
+  std::ofstream file_out;
+  if (!flags.out_path.empty()) {
+    file_out.open(flags.out_path, std::ios::binary);
+    if (!file_out) {
+      fprintf(stderr, "error: cannot open '%s'\n", flags.out_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = flags.in_path.empty() ? std::cin : file_in;
+  std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
+  const Status st = serve::ServeStream(in, out, session);
+  if (!st.ok()) return Fail(st);
+  fprintf(stderr, "collector absorbed %llu reports (%s)\n",
+          static_cast<unsigned long long>(session->num_reports()),
+          wire::MethodSpecName(session->spec()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  if (!ParseCli(argc, argv, &flags)) {
+    Usage();
+    return 2;
+  }
+  Result<wire::MethodSpec> spec = wire::ParseMethodSpec(
+      flags.method, flags.epsilon, static_cast<uint32_t>(flags.buckets));
+  if (!spec.ok()) return Fail(spec.status());
+  Result<serve::CollectorSession> session =
+      serve::CollectorSession::Make(spec.value());
+  if (!session.ok()) return Fail(session.status());
+
+  if (!flags.merge.empty()) {
+    return RunCoordinator(flags, &session.value());
+  }
+  return RunCollector(flags, &session.value());
+}

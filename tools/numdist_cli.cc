@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "cli_common.h"
 #include "common/rng.h"
 #include "data/loader.h"
 #include "eval/method.h"
@@ -26,6 +27,7 @@
 #include "protocol/sharded.h"
 
 using namespace numdist;
+using numdist::tools::FlagValue;
 
 namespace {
 
@@ -56,33 +58,29 @@ void Usage() {
 bool ParseCli(int argc, char** argv, CliFlags* flags) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const auto value = [&](const char* prefix) -> const char* {
-      const size_t len = strlen(prefix);
-      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
-    };
-    if (const char* v = value("--input=")) {
+    if (const char* v = FlagValue(arg, "--input=")) {
       flags->input = v;
-    } else if (const char* v = value("--column=")) {
+    } else if (const char* v = FlagValue(arg, "--column=")) {
       flags->column = static_cast<size_t>(atoll(v));
-    } else if (const char* v = value("--delimiter=")) {
+    } else if (const char* v = FlagValue(arg, "--delimiter=")) {
       flags->delimiter = v[0];
     } else if (arg == "--skip-header") {
       flags->skip_header = true;
-    } else if (const char* v = value("--min=")) {
+    } else if (const char* v = FlagValue(arg, "--min=")) {
       flags->min_value = atof(v);
-    } else if (const char* v = value("--max=")) {
+    } else if (const char* v = FlagValue(arg, "--max=")) {
       flags->max_value = atof(v);
-    } else if (const char* v = value("--epsilon=")) {
+    } else if (const char* v = FlagValue(arg, "--epsilon=")) {
       flags->epsilon = atof(v);
-    } else if (const char* v = value("--buckets=")) {
+    } else if (const char* v = FlagValue(arg, "--buckets=")) {
       flags->buckets = static_cast<size_t>(atoll(v));
-    } else if (const char* v = value("--method=")) {
+    } else if (const char* v = FlagValue(arg, "--method=")) {
       flags->method = v;
     } else if (arg == "--csv") {
       flags->csv = true;
-    } else if (const char* v = value("--seed=")) {
+    } else if (const char* v = FlagValue(arg, "--seed=")) {
       flags->seed = static_cast<uint64_t>(atoll(v));
-    } else if (const char* v = value("--threads=")) {
+    } else if (const char* v = FlagValue(arg, "--threads=")) {
       flags->threads = static_cast<size_t>(atoll(v));
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());

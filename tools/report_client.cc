@@ -1,0 +1,195 @@
+// report_client — deterministic client-side load generator for the
+// cross-process collector (tools/collector_cli).
+//
+// Plays the role of a fleet of LDP clients: loads (or synthesizes) private
+// values in [0,1], cuts them into fixed-size shards, perturbs each shard
+// with its own seeded RNG stream, and writes one length-prefixed wire
+// report frame per shard to stdout (or --out):
+//
+//   report_client --method=sw-ems --epsilon=1.0 --buckets=64
+//       --input=values.csv --seed=7   (pipe into collector_cli)
+//
+// Shard i is always encoded with Rng(ShardSeed(seed, i)) — exactly the
+// stream layout of the in-process sharded path (protocol/sharded.h). The
+// --offset/--stride flags partition the shard set across client processes
+// (process k of P runs --offset=k --stride=P), so the union of frames from
+// P processes is byte-for-byte the chunk set a single-process
+// AccumulateSharded run would have produced, and the merged estimate is
+// bit-identical (tests/wire_process_test.cc).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "common/rng.h"
+#include "data/loader.h"
+#include "protocol/sharded.h"
+#include "serve/framing.h"
+#include "wire/wire.h"
+
+using namespace numdist;
+using numdist::tools::Fail;
+using numdist::tools::FlagValue;
+
+namespace {
+
+struct CliFlags {
+  std::string method = "sw-ems";
+  double epsilon = 1.0;
+  size_t buckets = 64;
+  std::string input;    // numeric file; empty = synthesize --uniform values
+  size_t uniform = 0;   // synthesize N grid values in (0,1)
+  // Preprocessing window, as in numdist_cli: keep [min, max), map onto
+  // [0, 1). Rows outside the window are dropped by the loader.
+  double min_value = 0.0;
+  double max_value = 1.0;
+  uint64_t seed = 42;
+  size_t shard_size = 8192;
+  size_t offset = 0;    // first shard index this process encodes
+  size_t stride = 1;    // total client processes (shard index step)
+  std::string out_path; // empty = stdout
+};
+
+void Usage() {
+  fprintf(stderr,
+          "usage: report_client --method=M --epsilon=E --buckets=D\n"
+          "                     (--input=FILE | --uniform=N) [--seed=S]\n"
+          "                     [--min=LO] [--max=HI] [--shard-size=K]\n"
+          "                     [--offset=I] [--stride=P] [--out=FILE]\n"
+          "process k of P client processes runs --offset=k --stride=P\n");
+}
+
+bool ParseCli(int argc, char** argv, CliFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const char* v = FlagValue(arg, "--method=")) {
+      flags->method = v;
+    } else if (const char* v = FlagValue(arg, "--epsilon=")) {
+      flags->epsilon = atof(v);
+    } else if (const char* v = FlagValue(arg, "--buckets=")) {
+      flags->buckets = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--input=")) {
+      flags->input = v;
+    } else if (const char* v = FlagValue(arg, "--uniform=")) {
+      flags->uniform = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--min=")) {
+      flags->min_value = atof(v);
+    } else if (const char* v = FlagValue(arg, "--max=")) {
+      flags->max_value = atof(v);
+    } else if (const char* v = FlagValue(arg, "--seed=")) {
+      flags->seed = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--shard-size=")) {
+      flags->shard_size = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--offset=")) {
+      flags->offset = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--stride=")) {
+      flags->stride = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--out=")) {
+      flags->out_path = v;
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (flags->input.empty() == (flags->uniform == 0)) {
+    fprintf(stderr, "exactly one of --input / --uniform is required\n");
+    return false;
+  }
+  if (flags->stride == 0 || flags->offset >= flags->stride) {
+    fprintf(stderr, "--offset must be < --stride (and --stride > 0)\n");
+    return false;
+  }
+  if (flags->shard_size == 0) {
+    fprintf(stderr, "--shard-size must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  if (!ParseCli(argc, argv, &flags)) {
+    Usage();
+    return 2;
+  }
+  Result<wire::MethodSpec> spec = wire::ParseMethodSpec(
+      flags.method, flags.epsilon, static_cast<uint32_t>(flags.buckets));
+  if (!spec.ok()) return Fail(spec.status());
+  Result<ProtocolPtr> protocol = wire::MakeProtocolForSpec(spec.value());
+  if (!protocol.ok()) return Fail(protocol.status());
+
+  std::vector<double> values;
+  if (!flags.input.empty()) {
+    LoadOptions load;
+    load.min_value = flags.min_value;
+    load.max_value = flags.max_value;
+    Result<std::vector<double>> loaded = LoadNumericFile(flags.input, load);
+    if (!loaded.ok()) return Fail(loaded.status());
+    values = std::move(loaded).value();
+    // Rows outside [--min, --max) were dropped by the loader; surface the
+    // surviving count so a mis-windowed dataset is visible, not silent.
+    fprintf(stderr, "loaded %zu value(s) from %s (window [%g, %g))\n",
+            values.size(), flags.input.c_str(), flags.min_value,
+            flags.max_value);
+  } else {
+    values.reserve(flags.uniform);
+    for (size_t i = 0; i < flags.uniform; ++i) {
+      values.push_back((static_cast<double>(i) + 0.5) /
+                       static_cast<double>(flags.uniform));
+    }
+  }
+
+  std::ofstream file_out;
+  if (!flags.out_path.empty()) {
+    file_out.open(flags.out_path, std::ios::binary);
+    if (!file_out) {
+      fprintf(stderr, "error: cannot open '%s'\n", flags.out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
+
+  const size_t num_shards =
+      (values.size() + flags.shard_size - 1) / flags.shard_size;
+  size_t frames = 0;
+  uint64_t reports = 0;
+  std::string frame;
+  for (size_t i = flags.offset; i < num_shards; i += flags.stride) {
+    const size_t begin = i * flags.shard_size;
+    const size_t len = std::min(flags.shard_size, values.size() - begin);
+    Rng rng(ShardSeed(flags.seed, i));
+    Result<std::unique_ptr<ReportChunk>> chunk =
+        protocol.value()->EncodePerturbBatch(
+            std::span<const double>(values).subspan(begin, len), rng);
+    if (!chunk.ok()) return Fail(chunk.status());
+    frame.clear();
+    const Status enc = wire::EncodeReportFrame(spec.value(), *protocol.value(),
+                                               *chunk.value(), &frame);
+    if (!enc.ok()) return Fail(enc);
+    const Status wr = serve::WriteFrame(out, frame);
+    if (!wr.ok()) return Fail(wr);
+    ++frames;
+    reports += chunk.value()->num_reports();
+  }
+  out.flush();
+  if (flags.offset < num_shards) {
+    fprintf(stderr,
+            "report_client sent %zu frame(s), %llu report(s) "
+            "(%s, shards %zu..%zu step %zu of %zu)\n",
+            frames, static_cast<unsigned long long>(reports),
+            wire::MethodSpecName(spec.value()).c_str(), flags.offset,
+            num_shards - 1, flags.stride, num_shards);
+  } else {
+    fprintf(stderr,
+            "report_client sent 0 frames: --offset=%zu is past the last "
+            "shard (%zu shard(s) at --shard-size=%zu)\n",
+            flags.offset, num_shards, flags.shard_size);
+  }
+  return 0;
+}

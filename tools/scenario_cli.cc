@@ -17,9 +17,11 @@
 #include <cstring>
 #include <string>
 
+#include "cli_common.h"
 #include "scenario/scenario.h"
 
 using namespace numdist;
+using numdist::tools::FlagValue;
 
 namespace {
 
@@ -28,6 +30,8 @@ struct CliFlags {
   bool list = false;
   bool csv = false;
   bool dump = false;
+  bool wire = false;
+  bool validate = false;
   bool has_seed = false;
   uint64_t seed = 0;
   size_t threads = 0;
@@ -36,19 +40,18 @@ struct CliFlags {
 void Usage() {
   fprintf(stderr,
           "usage: scenario_cli --scenario=NAME|FILE [--seed=S] [--threads=W]\n"
-          "                    [--csv] [--dump]\n"
+          "                    [--csv] [--dump] [--wire] [--validate]\n"
           "       scenario_cli --list\n"
-          "built-in scenarios: drift, ramp, eps-schedule\n");
+          "built-in scenarios: drift, ramp, eps-schedule\n"
+          "--wire routes checkpoint merges through the wire codec\n"
+          "  (bit-identical results; exercises the distributed path)\n"
+          "--validate parses and validates the scenario, then exits\n");
 }
 
 bool ParseCli(int argc, char** argv, CliFlags* flags) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const auto value = [&](const char* prefix) -> const char* {
-      const size_t len = strlen(prefix);
-      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
-    };
-    if (const char* v = value("--scenario=")) {
+    if (const char* v = FlagValue(arg, "--scenario=")) {
       flags->scenario = v;
     } else if (arg == "--list") {
       flags->list = true;
@@ -56,10 +59,14 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->csv = true;
     } else if (arg == "--dump") {
       flags->dump = true;
-    } else if (const char* v = value("--seed=")) {
+    } else if (arg == "--wire") {
+      flags->wire = true;
+    } else if (arg == "--validate") {
+      flags->validate = true;
+    } else if (const char* v = FlagValue(arg, "--seed=")) {
       flags->has_seed = true;
       flags->seed = static_cast<uint64_t>(atoll(v));
-    } else if (const char* v = value("--threads=")) {
+    } else if (const char* v = FlagValue(arg, "--threads=")) {
       flags->threads = static_cast<size_t>(atoll(v));
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -100,6 +107,17 @@ int main(int argc, char** argv) {
   }
   if (flags.has_seed) config->seed = flags.seed;
   config->threads = flags.threads;
+  if (flags.wire) config->wire_checkpoints = true;
+
+  if (flags.validate) {
+    // LoadScenarioFile/BuiltinScenario already ran ValidateScenario; report
+    // the parsed shape and exit without collecting anything (used by
+    // tools/check_docs.py to keep documented examples loadable).
+    printf("valid: scenario=%s d=%zu shards=%zu phases=%zu\n",
+           config->name.c_str(), config->d, config->shards,
+           config->phases.size());
+    return 0;
+  }
 
   Result<ScenarioResult> result = RunScenario(config.value());
   if (!result.ok()) {
