@@ -8,6 +8,7 @@
 #include "fo/grr.h"
 #include "fo/hrr.h"
 #include "fo/olh.h"
+#include "fo/oue.h"
 #include "mean/pm.h"
 #include "mean/sr.h"
 
@@ -175,5 +176,161 @@ void BM_SwTransitionMatrix(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * d * d);
 }
 BENCHMARK(BM_SwTransitionMatrix)->Arg(256)->Arg(1024);
+
+// ---- Bulk encode throughput (the client-side hot path the protocol layer
+// drives: one PerturbBatch per shard). items_per_second = reports/s;
+// compare against the per-report BM_*Perturb rows above.
+
+std::vector<uint32_t> CyclicValues(size_t n, uint32_t d) {
+  std::vector<uint32_t> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = static_cast<uint32_t>(i % d);
+  return values;
+}
+
+void BM_GrrEncodeBatch(benchmark::State& state) {
+  const uint32_t d = static_cast<uint32_t>(state.range(0));
+  const Grr grr = Grr::Make(1.0, d).ValueOrDie();
+  const size_t n = 8192;
+  const std::vector<uint32_t> values = CyclicValues(n, d);
+  std::vector<uint32_t> out(n);
+  Rng rng(10);
+  for (auto _ : state) {
+    grr.PerturbBatch(values, rng, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GrrEncodeBatch)->Arg(16)->Arg(1024);
+
+void BM_OlhEncodeBatch(benchmark::State& state) {
+  const Olh olh = Olh::Make(1.0, 1024).ValueOrDie();
+  const size_t n = 8192;
+  const std::vector<uint32_t> values = CyclicValues(n, 1024);
+  std::vector<FoReport> out(n);
+  Rng rng(11);
+  for (auto _ : state) {
+    olh.PerturbBatch(values, rng, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OlhEncodeBatch);
+
+void BM_OueEncodeBatch(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Oue oue = Oue::Make(1.0, d).ValueOrDie();
+  const size_t n = 2048;
+  const std::vector<uint32_t> values = CyclicValues(n, static_cast<uint32_t>(d));
+  std::vector<uint8_t> bits;
+  Rng rng(12);
+  for (auto _ : state) {
+    bits.clear();
+    oue.PerturbBatch(values, rng, &bits);
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OueEncodeBatch)->Arg(64);
+
+void BM_HrrEncodeBatch(benchmark::State& state) {
+  const Hrr hrr = Hrr::Make(1.0, 1024).ValueOrDie();
+  const size_t n = 8192;
+  const std::vector<uint32_t> values = CyclicValues(n, 1024);
+  std::vector<HrrReport> out(n);
+  Rng rng(13);
+  for (auto _ : state) {
+    hrr.PerturbBatch(values, rng, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HrrEncodeBatch);
+
+void BM_SwEncodeBatch(benchmark::State& state) {
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  const size_t n = 8192;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  std::vector<double> out(n);
+  Rng rng(14);
+  for (auto _ : state) {
+    sw.PerturbBatch(values, rng, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SwEncodeBatch);
+
+void BM_DswEncodeBatch(benchmark::State& state) {
+  const DiscreteSquareWave dsw = DiscreteSquareWave::Make(1.0, 1024)
+                                     .ValueOrDie();
+  const size_t n = 8192;
+  const std::vector<uint32_t> values = CyclicValues(n, 1024);
+  std::vector<uint32_t> out(n);
+  Rng rng(15);
+  for (auto _ : state) {
+    dsw.PerturbBatch(values, rng, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DswEncodeBatch);
+
+// ---- Bulk RNG generation (items = draws/s) and discrete sampling
+// (alias table vs linear weight scan).
+
+void BM_RngFillUniform(benchmark::State& state) {
+  Rng rng(16);
+  std::vector<double> buf(8192);
+  for (auto _ : state) {
+    rng.FillUniform(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_RngFillUniform);
+
+void BM_RngFillBernoulli(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<uint8_t> buf(8192);
+  for (auto _ : state) {
+    rng.FillBernoulli(buf.data(), buf.size(), 0.25);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_RngFillBernoulli);
+
+std::vector<double> SamplerWeights(size_t d) {
+  std::vector<double> weights(d);
+  for (size_t i = 0; i < d; ++i) {
+    weights[i] = 1.0 + static_cast<double>((i * 37) % 11);
+  }
+  return weights;
+}
+
+void BM_DiscreteLinear(benchmark::State& state) {
+  const std::vector<double> weights =
+      SamplerWeights(static_cast<size_t>(state.range(0)));
+  Rng rng(18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Discrete(weights));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteLinear)->Arg(16)->Arg(256);
+
+void BM_DiscreteAlias(benchmark::State& state) {
+  const DiscreteSampler sampler(
+      SamplerWeights(static_cast<size_t>(state.range(0))));
+  Rng rng(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteAlias)->Arg(16)->Arg(256);
 
 }  // namespace

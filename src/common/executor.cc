@@ -1,0 +1,215 @@
+#include "common/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace numdist {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+// One ParallelFor call. Task indices live in per-participant [begin, end)
+// ranges packed into one atomic each (begin in the high 32 bits, end in the
+// low 32), so pop-front and steal-back are single CAS operations and a
+// torn begin/end pair can never be observed.
+struct Executor::Job {
+  static uint64_t Pack(uint64_t begin, uint64_t end) {
+    return (begin << 32) | end;
+  }
+  static uint32_t Begin(uint64_t packed) {
+    return static_cast<uint32_t>(packed >> 32);
+  }
+  static uint32_t End(uint64_t packed) {
+    return static_cast<uint32_t>(packed & 0xffffffffu);
+  }
+
+  explicit Job(size_t participants) : ranges(participants) {}
+
+  size_t n = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  // Dense participant slots; a joiner takes the next one. Once all slots
+  // are taken (or the work is gone) the job stops admitting helpers.
+  std::atomic<size_t> next_slot{0};
+  std::vector<std::atomic<uint64_t>> ranges;
+  std::atomic<size_t> completed{0};
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  // Pops one task off the front of `slot`'s own range; SIZE_MAX when empty.
+  size_t PopOwn(size_t slot) {
+    std::atomic<uint64_t>& range = ranges[slot];
+    uint64_t cur = range.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint32_t begin = Begin(cur);
+      const uint32_t end = End(cur);
+      if (begin >= end) return SIZE_MAX;
+      if (range.compare_exchange_weak(cur, Pack(begin + 1, end),
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return begin;
+      }
+    }
+  }
+
+  // Steals the back half of the largest remaining victim range into
+  // `slot`'s own (empty) range; false when no victim has work left.
+  bool Steal(size_t slot) {
+    const size_t participants = ranges.size();
+    size_t victim = SIZE_MAX;
+    uint32_t victim_size = 0;
+    for (size_t v = 0; v < participants; ++v) {
+      if (v == slot) continue;
+      const uint64_t cur = ranges[v].load(std::memory_order_relaxed);
+      const uint32_t size = End(cur) - std::min(Begin(cur), End(cur));
+      if (size > victim_size) {
+        victim_size = size;
+        victim = v;
+      }
+    }
+    if (victim == SIZE_MAX) return false;
+    std::atomic<uint64_t>& range = ranges[victim];
+    uint64_t cur = range.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint32_t begin = Begin(cur);
+      const uint32_t end = End(cur);
+      if (begin >= end) return false;
+      // Floor split: the victim keeps the front half, and a single-task
+      // range is taken WHOLE — a round-up split would "steal" the empty
+      // back of a 1-task range forever when that range's slot has no
+      // active owner (e.g. every worker was busy and never joined).
+      const uint32_t mid = begin + (end - begin) / 2;
+      if (range.compare_exchange_weak(cur, Pack(begin, mid),
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        ranges[slot].store(Pack(mid, end), std::memory_order_release);
+        return true;
+      }
+    }
+  }
+
+  // Runs tasks as participant `slot` until the job has no takeable work.
+  void Participate(size_t slot) {
+    size_t ran = 0;
+    for (;;) {
+      const size_t task = PopOwn(slot);
+      if (task == SIZE_MAX) {
+        if (Steal(slot)) continue;
+        break;
+      }
+      (*fn)(task, slot);
+      ++ran;
+    }
+    if (ran == 0) return;
+    if (completed.fetch_add(ran, std::memory_order_acq_rel) + ran == n) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done = true;
+      done_cv.notify_all();
+    }
+  }
+
+};
+
+Executor::Executor(size_t threads) {
+  const size_t resolved = ResolveThreadCount(threads);
+  workers_.reserve(resolved - 1);
+  for (size_t w = 0; w + 1 < resolved; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& th : workers_) th.join();
+}
+
+Executor& Executor::Shared() {
+  static Executor executor(0);
+  return executor;
+}
+
+void Executor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !open_jobs_.empty(); });
+    if (stop_) return;
+    std::shared_ptr<Job> job = open_jobs_.front();
+    const size_t slot = job->next_slot.fetch_add(1, std::memory_order_acq_rel);
+    const bool admitted = slot < job->ranges.size();
+    if (!admitted || slot + 1 == job->ranges.size()) {
+      // Fully subscribed: retire the job from the open list. Late workers
+      // will see the next job (or sleep); the job object stays alive
+      // through the shared_ptr of everyone already participating.
+      if (!open_jobs_.empty() && open_jobs_.front() == job) {
+        open_jobs_.pop_front();
+      }
+    }
+    if (!admitted) continue;
+    lock.unlock();
+    job->Participate(slot);
+    lock.lock();
+    // Work may be drained while more jobs wait; loop around.
+  }
+}
+
+void Executor::ParallelFor(
+    size_t n, size_t max_parallelism,
+    const std::function<void(size_t task, size_t slot)>& fn) {
+  if (n == 0) return;
+  assert(n < (uint64_t{1} << 32) && "ParallelFor task count exceeds 2^32");
+  const size_t participants = MaxParticipants(n, max_parallelism);
+  if (participants <= 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  auto job = std::make_shared<Job>(participants);
+  job->n = n;
+  job->fn = &fn;
+  // Contiguous initial split; stealing rebalances from here.
+  for (size_t p = 0; p < participants; ++p) {
+    const uint64_t begin = n * p / participants;
+    const uint64_t end = n * (p + 1) / participants;
+    job->ranges[p].store(Job::Pack(begin, end), std::memory_order_relaxed);
+  }
+
+  // The caller is always participant 0; workers join behind it.
+  const size_t caller_slot =
+      job->next_slot.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_jobs_.push_back(job);
+  }
+  cv_.notify_all();
+
+  job->Participate(caller_slot);
+
+  // The caller found no more takeable work; tasks stolen by workers may
+  // still be running. Wait for the exact completion count.
+  {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] { return job->done; });
+  }
+
+  // Drop the job from the open list if no worker retired it (e.g. every
+  // worker was busy elsewhere and never joined).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = open_jobs_.begin(); it != open_jobs_.end(); ++it) {
+      if (*it == job) {
+        open_jobs_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace numdist

@@ -1,0 +1,100 @@
+// Persistent work-stealing executor for the library's fan-out loops.
+//
+// Before this layer, every parallel call site (sharded accumulation, the
+// trial runner, the scenario engine) spawned and joined its own
+// std::thread fleet per call — at one thread-create syscall per worker per
+// call, that is the dominant fixed cost of small parallel regions. The
+// Executor keeps one fleet of workers alive for the process and hands them
+// index ranges instead.
+//
+// Scheduling: each ParallelFor splits [0, n) into one contiguous range per
+// participant. A participant pops tasks from the FRONT of its own range
+// and, when empty, STEALS the back half of a victim's remaining range —
+// classic range stealing, so load imbalance (e.g. one slow shard) migrates
+// work without any per-task queue traffic.
+//
+// Determinism contract: the executor assigns WORK, never SEMANTICS. Which
+// participant runs task i varies run to run; callers must key all state by
+// the task index (per-(seed,shard) RNG streams, per-trial outputs) or fold
+// into per-slot accumulators whose merge is exact and commutative (all
+// built-in integer accumulators are). Under that discipline — the same one
+// the previous spawn/join fleets required — results are bit-identical for
+// any worker count, pool reuse, or stealing schedule
+// (tests/executor_test.cc).
+//
+// Nesting is safe: a task may itself call ParallelFor (the trial runner's
+// per-trial shard loops do). The nested caller always participates in its
+// own job until the job's tasks are exhausted, so progress never depends
+// on free workers; idle workers join whichever jobs are open.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace numdist {
+
+/// The library-wide thread-count convention: 0 means "use the hardware",
+/// anything else is taken literally. This is the single home of the
+/// hardware_concurrency clamp every layer and --threads flag previously
+/// duplicated.
+size_t ResolveThreadCount(size_t requested);
+
+/// \brief Persistent work-stealing thread pool.
+class Executor {
+ public:
+  /// Creates a pool with `threads` total parallelism (the calling thread
+  /// counts as one, so `threads - 1` workers are spawned). 0 resolves to
+  /// the hardware concurrency.
+  explicit Executor(size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// The process-wide pool, sized to the hardware on first use. All
+  /// library call sites share it; per-call `threads` options become the
+  /// max_parallelism cap below instead of private thread fleets.
+  static Executor& Shared();
+
+  /// Maximum concurrent participants (workers + the caller).
+  size_t slots() const { return workers_.size() + 1; }
+
+  /// Number of participants a ParallelFor(n, max_parallelism, fn) call can
+  /// admit: every `slot` passed to fn is strictly below this. The single
+  /// source of truth for sizing per-slot state (local accumulators).
+  size_t MaxParticipants(size_t n, size_t max_parallelism) const {
+    size_t participants = std::min(n, slots());
+    if (max_parallelism != 0) {
+      participants = std::min(participants, max_parallelism);
+    }
+    return participants;
+  }
+
+  /// Runs fn(task, slot) for every task in [0, n), then returns. At most
+  /// min(slots(), max_parallelism, n) participants join; `slot` is a dense
+  /// id in that range, stable for one participant within one call — use it
+  /// to index per-participant state (local accumulators). max_parallelism
+  /// of 0 means "no extra cap". fn must be invocable concurrently.
+  void ParallelFor(size_t n, size_t max_parallelism,
+                   const std::function<void(size_t task, size_t slot)>& fn);
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> open_jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace numdist

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace numdist {
 
 std::vector<double> Matrix::Multiply(const std::vector<double>& x) const {
@@ -23,11 +25,10 @@ void Matrix::MultiplyInto(const std::vector<double>& x,
   assert(x.size() == cols_);
   assert(&x != y);
   y->resize(rows_);
+  // One dispatched blocked dot per row (kernels.h: fixed-order reduction,
+  // bit-identical under scalar and AVX2 dispatch).
   for (size_t i = 0; i < rows_; ++i) {
-    const double* r = row(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
-    (*y)[i] = acc;
+    (*y)[i] = kernels::Dot(row(i), x.data(), cols_);
   }
 }
 
@@ -37,10 +38,9 @@ void Matrix::TransposeMultiplyInto(const std::vector<double>& x,
   assert(&x != y);
   y->assign(cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
-    const double* r = row(i);
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (size_t j = 0; j < cols_; ++j) (*y)[j] += r[j] * xi;
+    kernels::Axpy(y->data(), xi, row(i), cols_);
   }
 }
 

@@ -1,7 +1,10 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "kernels/kernels.h"
 
 namespace numdist {
 
@@ -124,6 +127,35 @@ size_t Rng::Discrete(const std::vector<double>& weights) {
     if (u <= 0.0) return i;
   }
   return weights.size() - 1;
+}
+
+void Rng::FillRaw(uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = Next();
+}
+
+void Rng::FillUniform(double* out, size_t n) {
+  // Same mapping as Uniform(): 53 high bits of each sequential output.
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+}
+
+void Rng::FillUniformInt(uint64_t* out, size_t n, uint64_t bound) {
+  for (size_t i = 0; i < n; ++i) out[i] = UniformInt(bound);
+}
+
+void Rng::FillBernoulli(uint8_t* out, size_t n, double p) {
+  // Chunked: fill uniforms on the stack, compare through the dispatched
+  // kernel. Draw order is exactly n sequential Bernoulli(p) calls.
+  constexpr size_t kChunk = 256;
+  double u[kChunk];
+  size_t i = 0;
+  while (i < n) {
+    const size_t m = std::min(kChunk, n - i);
+    FillUniform(u, m);
+    kernels::LessThan(u, p, out + i, m);
+    i += m;
+  }
 }
 
 Rng Rng::Fork() { return Rng(Next()); }

@@ -50,6 +50,23 @@ class Rng {
   /// DiscreteSampler for repeated draws from the same distribution.
   size_t Discrete(const std::vector<double>& weights);
 
+  // Bulk generation. Each Fill* call consumes the SAME engine stream in the
+  // SAME draw order as the equivalent loop of single draws — FillUniform(p,
+  // n) leaves the engine in exactly the state n Uniform() calls would, with
+  // identical outputs (asserted by tests/rng_test.cc). Batch encoders build
+  // on this so a fixed seed keeps producing bit-identical reports while the
+  // transform over the filled span vectorizes.
+
+  /// out[i] = Next() for i in [0, n).
+  void FillRaw(uint64_t* out, size_t n);
+  /// out[i] = Uniform() for i in [0, n).
+  void FillUniform(double* out, size_t n);
+  /// out[i] = UniformInt(bound) for i in [0, n). Requires bound > 0.
+  void FillUniformInt(uint64_t* out, size_t n, uint64_t bound);
+  /// out[i] = Bernoulli(p) for i in [0, n) (1 = success). The compare over
+  /// each filled chunk runs through the dispatched SIMD kernels.
+  void FillBernoulli(uint8_t* out, size_t n, double p);
+
   /// Derives an independent child engine (for per-thread streams).
   Rng Fork();
 

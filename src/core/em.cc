@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/histogram.h"
+#include "kernels/kernels.h"
 
 namespace numdist {
 
@@ -40,49 +41,26 @@ class EmStepper {
         weights_spare_(model.rows(), 0.0) {}
 
   // E half: y = M x, fills the weights n_j / y_j, returns the total
-  // log-likelihood of x.
+  // log-likelihood of x. (SQUAREM needs the halves separately; the plain
+  // loop goes through Step's fused sweep, which computes the same values.)
   double Predict(const std::vector<double>& x) {
     model_.Apply(x, &y_);
-    const size_t d_out = y_.size();
-    double ll = 0.0;
-    for (size_t j = 0; j < d_out; ++j) {
-      if (counts_[j] == 0) {
-        weights_[j] = 0.0;
-        continue;
-      }
-      // y_j > 0 whenever x has support reaching bucket j; with the SW model
-      // every output bucket is reachable (q > 0), so this guard only trips
-      // on degenerate custom matrices.
-      const double yj = std::max(y_[j], 1e-300);
-      weights_[j] = static_cast<double>(counts_[j]) / yj;
-      ll += static_cast<double>(counts_[j]) * std::log(yj);
-    }
-    return ll;
+    return EmWeightsFromPrediction(counts_, y_, &weights_);
   }
 
   // M half on the weights from the latest Predict: next = normalized
   // x ⊙ (M^T w), smoothed if configured. next != &x.
   Status Finish(const std::vector<double>& x, std::vector<double>* next) {
     model_.ApplyTranspose(weights_, next);
-    const size_t d = x.size();
-    double total = 0.0;
-    for (size_t i = 0; i < d; ++i) {
-      (*next)[i] *= x[i];
-      total += (*next)[i];
-    }
-    if (total <= 0.0) {
-      return Status::Internal("EM: estimate collapsed to zero mass");
-    }
-    for (size_t i = 0; i < d; ++i) (*next)[i] /= total;
-    if (smoothing_) BinomialSmooth(next);
-    return Status::OK();
+    return NormalizeAndSmooth(x, next);
   }
 
-  // Full map x -> *next; *ll receives the log-likelihood of x.
+  // Full map x -> *next; *ll receives the log-likelihood of x. Runs the
+  // model's fused E-step sweep (one matrix pass on the dense model).
   Status Step(const std::vector<double>& x, std::vector<double>* next,
               double* ll) {
-    *ll = Predict(x);
-    return Finish(x, next);
+    *ll = model_.EmSweep(x, counts_, &y_, &weights_, next);
+    return NormalizeAndSmooth(x, next);
   }
 
   // Swaps the live weights with the spare buffer, letting the accelerated
@@ -91,6 +69,20 @@ class EmStepper {
   void StashWeights() { std::swap(weights_, weights_spare_); }
 
  private:
+  // Shared M-step tail: next = normalized x ⊙ next (+ optional smoothing).
+  // The multiply-and-total and the normalization run through the
+  // dispatched kernels.
+  Status NormalizeAndSmooth(const std::vector<double>& x,
+                            std::vector<double>* next) {
+    const double total = kernels::MulAndSum(next->data(), x.data(), x.size());
+    if (total <= 0.0) {
+      return Status::Internal("EM: estimate collapsed to zero mass");
+    }
+    kernels::Scale(next->data(), 1.0 / total, next->size());
+    if (smoothing_) BinomialSmooth(next);
+    return Status::OK();
+  }
+
   const ObservationModel& model_;
   const std::vector<uint64_t>& counts_;
   bool smoothing_;
@@ -99,8 +91,10 @@ class EmStepper {
   std::vector<double> weights_spare_;
 };
 
-// Classic fixed-point iteration (paper Algorithm 1). Kept byte-for-byte
-// equivalent to the historical loop so fixed-seed metrics do not move.
+// Classic fixed-point iteration (paper Algorithm 1). Same structure as the
+// historical loop; the arithmetic now runs through the dispatched kernels
+// (fused E-step sweep + blocked reductions), whose fixed operation order
+// is identical under scalar and vector dispatch.
 Result<EmResult> RunPlainEm(EmStepper& stepper, size_t d,
                             const EmOptions& opts) {
   EmResult result;
@@ -255,7 +249,7 @@ Result<EmResult> EstimateEm(const ObservationModel& model,
 Result<EmResult> EstimateEm(const Matrix& m,
                             const std::vector<uint64_t>& counts,
                             const EmOptions& opts) {
-  const DenseObservationModel model(m);
+  const DenseObservationModel model(&m);  // borrowed; m outlives the call
   return EstimateEm(model, counts, opts);
 }
 

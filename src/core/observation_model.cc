@@ -1,10 +1,46 @@
 #include "core/observation_model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "kernels/kernels.h"
+
 namespace numdist {
+
+double EmWeightsFromPrediction(const std::vector<uint64_t>& counts,
+                               const std::vector<double>& y,
+                               std::vector<double>* weights) {
+  const size_t d_out = y.size();
+  assert(counts.size() == d_out);
+  weights->resize(d_out);
+  double ll = 0.0;
+  for (size_t j = 0; j < d_out; ++j) {
+    if (counts[j] == 0) {
+      (*weights)[j] = 0.0;
+      continue;
+    }
+    // y_j > 0 whenever x has support reaching bucket j; with the SW model
+    // every output bucket is reachable (q > 0), so this guard only trips
+    // on degenerate custom matrices.
+    const double yj = std::max(y[j], 1e-300);
+    (*weights)[j] = static_cast<double>(counts[j]) / yj;
+    ll += static_cast<double>(counts[j]) * std::log(yj);
+  }
+  return ll;
+}
+
+double ObservationModel::EmSweep(const std::vector<double>& x,
+                                 const std::vector<uint64_t>& counts,
+                                 std::vector<double>* y,
+                                 std::vector<double>* weights,
+                                 std::vector<double>* mtw) const {
+  Apply(x, y);
+  const double ll = EmWeightsFromPrediction(counts, *y, weights);
+  ApplyTranspose(*weights, mtw);
+  return ll;
+}
 
 void DenseObservationModel::Apply(const std::vector<double>& x,
                                   std::vector<double>* y) const {
@@ -14,6 +50,71 @@ void DenseObservationModel::Apply(const std::vector<double>& x,
 void DenseObservationModel::ApplyTranspose(const std::vector<double>& z,
                                            std::vector<double>* out) const {
   m_.TransposeMultiplyInto(z, out);
+}
+
+namespace {
+
+// One row's E-step epilogue: same formula as EmWeightsFromPrediction,
+// applied pointwise (weight 0 when the bucket saw no reports).
+inline double RowWeight(uint64_t count, double yj_raw, double* ll) {
+  if (count == 0) return 0.0;
+  const double yj = std::max(yj_raw, 1e-300);
+  *ll += static_cast<double>(count) * std::log(yj);
+  return static_cast<double>(count) / yj;
+}
+
+}  // namespace
+
+double DenseObservationModel::EmSweep(const std::vector<double>& x,
+                                      const std::vector<uint64_t>& counts,
+                                      std::vector<double>* y,
+                                      std::vector<double>* weights,
+                                      std::vector<double>* mtw) const {
+  const size_t d_out = m_.rows();
+  const size_t d = m_.cols();
+  assert(x.size() == d && counts.size() == d_out);
+  y->resize(d_out);
+  weights->resize(d_out);
+  mtw->assign(d, 0.0);
+  // Single sweep over row pairs: the weight for bucket j depends on y_j
+  // alone, so each row can be dotted, weighted, and folded into M^T w
+  // while still cache-hot. Dense EM is bound by matrix bandwidth; this
+  // touches the matrix once per iteration instead of twice (Apply +
+  // ApplyTranspose stream it separately), and pairing rows halves the
+  // x-vector load traffic on top. Same operator to rounding as the default
+  // three-pass composition (Dot2's per-row reduction order differs from
+  // Dot's — see kernels.h), identical under scalar and AVX2 dispatch.
+  double ll = 0.0;
+  size_t j = 0;
+  for (; j + 2 <= d_out; j += 2) {
+    const double* row0 = m_.row(j);
+    const double* row1 = m_.row(j + 1);
+    double y0 = 0.0;
+    double y1 = 0.0;
+    kernels::Dot2(row0, row1, x.data(), d, &y0, &y1);
+    (*y)[j] = y0;
+    (*y)[j + 1] = y1;
+    const double w0 = RowWeight(counts[j], y0, &ll);
+    const double w1 = RowWeight(counts[j + 1], y1, &ll);
+    (*weights)[j] = w0;
+    (*weights)[j + 1] = w1;
+    if (w0 != 0.0 && w1 != 0.0) {
+      kernels::Axpy2(mtw->data(), w0, row0, w1, row1, d);
+    } else if (w0 != 0.0) {
+      kernels::Axpy(mtw->data(), w0, row0, d);
+    } else if (w1 != 0.0) {
+      kernels::Axpy(mtw->data(), w1, row1, d);
+    }
+  }
+  if (j < d_out) {
+    const double* row = m_.row(j);
+    const double yj = kernels::Dot(row, x.data(), d);
+    (*y)[j] = yj;
+    const double w = RowWeight(counts[j], yj, &ll);
+    (*weights)[j] = w;
+    if (w != 0.0) kernels::Axpy(mtw->data(), w, row, d);
+  }
+  return ll;
 }
 
 BandedObservationModel BandedObservationModel::FromDense(const Matrix& m,
@@ -49,32 +150,24 @@ BandedObservationModel BandedObservationModel::FromDense(const Matrix& m,
 void BandedObservationModel::Apply(const std::vector<double>& x,
                                    std::vector<double>* y) const {
   assert(x.size() == cols_);
-  double total = 0.0;
-  for (double v : x) total += v;
+  const double total = kernels::Sum(x.data(), x.size());
   y->assign(rows_, background_ * total);
   for (size_t i = 0; i < cols_; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    const double* band = band_values_.data() + band_offset_[i];
-    double* dst = y->data() + band_start_[i];
-    const size_t len = band_len_[i];
-    for (size_t k = 0; k < len; ++k) dst[k] += band[k] * xi;
+    kernels::Axpy(y->data() + band_start_[i], xi,
+                  band_values_.data() + band_offset_[i], band_len_[i]);
   }
 }
 
 void BandedObservationModel::ApplyTranspose(const std::vector<double>& z,
                                             std::vector<double>* out) const {
   assert(z.size() == rows_);
-  double total = 0.0;
-  for (double v : z) total += v;
+  const double total = kernels::Sum(z.data(), z.size());
   out->assign(cols_, background_ * total);
   for (size_t i = 0; i < cols_; ++i) {
-    const double* band = band_values_.data() + band_offset_[i];
-    const double* src = z.data() + band_start_[i];
-    const size_t len = band_len_[i];
-    double acc = 0.0;
-    for (size_t k = 0; k < len; ++k) acc += band[k] * src[k];
-    (*out)[i] += acc;
+    (*out)[i] += kernels::Dot(band_values_.data() + band_offset_[i],
+                              z.data() + band_start_[i], band_len_[i]);
   }
 }
 
@@ -153,27 +246,25 @@ SlidingWindowObservationModel SlidingWindowObservationModel::FromDiscrete(
 void SlidingWindowObservationModel::Apply(const std::vector<double>& x,
                                           std::vector<double>* y) const {
   assert(x.size() == cols_);
-  double total = 0.0;
-  for (double v : x) total += v;
+  const double total = kernels::Sum(x.data(), x.size());
   y->resize(rows_);
 
   if (discrete_) {
-    // y_j = q sum(x) + (p - q) sum_{i in [j - 2b, j]} x_i. The window sum is
-    // the difference of two prefix accumulators that each sweep x once.
+    // y_j = q sum(x) + (p - q) sum_{i in [j - 2b, j]} x_i. Two passes: a
+    // sequential prefix fill P(min(j, d-1)) into y itself, then the
+    // dispatched descending window combine y_j = background + height *
+    // (P(min(j, d-1)) - P(j - 2b - 1)) — same additions in the same order
+    // as the historical running-cursor loop, but the combine vectorizes.
     const double background = q_ * total;
     const double height = p_ - q_;
-    double sum_add = 0.0;  // sum of x[0 .. min(j, d-1)]
-    double sum_sub = 0.0;  // sum of x[0 .. j - 2b - 1]
+    const size_t lag = 2 * db_ + 1;
+    double prefix = 0.0;
     size_t add = 0;
-    size_t sub = 0;
-    const size_t window = 2 * db_;
     for (size_t j = 0; j < rows_; ++j) {
-      while (add <= j && add < cols_) sum_add += x[add++];
-      while (j >= window + 1 && sub + window + 1 <= j && sub < cols_) {
-        sum_sub += x[sub++];
-      }
-      (*y)[j] = background + height * (sum_add - sum_sub);
+      while (add <= j && add < cols_) prefix += x[add++];
+      (*y)[j] = prefix;
     }
+    kernels::WindowCombine(y->data(), rows_, lag, background, height);
     return;
   }
 
@@ -200,23 +291,36 @@ void SlidingWindowObservationModel::Apply(const std::vector<double>& x,
 void SlidingWindowObservationModel::ApplyTranspose(
     const std::vector<double>& z, std::vector<double>* out) const {
   assert(z.size() == rows_);
-  double total = 0.0;
-  for (double v : z) total += v;
+  const double total = kernels::Sum(z.data(), z.size());
   out->resize(cols_);
 
   if (discrete_) {
-    // out_i = q sum(z) + (p - q) sum_{j in [i, i + 2b]} z_j.
+    // out_i = q sum(z) + (p - q) sum_{j in [i, i + 2b]} z_j. Same two-pass
+    // shape as Apply — prefix fill P(min(i + 2b, rows - 1)) into out, then
+    // the descending combine subtracting P(i - 1) = out_prefill[i - lag].
+    // The combine's zero-lag head (i < lag, where i - lag underflows) is
+    // wrong for the transpose, whose window clips at the TOP, not at 0:
+    // the true subtrahend there is P(i - 1), not 0. Rebuilt below with the
+    // same fold order, overwriting only those head entries.
     const double background = q_ * total;
     const double height = p_ - q_;
-    double sum_add = 0.0;  // sum of z[0 .. min(i + 2b, rows - 1)]
-    double sum_sub = 0.0;  // sum of z[0 .. i - 1]
-    size_t add = 0;
-    size_t sub = 0;
     const size_t window = 2 * db_;
+    const size_t lag = window + 1;
+    double prefix = 0.0;
+    size_t add = 0;
     for (size_t i = 0; i < cols_; ++i) {
-      while (add <= i + window && add < rows_) sum_add += z[add++];
-      while (sub < i) sum_sub += z[sub++];
-      (*out)[i] = background + height * (sum_add - sum_sub);
+      while (add <= i + window && add < rows_) prefix += z[add++];
+      (*out)[i] = prefix;
+    }
+    kernels::WindowCombine(out->data(), cols_, lag, background, height);
+    const size_t head = std::min(lag, cols_);
+    double p_hi = 0.0;  // P(min(i + 2b, rows - 1))
+    double p_lo = 0.0;  // P(i - 1)
+    size_t hi = 0;
+    for (size_t i = 0; i < head; ++i) {
+      while (hi <= i + window && hi < rows_) p_hi += z[hi++];
+      (*out)[i] = background + height * (p_hi - p_lo);
+      p_lo += z[i];
     }
     return;
   }

@@ -64,6 +64,32 @@ double SquareWave::Perturb(double v, Rng& rng) const {
   return (u < v) ? (-b_ + u) : (v + b_ + (u - v));
 }
 
+void SquareWave::PerturbBatch(std::span<const double> values, Rng& rng,
+                              double* out) const {
+  const double in_wave_mass = 2.0 * b_ * p_;
+  constexpr size_t kChunk = 256;
+  double u[2 * kChunk];
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t m = std::min(kChunk, values.size() - i);
+    // Each report's (decision, position) uniform pair, in Perturb's order.
+    rng.FillUniform(u, 2 * m);
+    for (size_t k = 0; k < m; ++k) {
+      const double v = values[i + k];
+      assert(v >= 0.0 && v <= 1.0);
+      const double u2 = u[2 * k + 1];
+      if (u[2 * k] < in_wave_mass) {
+        // Same expression as Uniform(v - b, v + b).
+        const double lo = v - b_;
+        out[i + k] = lo + ((v + b_) - lo) * u2;
+      } else {
+        out[i + k] = (u2 < v) ? (-b_ + u2) : (v + b_ + (u2 - v));
+      }
+    }
+    i += m;
+  }
+}
+
 double SquareWave::Density(double v, double out) const {
   assert(v >= 0.0 && v <= 1.0);
   if (out < -b_ || out > 1.0 + b_) return 0.0;
@@ -130,6 +156,38 @@ uint32_t DiscreteSquareWave::Perturb(uint32_t v, Rng& rng) const {
   // Uniform over the other d - 1 output indices (skip the wave window).
   uint32_t r = static_cast<uint32_t>(rng.UniformInt(d_ - 1));
   return (r >= v) ? r + static_cast<uint32_t>(2 * b_ + 1) : r;
+}
+
+void DiscreteSquareWave::PerturbBatch(std::span<const uint32_t> values,
+                                      Rng& rng, uint32_t* out) const {
+  const uint32_t window = static_cast<uint32_t>(2 * b_ + 1);
+  const double in_wave_mass = static_cast<double>(window) * p_;
+  const double inv_rest = 1.0 / (1.0 - in_wave_mass);
+  const double others = static_cast<double>(d_ - 1);
+  constexpr size_t kChunk = 512;
+  double u[kChunk];
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t m = std::min(kChunk, values.size() - i);
+    rng.FillUniform(u, m);
+    for (size_t k = 0; k < m; ++k) {
+      const uint32_t v = values[i + k];
+      assert(v < d_);
+      if (u[k] < in_wave_mass) {
+        // u / p is uniform on [0, 2b + 1): the in-wave offset.
+        uint32_t offset = static_cast<uint32_t>(u[k] / p_);
+        if (offset > window - 1) offset = window - 1;
+        out[i + k] = v + offset;
+      } else {
+        // Residual uniform -> one of the d - 1 out-of-wave outputs.
+        const double t = (u[k] - in_wave_mass) * inv_rest;
+        uint32_t r = static_cast<uint32_t>(t * others);
+        if (r > d_ - 2) r = static_cast<uint32_t>(d_ - 2);
+        out[i + k] = (r >= v) ? r + window : r;
+      }
+    }
+    i += m;
+  }
 }
 
 double DiscreteSquareWave::Probability(uint32_t v, uint32_t out) const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/matrix.h"
@@ -31,6 +32,14 @@ class SquareWave {
 
   /// Randomizes one value (client side). Requires v in [0, 1].
   double Perturb(double v, Rng& rng) const;
+
+  /// Bulk client encode: randomizes values[i] into out[i]. Bit-identical
+  /// to a loop of Perturb() calls on the same stream (each report consumes
+  /// exactly two uniforms, prefetched pairwise in the same order); the
+  /// branchy per-report transform becomes a tight pass over the filled
+  /// spans.
+  void PerturbBatch(std::span<const double> values, Rng& rng,
+                    double* out) const;
 
   /// Exact output density M_v(out) for input v (p inside the wave, q outside,
   /// 0 outside [-b, 1+b]).
@@ -77,6 +86,16 @@ class DiscreteSquareWave {
 
   /// Randomizes one value (client side). Requires v < d.
   uint32_t Perturb(uint32_t v, Rng& rng) const;
+
+  /// Bulk client encode: randomizes values[i] into out[i] with one uniform
+  /// draw per report — the wave/background decision, the in-wave offset,
+  /// and the out-of-wave category all derive from the same draw. The batch
+  /// draw order therefore differs from a Perturb() loop, but the report
+  /// channel is the same DSW one (each in-wave output has probability
+  /// exactly p up to the 2^-53 grid of one double draw;
+  /// conformance-tested).
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    uint32_t* out) const;
 
   /// Exact report probability Pr[output == out | input == v].
   double Probability(uint32_t v, uint32_t out) const;

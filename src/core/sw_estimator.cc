@@ -100,6 +100,35 @@ double SwEstimator::PerturbOne(double v, Rng& rng) const {
   return static_cast<double>(dsw_.Perturb(bucket, rng));
 }
 
+void SwEstimator::PerturbBatch(std::span<const double> values, Rng& rng,
+                               std::vector<double>* out) const {
+  out->resize(values.size());
+  if (options_.pipeline ==
+      SwEstimatorOptions::Pipeline::kRandomizeBeforeBucketize) {
+    sw_.PerturbBatch(values, rng, out->data());
+    return;
+  }
+  constexpr size_t kChunk = 512;
+  uint32_t buckets[kChunk];
+  uint32_t reports[kChunk];
+  const double d_scale = static_cast<double>(options_.d);
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t m = std::min(kChunk, values.size() - i);
+    for (size_t k = 0; k < m; ++k) {
+      const double v = values[i + k];
+      assert(v >= 0.0 && v <= 1.0);
+      buckets[k] = static_cast<uint32_t>(
+          std::min<size_t>(static_cast<size_t>(v * d_scale), options_.d - 1));
+    }
+    dsw_.PerturbBatch(std::span<const uint32_t>(buckets, m), rng, reports);
+    for (size_t k = 0; k < m; ++k) {
+      (*out)[i + k] = static_cast<double>(reports[k]);
+    }
+    i += m;
+  }
+}
+
 std::vector<uint64_t> SwEstimator::Aggregate(
     const std::vector<double>& reports) const {
   if (options_.pipeline ==

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/matrix.h"
@@ -61,6 +62,15 @@ class SwEstimator {
   /// continuous pipeline the report is a real in [-b, 1+b]; for the discrete
   /// pipeline it is an output bucket index (stored in the double).
   double PerturbOne(double v, Rng& rng) const;
+
+  /// Bulk client encode: perturbs values[i] into (*out)[i] (resized to
+  /// values.size()). The continuous pipeline is bit-identical to a
+  /// PerturbOne loop on the same stream (SquareWave::PerturbBatch); the
+  /// discrete pipeline uses the single-draw bulk path
+  /// (DiscreteSquareWave::PerturbBatch), whose draw order differs from the
+  /// per-value loop while the report channel is unchanged.
+  void PerturbBatch(std::span<const double> values, Rng& rng,
+                    std::vector<double>* out) const;
 
   /// Server-side: histogram of raw reports over the output buckets.
   std::vector<uint64_t> Aggregate(const std::vector<double>& reports) const;

@@ -122,6 +122,24 @@ double SampleMixture(const std::vector<MixtureComponent>& mixture, Rng& rng) {
   return SampleDataset(mixture.back().dataset, rng);
 }
 
+DiscreteSampler MakeMixtureSampler(
+    const std::vector<MixtureComponent>& mixture) {
+  assert(!mixture.empty());
+  std::vector<double> weights;
+  weights.reserve(mixture.size());
+  for (const MixtureComponent& c : mixture) {
+    weights.push_back(std::max(c.weight, 0.0));
+  }
+  return DiscreteSampler(weights);
+}
+
+double SampleMixture(const std::vector<MixtureComponent>& mixture,
+                     const DiscreteSampler& sampler, Rng& rng) {
+  assert(sampler.size() == mixture.size());
+  if (mixture.size() == 1) return SampleDataset(mixture[0].dataset, rng);
+  return SampleDataset(mixture[sampler.Sample(rng)].dataset, rng);
+}
+
 void AlignMixtures(const std::vector<MixtureComponent>& a,
                    const std::vector<MixtureComponent>& b,
                    std::vector<MixtureComponent>* a_out,

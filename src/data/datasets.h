@@ -54,8 +54,22 @@ struct MixtureComponent {
 
 /// Draws one sample from the mixture: picks a component with probability
 /// proportional to its weight, then samples that dataset. Requires at least
-/// one component with positive weight.
+/// one component with positive weight. Linear scan over the weights; when
+/// the same mixture is sampled per report, build an alias table with
+/// MakeMixtureSampler and use the overload below.
 double SampleMixture(const std::vector<MixtureComponent>& mixture, Rng& rng);
+
+/// Alias table over the mixture's component weights: O(size) build, O(1)
+/// per component pick. Requires at least one positive weight.
+DiscreteSampler MakeMixtureSampler(
+    const std::vector<MixtureComponent>& mixture);
+
+/// SampleMixture with a prebuilt component sampler (`sampler` must have
+/// been built from `mixture`'s weights). Same distribution as the linear
+/// scan; single-component mixtures skip the component draw entirely, like
+/// the scan does.
+double SampleMixture(const std::vector<MixtureComponent>& mixture,
+                     const DiscreteSampler& sampler, Rng& rng);
 
 /// Rewrites a drift pair onto one shared component list: the union of the
 /// datasets in first-appearance order, with weights of repeated components

@@ -6,9 +6,9 @@
 #include <limits>
 #include <map>
 #include <mutex>
-#include <thread>
 #include <tuple>
 
+#include "common/executor.h"
 #include "common/histogram.h"
 #include "metrics/distance.h"
 #include "metrics/queries.h"
@@ -160,16 +160,15 @@ Result<AggregateMetrics> RunTrials(const DistributionMethod& method,
     protocol = std::move(made).value();
   }
 
-  // Two-level thread split: independent trials (including the expensive
-  // reconstruction step) run in parallel, and whatever budget is left over
-  // threads each trial's shard accumulation. Results depend on neither
-  // layer's layout — trial streams are fixed by (seed, t), shard streams by
-  // (trial_seed, i) — so any (threads, trials) combination reproduces the
+  // Two-level parallelism budget on the shared executor: independent
+  // trials (including the expensive reconstruction step) fan out first,
+  // and whatever budget is left over caps each trial's nested shard
+  // accumulation. Results depend on neither level's schedule — trial
+  // streams are fixed by (seed, t), shard streams by (trial_seed, i), and
+  // all outputs are keyed by trial index — so any (threads, trials)
+  // combination and any work-stealing schedule reproduces the
   // single-threaded metrics exactly.
-  const size_t threads =
-      opts.threads == 0
-          ? std::max<size_t>(1, std::thread::hardware_concurrency())
-          : opts.threads;
+  const size_t threads = ResolveThreadCount(opts.threads);
   const size_t trial_workers = std::min(threads, opts.trials);
   ShardOptions shard_opts;
   shard_opts.shard_size = opts.shard_size;
@@ -177,32 +176,20 @@ Result<AggregateMetrics> RunTrials(const DistributionMethod& method,
 
   std::vector<TrialMetrics> metrics(opts.trials);
   std::vector<Status> failures(opts.trials, Status::OK());
-  const auto trial_worker = [&](size_t worker_id) {
-    for (size_t t = worker_id; t < opts.trials; t += trial_workers) {
-      // Independent, reproducible stream family per trial; the shard layer
-      // derives one stream per shard below it.
-      const uint64_t trial_seed = ShardSeed(opts.seed, t);
-      Result<MethodOutput> out =
-          RunProtocolSharded(*protocol, values, trial_seed, shard_opts);
-      if (!out.ok()) {
-        failures[t] = out.status();
-        continue;
-      }
-      Rng query_rng(SplitMix64(opts.seed + 0x51ed2701 + t));
-      metrics[t] = EvaluateTrial(out.value(), truth, opts, query_rng);
-    }
-  };
-
-  if (trial_workers == 1) {
-    trial_worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(trial_workers);
-    for (size_t w = 0; w < trial_workers; ++w) {
-      pool.emplace_back(trial_worker, w);
-    }
-    for (std::thread& th : pool) th.join();
-  }
+  Executor::Shared().ParallelFor(
+      opts.trials, trial_workers, [&](size_t t, size_t /*slot*/) {
+        // Independent, reproducible stream family per trial; the shard
+        // layer derives one stream per shard below it.
+        const uint64_t trial_seed = ShardSeed(opts.seed, t);
+        Result<MethodOutput> out =
+            RunProtocolSharded(*protocol, values, trial_seed, shard_opts);
+        if (!out.ok()) {
+          failures[t] = out.status();
+          return;
+        }
+        Rng query_rng(SplitMix64(opts.seed + 0x51ed2701 + t));
+        metrics[t] = EvaluateTrial(out.value(), truth, opts, query_rng);
+      });
 
   for (const Status& st : failures) {
     if (!st.ok()) return st;

@@ -1,5 +1,6 @@
 #include "fo/adaptive.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -35,6 +36,23 @@ FoReport AdaptiveFo::Perturb(uint32_t v, Rng& rng) const {
   if (use_grr_) return FoReport{0, grr_.Perturb(v, rng)};
   const OlhReport rep = olh_.Perturb(v, rng);
   return FoReport{rep.seed, rep.y};
+}
+
+void AdaptiveFo::PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                              FoReport* out) const {
+  if (!use_grr_) {
+    olh_.PerturbBatch(values, rng, out);
+    return;
+  }
+  constexpr size_t kChunk = 512;
+  uint32_t reports[kChunk];
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t m = std::min(kChunk, values.size() - i);
+    grr_.PerturbBatch(values.subspan(i, m), rng, reports);
+    for (size_t k = 0; k < m; ++k) out[i + k] = FoReport{0, reports[k]};
+    i += m;
+  }
 }
 
 FoSketch AdaptiveFo::MakeSketch() const {

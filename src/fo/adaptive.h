@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +34,12 @@ class AdaptiveFo {
   /// a GRR category or an OLH (seed, hash) pair, depending on the selected
   /// protocol.
   FoReport Perturb(uint32_t v, Rng& rng) const;
+
+  /// Bulk client encode: randomizes values[i] into out[i] through the
+  /// selected oracle's batch path (see Grr::PerturbBatch /
+  /// Olh::PerturbBatch for the bulk draw-order contract).
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    FoReport* out) const;
 
   /// Empty aggregation state for the selected protocol.
   FoSketch MakeSketch() const;

@@ -23,8 +23,9 @@ class AdaptiveBatchedFo final : public BatchedFo {
 
   void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
                     FoChunk* chunk) const override {
-    chunk->reports.reserve(chunk->reports.size() + values.size());
-    for (uint32_t v : values) chunk->reports.push_back(fo_.Perturb(v, rng));
+    const size_t old_size = chunk->reports.size();
+    chunk->reports.resize(old_size + values.size());
+    fo_.PerturbBatch(values, rng, chunk->reports.data() + old_size);
     chunk->n += values.size();
   }
 
@@ -68,10 +69,14 @@ class GrrBatchedFo final : public BatchedFo {
 
   void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
                     FoChunk* chunk) const override {
-    chunk->reports.reserve(chunk->reports.size() + values.size());
-    for (uint32_t v : values) {
-      chunk->reports.push_back(FoReport{0, grr_.Perturb(v, rng)});
-    }
+    const size_t old_size = chunk->reports.size();
+    chunk->reports.resize(old_size + values.size());
+    // Bulk map through the dispatched GRR kernel, then widen the raw
+    // categories into the wire format.
+    std::vector<uint32_t> raw(values.size());
+    grr_.PerturbBatch(values, rng, raw.data());
+    FoReport* out = chunk->reports.data() + old_size;
+    for (size_t i = 0; i < raw.size(); ++i) out[i] = FoReport{0, raw[i]};
     chunk->n += values.size();
   }
 
@@ -108,11 +113,9 @@ class OlhBatchedFo final : public BatchedFo {
 
   void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
                     FoChunk* chunk) const override {
-    chunk->reports.reserve(chunk->reports.size() + values.size());
-    for (uint32_t v : values) {
-      const OlhReport rep = olh_.Perturb(v, rng);
-      chunk->reports.push_back(FoReport{rep.seed, rep.y});
-    }
+    const size_t old_size = chunk->reports.size();
+    chunk->reports.resize(old_size + values.size());
+    olh_.PerturbBatch(values, rng, chunk->reports.data() + old_size);
     chunk->n += values.size();
   }
 
@@ -144,11 +147,7 @@ class OueBatchedFo final : public BatchedFo {
 
   void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
                     FoChunk* chunk) const override {
-    chunk->bits.reserve(chunk->bits.size() + values.size() * oue_.domain());
-    for (uint32_t v : values) {
-      const std::vector<uint8_t> bits = oue_.Perturb(v, rng);
-      chunk->bits.insert(chunk->bits.end(), bits.begin(), bits.end());
-    }
+    oue_.PerturbBatch(values, rng, &chunk->bits);
     chunk->n += values.size();
   }
 

@@ -1,7 +1,10 @@
 #include "fo/grr.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "kernels/kernels.h"
 
 namespace numdist {
 
@@ -30,6 +33,24 @@ uint32_t Grr::Perturb(uint32_t v, Rng& rng) const {
   // Uniform over the d-1 other values: draw from [0, d-1) and skip v.
   uint32_t r = static_cast<uint32_t>(rng.UniformInt(domain_ - 1));
   return (r >= v) ? r + 1 : r;
+}
+
+void Grr::PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                       uint32_t* out) const {
+#ifndef NDEBUG
+  for (uint32_t v : values) assert(v < domain_);
+#endif
+  constexpr size_t kChunk = 512;
+  double u[kChunk];
+  const double inv_rest = 1.0 / (1.0 - p_);
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t m = std::min(kChunk, values.size() - i);
+    rng.FillUniform(u, m);
+    kernels::GrrResponseMap(u, values.data() + i, out + i, m, p_, inv_rest,
+                            static_cast<uint32_t>(domain_));
+    i += m;
+  }
 }
 
 std::vector<double> Grr::Estimate(const std::vector<uint32_t>& reports) const {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +22,18 @@ class Grr {
 
   /// Randomizes one value (client side).
   uint32_t Perturb(uint32_t v, Rng& rng) const;
+
+  /// Bulk client encode: randomizes values[i] into out[i] (out holds
+  /// values.size() slots). One uniform draw per report — the accept
+  /// decision and, on reject, the replacement category both derive from
+  /// the same draw — with the category map running through the dispatched
+  /// SIMD kernels. The batch draw order therefore differs from a loop of
+  /// Perturb() calls, but the report distribution is the same GRR channel
+  /// (truth with probability exactly p; each other category uniform up to
+  /// the 2^-53 grid of one double draw — far below the conformance tier's
+  /// detection radius, which covers this path).
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    uint32_t* out) const;
 
   /// Unbiased frequency estimates from raw reports (server side).
   /// Output has `domain` entries; entries may be negative.

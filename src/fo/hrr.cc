@@ -1,5 +1,6 @@
 #include "fo/hrr.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -35,6 +36,31 @@ HrrReport Hrr::Perturb(uint32_t v, Rng& rng) const {
   const int entry = HadamardEntry(v, report.col);
   report.bit = static_cast<int8_t>(rng.Bernoulli(p_) ? entry : -entry);
   return report;
+}
+
+void Hrr::PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                       HrrReport* out) const {
+  constexpr size_t kChunk = 256;
+  uint64_t raw[kChunk];
+  double u[kChunk];
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t m = std::min(kChunk, values.size() - i);
+    rng.FillRaw(raw, m);
+    rng.FillUniform(u, m);
+    for (size_t k = 0; k < m; ++k) {
+      assert(values[i + k] < domain_);
+      // UniformInt(order) for a power-of-two order is exactly one
+      // fixed-point multiply of one raw draw (the Lemire rejection
+      // threshold is 2^64 mod order == 0).
+      const uint32_t col = static_cast<uint32_t>(
+          (static_cast<__uint128_t>(raw[k]) * order_) >> 64);
+      const int entry = HadamardEntry(values[i + k], col);
+      out[i + k] =
+          HrrReport{col, static_cast<int8_t>(u[k] < p_ ? entry : -entry)};
+    }
+    i += m;
+  }
 }
 
 std::vector<double> Hrr::Estimate(const std::vector<HrrReport>& reports) const {

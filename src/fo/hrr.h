@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -31,6 +32,15 @@ class Hrr {
 
   /// Randomizes one value (client side).
   HrrReport Perturb(uint32_t v, Rng& rng) const;
+
+  /// Bulk client encode: randomizes values[i] into out[i]. Draws in bulk
+  /// (a chunk of raw column draws, then a chunk of flip uniforms), so the
+  /// batch draw order differs from a Perturb() loop while each report's
+  /// channel is unchanged: the column comes from the identical
+  /// power-of-two Lemire reduction (exactly one draw, no rejection), the
+  /// flip from one uniform-vs-p compare.
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    HrrReport* out) const;
 
   /// Unbiased frequency estimates (server side). O(n * domain) popcounts.
   std::vector<double> Estimate(const std::vector<HrrReport>& reports) const;

@@ -1,5 +1,6 @@
 #include "fo/olh.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -85,6 +86,52 @@ OlhReport Olh::Perturb(uint32_t v, Rng& rng) const {
     report.y = (r >= h) ? r + 1 : r;
   }
   return report;
+}
+
+void Olh::PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                       FoReport* out) const {
+  const uint32_t g = g_;
+  // Integer accept test on the draw's top 53 bits: m < ceil(p * 2^53) is
+  // EXACTLY the event Uniform() < p (both count the m with m * 2^-53 < p),
+  // with no double compare in the loop. A rejected draw's residual
+  // m - T is uniform on [0, rest) and maps onto the g-1 other buckets with
+  // one double multiply (bias ~2^-52, far below the conformance tier's
+  // detection radius). Everything selects through masks — no
+  // data-dependent branch, so the ~50/50 accept split costs no
+  // mispredicts.
+  const uint64_t accept_threshold =
+      static_cast<uint64_t>(std::ceil(p_ * 0x1.0p53));
+  const uint64_t rest = (uint64_t{1} << 53) - accept_threshold;
+  // rest == 0 (p within 2^-53 of 1, i.e. an absurd epsilon) means a reject
+  // can never be selected; any finite scale keeps the masked math defined.
+  const double reject_scale =
+      rest == 0 ? 0.0
+                : static_cast<double>(g - 1) / static_cast<double>(rest);
+  constexpr size_t kChunk = 256;
+  uint64_t seeds[kChunk];
+  uint64_t draws[kChunk];
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t chunk = std::min(kChunk, values.size() - i);
+    rng.FillRaw(seeds, chunk);
+    rng.FillRaw(draws, chunk);
+    for (size_t k = 0; k < chunk; ++k) {
+      assert(values[i + k] < domain_);
+      const uint64_t seed = seeds[k];
+      const uint32_t h = OlhHash(seed, values[i + k], g);
+      const uint64_t m = draws[k] >> 11;  // top 53 bits, like Uniform()
+      const uint64_t reject_mask =
+          uint64_t{0} - static_cast<uint64_t>(m >= accept_threshold);
+      const uint64_t rm = (m - accept_threshold) & reject_mask;
+      uint32_t r = static_cast<uint32_t>(static_cast<double>(rm) *
+                                         reject_scale);
+      r = r > g - 2 ? g - 2 : r;
+      r += r >= h ? 1 : 0;  // skip-adjust past the truthful hash
+      const uint32_t keep = static_cast<uint32_t>(~reject_mask);
+      out[i + k] = FoReport{seed, (h & keep) | (r & ~keep)};
+    }
+    i += chunk;
+  }
 }
 
 std::vector<uint64_t> Olh::SupportCounts(

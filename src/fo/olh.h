@@ -32,6 +32,19 @@ class Olh {
   /// Randomizes one value (client side): fresh seed + GRR on the hash.
   OlhReport Perturb(uint32_t v, Rng& rng) const;
 
+  /// Bulk client encode into the protocol wire format: out[i] carries
+  /// report i's seed and perturbed hash. Draws in bulk (a chunk of seeds,
+  /// then a chunk of raw accept/reject draws) and spends exactly two raw
+  /// draws per report: the second draw's top 53 bits decide acceptance
+  /// (the integer threshold test is exactly the event Uniform() < p) and,
+  /// on reject, its residual picks the replacement hash bucket — all
+  /// selected through masks with no data-dependent branch. The batch draw
+  /// order therefore differs from a Perturb() loop, while the reported
+  /// channel stays the OLH one (truth hash with probability exactly p,
+  /// other buckets uniform up to a ~2^-52 grid; conformance-tested).
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    FoReport* out) const;
+
   /// Unbiased frequency estimates (server side). O(n * domain) hashing.
   std::vector<double> Estimate(const std::vector<OlhReport>& reports) const;
 

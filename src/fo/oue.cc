@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace numdist {
 
 Result<Oue> Oue::Make(double epsilon, size_t domain) {
@@ -28,6 +30,25 @@ std::vector<uint8_t> Oue::Perturb(uint32_t v, Rng& rng) const {
     bits[j] = rng.Bernoulli(keep) ? 1 : 0;
   }
   return bits;
+}
+
+void Oue::PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                       std::vector<uint8_t>* bits) const {
+  const size_t old_size = bits->size();
+  bits->resize(old_size + values.size() * domain_);
+  uint8_t* row = bits->data() + old_size;
+  std::vector<double> u(domain_);
+  for (uint32_t v : values) {
+    assert(v < domain_);
+    // Same draws as Perturb: one uniform per bit, row-major. The whole row
+    // is compared against the flip probability q in one kernel pass, then
+    // the true bit's compare is redone against its 1/2 keep probability
+    // using the same uniform.
+    rng.FillUniform(u.data(), domain_);
+    kernels::LessThan(u.data(), q_, row, domain_);
+    row[v] = u[v] < 0.5 ? 1 : 0;
+    row += domain_;
+  }
 }
 
 std::vector<double> Oue::EstimateFromOnes(const std::vector<uint64_t>& ones,

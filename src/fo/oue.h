@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -23,6 +24,14 @@ class Oue {
 
   /// Randomizes one value (client side): returns the perturbed bit vector.
   std::vector<uint8_t> Perturb(uint32_t v, Rng& rng) const;
+
+  /// Bulk client encode: appends one `domain`-bit perturbed row per value
+  /// to `bits` (flattened, stride = domain). Bit-identical to a loop of
+  /// Perturb() calls on the same stream — each row consumes the same
+  /// `domain` uniforms in the same order — but the per-bit Bernoulli
+  /// compare runs through the dispatched SIMD kernels.
+  void PerturbBatch(std::span<const uint32_t> values, Rng& rng,
+                    std::vector<uint8_t>* bits) const;
 
   /// Unbiased frequency estimates from summed bit vectors (server side).
   /// `ones[v]` is the number of reports with bit v set; n is the number of

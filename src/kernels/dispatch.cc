@@ -1,0 +1,120 @@
+// Dispatch resolution: picks the kernel build once per process (environment
+// override first, then CPU detection) and exposes the public entry points,
+// each one indirect call into the selected table.
+#include "kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernel_table.h"
+
+namespace numdist::kernels {
+
+namespace {
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("NUMDIST_FORCE_SCALAR");
+  // Set-and-not-"0" forces the scalar build (so FORCE_SCALAR=1, =true, =yes
+  // all work; =0 and unset select normally).
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* Resolve() {
+  const KernelTable* avx2 = Avx2KernelTable();
+  if (ForceScalarFromEnv() || avx2 == nullptr || !CpuHasAvx2()) {
+    return ScalarKernelTable();
+  }
+  return avx2;
+}
+
+// Resolved once on first use; ForceIsaForTest/ResetIsaForTest may swap it
+// (tests and benches only, before spawning workers).
+std::atomic<const KernelTable*> g_active{nullptr};
+
+inline const KernelTable* Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = Resolve();
+    g_active.store(table, std::memory_order_release);
+  }
+  return table;
+}
+
+}  // namespace
+
+bool Avx2Available() { return Avx2KernelTable() != nullptr && CpuHasAvx2(); }
+
+Isa ActiveIsa() {
+  return Active() == Avx2KernelTable() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void ForceIsaForTest(Isa isa) {
+  const KernelTable* table = ScalarKernelTable();
+  if (isa == Isa::kAvx2 && Avx2Available()) table = Avx2KernelTable();
+  g_active.store(table, std::memory_order_release);
+}
+
+void ResetIsaForTest() {
+  g_active.store(Resolve(), std::memory_order_release);
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  return Active()->dot(a, b, n);
+}
+
+void Dot2(const double* a0, const double* a1, const double* b, size_t n,
+          double* o0, double* o1) {
+  Active()->dot2(a0, a1, b, n, o0, o1);
+}
+
+double Sum(const double* x, size_t n) { return Active()->sum(x, n); }
+
+void Axpy(double* y, double a, const double* x, size_t n) {
+  Active()->axpy(y, a, x, n);
+}
+
+void Axpy2(double* y, double a0, const double* x0, double a1,
+           const double* x1, size_t n) {
+  Active()->axpy2(y, a0, x0, a1, x1, n);
+}
+
+double MulAndSum(double* y, const double* x, size_t n) {
+  return Active()->mul_and_sum(y, x, n);
+}
+
+void Scale(double* x, double a, size_t n) { Active()->scale(x, a, n); }
+
+void WindowCombine(double* y, size_t n, size_t lag, double background,
+                   double height) {
+  Active()->window_combine(y, n, lag, background, height);
+}
+
+void LessThan(const double* u, double threshold, uint8_t* out, size_t n) {
+  Active()->less_than(u, threshold, out, n);
+}
+
+void GrrResponseMap(const double* u, const uint32_t* values, uint32_t* out,
+                    size_t n, double p, double inv_rest, uint32_t domain) {
+  Active()->grr_response_map(u, values, out, n, p, inv_rest, domain);
+}
+
+}  // namespace numdist::kernels

@@ -1,0 +1,34 @@
+// Internal: the function table one kernel build fills in. Each build
+// (scalar, AVX2) provides one immutable table; dispatch.cc selects which
+// table the public entry points call through. Not installed API — only the
+// kernels/ translation units include this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace numdist::kernels {
+
+struct KernelTable {
+  double (*dot)(const double*, const double*, size_t);
+  void (*dot2)(const double*, const double*, const double*, size_t, double*,
+               double*);
+  double (*sum)(const double*, size_t);
+  void (*axpy)(double*, double, const double*, size_t);
+  void (*axpy2)(double*, double, const double*, double, const double*,
+                size_t);
+  double (*mul_and_sum)(double*, const double*, size_t);
+  void (*scale)(double*, double, size_t);
+  void (*window_combine)(double*, size_t, size_t, double, double);
+  void (*less_than)(const double*, double, uint8_t*, size_t);
+  void (*grr_response_map)(const double*, const uint32_t*, uint32_t*, size_t,
+                           double, double, uint32_t);
+};
+
+/// The portable blocked-scalar build (always available).
+const KernelTable* ScalarKernelTable();
+
+/// The AVX2 build, or nullptr when this binary was compiled without it.
+const KernelTable* Avx2KernelTable();
+
+}  // namespace numdist::kernels

@@ -1,0 +1,118 @@
+// Runtime-dispatched SIMD numeric kernels for the report/EM hot paths.
+//
+// Every kernel has two implementations selected once per process: an AVX2
+// build (compiled with -mavx2 in its own translation unit) and a portable
+// scalar build. The two are BIT-EXACT by construction — this is the layer's
+// hard contract, enforced by tests/kernels_test.cc:
+//
+//   * Reductions (Dot, Sum, MulAndSum) use a fixed lane-blocked summation
+//     order: 16 independent accumulators striped over the input
+//     (accumulator l sums elements 16k+l — four 4-lane vector chains, deep
+//     enough to hide the add latency), combined by the fixed tree
+//       u_j = (s_j + s_{j+4}) + (s_{j+8} + s_{j+12}),  j = 0..3
+//       result = (u_0 + u_2) + (u_1 + u_3)
+//     — exactly the vector-add + horizontal-add tree the AVX2 path
+//     produces — plus a sequential scalar tail for n % 16 leftovers. The
+//     scalar build performs the same operations on the same values in the
+//     same order, so both paths round identically.
+//   * Elementwise kernels (Axpy, Scale, WindowCombine, LessThan,
+//     GrrResponseMap) are data-parallel IEEE operations with no
+//     reassociation; vector and scalar lanes compute the same expression
+//     per element. No FMA contraction is used on either path (the kernel
+//     TUs are compiled with -ffp-contract=off), so a fused multiply-add
+//     can never make one path round differently from the other.
+//
+// Dispatch: resolved on first use. NUMDIST_FORCE_SCALAR=1 in the
+// environment pins the scalar build (used by CI to diff the two paths);
+// otherwise AVX2 is selected when both the binary carries the AVX2 TU and
+// the CPU reports the feature. ForceIsaForTest() overrides the choice
+// in-process so one test binary can compare both paths directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace numdist::kernels {
+
+/// Instruction sets a kernel build can target.
+enum class Isa {
+  kScalar,  ///< portable blocked scalar build (always available)
+  kAvx2,    ///< AVX2 build (x86-64 with the avx2 feature bit)
+};
+
+/// The ISA the process resolved (env override, CPU detection, compiled-in
+/// availability). Stable after the first kernel call unless overridden.
+Isa ActiveIsa();
+
+/// Human-readable name ("scalar", "avx2") for logs and bench labels.
+const char* IsaName(Isa isa);
+
+/// True iff this binary carries the AVX2 kernel build and the CPU supports
+/// it (ignores the environment override).
+bool Avx2Available();
+
+/// Test/bench-only: pins dispatch to `isa`. Pinning kAvx2 when
+/// Avx2Available() is false keeps the scalar build. Not thread-safe against
+/// concurrent kernel calls; call before spawning workers.
+void ForceIsaForTest(Isa isa);
+
+/// Test/bench-only: undoes ForceIsaForTest and re-resolves from the
+/// environment + CPU.
+void ResetIsaForTest();
+
+/// Blocked dot product sum_i a[i] * b[i] (fixed-order reduction).
+double Dot(const double* a, const double* b, size_t n);
+
+/// Two dot products against one shared right-hand side: *o0 = a0 · b,
+/// *o1 = a1 · b, loading b once. Each row reduces over 8 stripes (two
+/// 4-lane chains, combined u_j = s_j + s_{j+4}, result (u_0 + u_2) +
+/// (u_1 + u_3)) — a FIXED order of its own, mirrored by the scalar build,
+/// but intentionally different from Dot's 16-stripe order: Dot2(r0, r1, x)
+/// and {Dot(r0, x), Dot(r1, x)} agree only to rounding. The dense EM sweep
+/// pairs rows with this to halve its x-vector traffic.
+void Dot2(const double* a0, const double* a1, const double* b, size_t n,
+          double* o0, double* o1);
+
+/// Blocked sum of x[0..n) (fixed-order reduction).
+double Sum(const double* x, size_t n);
+
+/// y[i] += a * x[i] for i in [0, n). Elementwise; no reduction.
+void Axpy(double* y, double a, const double* x, size_t n);
+
+/// y[i] = (y[i] + a0 * x0[i]) + a1 * x1[i]: two accumulations in one pass
+/// over y, bit-identical to Axpy(y, a0, x0, n) then Axpy(y, a1, x1, n)
+/// (same two rounded adds per element, one y load/store instead of two).
+void Axpy2(double* y, double a0, const double* x0, double a1,
+           const double* x1, size_t n);
+
+/// y[i] *= x[i] for i in [0, n); returns the blocked sum of the products
+/// (the EM M-step's multiply-and-total in one pass).
+double MulAndSum(double* y, const double* x, size_t n);
+
+/// x[i] *= a for i in [0, n).
+void Scale(double* x, double a, size_t n);
+
+/// In-place shifted-window combine over a prefix-sum array, walked from the
+/// top index down: y[j] = background + height * (y[j] - (j >= lag ?
+/// y_before[j - lag] : 0)), where y_before is the array's prior content.
+/// The descending walk makes the update safe in place for any lag >= 1
+/// (the lagged operand at index j - lag < j is never overwritten before it
+/// is read). This is the vector half of the discrete sliding-window
+/// observation model: a sequential prefix pass fills y, this pass turns it
+/// into background-plus-box-kernel responses.
+void WindowCombine(double* y, size_t n, size_t lag, double background,
+                   double height);
+
+/// out[i] = u[i] < threshold ? 1 : 0 (the vectorized Bernoulli compare
+/// behind Rng::FillBernoulli and the OUE row encoder).
+void LessThan(const double* u, double threshold, uint8_t* out, size_t n);
+
+/// The GRR single-draw response map: for each i, out[i] = values[i] when
+/// u[i] < p (report the truth), otherwise the residual uniform u' =
+/// (u[i] - p) * inv_rest (in [0, 1)) is mapped onto the domain - 1 other
+/// categories: r = min(trunc(u' * (domain - 1)), domain - 2), skip-adjusted
+/// past values[i]. Requires domain >= 2 and inv_rest == 1 / (1 - p).
+void GrrResponseMap(const double* u, const uint32_t* values, uint32_t* out,
+                    size_t n, double p, double inv_rest, uint32_t domain);
+
+}  // namespace numdist::kernels

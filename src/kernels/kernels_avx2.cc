@@ -1,0 +1,298 @@
+// AVX2 kernel build. Compiled with -mavx2 (and -ffp-contract=off) in this
+// translation unit only; the rest of the library never needs AVX2 to run.
+// Reductions use four 4-lane accumulator chains (16 doubles per step —
+// deep enough to hide the vaddpd latency) combined by a fixed tree of
+// vector adds and one horizontal fold — the blocked order the scalar build
+// mirrors exactly (see kernels.h for the bit-exactness contract).
+// Multiplies and adds are separate intrinsics on purpose: no FMA, so the
+// scalar build needs no libm fma to match.
+#include "kernels/kernel_table.h"
+
+#if defined(NUMDIST_KERNELS_AVX2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace numdist::kernels {
+
+namespace {
+
+// Combines the four 4-lane accumulator chains (chain c holds stripes
+// 4c..4c+3) with the fixed tree the scalar build mirrors: chains paired 4
+// stripes apart, then the 128-bit fold pairing lanes 2 apart, then the
+// final lane pair — u_j = (s_j + s_{j+4}) + (s_{j+8} + s_{j+12}), result =
+// (u_0 + u_2) + (u_1 + u_3).
+inline double HorizontalSum(__m256d c0, __m256d c1, __m256d c2, __m256d c3) {
+  const __m256d s = _mm256_add_pd(_mm256_add_pd(c0, c1), _mm256_add_pd(c2, c3));
+  const __m128d lo = _mm256_castpd256_pd128(s);
+  const __m128d hi = _mm256_extractf128_pd(s, 1);
+  const __m128d fold = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(fold, _mm_unpackhi_pd(fold, fold)));
+}
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d c0 = _mm256_setzero_pd();
+  __m256d c1 = _mm256_setzero_pd();
+  __m256d c2 = _mm256_setzero_pd();
+  __m256d c3 = _mm256_setzero_pd();
+  const size_t n16 = n & ~size_t{15};
+  for (size_t i = 0; i < n16; i += 16) {
+    c0 = _mm256_add_pd(
+        c0, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+    c1 = _mm256_add_pd(c1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4)));
+    c2 = _mm256_add_pd(c2, _mm256_mul_pd(_mm256_loadu_pd(a + i + 8),
+                                         _mm256_loadu_pd(b + i + 8)));
+    c3 = _mm256_add_pd(c3, _mm256_mul_pd(_mm256_loadu_pd(a + i + 12),
+                                         _mm256_loadu_pd(b + i + 12)));
+  }
+  double tail = 0.0;
+  for (size_t i = n16; i < n; ++i) tail += a[i] * b[i];
+  return HorizontalSum(c0, c1, c2, c3) + tail;
+}
+
+// Shared 8-stripe per-row epilogue for Dot2: chains paired 4 apart, then
+// the standard 128-bit fold and lane pair.
+inline double HorizontalSum2(__m256d c0, __m256d c1) {
+  const __m256d s = _mm256_add_pd(c0, c1);
+  const __m128d lo = _mm256_castpd256_pd128(s);
+  const __m128d hi = _mm256_extractf128_pd(s, 1);
+  const __m128d fold = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(fold, _mm_unpackhi_pd(fold, fold)));
+}
+
+void Dot2Avx2(const double* a0, const double* a1, const double* b, size_t n,
+              double* o0, double* o1) {
+  __m256d r0c0 = _mm256_setzero_pd();
+  __m256d r0c1 = _mm256_setzero_pd();
+  __m256d r1c0 = _mm256_setzero_pd();
+  __m256d r1c1 = _mm256_setzero_pd();
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256d b0 = _mm256_loadu_pd(b + i);
+    const __m256d b1 = _mm256_loadu_pd(b + i + 4);
+    r0c0 = _mm256_add_pd(r0c0, _mm256_mul_pd(_mm256_loadu_pd(a0 + i), b0));
+    r0c1 = _mm256_add_pd(r0c1, _mm256_mul_pd(_mm256_loadu_pd(a0 + i + 4), b1));
+    r1c0 = _mm256_add_pd(r1c0, _mm256_mul_pd(_mm256_loadu_pd(a1 + i), b0));
+    r1c1 = _mm256_add_pd(r1c1, _mm256_mul_pd(_mm256_loadu_pd(a1 + i + 4), b1));
+  }
+  double t0 = 0.0;
+  double t1 = 0.0;
+  for (size_t i = n8; i < n; ++i) {
+    t0 += a0[i] * b[i];
+    t1 += a1[i] * b[i];
+  }
+  *o0 = HorizontalSum2(r0c0, r0c1) + t0;
+  *o1 = HorizontalSum2(r1c0, r1c1) + t1;
+}
+
+double SumAvx2(const double* x, size_t n) {
+  __m256d c0 = _mm256_setzero_pd();
+  __m256d c1 = _mm256_setzero_pd();
+  __m256d c2 = _mm256_setzero_pd();
+  __m256d c3 = _mm256_setzero_pd();
+  const size_t n16 = n & ~size_t{15};
+  for (size_t i = 0; i < n16; i += 16) {
+    c0 = _mm256_add_pd(c0, _mm256_loadu_pd(x + i));
+    c1 = _mm256_add_pd(c1, _mm256_loadu_pd(x + i + 4));
+    c2 = _mm256_add_pd(c2, _mm256_loadu_pd(x + i + 8));
+    c3 = _mm256_add_pd(c3, _mm256_loadu_pd(x + i + 12));
+  }
+  double tail = 0.0;
+  for (size_t i = n16; i < n; ++i) tail += x[i];
+  return HorizontalSum(c0, c1, c2, c3) + tail;
+}
+
+void AxpyAvx2(double* y, double a, const double* x, size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  const size_t n16 = n & ~size_t{15};
+  for (size_t i = 0; i < n16; i += 16) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(av, _mm256_loadu_pd(x + i))));
+    _mm256_storeu_pd(
+        y + i + 4,
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 4))));
+    _mm256_storeu_pd(
+        y + i + 8,
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 8),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 8))));
+    _mm256_storeu_pd(
+        y + i + 12,
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 12),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 12))));
+  }
+  for (size_t i = n16; i < n; ++i) y[i] += a * x[i];
+}
+
+void Axpy2Avx2(double* y, double a0, const double* x0, double a1,
+               const double* x1, size_t n) {
+  const __m256d v0 = _mm256_set1_pd(a0);
+  const __m256d v1 = _mm256_set1_pd(a1);
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    __m256d acc0 = _mm256_loadu_pd(y + i);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, _mm256_loadu_pd(x0 + i)));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v1, _mm256_loadu_pd(x1 + i)));
+    _mm256_storeu_pd(y + i, acc0);
+    __m256d acc1 = _mm256_loadu_pd(y + i + 4);
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v0, _mm256_loadu_pd(x0 + i + 4)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, _mm256_loadu_pd(x1 + i + 4)));
+    _mm256_storeu_pd(y + i + 4, acc1);
+  }
+  for (size_t i = n8; i < n; ++i) {
+    y[i] = (y[i] + a0 * x0[i]) + a1 * x1[i];
+  }
+}
+
+double MulAndSumAvx2(double* y, const double* x, size_t n) {
+  __m256d c0 = _mm256_setzero_pd();
+  __m256d c1 = _mm256_setzero_pd();
+  __m256d c2 = _mm256_setzero_pd();
+  __m256d c3 = _mm256_setzero_pd();
+  const size_t n16 = n & ~size_t{15};
+  for (size_t i = 0; i < n16; i += 16) {
+    const __m256d p0 =
+        _mm256_mul_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i));
+    const __m256d p1 =
+        _mm256_mul_pd(_mm256_loadu_pd(y + i + 4), _mm256_loadu_pd(x + i + 4));
+    const __m256d p2 =
+        _mm256_mul_pd(_mm256_loadu_pd(y + i + 8), _mm256_loadu_pd(x + i + 8));
+    const __m256d p3 = _mm256_mul_pd(_mm256_loadu_pd(y + i + 12),
+                                     _mm256_loadu_pd(x + i + 12));
+    _mm256_storeu_pd(y + i, p0);
+    _mm256_storeu_pd(y + i + 4, p1);
+    _mm256_storeu_pd(y + i + 8, p2);
+    _mm256_storeu_pd(y + i + 12, p3);
+    c0 = _mm256_add_pd(c0, p0);
+    c1 = _mm256_add_pd(c1, p1);
+    c2 = _mm256_add_pd(c2, p2);
+    c3 = _mm256_add_pd(c3, p3);
+  }
+  double tail = 0.0;
+  for (size_t i = n16; i < n; ++i) {
+    y[i] *= x[i];
+    tail += y[i];
+  }
+  return HorizontalSum(c0, c1, c2, c3) + tail;
+}
+
+void ScaleAvx2(double* x, double a, size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(x + i + 4, _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 4)));
+  }
+  for (size_t i = n8; i < n; ++i) x[i] *= a;
+}
+
+void WindowCombineAvx2(double* y, size_t n, size_t lag, double background,
+                       double height) {
+  const __m256d bg = _mm256_set1_pd(background);
+  const __m256d h = _mm256_set1_pd(height);
+  size_t j = n;
+  // Descending 4-wide: step handles indices [j-4, j). In-place safety: the
+  // lagged operand ends at j-1-lag < j-4+1 for lag >= 1... more precisely,
+  // every index this step stores ([j-4, j)) is strictly above everything a
+  // LATER (lower-j) step reads, and the lagged reads of THIS step
+  // ([j-4-lag, j-lag)) lie strictly below every index already stored
+  // ([j, n)), so no step ever reads a combined value. Needs the lagged
+  // block fully in bounds: j-4-lag >= 0.
+  while (j >= 4 && j >= lag + 4) {
+    const __m256d cur = _mm256_loadu_pd(y + j - 4);
+    const __m256d lagged = _mm256_loadu_pd(y + j - 4 - lag);
+    _mm256_storeu_pd(
+        y + j - 4,
+        _mm256_add_pd(bg, _mm256_mul_pd(h, _mm256_sub_pd(cur, lagged))));
+    j -= 4;
+  }
+  while (j-- > 0) {
+    const double lagged = j >= lag ? y[j - lag] : 0.0;
+    y[j] = background + height * (y[j] - lagged);
+  }
+}
+
+void LessThanAvx2(const double* u, double threshold, uint8_t* out, size_t n) {
+  const __m256d t = _mm256_set1_pd(threshold);
+  // Bit b of the movemask is lane b's compare; expand the 4-bit mask to 4
+  // bytes through a tiny table.
+  alignas(16) static constexpr uint8_t kExpand[16][4] = {
+      {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0}, {1, 1, 0, 0},
+      {0, 0, 1, 0}, {1, 0, 1, 0}, {0, 1, 1, 0}, {1, 1, 1, 0},
+      {0, 0, 0, 1}, {1, 0, 0, 1}, {0, 1, 0, 1}, {1, 1, 0, 1},
+      {0, 0, 1, 1}, {1, 0, 1, 1}, {0, 1, 1, 1}, {1, 1, 1, 1}};
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(u + i), t, _CMP_LT_OQ));
+    __builtin_memcpy(out + i, kExpand[mask], 4);
+  }
+  for (size_t i = n4; i < n; ++i) out[i] = u[i] < threshold ? 1 : 0;
+}
+
+void GrrResponseMapAvx2(const double* u, const uint32_t* values, uint32_t* out,
+                        size_t n, double p, double inv_rest, uint32_t domain) {
+  const __m256d pv = _mm256_set1_pd(p);
+  const __m256d inv = _mm256_set1_pd(inv_rest);
+  const __m256d others = _mm256_set1_pd(static_cast<double>(domain - 1));
+  const __m128i cap = _mm_set1_epi32(static_cast<int>(domain - 2));
+  const __m128i one = _mm_set1_epi32(1);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d uu = _mm256_loadu_pd(u + i);
+    // Truthful lanes: u < p. The rejected computation below also runs on
+    // truthful lanes (t is negative there) but its result is blended away.
+    const __m256d keep64 = _mm256_cmp_pd(uu, pv, _CMP_LT_OQ);
+    const __m256d t = _mm256_mul_pd(_mm256_sub_pd(uu, pv), inv);
+    __m128i r = _mm256_cvttpd_epi32(_mm256_mul_pd(t, others));
+    r = _mm_min_epi32(r, cap);  // clamp the u -> 1.0 rounding edge
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        values + i));
+    // Skip-adjust past the truthful value: r >= v  <=>  r + 1.
+    const __m128i ge = _mm_cmpgt_epi32(_mm_add_epi32(r, one), v);
+    const __m128i adjusted = _mm_sub_epi32(r, ge);  // ge lanes are -1
+    // Narrow the 64-bit compare mask to 32-bit lanes for the blend.
+    const __m128i keep_lo = _mm256_castsi256_si128(_mm256_castpd_si256(keep64));
+    const __m128i keep_hi =
+        _mm256_extracti128_si256(_mm256_castpd_si256(keep64), 1);
+    const __m128i keep32 = _mm_castps_si128(
+        _mm_shuffle_ps(_mm_castsi128_ps(keep_lo), _mm_castsi128_ps(keep_hi),
+                       _MM_SHUFFLE(2, 0, 2, 0)));
+    const __m128i result = _mm_blendv_epi8(adjusted, v, keep32);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), result);
+  }
+  const double others_s = static_cast<double>(domain - 1);
+  for (size_t i = n4; i < n; ++i) {
+    const uint32_t v = values[i];
+    if (u[i] < p) {
+      out[i] = v;
+      continue;
+    }
+    const double t = (u[i] - p) * inv_rest;
+    uint32_t r = static_cast<uint32_t>(t * others_s);
+    if (r > domain - 2) r = domain - 2;
+    out[i] = r >= v ? r + 1 : r;
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    DotAvx2,         Dot2Avx2,          SumAvx2,
+    AxpyAvx2,        Axpy2Avx2,         MulAndSumAvx2,
+    ScaleAvx2,       WindowCombineAvx2, LessThanAvx2,
+    GrrResponseMapAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2KernelTable() { return &kAvx2Table; }
+
+}  // namespace numdist::kernels
+
+#else  // !NUMDIST_KERNELS_AVX2
+
+namespace numdist::kernels {
+const KernelTable* Avx2KernelTable() { return nullptr; }
+}  // namespace numdist::kernels
+
+#endif

@@ -1,8 +1,9 @@
 #include "protocol/sharded.h"
 
 #include <algorithm>
-#include <thread>
 #include <vector>
+
+#include "common/executor.h"
 
 namespace numdist {
 
@@ -20,53 +21,53 @@ Result<std::unique_ptr<Accumulator>> AccumulateSharded(
   }
   const size_t shard_size = std::max<size_t>(1, opts.shard_size);
   const size_t num_shards = (values.size() + shard_size - 1) / shard_size;
-  size_t threads = opts.threads == 0
-                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
-                       : opts.threads;
-  threads = std::min(threads, num_shards);
+  const size_t threads =
+      std::min(ResolveThreadCount(opts.threads), num_shards);
 
-  std::vector<std::unique_ptr<Accumulator>> partials(threads);
-  std::vector<Status> failures(threads, Status::OK());
+  // Shard i is a pure function of (values, seed, i) — its RNG stream is
+  // fixed by ShardSeed(seed, i) — so WHICH participant encodes it is
+  // irrelevant. Participants fold their shards into per-slot accumulators;
+  // because every built-in accumulator is exact integer state with
+  // commutative, associative merges, the slot-order merge below yields the
+  // same aggregate no matter how the executor distributed or stole the
+  // shards (the any-thread-count bit-identity contract in the header).
+  Executor& executor = Executor::Shared();
+  const size_t max_slots = executor.MaxParticipants(num_shards, threads);
+  std::vector<std::unique_ptr<Accumulator>> partials(max_slots);
+  std::vector<Status> failures(max_slots, Status::OK());
 
-  const auto worker = [&](size_t worker_id) {
-    std::unique_ptr<Accumulator> local = protocol.MakeAccumulator();
-    for (size_t i = worker_id; i < num_shards; i += threads) {
-      const size_t begin = i * shard_size;
-      const size_t len = std::min(shard_size, values.size() - begin);
-      Rng rng(ShardSeed(seed, i));
-      Result<std::unique_ptr<ReportChunk>> chunk =
-          protocol.EncodePerturbBatch(values.subspan(begin, len), rng);
-      if (!chunk.ok()) {
-        failures[worker_id] = chunk.status();
-        return;
-      }
-      const Status st = local->Absorb(*chunk.value());
-      if (!st.ok()) {
-        failures[worker_id] = st;
-        return;
-      }
+  executor.ParallelFor(num_shards, threads, [&](size_t shard, size_t slot) {
+    if (!failures[slot].ok()) return;
+    if (partials[slot] == nullptr) {
+      partials[slot] = protocol.MakeAccumulator();
     }
-    partials[worker_id] = std::move(local);
-  };
-
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
-    for (std::thread& th : pool) th.join();
-  }
+    const size_t begin = shard * shard_size;
+    const size_t len = std::min(shard_size, values.size() - begin);
+    Rng rng(ShardSeed(seed, shard));
+    Result<std::unique_ptr<ReportChunk>> chunk =
+        protocol.EncodePerturbBatch(values.subspan(begin, len), rng);
+    if (!chunk.ok()) {
+      failures[slot] = chunk.status();
+      return;
+    }
+    const Status st = partials[slot]->Absorb(*chunk.value());
+    if (!st.ok()) failures[slot] = st;
+  });
 
   for (const Status& st : failures) {
     if (!st.ok()) return st;
   }
 
-  // One merge pass at the end; merge order is irrelevant for the built-in
-  // integer accumulators, but keep it fixed (worker order) anyway.
-  std::unique_ptr<Accumulator> merged = std::move(partials[0]);
-  for (size_t w = 1; w < partials.size(); ++w) {
-    NUMDIST_RETURN_NOT_OK(merged->Merge(*partials[w]));
+  // One merge pass at the end, in slot order. Slots that never ran a task
+  // (all their work was stolen) hold no accumulator and are skipped.
+  std::unique_ptr<Accumulator> merged;
+  for (std::unique_ptr<Accumulator>& partial : partials) {
+    if (partial == nullptr) continue;
+    if (merged == nullptr) {
+      merged = std::move(partial);
+      continue;
+    }
+    NUMDIST_RETURN_NOT_OK(merged->Merge(*partial));
   }
   return merged;
 }

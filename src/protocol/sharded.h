@@ -3,11 +3,13 @@
 // The value stream is cut into fixed-size shards (a function of the data
 // and shard_size only — never of the thread count). Shard i is encoded with
 // its own RNG stream seeded by mix(seed, i), so the set of report chunks is
-// identical no matter how many workers run. Each worker folds its shards
-// into a private accumulator; the per-worker accumulators are merged once
-// at the end. Because every built-in accumulator is exact integer state,
-// the merged aggregate — and therefore the reconstructed estimate — is
-// bit-identical for 1 or N threads given a fixed seed.
+// identical no matter how many workers run. Execution goes through the
+// persistent work-stealing Executor (common/executor.h): participants fold
+// the shards they claim into per-slot accumulators, merged once at the
+// end. Because every built-in accumulator is exact integer state with
+// commutative, associative merges, the aggregate — and therefore the
+// reconstructed estimate — is bit-identical for 1 or N threads, any
+// stealing schedule, and pool reuse, given a fixed seed.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +24,7 @@ struct ShardOptions {
   /// Values per shard (and per report chunk). Determines the work
   /// granularity; results do not depend on it beyond RNG stream layout.
   size_t shard_size = 8192;
-  /// Worker threads; 0 = hardware concurrency.
+  /// Parallelism cap on the shared executor; 0 = hardware concurrency.
   size_t threads = 0;
 };
 

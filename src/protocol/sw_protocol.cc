@@ -140,10 +140,7 @@ class SwProtocol final : public Protocol {
     chunk->discrete =
         estimator_.options().pipeline ==
         SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
-    chunk->reports.reserve(values.size());
-    for (double v : values) {
-      chunk->reports.push_back(estimator_.PerturbOne(v, rng));
-    }
+    estimator_.PerturbBatch(values, rng, &chunk->reports);
     return std::unique_ptr<ReportChunk>(std::move(chunk));
   }
 

@@ -9,9 +9,9 @@
 #include <memory>
 #include <optional>
 #include <sstream>
-#include <thread>
 #include <utility>
 
+#include "common/executor.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "eval/streaming.h"
@@ -114,9 +114,8 @@ Status ValidateScenario(const ScenarioConfig& config) {
 
 Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   NUMDIST_RETURN_NOT_OK(ValidateScenario(config));
-  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
   const size_t threads =
-      std::min(config.threads == 0 ? hw : config.threads, config.shards);
+      std::min(ResolveThreadCount(config.threads), config.shards);
 
   // Epsilon groups keyed by the budget's bit pattern (exact, no FP-compare
   // pitfalls); groups are created lazily when a phase first uses a budget.
@@ -163,6 +162,14 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
     const double drift_denom =
         phase.reports > 1 ? static_cast<double>(phase.reports - 1) : 1.0;
 
+    // Static (non-drifting) mixtures sample their component per report;
+    // build the phase's alias table once so that pick is O(1) instead of a
+    // linear weight scan.
+    std::optional<DiscreteSampler> static_sampler;
+    if (phase.end_mixture.empty()) {
+      static_sampler.emplace(MakeMixtureSampler(start));
+    }
+
     // One persistent stream per shard for the whole phase; checkpoint
     // boundaries never reset it, so the report sequence is independent of
     // how the phase is chunked for snapshots.
@@ -176,40 +183,42 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       const size_t begin = phase.reports * c / phase.checkpoints;
       const size_t chunk_end = phase.reports * (c + 1) / phase.checkpoints;
 
-      // Shard worker: report i of the phase lands on shard i % shards;
-      // the worker draws the (possibly drifting) mixture value, records it
-      // in the shard's truth counts, perturbs it with the group's SW
-      // mechanism, and streams the report into the shard aggregator.
-      const auto shard_worker = [&](size_t worker_id) {
-        std::vector<MixtureComponent> mix = start;
-        for (size_t s = worker_id; s < config.shards; s += threads) {
-          Rng& rng = shard_rngs[s];
-          StreamingAggregator& agg = group->shards[s];
-          std::vector<uint64_t>& truth = group->truth_counts[s];
-          size_t i = begin + (s + config.shards - begin % config.shards) %
-                                 config.shards;
-          for (; i < chunk_end; i += config.shards) {
-            double v;
-            if (phase.end_mixture.empty()) {
-              v = SampleMixture(start, rng);
-            } else {
-              LerpMixtureWeights(start, end,
-                                 static_cast<double>(i) / drift_denom, &mix);
-              v = SampleMixture(mix, rng);
+      // Shard task: report i of the phase lands on shard i % shards; the
+      // task draws the (possibly drifting) mixture value, records it in
+      // the shard's truth counts, perturbs it with the group's SW
+      // mechanism, and streams the report into the shard aggregator. All
+      // state is keyed by the shard index (one RNG stream, aggregator, and
+      // truth histogram per shard), so the executor's schedule cannot
+      // change results. Static mixtures sample through the phase's alias
+      // table (O(1) per report); drifting mixtures rebuild per-report
+      // weights and keep the linear scan.
+      const bool drifting = !phase.end_mixture.empty();
+      Executor::Shared().ParallelFor(
+          config.shards, threads, [&](size_t s, size_t /*slot*/) {
+            // Per-report weight scratch, needed (and allocated) only when
+            // the mixture drifts; static phases sample through the
+            // phase's alias table and stay allocation-free per task.
+            std::vector<MixtureComponent> mix;
+            if (drifting) mix = start;
+            Rng& rng = shard_rngs[s];
+            StreamingAggregator& agg = group->shards[s];
+            std::vector<uint64_t>& truth = group->truth_counts[s];
+            size_t i = begin + (s + config.shards - begin % config.shards) %
+                                   config.shards;
+            for (; i < chunk_end; i += config.shards) {
+              double v;
+              if (drifting) {
+                LerpMixtureWeights(start, end,
+                                   static_cast<double>(i) / drift_denom,
+                                   &mix);
+                v = SampleMixture(mix, rng);
+              } else {
+                v = SampleMixture(start, *static_sampler, rng);
+              }
+              ++truth[hist::BucketOf(v, config.d)];
+              agg.Accept(agg.estimator().PerturbOne(v, rng));
             }
-            ++truth[hist::BucketOf(v, config.d)];
-            agg.Accept(agg.estimator().PerturbOne(v, rng));
-          }
-        }
-      };
-      if (threads == 1) {
-        shard_worker(0);
-      } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (size_t w = 0; w < threads; ++w) pool.emplace_back(shard_worker, w);
-        for (std::thread& th : pool) th.join();
-      }
+          });
       group->reports += chunk_end - begin;
       result.total_reports += chunk_end - begin;
 

@@ -1,0 +1,326 @@
+// Dispatch-equivalence tier: the scalar and AVX2 kernel builds must be
+// BIT-EXACT (kernels.h contract). Verified at three levels:
+//   1. kernel-by-kernel, on sizes that exercise the blocked main loop, the
+//      tails, and the degenerate lengths;
+//   2. whole reconstructions: EstimateEm over the dense / banded /
+//      sliding-window models twice, once per dispatch, byte-compared;
+//   3. whole encode paths: every protocol family's EncodePerturbBatch wire
+//      payload, and a full sharded pipeline run, byte-compared across
+//      dispatch.
+// On hosts without AVX2 both passes resolve to the scalar build and the
+// comparisons are trivially true — the CI matrix also runs the entire
+// suite under NUMDIST_FORCE_SCALAR=1 for the same reason.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/em.h"
+#include "core/observation_model.h"
+#include "core/square_wave.h"
+#include "core/sw_estimator.h"
+#include "kernels/kernels.h"
+#include "protocol/cfo_protocol.h"
+#include "protocol/hierarchy_protocol.h"
+#include "protocol/sharded.h"
+#include "protocol/sw_protocol.h"
+
+namespace numdist {
+namespace {
+
+using kernels::Isa;
+
+// True when the two dispatch paths genuinely differ on this host.
+bool HasTwoPaths() { return kernels::Avx2Available(); }
+
+// Restores normal dispatch however a test exits.
+struct IsaGuard {
+  ~IsaGuard() { kernels::ResetIsaForTest(); }
+};
+
+std::vector<double> RandomVector(size_t n, uint64_t seed, double lo = -1.0,
+                                 double hi = 1.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(lo, hi);
+  return v;
+}
+
+// Sizes covering empty, sub-tail, one block, block+tail, and long inputs.
+const size_t kSizes[] = {0, 1, 3, 7, 8, 15, 16, 17, 31, 33, 64, 257, 1000};
+
+TEST(KernelDispatchTest, ReductionsAreBitExactAcrossIsas) {
+  IsaGuard guard;
+  for (size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(n, 11 + n);
+    const std::vector<double> b = RandomVector(n, 23 + n);
+
+    kernels::ForceIsaForTest(Isa::kScalar);
+    const double dot_scalar = kernels::Dot(a.data(), b.data(), n);
+    const double sum_scalar = kernels::Sum(a.data(), n);
+    double d2s_0 = 0.0;
+    double d2s_1 = 0.0;
+    if (n > 0) {
+      kernels::Dot2(a.data(), b.data(), a.data(), n, &d2s_0, &d2s_1);
+    }
+
+    kernels::ForceIsaForTest(Isa::kAvx2);
+    const double dot_vector = kernels::Dot(a.data(), b.data(), n);
+    const double sum_vector = kernels::Sum(a.data(), n);
+    double d2v_0 = 0.0;
+    double d2v_1 = 0.0;
+    if (n > 0) {
+      kernels::Dot2(a.data(), b.data(), a.data(), n, &d2v_0, &d2v_1);
+    }
+
+    // Bit equality, not EXPECT_DOUBLE_EQ: the contract is the same bits.
+    EXPECT_EQ(std::memcmp(&dot_scalar, &dot_vector, sizeof(double)), 0)
+        << "Dot n=" << n;
+    EXPECT_EQ(std::memcmp(&sum_scalar, &sum_vector, sizeof(double)), 0)
+        << "Sum n=" << n;
+    EXPECT_EQ(std::memcmp(&d2s_0, &d2v_0, sizeof(double)), 0)
+        << "Dot2[0] n=" << n;
+    EXPECT_EQ(std::memcmp(&d2s_1, &d2v_1, sizeof(double)), 0)
+        << "Dot2[1] n=" << n;
+  }
+}
+
+TEST(KernelDispatchTest, ElementwiseKernelsAreBitExactAcrossIsas) {
+  IsaGuard guard;
+  for (size_t n : kSizes) {
+    const std::vector<double> x0 = RandomVector(n, 31 + n);
+    const std::vector<double> x1 = RandomVector(n, 41 + n);
+    const std::vector<double> base = RandomVector(n, 59 + n);
+
+    auto run = [&](Isa isa) {
+      kernels::ForceIsaForTest(isa);
+      std::vector<double> y = base;
+      kernels::Axpy(y.data(), 0.77, x0.data(), n);
+      kernels::Axpy2(y.data(), -1.3, x0.data(), 0.21, x1.data(), n);
+      const double total = kernels::MulAndSum(y.data(), x0.data(), n);
+      kernels::Scale(y.data(), 1.0 / (total + 10.0), n);
+      kernels::WindowCombine(y.data(), n, 3, 0.125, 2.5);
+      return y;
+    };
+    const std::vector<double> scalar = run(Isa::kScalar);
+    const std::vector<double> vector = run(Isa::kAvx2);
+    ASSERT_EQ(scalar.size(), vector.size());
+    if (n > 0) {
+      EXPECT_EQ(std::memcmp(scalar.data(), vector.data(), n * sizeof(double)),
+                0)
+          << "elementwise chain n=" << n;
+    }
+  }
+}
+
+TEST(KernelDispatchTest, LessThanAndGrrMapAgreeAcrossIsas) {
+  IsaGuard guard;
+  for (size_t n : kSizes) {
+    const std::vector<double> u = RandomVector(n, 71 + n, 0.0, 1.0);
+    std::vector<uint32_t> values(n);
+    for (size_t i = 0; i < n; ++i) values[i] = static_cast<uint32_t>(i % 17);
+
+    auto run = [&](Isa isa) {
+      kernels::ForceIsaForTest(isa);
+      std::vector<uint8_t> bits(n, 0xee);
+      kernels::LessThan(u.data(), 0.4, bits.data(), n);
+      std::vector<uint32_t> out(n, 0xdeadbeef);
+      kernels::GrrResponseMap(u.data(), values.data(), out.data(), n, 0.3,
+                              1.0 / 0.7, 17);
+      return std::make_pair(bits, out);
+    };
+    const auto scalar = run(Isa::kScalar);
+    const auto vector = run(Isa::kAvx2);
+    EXPECT_EQ(scalar.first, vector.first) << "LessThan n=" << n;
+    EXPECT_EQ(scalar.second, vector.second) << "GrrResponseMap n=" << n;
+  }
+}
+
+TEST(KernelDispatchTest, WindowCombineMatchesReference) {
+  for (size_t n : {size_t{1}, size_t{5}, size_t{40}}) {
+    for (size_t lag : {size_t{1}, size_t{3}, size_t{7}, n + 2}) {
+      const std::vector<double> base = RandomVector(n, 97 + n + lag);
+      std::vector<double> got = base;
+      kernels::WindowCombine(got.data(), n, lag, 0.25, 1.75);
+      for (size_t j = 0; j < n; ++j) {
+        const double lagged = j >= lag ? base[j - lag] : 0.0;
+        // The volatile stop keeps the reference un-contracted: under
+        // -march=native the compiler would otherwise fuse this into an
+        // FMA, while the kernel builds are contraction-free by contract.
+        volatile double product = 1.75 * (base[j] - lagged);
+        const double want = 0.25 + product;
+        EXPECT_EQ(got[j], want) << "n=" << n << " lag=" << lag << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, GrrResponseMapRealizesTheScheme) {
+  // Spot-check the single-draw semantics against a direct evaluation.
+  const uint32_t domain = 11;
+  const double p = 0.22;
+  const double inv_rest = 1.0 / (1.0 - p);
+  const std::vector<double> u = RandomVector(500, 123, 0.0, 1.0);
+  std::vector<uint32_t> values(u.size());
+  for (size_t i = 0; i < u.size(); ++i) {
+    values[i] = static_cast<uint32_t>((i * 5) % domain);
+  }
+  std::vector<uint32_t> out(u.size());
+  kernels::GrrResponseMap(u.data(), values.data(), out.data(), u.size(), p,
+                          inv_rest, domain);
+  for (size_t i = 0; i < u.size(); ++i) {
+    if (u[i] < p) {
+      EXPECT_EQ(out[i], values[i]) << i;
+    } else {
+      const double t = (u[i] - p) * inv_rest;
+      uint32_t r = static_cast<uint32_t>(t * (domain - 1));
+      if (r > domain - 2) r = domain - 2;
+      const uint32_t want = r >= values[i] ? r + 1 : r;
+      EXPECT_EQ(out[i], want) << i;
+      EXPECT_NE(out[i], values[i]) << i;  // rejects never report the truth
+    }
+  }
+}
+
+// ---- Whole-path equivalence.
+
+std::vector<uint64_t> SwCounts(size_t d, size_t n, uint64_t seed) {
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  Rng rng(seed);
+  std::vector<double> reports;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    reports.push_back(sw.Perturb(rng.Bernoulli(0.5) ? 0.3 : 0.7, rng));
+  }
+  return sw.BucketizeReports(reports, d);
+}
+
+TEST(KernelDispatchTest, EstimateEmIsBitIdenticalAcrossIsas) {
+  IsaGuard guard;
+  const size_t d = 96;
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  const Matrix m = sw.TransitionMatrix(d, d);
+  const double background = sw.q() * (1.0 + 2.0 * sw.b()) / d;
+  const std::vector<uint64_t> counts = SwCounts(d, 20000, 77);
+  EmOptions opts;
+  opts.max_iterations = 40;
+  opts.min_iterations = 5;
+  opts.smoothing = true;
+
+  auto reconstruct = [&](Isa isa) {
+    kernels::ForceIsaForTest(isa);
+    std::vector<std::vector<double>> estimates;
+    estimates.push_back(EstimateEm(m, counts, opts).ValueOrDie().estimate);
+    const BandedObservationModel banded =
+        BandedObservationModel::FromDense(m, background, 1e-13);
+    estimates.push_back(
+        EstimateEm(banded, counts, opts).ValueOrDie().estimate);
+    const SlidingWindowObservationModel sliding =
+        SlidingWindowObservationModel::FromContinuous(sw, d, d);
+    estimates.push_back(
+        EstimateEm(sliding, counts, opts).ValueOrDie().estimate);
+    return estimates;
+  };
+  const auto scalar = reconstruct(Isa::kScalar);
+  const auto vector = reconstruct(Isa::kAvx2);
+  const char* model_names[] = {"dense", "banded", "sliding"};
+  for (size_t k = 0; k < scalar.size(); ++k) {
+    ASSERT_EQ(scalar[k].size(), vector[k].size());
+    EXPECT_EQ(std::memcmp(scalar[k].data(), vector[k].data(),
+                          scalar[k].size() * sizeof(double)),
+              0)
+        << model_names[k] << " estimate differs across dispatch";
+  }
+}
+
+TEST(KernelDispatchTest, EncodedChunksAreBitIdenticalAcrossIsas) {
+  IsaGuard guard;
+  // One protocol per encode family (SW continuous + discrete pipelines,
+  // CFO over GRR / OLH / OUE, both hierarchy collections).
+  struct Case {
+    const char* name;
+    Result<ProtocolPtr> protocol;
+  };
+  SwEstimatorOptions sw_opts;
+  sw_opts.epsilon = 1.0;
+  sw_opts.d = 32;
+  SwEstimatorOptions dsw_opts = sw_opts;
+  dsw_opts.pipeline = SwEstimatorOptions::Pipeline::kBucketizeBeforeRandomize;
+  Case cases[] = {
+      {"sw-continuous", MakeSwProtocol(sw_opts)},
+      {"sw-discrete", MakeSwProtocol(dsw_opts)},
+      {"cfo-grr", MakeCfoBinningProtocol(1.0, 32, 16, FoKind::kGrr)},
+      {"cfo-olh", MakeCfoBinningProtocol(1.0, 32, 16, FoKind::kOlh)},
+      {"cfo-oue", MakeCfoBinningProtocol(1.0, 32, 16, FoKind::kOue)},
+      {"hh", MakeHhBatchedProtocol(1.0, 64)},
+      {"haar", MakeHaarHrrBatchedProtocol(1.0, 32)},
+  };
+
+  std::vector<double> values;
+  Rng value_rng(99);
+  for (size_t i = 0; i < 4000; ++i) values.push_back(value_rng.Uniform());
+
+  for (Case& c : cases) {
+    ASSERT_TRUE(c.protocol.ok()) << c.name;
+    const Protocol& protocol = *c.protocol.value();
+    auto encode = [&](Isa isa) {
+      kernels::ForceIsaForTest(isa);
+      Rng rng(4242);
+      auto chunk = protocol.EncodePerturbBatch(values, rng).ValueOrDie();
+      std::string payload;
+      ByteWriter writer(&payload);
+      EXPECT_TRUE(protocol.EncodeChunkPayload(*chunk, &writer).ok())
+          << c.name;
+      return payload;
+    };
+    const std::string scalar = encode(Isa::kScalar);
+    const std::string vector = encode(Isa::kAvx2);
+    EXPECT_EQ(scalar, vector) << c.name
+                              << " wire payload differs across dispatch";
+  }
+}
+
+TEST(KernelDispatchTest, ShardedPipelineIsBitIdenticalAcrossIsas) {
+  IsaGuard guard;
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 48;
+  const ProtocolPtr protocol = MakeSwProtocol(options).ValueOrDie();
+  std::vector<double> values;
+  Rng value_rng(5);
+  for (size_t i = 0; i < 20000; ++i) values.push_back(value_rng.Uniform());
+  ShardOptions shard_opts;
+  shard_opts.shard_size = 1024;
+  shard_opts.threads = 4;
+
+  auto run = [&](Isa isa) {
+    kernels::ForceIsaForTest(isa);
+    return RunProtocolSharded(*protocol, values, 7, shard_opts)
+        .ValueOrDie()
+        .distribution;
+  };
+  const std::vector<double> scalar = run(Isa::kScalar);
+  const std::vector<double> vector = run(Isa::kAvx2);
+  ASSERT_EQ(scalar.size(), vector.size());
+  EXPECT_EQ(std::memcmp(scalar.data(), vector.data(),
+                        scalar.size() * sizeof(double)),
+            0);
+}
+
+TEST(KernelDispatchTest, IsaNamesAndAvailability) {
+  IsaGuard guard;
+  EXPECT_STREQ(kernels::IsaName(Isa::kScalar), "scalar");
+  EXPECT_STREQ(kernels::IsaName(Isa::kAvx2), "avx2");
+  kernels::ForceIsaForTest(Isa::kScalar);
+  EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
+  kernels::ForceIsaForTest(Isa::kAvx2);
+  if (HasTwoPaths()) {
+    EXPECT_EQ(kernels::ActiveIsa(), Isa::kAvx2);
+  } else {
+    EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace numdist

@@ -188,6 +188,90 @@ TEST(MechanismConformanceTest, SquareWaveContinuousChannel) {
   EXPECT_GT(gof.p_value, alpha) << "chi-square statistic " << gof.statistic;
 }
 
+// ---- Bulk-encode paths. GRR, OLH, and the discrete Square Wave batch
+// encoders use a single-draw sampling scheme (the accept decision and the
+// reject category derive from one draw, mapped through the dispatched SIMD
+// kernels) whose draw order differs from the per-value Perturb loop. The
+// channel they realize must still be the analytic one — these tests repeat
+// the per-value channel checks against PerturbBatch.
+
+TEST(MechanismConformanceTest, GrrBatchChannelMatchesAnalyticPq) {
+  const double epsilon = 1.0;
+  const size_t domain = 16;
+  const uint32_t v = 3;
+  const uint64_t n = SampleBudget(200000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 2);
+
+  const Grr grr = Grr::Make(epsilon, domain).ValueOrDie();
+  Rng rng(0x6b21);
+  const std::vector<uint32_t> values(n, v);
+  std::vector<uint32_t> reports(n);
+  grr.PerturbBatch(values, rng, reports.data());
+  std::vector<uint64_t> observed(domain, 0);
+  for (uint32_t r : reports) {
+    ASSERT_LT(r, domain);
+    ++observed[r];
+  }
+
+  std::vector<double> expected(domain, grr.q());
+  expected[v] = grr.p();
+  const GofResult gof = ChiSquareGof(observed, expected).ValueOrDie();
+  EXPECT_GT(gof.p_value, alpha) << "chi-square statistic " << gof.statistic;
+  EXPECT_GT(BinomialTwoSidedP(observed[v], n, grr.p()), alpha);
+}
+
+TEST(MechanismConformanceTest, OlhBatchSupportProbabilitiesAreExact) {
+  const double epsilon = 1.0;
+  const size_t domain = 32;
+  const uint32_t v = 7;
+  const uint32_t w = 20;  // arbitrary non-true value
+  const uint64_t n = SampleBudget(120000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 2);
+
+  const Olh olh = Olh::Make(epsilon, domain).ValueOrDie();
+  Rng rng(0x01c7);
+  const std::vector<uint32_t> values(n, v);
+  std::vector<FoReport> reports(n);
+  olh.PerturbBatch(values, rng, reports.data());
+  uint64_t support_true = 0;
+  uint64_t support_other = 0;
+  for (const FoReport& report : reports) {
+    ASSERT_LT(report.value, olh.g());
+    if (report.value == OlhHash(report.seed, v, olh.g())) ++support_true;
+    if (report.value == OlhHash(report.seed, w, olh.g())) ++support_other;
+  }
+
+  EXPECT_GT(BinomialTwoSidedP(support_true, n, olh.p()), alpha);
+  EXPECT_GT(BinomialTwoSidedP(support_other, n, 1.0 / olh.g()), alpha);
+}
+
+TEST(MechanismConformanceTest, DiscreteSquareWaveBatchChannel) {
+  const double epsilon = 1.0;
+  const size_t d = 16;
+  const uint32_t v = 11;
+  const uint64_t n = SampleBudget(120000);
+  const double alpha = PerAssertionAlpha(kTestAlpha, 1);
+
+  const DiscreteSquareWave dsw = DiscreteSquareWave::Make(epsilon, d)
+                                     .ValueOrDie();
+  Rng rng(0xd52);
+  const std::vector<uint32_t> values(n, v);
+  std::vector<uint32_t> reports(n);
+  dsw.PerturbBatch(values, rng, reports.data());
+  std::vector<uint64_t> observed(dsw.output_domain(), 0);
+  for (uint32_t r : reports) {
+    ASSERT_LT(r, dsw.output_domain());
+    ++observed[r];
+  }
+
+  std::vector<double> expected(dsw.output_domain());
+  for (uint32_t j = 0; j < dsw.output_domain(); ++j) {
+    expected[j] = dsw.Probability(v, j);
+  }
+  const GofResult gof = ChiSquareGof(observed, expected).ValueOrDie();
+  EXPECT_GT(gof.p_value, alpha) << "chi-square statistic " << gof.statistic;
+}
+
 TEST(MechanismConformanceTest, DiscreteSquareWaveChannel) {
   const double epsilon = 1.0;
   const size_t d = 16;

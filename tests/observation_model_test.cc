@@ -128,6 +128,10 @@ TEST_P(SlidingWindowGridTest, ContinuousMatchesDense) {
   ASSERT_EQ(model.rows(), m.rows());
   ASSERT_EQ(model.cols(), m.cols());
 
+  // Tolerance: both sides accumulate d rounded terms, and under
+  // -march=native (NUMDIST_NATIVE=ON) the compiler may contract the
+  // cursor/overlap arithmetic into FMAs, shifting each side by a few ulp —
+  // 5e-12 absolute covers the grid up to d = 1024 in every build mode.
   Rng rng(101);
   std::vector<double> x(d);
   for (double& v : x) v = rng.Uniform();
@@ -135,7 +139,7 @@ TEST_P(SlidingWindowGridTest, ContinuousMatchesDense) {
   model.Apply(x, &fast);
   const std::vector<double> dense = m.Multiply(x);
   for (size_t j = 0; j < d; ++j) {
-    EXPECT_NEAR(fast[j], dense[j], 1e-12) << "j=" << j;
+    EXPECT_NEAR(fast[j], dense[j], 5e-12) << "j=" << j;
   }
 
   std::vector<double> z(m.rows());
@@ -144,7 +148,7 @@ TEST_P(SlidingWindowGridTest, ContinuousMatchesDense) {
   model.ApplyTranspose(z, &fast_t);
   const std::vector<double> dense_t = m.TransposeMultiply(z);
   for (size_t i = 0; i < d; ++i) {
-    EXPECT_NEAR(fast_t[i], dense_t[i], 1e-12) << "i=" << i;
+    EXPECT_NEAR(fast_t[i], dense_t[i], 5e-12) << "i=" << i;
   }
 }
 

@@ -216,6 +216,64 @@ TEST(DiscreteSamplerTest, UniformWeights) {
   }
 }
 
+// Bulk generation contract (rng.h): each Fill* call consumes the same
+// stream in the same draw order as the equivalent loop of single draws —
+// identical outputs AND identical engine state afterwards.
+
+TEST(RngBulkTest, FillRawMatchesSequentialNext) {
+  Rng bulk(303);
+  Rng single(303);
+  std::vector<uint64_t> out(1000);
+  bulk.FillRaw(out.data(), out.size());
+  for (uint64_t v : out) EXPECT_EQ(v, single.Next());
+  EXPECT_EQ(bulk.Next(), single.Next());  // same state afterwards
+}
+
+TEST(RngBulkTest, FillUniformMatchesSequentialUniform) {
+  Rng bulk(307);
+  Rng single(307);
+  std::vector<double> out(1000);
+  bulk.FillUniform(out.data(), out.size());
+  for (double v : out) {
+    const double want = single.Uniform();
+    EXPECT_EQ(v, want);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  EXPECT_EQ(bulk.Next(), single.Next());
+}
+
+TEST(RngBulkTest, FillUniformIntMatchesSequentialUniformInt) {
+  // Bounds covering the power-of-two fast case and rejection-prone odd
+  // bounds.
+  for (uint64_t bound : {uint64_t{1}, uint64_t{2}, uint64_t{7}, uint64_t{64},
+                         uint64_t{1000003}}) {
+    Rng bulk(311 + bound);
+    Rng single(311 + bound);
+    std::vector<uint64_t> out(500);
+    bulk.FillUniformInt(out.data(), out.size(), bound);
+    for (uint64_t v : out) {
+      EXPECT_EQ(v, single.UniformInt(bound));
+      EXPECT_LT(v, bound);
+    }
+    EXPECT_EQ(bulk.Next(), single.Next()) << "bound " << bound;
+  }
+}
+
+TEST(RngBulkTest, FillBernoulliMatchesSequentialBernoulli) {
+  for (double p : {0.0, 0.25, 0.5, 0.999, 1.0}) {
+    Rng bulk(331);
+    Rng single(331);
+    // Cross the internal chunk boundary (256) to cover the stitching.
+    std::vector<uint8_t> out(700);
+    bulk.FillBernoulli(out.data(), out.size(), p);
+    for (uint8_t v : out) {
+      EXPECT_EQ(v, single.Bernoulli(p) ? 1 : 0) << "p=" << p;
+    }
+    EXPECT_EQ(bulk.Next(), single.Next()) << "p=" << p;
+  }
+}
+
 TEST(SplitMix64Test, KnownAvalanche) {
   // Adjacent inputs must produce unrelated outputs.
   const uint64_t a = SplitMix64(1);

@@ -2,12 +2,19 @@
 """Compare two google-benchmark JSON files and warn on regressions.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+           [--fallback-baseline bench/baseline/BENCH_baseline.json]
 
 Prints one line per benchmark whose real_time regressed by more than the
 threshold relative to the baseline, plus a summary. Always exits 0: this is
 a warning signal for CI logs, not a gate — micro-bench noise on shared
 runners must never block a merge. Benchmarks present in only one file are
 reported informationally.
+
+When the baseline file is missing or unreadable (the previous CI run's
+artifact expired, or this is the first run on a fresh repository) and
+--fallback-baseline is given, the committed baseline is used instead — with
+a loud note, so readers know the reference machine differs — rather than
+silently skipping the comparison and emitting an empty trajectory.
 """
 
 import argparse
@@ -35,13 +42,35 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative slowdown that counts as a regression")
+    parser.add_argument("--fallback-baseline", default=None,
+                        help="committed baseline used (with a note) when "
+                             "the artifact baseline is missing")
     args = parser.parse_args()
 
+    used_fallback = False
     try:
         baseline = load_times(args.baseline)
+    except (OSError, ValueError) as err:
+        if args.fallback_baseline is None:
+            print(f"compare_bench: cannot read baseline ({err}); skipping")
+            return 0
+        try:
+            baseline = load_times(args.fallback_baseline)
+        except (OSError, ValueError) as fallback_err:
+            print("compare_bench: no previous artifact "
+                  f"({err}) and the committed baseline is unreadable "
+                  f"({fallback_err}); skipping")
+            return 0
+        used_fallback = True
+        print("compare_bench: no previous artifact, using committed "
+              f"baseline {args.fallback_baseline} — timings come from the "
+              "committed reference run, so treat ratios as indicative, "
+              "not exact")
+
+    try:
         current = load_times(args.current)
     except (OSError, ValueError) as err:
-        print(f"compare_bench: cannot compare ({err}); skipping")
+        print(f"compare_bench: cannot read current results ({err}); skipping")
         return 0
 
     regressions = []
@@ -68,7 +97,10 @@ def main():
               f"({ratio:.2f}x)")
     if only_new:
         print(f"new benchmarks (no baseline): {', '.join(only_new)}")
-    if only_old:
+    if only_old and not used_fallback:
+        # The committed fallback baseline spans every bench binary, so when
+        # comparing one binary's output against it, "missing" entries are
+        # expected and not worth reporting.
         print(f"removed benchmarks: {', '.join(only_old)}")
 
     print(f"compare_bench: {len(regressions)} regression(s), "
