@@ -1,0 +1,271 @@
+// Event-loop collector ingest throughput: a CollectorServer on a TCP
+// loopback listener versus a MultiSender fleet, at production connection
+// counts. For each configured connection count it measures
+//
+//   ingest     end-to-end Mreports/s from first byte sent to drain done
+//   frame p50/p99  per-frame latency (fully decoded -> absorbed), ns
+//
+// The acceptance bar (ISSUE 6): sustained ingest at 1000 connections must
+// reach 1M reports/s; a miss prints a non-blocking "# WARN" line (CI shows
+// it, nothing fails — shared-runner noise must not gate merges). The
+// 10000-connection row exists to expose per-connection overheads that a
+// 1k run hides (epoll scan costs, buffer bloat, accept storms).
+//
+// RLIMIT_NOFILE is raised to its hard cap at startup; connection counts
+// that still do not fit (client + server fd per connection, plus slack)
+// are clamped with a note rather than failing, so the bench degrades
+// gracefully on tight containers.
+//
+//   net_throughput [--n=N] [--shard-size=K] [--connections=a,b,...]
+//                  [--json=FILE]
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "protocol/sharded.h"
+#include "wire/wire.h"
+
+using namespace numdist;
+
+namespace {
+
+struct RunResult {
+  size_t connections = 0;  // actually used (post-clamp)
+  size_t requested = 0;    // stable bench key across machines/rlimits
+  uint64_t reports = 0;
+  uint64_t frames = 0;
+  double seconds = 0.0;
+  double mrps = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  uint64_t pauses = 0;
+};
+
+double Percentile(std::vector<uint64_t>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  const size_t idx = std::min(
+      samples->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(samples->size())));
+  std::nth_element(samples->begin(), samples->begin() + idx, samples->end());
+  return static_cast<double>((*samples)[idx]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 100000;
+  size_t shard_size = 500;
+  std::string connection_list = "1000,10000";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      n = static_cast<size_t>(atoll(arg.c_str() + 4));
+    } else if (arg.rfind("--shard-size=", 0) == 0) {
+      shard_size = static_cast<size_t>(atoll(arg.c_str() + 13));
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      connection_list = arg.substr(14);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      fprintf(stderr,
+              "usage: net_throughput [--n=N] [--shard-size=K]\n"
+              "                      [--connections=a,b,...] [--json=FILE]\n");
+      return 2;
+    }
+  }
+
+  // Both fleet ends live in this one process: one fd per connection per
+  // side, plus listener/epoll/eventfd/stdio slack.
+  rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &rl);
+  }
+  size_t max_connections = 256;
+  if (getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur > 128) {
+    max_connections = (static_cast<size_t>(rl.rlim_cur) - 64) / 2;
+  }
+
+  // Pre-encode the report frames once; the network path under test is
+  // framing + reassembly + decode + absorb, not the mechanism's perturb.
+  const auto spec = wire::ParseMethodSpec("sw-ems", 1.0, 64).ValueOrDie();
+  const auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+  const std::vector<double> values = GoldenRatioValues(n);
+  const size_t num_shards = (n + shard_size - 1) / shard_size;
+  std::vector<std::string> frames;
+  uint64_t reports_per_round = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const size_t begin = i * shard_size;
+    const size_t len = std::min(shard_size, values.size() - begin);
+    Rng rng(ShardSeed(13, i));
+    auto chunk = protocol
+                     ->EncodePerturbBatch(
+                         std::span<const double>(values).subspan(begin, len),
+                         rng)
+                     .ValueOrDie();
+    reports_per_round += chunk->num_reports();
+    std::string frame;
+    const Status st =
+        wire::EncodeReportFrame(spec, *protocol, *chunk, &frame);
+    if (!st.ok()) {
+      fprintf(stderr, "encode: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    frames.push_back(std::move(frame));
+  }
+
+  std::vector<RunResult> results;
+  bool acceptance_measured = false;
+  printf("%-12s %10s %10s %10s %12s %12s %8s\n", "connections", "frames",
+         "Mreports", "Mrps", "p50_us", "p99_us", "pauses");
+
+  std::stringstream ss(connection_list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    size_t connections = static_cast<size_t>(atoll(item.c_str()));
+    if (connections == 0) continue;
+    if (connections > max_connections) {
+      printf("# NOTE: clamping %zu connections to %zu "
+             "(RLIMIT_NOFILE=%llu)\n",
+             connections, max_connections,
+             static_cast<unsigned long long>(rl.rlim_cur));
+      connections = max_connections;
+    }
+    // Enough rounds that every connection carries traffic and the run is
+    // long enough to time: at least 2 frames per connection.
+    const size_t rounds =
+        std::max<size_t>(1, (2 * connections + frames.size() - 1) /
+                                frames.size());
+
+    net::ServerOptions options;
+    options.record_latency = true;
+    auto server = net::CollectorServer::Make(spec, options).ValueOrDie();
+    const net::Endpoint bound =
+        server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+            .ValueOrDie();
+    Status run_status;
+    std::thread serving([&] { run_status = server->Run(); });
+
+    auto sender = net::MultiSender::Make(bound, connections).ValueOrDie();
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t round = 0; round < rounds; ++round) {
+      for (const std::string& frame : frames) {
+        const Status st = sender.Send(frame);
+        if (!st.ok()) {
+          fprintf(stderr, "send: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    const Status finished = sender.Finish();
+    if (!finished.ok()) {
+      fprintf(stderr, "finish: %s\n", finished.ToString().c_str());
+      return 1;
+    }
+    server->RequestDrain();
+    serving.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!run_status.ok()) {
+      fprintf(stderr, "server: %s\n", run_status.ToString().c_str());
+      return 1;
+    }
+    const uint64_t expected = reports_per_round * rounds;
+    if (server->num_reports() != expected) {
+      fprintf(stderr, "lost reports: absorbed %llu of %llu\n",
+              static_cast<unsigned long long>(server->num_reports()),
+              static_cast<unsigned long long>(expected));
+      return 1;
+    }
+
+    RunResult r;
+    r.connections = connections;
+    r.requested = static_cast<size_t>(atoll(item.c_str()));
+    r.reports = expected;
+    r.frames = server->stats().frames_absorbed;
+    r.seconds = seconds;
+    r.mrps = static_cast<double>(expected) / seconds / 1e6;
+    std::vector<uint64_t> latency = server->stats().latency_ns;
+    r.p50_ns = Percentile(&latency, 0.50);
+    r.p99_ns = Percentile(&latency, 0.99);
+    r.pauses = server->stats().pauses;
+    results.push_back(r);
+
+    printf("%-12zu %10llu %10.2f %10.2f %12.1f %12.1f %8llu\n",
+           r.connections, static_cast<unsigned long long>(r.frames),
+           static_cast<double>(r.reports) / 1e6, r.mrps, r.p50_ns / 1000.0,
+           r.p99_ns / 1000.0, static_cast<unsigned long long>(r.pauses));
+
+    // Acceptance radar (non-blocking): 1M reports/s sustained at 1000
+    // concurrent connections. Keyed to the un-clamped request so a tight
+    // container's smaller run cannot masquerade as the acceptance row.
+    if (item == "1000" && connections == 1000) {
+      acceptance_measured = true;
+      if (r.mrps < 1.0) {
+        printf("# WARN: ingest at 1000 connections is %.2f Mreports/s, "
+               "below the 1M reports/s bar (non-blocking)\n",
+               r.mrps);
+      }
+    }
+  }
+  if (!acceptance_measured) {
+    printf("# NOTE: the 1000-connection acceptance configuration was not "
+           "part of this run; the 1M reports/s radar did not fire\n");
+  }
+
+  if (!json_path.empty()) {
+    // google-benchmark JSON shape, so tools/compare_bench.py can diff this
+    // file against artifacts and the committed fallback baseline.
+    FILE* out = fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    fprintf(out, "{\n \"context\": {\"executable\": \"net_throughput\"},\n"
+                 " \"benchmarks\": [\n");
+    bool first = true;
+    for (const RunResult& r : results) {
+      const double ns_per_report =
+          r.seconds * 1e9 / static_cast<double>(r.reports);
+      struct Entry {
+        std::string name;
+        double real_time;
+        double items_per_second;
+      };
+      const Entry entries[] = {
+          {"NET_ingest/" + std::to_string(r.requested), ns_per_report,
+           static_cast<double>(r.reports) / r.seconds},
+          {"NET_frame_p99/" + std::to_string(r.requested), r.p99_ns, 0.0},
+      };
+      for (const Entry& e : entries) {
+        fprintf(out,
+                "%s  {\"name\": \"%s\", \"run_name\": \"%s\", "
+                "\"run_type\": \"iteration\", \"iterations\": 1, "
+                "\"real_time\": %.3f, \"cpu_time\": %.3f, "
+                "\"time_unit\": \"ns\", \"items_per_second\": %.3f}",
+                first ? "" : ",\n", e.name.c_str(), e.name.c_str(),
+                e.real_time, e.real_time, e.items_per_second);
+        first = false;
+      }
+    }
+    fprintf(out, "\n ]\n}\n");
+    fclose(out);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "net/client.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace numdist::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string("net: ") + what + " failed (" +
+                          std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+Result<MultiSender> MultiSender::Make(const Endpoint& endpoint,
+                                      size_t connections,
+                                      size_t max_buffered) {
+  if (connections == 0) {
+    return Status::InvalidArgument("net: MultiSender needs >= 1 connection");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Make());
+  MultiSender sender(std::move(reactor), max_buffered);
+  sender.conns_.reserve(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    auto conn = std::make_unique<Conn>();
+    NUMDIST_ASSIGN_OR_RETURN(conn->fd, Dial(endpoint));
+    NUMDIST_RETURN_NOT_OK(SetNonBlocking(conn->fd.get()));
+    // Registered with no interest; EPOLLOUT is added only while a buffer
+    // is blocked on the kernel.
+    NUMDIST_RETURN_NOT_OK(sender.reactor_.Add(conn->fd.get(), 0, conn.get()));
+    sender.conns_.push_back(std::move(conn));
+  }
+  return sender;
+}
+
+MultiSender::~MultiSender() = default;
+
+Status MultiSender::TryFlush(Conn* conn) {
+  while (conn->off < conn->buf.size()) {
+    // MSG_NOSIGNAL: a collector that dropped this connection surfaces as
+    // EPIPE here, not as a process-killing SIGPIPE.
+    const ssize_t wrote =
+        send(conn->fd.get(), conn->buf.data() + conn->off,
+             conn->buf.size() - conn->off, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return Errno("send");
+    }
+    conn->off += static_cast<size_t>(wrote);
+    total_buffered_ -= static_cast<size_t>(wrote);
+  }
+  if (conn->off >= conn->buf.size()) {
+    conn->buf.clear();
+    conn->off = 0;
+  } else if (conn->off > (64u << 10) && conn->off >= conn->buf.size() / 2) {
+    conn->buf.erase(0, conn->off);
+    conn->off = 0;
+  }
+  const bool blocked = !conn->buf.empty();
+  if (blocked != conn->want_write) {
+    NUMDIST_RETURN_NOT_OK(reactor_.Mod(
+        conn->fd.get(), blocked ? static_cast<uint32_t>(EPOLLOUT) : 0, conn));
+    conn->want_write = blocked;
+  }
+  return Status::OK();
+}
+
+Status MultiSender::PumpOnce() {
+  Reactor::Event events[128];
+  NUMDIST_ASSIGN_OR_RETURN(const size_t n,
+                           reactor_.Wait(std::span<Reactor::Event>(events),
+                                         /*timeout_ms=*/-1));
+  for (size_t i = 0; i < n; ++i) {
+    if (events[i].tag == nullptr) continue;
+    NUMDIST_RETURN_NOT_OK(TryFlush(static_cast<Conn*>(events[i].tag)));
+  }
+  return Status::OK();
+}
+
+Status MultiSender::Send(std::string_view frame) {
+  if (conns_.empty()) {
+    return Status::FailedPrecondition("net: MultiSender already finished");
+  }
+  Conn* conn = conns_[next_].get();
+  next_ = (next_ + 1) % conns_.size();
+  ByteWriter(&conn->buf).PutU32(static_cast<uint32_t>(frame.size()));
+  conn->buf.append(frame);
+  total_buffered_ += 4 + frame.size();
+  NUMDIST_RETURN_NOT_OK(TryFlush(conn));
+  while (total_buffered_ > max_buffered_) {
+    NUMDIST_RETURN_NOT_OK(PumpOnce());
+  }
+  return Status::OK();
+}
+
+Status MultiSender::Finish() {
+  while (total_buffered_ > 0) {
+    // Re-arm any connection still holding bytes (TryFlush may have left
+    // its interest set behind after a direct flush made progress).
+    for (auto& conn : conns_) {
+      NUMDIST_RETURN_NOT_OK(TryFlush(conn.get()));
+    }
+    if (total_buffered_ > 0) NUMDIST_RETURN_NOT_OK(PumpOnce());
+  }
+  for (auto& conn : conns_) {
+    (void)reactor_.Del(conn->fd.get());
+    conn->fd.reset();
+  }
+  conns_.clear();
+  return Status::OK();
+}
+
+}  // namespace numdist::net

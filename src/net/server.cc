@@ -1,0 +1,320 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/executor.h"
+
+namespace numdist::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string("net: ") + what + " failed (" +
+                          std::strerror(errno) + ")");
+}
+
+// Common first base of everything registered with the reactor, so an
+// event's void* tag can be classified before downcasting.
+struct IoHandle {
+  explicit IoHandle(bool listener) : is_listener(listener) {}
+  const bool is_listener;
+};
+
+}  // namespace
+
+struct CollectorServer::Listener : IoHandle {
+  Listener() : IoHandle(true) {}
+  Fd fd;
+  Endpoint endpoint;
+};
+
+struct CollectorServer::Connection : IoHandle {
+  explicit Connection(size_t max_frame_bytes)
+      : IoHandle(false), decoder(max_frame_bytes) {}
+  Fd fd;
+  serve::FrameDecoder decoder;
+  /// Bytes of decoded frames queued but not yet absorbed (backpressure).
+  size_t inflight_bytes = 0;
+  bool paused = false;
+  bool closed = false;
+};
+
+struct CollectorServer::PendingFrame {
+  Connection* conn;
+  std::string frame;
+  Clock::time_point decoded_at;
+};
+
+Result<std::unique_ptr<CollectorServer>> CollectorServer::Make(
+    const wire::MethodSpec& spec, ServerOptions options) {
+  NUMDIST_ASSIGN_OR_RETURN(serve::CollectorSession main,
+                           serve::CollectorSession::Make(spec));
+  NUMDIST_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Make());
+  std::unique_ptr<CollectorServer> server(
+      new CollectorServer(std::move(main), std::move(reactor), options));
+  // One sub-aggregate per executor slot, created up front so absorption
+  // can never fail on allocation mid-serve. ParallelFor's slot ids are
+  // always below slots().
+  const size_t slots = Executor::Shared().slots();
+  server->sub_sessions_.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    NUMDIST_ASSIGN_OR_RETURN(serve::CollectorSession sub,
+                             serve::CollectorSession::Make(spec));
+    server->sub_sessions_.push_back(std::move(sub));
+  }
+  return server;
+}
+
+CollectorServer::~CollectorServer() = default;
+
+CollectorServer::CollectorServer(serve::CollectorSession main,
+                                 Reactor reactor, ServerOptions options)
+    : main_(std::move(main)),
+      reactor_(std::move(reactor)),
+      options_(options) {}
+
+Result<Endpoint> CollectorServer::AddListener(const Endpoint& endpoint) {
+  auto listener = std::make_unique<Listener>();
+  NUMDIST_ASSIGN_OR_RETURN(listener->fd, ListenOn(endpoint));
+  NUMDIST_ASSIGN_OR_RETURN(listener->endpoint,
+                           LocalEndpoint(listener->fd.get(), endpoint.kind));
+  NUMDIST_RETURN_NOT_OK(reactor_.Add(listener->fd.get(), EPOLLIN,
+                                     static_cast<IoHandle*>(listener.get())));
+  const Endpoint bound = listener->endpoint;
+  listeners_.push_back(std::move(listener));
+  return bound;
+}
+
+void CollectorServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  reactor_.Wake();
+}
+
+void CollectorServer::EnterDrain(bool cut_connections) {
+  if (draining_) return;
+  draining_ = true;
+  for (auto& listener : listeners_) {
+    if (!listener->fd.valid()) continue;
+    // Clients that completed their TCP handshake before the drain are in
+    // the accept backlog and must still be served to EOF — a SIGTERM
+    // racing a fresh connection would otherwise silently drop its frames.
+    if (!cut_connections) (void)HandleAccept(listener.get());
+    (void)reactor_.Del(listener->fd.get());
+    listener->fd.reset();
+    if (listener->endpoint.kind == Endpoint::Kind::kUnix) {
+      ::unlink(listener->endpoint.path.c_str());
+    }
+  }
+  if (cut_connections) {
+    // The scripted stop (`expect_frames` reached): everything the server
+    // was waiting for has arrived; remaining connections are cut and any
+    // partially received frame is dropped.
+    for (auto& conn : connections_) CloseConnection(conn.get());
+  }
+}
+
+Status CollectorServer::HandleAccept(Listener* listener) {
+  for (;;) {
+    const int cfd = accept4(listener->fd.get(), nullptr, nullptr,
+                            SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Errno("accept4");
+    }
+    auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+    conn->fd.reset(cfd);
+    const Status added =
+        reactor_.Add(cfd, EPOLLIN, static_cast<IoHandle*>(conn.get()));
+    if (!added.ok()) return added;
+    ++stats_.connections_accepted;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void CollectorServer::HandleReadable(Connection* conn) {
+  if (conn->closed || conn->paused) return;
+  char buf[64 * 1024];
+  size_t budget = options_.read_chunk;
+  while (budget > 0) {
+    const size_t want = std::min(sizeof(buf), budget);
+    const ssize_t got = read(conn->fd.get(), buf, want);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      FailConnection(conn, Errno("read"));
+      return;
+    }
+    if (got == 0) {
+      // Peer finished. A clean frame boundary is a completed stream; a
+      // mid-frame cut is the typed error, and costs only this connection.
+      const Status end = conn->decoder.AtEnd();
+      if (end.ok()) {
+        CloseConnection(conn);
+      } else {
+        FailConnection(conn, end);
+      }
+      return;
+    }
+    budget -= static_cast<size_t>(got);
+    stats_.bytes_received += static_cast<uint64_t>(got);
+    const Status fed =
+        conn->decoder.Feed(std::string_view(buf, static_cast<size_t>(got)));
+    if (!fed.ok()) {
+      FailConnection(conn, fed);
+      return;
+    }
+    std::string frame;
+    while (conn->decoder.Next(&frame)) {
+      conn->inflight_bytes += frame.size();
+      pending_bytes_ += frame.size();
+      pending_.push_back({conn, std::move(frame),
+                          options_.record_latency ? Clock::now()
+                                                  : Clock::time_point()});
+    }
+    if (got < static_cast<ssize_t>(want)) break;  // socket drained
+  }
+  if (!conn->paused && conn->inflight_bytes > options_.pause_bytes) {
+    // Backpressure: drop read interest (level-triggered, so nothing is
+    // lost) until the absorb stage catches up; the kernel buffer then
+    // flow-controls the sender.
+    if (reactor_.Mod(conn->fd.get(), 0, static_cast<IoHandle*>(conn)).ok()) {
+      conn->paused = true;
+      ++stats_.pauses;
+    }
+  }
+}
+
+void CollectorServer::AbsorbPending() {
+  if (pending_.empty()) return;
+  const size_t n = pending_.size();
+  std::vector<Status> statuses(n);
+  Executor::Shared().ParallelFor(
+      n, options_.max_parallelism, [&](size_t task, size_t slot) {
+        statuses[task] = sub_sessions_[slot].HandleFrame(pending_[task].frame);
+      });
+  const Clock::time_point done = Clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    PendingFrame& pf = pending_[i];
+    pf.conn->inflight_bytes -= pf.frame.size();
+    if (statuses[i].ok()) {
+      ++stats_.frames_absorbed;
+      if (options_.record_latency) {
+        stats_.latency_ns.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                done - pf.decoded_at)
+                .count()));
+      }
+    } else {
+      FailConnection(pf.conn, statuses[i]);
+    }
+    if (pf.conn->paused && !pf.conn->closed &&
+        pf.conn->inflight_bytes <= options_.pause_bytes / 2) {
+      if (reactor_.Mod(pf.conn->fd.get(), EPOLLIN,
+                       static_cast<IoHandle*>(pf.conn))
+              .ok()) {
+        pf.conn->paused = false;
+      }
+    }
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
+void CollectorServer::FailConnection(Connection* conn, const Status& error) {
+  ++stats_.connection_errors;
+  if (stats_.first_error.ok()) stats_.first_error = error;
+  CloseConnection(conn);
+}
+
+void CollectorServer::CloseConnection(Connection* conn) {
+  if (conn->closed) return;
+  (void)reactor_.Del(conn->fd.get());
+  conn->fd.reset();
+  conn->closed = true;
+  conn->paused = false;
+}
+
+void CollectorServer::ReapClosed() {
+  // A closed connection may still be referenced by queued frames; it is
+  // destroyed only once its in-flight bytes are absorbed.
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    return conn->closed && conn->inflight_bytes == 0;
+  });
+}
+
+Status CollectorServer::Run() {
+  std::vector<Reactor::Event> events(512);
+  for (;;) {
+    if (drain_requested_.load(std::memory_order_acquire)) {
+      EnterDrain(/*cut_connections=*/false);
+    }
+    ReapClosed();
+    if (draining_ && connections_.empty() && pending_.empty()) break;
+    NUMDIST_ASSIGN_OR_RETURN(const size_t n, reactor_.Wait(events, -1));
+    for (size_t i = 0; i < n; ++i) {
+      void* tag = events[i].tag;
+      if (tag == nullptr) continue;  // wakeup; the flag check above acts
+      auto* handle = static_cast<IoHandle*>(tag);
+      if (handle->is_listener) {
+        NUMDIST_RETURN_NOT_OK(HandleAccept(static_cast<Listener*>(handle)));
+      } else {
+        HandleReadable(static_cast<Connection*>(handle));
+      }
+    }
+    AbsorbPending();
+    if (options_.expect_frames > 0 &&
+        stats_.frames_absorbed >= options_.expect_frames) {
+      EnterDrain(/*cut_connections=*/true);
+    }
+  }
+  return MergeSubSessions();
+}
+
+Status CollectorServer::MergeSubSessions() {
+  if (merged_) return Status::OK();
+  for (const serve::CollectorSession& sub : sub_sessions_) {
+    if (sub.num_reports() == 0) continue;
+    NUMDIST_ASSIGN_OR_RETURN(const std::string sketch, sub.EncodeSketch());
+    NUMDIST_RETURN_NOT_OK(main_.HandleFrame(sketch));
+  }
+  merged_ = true;
+  return Status::OK();
+}
+
+uint64_t CollectorServer::num_reports() const {
+  uint64_t total = main_.num_reports();
+  if (!merged_) {
+    for (const serve::CollectorSession& sub : sub_sessions_) {
+      total += sub.num_reports();
+    }
+  }
+  return total;
+}
+
+Result<std::string> CollectorServer::EncodeSketch() const {
+  if (!merged_) {
+    return Status::FailedPrecondition(
+        "net: EncodeSketch before Run completed (sub-aggregates unmerged)");
+  }
+  return main_.EncodeSketch();
+}
+
+Result<MethodOutput> CollectorServer::Reconstruct() const {
+  if (!merged_) {
+    return Status::FailedPrecondition(
+        "net: Reconstruct before Run completed (sub-aggregates unmerged)");
+  }
+  return main_.Reconstruct();
+}
+
+}  // namespace numdist::net

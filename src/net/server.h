@@ -1,0 +1,151 @@
+// The event-loop collector: one process, one epoll Reactor, thousands of
+// concurrent report_client connections multiplexed into one aggregate.
+//
+// Ingestion pipeline, per reactor round:
+//
+//   epoll_wait ─▶ accept / read ready sockets (bounded bytes per round)
+//              ─▶ FrameDecoder reassembles u32-prefixed frames incrementally
+//              ─▶ completed frames queue as one batch
+//              ─▶ Executor::Shared().ParallelFor absorbs the batch into
+//                 per-slot CollectorSessions (no locks, no contention)
+//
+// Determinism: which connection a frame arrived on, how reads interleave,
+// how batches are cut, and which executor slot absorbs a frame are all
+// invisible in the result — every frame is absorbed exactly once into SOME
+// exact-integer accumulator, and accumulator merges are exact and
+// commutative, so the final sketch is byte-identical to a single-process
+// sharded run over the same frames for ANY interleaving
+// (tests/net_test.cc in-process, tests/net_process_test.cc across real
+// TCP connections and processes).
+//
+// Backpressure is level-triggered pause/resume: a connection whose decoded
+// frames sit unabsorbed past `pause_bytes` has its read interest dropped
+// (epoll Mod to 0) and picks it back up once the batch drains — the kernel
+// socket buffer then throttles the sender via TCP flow control.
+//
+// Drain/shutdown: RequestDrain (async-signal-safe — SIGTERM handlers call
+// it directly) closes the listeners, lets every open connection finish its
+// stream to EOF, flushes the in-flight frames, and returns from Run with
+// the aggregate complete. `expect_frames` is the scripted alternative:
+// after N absorbed frames the server cuts remaining connections and
+// drains itself (how coordinator trees without signal plumbing stop).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/reactor.h"
+#include "net/socket.h"
+#include "serve/collector.h"
+#include "serve/framing.h"
+#include "wire/wire.h"
+
+namespace numdist::net {
+
+struct ServerOptions {
+  /// Per-frame size ceiling (serve/framing.h).
+  size_t max_frame_bytes = serve::kMaxFrameBytes;
+  /// Pause reading a connection once its decoded-but-unabsorbed frame
+  /// bytes exceed this; resume when they drop to half. Bounds per-session
+  /// memory no matter how fast a client floods.
+  size_t pause_bytes = 4u << 20;
+  /// Most bytes read from one connection in one reactor round (fairness:
+  /// one fast client cannot starve 10k slow ones).
+  size_t read_chunk = 256u << 10;
+  /// Executor parallelism cap for batch absorption (0 = all slots).
+  size_t max_parallelism = 0;
+  /// When > 0: initiate drain automatically after this many frames have
+  /// been absorbed (remaining connections are cut, not drained — the
+  /// scripted coordinator-tree stop condition).
+  uint64_t expect_frames = 0;
+  /// Record per-frame ingest latency (frame fully decoded -> absorbed)
+  /// into ServerStats::latency_ns. Bench-only; off in production serving.
+  bool record_latency = false;
+};
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_absorbed = 0;
+  uint64_t bytes_received = 0;
+  /// Times a connection was paused for backpressure.
+  uint64_t pauses = 0;
+  /// Connections dropped on a typed frame/decode error (the error is in
+  /// `first_error`; the server keeps serving everyone else).
+  uint64_t connection_errors = 0;
+  Status first_error;
+  /// Per-frame decoded->absorbed latency, when record_latency is set.
+  std::vector<uint64_t> latency_ns;
+};
+
+/// \brief Epoll-driven multi-connection collector process core.
+class CollectorServer {
+ public:
+  static Result<std::unique_ptr<CollectorServer>> Make(
+      const wire::MethodSpec& spec, ServerOptions options = {});
+  ~CollectorServer();  // out-of-line: members hold incomplete types here
+
+  /// Opens a listener and returns the endpoint it actually bound
+  /// (tcp port 0 resolved). Call any number of times before Run — a
+  /// collector can serve TCP and a Unix socket simultaneously.
+  Result<Endpoint> AddListener(const Endpoint& endpoint);
+
+  /// Serves until drain completes: accepts, reads, reassembles, absorbs.
+  /// Per-connection errors (hostile frames, mid-stream disconnects) drop
+  /// that connection and are counted in stats(); they do not stop the
+  /// server. Returns non-OK only for reactor/socket-level failures.
+  Status Run();
+
+  /// Starts a graceful drain: stop accepting, serve open connections to
+  /// EOF, absorb everything, return from Run. Async-signal-safe and
+  /// thread-safe (atomic flag + eventfd wake).
+  void RequestDrain();
+
+  const wire::MethodSpec& spec() const { return main_.spec(); }
+  const ServerStats& stats() const { return stats_; }
+  /// Reports aggregated so far. Complete only after Run returns.
+  uint64_t num_reports() const;
+
+  /// The aggregate as a wire sketch frame / the reconstructed estimate.
+  /// Valid after Run has returned (sub-session state is merged at drain).
+  Result<std::string> EncodeSketch() const;
+  Result<MethodOutput> Reconstruct() const;
+
+ private:
+  struct Listener;
+  struct Connection;
+  struct PendingFrame;
+
+  CollectorServer(serve::CollectorSession main, Reactor reactor,
+                  ServerOptions options);
+
+  void EnterDrain(bool cut_connections);
+  Status HandleAccept(Listener* listener);
+  void HandleReadable(Connection* conn);
+  void AbsorbPending();
+  void FailConnection(Connection* conn, const Status& error);
+  void CloseConnection(Connection* conn);
+  void ReapClosed();
+  Status MergeSubSessions();
+
+  serve::CollectorSession main_;
+  Reactor reactor_;
+  ServerOptions options_;
+  ServerStats stats_;
+
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<PendingFrame> pending_;
+  size_t pending_bytes_ = 0;
+  /// Per-executor-slot sub-aggregates, merged into main_ at drain.
+  std::vector<serve::CollectorSession> sub_sessions_;
+  bool merged_ = false;
+
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+};
+
+}  // namespace numdist::net

@@ -1,5 +1,9 @@
 #include "serve/collector.h"
 
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <ostream>
 #include <utility>
 
@@ -63,6 +67,56 @@ Status ServeStream(std::istream& in, std::ostream& out,
     NUMDIST_RETURN_NOT_OK(ReadFrame(in, &frame, &eof));
     if (eof) break;
     NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame));
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const std::string sketch, session->EncodeSketch());
+  NUMDIST_RETURN_NOT_OK(WriteFrame(out, sketch));
+  out.flush();
+  return Status::OK();
+}
+
+Status ServeFd(int in_fd, std::ostream& out, CollectorSession* session,
+               const ServeFdOptions& options) {
+  FrameDecoder decoder(options.max_bytes);
+  std::string frame;
+  char buf[64 * 1024];
+  for (;;) {
+    // The deadline is armed only mid-frame: a quiet-but-idle client keeps
+    // the connection, a client that died mid-frame surfaces in bounded
+    // time as the typed mid-stream error.
+    const int timeout =
+        (options.read_timeout_ms > 0 && decoder.mid_frame())
+            ? options.read_timeout_ms
+            : -1;
+    struct pollfd pfd = {in_fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("collector: poll failed (errno " +
+                              std::to_string(errno) + ")");
+    }
+    if (ready == 0) {
+      // Stalled mid-frame past the deadline: same taxonomy as an EOF at
+      // this position, with the stall called out.
+      return Status::OutOfRange(
+          "framing: read timed out inside a frame after " +
+          std::to_string(options.read_timeout_ms) + " ms (" +
+          decoder.AtEnd().message() + ")");
+    }
+    const ssize_t got = read(in_fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("collector: read failed (errno " +
+                              std::to_string(errno) + ")");
+    }
+    if (got == 0) {
+      NUMDIST_RETURN_NOT_OK(decoder.AtEnd());  // clean boundary or typed error
+      break;
+    }
+    NUMDIST_RETURN_NOT_OK(
+        decoder.Feed(std::string_view(buf, static_cast<size_t>(got))));
+    while (decoder.Next(&frame)) {
+      NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame));
+    }
   }
   NUMDIST_ASSIGN_OR_RETURN(const std::string sketch, session->EncodeSketch());
   NUMDIST_RETURN_NOT_OK(WriteFrame(out, sketch));

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "serve/framing.h"
 #include "wire/wire.h"
 
 namespace numdist::serve {
@@ -67,8 +68,29 @@ class CollectorSession {
 /// a clean EOF, folds each into `session`, then writes the session's
 /// length-prefixed sketch frame to `out`. Any frame error aborts the loop
 /// with that error (and writes nothing), so a partial stream can never
-/// masquerade as a completed shard.
+/// masquerade as a completed shard. iostreams cannot time out a blocked
+/// read; use ServeFd when the peer may stall.
 Status ServeStream(std::istream& in, std::ostream& out,
                    CollectorSession* session);
+
+struct ServeFdOptions {
+  /// Read deadline, armed only while a frame is partially received: a peer
+  /// that stalls for this long MID-FRAME surfaces as the same typed
+  /// OutOfRange error a mid-frame EOF does, instead of hanging the
+  /// collector forever. 0 disables the deadline. A peer idling between
+  /// complete frames is legitimate (an open but quiet client) and never
+  /// times out.
+  int read_timeout_ms = 0;
+  /// Per-frame size ceiling, as in ReadFrame.
+  size_t max_bytes = kMaxFrameBytes;
+};
+
+/// ServeStream over a raw file descriptor (pipes, stdio, sockets): the
+/// same lifecycle — frames to clean EOF, then one sketch frame on `out` —
+/// but read via poll(2) + the incremental FrameDecoder, which is what
+/// makes the mid-frame read deadline implementable at all. Byte-for-byte
+/// output-compatible with ServeStream on the same input.
+Status ServeFd(int in_fd, std::ostream& out, CollectorSession* session,
+               const ServeFdOptions& options = {});
 
 }  // namespace numdist::serve

@@ -39,4 +39,59 @@ Status WriteFrame(std::ostream& out, std::string_view frame,
 Status ReadFrame(std::istream& in, std::string* frame, bool* eof,
                  size_t max_bytes = kMaxFrameBytes);
 
+/// \brief Incremental frame reassembly for non-blocking transports.
+///
+/// The push-mode counterpart of ReadFrame: an event loop Feed()s whatever
+/// bytes a socket produced — at any split granularity, down to one byte at
+/// a time — and Next() pops completed frames. The accept/reject taxonomy
+/// is identical to ReadFrame's, byte for byte of input:
+///
+///   hostile prefix  Feed() rejects a length prefix above `max_bytes` with
+///                   InvalidArgument the moment its 4th byte arrives and
+///                   before any payload-sized allocation; the decoder is
+///                   poisoned (every later call reports the same error);
+///   mid-stream EOF  AtEnd() distinguishes a clean boundary (OK) from a
+///                   connection that died inside a prefix or frame body
+///                   (OutOfRange), exactly like ReadFrame's eof handling.
+///
+/// tests/net_test.cc drives both decoders over identical byte streams cut
+/// at adversarial points and asserts they accept/reject identically.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_bytes = kMaxFrameBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Appends transport bytes. Returns the poisoning error, if any (a
+  /// hostile length prefix — the only way Feed itself can fail).
+  Status Feed(std::string_view bytes);
+
+  /// Pops the next completed frame into `*frame`. False when no complete
+  /// frame is buffered (or the decoder is poisoned).
+  bool Next(std::string* frame);
+
+  /// End-of-stream verdict: OK on a clean frame boundary, the poisoning
+  /// error if poisoned, OutOfRange if the stream ended inside a length
+  /// prefix or frame body (same wording as ReadFrame).
+  Status AtEnd() const;
+
+  /// True when a partially received prefix or frame body is buffered —
+  /// i.e. an EOF right now would be a mid-stream error.
+  bool mid_frame() const { return have_len_ || buffered_bytes() > 0; }
+
+  /// Undecoded bytes currently held (a backpressure signal).
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  /// Parses the length prefix at pos_ once 4 bytes are buffered; sets the
+  /// poisoning error on a hostile length.
+  void ParsePrefix();
+
+  size_t max_bytes_;
+  Status error_ = Status::OK();
+  std::string buf_;       // unconsumed transport bytes
+  size_t pos_ = 0;        // consumed offset into buf_
+  bool have_len_ = false; // prefix at pos_ already validated
+  uint32_t len_ = 0;      // body length when have_len_
+};
+
 }  // namespace numdist::serve

@@ -1,0 +1,484 @@
+// Event-loop transport guarantees (net/*, serve/framing.h FrameDecoder,
+// serve/collector.h ServeFd):
+//  - the push-mode FrameDecoder accepts/rejects EXACTLY like the pull-mode
+//    ReadFrame for every stream and every adversarial chunking of it,
+//  - WriteFrame emits prefix+body as one stream write,
+//  - ServeFd is byte-compatible with ServeStream and adds a mid-frame
+//    read deadline (idle-between-frames never times out),
+//  - CollectorServer multiplexes many connections into an aggregate that
+//    is byte-identical to a sequential single-session run for any
+//    connection count, frame distribution, or drain path, applies
+//    backpressure, and survives hostile clients losing only their own
+//    connection.
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "protocol/sharded.h"
+#include "serve/collector.h"
+#include "serve/framing.h"
+#include "wire/wire.h"
+
+namespace numdist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Endpoint parsing
+
+TEST(EndpointTest, ParsesAndRoundTrips) {
+  auto tcp = net::ParseEndpoint("tcp:7070").ValueOrDie();
+  EXPECT_EQ(tcp.kind, net::Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "");
+  EXPECT_EQ(tcp.port, 7070);
+
+  auto tcp_host = net::ParseEndpoint("tcp:127.0.0.1:80").ValueOrDie();
+  EXPECT_EQ(tcp_host.host, "127.0.0.1");
+  EXPECT_EQ(tcp_host.port, 80);
+  EXPECT_EQ(net::EndpointName(tcp_host), "tcp:127.0.0.1:80");
+
+  auto unix_ep = net::ParseEndpoint("unix:/tmp/x.sock").ValueOrDie();
+  EXPECT_EQ(unix_ep.kind, net::Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_ep.path, "/tmp/x.sock");
+  EXPECT_EQ(net::EndpointName(unix_ep), "unix:/tmp/x.sock");
+}
+
+TEST(EndpointTest, RejectsMalformedSpecs) {
+  EXPECT_EQ(net::ParseEndpoint("http://x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::ParseEndpoint("tcp:").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::ParseEndpoint("tcp:host:99999").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::ParseEndpoint("tcp:1.2.3.4:no").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::ParseEndpoint("unix:").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      net::ParseEndpoint("unix:/" + std::string(200, 'a')).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Pull/push decoder equivalence (the wire-compat contract of FrameDecoder)
+
+struct DecodeOutcome {
+  std::vector<std::string> frames;
+  Status final;
+};
+
+DecodeOutcome PullDecode(const std::string& bytes, size_t max_bytes) {
+  DecodeOutcome outcome;
+  std::stringstream in(bytes);
+  std::string frame;
+  bool eof = false;
+  while (true) {
+    outcome.final = serve::ReadFrame(in, &frame, &eof, max_bytes);
+    if (!outcome.final.ok() || eof) break;
+    outcome.frames.push_back(frame);
+  }
+  return outcome;
+}
+
+DecodeOutcome PushDecode(const std::string& bytes, size_t chunk,
+                         size_t max_bytes) {
+  DecodeOutcome outcome;
+  serve::FrameDecoder decoder(max_bytes);
+  std::string frame;
+  for (size_t off = 0; off < bytes.size(); off += chunk) {
+    const Status fed = decoder.Feed(
+        std::string_view(bytes).substr(off, std::min(chunk,
+                                                     bytes.size() - off)));
+    while (decoder.Next(&frame)) outcome.frames.push_back(frame);
+    if (!fed.ok()) {
+      outcome.final = fed;
+      return outcome;
+    }
+  }
+  while (decoder.Next(&frame)) outcome.frames.push_back(frame);
+  outcome.final = decoder.AtEnd();
+  return outcome;
+}
+
+void ExpectDecodersAgree(const std::string& bytes, size_t max_bytes) {
+  const DecodeOutcome pull = PullDecode(bytes, max_bytes);
+  // Byte-at-a-time is the most adversarial split; a few coprime chunk
+  // sizes cover prefix/body straddles at every alignment.
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                       size_t{64}, bytes.empty() ? size_t{1} : bytes.size()}) {
+    const DecodeOutcome push = PushDecode(bytes, chunk, max_bytes);
+    ASSERT_EQ(pull.frames, push.frames) << "chunk=" << chunk;
+    EXPECT_EQ(pull.final.code(), push.final.code()) << "chunk=" << chunk;
+    EXPECT_EQ(pull.final.message(), push.final.message())
+        << "chunk=" << chunk;
+  }
+}
+
+std::string EncodeFrames(const std::vector<std::string>& frames) {
+  std::stringstream out;
+  for (const std::string& frame : frames) {
+    EXPECT_TRUE(serve::WriteFrame(out, frame).ok());
+  }
+  return out.str();
+}
+
+TEST(FrameDecoderTest, AgreesWithReadFrameOnCleanStreams) {
+  ExpectDecodersAgree("", serve::kMaxFrameBytes);
+  ExpectDecodersAgree(EncodeFrames({"hello"}), serve::kMaxFrameBytes);
+  ExpectDecodersAgree(EncodeFrames({"", "a", std::string(5000, 'x'), ""}),
+                      serve::kMaxFrameBytes);
+}
+
+TEST(FrameDecoderTest, AgreesWithReadFrameOnEveryTruncation) {
+  const std::string encoded =
+      EncodeFrames({"first-frame", "", std::string(300, 'y')});
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    ExpectDecodersAgree(encoded.substr(0, cut), serve::kMaxFrameBytes);
+  }
+}
+
+TEST(FrameDecoderTest, AgreesWithReadFrameOnHostilePrefixes) {
+  // 4 GiB claimed up front; also hostile after a valid frame, and a
+  // truncated hostile prefix (which must read as mid-prefix EOF instead).
+  const std::string hostile = "\xFF\xFF\xFF\xFF";
+  ExpectDecodersAgree(hostile, serve::kMaxFrameBytes);
+  ExpectDecodersAgree(EncodeFrames({"ok"}) + hostile, serve::kMaxFrameBytes);
+  ExpectDecodersAgree(hostile.substr(0, 2), serve::kMaxFrameBytes);
+  // A frame over a small explicit limit is hostile for both decoders.
+  ExpectDecodersAgree(EncodeFrames({std::string(100, 'z')}), 50);
+  ExpectDecodersAgree(EncodeFrames({"ok", std::string(100, 'z')}), 50);
+}
+
+TEST(FrameDecoderTest, MidFrameReflectsPartialState) {
+  serve::FrameDecoder decoder;
+  EXPECT_FALSE(decoder.mid_frame());
+  ASSERT_TRUE(decoder.Feed(std::string("\x05", 1)).ok());
+  EXPECT_TRUE(decoder.mid_frame());  // inside the prefix
+  ASSERT_TRUE(decoder.Feed(std::string("\x00\x00\x00", 3)).ok());
+  EXPECT_TRUE(decoder.mid_frame());  // prefix consumed, body pending
+  ASSERT_TRUE(decoder.Feed("hello").ok());
+  std::string frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame, "hello");
+  EXPECT_FALSE(decoder.mid_frame());
+  EXPECT_TRUE(decoder.AtEnd().ok());
+}
+
+// ---------------------------------------------------------------------------
+// WriteFrame write coalescing
+
+class CountingBuf : public std::stringbuf {
+ public:
+  int writes = 0;
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    ++writes;
+    return std::stringbuf::xsputn(s, n);
+  }
+};
+
+TEST(FramingTest, WriteFrameIsOneStreamWrite) {
+  CountingBuf buf;
+  std::ostream out(&buf);
+  ASSERT_TRUE(serve::WriteFrame(out, "payload-bytes").ok());
+  EXPECT_EQ(buf.writes, 1);
+  // And the coalesced bytes still decode.
+  std::stringstream in(buf.str());
+  std::string frame;
+  bool eof = false;
+  ASSERT_TRUE(serve::ReadFrame(in, &frame, &eof).ok());
+  EXPECT_EQ(frame, "payload-bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixture: deterministic report frames + the sequential reference
+
+struct NetFixture {
+  wire::MethodSpec spec;
+  ProtocolPtr protocol;
+  std::vector<std::string> frames;
+  std::string reference_sketch;
+  uint64_t total_reports = 0;
+};
+
+NetFixture MakeNetFixture(size_t num_values, size_t shard_size) {
+  NetFixture fx;
+  fx.spec = wire::ParseMethodSpec("sw-ems", 1.0, 32).ValueOrDie();
+  fx.protocol = wire::MakeProtocolForSpec(fx.spec).ValueOrDie();
+  const std::vector<double> values = GoldenRatioValues(num_values);
+  const size_t num_shards = (values.size() + shard_size - 1) / shard_size;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const size_t begin = i * shard_size;
+    const size_t len = std::min(shard_size, values.size() - begin);
+    Rng rng(ShardSeed(7, i));
+    auto chunk = fx.protocol
+                     ->EncodePerturbBatch(
+                         std::span<const double>(values).subspan(begin, len),
+                         rng)
+                     .ValueOrDie();
+    std::string frame;
+    EXPECT_TRUE(
+        wire::EncodeReportFrame(fx.spec, *fx.protocol, *chunk, &frame).ok());
+    fx.frames.push_back(std::move(frame));
+    fx.total_reports += chunk->num_reports();
+  }
+  auto reference = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  for (const std::string& frame : fx.frames) {
+    EXPECT_TRUE(reference.HandleFrame(frame).ok());
+  }
+  fx.reference_sketch = reference.EncodeSketch().ValueOrDie();
+  return fx;
+}
+
+// ---------------------------------------------------------------------------
+// ServeFd
+
+TEST(ServeFdTest, ByteCompatibleWithServeStream) {
+  const NetFixture fx = MakeNetFixture(4000, 512);
+  const std::string input = EncodeFrames(fx.frames);
+
+  auto stream_session = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  std::stringstream stream_in(input);
+  std::stringstream stream_out;
+  ASSERT_TRUE(
+      serve::ServeStream(stream_in, stream_out, &stream_session).ok());
+
+  auto fd_session = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::thread writer([&, wfd = fds[1]] {
+    size_t off = 0;
+    while (off < input.size()) {
+      const ssize_t wrote = write(wfd, input.data() + off, input.size() - off);
+      ASSERT_GT(wrote, 0);
+      off += static_cast<size_t>(wrote);
+    }
+    close(wfd);
+  });
+  std::stringstream fd_out;
+  const Status served = serve::ServeFd(fds[0], fd_out, &fd_session);
+  writer.join();
+  close(fds[0]);
+  ASSERT_TRUE(served.ok()) << served.message();
+  EXPECT_EQ(fd_out.str(), stream_out.str());
+  EXPECT_EQ(fd_session.num_reports(), fx.total_reports);
+}
+
+TEST(ServeFdTest, MidFrameStallHitsTheDeadline) {
+  const NetFixture fx = MakeNetFixture(600, 512);
+  const std::string input = EncodeFrames({fx.frames[0]});
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Half a frame, then silence: the deadline must fire as the same typed
+  // OutOfRange a mid-frame EOF produces.
+  ASSERT_GT(write(fds[1], input.data(), input.size() / 2), 0);
+  auto session = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  std::stringstream out;
+  serve::ServeFdOptions options;
+  options.read_timeout_ms = 50;
+  const Status st = serve::ServeFd(fds[0], out, &session, options);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(st.message().find("timed out"), std::string::npos)
+      << st.message();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(ServeFdTest, IdleBetweenFramesNeverTimesOut) {
+  const NetFixture fx = MakeNetFixture(600, 600);
+  const std::string input = EncodeFrames({fx.frames[0]});
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::thread writer([&, wfd = fds[1]] {
+    ASSERT_EQ(write(wfd, input.data(), input.size()),
+              static_cast<ssize_t>(input.size()));
+    // Quiet client, many deadline periods long — legitimate, no timeout.
+    usleep(200 * 1000);
+    ASSERT_EQ(write(wfd, input.data(), input.size()),
+              static_cast<ssize_t>(input.size()));
+    close(wfd);
+  });
+  auto session = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  std::stringstream out;
+  serve::ServeFdOptions options;
+  options.read_timeout_ms = 50;
+  const Status st = serve::ServeFd(fds[0], out, &session, options);
+  writer.join();
+  close(fds[0]);
+  ASSERT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(session.num_reports(), 2 * 600u);
+}
+
+// ---------------------------------------------------------------------------
+// CollectorServer
+
+// Runs a server over `frames` split across `connections` MultiSender
+// connections, drains it, and returns the final sketch.
+std::string ServeOverConnections(const NetFixture& fx, size_t connections,
+                                 net::ServerOptions options,
+                                 net::ServerStats* stats_out = nullptr) {
+  auto server = net::CollectorServer::Make(fx.spec, options).ValueOrDie();
+  const net::Endpoint bound =
+      server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+          .ValueOrDie();
+  Status run_status;
+  std::thread serving([&] { run_status = server->Run(); });
+  {
+    auto sender = net::MultiSender::Make(bound, connections).ValueOrDie();
+    for (const std::string& frame : fx.frames) {
+      EXPECT_TRUE(sender.Send(frame).ok());
+    }
+    EXPECT_TRUE(sender.Finish().ok());
+  }
+  server->RequestDrain();
+  serving.join();
+  EXPECT_TRUE(run_status.ok()) << run_status.message();
+  EXPECT_EQ(server->num_reports(), fx.total_reports);
+  if (stats_out != nullptr) *stats_out = server->stats();
+  return server->EncodeSketch().ValueOrDie();
+}
+
+TEST(CollectorServerTest, AnyConnectionCountIsByteIdentical) {
+  const NetFixture fx = MakeNetFixture(6000, 256);
+  for (size_t connections : {size_t{1}, size_t{3}, size_t{16}}) {
+    net::ServerStats stats;
+    const std::string sketch =
+        ServeOverConnections(fx, connections, {}, &stats);
+    EXPECT_EQ(sketch, fx.reference_sketch)
+        << connections << " connections";
+    EXPECT_EQ(stats.connections_accepted, connections);
+    EXPECT_EQ(stats.frames_absorbed, fx.frames.size());
+    EXPECT_EQ(stats.connection_errors, 0u);
+  }
+}
+
+TEST(CollectorServerTest, BackpressurePausesAndStillAbsorbsEverything) {
+  const NetFixture fx = MakeNetFixture(6000, 128);
+  net::ServerOptions options;
+  options.pause_bytes = 1024;  // far below one reactor round's worth
+  net::ServerStats stats;
+  const std::string sketch = ServeOverConnections(fx, 2, options, &stats);
+  EXPECT_EQ(sketch, fx.reference_sketch);
+  EXPECT_GT(stats.pauses, 0u);
+}
+
+TEST(CollectorServerTest, ExpectFramesStopsTheServerByItself) {
+  const NetFixture fx = MakeNetFixture(3000, 256);
+  net::ServerOptions options;
+  options.expect_frames = fx.frames.size();
+  auto server = net::CollectorServer::Make(fx.spec, options).ValueOrDie();
+  const net::Endpoint bound =
+      server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+          .ValueOrDie();
+  Status run_status;
+  std::thread serving([&] { run_status = server->Run(); });
+  auto sender = net::MultiSender::Make(bound, 4).ValueOrDie();
+  for (const std::string& frame : fx.frames) {
+    ASSERT_TRUE(sender.Send(frame).ok());
+  }
+  ASSERT_TRUE(sender.Finish().ok());
+  // No RequestDrain: the frame count is the stop condition.
+  serving.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.message();
+  EXPECT_EQ(server->EncodeSketch().ValueOrDie(), fx.reference_sketch);
+}
+
+TEST(CollectorServerTest, UnixListenerIsByteIdentical) {
+  const NetFixture fx = MakeNetFixture(2000, 256);
+  const std::string path = testing::TempDir() + "net_test_collector.sock";
+  auto server = net::CollectorServer::Make(fx.spec).ValueOrDie();
+  const net::Endpoint bound =
+      server->AddListener(net::ParseEndpoint("unix:" + path).ValueOrDie())
+          .ValueOrDie();
+  EXPECT_EQ(bound.path, path);
+  Status run_status;
+  std::thread serving([&] { run_status = server->Run(); });
+  {
+    auto sender = net::MultiSender::Make(bound, 3).ValueOrDie();
+    for (const std::string& frame : fx.frames) {
+      ASSERT_TRUE(sender.Send(frame).ok());
+    }
+    ASSERT_TRUE(sender.Finish().ok());
+  }
+  server->RequestDrain();
+  serving.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.message();
+  EXPECT_EQ(server->EncodeSketch().ValueOrDie(), fx.reference_sketch);
+}
+
+TEST(CollectorServerTest, HostileClientLosesOnlyItsOwnConnection) {
+  const NetFixture fx = MakeNetFixture(2000, 256);
+  auto server = net::CollectorServer::Make(fx.spec).ValueOrDie();
+  const net::Endpoint bound =
+      server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+          .ValueOrDie();
+  Status run_status;
+  std::thread serving([&] { run_status = server->Run(); });
+  {
+    // A raw connection claiming a 4 GiB frame...
+    net::Fd hostile = net::Dial(bound).ValueOrDie();
+    ASSERT_TRUE(net::WriteAll(hostile.get(), "\xFF\xFF\xFF\xFF").ok());
+    // ...while a well-behaved sender delivers the real workload.
+    auto sender = net::MultiSender::Make(bound, 2).ValueOrDie();
+    for (const std::string& frame : fx.frames) {
+      ASSERT_TRUE(sender.Send(frame).ok());
+    }
+    ASSERT_TRUE(sender.Finish().ok());
+    // Give the server a moment to have rejected the hostile prefix, then
+    // drain (hostile fd closes with this scope).
+  }
+  server->RequestDrain();
+  serving.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.message();
+  EXPECT_EQ(server->stats().connection_errors, 1u);
+  EXPECT_EQ(server->stats().first_error.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server->EncodeSketch().ValueOrDie(), fx.reference_sketch);
+}
+
+TEST(CollectorServerTest, SketchFramesMergeOverTheListener) {
+  // Coordinator topology: two "leaf collector" sketches arrive as frames
+  // over connections; the server-side aggregate must equal merging them
+  // into one session directly.
+  const NetFixture fx = MakeNetFixture(4000, 256);
+  auto leaf_a = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  auto leaf_b = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  for (size_t i = 0; i < fx.frames.size(); ++i) {
+    ASSERT_TRUE(((i % 2 == 0) ? leaf_a : leaf_b)
+                    .HandleFrame(fx.frames[i])
+                    .ok());
+  }
+  const std::string sketch_a = leaf_a.EncodeSketch().ValueOrDie();
+  const std::string sketch_b = leaf_b.EncodeSketch().ValueOrDie();
+
+  net::ServerOptions options;
+  options.expect_frames = 2;
+  auto server = net::CollectorServer::Make(fx.spec, options).ValueOrDie();
+  const net::Endpoint bound =
+      server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+          .ValueOrDie();
+  Status run_status;
+  std::thread serving([&] { run_status = server->Run(); });
+  for (const std::string& sketch : {sketch_a, sketch_b}) {
+    auto sender = net::MultiSender::Make(bound, 1).ValueOrDie();
+    ASSERT_TRUE(sender.Send(sketch).ok());
+    ASSERT_TRUE(sender.Finish().ok());
+  }
+  serving.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.message();
+  EXPECT_EQ(server->num_reports(), fx.total_reports);
+  EXPECT_EQ(server->EncodeSketch().ValueOrDie(), fx.reference_sketch);
+}
+
+}  // namespace
+}  // namespace numdist

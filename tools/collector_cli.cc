@@ -8,18 +8,45 @@
 //   report_client ... | collector_cli --method=sw-ems --epsilon=1.0
 //       --buckets=64 --out=shard0.sketch
 //
-// Coordinator mode (--merge): read sketch frame files produced by
-// collector processes, merge them, reconstruct, and print the estimated
-// distribution (or a range-query grid for the range-only methods):
+// Listen mode (--listen): the same collector as a network server — an
+// epoll event loop multiplexing any number of concurrent client
+// connections (report_client --connect --connections=N) into one
+// aggregate. SIGTERM/SIGINT trigger a graceful drain: stop accepting,
+// serve every open connection to EOF, flush, emit the sketch. The result
+// is byte-identical to the stdio pipeline over the same frames, for any
+// connection interleaving:
+//
+//   collector_cli --method=sw-ems --epsilon=1.0 --buckets=64
+//       --listen=tcp:0 --port-file=port.txt --out=shard0.sketch
+//
+// --out may itself be an endpoint (tcp:HOST:PORT or unix:PATH): the
+// sketch frame is dialed upstream to a coordinator instead of written to
+// a file, which is how a collector tree is assembled without shared
+// filesystems.
+//
+// Coordinator mode (--merge): merge sketches, reconstruct, and print the
+// estimated distribution (or a range-query grid for range-only methods).
+// Sketches come either from files:
 //
 //   collector_cli --method=sw-ems --epsilon=1.0 --buckets=64
 //       --merge=shard0.sketch,shard1.sketch --csv
+//
+// or over the network (bare --merge with --listen): the coordinator
+// accepts sketch frames on its listener and reconstructs after draining —
+// --expect-frames=N stops it after N sketches, SIGTERM at any point:
+//
+//   collector_cli --method=sw-ems --epsilon=1.0 --buckets=64
+//       --merge --listen=tcp:7070 --expect-frames=4 --csv
 //
 // All endpoints must agree on (--method, --epsilon, --buckets): frames
 // carrying any other configuration are rejected with a typed error
 // (docs/WIRE_FORMAT.md). Merging is exact integer addition, so the
 // coordinator's output is bit-identical to a single-process run over the
 // same report chunks, in any merge order.
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -32,6 +59,9 @@
 #include <vector>
 
 #include "cli_common.h"
+#include "common/bytes.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "serve/collector.h"
 #include "serve/framing.h"
 #include "wire/wire.h"
@@ -47,17 +77,26 @@ struct CliFlags {
   double epsilon = 1.0;
   size_t buckets = 64;
   std::string in_path;   // empty = stdin
-  std::string out_path;  // empty = stdout
+  std::string out_path;  // empty = stdout; tcp:/unix: = dial a coordinator
   std::string merge;     // comma-separated sketch files -> coordinator mode
+  bool merge_listen = false;  // bare --merge: coordinate over --listen
+  std::string listen;    // tcp:PORT / unix:PATH -> event-loop server mode
+  std::string port_file; // write the bound endpoint here (tcp:0 discovery)
+  uint64_t expect_frames = 0;
+  int read_timeout_ms = 0;
   bool csv = false;
 };
 
 void Usage() {
   fprintf(stderr,
           "usage: collector_cli --method=M --epsilon=E --buckets=D\n"
-          "                     [--in=FILE] [--out=FILE]\n"
-          "       collector_cli --method=M --epsilon=E --buckets=D\n"
-          "                     --merge=a.sketch,b.sketch[,...] [--csv]\n"
+          "                     [--in=FILE] [--read-timeout-ms=T]\n"
+          "                     [--out=FILE|tcp:HOST:PORT|unix:PATH]\n"
+          "       collector_cli ... --listen=tcp:PORT|unix:PATH\n"
+          "                     [--port-file=FILE] [--expect-frames=N]\n"
+          "       collector_cli ... --merge=a.sketch,b.sketch[,...] [--csv]\n"
+          "       collector_cli ... --merge --listen=tcp:PORT\n"
+          "                     --expect-frames=N [--csv]\n"
           "methods: sw-ems sw-em cfo-<bins> cfo-grr-<bins> cfo-olh-<bins>\n"
           "         cfo-oue-<bins> hh hh-admm haar-hrr\n");
 }
@@ -77,6 +116,16 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->out_path = v;
     } else if (const char* v = FlagValue(arg, "--merge=")) {
       flags->merge = v;
+    } else if (arg == "--merge") {
+      flags->merge_listen = true;
+    } else if (const char* v = FlagValue(arg, "--listen=")) {
+      flags->listen = v;
+    } else if (const char* v = FlagValue(arg, "--port-file=")) {
+      flags->port_file = v;
+    } else if (const char* v = FlagValue(arg, "--expect-frames=")) {
+      flags->expect_frames = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--read-timeout-ms=")) {
+      flags->read_timeout_ms = atoi(v);
     } else if (arg == "--csv") {
       flags->csv = true;
     } else {
@@ -84,7 +133,15 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       return false;
     }
   }
+  if (flags->merge_listen && flags->listen.empty()) {
+    fprintf(stderr, "bare --merge needs --listen (or use --merge=FILES)\n");
+    return false;
+  }
   return true;
+}
+
+bool IsEndpointSpec(const std::string& s) {
+  return s.rfind("tcp:", 0) == 0 || s.rfind("unix:", 0) == 0;
 }
 
 // Folds every length-prefixed frame of a collector output file into the
@@ -113,6 +170,57 @@ Status MergeSketchFile(const std::string& path,
   return Status::OK();
 }
 
+int PrintEstimate(const CliFlags& flags, const wire::MethodSpec& spec,
+                  uint64_t num_reports, const MethodOutput& output) {
+  if (!output.distribution.empty()) {
+    if (flags.csv) {
+      // Machine mode: full-precision rows, byte-diffable across merge
+      // orders and against the in-process run.
+      printf("bucket,probability\n");
+      for (size_t i = 0; i < output.distribution.size(); ++i) {
+        printf("%zu,%.17g\n", i, output.distribution[i]);
+      }
+    } else {
+      // Human mode: configuration plus summary statistics of the merged
+      // estimate (full data via --csv).
+      const size_t d = output.distribution.size();
+      double mean = 0.0, m2 = 0.0;
+      for (size_t i = 0; i < d; ++i) {
+        const double mid = (static_cast<double>(i) + 0.5) /
+                           static_cast<double>(d);
+        mean += output.distribution[i] * mid;
+        m2 += output.distribution[i] * mid * mid;
+      }
+      const double var = std::max(0.0, m2 - mean * mean);
+      printf("method=%s reports=%llu buckets=%zu\n",
+             wire::MethodSpecName(spec).c_str(),
+             static_cast<unsigned long long>(num_reports), d);
+      printf("estimated mean=%.6f stddev=%.6f mass[0,0.5)=%.6f\n", mean,
+             std::sqrt(var), output.range_query(0.0, 0.5));
+    }
+  } else {
+    // Range-only methods (hh, haar-hrr): a deterministic query grid so
+    // coordinator outputs stay diffable.
+    const size_t grid = 16;
+    if (flags.csv) {
+      printf("lo,alpha,mass\n");
+      for (size_t i = 0; i < grid; ++i) {
+        const double lo = static_cast<double>(i) / grid;
+        printf("%.17g,%.17g,%.17g\n", lo, 1.0 / grid,
+               output.range_query(lo, 1.0 / grid));
+      }
+    } else {
+      printf("%-8s %-8s %s\n", "lo", "alpha", "mass");
+      for (size_t i = 0; i < grid; ++i) {
+        const double lo = static_cast<double>(i) / grid;
+        printf("%-8.4f %-8.4f %.6f\n", lo, 1.0 / grid,
+               output.range_query(lo, 1.0 / grid));
+      }
+    }
+  }
+  return 0;
+}
+
 int RunCoordinator(const CliFlags& flags, serve::CollectorSession* session) {
   std::vector<std::string> paths;
   std::stringstream ss(flags.merge);
@@ -130,79 +238,150 @@ int RunCoordinator(const CliFlags& flags, serve::CollectorSession* session) {
   }
   Result<MethodOutput> output = session->Reconstruct();
   if (!output.ok()) return Fail(output.status());
-
   fprintf(stderr, "merged %zu sketch(es), %llu reports\n", paths.size(),
           static_cast<unsigned long long>(session->num_reports()));
-  if (!output->distribution.empty()) {
-    if (flags.csv) {
-      // Machine mode: full-precision rows, byte-diffable across merge
-      // orders and against the in-process run.
-      printf("bucket,probability\n");
-      for (size_t i = 0; i < output->distribution.size(); ++i) {
-        printf("%zu,%.17g\n", i, output->distribution[i]);
-      }
-    } else {
-      // Human mode: configuration plus summary statistics of the merged
-      // estimate (full data via --csv).
-      const size_t d = output->distribution.size();
-      double mean = 0.0, m2 = 0.0;
-      for (size_t i = 0; i < d; ++i) {
-        const double mid = (static_cast<double>(i) + 0.5) /
-                           static_cast<double>(d);
-        mean += output->distribution[i] * mid;
-        m2 += output->distribution[i] * mid * mid;
-      }
-      const double var = std::max(0.0, m2 - mean * mean);
-      printf("method=%s reports=%llu buckets=%zu\n",
-             wire::MethodSpecName(session->spec()).c_str(),
-             static_cast<unsigned long long>(session->num_reports()), d);
-      printf("estimated mean=%.6f stddev=%.6f mass[0,0.5)=%.6f\n", mean,
-             std::sqrt(var), output->range_query(0.0, 0.5));
-    }
-  } else {
-    // Range-only methods (hh, haar-hrr): a deterministic query grid so
-    // coordinator outputs stay diffable.
-    const size_t grid = 16;
-    if (flags.csv) {
-      printf("lo,alpha,mass\n");
-      for (size_t i = 0; i < grid; ++i) {
-        const double lo = static_cast<double>(i) / grid;
-        printf("%.17g,%.17g,%.17g\n", lo, 1.0 / grid,
-               output->range_query(lo, 1.0 / grid));
-      }
-    } else {
-      printf("%-8s %-8s %s\n", "lo", "alpha", "mass");
-      for (size_t i = 0; i < grid; ++i) {
-        const double lo = static_cast<double>(i) / grid;
-        printf("%-8.4f %-8.4f %.6f\n", lo, 1.0 / grid,
-               output->range_query(lo, 1.0 / grid));
-      }
+  return PrintEstimate(flags, session->spec(), session->num_reports(),
+                       output.value());
+}
+
+// Writes one length-prefixed sketch frame either to a local file/stdout or
+// upstream over a freshly dialed connection (--out=tcp:/unix:).
+Status EmitSketch(const CliFlags& flags, const std::string& sketch) {
+  if (IsEndpointSpec(flags.out_path)) {
+    NUMDIST_ASSIGN_OR_RETURN(const net::Endpoint upstream,
+                             net::ParseEndpoint(flags.out_path));
+    NUMDIST_ASSIGN_OR_RETURN(net::Fd fd, net::Dial(upstream));
+    std::string prefixed;
+    prefixed.reserve(4 + sketch.size());
+    ByteWriter(&prefixed).PutU32(static_cast<uint32_t>(sketch.size()));
+    prefixed.append(sketch);
+    return net::WriteAll(fd.get(), prefixed);
+  }
+  std::ofstream file_out;
+  if (!flags.out_path.empty()) {
+    file_out.open(flags.out_path, std::ios::binary);
+    if (!file_out) {
+      return Status::InvalidArgument("collector: cannot open '" +
+                                     flags.out_path + "'");
     }
   }
+  std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
+  NUMDIST_RETURN_NOT_OK(serve::WriteFrame(out, sketch));
+  out.flush();
+  if (!out) return Status::Internal("collector: sketch write failed");
+  return Status::OK();
+}
+
+net::CollectorServer* g_server = nullptr;
+
+void OnDrainSignal(int) {
+  // RequestDrain is async-signal-safe: an atomic store + one eventfd
+  // write. The event loop notices on its next wakeup.
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+int RunServer(const CliFlags& flags, const wire::MethodSpec& spec) {
+  net::ServerOptions options;
+  options.expect_frames = flags.expect_frames;
+  Result<std::unique_ptr<net::CollectorServer>> server =
+      net::CollectorServer::Make(spec, options);
+  if (!server.ok()) return Fail(server.status());
+
+  Result<net::Endpoint> listen_at = net::ParseEndpoint(flags.listen);
+  if (!listen_at.ok()) return Fail(listen_at.status());
+  Result<net::Endpoint> bound = server.value()->AddListener(listen_at.value());
+  if (!bound.ok()) return Fail(bound.status());
+  const std::string bound_name = net::EndpointName(bound.value());
+  if (!flags.port_file.empty()) {
+    std::ofstream pf(flags.port_file, std::ios::trunc);
+    pf << bound_name << "\n";
+    if (!pf) {
+      fprintf(stderr, "error: cannot write '%s'\n", flags.port_file.c_str());
+      return 1;
+    }
+  }
+  fprintf(stderr, "collector listening on %s\n", bound_name.c_str());
+
+  g_server = server.value().get();
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnDrainSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  const Status run = server.value()->Run();
+  g_server = nullptr;
+  if (!run.ok()) return Fail(run);
+
+  const net::ServerStats& stats = server.value()->stats();
+  fprintf(stderr,
+          "collector drained: %llu connection(s), %llu frame(s), "
+          "%llu report(s), %llu pause(s) (%s)\n",
+          static_cast<unsigned long long>(stats.connections_accepted),
+          static_cast<unsigned long long>(stats.frames_absorbed),
+          static_cast<unsigned long long>(server.value()->num_reports()),
+          static_cast<unsigned long long>(stats.pauses),
+          wire::MethodSpecName(spec).c_str());
+  if (stats.connection_errors > 0) {
+    fprintf(stderr,
+            "warning: %llu connection(s) dropped on error; first: %s\n",
+            static_cast<unsigned long long>(stats.connection_errors),
+            stats.first_error.message().c_str());
+  }
+
+  if (flags.merge_listen) {
+    // Network coordinator: the listener fed us sketch frames; reconstruct
+    // and print instead of re-encoding a sketch.
+    Result<MethodOutput> output = server.value()->Reconstruct();
+    if (!output.ok()) return Fail(output.status());
+    return PrintEstimate(flags, spec, server.value()->num_reports(),
+                         output.value());
+  }
+  Result<std::string> sketch = server.value()->EncodeSketch();
+  if (!sketch.ok()) return Fail(sketch.status());
+  const Status emitted = EmitSketch(flags, sketch.value());
+  if (!emitted.ok()) return Fail(emitted);
   return 0;
 }
 
 int RunCollector(const CliFlags& flags, serve::CollectorSession* session) {
-  std::ifstream file_in;
+  // Stdio/pipe/file mode serves through the same poll-driven loop the
+  // network server uses per connection, which is what gives --in streams
+  // a mid-frame read deadline; output bytes are identical to ServeStream.
+  int in_fd = STDIN_FILENO;
+  net::Fd file_fd;
   if (!flags.in_path.empty()) {
-    file_in.open(flags.in_path, std::ios::binary);
-    if (!file_in) {
+    file_fd.reset(open(flags.in_path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (!file_fd.valid()) {
       fprintf(stderr, "error: cannot open '%s'\n", flags.in_path.c_str());
       return 1;
     }
+    in_fd = file_fd.get();
   }
   std::ofstream file_out;
-  if (!flags.out_path.empty()) {
+  if (!flags.out_path.empty() && !IsEndpointSpec(flags.out_path)) {
     file_out.open(flags.out_path, std::ios::binary);
     if (!file_out) {
       fprintf(stderr, "error: cannot open '%s'\n", flags.out_path.c_str());
       return 1;
     }
   }
-  std::istream& in = flags.in_path.empty() ? std::cin : file_in;
-  std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
-  const Status st = serve::ServeStream(in, out, session);
-  if (!st.ok()) return Fail(st);
+  serve::ServeFdOptions options;
+  options.read_timeout_ms = flags.read_timeout_ms;
+  if (IsEndpointSpec(flags.out_path)) {
+    // Absorb locally, then dial the sketch upstream.
+    std::ostringstream sink;
+    const Status st = serve::ServeFd(in_fd, sink, session, options);
+    if (!st.ok()) return Fail(st);
+    Result<std::string> sketch = session->EncodeSketch();
+    if (!sketch.ok()) return Fail(sketch.status());
+    const Status emitted = EmitSketch(flags, sketch.value());
+    if (!emitted.ok()) return Fail(emitted);
+  } else {
+    std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
+    const Status st = serve::ServeFd(in_fd, out, session, options);
+    if (!st.ok()) return Fail(st);
+  }
   fprintf(stderr, "collector absorbed %llu reports (%s)\n",
           static_cast<unsigned long long>(session->num_reports()),
           wire::MethodSpecName(session->spec()).c_str());
@@ -217,13 +396,19 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  // A coordinator that exits mid-handshake must surface as a typed write
+  // error on this end, not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
   Result<wire::MethodSpec> spec = wire::ParseMethodSpec(
       flags.method, flags.epsilon, static_cast<uint32_t>(flags.buckets));
   if (!spec.ok()) return Fail(spec.status());
+
+  if (!flags.listen.empty()) {
+    return RunServer(flags, spec.value());
+  }
   Result<serve::CollectorSession> session =
       serve::CollectorSession::Make(spec.value());
   if (!session.ok()) return Fail(session.status());
-
   if (!flags.merge.empty()) {
     return RunCoordinator(flags, &session.value());
   }

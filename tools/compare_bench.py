@@ -45,6 +45,12 @@ def main():
     parser.add_argument("--fallback-baseline", default=None,
                         help="committed baseline used (with a note) when "
                              "the artifact baseline is missing")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="warn if the current results contain no entry "
+                             "with this name prefix (repeatable) — catches "
+                             "a bench binary silently dropping out of the "
+                             "artifact chain")
     args = parser.parse_args()
 
     used_fallback = False
@@ -72,6 +78,12 @@ def main():
     except (OSError, ValueError) as err:
         print(f"compare_bench: cannot read current results ({err}); skipping")
         return 0
+
+    for prefix in args.require:
+        if not any(name.startswith(prefix) for name in current):
+            print(f"::warning title=bench coverage::no current entry "
+                  f"matches required prefix '{prefix}' — a bench series "
+                  f"dropped out of the artifact chain")
 
     regressions = []
     improvements = []

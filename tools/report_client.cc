@@ -16,6 +16,15 @@
 // P processes is byte-for-byte the chunk set a single-process
 // AccumulateSharded run would have produced, and the merged estimate is
 // bit-identical (tests/wire_process_test.cc).
+//
+// Network mode (--connect=tcp:HOST:PORT|unix:PATH): instead of writing to
+// a stream, frames are round-robined across --connections=N multiplexed
+// TCP/Unix connections to a collector_cli --listen server — one process
+// emulating a fleet of N concurrent clients. --pace-us=T sleeps T
+// microseconds between frames (keeps a stream mid-flight long enough for
+// drain/shutdown tests to SIGTERM the collector mid-run).
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +35,8 @@
 
 #include "cli_common.h"
 #include "common/rng.h"
+#include "net/client.h"
+#include "net/socket.h"
 #include "data/loader.h"
 #include "protocol/sharded.h"
 #include "serve/framing.h"
@@ -52,6 +63,9 @@ struct CliFlags {
   size_t offset = 0;    // first shard index this process encodes
   size_t stride = 1;    // total client processes (shard index step)
   std::string out_path; // empty = stdout
+  std::string connect;  // tcp:/unix: endpoint -> network mode
+  size_t connections = 1;  // concurrent connections in network mode
+  uint64_t pace_us = 0;    // sleep between frames (drain-test pacing)
 };
 
 void Usage() {
@@ -60,6 +74,8 @@ void Usage() {
           "                     (--input=FILE | --uniform=N) [--seed=S]\n"
           "                     [--min=LO] [--max=HI] [--shard-size=K]\n"
           "                     [--offset=I] [--stride=P] [--out=FILE]\n"
+          "                     [--connect=tcp:HOST:PORT|unix:PATH]\n"
+          "                     [--connections=N] [--pace-us=T]\n"
           "process k of P client processes runs --offset=k --stride=P\n");
 }
 
@@ -90,6 +106,12 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->stride = static_cast<size_t>(atoll(v));
     } else if (const char* v = FlagValue(arg, "--out=")) {
       flags->out_path = v;
+    } else if (const char* v = FlagValue(arg, "--connect=")) {
+      flags->connect = v;
+    } else if (const char* v = FlagValue(arg, "--connections=")) {
+      flags->connections = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--pace-us=")) {
+      flags->pace_us = static_cast<uint64_t>(atoll(v));
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -105,6 +127,14 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
   }
   if (flags->shard_size == 0) {
     fprintf(stderr, "--shard-size must be > 0\n");
+    return false;
+  }
+  if (flags->connections == 0) {
+    fprintf(stderr, "--connections must be > 0\n");
+    return false;
+  }
+  if (flags->connections > 1 && flags->connect.empty()) {
+    fprintf(stderr, "--connections needs --connect\n");
     return false;
   }
   return true;
@@ -146,7 +176,7 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream file_out;
-  if (!flags.out_path.empty()) {
+  if (flags.connect.empty() && !flags.out_path.empty()) {
     file_out.open(flags.out_path, std::ios::binary);
     if (!file_out) {
       fprintf(stderr, "error: cannot open '%s'\n", flags.out_path.c_str());
@@ -154,6 +184,16 @@ int main(int argc, char** argv) {
     }
   }
   std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
+
+  std::unique_ptr<net::MultiSender> sender;
+  if (!flags.connect.empty()) {
+    Result<net::Endpoint> endpoint = net::ParseEndpoint(flags.connect);
+    if (!endpoint.ok()) return Fail(endpoint.status());
+    Result<net::MultiSender> made =
+        net::MultiSender::Make(endpoint.value(), flags.connections);
+    if (!made.ok()) return Fail(made.status());
+    sender = std::make_unique<net::MultiSender>(std::move(made).value());
+  }
 
   const size_t num_shards =
       (values.size() + flags.shard_size - 1) / flags.shard_size;
@@ -172,10 +212,16 @@ int main(int argc, char** argv) {
     const Status enc = wire::EncodeReportFrame(spec.value(), *protocol.value(),
                                                *chunk.value(), &frame);
     if (!enc.ok()) return Fail(enc);
-    const Status wr = serve::WriteFrame(out, frame);
+    const Status wr = sender ? sender->Send(frame)
+                             : serve::WriteFrame(out, frame);
     if (!wr.ok()) return Fail(wr);
     ++frames;
     reports += chunk.value()->num_reports();
+    if (flags.pace_us > 0) usleep(static_cast<useconds_t>(flags.pace_us));
+  }
+  if (sender) {
+    const Status fin = sender->Finish();
+    if (!fin.ok()) return Fail(fin);
   }
   out.flush();
   if (flags.offset < num_shards) {
