@@ -8,14 +8,20 @@
 #include <cstdlib>
 #include <new>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "core/em.h"
 #include "core/ems.h"
 #include "core/observation_model.h"
 #include "core/square_wave.h"
+#include "core/sw_estimator.h"
+#include "eval/incremental.h"
+#include "eval/streaming.h"
 #include "hierarchy/admm.h"
 #include "hierarchy/constrained.h"
 #include "hierarchy/hh.h"
+#include "kernels/kernels.h"
 
 // Global allocation counter: lets the EM benches report heap allocations
 // per iteration as a hard counter instead of relying on inspection.
@@ -210,6 +216,170 @@ BENCHMARK(BM_EmsConvergenceSliding)
     ->Args({1024, 0})
     ->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);
+
+// ---- Incremental reconstruction: warm-started / mini-batch EM ----
+//
+// Rolling-snapshot fixture: a growing report stream cut into cumulative
+// count snapshots, reconstructed after each increment. The EM_WARM_ /
+// EM_MINIBATCH_ series are registered in the CI --require list, so their
+// names are load-bearing.
+
+struct RollingFixture {
+  SlidingWindowObservationModel sliding;
+  /// Cumulative bucketized counts after each increment.
+  std::vector<std::vector<uint64_t>> totals;
+};
+
+RollingFixture MakeRollingFixture(size_t d, size_t increments,
+                                  size_t per_increment) {
+  const SquareWave sw = SquareWave::Make(1.0).ValueOrDie();
+  Rng rng(1234);
+  std::vector<double> reports;
+  reports.reserve(increments * per_increment);
+  RollingFixture fx{SlidingWindowObservationModel::FromContinuous(sw, d, d),
+                    {}};
+  for (size_t k = 0; k < increments; ++k) {
+    for (size_t i = 0; i < per_increment; ++i) {
+      const double v = rng.Bernoulli(0.5) ? 0.3 : 0.7;
+      reports.push_back(sw.Perturb(v, rng));
+    }
+    fx.totals.push_back(sw.BucketizeReports(reports, d));
+  }
+  return fx;
+}
+
+// Warm-started sweep over 10 rolling snapshots at d=1024: each snapshot
+// restarts EM from the previous fixed point at the same tolerance a cold
+// restart uses (same final likelihood gap). The cold baseline runs once
+// outside the timed loop; iteration_speedup = cold/warm total EM
+// iterations is the headline counter (acceptance floor: >= 5x).
+void EM_WARM_RollingSnapshots(benchmark::State& state) {
+  const size_t d = 1024;
+  const RollingFixture fx = MakeRollingFixture(d, 10, 5000);
+  const EmOptions opts;
+  size_t cold_total = 0;
+  for (const std::vector<uint64_t>& totals : fx.totals) {
+    cold_total +=
+        EstimateEm(fx.sliding, totals, opts).ValueOrDie().iterations;
+  }
+  size_t warm_total = 0;
+  for (auto _ : state) {
+    EmCheckpoint checkpoint;
+    for (const std::vector<uint64_t>& totals : fx.totals) {
+      benchmark::DoNotOptimize(
+          EstimateEm(fx.sliding, totals, opts, &checkpoint).ValueOrDie());
+    }
+    warm_total = checkpoint.total_iterations;
+  }
+  state.counters["cold_iterations"] = static_cast<double>(cold_total);
+  state.counters["warm_iterations"] = static_cast<double>(warm_total);
+  state.counters["iteration_speedup"] =
+      static_cast<double>(cold_total) / static_cast<double>(warm_total);
+}
+BENCHMARK(EM_WARM_RollingSnapshots)->Unit(benchmark::kMillisecond);
+
+// Wall-time baseline for the row above: the same 10 snapshots, each
+// reconstructed cold (from uniform). Compare real_time directly against
+// EM_WARM_RollingSnapshots.
+void EM_WARM_ColdRestarts(benchmark::State& state) {
+  const size_t d = 1024;
+  const RollingFixture fx = MakeRollingFixture(d, 10, 5000);
+  const EmOptions opts;
+  size_t cold_total = 0;
+  for (auto _ : state) {
+    cold_total = 0;
+    for (const std::vector<uint64_t>& totals : fx.totals) {
+      cold_total +=
+          EstimateEm(fx.sliding, totals, opts).ValueOrDie().iterations;
+    }
+  }
+  state.counters["cold_iterations"] = static_cast<double>(cold_total);
+}
+BENCHMARK(EM_WARM_ColdRestarts)->Unit(benchmark::kMillisecond);
+
+// Mini-batch mode over a DRIFTING stream: the population jumps between
+// increments, and the reconstructor forgets old reports with a half-life
+// of two increments. Measures the per-update cost of the rolling-window
+// path end-to-end (decay + warm-started EM through eval/incremental.h).
+void EM_MINIBATCH_RollingWindow(benchmark::State& state) {
+  const size_t d = 1024;
+  const size_t increments = 10;
+  const size_t per_increment = 5000;
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = d;
+  const auto estimator = std::make_shared<const SwEstimator>(
+      SwEstimator::Make(options).ValueOrDie());
+  StreamingAggregator agg = StreamingAggregator::ForEstimator(estimator);
+  Rng rng(77);
+  std::vector<std::vector<uint64_t>> totals;
+  std::vector<uint64_t> ns;
+  for (size_t k = 0; k < increments; ++k) {
+    // Drifting bimodal population: the mode migrates across increments.
+    const double mode =
+        0.2 + 0.6 * static_cast<double>(k) / (increments - 1);
+    for (size_t i = 0; i < per_increment; ++i) {
+      const double v = rng.Bernoulli(0.7) ? mode : 1.0 - mode;
+      agg.Accept(estimator->PerturbOne(v, rng));
+    }
+    totals.push_back(agg.counts());
+    ns.push_back(agg.count());
+  }
+  IncrementalOptions inc_options;
+  inc_options.mode = IncrementalOptions::Mode::kMiniBatch;
+  inc_options.half_life = 2.0 * static_cast<double>(per_increment);
+  size_t total_iterations = 0;
+  for (auto _ : state) {
+    IncrementalReconstructor inc =
+        IncrementalReconstructor::Make(estimator, inc_options).ValueOrDie();
+    for (size_t k = 0; k < increments; ++k) {
+      benchmark::DoNotOptimize(
+          inc.UpdateFromTotals(totals[k], ns[k]).ValueOrDie());
+    }
+    total_iterations = inc.checkpoint().total_iterations;
+  }
+  state.counters["total_iterations"] = static_cast<double>(total_iterations);
+  state.counters["updates"] = static_cast<double>(increments);
+}
+BENCHMARK(EM_MINIBATCH_RollingWindow)->Unit(benchmark::kMillisecond);
+
+// ---- AVX-512 kernel tier on the EM hot path ----
+//
+// Forced-dispatch EM sweep: kAvx512 clamps down the fallback ladder on
+// machines without AVX-512 (the avx512 counter records what actually ran),
+// so the series always produces numbers. Compare real_time against the
+// equivalent forced-AVX2/scalar rows.
+void EM_AVX512_EmSweepSliding(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const EmInput input = MakeEmInput(d);
+  const EmOptions opts = TenFixedIterations();
+  kernels::ForceIsaForTest(kernels::Isa::kAvx512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateEm(input.sliding, input.counts, opts));
+  }
+  state.counters["avx512"] = kernels::Avx512Available() ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations() * 10 * 2 * d * d);
+}
+BENCHMARK(EM_AVX512_EmSweepSliding)->Arg(1024)->Arg(4096);
+
+// Raw blocked-reduction dot product under forced AVX-512 dispatch (the
+// kernel every E step leans on). items_per_second = multiply-adds/s.
+void EM_AVX512_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(15);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform();
+    b[i] = rng.Uniform();
+  }
+  kernels::ForceIsaForTest(kernels::Isa::kAvx512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Dot(a.data(), b.data(), n));
+  }
+  state.counters["avx512"] = kernels::Avx512Available() ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(EM_AVX512_Dot)->Arg(1024)->Arg(16384);
 
 void BM_BinomialSmooth(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));

@@ -2,7 +2,15 @@
 // SW perturbation + streaming ingestion + checkpoint merge/snapshot) for
 // the built-in drift scenario across shard counts and thread budgets.
 //
-//   scenario_throughput [--reports=N] [--threads=W]
+//   scenario_throughput [--reports=N] [--threads=W] [--incremental]
+//
+// --incremental appends the drift-tracking table: the drift scenario rerun
+// with mini-batch EM (scenario/scenario.h IncrementalMode::kMiniBatch)
+// across a sweep of forgetting half-lives. The half-life is the estimate's
+// effective lag behind the drifting population, so the table is the
+// error-vs-lag curve: window_err (distance to the equally-forgotten truth)
+// rises as the window stretches over more drift, while inc_iters shows the
+// EM budget the rolling warm starts actually spent.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,14 +24,19 @@ using namespace numdist;
 int main(int argc, char** argv) {
   size_t reports = 200000;
   size_t threads = 0;
+  bool incremental = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--reports=", 0) == 0) {
       reports = static_cast<size_t>(atoll(arg.c_str() + 10));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<size_t>(atoll(arg.c_str() + 10));
+    } else if (arg == "--incremental") {
+      incremental = true;
     } else {
-      fprintf(stderr, "usage: scenario_throughput [--reports=N] [--threads=W]\n");
+      fprintf(stderr,
+              "usage: scenario_throughput [--reports=N] [--threads=W]"
+              " [--incremental]\n");
       return 2;
     }
   }
@@ -47,6 +60,47 @@ int main(int argc, char** argv) {
     printf("%-8zu %10llu %12.1f %14.0f\n", shards,
            static_cast<unsigned long long>(result.total_reports), ms,
            1000.0 * static_cast<double>(result.total_reports) / ms);
+  }
+
+  if (incremental) {
+    // Error-vs-lag: mean Wasserstein over the drift phase's checkpoints,
+    // measured against the window each estimate claims to represent
+    // (window_err) and against all history (cold_err, the per-checkpoint
+    // cold snapshot). inc_iters is the incremental path's total EM budget.
+    printf("\ndrift tracking, mini-batch EM over the drift scenario:\n");
+    printf("%-12s %12s %12s %12s %12s\n", "half_life", "window_err",
+           "cold_err", "inc_iters", "cold_iters");
+    for (const double half_life : {0.125, 0.25, 0.5, 1.0}) {
+      ScenarioConfig config = BuiltinScenario("drift").ValueOrDie();
+      config.threads = threads;
+      config.phases[0].reports = reports / 3;
+      config.phases[1].reports = reports - config.phases[0].reports;
+      config.incremental = IncrementalMode::kMiniBatch;
+      // Half-life as a fraction of the drift phase: the lag axis.
+      config.half_life =
+          half_life * static_cast<double>(config.phases[1].reports);
+      const ScenarioResult result = RunScenario(config).ValueOrDie();
+      double window_err = 0.0;
+      double cold_err = 0.0;
+      size_t drift_checkpoints = 0;
+      size_t inc_iters = 0;
+      size_t cold_iters = 0;
+      for (const ScenarioCheckpoint& c : result.checkpoints) {
+        cold_iters += c.em_iterations;
+        inc_iters = c.inc_total_iterations;  // cumulative; keep the last
+        if (c.phase_index == 1) {
+          window_err += c.inc_wasserstein;
+          cold_err += c.wasserstein;
+          ++drift_checkpoints;
+        }
+      }
+      if (drift_checkpoints > 0) {
+        window_err /= static_cast<double>(drift_checkpoints);
+        cold_err /= static_cast<double>(drift_checkpoints);
+      }
+      printf("%-12.0f %12.6f %12.6f %12zu %12zu\n", config.half_life,
+             window_err, cold_err, inc_iters, cold_iters);
+    }
   }
   return 0;
 }

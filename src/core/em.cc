@@ -31,7 +31,7 @@ namespace {
 // every vector is sized once here and reused across iterations.
 class EmStepper {
  public:
-  EmStepper(const ObservationModel& model, const std::vector<uint64_t>& counts,
+  EmStepper(const ObservationModel& model, const std::vector<double>& counts,
             bool smoothing)
       : model_(model),
         counts_(counts),
@@ -84,21 +84,46 @@ class EmStepper {
   }
 
   const ObservationModel& model_;
-  const std::vector<uint64_t>& counts_;
+  const std::vector<double>& counts_;
   bool smoothing_;
   std::vector<double> y_;
   std::vector<double> weights_;
   std::vector<double> weights_spare_;
 };
 
+// Fills the starting iterate: uniform (cold), or the checkpointed fixed
+// point floored at 1e-12 / d and renormalized (warm). The floor keeps a
+// coordinate that a previous run drove to an exact zero — an absorbing
+// state of the multiplicative update — able to recover mass after the
+// snapshot grows; the renormalization makes the warm iterate a proper
+// distribution regardless of accumulated rounding. Deterministic: the
+// warm iterate is a pure function of the checkpoint.
+void InitIterate(size_t d, const std::vector<double>* warm,
+                 std::vector<double>* x) {
+  if (warm == nullptr || warm->size() != d) {
+    x->assign(d, 1.0 / static_cast<double>(d));
+    return;
+  }
+  const double floor = 1e-12 / static_cast<double>(d);
+  x->resize(d);
+  double total = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double v = (*warm)[i];
+    (*x)[i] = (std::isfinite(v) && v > floor) ? v : floor;
+    total += (*x)[i];
+  }
+  kernels::Scale(x->data(), 1.0 / total, d);
+}
+
 // Classic fixed-point iteration (paper Algorithm 1). Same structure as the
 // historical loop; the arithmetic now runs through the dispatched kernels
 // (fused E-step sweep + blocked reductions), whose fixed operation order
 // is identical under scalar and vector dispatch.
 Result<EmResult> RunPlainEm(EmStepper& stepper, size_t d,
-                            const EmOptions& opts) {
+                            const EmOptions& opts,
+                            const std::vector<double>* warm) {
   EmResult result;
-  result.estimate.assign(d, 1.0 / static_cast<double>(d));
+  InitIterate(d, warm, &result.estimate);
   std::vector<double> next(d, 0.0);
 
   double prev_ll = -std::numeric_limits<double>::infinity();
@@ -128,9 +153,10 @@ Result<EmResult> RunPlainEm(EmStepper& stepper, size_t d,
 // the log-likelihood ascent property of EM is preserved. `iterations`
 // counts applications of the E+M map, comparable with the plain loop.
 Result<EmResult> RunSquaremEm(EmStepper& stepper, size_t d,
-                              const EmOptions& opts) {
+                              const EmOptions& opts,
+                              const std::vector<double>* warm) {
   EmResult result;
-  result.estimate.assign(d, 1.0 / static_cast<double>(d));
+  InitIterate(d, warm, &result.estimate);
   std::vector<double>& x = result.estimate;
   std::vector<double> x1(d, 0.0);
   std::vector<double> x2(d, 0.0);
@@ -219,11 +245,34 @@ Result<EmResult> RunSquaremEm(EmStepper& stepper, size_t d,
   return result;
 }
 
+// Shared core once the counts are validated doubles. `warm` may alias
+// checkpoint->estimate; the run loops copy it into the iterate up front.
+Result<EmResult> RunValidated(const ObservationModel& model,
+                              const std::vector<double>& counts,
+                              const EmOptions& opts,
+                              EmCheckpoint* checkpoint) {
+  const std::vector<double>* warm =
+      (checkpoint != nullptr && checkpoint->warm()) ? &checkpoint->estimate
+                                                    : nullptr;
+  EmStepper stepper(model, counts, opts.smoothing);
+  Result<EmResult> run = opts.acceleration
+                             ? RunSquaremEm(stepper, model.cols(), opts, warm)
+                             : RunPlainEm(stepper, model.cols(), opts, warm);
+  if (run.ok() && checkpoint != nullptr) {
+    checkpoint->estimate = run.value().estimate;
+    checkpoint->total_iterations += run.value().iterations;
+    checkpoint->runs += 1;
+    checkpoint->log_likelihood = run.value().log_likelihood;
+  }
+  return run;
+}
+
 }  // namespace
 
-Result<EmResult> EstimateEm(const ObservationModel& model,
-                            const std::vector<uint64_t>& counts,
-                            const EmOptions& opts) {
+Result<EmResult> EstimateEmWeighted(const ObservationModel& model,
+                                    const std::vector<double>& counts,
+                                    const EmOptions& opts,
+                                    EmCheckpoint* checkpoint) {
   const size_t d_out = model.rows();
   const size_t d = model.cols();
   if (d == 0 || d_out == 0) {
@@ -233,24 +282,39 @@ Result<EmResult> EstimateEm(const ObservationModel& model,
     return Status::InvalidArgument("EM: counts size != model rows");
   }
   double n = 0.0;
-  for (uint64_t c : counts) n += static_cast<double>(c);
+  for (double c : counts) {
+    if (!std::isfinite(c) || c < 0.0) {
+      return Status::InvalidArgument("EM: counts must be finite and >= 0");
+    }
+    n += c;
+  }
   if (n <= 0.0) {
     return Status::InvalidArgument("EM: no observations");
   }
   if (!(opts.tol >= 0.0)) {
     return Status::InvalidArgument("EM: tol must be >= 0");
   }
+  return RunValidated(model, counts, opts, checkpoint);
+}
 
-  EmStepper stepper(model, counts, opts.smoothing);
-  return opts.acceleration ? RunSquaremEm(stepper, d, opts)
-                           : RunPlainEm(stepper, d, opts);
+Result<EmResult> EstimateEm(const ObservationModel& model,
+                            const std::vector<uint64_t>& counts,
+                            const EmOptions& opts, EmCheckpoint* checkpoint) {
+  // One exact uint64 -> double conversion per call; every count the system
+  // produces is far below 2^53, so the converted run is bit-identical to
+  // the historical integer path.
+  std::vector<double> weighted(counts.size());
+  for (size_t j = 0; j < counts.size(); ++j) {
+    weighted[j] = static_cast<double>(counts[j]);
+  }
+  return EstimateEmWeighted(model, weighted, opts, checkpoint);
 }
 
 Result<EmResult> EstimateEm(const Matrix& m,
                             const std::vector<uint64_t>& counts,
-                            const EmOptions& opts) {
+                            const EmOptions& opts, EmCheckpoint* checkpoint) {
   const DenseObservationModel model(&m);  // borrowed; m outlives the call
-  return EstimateEm(model, counts, opts);
+  return EstimateEm(model, counts, opts, checkpoint);
 }
 
 }  // namespace numdist

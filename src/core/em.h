@@ -52,12 +52,47 @@ struct EmResult {
   bool converged = false;
 };
 
+/// Resumable EM state for incremental reconstruction over rolling
+/// snapshots: when a snapshot advances by Δ reports, restarting the
+/// iteration from the previous fixed point instead of uniform converges in
+/// a small fraction of the cold iterations (the likelihood surface barely
+/// moved). Pass a checkpoint to EstimateEm / EstimateEmWeighted: an empty
+/// checkpoint leaves the first run cold; afterwards `estimate` holds the
+/// latest fixed point and the bookkeeping fields accumulate the total
+/// iteration budget spent across the whole snapshot sequence.
+struct EmCheckpoint {
+  /// Latest fixed point (size d). Empty => the next run starts cold
+  /// (uniform). Warm starts floor each entry at 1e-12 / d before
+  /// renormalizing, so a coordinate driven to an absorbing exact zero by a
+  /// previous run can still recover mass.
+  std::vector<double> estimate;
+  /// E+M map applications accumulated across all runs through this
+  /// checkpoint (the incremental path's total iteration budget).
+  size_t total_iterations = 0;
+  /// Runs accumulated through this checkpoint.
+  size_t runs = 0;
+  /// Final log-likelihood of the latest run (of its own counts).
+  double log_likelihood = 0.0;
+  /// True when the next run will start from `estimate` instead of uniform.
+  bool warm() const { return !estimate.empty(); }
+  /// Back to a cold start, keeping nothing.
+  void Reset() {
+    estimate.clear();
+    total_iterations = 0;
+    runs = 0;
+    log_likelihood = 0.0;
+  }
+};
+
 /// Runs EM (or EMS if opts.smoothing) for observation model `m` and observed
 /// output-bucket counts `counts` (counts.size() == m.rows()). Errors on
-/// dimension mismatch, empty input, or an all-zero count vector.
+/// dimension mismatch, empty input, or an all-zero count vector. A non-null
+/// `checkpoint` warm-starts the iteration from its stored fixed point (when
+/// it has one of the right size) and is updated with the run's outcome.
 Result<EmResult> EstimateEm(const Matrix& m,
                             const std::vector<uint64_t>& counts,
-                            const EmOptions& opts = EmOptions());
+                            const EmOptions& opts = EmOptions(),
+                            EmCheckpoint* checkpoint = nullptr);
 
 /// Operator-based variant: same algorithm, but the observation model is an
 /// abstract linear operator (use SlidingWindowObservationModel for SW/DSW
@@ -66,7 +101,18 @@ Result<EmResult> EstimateEm(const Matrix& m,
 /// sized once up front.
 Result<EmResult> EstimateEm(const ObservationModel& model,
                             const std::vector<uint64_t>& counts,
-                            const EmOptions& opts = EmOptions());
+                            const EmOptions& opts = EmOptions(),
+                            EmCheckpoint* checkpoint = nullptr);
+
+/// Weighted-counts variant for the mini-batch / forgetting path: `counts`
+/// are non-negative reals (exponentially decayed histograms are fractional).
+/// Integer histograms fed through this overload reconstruct bit-identically
+/// to the uint64 overloads (the conversion is exact). Errors additionally on
+/// negative or non-finite counts.
+Result<EmResult> EstimateEmWeighted(const ObservationModel& model,
+                                    const std::vector<double>& counts,
+                                    const EmOptions& opts = EmOptions(),
+                                    EmCheckpoint* checkpoint = nullptr);
 
 /// One in-place binomial smoothing pass (the EMS "S step"): interior buckets
 /// get weights (1/4, 1/2, 1/4), edges the truncated renormalized kernel

@@ -9,7 +9,7 @@
 
 namespace numdist {
 
-double EmWeightsFromPrediction(const std::vector<uint64_t>& counts,
+double EmWeightsFromPrediction(const std::vector<double>& counts,
                                const std::vector<double>& y,
                                std::vector<double>* weights) {
   const size_t d_out = y.size();
@@ -17,7 +17,7 @@ double EmWeightsFromPrediction(const std::vector<uint64_t>& counts,
   weights->resize(d_out);
   double ll = 0.0;
   for (size_t j = 0; j < d_out; ++j) {
-    if (counts[j] == 0) {
+    if (counts[j] == 0.0) {
       (*weights)[j] = 0.0;
       continue;
     }
@@ -25,14 +25,14 @@ double EmWeightsFromPrediction(const std::vector<uint64_t>& counts,
     // every output bucket is reachable (q > 0), so this guard only trips
     // on degenerate custom matrices.
     const double yj = std::max(y[j], 1e-300);
-    (*weights)[j] = static_cast<double>(counts[j]) / yj;
-    ll += static_cast<double>(counts[j]) * std::log(yj);
+    (*weights)[j] = counts[j] / yj;
+    ll += counts[j] * std::log(yj);
   }
   return ll;
 }
 
 double ObservationModel::EmSweep(const std::vector<double>& x,
-                                 const std::vector<uint64_t>& counts,
+                                 const std::vector<double>& counts,
                                  std::vector<double>* y,
                                  std::vector<double>* weights,
                                  std::vector<double>* mtw) const {
@@ -56,17 +56,17 @@ namespace {
 
 // One row's E-step epilogue: same formula as EmWeightsFromPrediction,
 // applied pointwise (weight 0 when the bucket saw no reports).
-inline double RowWeight(uint64_t count, double yj_raw, double* ll) {
-  if (count == 0) return 0.0;
+inline double RowWeight(double count, double yj_raw, double* ll) {
+  if (count == 0.0) return 0.0;
   const double yj = std::max(yj_raw, 1e-300);
-  *ll += static_cast<double>(count) * std::log(yj);
-  return static_cast<double>(count) / yj;
+  *ll += count * std::log(yj);
+  return count / yj;
 }
 
 }  // namespace
 
 double DenseObservationModel::EmSweep(const std::vector<double>& x,
-                                      const std::vector<uint64_t>& counts,
+                                      const std::vector<double>& counts,
                                       std::vector<double>* y,
                                       std::vector<double>* weights,
                                       std::vector<double>* mtw) const {

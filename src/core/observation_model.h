@@ -28,7 +28,11 @@ namespace numdist {
 /// counts[j] == 0) and returns the total log-likelihood
 /// sum_j counts[j] log max(y[j], 1e-300). One definition used by every
 /// EmSweep path so scalar and vector dispatch can never diverge here.
-double EmWeightsFromPrediction(const std::vector<uint64_t>& counts,
+/// Counts are doubles so the mini-batch path can feed exponentially
+/// decayed (fractional) counts; integer histograms convert exactly
+/// (uint64 -> double is lossless below 2^53), so the converted path is
+/// bit-identical to the historical integer one.
+double EmWeightsFromPrediction(const std::vector<double>& counts,
                                const std::vector<double>& y,
                                std::vector<double>* weights);
 
@@ -60,7 +64,7 @@ class ObservationModel {
   /// either dispatch build). All three outputs are resized by the sweep;
   /// passing correctly sized buffers keeps it allocation-free.
   virtual double EmSweep(const std::vector<double>& x,
-                         const std::vector<uint64_t>& counts,
+                         const std::vector<double>& counts,
                          std::vector<double>* y, std::vector<double>* weights,
                          std::vector<double>* mtw) const;
 };
@@ -90,7 +94,7 @@ class DenseObservationModel final : public ObservationModel {
   void ApplyTranspose(const std::vector<double>& z,
                       std::vector<double>* out) const override;
   double EmSweep(const std::vector<double>& x,
-                 const std::vector<uint64_t>& counts, std::vector<double>* y,
+                 const std::vector<double>& counts, std::vector<double>* y,
                  std::vector<double>* weights,
                  std::vector<double>* mtw) const override;
 

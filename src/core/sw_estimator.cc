@@ -159,6 +159,16 @@ Result<EmResult> SwEstimator::Reconstruct(
   return EstimateEm(model_, counts, em_options_);
 }
 
+Result<EmResult> SwEstimator::ReconstructWarm(
+    const std::vector<uint64_t>& counts, EmCheckpoint* checkpoint) const {
+  return EstimateEm(model_, counts, em_options_, checkpoint);
+}
+
+Result<EmResult> SwEstimator::ReconstructWeighted(
+    const std::vector<double>& counts, EmCheckpoint* checkpoint) const {
+  return EstimateEmWeighted(model_, counts, em_options_, checkpoint);
+}
+
 Result<std::vector<double>> SwEstimator::EstimateDistribution(
     const std::vector<double>& values, Rng& rng) const {
   if (values.empty()) {

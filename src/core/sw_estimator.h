@@ -84,6 +84,20 @@ class SwEstimator {
   /// aggregated output counts via EM or EMS.
   Result<EmResult> Reconstruct(const std::vector<uint64_t>& counts) const;
 
+  /// Incremental variant: identical to Reconstruct but resumable — a
+  /// non-null checkpoint warm-starts EM from the previous fixed point and
+  /// accumulates the iteration budget across a rolling snapshot sequence
+  /// (see EmCheckpoint). With an empty checkpoint the first run is cold and
+  /// bit-identical to Reconstruct.
+  Result<EmResult> ReconstructWarm(const std::vector<uint64_t>& counts,
+                                   EmCheckpoint* checkpoint) const;
+
+  /// Mini-batch variant over real-valued (e.g. exponentially decayed)
+  /// counts; see EstimateEmWeighted. Used by IncrementalReconstructor's
+  /// forgetting mode.
+  Result<EmResult> ReconstructWeighted(const std::vector<double>& counts,
+                                       EmCheckpoint* checkpoint) const;
+
   /// Convenience one-shot pipeline: perturb every value, aggregate,
   /// reconstruct. Returns the reconstructed distribution.
   Result<std::vector<double>> EstimateDistribution(
@@ -96,6 +110,9 @@ class SwEstimator {
   /// The analytic sliding-window operator EM actually iterates with.
   const ObservationModel& model() const { return model_; }
   const SwEstimatorOptions& options() const { return options_; }
+  /// The resolved EM iteration controls (paper-default tolerances applied).
+  /// IncrementalReconstructor budgets its per-update runs from these.
+  const EmOptions& em_options() const { return em_options_; }
   /// Resolved wave half-width (continuous scale).
   double b() const;
   /// Number of output buckets actually used.

@@ -1,0 +1,94 @@
+#include "eval/incremental.h"
+
+#include <cmath>
+#include <utility>
+
+namespace numdist {
+
+IncrementalReconstructor::IncrementalReconstructor(
+    std::shared_ptr<const SwEstimator> estimator,
+    const IncrementalOptions& options)
+    : estimator_(std::move(estimator)),
+      options_(options),
+      em_options_(estimator_->em_options()) {
+  if (options_.max_iterations_per_update > 0) {
+    em_options_.max_iterations = options_.max_iterations_per_update;
+  }
+}
+
+Result<IncrementalReconstructor> IncrementalReconstructor::Make(
+    std::shared_ptr<const SwEstimator> estimator,
+    const IncrementalOptions& options) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("IncrementalReconstructor: null estimator");
+  }
+  if (options.mode == IncrementalOptions::Mode::kMiniBatch &&
+      !(options.half_life > 0.0 && std::isfinite(options.half_life))) {
+    return Status::InvalidArgument(
+        "IncrementalReconstructor: mini-batch mode needs a finite "
+        "half_life > 0");
+  }
+  return IncrementalReconstructor(std::move(estimator), options);
+}
+
+Result<EmResult> IncrementalReconstructor::UpdateFromTotals(
+    const std::vector<uint64_t>& totals, uint64_t n) {
+  const size_t buckets = estimator_->output_buckets();
+  if (totals.size() != buckets) {
+    return Status::InvalidArgument(
+        "IncrementalReconstructor: totals size does not match the "
+        "estimator's output buckets");
+  }
+  if (n < reports_seen_) {
+    return Status::InvalidArgument(
+        "IncrementalReconstructor: cumulative report count went backwards");
+  }
+  if (!prev_totals_.empty()) {
+    for (size_t j = 0; j < buckets; ++j) {
+      if (totals[j] < prev_totals_[j]) {
+        return Status::InvalidArgument(
+            "IncrementalReconstructor: cumulative totals went backwards");
+      }
+    }
+  }
+
+  Result<EmResult> run = Status::Internal("unreachable");
+  if (options_.mode == IncrementalOptions::Mode::kMiniBatch) {
+    // Decay the window by the number of reports that arrived since the
+    // last update, then absorb the new delta at full weight:
+    //   w <- 2^(-Δn / half_life) * w + (totals - prev_totals).
+    // The first update seeds the window with the whole history (λ^0 on an
+    // empty window), matching a collector that starts estimating late.
+    const uint64_t delta_n = n - reports_seen_;
+    const double lambda =
+        std::exp2(-static_cast<double>(delta_n) / options_.half_life);
+    weighted_.resize(buckets, 0.0);
+    for (size_t j = 0; j < buckets; ++j) {
+      const uint64_t prev = prev_totals_.empty() ? 0 : prev_totals_[j];
+      weighted_[j] =
+          lambda * weighted_[j] + static_cast<double>(totals[j] - prev);
+    }
+    run = EstimateEmWeighted(estimator_->model(), weighted_, em_options_,
+                             &checkpoint_);
+  } else {
+    // Warm mode reconstructs the full cumulative histogram; the exact
+    // uint64 -> double conversion keeps it bit-identical to a cold
+    // Reconstruct on the same counts apart from the warm initial iterate.
+    scratch_.resize(buckets);
+    for (size_t j = 0; j < buckets; ++j) {
+      scratch_[j] = static_cast<double>(totals[j]);
+    }
+    run = EstimateEmWeighted(estimator_->model(), scratch_, em_options_,
+                             &checkpoint_);
+  }
+  if (!run.ok()) return run;
+
+  // Only commit the rolling state on success so a failed update (e.g. an
+  // all-zero window) can be retried after more reports arrive.
+  prev_totals_ = totals;
+  reports_seen_ = n;
+  updates_ += 1;
+  return run;
+}
+
+}  // namespace numdist

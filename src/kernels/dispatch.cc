@@ -13,13 +13,6 @@ namespace numdist::kernels {
 
 namespace {
 
-bool ForceScalarFromEnv() {
-  const char* v = std::getenv("NUMDIST_FORCE_SCALAR");
-  // Set-and-not-"0" forces the scalar build (so FORCE_SCALAR=1, =true, =yes
-  // all work; =0 and unset select normally).
-  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
-}
-
 bool CpuHasAvx2() {
 #if defined(__x86_64__) || defined(__i386__)
   return __builtin_cpu_supports("avx2");
@@ -28,12 +21,58 @@ bool CpuHasAvx2() {
 #endif
 }
 
-const KernelTable* Resolve() {
-  const KernelTable* avx2 = Avx2KernelTable();
-  if (ForceScalarFromEnv() || avx2 == nullptr || !CpuHasAvx2()) {
-    return ScalarKernelTable();
+bool CpuHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The AVX-512 TU uses mask compares/expands (bw, vl) beyond the f
+  // baseline; dq is enabled at compile time, so require it too.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+// Clamps a requested tier to what the binary + CPU can actually run,
+// walking down the ladder avx512 -> avx2 -> scalar.
+const KernelTable* TableFor(Isa isa) {
+  if (isa == Isa::kAvx512 && Avx512Available()) return Avx512KernelTable();
+  if (isa != Isa::kScalar && Avx2Available()) return Avx2KernelTable();
+  return ScalarKernelTable();
+}
+
+// NUMDIST_FORCE_ISA={scalar,avx2,avx512} pins a tier; the legacy boolean
+// NUMDIST_FORCE_SCALAR (set-and-not-"0") is kept as an alias for =scalar
+// and loses to the new variable when both are set. Unknown values are
+// ignored (normal resolution). Returns true when a pin was requested.
+bool ForcedIsaFromEnv(Isa* out) {
+  if (const char* v = std::getenv("NUMDIST_FORCE_ISA")) {
+    if (std::strcmp(v, "scalar") == 0) {
+      *out = Isa::kScalar;
+      return true;
+    }
+    if (std::strcmp(v, "avx2") == 0) {
+      *out = Isa::kAvx2;
+      return true;
+    }
+    if (std::strcmp(v, "avx512") == 0) {
+      *out = Isa::kAvx512;
+      return true;
+    }
   }
-  return avx2;
+  const char* legacy = std::getenv("NUMDIST_FORCE_SCALAR");
+  if (legacy != nullptr && *legacy != '\0' && std::strcmp(legacy, "0") != 0) {
+    *out = Isa::kScalar;
+    return true;
+  }
+  return false;
+}
+
+const KernelTable* Resolve() {
+  Isa forced;
+  if (ForcedIsaFromEnv(&forced)) return TableFor(forced);
+  return TableFor(Isa::kAvx512);  // widest tier available wins
 }
 
 // Resolved once on first use; ForceIsaForTest/ResetIsaForTest may swap it
@@ -53,8 +92,15 @@ inline const KernelTable* Active() {
 
 bool Avx2Available() { return Avx2KernelTable() != nullptr && CpuHasAvx2(); }
 
+bool Avx512Available() {
+  return Avx512KernelTable() != nullptr && CpuHasAvx512();
+}
+
 Isa ActiveIsa() {
-  return Active() == Avx2KernelTable() ? Isa::kAvx2 : Isa::kScalar;
+  const KernelTable* table = Active();
+  if (table == Avx512KernelTable()) return Isa::kAvx512;
+  if (table == Avx2KernelTable()) return Isa::kAvx2;
+  return Isa::kScalar;
 }
 
 const char* IsaName(Isa isa) {
@@ -63,14 +109,14 @@ const char* IsaName(Isa isa) {
       return "scalar";
     case Isa::kAvx2:
       return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
 void ForceIsaForTest(Isa isa) {
-  const KernelTable* table = ScalarKernelTable();
-  if (isa == Isa::kAvx2 && Avx2Available()) table = Avx2KernelTable();
-  g_active.store(table, std::memory_order_release);
+  g_active.store(TableFor(isa), std::memory_order_release);
 }
 
 void ResetIsaForTest() {

@@ -1,7 +1,7 @@
 // Internal: the function table one kernel build fills in. Each build
-// (scalar, AVX2) provides one immutable table; dispatch.cc selects which
-// table the public entry points call through. Not installed API — only the
-// kernels/ translation units include this.
+// (scalar, AVX2, AVX-512) provides one immutable table; dispatch.cc selects
+// which table the public entry points call through. Not installed API — only
+// the kernels/ translation units include this.
 #pragma once
 
 #include <cstddef>
@@ -30,5 +30,8 @@ const KernelTable* ScalarKernelTable();
 
 /// The AVX2 build, or nullptr when this binary was compiled without it.
 const KernelTable* Avx2KernelTable();
+
+/// The AVX-512 build, or nullptr when this binary was compiled without it.
+const KernelTable* Avx512KernelTable();
 
 }  // namespace numdist::kernels

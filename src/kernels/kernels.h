@@ -1,32 +1,37 @@
 // Runtime-dispatched SIMD numeric kernels for the report/EM hot paths.
 //
-// Every kernel has two implementations selected once per process: an AVX2
-// build (compiled with -mavx2 in its own translation unit) and a portable
-// scalar build. The two are BIT-EXACT by construction — this is the layer's
-// hard contract, enforced by tests/kernels_test.cc:
+// Every kernel has three implementations selected once per process: an
+// AVX-512 build (own TU, -mavx512{f,bw,dq,vl}), an AVX2 build (own TU,
+// -mavx2) and a portable scalar build. All are BIT-EXACT by construction —
+// this is the layer's hard contract, enforced by tests/kernels_test.cc:
 //
 //   * Reductions (Dot, Sum, MulAndSum) use a fixed lane-blocked summation
 //     order: 16 independent accumulators striped over the input
-//     (accumulator l sums elements 16k+l — four 4-lane vector chains, deep
-//     enough to hide the add latency), combined by the fixed tree
+//     (accumulator l sums elements 16k+l), combined by the fixed tree
 //       u_j = (s_j + s_{j+4}) + (s_{j+8} + s_{j+12}),  j = 0..3
 //       result = (u_0 + u_2) + (u_1 + u_3)
-//     — exactly the vector-add + horizontal-add tree the AVX2 path
-//     produces — plus a sequential scalar tail for n % 16 leftovers. The
-//     scalar build performs the same operations on the same values in the
-//     same order, so both paths round identically.
+//     — exactly the vector-add + horizontal-add tree the AVX2 path (four
+//     4-lane chains) produces — plus a sequential scalar tail for n % 16
+//     leftovers. The AVX-512 build keeps exactly two 8-lane chains whose
+//     256-bit halves recombine into the same tree per lane, and the scalar
+//     build performs the same operations on the same values in the same
+//     order, so all paths round identically.
 //   * Elementwise kernels (Axpy, Scale, WindowCombine, LessThan,
 //     GrrResponseMap) are data-parallel IEEE operations with no
 //     reassociation; vector and scalar lanes compute the same expression
-//     per element. No FMA contraction is used on either path (the kernel
+//     per element. No FMA contraction is used on any path (the kernel
 //     TUs are compiled with -ffp-contract=off), so a fused multiply-add
-//     can never make one path round differently from the other.
+//     can never make one path round differently from another.
 //
-// Dispatch: resolved on first use. NUMDIST_FORCE_SCALAR=1 in the
-// environment pins the scalar build (used by CI to diff the two paths);
-// otherwise AVX2 is selected when both the binary carries the AVX2 TU and
-// the CPU reports the feature. ForceIsaForTest() overrides the choice
-// in-process so one test binary can compare both paths directly.
+// Dispatch: resolved on first use. NUMDIST_FORCE_ISA={scalar,avx2,avx512}
+// in the environment pins one build (used by CI to diff the tiers; a pinned
+// tier the binary/CPU cannot run falls back down the ladder avx512 -> avx2
+// -> scalar). The legacy boolean NUMDIST_FORCE_SCALAR is kept as an alias
+// for NUMDIST_FORCE_ISA=scalar and is overridden by the new variable when
+// both are set. Otherwise the widest available tier wins: AVX-512 when the
+// binary carries that TU and the CPU reports avx512{f,bw,dq,vl}, else AVX2,
+// else scalar. ForceIsaForTest() overrides the choice in-process so one
+// test binary can compare all paths directly.
 #pragma once
 
 #include <cstddef>
@@ -38,22 +43,29 @@ namespace numdist::kernels {
 enum class Isa {
   kScalar,  ///< portable blocked scalar build (always available)
   kAvx2,    ///< AVX2 build (x86-64 with the avx2 feature bit)
+  kAvx512,  ///< AVX-512 build (x86-64 with avx512f/bw/dq/vl feature bits)
 };
 
 /// The ISA the process resolved (env override, CPU detection, compiled-in
 /// availability). Stable after the first kernel call unless overridden.
 Isa ActiveIsa();
 
-/// Human-readable name ("scalar", "avx2") for logs and bench labels.
+/// Human-readable name ("scalar", "avx2", "avx512") for logs and bench
+/// labels.
 const char* IsaName(Isa isa);
 
 /// True iff this binary carries the AVX2 kernel build and the CPU supports
 /// it (ignores the environment override).
 bool Avx2Available();
 
-/// Test/bench-only: pins dispatch to `isa`. Pinning kAvx2 when
-/// Avx2Available() is false keeps the scalar build. Not thread-safe against
-/// concurrent kernel calls; call before spawning workers.
+/// True iff this binary carries the AVX-512 kernel build and the CPU
+/// supports avx512f/bw/dq/vl (ignores the environment override).
+bool Avx512Available();
+
+/// Test/bench-only: pins dispatch to `isa`. Pinning a tier whose build or
+/// CPU support is missing falls back down the ladder (avx512 -> avx2 ->
+/// scalar). Not thread-safe against concurrent kernel calls; call before
+/// spawning workers.
 void ForceIsaForTest(Isa isa);
 
 /// Test/bench-only: undoes ForceIsaForTest and re-resolves from the

@@ -4,9 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "common/executor.h"
@@ -61,6 +63,35 @@ Result<std::unique_ptr<CollectorServer>> CollectorServer::Make(
   NUMDIST_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Make());
   std::unique_ptr<CollectorServer> server(
       new CollectorServer(std::move(main), std::move(reactor), options));
+  if (options.estimate_every_frames > 0 || options.estimate_every_ms > 0) {
+    if (spec.method != wire::MethodId::kSwEms &&
+        spec.method != wire::MethodId::kSwEm) {
+      return Status::InvalidArgument(
+          "net: live estimation supports SW methods only");
+    }
+    // Same spec -> estimator mapping the SW protocol uses, so the
+    // estimator's output buckets match the accumulator's count layout.
+    SwEstimatorOptions est_options;
+    est_options.epsilon = spec.epsilon;
+    est_options.d = spec.d;
+    est_options.post = spec.method == wire::MethodId::kSwEms
+                           ? SwEstimatorOptions::Post::kEms
+                           : SwEstimatorOptions::Post::kEm;
+    NUMDIST_ASSIGN_OR_RETURN(SwEstimator est, SwEstimator::Make(est_options));
+    server->live_estimator_ =
+        std::make_shared<const SwEstimator>(std::move(est));
+    IncrementalOptions inc_options;
+    inc_options.mode = options.estimate_half_life > 0.0
+                           ? IncrementalOptions::Mode::kMiniBatch
+                           : IncrementalOptions::Mode::kWarm;
+    inc_options.half_life = options.estimate_half_life;
+    inc_options.max_iterations_per_update = options.estimate_max_iterations;
+    NUMDIST_ASSIGN_OR_RETURN(
+        IncrementalReconstructor inc,
+        IncrementalReconstructor::Make(server->live_estimator_, inc_options));
+    server->inc_ =
+        std::make_unique<IncrementalReconstructor>(std::move(inc));
+  }
   // One sub-aggregate per executor slot, created up front so absorption
   // can never fail on allocation mid-serve. ParallelFor's slot ids are
   // always below slots().
@@ -252,15 +283,84 @@ void CollectorServer::ReapClosed() {
   });
 }
 
+int CollectorServer::WaitTimeoutMs() const {
+  if (inc_ == nullptr || options_.estimate_every_ms <= 0) return -1;
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             next_estimate_at_ - Clock::now())
+                             .count();
+  if (remaining <= 0) return 0;
+  return static_cast<int>(
+      std::min<long long>(remaining, std::numeric_limits<int>::max()));
+}
+
+void CollectorServer::MaybeEstimate() {
+  if (inc_ == nullptr) return;
+  bool due = false;
+  if (options_.estimate_every_frames > 0 &&
+      stats_.frames_absorbed >=
+          last_estimate_frames_ + options_.estimate_every_frames) {
+    due = true;
+  }
+  if (options_.estimate_every_ms > 0 && Clock::now() >= next_estimate_at_) {
+    due = true;
+    // Next deadline from now, not from the missed slot: a long EM tick
+    // must not cause a burst of catch-up ticks.
+    next_estimate_at_ =
+        Clock::now() + std::chrono::milliseconds(options_.estimate_every_ms);
+  }
+  if (!due) return;
+  last_estimate_frames_ = stats_.frames_absorbed;
+
+  // Sum the exact per-bucket counts across the main and per-slot
+  // accumulators. Read-only: the aggregate the final sketch is encoded
+  // from is never touched, so the live path cannot perturb it.
+  const size_t buckets = live_estimator_->output_buckets();
+  estimate_totals_.assign(buckets, 0);
+  uint64_t reports = 0;
+  const auto add_counts = [&](const serve::CollectorSession& session) {
+    const AccumulatorState state = session.ExportState();
+    reports += state.num_reports;
+    if (state.tables.empty()) return;
+    const std::vector<int64_t>& counts = state.tables[0].counts;
+    for (size_t j = 0; j < buckets && j < counts.size(); ++j) {
+      estimate_totals_[j] += static_cast<uint64_t>(counts[j]);
+    }
+  };
+  add_counts(main_);
+  for (const serve::CollectorSession& sub : sub_sessions_) add_counts(sub);
+  if (reports == 0) return;  // nothing ingested yet; tick again later
+
+  const Result<EmResult> run =
+      inc_->UpdateFromTotals(estimate_totals_, reports);
+  if (!run.ok()) {
+    if (stats_.first_error.ok()) stats_.first_error = run.status();
+    return;
+  }
+  ++stats_.estimate_ticks;
+  if (options_.estimate_sink) {
+    options_.estimate_sink(EstimateTick{.tick = stats_.estimate_ticks,
+                                        .reports = reports,
+                                        .frames = stats_.frames_absorbed,
+                                        .em = run.value(),
+                                        .checkpoint = inc_->checkpoint(),
+                                        .totals = estimate_totals_});
+  }
+}
+
 Status CollectorServer::Run() {
   std::vector<Reactor::Event> events(512);
+  if (inc_ != nullptr && options_.estimate_every_ms > 0) {
+    next_estimate_at_ =
+        Clock::now() + std::chrono::milliseconds(options_.estimate_every_ms);
+  }
   for (;;) {
     if (drain_requested_.load(std::memory_order_acquire)) {
       EnterDrain(/*cut_connections=*/false);
     }
     ReapClosed();
     if (draining_ && connections_.empty() && pending_.empty()) break;
-    NUMDIST_ASSIGN_OR_RETURN(const size_t n, reactor_.Wait(events, -1));
+    NUMDIST_ASSIGN_OR_RETURN(const size_t n,
+                             reactor_.Wait(events, WaitTimeoutMs()));
     for (size_t i = 0; i < n; ++i) {
       void* tag = events[i].tag;
       if (tag == nullptr) continue;  // wakeup; the flag check above acts
@@ -272,6 +372,7 @@ Status CollectorServer::Run() {
       }
     }
     AbsorbPending();
+    MaybeEstimate();
     if (options_.expect_frames > 0 &&
         stats_.frames_absorbed >= options_.expect_frames) {
       EnterDrain(/*cut_connections=*/true);

@@ -32,12 +32,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "eval/incremental.h"
 #include "net/reactor.h"
 #include "net/socket.h"
 #include "serve/collector.h"
@@ -45,6 +48,24 @@
 #include "wire/wire.h"
 
 namespace numdist::net {
+
+/// One periodic live estimate, handed to ServerOptions::estimate_sink
+/// synchronously from the reactor loop. All references point at server
+/// state and are valid only for the duration of the call.
+struct EstimateTick {
+  /// 1-based tick index.
+  uint64_t tick = 0;
+  /// Cumulative reports / absorbed frames at this tick.
+  uint64_t reports = 0;
+  uint64_t frames = 0;
+  /// This tick's reconstruction (warm-started; see eval/incremental.h).
+  const EmResult& em;
+  /// Cumulative iteration-budget bookkeeping across all ticks.
+  const EmCheckpoint& checkpoint;
+  /// Cumulative per-bucket report histogram the estimate was computed
+  /// from (exact integers; what a snapshot frame of the live state holds).
+  const std::vector<uint64_t>& totals;
+};
 
 struct ServerOptions {
   /// Per-frame size ceiling (serve/framing.h).
@@ -65,6 +86,26 @@ struct ServerOptions {
   /// Record per-frame ingest latency (frame fully decoded -> absorbed)
   /// into ServerStats::latency_ns. Bench-only; off in production serving.
   bool record_latency = false;
+
+  /// Live estimation cadence: re-reconstruct after this many newly
+  /// absorbed frames (0 = off). SW methods only (the estimate is the
+  /// paper's EM/EMS reconstruction); Make rejects other specs when a
+  /// cadence is set. Estimation reads the accumulators without mutating
+  /// them, so the final sketch stays byte-identical to a run without it.
+  uint64_t estimate_every_frames = 0;
+  /// ...and/or re-reconstruct every this many milliseconds (0 = off).
+  /// Either cadence due triggers a tick.
+  int64_t estimate_every_ms = 0;
+  /// Mini-batch forgetting half-life in reports; > 0 switches the live
+  /// estimate from warm (full cumulative counts) to the exponentially
+  /// forgotten window (IncrementalOptions::Mode::kMiniBatch).
+  double estimate_half_life = 0.0;
+  /// Per-tick EM iteration budget (0 = the estimator's own cap).
+  size_t estimate_max_iterations = 0;
+  /// Called after each successful tick (e.g. to emit a snapshot frame of
+  /// the live counts plus the estimate). Failures in the sink are the
+  /// sink's problem; the server keeps serving.
+  std::function<void(const EstimateTick&)> estimate_sink;
 };
 
 struct ServerStats {
@@ -76,6 +117,8 @@ struct ServerStats {
   /// Connections dropped on a typed frame/decode error (the error is in
   /// `first_error`; the server keeps serving everyone else).
   uint64_t connection_errors = 0;
+  /// Successful live-estimation ticks (see ServerOptions cadence knobs).
+  uint64_t estimate_ticks = 0;
   Status first_error;
   /// Per-frame decoded->absorbed latency, when record_latency is set.
   std::vector<uint64_t> latency_ns;
@@ -109,6 +152,15 @@ class CollectorServer {
   /// Reports aggregated so far. Complete only after Run returns.
   uint64_t num_reports() const;
 
+  /// The shared estimator behind live estimation (null unless a cadence
+  /// was configured). Sinks use it to build snapshot frames
+  /// (StreamingAggregator::ForEstimator) matching the live counts.
+  const std::shared_ptr<const SwEstimator>& live_estimator() const {
+    return live_estimator_;
+  }
+  /// The incremental reconstruction state (null unless configured).
+  const IncrementalReconstructor* incremental() const { return inc_.get(); }
+
   /// The aggregate as a wire sketch frame / the reconstructed estimate.
   /// Valid after Run has returned (sub-session state is merged at drain).
   Result<std::string> EncodeSketch() const;
@@ -130,6 +182,10 @@ class CollectorServer {
   void CloseConnection(Connection* conn);
   void ReapClosed();
   Status MergeSubSessions();
+  /// Runs a live-estimation tick when one is due (frame or time cadence).
+  void MaybeEstimate();
+  /// Milliseconds until the next timed tick (-1 = wait forever).
+  int WaitTimeoutMs() const;
 
   serve::CollectorSession main_;
   Reactor reactor_;
@@ -143,6 +199,15 @@ class CollectorServer {
   /// Per-executor-slot sub-aggregates, merged into main_ at drain.
   std::vector<serve::CollectorSession> sub_sessions_;
   bool merged_ = false;
+
+  /// Live estimation (null unless a cadence is configured). The
+  /// reconstructor only ever READS accumulator state (ExportState sums),
+  /// so the final drained sketch is byte-identical with or without it.
+  std::shared_ptr<const SwEstimator> live_estimator_;
+  std::unique_ptr<IncrementalReconstructor> inc_;
+  uint64_t last_estimate_frames_ = 0;
+  std::chrono::steady_clock::time_point next_estimate_at_{};
+  std::vector<uint64_t> estimate_totals_;  // per-tick gather scratch
 
   std::atomic<bool> drain_requested_{false};
   bool draining_ = false;

@@ -14,6 +14,7 @@
 #include "common/executor.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "eval/incremental.h"
 #include "eval/streaming.h"
 #include "metrics/distance.h"
 #include "wire/wire.h"
@@ -62,6 +63,15 @@ struct EpsilonGroup {
   // (expensive) transition model, Reset() per snapshot.
   std::optional<StreamingAggregator> merge_scratch;
   uint64_t reports = 0;
+
+  // Incremental-reconstruction companion (ScenarioConfig::incremental):
+  // rolls the group's EM fixed point forward across checkpoints, plus the
+  // ground truth forgotten on the SAME schedule so the drift-tracking
+  // metric compares the estimate to the window it represents.
+  std::optional<IncrementalReconstructor> inc;
+  std::vector<double> decayed_truth;
+  std::vector<double> prev_truth;
+  double prev_truth_n = 0.0;
 };
 
 }  // namespace
@@ -79,6 +89,17 @@ Status ValidateScenario(const ScenarioConfig& config) {
   if (!(config.epsilon > 0.0) || !std::isfinite(config.epsilon)) {
     return Status::InvalidArgument(
         "scenario: default epsilon must be positive and finite");
+  }
+  if (config.incremental == IncrementalMode::kMiniBatch &&
+      (!(config.half_life > 0.0) || !std::isfinite(config.half_life))) {
+    return Status::InvalidArgument(
+        "scenario: incremental = minibatch needs a positive finite "
+        "half_life");
+  }
+  if (config.incremental != IncrementalMode::kMiniBatch &&
+      config.half_life != 0.0) {
+    return Status::InvalidArgument(
+        "scenario: half_life needs incremental = minibatch");
   }
   if (config.phases.empty()) {
     return Status::InvalidArgument("scenario: needs at least one phase");
@@ -144,6 +165,19 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       group.truth_counts.emplace_back(config.d, 0);
     }
     group.merge_scratch.emplace(StreamingAggregator::ForEstimator(shared));
+    if (config.incremental != IncrementalMode::kOff) {
+      IncrementalOptions inc_options;
+      inc_options.mode = config.incremental == IncrementalMode::kMiniBatch
+                             ? IncrementalOptions::Mode::kMiniBatch
+                             : IncrementalOptions::Mode::kWarm;
+      inc_options.half_life = config.half_life;
+      Result<IncrementalReconstructor> inc =
+          IncrementalReconstructor::Make(shared, inc_options);
+      if (!inc.ok()) return inc.status();
+      group.inc.emplace(std::move(inc).value());
+      group.decayed_truth.assign(config.d, 0.0);
+      group.prev_truth.assign(config.d, 0.0);
+    }
     return &groups.emplace(bits, std::move(group)).first->second;
   };
 
@@ -250,6 +284,31 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
           truth[i] += static_cast<double>(shard_truth[i]);
         }
       }
+
+      // Incremental companion: roll the group's warm/mini-batch estimate
+      // forward over the merged cumulative counts, and forget the raw
+      // truth counts on the SAME schedule before normalization — the
+      // resulting distance is drift-tracking error over the effective
+      // window, not error against all history.
+      EmResult inc_em;
+      std::vector<double> inc_truth;
+      if (group->inc.has_value()) {
+        NUMDIST_ASSIGN_OR_RETURN(inc_em, group->inc->Update(merged));
+        const double n_now = static_cast<double>(group->reports);
+        double lambda = 1.0;
+        if (config.incremental == IncrementalMode::kMiniBatch) {
+          lambda =
+              std::exp2(-(n_now - group->prev_truth_n) / config.half_life);
+        }
+        for (size_t i = 0; i < config.d; ++i) {
+          group->decayed_truth[i] = lambda * group->decayed_truth[i] +
+                                    (truth[i] - group->prev_truth[i]);
+        }
+        group->prev_truth = truth;
+        group->prev_truth_n = n_now;
+        inc_truth = group->decayed_truth;
+        hist::Normalize(&inc_truth);
+      }
       hist::Normalize(&truth);
 
       ScenarioCheckpoint checkpoint;
@@ -265,6 +324,15 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       checkpoint.em_converged = em.converged;
       checkpoint.estimate = std::move(em.estimate);
       checkpoint.truth = std::move(truth);
+      if (group->inc.has_value()) {
+        checkpoint.inc_em_iterations = inc_em.iterations;
+        checkpoint.inc_total_iterations =
+            group->inc->checkpoint().total_iterations;
+        checkpoint.inc_wasserstein =
+            WassersteinDistance(inc_truth, inc_em.estimate);
+        checkpoint.inc_ks = KsDistance(inc_truth, inc_em.estimate);
+        checkpoint.inc_estimate = std::move(inc_em.estimate);
+      }
       result.checkpoints.push_back(std::move(checkpoint));
     }
   }
@@ -400,6 +468,30 @@ Result<ScenarioConfig> ParseScenarioText(const std::string& text) {
               ": 'wire_checkpoints' must be 0 or 1");
         }
         config.wire_checkpoints = flag == 1;
+      } else if (key == "incremental") {
+        if (value == "off") {
+          config.incremental = IncrementalMode::kOff;
+        } else if (value == "warm") {
+          config.incremental = IncrementalMode::kWarm;
+        } else if (value == "minibatch") {
+          config.incremental = IncrementalMode::kMiniBatch;
+        } else {
+          return Status::InvalidArgument(
+              "scenario line " + std::to_string(line_no) +
+              ": 'incremental' must be off, warm, or minibatch, got '" +
+              value + "'");
+        }
+      } else if (key == "half_life") {
+        char* parse_end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &parse_end);
+        if (value.empty() || parse_end != value.c_str() + value.size() ||
+            !(parsed > 0.0) || !std::isfinite(parsed)) {
+          return Status::InvalidArgument(
+              "scenario line " + std::to_string(line_no) +
+              ": 'half_life' must be a positive number, got '" + value +
+              "'");
+        }
+        config.half_life = parsed;
       } else {
         return bad_key();
       }

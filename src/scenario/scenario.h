@@ -52,6 +52,16 @@ struct ScenarioPhase {
   size_t checkpoints = 1;
 };
 
+/// Incremental reconstruction alongside the scenario's cold per-checkpoint
+/// snapshots (eval/incremental.h). kOff leaves every existing output
+/// untouched; kWarm warm-starts EM from the previous checkpoint's fixed
+/// point over the cumulative counts; kMiniBatch additionally forgets old
+/// reports with half-life ScenarioConfig::half_life, turning the scenario
+/// into a drift-tracking benchmark (the checkpoint records the estimate's
+/// distance to the *equally forgotten* ground truth, i.e. error over the
+/// effective window rather than over all history).
+enum class IncrementalMode { kOff, kWarm, kMiniBatch };
+
 /// A full scenario.
 struct ScenarioConfig {
   std::string name = "scenario";
@@ -74,6 +84,13 @@ struct ScenarioConfig {
   /// tests/scenario_test.cc); the flag exists to exercise the distributed
   /// path end-to-end, not to change semantics.
   bool wire_checkpoints = false;
+  /// Run an incremental reconstructor per epsilon group next to the cold
+  /// snapshots (see IncrementalMode). Off by default so existing outputs
+  /// stay bit-identical.
+  IncrementalMode incremental = IncrementalMode::kOff;
+  /// Mini-batch forgetting half-life in reports; required > 0 when
+  /// `incremental` is kMiniBatch, must stay 0 otherwise.
+  double half_life = 0.0;
   std::vector<ScenarioPhase> phases;
 };
 
@@ -97,6 +114,21 @@ struct ScenarioCheckpoint {
   /// Reconstructed distribution and ground truth, d buckets each.
   std::vector<double> estimate;
   std::vector<double> truth;
+
+  /// Incremental-reconstruction companion metrics, populated only when
+  /// ScenarioConfig::incremental != kOff. The distances are measured
+  /// against the group's forgotten ground truth (cumulative truth for
+  /// kWarm; exponentially decayed with the configured half-life for
+  /// kMiniBatch), so for a drifting population inc_wasserstein is the
+  /// drift-TRACKING error: how far the rolling estimate lags the window it
+  /// is supposed to represent.
+  size_t inc_em_iterations = 0;
+  /// Cumulative EM iterations spent by the incremental path so far (the
+  /// budget a cold restart at every checkpoint would dwarf).
+  size_t inc_total_iterations = 0;
+  double inc_wasserstein = 0.0;
+  double inc_ks = 0.0;
+  std::vector<double> inc_estimate;
 };
 
 /// Outcome of a scenario run.
@@ -118,9 +150,11 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config);
 ///   # comment                      (blank lines ignored)
 ///   name = drift-demo              (top-level keys before the first phase:
 ///   epsilon = 1.0                   name, epsilon, d, shards, seed,
-///                                   wire_checkpoints)
-///   d = 64
+///                                   wire_checkpoints, incremental,
+///   d = 64                          half_life)
 ///   shards = 4
+///   incremental = minibatch        (off | warm | minibatch)
+///   half_life = 10000              (reports; minibatch only)
 ///
 ///   [phase]                        (starts a phase; then per-phase keys:
 ///   name = drift                    name, mixture, end_mixture, reports,

@@ -51,6 +51,11 @@ class CollectorSession {
   /// ships to the coordinator).
   Result<std::string> EncodeSketch() const;
 
+  /// Exact-integer snapshot of the accumulator (protocol.h). Read-only:
+  /// live estimation sums these across sessions without touching the
+  /// aggregate, so periodic estimates can never perturb the final sketch.
+  AccumulatorState ExportState() const { return acc_->ExportState(); }
+
   /// Inverts the aggregate into the method output. Requires
   /// num_reports() > 0.
   Result<MethodOutput> Reconstruct() const;

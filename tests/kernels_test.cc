@@ -1,17 +1,21 @@
-// Dispatch-equivalence tier: the scalar and AVX2 kernel builds must be
-// BIT-EXACT (kernels.h contract). Verified at three levels:
+// Dispatch-equivalence tier: the scalar, AVX2, and AVX-512 kernel builds
+// must be BIT-EXACT (kernels.h contract). Verified at three levels:
 //   1. kernel-by-kernel, on sizes that exercise the blocked main loop, the
 //      tails, and the degenerate lengths;
 //   2. whole reconstructions: EstimateEm over the dense / banded /
-//      sliding-window models twice, once per dispatch, byte-compared;
+//      sliding-window models once per dispatch, byte-compared;
 //   3. whole encode paths: every protocol family's EncodePerturbBatch wire
 //      payload, and a full sharded pipeline run, byte-compared across
 //      dispatch.
-// On hosts without AVX2 both passes resolve to the scalar build and the
-// comparisons are trivially true — the CI matrix also runs the entire
-// suite under NUMDIST_FORCE_SCALAR=1 for the same reason.
+// Every sweep compares the scalar reference against EVERY vector tier:
+// forcing a tier the host lacks clamps down the fallback ladder
+// (avx512 -> avx2 -> scalar), so those comparisons degrade to trivially
+// true rather than crashing — the dedicated Avx512 test below emits a loud
+// GTEST_SKIP on such hosts, and the CI matrix runs the whole suite under
+// each NUMDIST_FORCE_ISA value for the same reason.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -33,6 +37,10 @@ using kernels::Isa;
 
 // True when the two dispatch paths genuinely differ on this host.
 bool HasTwoPaths() { return kernels::Avx2Available(); }
+
+// The vector tiers every scalar-reference sweep is diffed against. On a
+// host lacking a tier, forcing it resolves down the fallback ladder.
+const Isa kVectorIsas[] = {Isa::kAvx2, Isa::kAvx512};
 
 // Restores normal dispatch however a test exits.
 struct IsaGuard {
@@ -56,33 +64,35 @@ TEST(KernelDispatchTest, ReductionsAreBitExactAcrossIsas) {
     const std::vector<double> a = RandomVector(n, 11 + n);
     const std::vector<double> b = RandomVector(n, 23 + n);
 
-    kernels::ForceIsaForTest(Isa::kScalar);
-    const double dot_scalar = kernels::Dot(a.data(), b.data(), n);
-    const double sum_scalar = kernels::Sum(a.data(), n);
-    double d2s_0 = 0.0;
-    double d2s_1 = 0.0;
-    if (n > 0) {
-      kernels::Dot2(a.data(), b.data(), a.data(), n, &d2s_0, &d2s_1);
+    struct Reductions {
+      double dot = 0.0;
+      double sum = 0.0;
+      double d2_0 = 0.0;
+      double d2_1 = 0.0;
+    };
+    auto run = [&](Isa isa) {
+      kernels::ForceIsaForTest(isa);
+      Reductions r;
+      r.dot = kernels::Dot(a.data(), b.data(), n);
+      r.sum = kernels::Sum(a.data(), n);
+      if (n > 0) {
+        kernels::Dot2(a.data(), b.data(), a.data(), n, &r.d2_0, &r.d2_1);
+      }
+      return r;
+    };
+    const Reductions scalar = run(Isa::kScalar);
+    for (const Isa isa : kVectorIsas) {
+      const Reductions vector = run(isa);
+      // Bit equality, not EXPECT_DOUBLE_EQ: the contract is the same bits.
+      EXPECT_EQ(std::memcmp(&scalar.dot, &vector.dot, sizeof(double)), 0)
+          << "Dot n=" << n << " isa=" << kernels::IsaName(isa);
+      EXPECT_EQ(std::memcmp(&scalar.sum, &vector.sum, sizeof(double)), 0)
+          << "Sum n=" << n << " isa=" << kernels::IsaName(isa);
+      EXPECT_EQ(std::memcmp(&scalar.d2_0, &vector.d2_0, sizeof(double)), 0)
+          << "Dot2[0] n=" << n << " isa=" << kernels::IsaName(isa);
+      EXPECT_EQ(std::memcmp(&scalar.d2_1, &vector.d2_1, sizeof(double)), 0)
+          << "Dot2[1] n=" << n << " isa=" << kernels::IsaName(isa);
     }
-
-    kernels::ForceIsaForTest(Isa::kAvx2);
-    const double dot_vector = kernels::Dot(a.data(), b.data(), n);
-    const double sum_vector = kernels::Sum(a.data(), n);
-    double d2v_0 = 0.0;
-    double d2v_1 = 0.0;
-    if (n > 0) {
-      kernels::Dot2(a.data(), b.data(), a.data(), n, &d2v_0, &d2v_1);
-    }
-
-    // Bit equality, not EXPECT_DOUBLE_EQ: the contract is the same bits.
-    EXPECT_EQ(std::memcmp(&dot_scalar, &dot_vector, sizeof(double)), 0)
-        << "Dot n=" << n;
-    EXPECT_EQ(std::memcmp(&sum_scalar, &sum_vector, sizeof(double)), 0)
-        << "Sum n=" << n;
-    EXPECT_EQ(std::memcmp(&d2s_0, &d2v_0, sizeof(double)), 0)
-        << "Dot2[0] n=" << n;
-    EXPECT_EQ(std::memcmp(&d2s_1, &d2v_1, sizeof(double)), 0)
-        << "Dot2[1] n=" << n;
   }
 }
 
@@ -104,12 +114,15 @@ TEST(KernelDispatchTest, ElementwiseKernelsAreBitExactAcrossIsas) {
       return y;
     };
     const std::vector<double> scalar = run(Isa::kScalar);
-    const std::vector<double> vector = run(Isa::kAvx2);
-    ASSERT_EQ(scalar.size(), vector.size());
-    if (n > 0) {
-      EXPECT_EQ(std::memcmp(scalar.data(), vector.data(), n * sizeof(double)),
-                0)
-          << "elementwise chain n=" << n;
+    for (const Isa isa : kVectorIsas) {
+      const std::vector<double> vector = run(isa);
+      ASSERT_EQ(scalar.size(), vector.size());
+      if (n > 0) {
+        EXPECT_EQ(
+            std::memcmp(scalar.data(), vector.data(), n * sizeof(double)), 0)
+            << "elementwise chain n=" << n
+            << " isa=" << kernels::IsaName(isa);
+      }
     }
   }
 }
@@ -131,9 +144,13 @@ TEST(KernelDispatchTest, LessThanAndGrrMapAgreeAcrossIsas) {
       return std::make_pair(bits, out);
     };
     const auto scalar = run(Isa::kScalar);
-    const auto vector = run(Isa::kAvx2);
-    EXPECT_EQ(scalar.first, vector.first) << "LessThan n=" << n;
-    EXPECT_EQ(scalar.second, vector.second) << "GrrResponseMap n=" << n;
+    for (const Isa isa : kVectorIsas) {
+      const auto vector = run(isa);
+      EXPECT_EQ(scalar.first, vector.first)
+          << "LessThan n=" << n << " isa=" << kernels::IsaName(isa);
+      EXPECT_EQ(scalar.second, vector.second)
+          << "GrrResponseMap n=" << n << " isa=" << kernels::IsaName(isa);
+    }
   }
 }
 
@@ -223,14 +240,17 @@ TEST(KernelDispatchTest, EstimateEmIsBitIdenticalAcrossIsas) {
     return estimates;
   };
   const auto scalar = reconstruct(Isa::kScalar);
-  const auto vector = reconstruct(Isa::kAvx2);
   const char* model_names[] = {"dense", "banded", "sliding"};
-  for (size_t k = 0; k < scalar.size(); ++k) {
-    ASSERT_EQ(scalar[k].size(), vector[k].size());
-    EXPECT_EQ(std::memcmp(scalar[k].data(), vector[k].data(),
-                          scalar[k].size() * sizeof(double)),
-              0)
-        << model_names[k] << " estimate differs across dispatch";
+  for (const Isa isa : kVectorIsas) {
+    const auto vector = reconstruct(isa);
+    for (size_t k = 0; k < scalar.size(); ++k) {
+      ASSERT_EQ(scalar[k].size(), vector[k].size());
+      EXPECT_EQ(std::memcmp(scalar[k].data(), vector[k].data(),
+                            scalar[k].size() * sizeof(double)),
+                0)
+          << model_names[k] << " estimate differs across dispatch (isa="
+          << kernels::IsaName(isa) << ")";
+    }
   }
 }
 
@@ -275,9 +295,12 @@ TEST(KernelDispatchTest, EncodedChunksAreBitIdenticalAcrossIsas) {
       return payload;
     };
     const std::string scalar = encode(Isa::kScalar);
-    const std::string vector = encode(Isa::kAvx2);
-    EXPECT_EQ(scalar, vector) << c.name
-                              << " wire payload differs across dispatch";
+    for (const Isa isa : kVectorIsas) {
+      const std::string vector = encode(isa);
+      EXPECT_EQ(scalar, vector)
+          << c.name << " wire payload differs across dispatch (isa="
+          << kernels::IsaName(isa) << ")";
+    }
   }
 }
 
@@ -301,17 +324,63 @@ TEST(KernelDispatchTest, ShardedPipelineIsBitIdenticalAcrossIsas) {
         .distribution;
   };
   const std::vector<double> scalar = run(Isa::kScalar);
-  const std::vector<double> vector = run(Isa::kAvx2);
-  ASSERT_EQ(scalar.size(), vector.size());
-  EXPECT_EQ(std::memcmp(scalar.data(), vector.data(),
-                        scalar.size() * sizeof(double)),
-            0);
+  for (const Isa isa : kVectorIsas) {
+    const std::vector<double> vector = run(isa);
+    ASSERT_EQ(scalar.size(), vector.size());
+    EXPECT_EQ(std::memcmp(scalar.data(), vector.data(),
+                          scalar.size() * sizeof(double)),
+              0)
+        << "isa=" << kernels::IsaName(isa);
+  }
+}
+
+// ---- The AVX-512 tier specifically.
+
+// Dedicated equivalence gate for the widest tier: on hosts without
+// AVX-512 the sweeps above silently clamp to AVX2, so this test makes the
+// gap LOUD — a skipped run says the tier was never exercised, instead of
+// a green run implying it was.
+TEST(KernelDispatchTest, Avx512TierIsBitExactAgainstBothLowerTiers) {
+  if (!kernels::Avx512Available()) {
+    GTEST_SKIP() << "SKIP: host CPU lacks AVX-512 (need F+BW+DQ+VL); the "
+                    "AVX-512 kernel tier was NOT exercised in this run";
+  }
+  IsaGuard guard;
+  for (size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(n, 301 + n);
+    const std::vector<double> b = RandomVector(n, 307 + n, 0.1, 2.0);
+    auto run = [&](Isa isa) {
+      kernels::ForceIsaForTest(isa);
+      std::vector<double> y = a;
+      kernels::Axpy2(y.data(), 0.4, b.data(), -0.7, a.data(), n);
+      std::vector<double> out(3, 0.0);
+      out[0] = kernels::Dot(a.data(), b.data(), n);
+      out[1] = kernels::MulAndSum(y.data(), b.data(), n);
+      kernels::WindowCombine(y.data(), n, 5, 0.03125, 1.5);
+      out[2] = kernels::Sum(y.data(), n);
+      return std::make_pair(out, y);
+    };
+    const auto scalar = run(Isa::kScalar);
+    const auto avx2 = run(Isa::kAvx2);
+    const auto avx512 = run(Isa::kAvx512);
+    EXPECT_EQ(std::memcmp(scalar.first.data(), avx512.first.data(),
+                          3 * sizeof(double)),
+              0)
+        << "avx512 reductions differ from scalar, n=" << n;
+    EXPECT_EQ(std::memcmp(avx2.first.data(), avx512.first.data(),
+                          3 * sizeof(double)),
+              0)
+        << "avx512 reductions differ from avx2, n=" << n;
+    EXPECT_EQ(scalar.second, avx512.second) << "elementwise n=" << n;
+    EXPECT_EQ(avx2.second, avx512.second) << "elementwise n=" << n;
+  }
 }
 
 TEST(KernelDispatchTest, IsaNamesAndAvailability) {
   IsaGuard guard;
   EXPECT_STREQ(kernels::IsaName(Isa::kScalar), "scalar");
   EXPECT_STREQ(kernels::IsaName(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(kernels::IsaName(Isa::kAvx512), "avx512");
   kernels::ForceIsaForTest(Isa::kScalar);
   EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
   kernels::ForceIsaForTest(Isa::kAvx2);
@@ -320,6 +389,64 @@ TEST(KernelDispatchTest, IsaNamesAndAvailability) {
   } else {
     EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
   }
+  kernels::ForceIsaForTest(Isa::kAvx512);
+  if (kernels::Avx512Available()) {
+    EXPECT_EQ(kernels::ActiveIsa(), Isa::kAvx512);
+  } else if (HasTwoPaths()) {
+    EXPECT_EQ(kernels::ActiveIsa(), Isa::kAvx2);  // fallback ladder
+  } else {
+    EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
+  }
+}
+
+// NUMDIST_FORCE_ISA (and the legacy NUMDIST_FORCE_SCALAR alias) are read
+// at resolution time; ResetIsaForTest re-resolves, which lets the env
+// contract be tested in-process.
+TEST(KernelDispatchTest, ForceIsaEnvironmentVariable) {
+  const char* old_isa = getenv("NUMDIST_FORCE_ISA");
+  const std::string saved_isa = old_isa != nullptr ? old_isa : "";
+  const bool had_isa = old_isa != nullptr;
+  const char* old_scalar = getenv("NUMDIST_FORCE_SCALAR");
+  const std::string saved_scalar = old_scalar != nullptr ? old_scalar : "";
+  const bool had_scalar = old_scalar != nullptr;
+
+  setenv("NUMDIST_FORCE_ISA", "scalar", 1);
+  unsetenv("NUMDIST_FORCE_SCALAR");
+  kernels::ResetIsaForTest();
+  EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
+
+  // Legacy alias still forces scalar...
+  unsetenv("NUMDIST_FORCE_ISA");
+  setenv("NUMDIST_FORCE_SCALAR", "1", 1);
+  kernels::ResetIsaForTest();
+  EXPECT_EQ(kernels::ActiveIsa(), Isa::kScalar);
+
+  // ...but the new variable wins when both are set.
+  setenv("NUMDIST_FORCE_ISA", "avx2", 1);
+  kernels::ResetIsaForTest();
+  EXPECT_EQ(kernels::ActiveIsa(),
+            HasTwoPaths() ? Isa::kAvx2 : Isa::kScalar);
+
+  // Unknown values are ignored (native resolution).
+  setenv("NUMDIST_FORCE_ISA", "sse9", 1);
+  unsetenv("NUMDIST_FORCE_SCALAR");
+  kernels::ResetIsaForTest();
+  const Isa native = kernels::ActiveIsa();
+  EXPECT_EQ(native, kernels::Avx512Available()
+                        ? Isa::kAvx512
+                        : (HasTwoPaths() ? Isa::kAvx2 : Isa::kScalar));
+
+  if (had_isa) {
+    setenv("NUMDIST_FORCE_ISA", saved_isa.c_str(), 1);
+  } else {
+    unsetenv("NUMDIST_FORCE_ISA");
+  }
+  if (had_scalar) {
+    setenv("NUMDIST_FORCE_SCALAR", saved_scalar.c_str(), 1);
+  } else {
+    unsetenv("NUMDIST_FORCE_SCALAR");
+  }
+  kernels::ResetIsaForTest();
 }
 
 }  // namespace

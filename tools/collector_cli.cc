@@ -54,12 +54,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_common.h"
 #include "common/bytes.h"
+#include "eval/streaming.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "serve/collector.h"
@@ -85,6 +88,14 @@ struct CliFlags {
   uint64_t expect_frames = 0;
   int read_timeout_ms = 0;
   bool csv = false;
+  // Live estimation (listen mode only; eval/incremental.h). A cadence of 0
+  // on both knobs leaves estimation off entirely.
+  uint64_t estimate_every_frames = 0;  // tick after N newly absorbed frames
+  int64_t estimate_every_ms = 0;       // ...and/or every T milliseconds
+  std::string estimate_mode = "warm";  // warm | minibatch
+  double estimate_half_life = 0.0;     // minibatch forgetting (reports)
+  size_t estimate_max_iterations = 0;  // per-tick EM budget (0 = default)
+  std::string estimate_out;            // snapshot-frame stream per tick
 };
 
 void Usage() {
@@ -97,6 +108,11 @@ void Usage() {
           "       collector_cli ... --merge=a.sketch,b.sketch[,...] [--csv]\n"
           "       collector_cli ... --merge --listen=tcp:PORT\n"
           "                     --expect-frames=N [--csv]\n"
+          "live estimation (listen mode, sw-ems/sw-em only):\n"
+          "       --estimate-every-frames=N and/or --estimate-every-ms=T\n"
+          "       [--estimate-mode=warm|minibatch]\n"
+          "       [--estimate-half-life=R] [--estimate-max-iterations=K]\n"
+          "       [--estimate-out=FILE]   (snapshot frame per tick)\n"
           "methods: sw-ems sw-em cfo-<bins> cfo-grr-<bins> cfo-olh-<bins>\n"
           "         cfo-oue-<bins> hh hh-admm haar-hrr\n");
 }
@@ -126,6 +142,18 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->expect_frames = static_cast<uint64_t>(atoll(v));
     } else if (const char* v = FlagValue(arg, "--read-timeout-ms=")) {
       flags->read_timeout_ms = atoi(v);
+    } else if (const char* v = FlagValue(arg, "--estimate-every-frames=")) {
+      flags->estimate_every_frames = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--estimate-every-ms=")) {
+      flags->estimate_every_ms = atoll(v);
+    } else if (const char* v = FlagValue(arg, "--estimate-mode=")) {
+      flags->estimate_mode = v;
+    } else if (const char* v = FlagValue(arg, "--estimate-half-life=")) {
+      flags->estimate_half_life = atof(v);
+    } else if (const char* v = FlagValue(arg, "--estimate-max-iterations=")) {
+      flags->estimate_max_iterations = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--estimate-out=")) {
+      flags->estimate_out = v;
     } else if (arg == "--csv") {
       flags->csv = true;
     } else {
@@ -135,6 +163,33 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
   }
   if (flags->merge_listen && flags->listen.empty()) {
     fprintf(stderr, "bare --merge needs --listen (or use --merge=FILES)\n");
+    return false;
+  }
+  const bool estimating =
+      flags->estimate_every_frames > 0 || flags->estimate_every_ms > 0;
+  if (estimating && (flags->listen.empty() || flags->merge_listen)) {
+    fprintf(stderr, "live estimation needs collector --listen mode\n");
+    return false;
+  }
+  if (!estimating &&
+      (!flags->estimate_out.empty() || flags->estimate_half_life > 0.0 ||
+       flags->estimate_max_iterations > 0 || flags->estimate_mode != "warm")) {
+    fprintf(stderr,
+            "estimate flags need a cadence (--estimate-every-frames "
+            "and/or --estimate-every-ms)\n");
+    return false;
+  }
+  if (flags->estimate_mode != "warm" && flags->estimate_mode != "minibatch") {
+    fprintf(stderr, "--estimate-mode must be 'warm' or 'minibatch'\n");
+    return false;
+  }
+  if (flags->estimate_mode == "minibatch" &&
+      !(flags->estimate_half_life > 0.0)) {
+    fprintf(stderr, "--estimate-mode=minibatch needs --estimate-half-life\n");
+    return false;
+  }
+  if (flags->estimate_mode == "warm" && flags->estimate_half_life > 0.0) {
+    fprintf(stderr, "--estimate-half-life needs --estimate-mode=minibatch\n");
     return false;
   }
   return true;
@@ -272,6 +327,55 @@ Status EmitSketch(const CliFlags& flags, const std::string& sketch) {
   return Status::OK();
 }
 
+// Shared between RunServer and the estimate sink closure: the sink is
+// handed to CollectorServer::Make before the server (and therefore its
+// estimator) exists, so the snapshot-frame scratch aggregator is attached
+// right after Make succeeds.
+struct EstimateSinkState {
+  std::ofstream out;     // open iff --estimate-out was given
+  bool out_failed = false;
+  double epsilon = 0.0;
+  // Reused per tick: Reset + MergeCounts(tick.totals) rebuilds the live
+  // counts so EncodeSnapshotFrame emits exactly the state the estimate
+  // was computed from.
+  std::optional<StreamingAggregator> scratch;
+};
+
+// Per-tick stderr progress line plus (optionally) one wire snapshot frame
+// appended to --estimate-out. A write failure disables the file stream but
+// never the server: live estimation is observability, not the aggregate.
+void HandleEstimateTick(EstimateSinkState* est, const net::EstimateTick& tick) {
+  fprintf(stderr,
+          "estimate tick %llu: reports=%llu frames=%llu iterations=%zu "
+          "(%zu total over %zu run(s)) log-likelihood=%.6f\n",
+          static_cast<unsigned long long>(tick.tick),
+          static_cast<unsigned long long>(tick.reports),
+          static_cast<unsigned long long>(tick.frames), tick.em.iterations,
+          tick.checkpoint.total_iterations, tick.checkpoint.runs,
+          tick.em.log_likelihood);
+  if (!est->out.is_open() || est->out_failed || !est->scratch.has_value()) {
+    return;
+  }
+  est->scratch->Reset();
+  Status st = est->scratch->MergeCounts(tick.totals, tick.reports);
+  std::string payload;
+  if (st.ok()) {
+    st = wire::EncodeSnapshotFrame(est->epsilon, *est->scratch, &payload);
+  }
+  if (st.ok()) {
+    st = serve::WriteFrame(est->out, payload);
+    est->out.flush();
+    if (st.ok() && !est->out) {
+      st = Status::Internal("collector: estimate frame write failed");
+    }
+  }
+  if (!st.ok()) {
+    fprintf(stderr, "warning: --estimate-out disabled: %s\n",
+            st.message().c_str());
+    est->out_failed = true;
+  }
+}
+
 net::CollectorServer* g_server = nullptr;
 
 void OnDrainSignal(int) {
@@ -283,9 +387,36 @@ void OnDrainSignal(int) {
 int RunServer(const CliFlags& flags, const wire::MethodSpec& spec) {
   net::ServerOptions options;
   options.expect_frames = flags.expect_frames;
+  options.estimate_every_frames = flags.estimate_every_frames;
+  options.estimate_every_ms = flags.estimate_every_ms;
+  if (flags.estimate_mode == "minibatch") {
+    options.estimate_half_life = flags.estimate_half_life;
+  }
+  options.estimate_max_iterations = flags.estimate_max_iterations;
+  auto est = std::make_shared<EstimateSinkState>();
+  const bool estimating =
+      flags.estimate_every_frames > 0 || flags.estimate_every_ms > 0;
+  if (estimating) {
+    if (!flags.estimate_out.empty()) {
+      est->out.open(flags.estimate_out, std::ios::binary);
+      if (!est->out) {
+        fprintf(stderr, "error: cannot open '%s'\n",
+                flags.estimate_out.c_str());
+        return 1;
+      }
+    }
+    est->epsilon = flags.epsilon;
+    options.estimate_sink = [est](const net::EstimateTick& tick) {
+      HandleEstimateTick(est.get(), tick);
+    };
+  }
   Result<std::unique_ptr<net::CollectorServer>> server =
       net::CollectorServer::Make(spec, options);
   if (!server.ok()) return Fail(server.status());
+  if (estimating) {
+    est->scratch.emplace(
+        StreamingAggregator::ForEstimator(server.value()->live_estimator()));
+  }
 
   Result<net::Endpoint> listen_at = net::ParseEndpoint(flags.listen);
   if (!listen_at.ok()) return Fail(listen_at.status());
@@ -327,6 +458,11 @@ int RunServer(const CliFlags& flags, const wire::MethodSpec& spec) {
             "warning: %llu connection(s) dropped on error; first: %s\n",
             static_cast<unsigned long long>(stats.connection_errors),
             stats.first_error.message().c_str());
+  }
+  if (estimating) {
+    fprintf(stderr, "live estimation: %llu tick(s) (%s mode)\n",
+            static_cast<unsigned long long>(stats.estimate_ticks),
+            flags.estimate_mode.c_str());
   }
 
   if (flags.merge_listen) {

@@ -35,16 +35,23 @@ struct CliFlags {
   bool has_seed = false;
   uint64_t seed = 0;
   size_t threads = 0;
+  std::string incremental;  // "" = keep the scenario's own setting
+  double half_life = 0.0;
 };
 
 void Usage() {
   fprintf(stderr,
           "usage: scenario_cli --scenario=NAME|FILE [--seed=S] [--threads=W]\n"
           "                    [--csv] [--dump] [--wire] [--validate]\n"
+          "                    [--incremental=off|warm|minibatch]\n"
+          "                    [--half-life=R]\n"
           "       scenario_cli --list\n"
           "built-in scenarios: drift, ramp, eps-schedule\n"
           "--wire routes checkpoint merges through the wire codec\n"
           "  (bit-identical results; exercises the distributed path)\n"
+          "--incremental runs a warm-started / mini-batch reconstruction\n"
+          "  next to every checkpoint (extra inc_* output columns);\n"
+          "  minibatch forgets old reports with --half-life=R reports\n"
           "--validate parses and validates the scenario, then exits\n");
 }
 
@@ -68,6 +75,10 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->seed = static_cast<uint64_t>(atoll(v));
     } else if (const char* v = FlagValue(arg, "--threads=")) {
       flags->threads = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--incremental=")) {
+      flags->incremental = v;
+    } else if (const char* v = FlagValue(arg, "--half-life=")) {
+      flags->half_life = atof(v);
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -108,6 +119,25 @@ int main(int argc, char** argv) {
   if (flags.has_seed) config->seed = flags.seed;
   config->threads = flags.threads;
   if (flags.wire) config->wire_checkpoints = true;
+  if (!flags.incremental.empty()) {
+    if (flags.incremental == "off") {
+      config->incremental = IncrementalMode::kOff;
+      config->half_life = 0.0;
+    } else if (flags.incremental == "warm") {
+      config->incremental = IncrementalMode::kWarm;
+    } else if (flags.incremental == "minibatch") {
+      config->incremental = IncrementalMode::kMiniBatch;
+    } else {
+      fprintf(stderr, "--incremental must be off, warm, or minibatch\n");
+      return 2;
+    }
+  }
+  if (flags.half_life > 0.0) config->half_life = flags.half_life;
+  const Status valid = ValidateScenario(config.value());
+  if (!valid.ok()) {
+    fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 1;
+  }
 
   if (flags.validate) {
     // LoadScenarioFile/BuiltinScenario already ran ValidateScenario; report
@@ -125,31 +155,51 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The inc_* columns appear only when incremental mode is on, so default
+  // outputs stay byte-identical to previous releases (CI diffs them).
+  const bool inc = config->incremental != IncrementalMode::kOff;
   if (flags.csv) {
     printf(
         "phase,checkpoint,epsilon,group_reports,total_reports,"
-        "wasserstein,ks,em_iterations,em_converged\n");
+        "wasserstein,ks,em_iterations,em_converged%s\n",
+        inc ? ",inc_wasserstein,inc_ks,inc_iterations,inc_total_iterations"
+            : "");
   } else {
     printf("scenario=%s seed=%llu d=%zu shards=%zu phases=%zu\n",
            config->name.c_str(),
            static_cast<unsigned long long>(config->seed), config->d,
            config->shards, config->phases.size());
-    printf("%-12s %4s %7s %10s %10s %12s %12s %6s %s\n", "phase", "ckpt",
+    printf("%-12s %4s %7s %10s %10s %12s %12s %6s %s", "phase", "ckpt",
            "eps", "group_n", "total_n", "wasserstein", "ks", "iters", "conv");
+    if (inc) {
+      printf(" %12s %12s %9s %9s", "inc_wass", "inc_ks", "inc_iters",
+             "inc_total");
+    }
+    printf("\n");
   }
   for (const ScenarioCheckpoint& c : result->checkpoints) {
     if (flags.csv) {
-      printf("%s,%zu,%.17g,%llu,%llu,%.17g,%.17g,%zu,%d\n", c.phase.c_str(),
+      printf("%s,%zu,%.17g,%llu,%llu,%.17g,%.17g,%zu,%d", c.phase.c_str(),
              c.checkpoint_index, c.epsilon,
              static_cast<unsigned long long>(c.group_reports),
              static_cast<unsigned long long>(c.total_reports), c.wasserstein,
              c.ks, c.em_iterations, c.em_converged ? 1 : 0);
+      if (inc) {
+        printf(",%.17g,%.17g,%zu,%zu", c.inc_wasserstein, c.inc_ks,
+               c.inc_em_iterations, c.inc_total_iterations);
+      }
+      printf("\n");
     } else {
-      printf("%-12s %4zu %7.3f %10llu %10llu %12.6f %12.6f %6zu %s\n",
+      printf("%-12s %4zu %7.3f %10llu %10llu %12.6f %12.6f %6zu %s",
              c.phase.c_str(), c.checkpoint_index, c.epsilon,
              static_cast<unsigned long long>(c.group_reports),
              static_cast<unsigned long long>(c.total_reports), c.wasserstein,
              c.ks, c.em_iterations, c.em_converged ? "yes" : "no");
+      if (inc) {
+        printf(" %12.6f %12.6f %9zu %9zu", c.inc_wasserstein, c.inc_ks,
+               c.inc_em_iterations, c.inc_total_iterations);
+      }
+      printf("\n");
     }
   }
   if (flags.dump && !result->checkpoints.empty()) {
