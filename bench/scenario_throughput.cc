@@ -3,6 +3,13 @@
 // the built-in drift scenario across shard counts and thread budgets.
 //
 //   scenario_throughput [--reports=N] [--threads=W] [--incremental]
+//                       [--attack] [--json=FILE]
+//
+// --attack appends the adversarial table: RunFoAttack (scenario/attack.h)
+// across the GRR/OLH/OUE channels with a 5% output-poisoning cohort,
+// reporting end-to-end poisoned-collection throughput plus the measured
+// attack gain and the consistency defense's verdict. --json writes every
+// ATK_ series in google-benchmark shape for tools/compare_bench.py.
 //
 // --incremental appends the drift-tracking table: the drift scenario rerun
 // with mini-batch EM (scenario/scenario.h IncrementalMode::kMiniBatch)
@@ -16,7 +23,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "scenario/attack.h"
 #include "scenario/scenario.h"
 
 using namespace numdist;
@@ -25,6 +34,8 @@ int main(int argc, char** argv) {
   size_t reports = 200000;
   size_t threads = 0;
   bool incremental = false;
+  bool attack = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--reports=", 0) == 0) {
@@ -33,10 +44,14 @@ int main(int argc, char** argv) {
       threads = static_cast<size_t>(atoll(arg.c_str() + 10));
     } else if (arg == "--incremental") {
       incremental = true;
+    } else if (arg == "--attack") {
+      attack = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     } else {
       fprintf(stderr,
               "usage: scenario_throughput [--reports=N] [--threads=W]"
-              " [--incremental]\n");
+              " [--incremental] [--attack] [--json=FILE]\n");
       return 2;
     }
   }
@@ -60,6 +75,102 @@ int main(int argc, char** argv) {
     printf("%-8zu %10llu %12.1f %14.0f\n", shards,
            static_cast<unsigned long long>(result.total_reports), ms,
            1000.0 * static_cast<double>(result.total_reports) / ms);
+  }
+
+  struct AtkRow {
+    std::string name;
+    uint64_t n = 0;
+    double seconds = 0.0;
+    double gain = 0.0;
+  };
+  std::vector<AtkRow> atk_rows;
+  if (attack) {
+    // Poisoned collection end to end: perturb + craft + shard merge +
+    // debias + norm-sub + consistency scan. The gain/def columns make the
+    // bench double as a standing record of attack effectiveness.
+    printf("\nadversarial collection, 5%% output poisoning, d=64:\n");
+    printf("%-10s %10s %12s %14s %10s %9s\n", "channel", "reports",
+           "wall_ms", "reports_per_s", "atk_gain", "def_flag");
+    for (const FoChannel channel :
+         {FoChannel::kGrr, FoChannel::kOlh, FoChannel::kOue}) {
+      FoAttackConfig config;
+      config.channel = channel;
+      config.attack.kind = AttackKind::kOutputPoison;
+      config.attack.fraction = 0.05;
+      config.attack.target = 32;
+      config.domain = 64;
+      config.epsilon = 1.0;
+      config.n = reports;
+      config.shards = 4;
+      config.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const FoAttackResult result = RunFoAttack(config).ValueOrDie();
+      const auto end = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(end - start).count();
+      AtkRow row;
+      row.name = std::string("ATK_poison_") +
+                 std::string(FoChannelName(channel));
+      row.n = config.n;
+      row.seconds = seconds;
+      row.gain = result.target_gain;
+      atk_rows.push_back(row);
+      printf("%-10s %10llu %12.1f %14.0f %10.4f %9s\n",
+             std::string(FoChannelName(channel)).c_str(),
+             static_cast<unsigned long long>(config.n), seconds * 1000.0,
+             static_cast<double>(config.n) / seconds, result.target_gain,
+             result.defense.flagged ? "yes" : "no");
+    }
+    // The scenario engine's SW attack path (the poison builtin), scaled to
+    // the requested volume.
+    {
+      ScenarioConfig config = BuiltinScenario("poison").ValueOrDie();
+      config.threads = threads;
+      config.phases[0].reports = reports / 2;
+      config.phases[1].reports = reports - config.phases[0].reports;
+      const auto start = std::chrono::steady_clock::now();
+      const ScenarioResult result = RunScenario(config).ValueOrDie();
+      const auto end = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(end - start).count();
+      AtkRow row;
+      row.name = "ATK_scenario_poison";
+      row.n = result.total_reports;
+      row.seconds = seconds;
+      row.gain = result.checkpoints.back().atk_gain;
+      atk_rows.push_back(row);
+      printf("%-10s %10llu %12.1f %14.0f %10.4f %9s\n", "sw-poison",
+             static_cast<unsigned long long>(row.n), seconds * 1000.0,
+             static_cast<double>(row.n) / seconds, row.gain,
+             result.checkpoints.back().def_flagged ? "yes" : "no");
+    }
+  }
+
+  if (!json_path.empty()) {
+    // google-benchmark JSON shape, so tools/compare_bench.py can diff this
+    // file against artifacts and the committed fallback baseline.
+    FILE* out = fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    fprintf(out, "{\n \"context\": {\"executable\": \"scenario_throughput\"},"
+                 "\n \"benchmarks\": [\n");
+    for (size_t i = 0; i < atk_rows.size(); ++i) {
+      const AtkRow& r = atk_rows[i];
+      const double ns_per_report =
+          r.seconds * 1e9 / static_cast<double>(r.n);
+      fprintf(out,
+              "%s  {\"name\": \"%s\", \"run_name\": \"%s\", "
+              "\"run_type\": \"iteration\", \"iterations\": 1, "
+              "\"real_time\": %.3f, \"cpu_time\": %.3f, "
+              "\"time_unit\": \"ns\", \"items_per_second\": %.3f}",
+              i == 0 ? "" : ",\n", r.name.c_str(), r.name.c_str(),
+              ns_per_report, ns_per_report,
+              static_cast<double>(r.n) / r.seconds);
+    }
+    fprintf(out, "\n ]\n}\n");
+    fclose(out);
   }
 
   if (incremental) {

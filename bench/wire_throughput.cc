@@ -13,6 +13,14 @@
 // nothing fails — shared-runner noise must not gate merges).
 //
 //   wire_throughput [--n=N] [--d=D] [--methods=a,b,...] [--shard-size=K]
+//                   [--fuzz] [--json=FILE]
+//
+// --fuzz appends the hostile-input table: seeded ByteMutator corruption
+// (common/mutator.h, the same mutants tests/fuzz_wire_test.cc drives)
+// pushed through the strict report/sketch decoders, measured in mutants/s
+// — the rejection path is hot on any internet-facing collector, so its
+// throughput is tracked like the happy path's. --json writes the FUZZ_
+// series in google-benchmark shape for tools/compare_bench.py.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutator.h"
 #include "data/datasets.h"
 #include "protocol/sharded.h"
 #include "wire/wire.h"
@@ -41,6 +50,8 @@ int main(int argc, char** argv) {
   size_t n = 200000;
   uint32_t d = 1024;
   size_t shard_size = 8192;
+  bool fuzz = false;
+  std::string json_path;
   std::string methods = "sw-ems,cfo-olh-1024,cfo-grr-16,hh";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,10 +63,15 @@ int main(int argc, char** argv) {
       shard_size = static_cast<size_t>(atoll(arg.c_str() + 13));
     } else if (arg.rfind("--methods=", 0) == 0) {
       methods = arg.substr(10);
+    } else if (arg == "--fuzz") {
+      fuzz = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     } else {
       fprintf(stderr,
               "usage: wire_throughput [--n=N] [--d=D] [--methods=a,b,...]\n"
-              "                       [--shard-size=K]\n");
+              "                       [--shard-size=K] [--fuzz]"
+              " [--json=FILE]\n");
       return 2;
     }
   }
@@ -187,6 +203,100 @@ int main(int argc, char** argv) {
   if (!acceptance_measured) {
     printf("# NOTE: acceptance configuration cfo-olh-1024 at --d=1024 was "
            "not part of this run; the 1M reports/s radar did not fire\n");
+  }
+
+  struct FuzzRow {
+    std::string name;
+    size_t mutants = 0;
+    double seconds = 0.0;
+    size_t rejected = 0;
+  };
+  std::vector<FuzzRow> fuzz_rows;
+  if (fuzz) {
+    // Hostile-input rejection throughput: a representative report and
+    // sketch frame (OLH, the wire acceptance method), corrupted by the
+    // seeded structured mutator and pushed through the strict decoders.
+    const size_t mutants = std::max<size_t>(n / 4, 10000);
+    printf("\nhostile-input decode, seeded ByteMutator corruption:\n");
+    printf("%-14s %10s %12s %14s %10s\n", "surface", "mutants", "wall_ms",
+           "mutants_per_s", "rejected");
+    const auto spec = wire::ParseMethodSpec("cfo-olh-16", 1.0, 64)
+                          .ValueOrDie();
+    const auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+    Rng rng(ShardSeed(17, 0));
+    auto chunk =
+        protocol
+            ->EncodePerturbBatch(
+                std::span<const double>(values).subspan(
+                    0, std::min<size_t>(values.size(), 4096)),
+                rng)
+            .ValueOrDie();
+    std::string report_frame;
+    wire::EncodeReportFrame(spec, *protocol, *chunk, &report_frame);
+    auto acc = protocol->MakeAccumulator();
+    (void)acc->Absorb(*chunk);
+    std::string sketch_frame;
+    wire::EncodeSketchFrame(spec, *acc, &sketch_frame);
+
+    struct Surface {
+      std::string name;
+      const std::string* base;
+    };
+    const Surface surfaces[] = {{"FUZZ_report", &report_frame},
+                                {"FUZZ_sketch", &sketch_frame}};
+    for (const Surface& surface : surfaces) {
+      ByteMutator mutator(0x9E3779B97F4A7C15ULL);
+      FuzzRow row;
+      row.name = surface.name;
+      row.mutants = mutants;
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < mutants; ++i) {
+        const std::string mutant = mutator.Mutate(*surface.base);
+        const bool ok =
+            surface.base == &report_frame
+                ? wire::DecodeReportFrame(spec, *protocol,
+                                          wire::FrameBytes(mutant))
+                      .ok()
+                : wire::DecodeSketchFrame(spec, *protocol,
+                                          wire::FrameBytes(mutant))
+                      .ok();
+        if (!ok) ++row.rejected;
+      }
+      row.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      fuzz_rows.push_back(row);
+      printf("%-14s %10zu %12.1f %14.0f %10zu\n", row.name.c_str(),
+             row.mutants, row.seconds * 1000.0,
+             static_cast<double>(row.mutants) / row.seconds, row.rejected);
+    }
+  }
+
+  if (!json_path.empty()) {
+    // google-benchmark JSON shape, so tools/compare_bench.py can diff this
+    // file against artifacts and the committed fallback baseline.
+    FILE* out = fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    fprintf(out, "{\n \"context\": {\"executable\": \"wire_throughput\"},\n"
+                 " \"benchmarks\": [\n");
+    for (size_t i = 0; i < fuzz_rows.size(); ++i) {
+      const FuzzRow& r = fuzz_rows[i];
+      const double ns_per_mutant =
+          r.seconds * 1e9 / static_cast<double>(r.mutants);
+      fprintf(out,
+              "%s  {\"name\": \"%s\", \"run_name\": \"%s\", "
+              "\"run_type\": \"iteration\", \"iterations\": 1, "
+              "\"real_time\": %.3f, \"cpu_time\": %.3f, "
+              "\"time_unit\": \"ns\", \"items_per_second\": %.3f}",
+              i == 0 ? "" : ",\n", r.name.c_str(), r.name.c_str(),
+              ns_per_mutant, ns_per_mutant,
+              static_cast<double>(r.mutants) / r.seconds);
+    }
+    fprintf(out, "\n ]\n}\n");
+    fclose(out);
   }
   return 0;
 }

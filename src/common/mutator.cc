@@ -1,0 +1,117 @@
+#include "common/mutator.h"
+
+#include <cstring>
+
+namespace numdist {
+namespace {
+
+// Hostile u32 candidates for kLengthLie: decoder decision boundaries beat
+// uniform noise at reaching the bounds checks. The real-length variants are
+// patched in at mutation time.
+constexpr uint32_t kHostileU32[] = {
+    0u,          1u,           0x7FFFFFFFu, 0x80000000u,
+    0xFFFFFFFFu, 64u << 20,    (64u << 20) + 1,  // kMaxFrameBytes edge
+};
+
+}  // namespace
+
+std::string_view MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kBitFlip: return "bit-flip";
+    case MutationKind::kByteSet: return "byte-set";
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kExtend: return "extend";
+    case MutationKind::kSplice: return "splice";
+    case MutationKind::kLengthLie: return "length-lie";
+    case MutationKind::kEnumSkew: return "enum-skew";
+    case MutationKind::kMutationKindCount: break;
+  }
+  return "unknown";
+}
+
+std::string ByteMutator::Mutate(std::string_view input) {
+  const auto kind = static_cast<MutationKind>(rng_.UniformInt(
+      static_cast<uint64_t>(MutationKind::kMutationKindCount)));
+  return MutateWith(kind, input);
+}
+
+std::string ByteMutator::MutateWith(MutationKind kind,
+                                    std::string_view input) {
+  last_kind_ = kind;
+  std::string out(input);
+  const size_t n = out.size();
+  switch (kind) {
+    case MutationKind::kBitFlip: {
+      if (n == 0) break;
+      const size_t flips = 1 + rng_.UniformInt(8);
+      for (size_t i = 0; i < flips; ++i) {
+        const size_t bit = rng_.UniformInt(8 * n);
+        out[bit / 8] = static_cast<char>(
+            static_cast<uint8_t>(out[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      break;
+    }
+    case MutationKind::kByteSet: {
+      if (n == 0) break;
+      const size_t stomps = 1 + rng_.UniformInt(4);
+      for (size_t i = 0; i < stomps; ++i) {
+        out[rng_.UniformInt(n)] =
+            static_cast<char>(rng_.UniformInt(256));
+      }
+      break;
+    }
+    case MutationKind::kTruncate: {
+      if (n == 0) break;
+      out.resize(rng_.UniformInt(n));  // always drops >= 1 byte
+      break;
+    }
+    case MutationKind::kExtend: {
+      const size_t extra = 1 + rng_.UniformInt(16);
+      for (size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<char>(rng_.UniformInt(256)));
+      }
+      break;
+    }
+    case MutationKind::kSplice: {
+      if (n < 2) break;
+      const size_t dst = rng_.UniformInt(n);
+      const size_t src = rng_.UniformInt(n);
+      const size_t len = 1 + rng_.UniformInt(n - (dst > src ? dst : src));
+      // memmove semantics: ranges may overlap.
+      std::memmove(&out[dst], input.data() + src, len);
+      break;
+    }
+    case MutationKind::kLengthLie: {
+      if (n < 4) break;
+      const size_t at = rng_.UniformInt(n - 3);
+      uint32_t lie;
+      const uint64_t pick = rng_.UniformInt(
+          sizeof(kHostileU32) / sizeof(kHostileU32[0]) + 2);
+      if (pick < sizeof(kHostileU32) / sizeof(kHostileU32[0])) {
+        lie = kHostileU32[pick];
+      } else if (pick == sizeof(kHostileU32) / sizeof(kHostileU32[0])) {
+        lie = static_cast<uint32_t>(n) + 1;  // claims one byte too many
+      } else {
+        lie = static_cast<uint32_t>(n) - 1;  // claims one byte too few
+      }
+      for (int b = 0; b < 4; ++b) {
+        out[at + b] = static_cast<char>((lie >> (8 * b)) & 0xFF);
+      }
+      break;
+    }
+    case MutationKind::kEnumSkew: {
+      if (n == 0) break;
+      // The preamble + method block live in the first ~25 bytes; stomping
+      // there skews magic/version/frame-type/method-id/flags.
+      const size_t limit = n < 32 ? n : 32;
+      out[rng_.UniformInt(limit)] =
+          static_cast<char>(rng_.UniformInt(256));
+      break;
+    }
+    case MutationKind::kMutationKindCount:
+      break;
+  }
+  return out;
+}
+
+}  // namespace numdist

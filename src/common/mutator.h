@@ -1,0 +1,65 @@
+// Seeded structured byte mutator for the wire-format fuzz harness.
+//
+// Takes a valid frame and applies one randomly chosen corruption from a
+// fixed menu (bit flips, byte stomps, truncation, extension, splice,
+// 4-byte length-field lies, low-offset enum skew). Every mutation is a
+// pure function of the Rng stream, so a (seed, iteration) pair names one
+// mutant exactly — CI failures replay locally, and the fuzz sweep in
+// tests/fuzz_wire_test.cc is as deterministic as the unit tests around it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace numdist {
+
+/// The corruption menu. Kept small and structural on purpose: random byte
+/// noise alone rarely reaches the interesting decoder branches (length
+/// bounds, enum dispatch, trailing-byte checks), so half the menu aims at
+/// exactly those.
+enum class MutationKind {
+  kBitFlip = 0,      // flip 1..8 random bits anywhere
+  kByteSet,          // stomp 1..4 random bytes with random values
+  kTruncate,         // drop a random-length tail (possibly to empty)
+  kExtend,           // append 1..16 random trailing bytes
+  kSplice,           // overwrite a range with bytes from another offset
+  kLengthLie,        // rewrite a random aligned u32 LE with a hostile value
+  kEnumSkew,         // stomp one byte in the first 32 (preamble/method block)
+  kMutationKindCount
+};
+
+/// Human-readable name for diagnostics ("bit-flip", "length-lie", ...).
+std::string_view MutationKindName(MutationKind kind);
+
+/// \brief Applies one seeded corruption per call.
+///
+/// The mutator owns no buffers; `Mutate` copies the pristine input and
+/// corrupts the copy, so callers can reuse one canonical frame for the
+/// whole sweep. Hostile u32 values favor the decoder's decision boundaries
+/// (0, huge, off-by-one around the real length) over uniform noise.
+class ByteMutator {
+ public:
+  explicit ByteMutator(uint64_t seed) : rng_(seed) {}
+
+  /// Returns a corrupted copy of `input`. `input` may be empty (only
+  /// kExtend then changes anything; the rest degenerate to a no-op copy,
+  /// which is still a legal fuzz case: the empty frame).
+  std::string Mutate(std::string_view input);
+
+  /// Like Mutate but forces a specific corruption kind (used by tests that
+  /// want guaranteed coverage of every menu entry).
+  std::string MutateWith(MutationKind kind, std::string_view input);
+
+  /// Kind chosen by the most recent Mutate call (for failure messages).
+  MutationKind last_kind() const { return last_kind_; }
+
+ private:
+  Rng rng_;
+  MutationKind last_kind_ = MutationKind::kBitFlip;
+};
+
+}  // namespace numdist

@@ -174,6 +174,12 @@ Result<std::vector<double>> SwEstimator::EstimateDistribution(
   if (values.empty()) {
     return Status::InvalidArgument("SwEstimator: no input values");
   }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "SwEstimator: input values must be finite");
+    }
+  }
   std::vector<double> reports;
   reports.reserve(values.size());
   for (double v : values) reports.push_back(PerturbOne(v, rng));

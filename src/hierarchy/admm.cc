@@ -39,6 +39,11 @@ Result<AdmmResult> HhAdmm(const HierarchyTree& tree,
   if (options.max_iterations == 0) {
     return Status::InvalidArgument("HhAdmm: max_iterations must be > 0");
   }
+  for (double v : noisy_nodes) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("HhAdmm: noisy nodes must be finite");
+    }
+  }
   const size_t n = noisy_nodes.size();
   const std::vector<double>& xt = noisy_nodes;  // x~ in the paper
 

@@ -37,6 +37,12 @@ Result<double> EstimateMean(const std::vector<double>& values,
   if (values.empty()) {
     return Status::InvalidArgument("EstimateMean: no input values");
   }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "EstimateMean: input values must be finite");
+    }
+  }
   std::vector<double> mapped;
   mapped.reserve(values.size());
   for (double v : values) {
@@ -53,6 +59,12 @@ Result<MomentsEstimate> EstimateMoments(const std::vector<double>& values,
                                         double epsilon, Rng& rng) {
   if (values.size() < 2) {
     return Status::InvalidArgument("EstimateMoments: need >= 2 users");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "EstimateMoments: input values must be finite");
+    }
   }
   // Random 50/50 split (sampling without replacement via index shuffle).
   std::vector<size_t> order(values.size());

@@ -1,0 +1,124 @@
+#include "postprocess/defense.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace numdist {
+namespace {
+
+// Leave-one-out spike scan over a fractional vector. For each bucket the
+// mean/stddev exclude the bucket itself, so a single huge spike cannot
+// inflate the baseline it is measured against (with d in the hundreds, a
+// spike folded into its own stddev suppresses its z-score severely).
+void SpikeScan(const std::vector<double>& x, DefenseReport& report) {
+  const size_t d = x.size();
+  if (d < 3) return;  // no meaningful neighborhood
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double m = static_cast<double>(d - 1);
+  for (size_t i = 0; i < d; ++i) {
+    const double mean = (sum - x[i]) / m;
+    double var = (sum_sq - x[i] * x[i]) / m - mean * mean;
+    if (var < 0.0) var = 0.0;
+    // Floor the stddev so a near-uniform tail (tiny variance) does not
+    // produce astronomically large z for mild bumps: the floor is the
+    // sampling noise of a frequency estimate at this granularity.
+    const double sd = std::sqrt(var) + 1e-4;
+    const double z = (x[i] - mean) / sd;
+    if (z > report.max_spike_z) {
+      report.max_spike_z = z;
+      report.spike_bucket = i;
+    }
+  }
+}
+
+void ApplyThresholds(const DefenseOptions& options, DefenseReport& report) {
+  report.sum_flag = std::fabs(report.sum_deviation) > options.sum_tolerance;
+  report.spike_flag = report.max_spike_z > options.spike_z_threshold;
+  report.flagged = report.sum_flag || report.spike_flag;
+}
+
+}  // namespace
+
+Status ValidateDefenseOptions(const DefenseOptions& options) {
+  if (!(options.sum_tolerance > 0.0) || !std::isfinite(options.sum_tolerance)) {
+    return Status::InvalidArgument("sum_tolerance must be positive and finite");
+  }
+  if (!(options.spike_z_threshold > 0.0) ||
+      !std::isfinite(options.spike_z_threshold)) {
+    return Status::InvalidArgument(
+        "spike_z_threshold must be positive and finite");
+  }
+  return Status::OK();
+}
+
+Result<DefenseReport> AnalyzeFrequencies(const std::vector<double>& estimate,
+                                         const DefenseOptions& options) {
+  NUMDIST_RETURN_NOT_OK(ValidateDefenseOptions(options));
+  if (estimate.empty()) {
+    return Status::InvalidArgument("AnalyzeFrequencies: empty estimate");
+  }
+  DefenseReport report;
+  double sum = 0.0;
+  for (size_t i = 0; i < estimate.size(); ++i) {
+    const double v = estimate[i];
+    if (!std::isfinite(v)) {
+      char msg[96];
+      std::snprintf(msg, sizeof(msg),
+                    "AnalyzeFrequencies: non-finite estimate at bucket %zu",
+                    i);
+      return Status::InvalidArgument(msg);
+    }
+    sum += v;
+    if (v < 0.0) report.negative_mass -= v;
+  }
+  report.sum_deviation = sum - 1.0;
+  SpikeScan(estimate, report);
+  ApplyThresholds(options, report);
+  return report;
+}
+
+Result<DefenseReport> AnalyzeCounts(const std::vector<uint64_t>& counts,
+                                    const DefenseOptions& options) {
+  std::vector<int64_t> signed_counts(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    signed_counts[i] = static_cast<int64_t>(counts[i]);
+  }
+  return AnalyzeCounts(signed_counts, options);
+}
+
+Result<DefenseReport> AnalyzeCounts(const std::vector<int64_t>& counts,
+                                    const DefenseOptions& options) {
+  NUMDIST_RETURN_NOT_OK(ValidateDefenseOptions(options));
+  if (counts.empty()) {
+    return Status::InvalidArgument("AnalyzeCounts: empty counts");
+  }
+  int64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] < 0) {
+      char msg[80];
+      std::snprintf(msg, sizeof(msg),
+                    "AnalyzeCounts: negative count at bucket %zu", i);
+      return Status::InvalidArgument(msg);
+    }
+    total += counts[i];
+  }
+  if (total == 0) {
+    return Status::InvalidArgument("AnalyzeCounts: all counts are zero");
+  }
+  std::vector<double> fractions(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    fractions[i] =
+        static_cast<double>(counts[i]) / static_cast<double>(total);
+  }
+  DefenseReport report;  // counts sum to n by construction: no sum check
+  SpikeScan(fractions, report);
+  ApplyThresholds(options, report);
+  return report;
+}
+
+}  // namespace numdist

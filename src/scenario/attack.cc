@@ -1,0 +1,305 @@
+#include "scenario/attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/executor.h"
+#include "fo/grr.h"
+#include "fo/hash.h"
+#include "fo/olh.h"
+#include "fo/oue.h"
+#include "fo/sketch.h"
+#include "postprocess/norm_sub.h"
+
+namespace numdist {
+
+namespace {
+
+// Honest stream family for the standalone FO harness, mixed with a salt
+// distinct from both the scenario engine's PhaseShardRng and the attack
+// streams below.
+Rng HonestShardRng(uint64_t seed, size_t shard) {
+  const uint64_t mixed = SplitMix64(seed + 0xBF58476D1CE4E5B9ULL);
+  return Rng(SplitMix64(mixed ^ (0x94D049BB133111EBULL * (shard + 1))));
+}
+
+// The harness's fixed honest population: a truncated-exponential bucket
+// histogram (concentrated low, long tail) so a mid-domain target starts
+// near zero mass and the attack gain is unambiguous.
+uint32_t SampleHonestValue(size_t domain, Rng& rng) {
+  const double u = rng.Uniform();
+  const double v = -std::log1p(-u) * static_cast<double>(domain) / 6.0;
+  const double cap = static_cast<double>(domain - 1);
+  return static_cast<uint32_t>(v < cap ? v : cap);
+}
+
+// Adversarial edge-spike value for kSkew: all malicious mass on the two
+// domain edges.
+uint32_t SkewValue(size_t domain, Rng& rng) {
+  return rng.Bernoulli(0.5) ? 0u : static_cast<uint32_t>(domain - 1);
+}
+
+}  // namespace
+
+Result<AttackKind> ParseAttackKind(const std::string& name) {
+  if (name == "none") return AttackKind::kNone;
+  if (name == "input") return AttackKind::kInputPoison;
+  if (name == "output") return AttackKind::kOutputPoison;
+  if (name == "skew") return AttackKind::kSkew;
+  return Status::InvalidArgument(
+      "attack kind must be none, input, output, or skew, got '" + name + "'");
+}
+
+std::string_view AttackKindName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kInputPoison: return "input";
+    case AttackKind::kOutputPoison: return "output";
+    case AttackKind::kSkew: return "skew";
+  }
+  return "unknown";
+}
+
+Status ValidateAttack(const AttackSpec& spec, size_t d,
+                      const std::string& phase) {
+  if (!std::isfinite(spec.fraction) || spec.fraction < 0.0 ||
+      spec.fraction > 1.0) {
+    return Status::InvalidArgument(
+        "scenario phase '" + phase +
+        "': attack_fraction must be in [0, 1] and finite");
+  }
+  if (spec.kind != AttackKind::kNone && !(spec.fraction > 0.0)) {
+    return Status::InvalidArgument("scenario phase '" + phase +
+                                   "': attack needs attack_fraction > 0");
+  }
+  if (spec.kind == AttackKind::kNone && spec.fraction > 0.0) {
+    return Status::InvalidArgument("scenario phase '" + phase +
+                                   "': attack_fraction needs an attack kind");
+  }
+  if (spec.target >= d) {
+    return Status::InvalidArgument("scenario phase '" + phase +
+                                   "': attack_target must be < d");
+  }
+  return Status::OK();
+}
+
+Rng AttackPhaseShardRng(uint64_t seed, size_t phase, size_t shard) {
+  // Different additive/XOR salts than scenario.cc's PhaseShardRng: the
+  // malicious stream must never collide with (or advance) an honest one.
+  const uint64_t mixed =
+      SplitMix64(seed ^ (0xD1B54A32D192ED03ULL * (phase + 1)));
+  return Rng(SplitMix64(mixed + (0x8CB92BA72F3D8DD7ULL * (shard + 1))));
+}
+
+double CraftSwReport(const SwEstimator& estimator, const AttackSpec& spec,
+                     size_t d, Rng& rng) {
+  const double target_center =
+      (static_cast<double>(spec.target) + 0.5) / static_cast<double>(d);
+  switch (spec.kind) {
+    case AttackKind::kOutputPoison:
+      // The output domain [-b, 1+b] contains [0, 1]: reporting the target
+      // center verbatim piles the whole cohort onto the output bucket
+      // where the target's transition density peaks.
+      return target_center;
+    case AttackKind::kInputPoison:
+      return estimator.PerturbOne(target_center, rng);
+    case AttackKind::kSkew: {
+      const double edge = rng.Bernoulli(0.5)
+                              ? 0.5 / static_cast<double>(d)
+                              : 1.0 - 0.5 / static_cast<double>(d);
+      return estimator.PerturbOne(edge, rng);
+    }
+    case AttackKind::kNone:
+      break;
+  }
+  // Unreachable under ValidateAttack; behave like an honest center report.
+  return target_center;
+}
+
+Result<FoChannel> ParseFoChannel(const std::string& name) {
+  if (name == "grr") return FoChannel::kGrr;
+  if (name == "olh") return FoChannel::kOlh;
+  if (name == "oue") return FoChannel::kOue;
+  return Status::InvalidArgument("channel must be grr, olh, or oue, got '" +
+                                 name + "'");
+}
+
+std::string_view FoChannelName(FoChannel channel) {
+  switch (channel) {
+    case FoChannel::kGrr: return "grr";
+    case FoChannel::kOlh: return "olh";
+    case FoChannel::kOue: return "oue";
+  }
+  return "unknown";
+}
+
+Result<FoAttackResult> RunFoAttack(const FoAttackConfig& config) {
+  if (config.domain < 2 || config.domain > (1u << 20)) {
+    return Status::InvalidArgument("fo-attack: domain must be in [2, 2^20]");
+  }
+  if (!(config.epsilon > 0.0) || !std::isfinite(config.epsilon)) {
+    return Status::InvalidArgument(
+        "fo-attack: epsilon must be positive and finite");
+  }
+  if (config.n == 0) {
+    return Status::InvalidArgument("fo-attack: n must be > 0");
+  }
+  if (config.shards == 0 || config.shards > 4096) {
+    return Status::InvalidArgument("fo-attack: shards must be in [1, 4096]");
+  }
+  NUMDIST_RETURN_NOT_OK(
+      ValidateAttack(config.attack, config.domain, "fo-attack"));
+  NUMDIST_RETURN_NOT_OK(ValidateDefenseOptions(config.defense));
+
+  // One oracle instance serves every shard (immutable after Make).
+  Result<Grr> grr = Grr::Make(config.epsilon, config.domain);
+  if (!grr.ok()) return grr.status();
+  Result<Olh> olh = Olh::Make(config.epsilon, config.domain);
+  if (!olh.ok()) return olh.status();
+  Result<Oue> oue = Oue::Make(config.epsilon, config.domain);
+  if (!oue.ok()) return oue.status();
+
+  const size_t shards = config.shards;
+  std::vector<FoSketch> sketches;
+  std::vector<std::vector<uint64_t>> honest_hist(shards);
+  std::vector<uint64_t> attacked(shards, 0);
+  for (size_t s = 0; s < shards; ++s) {
+    switch (config.channel) {
+      case FoChannel::kGrr: sketches.push_back(grr->MakeSketch()); break;
+      case FoChannel::kOlh: sketches.push_back(olh->MakeSketch()); break;
+      case FoChannel::kOue: sketches.push_back(oue->MakeSketch()); break;
+    }
+    honest_hist[s].assign(config.domain, 0);
+  }
+
+  const AttackSpec& atk = config.attack;
+  const bool attack_on = atk.kind != AttackKind::kNone;
+  const uint32_t target = static_cast<uint32_t>(atk.target);
+  const size_t threads =
+      std::min(ResolveThreadCount(config.threads), shards);
+
+  // Report i lands on shard i % shards; each shard owns an honest and a
+  // malicious RNG stream, so the executor's schedule cannot change results
+  // and the honest stream of an attacked run matches a clean run draw for
+  // draw.
+  Executor::Shared().ParallelFor(
+      shards, threads, [&](size_t s, size_t /*slot*/) {
+        Rng honest_rng = HonestShardRng(config.seed, s);
+        Rng attack_rng = AttackPhaseShardRng(config.seed, 0, s);
+        FoSketch& sketch = sketches[s];
+        std::vector<uint64_t>& hist = honest_hist[s];
+        std::vector<uint8_t> one_hot(config.domain, 0);
+        for (size_t i = s; i < config.n; i += shards) {
+          if (attack_on && attack_rng.Bernoulli(atk.fraction)) {
+            ++attacked[s];
+            switch (config.channel) {
+              case FoChannel::kGrr: {
+                uint32_t report;
+                if (atk.kind == AttackKind::kOutputPoison) {
+                  report = target;  // maximal gain: support target with p=1
+                } else if (atk.kind == AttackKind::kSkew) {
+                  report = grr->Perturb(SkewValue(config.domain, attack_rng),
+                                        attack_rng);
+                } else {
+                  report = grr->Perturb(target, attack_rng);
+                }
+                grr->Absorb(report, &sketch);
+                break;
+              }
+              case FoChannel::kOlh: {
+                OlhReport report;
+                if (atk.kind == AttackKind::kOutputPoison) {
+                  // Any seed works: the crafted y is the target's own hash
+                  // under that seed, so the report supports the target
+                  // with probability 1 (an honest report supports it with
+                  // probability p < 1).
+                  report.seed = attack_rng.Next();
+                  report.y = OlhHash(report.seed, target, olh->g());
+                } else if (atk.kind == AttackKind::kSkew) {
+                  report = olh->Perturb(SkewValue(config.domain, attack_rng),
+                                        attack_rng);
+                } else {
+                  report = olh->Perturb(target, attack_rng);
+                }
+                olh->Absorb(report, &sketch);
+                break;
+              }
+              case FoChannel::kOue: {
+                if (atk.kind == AttackKind::kOutputPoison) {
+                  // Only the target bit set: maximal per-report gain with
+                  // no collateral support for any other bucket.
+                  std::fill(one_hot.begin(), one_hot.end(), 0);
+                  one_hot[target] = 1;
+                  oue->Absorb(one_hot, &sketch);
+                } else if (atk.kind == AttackKind::kSkew) {
+                  oue->Absorb(oue->Perturb(SkewValue(config.domain,
+                                                     attack_rng),
+                                           attack_rng),
+                              &sketch);
+                } else {
+                  oue->Absorb(oue->Perturb(target, attack_rng), &sketch);
+                }
+                break;
+              }
+            }
+            continue;
+          }
+          const uint32_t v = SampleHonestValue(config.domain, honest_rng);
+          ++hist[v];
+          switch (config.channel) {
+            case FoChannel::kGrr:
+              grr->Absorb(grr->Perturb(v, honest_rng), &sketch);
+              break;
+            case FoChannel::kOlh:
+              olh->Absorb(olh->Perturb(v, honest_rng), &sketch);
+              break;
+            case FoChannel::kOue:
+              oue->Absorb(oue->Perturb(v, honest_rng), &sketch);
+              break;
+          }
+        }
+      });
+
+  // Shard-order merges keep the result independent of the schedule.
+  FoSketch merged = sketches[0];
+  for (size_t s = 1; s < shards; ++s) merged.Merge(sketches[s]);
+
+  FoAttackResult result;
+  for (size_t s = 0; s < shards; ++s) {
+    result.attacked_reports += attacked[s];
+  }
+  result.honest_reports =
+      static_cast<uint64_t>(config.n) - result.attacked_reports;
+
+  result.clean_truth.assign(config.domain, 0.0);
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t i = 0; i < config.domain; ++i) {
+      result.clean_truth[i] += static_cast<double>(honest_hist[s][i]);
+    }
+  }
+  if (result.honest_reports > 0) {
+    for (double& f : result.clean_truth) {
+      f /= static_cast<double>(result.honest_reports);
+    }
+  }
+
+  switch (config.channel) {
+    case FoChannel::kGrr: result.estimate = grr->EstimateFromSketch(merged);
+      break;
+    case FoChannel::kOlh: result.estimate = olh->EstimateFromSketch(merged);
+      break;
+    case FoChannel::kOue: result.estimate = oue->EstimateFromSketch(merged);
+      break;
+  }
+  result.mitigated = NormSub(result.estimate);
+  result.target_gain =
+      result.estimate[atk.target] - result.clean_truth[atk.target];
+  result.mitigated_gain =
+      result.mitigated[atk.target] - result.clean_truth[atk.target];
+  NUMDIST_ASSIGN_OR_RETURN(result.defense,
+                           AnalyzeFrequencies(result.estimate,
+                                              config.defense));
+  return result;
+}
+
+}  // namespace numdist

@@ -17,6 +17,8 @@
 #include "eval/incremental.h"
 #include "eval/streaming.h"
 #include "metrics/distance.h"
+#include "postprocess/defense.h"
+#include "scenario/attack.h"
 #include "wire/wire.h"
 
 namespace numdist {
@@ -72,6 +74,13 @@ struct EpsilonGroup {
   std::vector<double> decayed_truth;
   std::vector<double> prev_truth;
   double prev_truth_n = 0.0;
+
+  // Adversarial companion state: per-shard malicious report counts
+  // (workers touch only their own slot, summed in shard order), plus the
+  // most recent attacked phase's target for the atk_gain column.
+  std::vector<uint64_t> attacked_counts;
+  bool ever_attacked = false;
+  size_t attack_target = 0;
 };
 
 }  // namespace
@@ -101,6 +110,9 @@ Status ValidateScenario(const ScenarioConfig& config) {
     return Status::InvalidArgument(
         "scenario: half_life needs incremental = minibatch");
   }
+  if (config.defense) {
+    NUMDIST_RETURN_NOT_OK(ValidateDefenseOptions(config.defense_options));
+  }
   if (config.phases.empty()) {
     return Status::InvalidArgument("scenario: needs at least one phase");
   }
@@ -119,6 +131,7 @@ Status ValidateScenario(const ScenarioConfig& config) {
       return Status::InvalidArgument("scenario phase '" + phase.name +
                                      "': epsilon must be positive and finite");
     }
+    NUMDIST_RETURN_NOT_OK(ValidateAttack(phase.attack, config.d, phase.name));
     if (phase.mixture.empty()) {
       return Status::InvalidArgument("scenario phase '" + phase.name +
                                      "': mixture is required");
@@ -164,6 +177,7 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       group.shards.push_back(StreamingAggregator::ForEstimator(shared));
       group.truth_counts.emplace_back(config.d, 0);
     }
+    group.attacked_counts.assign(config.shards, 0);
     group.merge_scratch.emplace(StreamingAggregator::ForEstimator(shared));
     if (config.incremental != IncrementalMode::kOff) {
       IncrementalOptions inc_options;
@@ -213,6 +227,24 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       shard_rngs.push_back(PhaseShardRng(config.seed, p, s));
     }
 
+    // Attacked phases route a Bernoulli(fraction) slice of each shard's
+    // reports through the crafted-report generators. The decision and all
+    // malicious randomness come from a dedicated per-(seed, phase, shard)
+    // stream (attack.h), so the honest stream advances exactly as in a
+    // clean run and attack = none stays bit-identical to builds that
+    // predate the attacker model.
+    const bool attacked_phase =
+        phase.attack.kind != AttackKind::kNone && phase.attack.fraction > 0.0;
+    std::vector<Rng> attack_rngs;
+    if (attacked_phase) {
+      group->ever_attacked = true;
+      group->attack_target = phase.attack.target;
+      attack_rngs.reserve(config.shards);
+      for (size_t s = 0; s < config.shards; ++s) {
+        attack_rngs.push_back(AttackPhaseShardRng(config.seed, p, s));
+      }
+    }
+
     for (size_t c = 0; c < phase.checkpoints; ++c) {
       const size_t begin = phase.reports * c / phase.checkpoints;
       const size_t chunk_end = phase.reports * (c + 1) / phase.checkpoints;
@@ -240,6 +272,15 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
             size_t i = begin + (s + config.shards - begin % config.shards) %
                                    config.shards;
             for (; i < chunk_end; i += config.shards) {
+              if (attacked_phase &&
+                  attack_rngs[s].Bernoulli(phase.attack.fraction)) {
+                // Malicious report: crafted from the attack stream, never
+                // recorded in the clean ground truth.
+                agg.Accept(CraftSwReport(agg.estimator(), phase.attack,
+                                         config.d, attack_rngs[s]));
+                ++group->attacked_counts[s];
+                continue;
+              }
               double v;
               if (drifting) {
                 LerpMixtureWeights(start, end,
@@ -333,6 +374,24 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
         checkpoint.inc_ks = KsDistance(inc_truth, inc_em.estimate);
         checkpoint.inc_estimate = std::move(inc_em.estimate);
       }
+      if (group->ever_attacked) {
+        for (const uint64_t a : group->attacked_counts) {
+          checkpoint.atk_reports += a;
+        }
+        checkpoint.atk_gain = checkpoint.estimate[group->attack_target] -
+                              checkpoint.truth[group->attack_target];
+      }
+      if (config.defense) {
+        // The spike detector runs on the merged OUTPUT counts: output
+        // poisoning piles a whole cohort onto one output bucket, which is
+        // glaring there and already smoothed away in the EM estimate.
+        NUMDIST_ASSIGN_OR_RETURN(
+            const DefenseReport def,
+            AnalyzeCounts(merged.counts(), config.defense_options));
+        checkpoint.def_spike_z = def.max_spike_z;
+        checkpoint.def_spike_bucket = def.spike_bucket;
+        checkpoint.def_flagged = def.flagged;
+      }
       result.checkpoints.push_back(std::move(checkpoint));
     }
   }
@@ -362,6 +421,22 @@ Result<uint64_t> ParseCount(const std::string& key, const std::string& value,
         "' must be a non-negative integer, got '" + value + "'");
   }
   return static_cast<uint64_t>(parsed);
+}
+
+// Fraction parse for attack keys: finite double in [0, 1]. "nan", "inf",
+// 1.5 and -0.1 are all typed errors — never silently clamped (the PR 3
+// validation posture).
+Result<double> ParseFraction(const std::string& key, const std::string& value,
+                             size_t line_no) {
+  char* parse_end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &parse_end);
+  if (value.empty() || parse_end != value.c_str() + value.size() ||
+      !std::isfinite(parsed) || parsed < 0.0 || parsed > 1.0) {
+    return Status::InvalidArgument(
+        "scenario line " + std::to_string(line_no) + ": '" + key +
+        "' must be a number in [0, 1], got '" + value + "'");
+  }
+  return parsed;
 }
 
 // Positive finite double parse for epsilon keys.
@@ -492,6 +567,27 @@ Result<ScenarioConfig> ParseScenarioText(const std::string& text) {
               "'");
         }
         config.half_life = parsed;
+      } else if (key == "defense") {
+        if (value == "off") {
+          config.defense = false;
+        } else if (value == "consistency") {
+          config.defense = true;
+        } else {
+          return Status::InvalidArgument(
+              "scenario line " + std::to_string(line_no) +
+              ": 'defense' must be off or consistency, got '" + value + "'");
+        }
+      } else if (key == "defense_threshold") {
+        char* parse_end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &parse_end);
+        if (value.empty() || parse_end != value.c_str() + value.size() ||
+            !(parsed > 0.0) || !std::isfinite(parsed)) {
+          return Status::InvalidArgument(
+              "scenario line " + std::to_string(line_no) +
+              ": 'defense_threshold' must be a positive number, got '" +
+              value + "'");
+        }
+        config.defense_options.spike_z_threshold = parsed;
       } else {
         return bad_key();
       }
@@ -512,6 +608,20 @@ Result<ScenarioConfig> ParseScenarioText(const std::string& text) {
     } else if (key == "checkpoints") {
       NUMDIST_ASSIGN_OR_RETURN(phase->checkpoints,
                                ParseCount(key, value, line_no));
+    } else if (key == "attack") {
+      Result<AttackKind> kind = ParseAttackKind(value);
+      if (!kind.ok()) {
+        return Status::InvalidArgument("scenario line " +
+                                       std::to_string(line_no) + ": " +
+                                       kind.status().message());
+      }
+      phase->attack.kind = kind.value();
+    } else if (key == "attack_fraction") {
+      NUMDIST_ASSIGN_OR_RETURN(phase->attack.fraction,
+                               ParseFraction(key, value, line_no));
+    } else if (key == "attack_target") {
+      NUMDIST_ASSIGN_OR_RETURN(phase->attack.target,
+                               ParseCount(key, value, line_no));
     } else {
       return bad_key();
     }
@@ -531,8 +641,8 @@ Result<ScenarioConfig> LoadScenarioFile(const std::string& path) {
 }
 
 const std::vector<std::string>& BuiltinScenarioNames() {
-  static const std::vector<std::string> kNames = {"drift", "ramp",
-                                                  "eps-schedule"};
+  static const std::vector<std::string> kNames = {
+      "drift", "ramp", "eps-schedule", "poison", "churn"};
   return kNames;
 }
 
@@ -619,8 +729,80 @@ Result<ScenarioConfig> BuiltinScenario(const std::string& name) {
       checkpoints = 2
     )");
   }
-  return Status::InvalidArgument("scenario: unknown built-in '" + name +
-                                 "' (have: drift, ramp, eps-schedule)");
+  if (name == "poison") {
+    // A clean warmup, then an output-poisoning cohort (10% of users) piles
+    // crafted reports onto bucket 48; the consistency detector watches the
+    // merged output counts at every checkpoint. The tight epsilon-4 wave
+    // is the most poisonable: the crafted reports' support concentrates on
+    // the target instead of smearing over a wide wave window.
+    return ParseScenarioText(R"(
+      name = poison
+      epsilon = 4.0
+      d = 64
+      shards = 4
+      defense = consistency
+      defense_threshold = 4
+
+      [phase]
+      name = clean
+      mixture = beta
+      reports = 20000
+      checkpoints = 2
+
+      [phase]
+      name = attack
+      mixture = beta
+      attack = output
+      attack_fraction = 0.1
+      attack_target = 48
+      reports = 20000
+      checkpoints = 2
+    )");
+  }
+  if (name == "churn") {
+    // Attacker churn: a malicious cohort joins (input poisoning), departs,
+    // and a protocol-following edge-skew cohort arrives late — the defense
+    // columns show detection rising and decaying across the phases.
+    return ParseScenarioText(R"(
+      name = churn
+      epsilon = 1.0
+      d = 64
+      shards = 4
+      defense = consistency
+
+      [phase]
+      name = join
+      mixture = taxi
+      reports = 15000
+      checkpoints = 1
+
+      [phase]
+      name = surge
+      mixture = taxi
+      attack = input
+      attack_fraction = 0.25
+      attack_target = 10
+      reports = 15000
+      checkpoints = 2
+
+      [phase]
+      name = depart
+      mixture = taxi
+      reports = 15000
+      checkpoints = 1
+
+      [phase]
+      name = skew
+      mixture = taxi
+      attack = skew
+      attack_fraction = 0.2
+      reports = 15000
+      checkpoints = 1
+    )");
+  }
+  return Status::InvalidArgument(
+      "scenario: unknown built-in '" + name +
+      "' (have: drift, ramp, eps-schedule, poison, churn)");
 }
 
 }  // namespace numdist

@@ -26,6 +26,7 @@
 
 #include "common/result.h"
 #include "data/datasets.h"
+#include "scenario/attack.h"
 
 namespace numdist {
 
@@ -50,6 +51,12 @@ struct ScenarioPhase {
   /// Merge-and-snapshot checkpoints in this phase (>= 1, <= reports); the
   /// phase's reports are split into this many equal chunks.
   size_t checkpoints = 1;
+  /// Attacker routing for this phase (scenario/attack.h): `fraction` of
+  /// the phase's reports come from malicious users instead of the
+  /// population mixture. Attacked reports are excluded from the clean
+  /// ground truth, so checkpoint metrics measure attack-induced error.
+  /// kNone (the default) changes nothing — not even RNG draw order.
+  AttackSpec attack;
 };
 
 /// Incremental reconstruction alongside the scenario's cold per-checkpoint
@@ -91,6 +98,12 @@ struct ScenarioConfig {
   /// Mini-batch forgetting half-life in reports; required > 0 when
   /// `incremental` is kMiniBatch, must stay 0 otherwise.
   double half_life = 0.0;
+  /// Run the postprocess/defense.h frequency-consistency detectors on
+  /// every checkpoint's merged output counts and emit the `def_*`
+  /// columns. Off by default so existing outputs stay bit-identical.
+  bool defense = false;
+  /// Detector thresholds when `defense` is on.
+  DefenseOptions defense_options;
   std::vector<ScenarioPhase> phases;
 };
 
@@ -129,6 +142,19 @@ struct ScenarioCheckpoint {
   double inc_wasserstein = 0.0;
   double inc_ks = 0.0;
   std::vector<double> inc_estimate;
+
+  /// Adversarial companion columns. atk_* are populated once the
+  /// checkpoint's epsilon group has run any attacked phase: the cumulative
+  /// malicious report count and the attacker's objective — estimated mass
+  /// minus clean-truth mass at the most recent attack target. def_* are
+  /// populated when ScenarioConfig::defense is on: the spike detector over
+  /// the merged output counts (defense.h), which is the consistency check
+  /// that sees concentrated poisoning before reconstruction smooths it.
+  uint64_t atk_reports = 0;
+  double atk_gain = 0.0;
+  double def_spike_z = 0.0;
+  size_t def_spike_bucket = 0;
+  bool def_flagged = false;
 };
 
 /// Outcome of a scenario run.

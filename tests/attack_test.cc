@@ -1,0 +1,268 @@
+// The attacker model (scenario/attack.h) against the frequency oracles,
+// and the consistency-check defenses (postprocess/defense.h) that are
+// supposed to catch it. The quantitative claims mirror the LDP poisoning
+// literature: output poisoning (maximal-gain attacks) produces large,
+// detectable estimate skew; input poisoning is weaker and stealthier.
+// All runs are seeded and thread-count invariant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "postprocess/defense.h"
+#include "scenario/attack.h"
+#include "scenario/scenario.h"
+
+namespace numdist {
+namespace {
+
+FoAttackConfig BaseConfig(FoChannel channel, AttackKind kind,
+                          double fraction) {
+  FoAttackConfig config;
+  config.channel = channel;
+  config.attack.kind = kind;
+  config.attack.fraction = fraction;
+  config.attack.target = 32;
+  config.domain = 64;
+  config.epsilon = 1.0;
+  config.n = 60000;
+  config.shards = 4;
+  config.seed = 42;
+  return config;
+}
+
+// --- Output poisoning (maximal gain) skews every oracle measurably. ---
+
+TEST(Attack, GrrOutputPoisoningInflatesTarget) {
+  const auto result =
+      RunFoAttack(BaseConfig(FoChannel::kGrr, AttackKind::kOutputPoison, 0.05))
+          .ValueOrDie();
+  // 5% of users reporting the target verbatim blows the debiased estimate
+  // far past any honest frequency (the GRR debias multiplies raw counts
+  // by ~(d-1) at eps=1).
+  EXPECT_GT(result.target_gain, 0.5);
+  EXPECT_TRUE(result.defense.flagged);
+  EXPECT_EQ(result.defense.spike_bucket, 32u);
+  // GRR reports always sum to n, so the sum check alone cannot see it —
+  // the spike test is what fires.
+  EXPECT_LT(std::fabs(result.defense.sum_deviation), 0.05);
+  EXPECT_TRUE(result.defense.spike_flag);
+}
+
+TEST(Attack, OlhOutputPoisoningInflatesTargetAndSum) {
+  const auto result =
+      RunFoAttack(BaseConfig(FoChannel::kOlh, AttackKind::kOutputPoison, 0.05))
+          .ValueOrDie();
+  EXPECT_GT(result.target_gain, 0.05);
+  // A crafted (seed, y) pair supports the target with probability 1
+  // instead of 1/g, which inflates the total estimated mass.
+  EXPECT_GT(result.defense.sum_deviation, 0.03);
+  EXPECT_TRUE(result.defense.flagged);
+}
+
+TEST(Attack, OueOutputPoisoningDeflatesSum) {
+  const auto result =
+      RunFoAttack(BaseConfig(FoChannel::kOue, AttackKind::kOutputPoison, 0.05))
+          .ValueOrDie();
+  EXPECT_GT(result.target_gain, 0.05);
+  // A lone set bit carries far fewer ones than an honest OUE report
+  // (q*(d-1) expected extra bits), so total estimated mass collapses.
+  EXPECT_LT(result.defense.sum_deviation, -0.5);
+  EXPECT_TRUE(result.defense.flagged);
+}
+
+// --- Input poisoning is real but stealthy. ---
+
+TEST(Attack, GrrInputPoisoningIsWeakerAndStealthier) {
+  const auto output =
+      RunFoAttack(BaseConfig(FoChannel::kGrr, AttackKind::kOutputPoison, 0.05))
+          .ValueOrDie();
+  const auto input =
+      RunFoAttack(BaseConfig(FoChannel::kGrr, AttackKind::kInputPoison, 0.05))
+          .ValueOrDie();
+  // Honest perturbation of a poisoned input caps the per-user gain at the
+  // mechanism's sensitivity: positive skew, but far less than output
+  // poisoning (the exact value is seed-stable; ~0.008 here vs ~1.9).
+  EXPECT_GT(input.target_gain, 0.0);
+  EXPECT_LT(input.target_gain, output.target_gain / 5.0);
+  // ...and the consistency defense does NOT fire (the reports are
+  // protocol-conformant; this is the known detection gap).
+  EXPECT_FALSE(input.defense.flagged);
+}
+
+// --- Mitigation: norm-sub claws back part of the injected mass. ---
+
+TEST(Attack, NormSubMitigationReducesGrrGain) {
+  const auto result =
+      RunFoAttack(BaseConfig(FoChannel::kGrr, AttackKind::kOutputPoison, 0.05))
+          .ValueOrDie();
+  EXPECT_LT(result.mitigated_gain, result.target_gain);
+  EXPECT_GT(result.mitigated_gain, 0.0);  // not a full repair
+}
+
+// --- Determinism: bit-identical for any thread count. ---
+
+TEST(Attack, RunFoAttackIsThreadCountInvariant) {
+  auto config = BaseConfig(FoChannel::kOlh, AttackKind::kOutputPoison, 0.05);
+  config.n = 20000;
+  config.threads = 1;
+  const auto one = RunFoAttack(config).ValueOrDie();
+  config.threads = 8;
+  const auto eight = RunFoAttack(config).ValueOrDie();
+  EXPECT_EQ(one.honest_reports, eight.honest_reports);
+  EXPECT_EQ(one.attacked_reports, eight.attacked_reports);
+  ASSERT_EQ(one.estimate.size(), eight.estimate.size());
+  for (size_t i = 0; i < one.estimate.size(); ++i) {
+    EXPECT_EQ(one.estimate[i], eight.estimate[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(one.target_gain, eight.target_gain);
+  EXPECT_EQ(one.defense.max_spike_z, eight.defense.max_spike_z);
+}
+
+TEST(Attack, NoAttackMeansNoAttackedReports) {
+  auto config = BaseConfig(FoChannel::kGrr, AttackKind::kNone, 0.0);
+  config.n = 10000;
+  const auto result = RunFoAttack(config).ValueOrDie();
+  EXPECT_EQ(result.attacked_reports, 0u);
+  EXPECT_EQ(result.honest_reports, 10000u);
+  EXPECT_FALSE(result.defense.flagged);
+}
+
+// --- Validation of attack specs and configs. ---
+
+TEST(Attack, ValidateAttackRejectsMalformedSpecs) {
+  AttackSpec spec;
+  spec.kind = AttackKind::kOutputPoison;
+  spec.fraction = 1.5;
+  EXPECT_FALSE(ValidateAttack(spec, 64, "phase").ok());
+  spec.fraction = -0.1;
+  EXPECT_FALSE(ValidateAttack(spec, 64, "phase").ok());
+  spec.fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ValidateAttack(spec, 64, "phase").ok());
+  spec.fraction = 0.0;  // attack kind with zero fraction is a contradiction
+  EXPECT_FALSE(ValidateAttack(spec, 64, "phase").ok());
+  spec.fraction = 0.1;
+  spec.target = 64;  // out of domain
+  EXPECT_FALSE(ValidateAttack(spec, 64, "phase").ok());
+  spec.target = 63;
+  EXPECT_TRUE(ValidateAttack(spec, 64, "phase").ok());
+  spec.kind = AttackKind::kNone;  // fraction without a kind
+  EXPECT_FALSE(ValidateAttack(spec, 64, "phase").ok());
+}
+
+TEST(Attack, ParseAttackKindRoundTrips) {
+  for (const char* name : {"none", "input", "output", "skew"}) {
+    const auto kind = ParseAttackKind(name);
+    ASSERT_TRUE(kind.ok()) << name;
+    EXPECT_EQ(AttackKindName(kind.value()), std::string_view(name));
+  }
+  EXPECT_FALSE(ParseAttackKind("mga").ok());
+  EXPECT_FALSE(ParseAttackKind("").ok());
+}
+
+TEST(Attack, RunFoAttackRejectsBadConfigs) {
+  auto config = BaseConfig(FoChannel::kGrr, AttackKind::kOutputPoison, 0.05);
+  config.epsilon = 0.0;
+  EXPECT_FALSE(RunFoAttack(config).ok());
+  config = BaseConfig(FoChannel::kGrr, AttackKind::kOutputPoison, 0.05);
+  config.domain = 1;
+  EXPECT_FALSE(RunFoAttack(config).ok());
+  config = BaseConfig(FoChannel::kGrr, AttackKind::kOutputPoison, 0.05);
+  config.n = 0;
+  EXPECT_FALSE(RunFoAttack(config).ok());
+  config = BaseConfig(FoChannel::kGrr, AttackKind::kOutputPoison, 0.05);
+  config.shards = 0;
+  EXPECT_FALSE(RunFoAttack(config).ok());
+}
+
+// --- Defense unit behavior. ---
+
+TEST(Defense, FlagsObviousSpikeNotUniform) {
+  std::vector<double> uniform(64, 1.0 / 64.0);
+  const auto clean = AnalyzeFrequencies(uniform).ValueOrDie();
+  EXPECT_FALSE(clean.flagged);
+  EXPECT_LT(std::fabs(clean.sum_deviation), 1e-9);
+
+  std::vector<double> spiked = uniform;
+  spiked[17] += 0.5;
+  const auto hit = AnalyzeFrequencies(spiked).ValueOrDie();
+  EXPECT_TRUE(hit.flagged);
+  EXPECT_EQ(hit.spike_bucket, 17u);
+  EXPECT_TRUE(hit.sum_flag);  // sums to 1.5 now
+  EXPECT_TRUE(hit.spike_flag);
+}
+
+TEST(Defense, RejectsNonFiniteAndEmptyInput) {
+  EXPECT_FALSE(AnalyzeFrequencies({}).ok());
+  EXPECT_FALSE(
+      AnalyzeFrequencies({0.5, std::numeric_limits<double>::quiet_NaN()})
+          .ok());
+  EXPECT_FALSE(
+      AnalyzeFrequencies({0.5, std::numeric_limits<double>::infinity()}).ok());
+}
+
+TEST(Defense, CountsOverloadMatchesFractions) {
+  std::vector<int64_t> counts(64, 100);
+  counts[5] = 5000;
+  const auto from_counts = AnalyzeCounts(counts).ValueOrDie();
+  EXPECT_TRUE(from_counts.spike_flag);
+  EXPECT_EQ(from_counts.spike_bucket, 5u);
+  EXPECT_FALSE(AnalyzeCounts(std::vector<int64_t>{1, -2, 3}).ok());
+  EXPECT_FALSE(AnalyzeCounts(std::vector<int64_t>{0, 0, 0}).ok());
+}
+
+TEST(Defense, ValidateDefenseOptionsRejectsBadThresholds) {
+  DefenseOptions options;
+  options.spike_z_threshold = 0.0;
+  EXPECT_FALSE(ValidateDefenseOptions(options).ok());
+  options.spike_z_threshold = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ValidateDefenseOptions(options).ok());
+  options = DefenseOptions{};
+  options.sum_tolerance = -1.0;
+  EXPECT_FALSE(ValidateDefenseOptions(options).ok());
+  EXPECT_TRUE(ValidateDefenseOptions(DefenseOptions{}).ok());
+}
+
+// --- Scenario engine integration: attacked SW phases. ---
+
+TEST(Attack, PoisonBuiltinSkewsAndDetects) {
+  const auto config = BuiltinScenario("poison").ValueOrDie();
+  const auto result = RunScenario(config).ValueOrDie();
+  ASSERT_EQ(result.checkpoints.size(), 4u);
+  // Clean phase: no attacked reports, defense silent.
+  EXPECT_EQ(result.checkpoints[0].atk_reports, 0u);
+  EXPECT_FALSE(result.checkpoints[0].def_flagged);
+  EXPECT_FALSE(result.checkpoints[1].def_flagged);
+  // Attack phase: reports land, estimate skews toward the target, defense
+  // fires on both attacked checkpoints.
+  const auto& last = result.checkpoints.back();
+  EXPECT_GT(last.atk_reports, 0u);
+  EXPECT_GT(last.atk_gain, 0.005);
+  EXPECT_TRUE(result.checkpoints[2].def_flagged);
+  EXPECT_TRUE(last.def_flagged);
+}
+
+TEST(Attack, ScenarioAttackIsThreadCountInvariant) {
+  auto config = BuiltinScenario("poison").ValueOrDie();
+  config.threads = 1;
+  const auto one = RunScenario(config).ValueOrDie();
+  config.threads = 8;
+  const auto eight = RunScenario(config).ValueOrDie();
+  ASSERT_EQ(one.checkpoints.size(), eight.checkpoints.size());
+  for (size_t c = 0; c < one.checkpoints.size(); ++c) {
+    EXPECT_EQ(one.checkpoints[c].atk_reports, eight.checkpoints[c].atk_reports);
+    EXPECT_EQ(one.checkpoints[c].atk_gain, eight.checkpoints[c].atk_gain);
+    EXPECT_EQ(one.checkpoints[c].def_spike_z,
+              eight.checkpoints[c].def_spike_z);
+    ASSERT_EQ(one.checkpoints[c].estimate.size(),
+              eight.checkpoints[c].estimate.size());
+    for (size_t i = 0; i < one.checkpoints[c].estimate.size(); ++i) {
+      EXPECT_EQ(one.checkpoints[c].estimate[i],
+                eight.checkpoints[c].estimate[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace numdist

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutator.h"
 #include "common/rng.h"
 #include "data/datasets.h"
 #include "net/client.h"
@@ -443,6 +444,61 @@ TEST(CollectorServerTest, HostileClientLosesOnlyItsOwnConnection) {
   EXPECT_EQ(server->stats().connection_errors, 1u);
   EXPECT_EQ(server->stats().first_error.code(),
             StatusCode::kInvalidArgument);
+  EXPECT_EQ(server->EncodeSketch().ValueOrDie(), fx.reference_sketch);
+}
+
+TEST(CollectorServerTest, FuzzedHostileConnectionsCannotTouchTheSketch) {
+  // Stronger hostile-client isolation: instead of one hand-built bad
+  // prefix, each hostile connection streams a ByteMutator-corrupted frame
+  // (the same structured mutants the fuzz harness drives through the
+  // decoders) while clean senders deliver the real workload concurrently.
+  // Every hostile connection must die with a typed error, and the final
+  // sketch must be byte-identical to the clean reference — hostile bytes
+  // cannot move counts even when they arrive over the real transport.
+  const NetFixture fx = MakeNetFixture(2000, 256);
+
+  // Pre-select mutants a CollectorSession provably rejects (a payload bit
+  // flip can be a valid frame; those are not "hostile" for this test).
+  std::vector<std::string> hostile_frames;
+  ByteMutator mutator(0x94D049BB133111EBULL);
+  auto probe = serve::CollectorSession::Make(fx.spec).ValueOrDie();
+  while (hostile_frames.size() < 6) {
+    std::string mutant = mutator.Mutate(fx.frames[0]);
+    if (!probe.HandleFrame(mutant).ok()) {
+      hostile_frames.push_back(std::move(mutant));
+    }
+  }
+
+  auto server = net::CollectorServer::Make(fx.spec).ValueOrDie();
+  const net::Endpoint bound =
+      server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+          .ValueOrDie();
+  Status run_status;
+  std::thread serving([&] { run_status = server->Run(); });
+  {
+    // One raw connection per hostile mutant, properly length-framed so the
+    // corruption lands in the wire decoder, not the transport prefix.
+    std::vector<net::Fd> hostile;
+    for (const std::string& frame : hostile_frames) {
+      std::ostringstream framed;
+      ASSERT_TRUE(serve::WriteFrame(framed, frame).ok());
+      net::Fd fd = net::Dial(bound).ValueOrDie();
+      ASSERT_TRUE(net::WriteAll(fd.get(), framed.str()).ok());
+      hostile.push_back(std::move(fd));
+    }
+    auto sender = net::MultiSender::Make(bound, 3).ValueOrDie();
+    for (const std::string& frame : fx.frames) {
+      ASSERT_TRUE(sender.Send(frame).ok());
+    }
+    ASSERT_TRUE(sender.Finish().ok());
+    // Hostile fds close with this scope.
+  }
+  server->RequestDrain();
+  serving.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.message();
+  EXPECT_EQ(server->stats().connection_errors, hostile_frames.size());
+  EXPECT_FALSE(server->stats().first_error.ok());
+  EXPECT_EQ(server->num_reports(), fx.total_reports);
   EXPECT_EQ(server->EncodeSketch().ValueOrDie(), fx.reference_sketch);
 }
 

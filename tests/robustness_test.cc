@@ -5,14 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "common/histogram.h"
 #include "core/ems.h"
 #include "core/sw_estimator.h"
+#include "eval/incremental.h"
+#include "eval/streaming.h"
 #include "hierarchy/admm.h"
 #include "hierarchy/hh.h"
 #include "mean/moments.h"
 #include "postprocess/norm_sub.h"
+#include "scenario/attack.h"
 
 namespace numdist {
 namespace {
@@ -160,6 +165,109 @@ TEST(RobustnessTest, SmoothingDegenerateVectors) {
   std::vector<double> zeros(8, 0.0);
   BinomialSmooth(&zeros);
   for (double v : zeros) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RobustnessTest, PoisonedSketchStillYieldsDistribution) {
+  // An attacker who controls a shard can hand the server arbitrary output
+  // counts. EM/EMS must still return a valid distribution — reconstruction
+  // is the last line of defense and may never amplify hostile counts into
+  // NaNs or negative mass.
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 64;
+  const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+  Rng rng(11);
+  std::vector<double> honest;
+  for (int i = 0; i < 20000; ++i) honest.push_back(rng.Uniform());
+  std::vector<double> reports;
+  est.PerturbBatch(honest, rng, &reports);
+  std::vector<uint64_t> counts = est.Aggregate(reports);
+  // Adversarial spike: one output bucket claims 100x the whole cohort.
+  counts[counts.size() / 2] += 2000000;
+  const EmResult res = est.Reconstruct(counts).ValueOrDie();
+  EXPECT_TRUE(hist::IsDistribution(res.estimate, 1e-9));
+  for (double v : res.estimate) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, IncrementalReconstructionUnderMidStreamAttack) {
+  // Warm-started and mini-batch reconstruction over a stream that turns
+  // hostile halfway: an output-poisoning phase injects crafted reports at
+  // a target bucket. Both modes must keep producing valid distributions
+  // at every tick, and the post-attack estimate must show the injected
+  // spike (the attack is visible, not silently absorbed).
+  SwEstimatorOptions options;
+  options.epsilon = 4.0;  // narrow wave: the poison concentrates
+  options.d = 64;
+  auto shared = std::make_shared<const SwEstimator>(
+      SwEstimator::Make(options).ValueOrDie());
+  AttackSpec atk;
+  atk.kind = AttackKind::kOutputPoison;
+  atk.fraction = 1.0;  // every report in the attack phase is crafted
+  atk.target = 48;
+
+  for (const auto mode : {IncrementalOptions::Mode::kWarm,
+                          IncrementalOptions::Mode::kMiniBatch}) {
+    IncrementalOptions inc;
+    inc.mode = mode;
+    inc.half_life = mode == IncrementalOptions::Mode::kMiniBatch ? 4000.0 : 0.0;
+    auto recon = IncrementalReconstructor::Make(shared, inc).ValueOrDie();
+    StreamingAggregator agg = StreamingAggregator::Make(options).ValueOrDie();
+    Rng honest_rng(12);
+    Rng attack_rng = AttackPhaseShardRng(12, 1, 0);
+    std::vector<double> last_estimate;
+    for (int tick = 0; tick < 8; ++tick) {
+      const bool attacked = tick >= 4;
+      for (int i = 0; i < 2500; ++i) {
+        if (attacked) {
+          agg.Accept(CraftSwReport(*shared, atk, options.d, attack_rng));
+        } else {
+          agg.Accept(shared->PerturbOne(honest_rng.Uniform(), honest_rng));
+        }
+      }
+      const EmResult res = recon.Update(agg).ValueOrDie();
+      EXPECT_TRUE(hist::IsDistribution(res.estimate, 1e-9))
+          << "mode " << static_cast<int>(mode) << " tick " << tick;
+      for (double v : res.estimate) ASSERT_TRUE(std::isfinite(v));
+      last_estimate = res.estimate;
+    }
+    // After four fully poisoned ticks the target bucket dominates.
+    EXPECT_GT(last_estimate[atk.target], 0.10)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(RobustnessTest, EstimatorsRejectNonFiniteInputs) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  SwEstimatorOptions options;
+  options.epsilon = 1.0;
+  options.d = 16;
+  const SwEstimator est = SwEstimator::Make(options).ValueOrDie();
+  Rng rng(13);
+  EXPECT_FALSE(est.EstimateDistribution({0.5, kNan}, rng).ok());
+  EXPECT_FALSE(est.EstimateDistribution({kInf, 0.5}, rng).ok());
+  EXPECT_FALSE(est.EstimateDistribution({}, rng).ok());
+
+  EXPECT_FALSE(EstimateMean({0.5, kNan}, MeanMechanism::kPiecewiseMechanism,
+                            1.0, rng)
+                   .ok());
+  EXPECT_FALSE(EstimateMean({kInf}, MeanMechanism::kStochasticRounding, 1.0,
+                            rng)
+                   .ok());
+  EXPECT_FALSE(EstimateMoments({0.5, kNan, 0.2},
+                               MeanMechanism::kPiecewiseMechanism, 1.0, rng)
+                   .ok());
+  EXPECT_FALSE(EstimateMoments({-kInf, 0.2},
+                               MeanMechanism::kStochasticRounding, 1.0, rng)
+                   .ok());
+
+  const HierarchyTree tree = HierarchyTree::Make(16, 4).ValueOrDie();
+  std::vector<double> nodes(tree.NumNodes(), 0.1);
+  nodes[3] = kNan;
+  EXPECT_FALSE(HhAdmm(tree, nodes).ok());
+  nodes[3] = kInf;
+  EXPECT_FALSE(HhAdmm(tree, nodes).ok());
 }
 
 TEST(RobustnessTest, DiscretePipelineWithCoarseDomain) {

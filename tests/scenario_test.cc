@@ -259,6 +259,75 @@ TEST(ScenarioParseTest, RejectsNegativeAndMalformedNumbers) {
       "shards = 0\n[phase]\nmixture = beta\nreports = 10").ok());
 }
 
+TEST(ScenarioParseTest, ParsesAttackAndDefenseKeys) {
+  const ScenarioConfig config = ParseScenarioText(R"(
+    name = attacked
+    d = 64
+    defense = consistency
+    defense_threshold = 6.5
+    [phase]
+    mixture = beta
+    reports = 100
+    [phase]
+    mixture = beta
+    reports = 100
+    attack = output
+    attack_fraction = 0.25
+    attack_target = 48
+  )").ValueOrDie();
+  EXPECT_TRUE(config.defense);
+  EXPECT_DOUBLE_EQ(config.defense_options.spike_z_threshold, 6.5);
+  ASSERT_EQ(config.phases.size(), 2u);
+  EXPECT_EQ(config.phases[0].attack.kind, AttackKind::kNone);
+  EXPECT_EQ(config.phases[1].attack.kind, AttackKind::kOutputPoison);
+  EXPECT_DOUBLE_EQ(config.phases[1].attack.fraction, 0.25);
+  EXPECT_EQ(config.phases[1].attack.target, 48u);
+  EXPECT_TRUE(ValidateScenario(config).ok());
+  // defense = off round-trips to no defense columns.
+  const ScenarioConfig off = ParseScenarioText(
+      "defense = off\n[phase]\nmixture = beta\nreports = 10").ValueOrDie();
+  EXPECT_FALSE(off.defense);
+}
+
+TEST(ScenarioParseTest, RejectsMalformedAttackAndDefenseKeys) {
+  const std::string prefix = "[phase]\nmixture = beta\nreports = 10\n";
+  // Fractions outside [0, 1] are typed errors, never silently clamped.
+  EXPECT_FALSE(ParseScenarioText(
+      prefix + "attack = output\nattack_fraction = 1.5").ok());
+  EXPECT_FALSE(ParseScenarioText(
+      prefix + "attack = output\nattack_fraction = -0.1").ok());
+  // Non-finite and garbage fraction strings.
+  EXPECT_FALSE(ParseScenarioText(
+      prefix + "attack = output\nattack_fraction = nan").ok());
+  EXPECT_FALSE(ParseScenarioText(
+      prefix + "attack = output\nattack_fraction = inf").ok());
+  EXPECT_FALSE(ParseScenarioText(
+      prefix + "attack = output\nattack_fraction = 0.1x").ok());
+  // Unknown attack kind.
+  EXPECT_FALSE(ParseScenarioText(
+      prefix + "attack = mga\nattack_fraction = 0.1").ok());
+  // An attack kind without a fraction (and vice versa) is a contradiction.
+  EXPECT_FALSE(ParseScenarioText(prefix + "attack = output").ok());
+  EXPECT_FALSE(ParseScenarioText(prefix + "attack_fraction = 0.1").ok());
+  // Target outside the scenario's domain.
+  EXPECT_FALSE(ParseScenarioText(
+      "d = 32\n" + prefix +
+      "attack = output\nattack_fraction = 0.1\nattack_target = 32").ok());
+  // Negative target must not wrap through size_t.
+  EXPECT_FALSE(ParseScenarioText(
+      prefix + "attack = output\nattack_fraction = 0.1\n"
+               "attack_target = -1").ok());
+  // Defense switch takes only off|consistency; thresholds must be
+  // positive and finite.
+  EXPECT_FALSE(ParseScenarioText("defense = maybe\n" + prefix).ok());
+  EXPECT_FALSE(ParseScenarioText(
+      "defense = consistency\ndefense_threshold = 0\n" + prefix).ok());
+  EXPECT_FALSE(ParseScenarioText(
+      "defense = consistency\ndefense_threshold = -3\n" + prefix).ok());
+  EXPECT_FALSE(ParseScenarioText(
+      "defense = consistency\ndefense_threshold = nan\n" + prefix).ok());
+}
+
 TEST(ScenarioBuiltinTest, AllBuiltinsAreValid) {
   for (const std::string& name : BuiltinScenarioNames()) {
     const Result<ScenarioConfig> config = BuiltinScenario(name);
