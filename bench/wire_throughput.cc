@@ -19,8 +19,16 @@
 // (common/mutator.h, the same mutants tests/fuzz_wire_test.cc drives)
 // pushed through the strict report/sketch decoders, measured in mutants/s
 // — the rejection path is hot on any internet-facing collector, so its
-// throughput is tracked like the happy path's. --json writes the FUZZ_
-// series in google-benchmark shape for tools/compare_bench.py.
+// throughput is tracked like the happy path's.
+//
+// --wal appends the durability table (serve/wal.h): WAL_append is the
+// write path (accepted report frames appended as CRC-framed records) and
+// WAL_replay the crash-recovery path (the same log replayed into a fresh
+// CollectorSession), both in reports/s — recovery time bounds restart
+// downtime, so it is tracked like serving throughput.
+//
+// --json writes the FUZZ_/WAL_ series in google-benchmark shape for
+// tools/compare_bench.py.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +40,8 @@
 #include "common/mutator.h"
 #include "data/datasets.h"
 #include "protocol/sharded.h"
+#include "serve/collector.h"
+#include "serve/wal.h"
 #include "wire/wire.h"
 
 using namespace numdist;
@@ -51,6 +61,7 @@ int main(int argc, char** argv) {
   uint32_t d = 1024;
   size_t shard_size = 8192;
   bool fuzz = false;
+  bool wal = false;
   std::string json_path;
   std::string methods = "sw-ems,cfo-olh-1024,cfo-grr-16,hh";
   for (int i = 1; i < argc; ++i) {
@@ -65,12 +76,14 @@ int main(int argc, char** argv) {
       methods = arg.substr(10);
     } else if (arg == "--fuzz") {
       fuzz = true;
+    } else if (arg == "--wal") {
+      wal = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else {
       fprintf(stderr,
               "usage: wire_throughput [--n=N] [--d=D] [--methods=a,b,...]\n"
-              "                       [--shard-size=K] [--fuzz]"
+              "                       [--shard-size=K] [--fuzz] [--wal]"
               " [--json=FILE]\n");
       return 2;
     }
@@ -205,13 +218,15 @@ int main(int argc, char** argv) {
            "not part of this run; the 1M reports/s radar did not fire\n");
   }
 
-  struct FuzzRow {
+  // One JSON series entry: items/s with the series-prefixed name
+  // (FUZZ_* = mutants/s, WAL_* = reports/s).
+  struct JsonRow {
     std::string name;
-    size_t mutants = 0;
+    size_t items = 0;
     double seconds = 0.0;
-    size_t rejected = 0;
   };
-  std::vector<FuzzRow> fuzz_rows;
+  std::vector<JsonRow> json_rows;
+
   if (fuzz) {
     // Hostile-input rejection throughput: a representative report and
     // sketch frame (OLH, the wire acceptance method), corrupted by the
@@ -246,9 +261,7 @@ int main(int argc, char** argv) {
                                 {"FUZZ_sketch", &sketch_frame}};
     for (const Surface& surface : surfaces) {
       ByteMutator mutator(0x9E3779B97F4A7C15ULL);
-      FuzzRow row;
-      row.name = surface.name;
-      row.mutants = mutants;
+      size_t rejected = 0;
       const auto start = std::chrono::steady_clock::now();
       for (size_t i = 0; i < mutants; ++i) {
         const std::string mutant = mutator.Mutate(*surface.base);
@@ -260,16 +273,116 @@ int main(int argc, char** argv) {
                 : wire::DecodeSketchFrame(spec, *protocol,
                                           wire::FrameBytes(mutant))
                       .ok();
-        if (!ok) ++row.rejected;
+        if (!ok) ++rejected;
       }
-      row.seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-      fuzz_rows.push_back(row);
-      printf("%-14s %10zu %12.1f %14.0f %10zu\n", row.name.c_str(),
-             row.mutants, row.seconds * 1000.0,
-             static_cast<double>(row.mutants) / row.seconds, row.rejected);
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      json_rows.push_back({surface.name, mutants, seconds});
+      printf("%-14s %10zu %12.1f %14.0f %10zu\n", surface.name.c_str(),
+             mutants, seconds * 1000.0,
+             static_cast<double>(mutants) / seconds, rejected);
     }
+  }
+
+  if (wal) {
+    // Durability throughput: the same accepted report frames a serving
+    // collector would log, appended to a fresh WAL (WAL_append, the write
+    // path the collector pays per accepted frame) and then replayed into a
+    // fresh CollectorSession (WAL_replay, the restart path whose rate
+    // bounds crash-recovery downtime).
+    const auto spec = wire::ParseMethodSpec("sw-ems", 1.0, 64).ValueOrDie();
+    const auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+    const size_t num_shards = (values.size() + shard_size - 1) / shard_size;
+    std::vector<std::string> frames;
+    uint64_t wal_reports = 0;
+    for (size_t i = 0; i < num_shards; ++i) {
+      const size_t begin = i * shard_size;
+      const size_t len = std::min(shard_size, values.size() - begin);
+      Rng rng(ShardSeed(19, i));
+      auto chunk = protocol
+                       ->EncodePerturbBatch(
+                           std::span<const double>(values).subspan(begin, len),
+                           rng)
+                       .ValueOrDie();
+      wal_reports += chunk->num_reports();
+      std::string frame;
+      const Status st =
+          wire::EncodeReportFrame(spec, *protocol, *chunk, &frame);
+      if (!st.ok()) {
+        fprintf(stderr, "wal encode: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      frames.push_back(std::move(frame));
+    }
+    const char* tmpdir = getenv("TMPDIR");
+    const std::string wal_path = std::string(tmpdir != nullptr ? tmpdir
+                                                               : "/tmp") +
+                                 "/wire_throughput_bench.wal";
+    std::remove(wal_path.c_str());
+
+    printf("\ndurability, write-ahead log (sw-ems, %zu-report frames):\n",
+           shard_size);
+    printf("%-14s %10s %12s %14s\n", "path", "reports", "wall_ms",
+           "reports_per_s");
+
+    // Write path: open fresh, append every frame.
+    const auto append_start = std::chrono::steady_clock::now();
+    {
+      auto writer = serve::WalWriter::Open(wal_path, 0);
+      if (!writer.ok()) {
+        fprintf(stderr, "wal open: %s\n",
+                writer.status().ToString().c_str());
+        return 1;
+      }
+      for (const std::string& frame : frames) {
+        const Status st = writer.value().AppendFrame(frame);
+        if (!st.ok()) {
+          fprintf(stderr, "wal append: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    const double append_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                append_start)
+                                .count();
+    json_rows.push_back({"WAL_append", wal_reports, append_s});
+    printf("%-14s %10llu %12.1f %14.0f\n", "WAL_append",
+           static_cast<unsigned long long>(wal_reports), append_s * 1000.0,
+           static_cast<double>(wal_reports) / append_s);
+
+    // Recovery path: replay the finished log into a fresh session.
+    auto session = serve::CollectorSession::Make(spec).ValueOrDie();
+    serve::WalConsumer consumer;
+    consumer.on_frame = [&session](std::string_view frame) {
+      return session.HandleFrame(frame);
+    };
+    consumer.on_checkpoint =
+        [&session](const std::vector<std::string>& sketches) {
+          return session.ResetToSketches(sketches);
+        };
+    const auto replay_start = std::chrono::steady_clock::now();
+    const auto stats = serve::ReplayWal(wal_path, consumer);
+    const double replay_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                replay_start)
+                                .count();
+    if (!stats.ok() || !stats.value().tail.ok() ||
+        session.num_reports() != wal_reports) {
+      fprintf(stderr, "wal replay: %s (recovered %llu of %llu reports)\n",
+              (stats.ok() ? stats.value().tail : stats.status())
+                  .ToString()
+                  .c_str(),
+              static_cast<unsigned long long>(session.num_reports()),
+              static_cast<unsigned long long>(wal_reports));
+      return 1;
+    }
+    json_rows.push_back({"WAL_replay", wal_reports, replay_s});
+    printf("%-14s %10llu %12.1f %14.0f\n", "WAL_replay",
+           static_cast<unsigned long long>(wal_reports), replay_s * 1000.0,
+           static_cast<double>(wal_reports) / replay_s);
+    std::remove(wal_path.c_str());
   }
 
   if (!json_path.empty()) {
@@ -282,18 +395,18 @@ int main(int argc, char** argv) {
     }
     fprintf(out, "{\n \"context\": {\"executable\": \"wire_throughput\"},\n"
                  " \"benchmarks\": [\n");
-    for (size_t i = 0; i < fuzz_rows.size(); ++i) {
-      const FuzzRow& r = fuzz_rows[i];
-      const double ns_per_mutant =
-          r.seconds * 1e9 / static_cast<double>(r.mutants);
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      const double ns_per_item =
+          r.seconds * 1e9 / static_cast<double>(r.items);
       fprintf(out,
               "%s  {\"name\": \"%s\", \"run_name\": \"%s\", "
               "\"run_type\": \"iteration\", \"iterations\": 1, "
               "\"real_time\": %.3f, \"cpu_time\": %.3f, "
               "\"time_unit\": \"ns\", \"items_per_second\": %.3f}",
               i == 0 ? "" : ",\n", r.name.c_str(), r.name.c_str(),
-              ns_per_mutant, ns_per_mutant,
-              static_cast<double>(r.mutants) / r.seconds);
+              ns_per_item, ns_per_item,
+              static_cast<double>(r.items) / r.seconds);
     }
     fprintf(out, "\n ]\n}\n");
     fclose(out);

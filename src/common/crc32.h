@@ -1,0 +1,27 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+// the integrity check framing the write-ahead log records (serve/wal.h).
+//
+// Software-only slice-by-one table implementation: the WAL's durability
+// contract is "a torn or bit-flipped record is a typed error, never a
+// crash or a silently wrong aggregate", and a few hundred MB/s of
+// checksum throughput is far above the log's append rate, so no SSE4.2
+// dispatch is warranted here. The byte-level framing this checksum
+// participates in is specified in docs/WIRE_FORMAT.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace numdist {
+
+/// CRC-32C of `data`, continuing from `seed` (pass the previous call's
+/// return value to checksum a logical record fed in pieces). The empty
+/// string checksums to 0.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace numdist

@@ -100,9 +100,39 @@ Result<std::unique_ptr<CollectorServer>> CollectorServer::Make(
   for (size_t s = 0; s < slots; ++s) {
     NUMDIST_ASSIGN_OR_RETURN(serve::CollectorSession sub,
                              serve::CollectorSession::Make(spec));
+    // Every slot shares the main session's ledger: tenant budgets cap
+    // the process-global spend no matter which slot absorbs a frame.
+    sub.set_ledger(server->main_.ledger());
     server->sub_sessions_.push_back(std::move(sub));
   }
+  if (!options.wal_path.empty()) {
+    // Crash recovery happens here, before the first listener exists:
+    // the log's clean prefix replays into the main session (sub-sessions
+    // start empty either way), then the writer truncates any torn tail
+    // and appends from the recovered offset.
+    serve::CollectorSession* main = &server->main_;
+    serve::WalConsumer consumer;
+    consumer.on_frame = [main](std::string_view frame) {
+      return main->HandleFrame(frame);
+    };
+    consumer.on_checkpoint = [main](const std::vector<std::string>& sketches) {
+      return main->ResetToSketches(sketches);
+    };
+    NUMDIST_ASSIGN_OR_RETURN(server->wal_recovery_,
+                             serve::ReplayWal(options.wal_path, consumer));
+    NUMDIST_ASSIGN_OR_RETURN(
+        serve::WalWriter writer,
+        serve::WalWriter::Open(options.wal_path,
+                               server->wal_recovery_.clean_bytes,
+                               options.wal));
+    server->wal_ = std::make_unique<serve::WalWriter>(std::move(writer));
+  }
   return server;
+}
+
+void CollectorServer::SetTenantBudget(uint32_t tenant,
+                                      serve::TenantBudget budget) {
+  main_.SetTenantBudget(tenant, budget);
 }
 
 CollectorServer::~CollectorServer() = default;
@@ -257,8 +287,45 @@ void CollectorServer::AbsorbPending() {
       }
     }
   }
+  if (wal_ != nullptr && wal_status_.ok()) {
+    // Accepted frames hit the log in batch (= absorption) order, which
+    // is the order recovery replays them in. Absorption itself is
+    // order-independent (exact commutative merges), so the replayed
+    // aggregate is byte-identical regardless of batching.
+    for (size_t i = 0; i < n; ++i) {
+      if (!statuses[i].ok()) continue;
+      const Status appended = wal_->AppendFrame(pending_[i].frame);
+      if (!appended.ok()) {
+        wal_status_ = appended;
+        break;
+      }
+      ++wal_frames_since_checkpoint_;
+    }
+  }
   pending_.clear();
   pending_bytes_ = 0;
+}
+
+Status CollectorServer::MaybeCheckpointWal() {
+  if (wal_ == nullptr || options_.wal.checkpoint_every_frames == 0 ||
+      wal_frames_since_checkpoint_ < options_.wal.checkpoint_every_frames) {
+    return Status::OK();
+  }
+  // Checkpoint = the merged live state (main + every slot), gathered
+  // into a scratch session so the serving accumulators stay untouched.
+  // Merges are exact integers, so the checkpointed state is independent
+  // of slot assignment and merge order.
+  NUMDIST_ASSIGN_OR_RETURN(serve::CollectorSession scratch,
+                           serve::CollectorSession::Make(spec()));
+  NUMDIST_RETURN_NOT_OK(scratch.AbsorbSession(main_));
+  for (const serve::CollectorSession& sub : sub_sessions_) {
+    NUMDIST_RETURN_NOT_OK(scratch.AbsorbSession(sub));
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
+                           scratch.EncodeSketches());
+  NUMDIST_RETURN_NOT_OK(wal_->Compact(sketches));
+  wal_frames_since_checkpoint_ = 0;
+  return Status::OK();
 }
 
 void CollectorServer::FailConnection(Connection* conn, const Status& error) {
@@ -372,21 +439,34 @@ Status CollectorServer::Run() {
       }
     }
     AbsorbPending();
+    if (!wal_status_.ok()) return wal_status_;
+    NUMDIST_RETURN_NOT_OK(MaybeCheckpointWal());
     MaybeEstimate();
     if (options_.expect_frames > 0 &&
         stats_.frames_absorbed >= options_.expect_frames) {
       EnterDrain(/*cut_connections=*/true);
     }
   }
-  return MergeSubSessions();
+  NUMDIST_RETURN_NOT_OK(MergeSubSessions());
+  if (wal_ != nullptr) {
+    // Clean drain: compact down to one checkpoint of the final state, so
+    // a restart replays a single record instead of the whole stream.
+    NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
+                             main_.EncodeSketches());
+    NUMDIST_RETURN_NOT_OK(wal_->Compact(sketches));
+    wal_frames_since_checkpoint_ = 0;
+  }
+  return Status::OK();
 }
 
 Status CollectorServer::MergeSubSessions() {
   if (merged_) return Status::OK();
   for (const serve::CollectorSession& sub : sub_sessions_) {
     if (sub.num_reports() == 0) continue;
-    NUMDIST_ASSIGN_OR_RETURN(const std::string sketch, sub.EncodeSketch());
-    NUMDIST_RETURN_NOT_OK(main_.HandleFrame(sketch));
+    // AbsorbSession (not a sketch-frame round trip): per-tenant merges
+    // without re-charging the shared ledger — those reports were charged
+    // when their frames were first absorbed.
+    NUMDIST_RETURN_NOT_OK(main_.AbsorbSession(sub));
   }
   merged_ = true;
   return Status::OK();

@@ -87,6 +87,16 @@ struct ServerOptions {
   /// into ServerStats::latency_ns. Bench-only; off in production serving.
   bool record_latency = false;
 
+  /// Write-ahead log path (empty = no durability). Make replays the log
+  /// into the main session before serving (crash recovery), every
+  /// absorbed frame is appended in absorption order, and the log is
+  /// compacted to a checkpoint of the final state at drain. A collector
+  /// killed at any byte offset restarts byte-identical to an
+  /// uninterrupted run over the logged frames (serve/wal.h).
+  std::string wal_path;
+  /// Checkpoint cadence / sync policy for wal_path.
+  serve::WalOptions wal;
+
   /// Live estimation cadence: re-reconstruct after this many newly
   /// absorbed frames (0 = off). SW methods only (the estimate is the
   /// paper's EM/EMS reconstruction); Make rejects other specs when a
@@ -152,6 +162,14 @@ class CollectorServer {
   /// Reports aggregated so far. Complete only after Run returns.
   uint64_t num_reports() const;
 
+  /// What WAL recovery replayed before serving began (zeroes when
+  /// ServerOptions::wal_path was empty or named a fresh log).
+  const serve::WalReplayStats& wal_recovery() const { return wal_recovery_; }
+
+  /// Caps one tenant's global spend across every sub-session (the ledger
+  /// is shared, so parallel absorption enforces one process-wide budget).
+  void SetTenantBudget(uint32_t tenant, serve::TenantBudget budget);
+
   /// The shared estimator behind live estimation (null unless a cadence
   /// was configured). Sinks use it to build snapshot frames
   /// (StreamingAggregator::ForEstimator) matching the live counts.
@@ -178,6 +196,9 @@ class CollectorServer {
   Status HandleAccept(Listener* listener);
   void HandleReadable(Connection* conn);
   void AbsorbPending();
+  /// Compacts the WAL to a checkpoint of the merged live state once the
+  /// append cadence is due (no-op without a WAL or cadence).
+  Status MaybeCheckpointWal();
   void FailConnection(Connection* conn, const Status& error);
   void CloseConnection(Connection* conn);
   void ReapClosed();
@@ -199,6 +220,17 @@ class CollectorServer {
   /// Per-executor-slot sub-aggregates, merged into main_ at drain.
   std::vector<serve::CollectorSession> sub_sessions_;
   bool merged_ = false;
+
+  /// Durability (null unless ServerOptions::wal_path was set). The server
+  /// owns the writer — appends happen from the batch loop in absorption
+  /// order, NOT through main_, whose HandleFrame path must stay silent
+  /// during the drain-time sub-session merge.
+  std::unique_ptr<serve::WalWriter> wal_;
+  serve::WalReplayStats wal_recovery_;
+  uint64_t wal_frames_since_checkpoint_ = 0;
+  /// First WAL append failure; fatal (Run returns it — an aggregate the
+  /// log no longer covers must not keep growing silently).
+  Status wal_status_ = Status::OK();
 
   /// Live estimation (null unless a cadence is configured). The
   /// reconstructor only ever READS accumulator state (ExportState sums),

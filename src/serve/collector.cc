@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <ostream>
 #include <utility>
@@ -10,6 +11,57 @@
 #include "serve/framing.h"
 
 namespace numdist::serve {
+
+void TenantLedger::SetBudget(uint32_t tenant, TenantBudget budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[tenant].budget = budget;
+}
+
+Status TenantLedger::Charge(uint32_t tenant, uint64_t num_reports,
+                            double epsilon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[tenant];
+  const uint64_t projected = entry.spent + num_reports;
+  if (entry.budget.max_reports > 0 &&
+      projected > entry.budget.max_reports) {
+    return Status::FailedPrecondition(
+        "collector: tenant " + std::to_string(tenant) +
+        " over report budget (" + std::to_string(projected) + " > " +
+        std::to_string(entry.budget.max_reports) + " reports)");
+  }
+  if (entry.budget.max_epsilon > 0.0 &&
+      static_cast<double>(projected) * epsilon > entry.budget.max_epsilon) {
+    return Status::FailedPrecondition(
+        "collector: tenant " + std::to_string(tenant) +
+        " over epsilon budget (" + std::to_string(projected) +
+        " reports x epsilon " + std::to_string(epsilon) + " exceeds " +
+        std::to_string(entry.budget.max_epsilon) + ")");
+  }
+  entry.spent = projected;
+  return Status::OK();
+}
+
+void TenantLedger::Refund(uint32_t tenant, uint64_t num_reports) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[tenant];
+  entry.spent -= std::min(entry.spent, num_reports);
+}
+
+uint64_t TenantLedger::spent_reports(uint32_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0 : it->second.spent;
+}
+
+void TenantLedger::ResetSpend() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [tenant, entry] : entries_) entry.spent = 0;
+}
+
+void TenantLedger::SetSpent(uint32_t tenant, uint64_t num_reports) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[tenant].spent = num_reports;
+}
 
 Result<CollectorSession> CollectorSession::Make(const wire::MethodSpec& spec) {
   NUMDIST_ASSIGN_OR_RETURN(ProtocolPtr protocol,
@@ -20,22 +72,68 @@ Result<CollectorSession> CollectorSession::Make(const wire::MethodSpec& spec) {
 
 CollectorSession::CollectorSession(wire::MethodSpec spec, ProtocolPtr protocol,
                                    std::unique_ptr<Accumulator> acc)
-    : spec_(spec), protocol_(std::move(protocol)), acc_(std::move(acc)) {}
+    : spec_(spec),
+      protocol_(std::move(protocol)),
+      acc_(std::move(acc)),
+      ledger_(std::make_shared<TenantLedger>()) {}
+
+uint64_t CollectorSession::num_reports() const {
+  uint64_t total = acc_->num_reports();
+  for (const auto& [tenant, acc] : tenants_) total += acc->num_reports();
+  return total;
+}
+
+Accumulator* CollectorSession::FindTenant(uint32_t tenant) {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+const Accumulator* CollectorSession::FindTenant(uint32_t tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
 
 Status CollectorSession::HandleFrame(std::span<const uint8_t> frame) {
   NUMDIST_ASSIGN_OR_RETURN(const wire::FrameInfo info, wire::PeekFrame(frame));
+  // Reservation-then-absorb, into a staged accumulator for a first-seen
+  // tenant: any failure (over budget, shape mismatch) must leave every
+  // accumulator, the tenant map, AND the ledger exactly as they were.
+  const auto absorb = [&](uint64_t reports, auto&& apply) -> Status {
+    Accumulator* target = nullptr;
+    std::unique_ptr<Accumulator> staged;
+    if (info.tenant == wire::kDefaultTenant) {
+      target = acc_.get();
+    } else if (Accumulator* existing = FindTenant(info.tenant)) {
+      target = existing;
+    } else {
+      staged = protocol_->MakeAccumulator();
+      target = staged.get();
+    }
+    NUMDIST_RETURN_NOT_OK(ledger_->Charge(info.tenant, reports, spec_.epsilon));
+    const Status applied = apply(target);
+    if (!applied.ok()) {
+      ledger_->Refund(info.tenant, reports);
+      return applied;
+    }
+    if (staged != nullptr) tenants_[info.tenant] = std::move(staged);
+    return LogAccepted(frame);
+  };
   switch (info.type) {
     case wire::FrameType::kReports: {
       NUMDIST_ASSIGN_OR_RETURN(
           std::unique_ptr<ReportChunk> chunk,
           wire::DecodeReportFrame(spec_, *protocol_, frame));
-      return acc_->Absorb(*chunk);
+      return absorb(chunk->num_reports(), [&](Accumulator* acc) {
+        return acc->Absorb(*chunk);
+      });
     }
     case wire::FrameType::kSketch: {
       NUMDIST_ASSIGN_OR_RETURN(
           std::unique_ptr<Accumulator> other,
           wire::DecodeSketchFrame(spec_, *protocol_, frame));
-      return acc_->Merge(*other);
+      return absorb(other->num_reports(), [&](Accumulator* acc) {
+        return acc->Merge(*other);
+      });
     }
     case wire::FrameType::kSnapshot:
       return Status::InvalidArgument(
@@ -49,15 +147,201 @@ Status CollectorSession::HandleFrame(std::string_view frame) {
   return HandleFrame(wire::FrameBytes(frame));
 }
 
+Result<std::unique_ptr<Accumulator>> CollectorSession::MergedTotal() const {
+  std::unique_ptr<Accumulator> total = protocol_->MakeAccumulator();
+  NUMDIST_RETURN_NOT_OK(total->Merge(*acc_));
+  for (const auto& [tenant, acc] : tenants_) {
+    NUMDIST_RETURN_NOT_OK(total->Merge(*acc));
+  }
+  return total;
+}
+
 Result<std::string> CollectorSession::EncodeSketch() const {
   std::string frame;
-  NUMDIST_RETURN_NOT_OK(wire::EncodeSketchFrame(spec_, *acc_, &frame));
+  if (tenants_.empty()) {
+    // The pre-tenant fast path: byte-identical to encoding acc_ directly.
+    NUMDIST_RETURN_NOT_OK(wire::EncodeSketchFrame(spec_, *acc_, &frame));
+    return frame;
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const std::unique_ptr<Accumulator> total,
+                           MergedTotal());
+  NUMDIST_RETURN_NOT_OK(wire::EncodeSketchFrame(spec_, *total, &frame));
   return frame;
 }
 
-Result<MethodOutput> CollectorSession::Reconstruct() const {
-  return protocol_->Reconstruct(*acc_);
+Result<std::vector<std::string>> CollectorSession::EncodeSketches() const {
+  std::vector<std::string> frames;
+  for (const auto& [tenant, acc] : tenants_) {
+    if (acc->num_reports() == 0) continue;
+    std::string frame;
+    NUMDIST_RETURN_NOT_OK(wire::EncodeSketchFrame(spec_, tenant, *acc,
+                                                  &frame));
+    frames.push_back(std::move(frame));
+  }
+  // The default tenant's untagged frame leads. An entirely empty session
+  // still exports its (empty) default sketch, preserving the pre-tenant
+  // "a collector always emits exactly one sketch" contract downstream.
+  if (acc_->num_reports() > 0 || frames.empty()) {
+    std::string frame;
+    NUMDIST_RETURN_NOT_OK(wire::EncodeSketchFrame(spec_, *acc_, &frame));
+    frames.insert(frames.begin(), std::move(frame));
+  }
+  return frames;
 }
+
+AccumulatorState CollectorSession::ExportState() const {
+  if (tenants_.empty()) return acc_->ExportState();
+  Result<std::unique_ptr<Accumulator>> total = MergedTotal();
+  // Same-session accumulators share one protocol family, so the merge
+  // cannot shape-mismatch; the fallback only guards a logic error.
+  if (!total.ok()) return acc_->ExportState();
+  return total.value()->ExportState();
+}
+
+Result<AccumulatorState> CollectorSession::ExportTenantState(
+    uint32_t tenant) const {
+  if (tenant == wire::kDefaultTenant) return acc_->ExportState();
+  const Accumulator* acc = FindTenant(tenant);
+  if (acc == nullptr) {
+    return Status::InvalidArgument("collector: unknown tenant " +
+                                   std::to_string(tenant));
+  }
+  return acc->ExportState();
+}
+
+std::vector<uint32_t> CollectorSession::TenantIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [tenant, acc] : tenants_) ids.push_back(tenant);
+  return ids;
+}
+
+void CollectorSession::SetTenantBudget(uint32_t tenant, TenantBudget budget) {
+  ledger_->SetBudget(tenant, budget);
+}
+
+void CollectorSession::set_ledger(std::shared_ptr<TenantLedger> ledger) {
+  if (ledger != nullptr) ledger_ = std::move(ledger);
+}
+
+Status CollectorSession::AbsorbSession(const CollectorSession& other) {
+  NUMDIST_RETURN_NOT_OK(acc_->Merge(*other.acc_));
+  for (const auto& [tenant, acc] : other.tenants_) {
+    Accumulator* mine = FindTenant(tenant);
+    if (mine == nullptr) {
+      std::unique_ptr<Accumulator> fresh = protocol_->MakeAccumulator();
+      NUMDIST_RETURN_NOT_OK(fresh->Merge(*acc));
+      tenants_[tenant] = std::move(fresh);
+    } else {
+      NUMDIST_RETURN_NOT_OK(mine->Merge(*acc));
+    }
+  }
+  return Status::OK();
+}
+
+Status CollectorSession::ResetToSketches(
+    const std::vector<std::string>& sketches) {
+  // Stage the full restored state first: a malformed checkpoint must not
+  // leave the session half-reset.
+  std::unique_ptr<Accumulator> def = protocol_->MakeAccumulator();
+  std::map<uint32_t, std::unique_ptr<Accumulator>> tenants;
+  for (const std::string& frame : sketches) {
+    NUMDIST_ASSIGN_OR_RETURN(const wire::FrameInfo info,
+                             wire::PeekFrame(frame));
+    if (info.type != wire::FrameType::kSketch) {
+      return Status::InvalidArgument(
+          "collector: checkpoint holds a non-sketch frame");
+    }
+    NUMDIST_ASSIGN_OR_RETURN(
+        std::unique_ptr<Accumulator> acc,
+        wire::DecodeSketchFrame(spec_, *protocol_, wire::FrameBytes(frame)));
+    if (info.tenant == wire::kDefaultTenant) {
+      NUMDIST_RETURN_NOT_OK(def->Merge(*acc));
+    } else if (Accumulator* existing = [&]() -> Accumulator* {
+                 const auto it = tenants.find(info.tenant);
+                 return it == tenants.end() ? nullptr : it->second.get();
+               }()) {
+      NUMDIST_RETURN_NOT_OK(existing->Merge(*acc));
+    } else {
+      tenants[info.tenant] = std::move(acc);
+    }
+  }
+  acc_ = std::move(def);
+  tenants_ = std::move(tenants);
+  // Re-seat the ledger on the restored state so budgets keep counting
+  // from exactly the reports the aggregate actually holds.
+  ledger_->ResetSpend();
+  ledger_->SetSpent(wire::kDefaultTenant, acc_->num_reports());
+  for (const auto& [tenant, acc] : tenants_) {
+    ledger_->SetSpent(tenant, acc->num_reports());
+  }
+  return Status::OK();
+}
+
+Status CollectorSession::LogAccepted(std::span<const uint8_t> frame) {
+  if (wal_ == nullptr) return Status::OK();
+  NUMDIST_RETURN_NOT_OK(wal_->AppendFrame(std::string_view(
+      reinterpret_cast<const char*>(frame.data()), frame.size())));
+  ++wal_frames_since_checkpoint_;
+  const uint64_t every = wal_->options().checkpoint_every_frames;
+  if (every > 0 && wal_frames_since_checkpoint_ >= every) {
+    return CompactWal();
+  }
+  return Status::OK();
+}
+
+Result<WalReplayStats> CollectorSession::RecoverAndAttachWal(
+    const std::string& path, const WalOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("collector: a WAL is already attached");
+  }
+  WalConsumer consumer;
+  consumer.on_frame = [this](std::string_view frame) {
+    return HandleFrame(frame);
+  };
+  consumer.on_checkpoint = [this](const std::vector<std::string>& sketches) {
+    return ResetToSketches(sketches);
+  };
+  NUMDIST_ASSIGN_OR_RETURN(const WalReplayStats stats,
+                           ReplayWal(path, consumer));
+  NUMDIST_ASSIGN_OR_RETURN(WalWriter writer,
+                           WalWriter::Open(path, stats.clean_bytes, options));
+  wal_ = std::make_unique<WalWriter>(std::move(writer));
+  wal_frames_since_checkpoint_ = 0;
+  return stats;
+}
+
+Status CollectorSession::CompactWal() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("collector: no WAL attached");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
+                           EncodeSketches());
+  NUMDIST_RETURN_NOT_OK(wal_->Compact(sketches));
+  wal_frames_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Result<MethodOutput> CollectorSession::Reconstruct() const {
+  if (tenants_.empty()) return protocol_->Reconstruct(*acc_);
+  NUMDIST_ASSIGN_OR_RETURN(const std::unique_ptr<Accumulator> total,
+                           MergedTotal());
+  return protocol_->Reconstruct(*total);
+}
+
+namespace {
+
+Status WriteSketches(std::ostream& out, CollectorSession* session) {
+  NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
+                           session->EncodeSketches());
+  for (const std::string& sketch : sketches) {
+    NUMDIST_RETURN_NOT_OK(WriteFrame(out, sketch));
+  }
+  out.flush();
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ServeStream(std::istream& in, std::ostream& out,
                    CollectorSession* session) {
@@ -68,10 +352,7 @@ Status ServeStream(std::istream& in, std::ostream& out,
     if (eof) break;
     NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame));
   }
-  NUMDIST_ASSIGN_OR_RETURN(const std::string sketch, session->EncodeSketch());
-  NUMDIST_RETURN_NOT_OK(WriteFrame(out, sketch));
-  out.flush();
-  return Status::OK();
+  return WriteSketches(out, session);
 }
 
 Status ServeFd(int in_fd, std::ostream& out, CollectorSession* session,
@@ -118,10 +399,7 @@ Status ServeFd(int in_fd, std::ostream& out, CollectorSession* session,
       NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame));
     }
   }
-  NUMDIST_ASSIGN_OR_RETURN(const std::string sketch, session->EncodeSketch());
-  NUMDIST_RETURN_NOT_OK(WriteFrame(out, sketch));
-  out.flush();
-  return Status::OK();
+  return WriteSketches(out, session);
 }
 
 }  // namespace numdist::serve

@@ -1,5 +1,5 @@
 // The cross-process collector: one CollectorSession per OS process, each
-// absorbing a stream of wire frames into a Protocol accumulator.
+// absorbing a stream of wire frames into Protocol accumulators.
 //
 // Deployment shape (mirroring the paper's aggregator, scaled out):
 //
@@ -13,7 +13,21 @@
 // payload is touched. Because accumulator state is exact integers and
 // merging is associative, the coordinator's estimate is bit-identical to a
 // single-process sharded run over the same report chunks — the invariant
-// tests/wire_process_test.cc asserts across real child processes.
+// tests/wire_process_test.cc asserts across real child processes. Since
+// sketch-frame absorption is the same path, coordinators compose into a
+// merge TREE: any shape (flat, binary, lopsided) over the same shard set
+// produces a byte-identical root sketch (tests/merge_tree_test.cc).
+//
+// Multi-tenancy: frames carrying a tenant context (wire::kFlagTenantContext)
+// are routed to per-tenant accumulators inside the same session, with
+// per-tenant report/epsilon budgets enforced by a TenantLedger shared
+// across every session of one process (so the event-loop server's parallel
+// sub-sessions enforce one global budget). An over-budget frame is a typed
+// FailedPrecondition rejection that leaves every accumulator untouched.
+//
+// Durability: RecoverAndAttachWal replays a write-ahead log (serve/wal.h)
+// and then logs every accepted frame, so a collector killed at any byte
+// offset restarts with the exact pre-crash state.
 //
 // tools/collector_cli wraps ServeStream as a stdin/stdout daemon;
 // tools/report_client generates deterministic client load against it.
@@ -21,15 +35,65 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "serve/framing.h"
+#include "serve/wal.h"
 #include "wire/wire.h"
 
 namespace numdist::serve {
+
+/// Per-tenant admission caps. Zero means unlimited on that axis.
+struct TenantBudget {
+  /// Most reports this tenant may contribute (report frames + merged
+  /// sketch frames both count).
+  uint64_t max_reports = 0;
+  /// Privacy-odometer cap: the tenant's cumulative epsilon spend —
+  /// reports × the session epsilon (every frame of one session carries
+  /// the same spec, so per-report spend is constant) — may not exceed
+  /// this.
+  double max_epsilon = 0.0;
+};
+
+/// \brief Thread-safe per-tenant budget accounting, shared across every
+/// CollectorSession of one collector process.
+///
+/// The event-loop server absorbs frames in parallel into per-slot
+/// sub-sessions; sharing one ledger is what makes the budget a single
+/// global cap instead of one cap per slot. Charges are reservations: a
+/// frame is charged before it is absorbed and refunded if absorption
+/// fails, so the spend always equals the reports actually aggregated.
+class TenantLedger {
+ public:
+  void SetBudget(uint32_t tenant, TenantBudget budget);
+
+  /// Reserves `num_reports` for `tenant` at `epsilon` per report. Typed
+  /// FailedPrecondition when either cap would be exceeded; the spend is
+  /// unchanged on rejection.
+  Status Charge(uint32_t tenant, uint64_t num_reports, double epsilon);
+  /// Releases a reservation whose absorb failed.
+  void Refund(uint32_t tenant, uint64_t num_reports);
+
+  uint64_t spent_reports(uint32_t tenant) const;
+  /// Zeroes every tenant's spend, keeping budgets (checkpoint restore).
+  void ResetSpend();
+  /// Overwrites one tenant's spend (checkpoint restore).
+  void SetSpent(uint32_t tenant, uint64_t num_reports);
+
+ private:
+  struct Entry {
+    TenantBudget budget;
+    uint64_t spent = 0;
+  };
+  mutable std::mutex mu_;
+  std::map<uint32_t, Entry> entries_;
+};
 
 /// \brief One collector (or coordinator) process's aggregation state.
 class CollectorSession {
@@ -38,43 +102,107 @@ class CollectorSession {
   static Result<CollectorSession> Make(const wire::MethodSpec& spec);
 
   const wire::MethodSpec& spec() const { return spec_; }
-  /// Reports absorbed so far (report frames + merged sketch frames).
-  uint64_t num_reports() const { return acc_->num_reports(); }
+  /// Reports absorbed so far (report frames + merged sketch frames),
+  /// across the default and every tenant accumulator.
+  uint64_t num_reports() const;
 
   /// Folds one wire frame in: report frames are decoded and absorbed,
-  /// sketch frames are decoded and merged. Snapshot or malformed frames
-  /// are typed errors; a failed frame leaves the aggregate untouched.
+  /// sketch frames are decoded and merged — each into the accumulator of
+  /// the frame's tenant context (the default accumulator when untagged).
+  /// Snapshot, malformed, and over-budget frames are typed errors; a
+  /// failed frame leaves every accumulator and the ledger untouched.
   Status HandleFrame(std::span<const uint8_t> frame);
   Status HandleFrame(std::string_view frame);
 
-  /// This session's aggregate as a wire sketch frame (what a collector
-  /// ships to the coordinator).
+  /// This session's TOTAL aggregate (default + all tenants merged) as one
+  /// untagged wire sketch frame (what a collector ships to a coordinator
+  /// when per-tenant separation is not needed downstream).
   Result<std::string> EncodeSketch() const;
 
-  /// Exact-integer snapshot of the accumulator (protocol.h). Read-only:
-  /// live estimation sums these across sessions without touching the
-  /// aggregate, so periodic estimates can never perturb the final sketch.
-  AccumulatorState ExportState() const { return acc_->ExportState(); }
+  /// The session's full state as one sketch frame per non-empty
+  /// accumulator: the default tenant's untagged frame first, then one
+  /// tenant-tagged frame per tenant in ascending id order. This is the
+  /// lossless export — shipping these upstream preserves per-tenant
+  /// routing, and it is the WAL's checkpoint currency.
+  Result<std::vector<std::string>> EncodeSketches() const;
 
-  /// Inverts the aggregate into the method output. Requires
-  /// num_reports() > 0.
+  /// Exact-integer snapshot of the aggregate (protocol.h). With tenants
+  /// in play this is the MERGED total state; ExportTenantState reads one
+  /// tenant. Read-only: live estimation sums these across sessions
+  /// without touching the aggregate, so periodic estimates can never
+  /// perturb the final sketch.
+  AccumulatorState ExportState() const;
+  /// One tenant's exact state (wire::kDefaultTenant = the default
+  /// accumulator). Unknown tenants are InvalidArgument.
+  Result<AccumulatorState> ExportTenantState(uint32_t tenant) const;
+  /// Tenants with an accumulator, ascending (excludes the default).
+  std::vector<uint32_t> TenantIds() const;
+
+  /// Budget accounting. The ledger is shared: the server points every
+  /// sub-session at one ledger so budgets cap the process-global spend.
+  void SetTenantBudget(uint32_t tenant, TenantBudget budget);
+  const std::shared_ptr<TenantLedger>& ledger() const { return ledger_; }
+  void set_ledger(std::shared_ptr<TenantLedger> ledger);
+
+  /// Merges every accumulator of `other` (default + tenants, per tenant)
+  /// into this session WITHOUT charging the ledger — the frames behind
+  /// `other`'s state were charged when first absorbed. This is how the
+  /// server folds its per-slot sub-sessions into the main session at
+  /// drain without double-spending budgets or collapsing tenants.
+  Status AbsorbSession(const CollectorSession& other);
+
+  /// Replaces the session's state with the given sketch frames (one per
+  /// tenant, as produced by EncodeSketches) — the WAL checkpoint restore:
+  /// RESET semantics, not merge. On failure the session is unchanged.
+  Status ResetToSketches(const std::vector<std::string>& sketches);
+
+  /// Replays the WAL at `path` into this session (frames through
+  /// HandleFrame, checkpoints through ResetToSketches) and keeps the log
+  /// attached: every subsequently accepted frame is appended, and the
+  /// log is compacted every options.checkpoint_every_frames frames. The
+  /// torn-tail contract is ReplayWal's; the returned stats carry it.
+  Result<WalReplayStats> RecoverAndAttachWal(const std::string& path,
+                                             const WalOptions& options = {});
+  /// Compacts the attached WAL down to a checkpoint of the current state
+  /// (FailedPrecondition when no WAL is attached).
+  Status CompactWal();
+  bool has_wal() const { return wal_ != nullptr; }
+
+  /// Inverts the TOTAL aggregate (default + tenants) into the method
+  /// output. Requires num_reports() > 0.
   Result<MethodOutput> Reconstruct() const;
 
  private:
   CollectorSession(wire::MethodSpec spec, ProtocolPtr protocol,
                    std::unique_ptr<Accumulator> acc);
 
+  /// The tenant's accumulator, or null when the tenant has none yet.
+  Accumulator* FindTenant(uint32_t tenant);
+  const Accumulator* FindTenant(uint32_t tenant) const;
+  /// The total aggregate as one freshly merged accumulator.
+  Result<std::unique_ptr<Accumulator>> MergedTotal() const;
+  /// Appends an accepted frame to the WAL and runs the checkpoint cadence.
+  Status LogAccepted(std::span<const uint8_t> frame);
+
   wire::MethodSpec spec_;
   ProtocolPtr protocol_;
+  /// The default tenant's accumulator (untagged frames).
   std::unique_ptr<Accumulator> acc_;
+  /// Lazily created per-tenant accumulators (tenant-tagged frames).
+  std::map<uint32_t, std::unique_ptr<Accumulator>> tenants_;
+  std::shared_ptr<TenantLedger> ledger_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_frames_since_checkpoint_ = 0;
 };
 
 /// The collector daemon loop: reads length-prefixed frames from `in` until
 /// a clean EOF, folds each into `session`, then writes the session's
-/// length-prefixed sketch frame to `out`. Any frame error aborts the loop
-/// with that error (and writes nothing), so a partial stream can never
-/// masquerade as a completed shard. iostreams cannot time out a blocked
-/// read; use ServeFd when the peer may stall.
+/// length-prefixed sketch frames to `out` (one per non-empty tenant; a
+/// tenantless session writes exactly one untagged frame, byte-identical
+/// to the pre-tenant protocol). Any frame error aborts the loop with that
+/// error (and writes nothing), so a partial stream can never masquerade
+/// as a completed shard. iostreams cannot time out a blocked read; use
+/// ServeFd when the peer may stall.
 Status ServeStream(std::istream& in, std::ostream& out,
                    CollectorSession* session);
 
@@ -91,7 +219,7 @@ struct ServeFdOptions {
 };
 
 /// ServeStream over a raw file descriptor (pipes, stdio, sockets): the
-/// same lifecycle — frames to clean EOF, then one sketch frame on `out` —
+/// same lifecycle — frames to clean EOF, then the sketch frames on `out` —
 /// but read via poll(2) + the incremental FrameDecoder, which is what
 /// makes the mid-frame read deadline implementable at all. Byte-for-byte
 /// output-compatible with ServeStream on the same input.

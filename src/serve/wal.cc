@@ -1,0 +1,330 @@
+#include "serve/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace numdist::serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal("wal: " + what + " failed (" +
+                          std::strerror(errno) + ")");
+}
+
+Status WriteAllFd(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t wrote = write(fd, data.data() + off, data.size() - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+// Reads exactly `len` bytes unless EOF intervenes; returns bytes read.
+Result<size_t> ReadUpTo(int fd, char* dst, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t got = read(fd, dst + off, len - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (got == 0) break;
+    off += static_cast<size_t>(got);
+  }
+  return off;
+}
+
+void AppendHeader(std::string* out) {
+  ByteWriter writer(out);
+  writer.PutU32(kWalMagic);
+  writer.PutU16(kWalVersion);
+  writer.PutU16(0);
+}
+
+// Record = u32 body length, u32 CRC-32C(body), body.
+void AppendRecord(std::string_view body, std::string* out) {
+  ByteWriter writer(out);
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  writer.PutU32(Crc32c(body));
+  writer.PutBytes(body.data(), body.size());
+}
+
+std::string CheckpointBody(const std::vector<std::string>& sketches) {
+  std::string body;
+  ByteWriter writer(&body);
+  writer.PutU8(static_cast<uint8_t>(WalRecordType::kCheckpoint));
+  writer.PutU32(static_cast<uint32_t>(sketches.size()));
+  for (const std::string& sketch : sketches) {
+    writer.PutU32(static_cast<uint32_t>(sketch.size()));
+    writer.PutBytes(sketch.data(), sketch.size());
+  }
+  return body;
+}
+
+// The torn-tail taxonomy: truncation and checksum failures are what a
+// crashed write leaves behind, so they end replay with the prefix state
+// instead of failing it.
+Status TornTail(uint64_t offset, const std::string& why) {
+  return Status::OutOfRange("wal: torn tail at byte " +
+                            std::to_string(offset) + ": " + why);
+}
+
+Status DecodeCheckpointBody(std::string_view payload,
+                            std::vector<std::string>* sketches) {
+  ByteReader in(payload);
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t count, in.U32());
+  sketches->clear();
+  sketches->reserve(std::min<size_t>(count, in.remaining() / 4));
+  for (uint32_t i = 0; i < count; ++i) {
+    NUMDIST_ASSIGN_OR_RETURN(const uint32_t len, in.U32());
+    if (len > in.remaining()) {
+      return Status::InvalidArgument(
+          "wal: checkpoint sketch length exceeds the record payload");
+    }
+    std::string sketch(len, '\0');
+    NUMDIST_RETURN_NOT_OK(in.Bytes(sketch.data(), len));
+    sketches->push_back(std::move(sketch));
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument(
+        "wal: trailing byte(s) after checkpoint payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalReplayStats> ReplayWal(const std::string& path,
+                                 const WalConsumer& consumer) {
+  WalReplayStats stats;
+  const int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return stats;  // no log yet: empty history
+    return Errno("open '" + path + "'");
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { close(fd); }
+  } closer{fd};
+
+  char header[kWalHeaderBytes];
+  NUMDIST_ASSIGN_OR_RETURN(const size_t header_got,
+                           ReadUpTo(fd, header, sizeof(header)));
+  if (header_got == 0) return stats;  // empty file: empty history
+  if (header_got < sizeof(header)) {
+    stats.tail = TornTail(0, "log shorter than the file header");
+    return stats;
+  }
+  {
+    ByteReader in(std::string_view(header, sizeof(header)));
+    const uint32_t magic = in.U32().ValueOrDie();
+    const uint16_t version = in.U16().ValueOrDie();
+    if (magic != kWalMagic) {
+      return Status::InvalidArgument(
+          "wal: bad magic in '" + path + "' (not a numdist WAL)");
+    }
+    if (version != kWalVersion) {
+      return Status::FailedPrecondition(
+          "wal: unsupported WAL version " + std::to_string(version) +
+          " (this build reads version " + std::to_string(kWalVersion) + ")");
+    }
+  }
+  stats.clean_bytes = kWalHeaderBytes;
+
+  std::string body;
+  std::vector<std::string> sketches;
+  for (;;) {
+    char record_header[8];
+    NUMDIST_ASSIGN_OR_RETURN(const size_t got,
+                             ReadUpTo(fd, record_header, sizeof(record_header)));
+    if (got == 0) break;  // clean record boundary
+    if (got < sizeof(record_header)) {
+      stats.tail = TornTail(stats.clean_bytes, "record header cut short");
+      return stats;
+    }
+    ByteReader in(std::string_view(record_header, sizeof(record_header)));
+    const uint32_t len = in.U32().ValueOrDie();
+    const uint32_t crc = in.U32().ValueOrDie();
+    if (len == 0) {
+      // A zero length with a zero CRC is exactly what a zero-filled
+      // (preallocated) tail reads as; classify it as torn, not as a
+      // record.
+      stats.tail = TornTail(stats.clean_bytes, "empty record body");
+      return stats;
+    }
+    if (len > kMaxWalRecordBytes) {
+      stats.tail = TornTail(stats.clean_bytes,
+                            "record length " + std::to_string(len) +
+                                " exceeds the record ceiling");
+      return stats;
+    }
+    body.resize(len);
+    NUMDIST_ASSIGN_OR_RETURN(const size_t body_got,
+                             ReadUpTo(fd, body.data(), len));
+    if (body_got < len) {
+      stats.tail = TornTail(stats.clean_bytes, "record body cut short");
+      return stats;
+    }
+    if (Crc32c(body) != crc) {
+      stats.tail = TornTail(stats.clean_bytes, "record CRC mismatch");
+      return stats;
+    }
+    // From here the record is intact: malformed content is corruption a
+    // torn write cannot explain, and therefore a hard error.
+    const auto type = static_cast<WalRecordType>(
+        static_cast<uint8_t>(body[0]));
+    const std::string_view payload(body.data() + 1, body.size() - 1);
+    switch (type) {
+      case WalRecordType::kFrame:
+        if (consumer.on_frame) {
+          NUMDIST_RETURN_NOT_OK(consumer.on_frame(payload));
+        }
+        ++stats.frames;
+        break;
+      case WalRecordType::kCheckpoint:
+        NUMDIST_RETURN_NOT_OK(DecodeCheckpointBody(payload, &sketches));
+        if (consumer.on_checkpoint) {
+          NUMDIST_RETURN_NOT_OK(consumer.on_checkpoint(sketches));
+        }
+        ++stats.checkpoints;
+        break;
+      default:
+        return Status::InvalidArgument(
+            "wal: unknown record type " +
+            std::to_string(static_cast<int>(type)) + " at byte " +
+            std::to_string(stats.clean_bytes));
+    }
+    stats.clean_bytes += sizeof(record_header) + len;
+  }
+  return stats;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path, uint64_t resume_at,
+                                  const WalOptions& options) {
+  const int fd = open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open '" + path + "'");
+  uint64_t bytes = 0;
+  if (resume_at < kWalHeaderBytes) {
+    // Fresh (or unreadably short) log: rewrite from scratch.
+    if (ftruncate(fd, 0) != 0) {
+      close(fd);
+      return Errno("ftruncate '" + path + "'");
+    }
+    std::string header;
+    AppendHeader(&header);
+    const Status wrote = WriteAllFd(fd, header);
+    if (!wrote.ok()) {
+      close(fd);
+      return wrote;
+    }
+    bytes = kWalHeaderBytes;
+  } else {
+    // Resume after the replayed clean prefix; the torn tail (if any) is
+    // discarded here so a crashed write can never precede fresh records.
+    if (ftruncate(fd, static_cast<off_t>(resume_at)) != 0) {
+      close(fd);
+      return Errno("ftruncate '" + path + "'");
+    }
+    if (lseek(fd, 0, SEEK_END) < 0) {
+      close(fd);
+      return Errno("lseek '" + path + "'");
+    }
+    bytes = resume_at;
+  }
+  return WalWriter(fd, path, bytes, options);
+}
+
+WalWriter::WalWriter(int fd, std::string path, uint64_t bytes,
+                     WalOptions options)
+    : fd_(fd), path_(std::move(path)), bytes_(bytes), options_(options) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) close(fd_);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      bytes_(other.bytes_),
+      options_(other.options_) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    bytes_ = other.bytes_;
+    options_ = other.options_;
+  }
+  return *this;
+}
+
+Status WalWriter::AppendFrame(std::string_view frame) {
+  std::string record;
+  record.reserve(8 + 1 + frame.size());
+  std::string body;
+  body.reserve(1 + frame.size());
+  ByteWriter(&body).PutU8(static_cast<uint8_t>(WalRecordType::kFrame));
+  body.append(frame);
+  AppendRecord(body, &record);
+  NUMDIST_RETURN_NOT_OK(WriteAllFd(fd_, record));
+  bytes_ += record.size();
+  if (options_.sync_each_record) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Compact(const std::vector<std::string>& sketches) {
+  const std::string tmp_path = path_ + ".compact.tmp";
+  const int tmp_fd =
+      open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) return Errno("open '" + tmp_path + "'");
+  std::string log;
+  AppendHeader(&log);
+  AppendRecord(CheckpointBody(sketches), &log);
+  Status st = WriteAllFd(tmp_fd, log);
+  // The rename is what makes compaction atomic: a crash before it leaves
+  // the old log intact, a crash after it leaves the checkpoint-only log.
+  // fsync the temp file first so the rename never publishes empty bytes.
+  if (st.ok() && fsync(tmp_fd) != 0) st = Errno("fsync '" + tmp_path + "'");
+  if (close(tmp_fd) != 0 && st.ok()) st = Errno("close '" + tmp_path + "'");
+  if (!st.ok()) {
+    unlink(tmp_path.c_str());
+    return st;
+  }
+  if (rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    unlink(tmp_path.c_str());
+    return Errno("rename '" + tmp_path + "'");
+  }
+  const int new_fd = open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (new_fd < 0) return Errno("reopen '" + path_ + "'");
+  if (lseek(new_fd, 0, SEEK_END) < 0) {
+    close(new_fd);
+    return Errno("lseek '" + path_ + "'");
+  }
+  if (fd_ >= 0) close(fd_);
+  fd_ = new_fd;
+  bytes_ = log.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fsync(fd_) != 0) return Errno("fsync '" + path_ + "'");
+  return Status::OK();
+}
+
+}  // namespace numdist::serve

@@ -1,0 +1,142 @@
+// Write-ahead snapshot log: the collector's crash-recovery substrate.
+//
+// A collector with a WAL attached appends every ACCEPTED report/sketch
+// frame to an append-only log before acknowledging it, and periodically
+// compacts the log down to a checkpoint record holding its per-tenant
+// sketch frames. A collector killed at ANY byte offset — SIGKILL
+// mid-write included — replays the log's clean prefix on restart and
+// resumes with the exact pre-crash AccumulatorState: frames are absorbed
+// in log order and accumulator arithmetic is exact integers, so the
+// restarted aggregate is byte-identical to an uninterrupted run over the
+// same frames (tests/wal_process_test.cc proves this across real
+// processes).
+//
+// File layout (all integers little-endian; docs/WIRE_FORMAT.md has the
+// byte-level spec):
+//
+//   header   u32 magic "NDWL", u16 version (1), u16 reserved (0)
+//   record   u32 body length, u32 CRC-32C of body, body
+//   body     u8 record type, payload
+//     type 1 (frame)       payload = one wire frame (report or sketch)
+//     type 2 (checkpoint)  payload = u32 sketch count, then per sketch a
+//                          u32 length + that many bytes (one wire sketch
+//                          frame per tenant; replay RESETS to this state)
+//
+// Failure model: the log tolerates truncation and bit rot at its tail —
+// a record cut short or failing its CRC ends replay with a typed error
+// in WalReplayStats::tail, the intact prefix's state is kept, and the
+// writer truncates the torn tail before appending (so a crashed write is
+// discarded, never replayed as garbage). Corruption that a torn write
+// cannot explain (bad file magic, a valid-CRC record with an unknown
+// type or malformed checkpoint payload) is a hard replay error instead.
+// Without sync_each_record the log survives process death (page cache);
+// power-loss durability needs sync_each_record = true.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace numdist::serve {
+
+/// First 4 bytes of every WAL file: "NDWL" on disk.
+inline constexpr uint32_t kWalMagic = 0x4C57444E;
+inline constexpr uint16_t kWalVersion = 1;
+/// Bytes of the file header preceding the first record.
+inline constexpr uint64_t kWalHeaderBytes = 8;
+/// Per-record body ceiling: a frame record holds at most one
+/// kMaxFrameBytes frame, a checkpoint at most a handful of sketches.
+/// A larger claimed length is classified as a torn/corrupt record.
+inline constexpr uint64_t kMaxWalRecordBytes = 256u << 20;
+
+/// Record discriminator (first body byte). Values are part of the on-disk
+/// format: never renumber, only append.
+enum class WalRecordType : uint8_t {
+  kFrame = 1,       ///< One accepted wire frame, verbatim.
+  kCheckpoint = 2,  ///< Full-state snapshot: replay resets, then imports.
+};
+
+struct WalOptions {
+  /// Compact the log (checkpoint + truncate) after this many appended
+  /// frame records (0 = only compact when the owner asks, e.g. at drain).
+  uint64_t checkpoint_every_frames = 0;
+  /// fsync after every record (power-loss durability). Off by default:
+  /// surviving process death needs no fsync, only the page cache.
+  bool sync_each_record = false;
+};
+
+/// What a replay pass found. `tail` is OK when the log ends exactly on a
+/// record boundary; otherwise it is the typed torn-tail error (truncation
+/// or CRC mismatch) and `clean_bytes` is where the intact prefix ends —
+/// the offset WalWriter::Open truncates to before appending.
+struct WalReplayStats {
+  uint64_t frames = 0;
+  uint64_t checkpoints = 0;
+  uint64_t clean_bytes = 0;
+  Status tail = Status::OK();
+};
+
+/// Replay callbacks. `on_frame` receives each logged frame verbatim;
+/// `on_checkpoint` receives the checkpoint's sketch frames and must RESET
+/// the consumer's state to them (not merge — a mid-log checkpoint already
+/// contains every earlier frame's contribution). A callback error aborts
+/// the replay with that error.
+struct WalConsumer {
+  std::function<Status(std::string_view frame)> on_frame;
+  std::function<Status(const std::vector<std::string>& sketches)>
+      on_checkpoint;
+};
+
+/// Replays the log at `path` through `consumer`. A missing or empty file
+/// is an empty log (zero records, OK tail). See WalReplayStats for the
+/// torn-tail contract; bad header magic/version and valid-CRC-but-
+/// malformed records are hard errors.
+Result<WalReplayStats> ReplayWal(const std::string& path,
+                                 const WalConsumer& consumer);
+
+/// \brief Appender for one collector's write-ahead log.
+class WalWriter {
+ public:
+  /// Opens `path` for appending at offset `resume_at` — the replay's
+  /// clean_bytes — truncating any torn tail past it. A fresh or empty
+  /// log (resume_at < header size) is (re)initialized with the file
+  /// header. The caller replays BEFORE opening: opening truncates.
+  static Result<WalWriter> Open(const std::string& path, uint64_t resume_at,
+                                const WalOptions& options = {});
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one accepted wire frame as a frame record.
+  Status AppendFrame(std::string_view frame);
+
+  /// Log compaction: atomically replaces the whole log with one
+  /// checkpoint record holding `sketches` (written to a temp file,
+  /// fsynced, renamed over the log). After Compact the log replays to
+  /// exactly the checkpointed state.
+  Status Compact(const std::vector<std::string>& sketches);
+
+  /// fsyncs the log fd (a no-op durability-wise if nothing was written).
+  Status Sync();
+
+  /// Current log size in bytes (header + intact records).
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+  const WalOptions& options() const { return options_; }
+
+ private:
+  WalWriter(int fd, std::string path, uint64_t bytes, WalOptions options);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t bytes_ = 0;
+  WalOptions options_;
+};
+
+}  // namespace numdist::serve

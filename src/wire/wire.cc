@@ -14,15 +14,22 @@ namespace numdist::wire {
 namespace {
 
 // Preamble layout (8 bytes): u32 magic, u16 version, u8 frame type,
-// u8 flags (must be zero in v1 — the forward-compatibility escape hatch).
-void WritePreamble(FrameType type, ByteWriter* out) {
+// u8 flags. The only defined flag bit is kFlagTenantContext (report and
+// sketch frames); every other bit must be zero — the forward-compatibility
+// escape hatch.
+void WritePreamble(FrameType type, uint8_t flags, ByteWriter* out) {
   out->PutU32(kMagic);
   out->PutU16(kVersion);
   out->PutU8(static_cast<uint8_t>(type));
-  out->PutU8(0);
+  out->PutU8(flags);
 }
 
-Result<FrameType> ReadPreamble(ByteReader* in) {
+struct Preamble {
+  FrameType type = FrameType::kReports;
+  bool has_tenant = false;
+};
+
+Result<Preamble> ReadPreamble(ByteReader* in) {
   NUMDIST_ASSIGN_OR_RETURN(const uint32_t magic, in->U32());
   if (magic != kMagic) {
     return Status::InvalidArgument("wire: bad magic (not a numdist frame)");
@@ -40,12 +47,27 @@ Result<FrameType> ReadPreamble(ByteReader* in) {
                                    std::to_string(type));
   }
   NUMDIST_ASSIGN_OR_RETURN(const uint8_t flags, in->U8());
-  if (flags != 0) {
+  if ((flags & ~kFlagTenantContext) != 0) {
     return Status::InvalidArgument(
         "wire: unknown flags " + std::to_string(flags) +
-        " (version 1 defines none)");
+        " (version 1 defines only the tenant-context bit)");
   }
-  return static_cast<FrameType>(type);
+  Preamble preamble;
+  preamble.type = static_cast<FrameType>(type);
+  preamble.has_tenant = (flags & kFlagTenantContext) != 0;
+  if (preamble.has_tenant && preamble.type == FrameType::kSnapshot) {
+    return Status::InvalidArgument(
+        "wire: snapshot frames cannot carry a tenant context");
+  }
+  return preamble;
+}
+
+// The optional tenant context block: a u32 tenant id immediately after
+// the method block, present iff the preamble carries kFlagTenantContext.
+Result<uint32_t> ReadTenantBlock(const Preamble& preamble, ByteReader* in) {
+  if (!preamble.has_tenant) return kDefaultTenant;
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t tenant, in->U32());
+  return tenant;
 }
 
 // Method context block (17 bytes): u8 method id, u32 family parameter,
@@ -293,7 +315,8 @@ Result<ProtocolPtr> MakeProtocolForSpec(const MethodSpec& spec) {
 Result<FrameInfo> PeekFrame(std::span<const uint8_t> frame) {
   ByteReader in(frame);
   FrameInfo info;
-  NUMDIST_ASSIGN_OR_RETURN(info.type, ReadPreamble(&in));
+  NUMDIST_ASSIGN_OR_RETURN(const Preamble preamble, ReadPreamble(&in));
+  info.type = preamble.type;
   if (info.type == FrameType::kSnapshot) {
     NUMDIST_ASSIGN_OR_RETURN(const uint64_t epsilon_bits, in.U64());
     std::memcpy(&info.snapshot_epsilon, &epsilon_bits,
@@ -307,6 +330,7 @@ Result<FrameInfo> PeekFrame(std::span<const uint8_t> frame) {
     NUMDIST_ASSIGN_OR_RETURN(info.snapshot_buckets, in.U32());
   } else {
     NUMDIST_ASSIGN_OR_RETURN(info.spec, ReadMethodBlock(&in));
+    NUMDIST_ASSIGN_OR_RETURN(info.tenant, ReadTenantBlock(preamble, &in));
   }
   return info;
 }
@@ -317,6 +341,12 @@ Result<FrameInfo> PeekFrame(std::string_view frame) {
 
 Status EncodeReportFrame(const MethodSpec& spec, const Protocol& protocol,
                          const ReportChunk& chunk, std::string* out) {
+  return EncodeReportFrame(spec, kDefaultTenant, protocol, chunk, out);
+}
+
+Status EncodeReportFrame(const MethodSpec& spec, uint32_t tenant,
+                         const Protocol& protocol, const ReportChunk& chunk,
+                         std::string* out) {
   // A payload-encode failure (e.g. a chunk from a different protocol)
   // must leave *out untouched — callers batching frames into one buffer
   // must never be left with orphan header bytes. Rolling back to the
@@ -324,8 +354,10 @@ Status EncodeReportFrame(const MethodSpec& spec, const Protocol& protocol,
   // the encode path bench/wire_throughput holds to the 1M reports/s bar).
   const size_t prev_size = out->size();
   ByteWriter writer(out);
-  WritePreamble(FrameType::kReports, &writer);
+  WritePreamble(FrameType::kReports,
+                tenant == kDefaultTenant ? 0 : kFlagTenantContext, &writer);
   WriteMethodBlock(spec, &writer);
+  if (tenant != kDefaultTenant) writer.PutU32(tenant);
   const Status payload = protocol.EncodeChunkPayload(chunk, &writer);
   if (!payload.ok()) {
     out->resize(prev_size);
@@ -338,10 +370,11 @@ Result<std::unique_ptr<ReportChunk>> DecodeReportFrame(
     const MethodSpec& spec, const Protocol& protocol,
     std::span<const uint8_t> frame) {
   ByteReader in(frame);
-  NUMDIST_ASSIGN_OR_RETURN(const FrameType type, ReadPreamble(&in));
-  NUMDIST_RETURN_NOT_OK(ExpectFrameType(type, FrameType::kReports));
+  NUMDIST_ASSIGN_OR_RETURN(const Preamble preamble, ReadPreamble(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFrameType(preamble.type, FrameType::kReports));
   NUMDIST_ASSIGN_OR_RETURN(const MethodSpec frame_spec, ReadMethodBlock(&in));
   NUMDIST_RETURN_NOT_OK(MatchSpec(frame_spec, spec));
+  NUMDIST_RETURN_NOT_OK(ReadTenantBlock(preamble, &in).status());
   NUMDIST_ASSIGN_OR_RETURN(std::unique_ptr<ReportChunk> chunk,
                            protocol.DecodeChunkPayload(&in));
   NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "report"));
@@ -350,9 +383,16 @@ Result<std::unique_ptr<ReportChunk>> DecodeReportFrame(
 
 Status EncodeSketchFrame(const MethodSpec& spec, const Accumulator& acc,
                          std::string* out) {
+  return EncodeSketchFrame(spec, kDefaultTenant, acc, out);
+}
+
+Status EncodeSketchFrame(const MethodSpec& spec, uint32_t tenant,
+                         const Accumulator& acc, std::string* out) {
   ByteWriter writer(out);
-  WritePreamble(FrameType::kSketch, &writer);
+  WritePreamble(FrameType::kSketch,
+                tenant == kDefaultTenant ? 0 : kFlagTenantContext, &writer);
   WriteMethodBlock(spec, &writer);
+  if (tenant != kDefaultTenant) writer.PutU32(tenant);
   WriteSketchPayload(acc.ExportState(), &writer);
   return Status::OK();
 }
@@ -361,10 +401,11 @@ Result<std::unique_ptr<Accumulator>> DecodeSketchFrame(
     const MethodSpec& spec, const Protocol& protocol,
     std::span<const uint8_t> frame) {
   ByteReader in(frame);
-  NUMDIST_ASSIGN_OR_RETURN(const FrameType type, ReadPreamble(&in));
-  NUMDIST_RETURN_NOT_OK(ExpectFrameType(type, FrameType::kSketch));
+  NUMDIST_ASSIGN_OR_RETURN(const Preamble preamble, ReadPreamble(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFrameType(preamble.type, FrameType::kSketch));
   NUMDIST_ASSIGN_OR_RETURN(const MethodSpec frame_spec, ReadMethodBlock(&in));
   NUMDIST_RETURN_NOT_OK(MatchSpec(frame_spec, spec));
+  NUMDIST_RETURN_NOT_OK(ReadTenantBlock(preamble, &in).status());
   NUMDIST_ASSIGN_OR_RETURN(const AccumulatorState state,
                            ReadSketchPayload(&in));
   NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "sketch"));
@@ -377,7 +418,7 @@ Status EncodeSnapshotFrame(double epsilon, const StreamingAggregator& agg,
                            std::string* out) {
   const SwEstimatorOptions& options = agg.estimator().options();
   ByteWriter writer(out);
-  WritePreamble(FrameType::kSnapshot, &writer);
+  WritePreamble(FrameType::kSnapshot, 0, &writer);
   writer.PutU64(MethodSpec::EpsilonBits(epsilon));
   // Full estimator context, not just the bucket count: two configurations
   // with coincident output widths but different observation models (e.g.
@@ -397,8 +438,8 @@ Status DecodeSnapshotFrameInto(double epsilon,
                                std::span<const uint8_t> frame,
                                StreamingAggregator* agg) {
   ByteReader in(frame);
-  NUMDIST_ASSIGN_OR_RETURN(const FrameType type, ReadPreamble(&in));
-  NUMDIST_RETURN_NOT_OK(ExpectFrameType(type, FrameType::kSnapshot));
+  NUMDIST_ASSIGN_OR_RETURN(const Preamble preamble, ReadPreamble(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFrameType(preamble.type, FrameType::kSnapshot));
   NUMDIST_ASSIGN_OR_RETURN(const uint64_t epsilon_bits, in.U64());
   if (epsilon_bits != MethodSpec::EpsilonBits(epsilon)) {
     return Status::InvalidArgument(

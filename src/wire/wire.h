@@ -46,6 +46,20 @@ inline constexpr uint32_t kMagic = 0x5057444E;
 /// see docs/WIRE_FORMAT.md for the compatibility policy.
 inline constexpr uint16_t kVersion = 1;
 
+/// Preamble flag bit 0: the frame carries a tenant context — a u32 tenant
+/// id immediately after the method context block, routing the frame to a
+/// per-tenant accumulator (serve/collector.h). Defined for report and
+/// sketch frames only; a flagged snapshot frame is a typed error. This is
+/// the first use of the v1 flags byte, the documented forward-compatibility
+/// escape hatch: frames without the flag are byte-identical to pre-tenant
+/// encoders, and all other bits must still be zero.
+inline constexpr uint8_t kFlagTenantContext = 0x01;
+
+/// The default tenant. Frames for tenant 0 are encoded WITHOUT the tenant
+/// flag (the canonical legacy encoding); decoders treat a flagged tenant
+/// id of 0 as the same default tenant.
+inline constexpr uint32_t kDefaultTenant = 0;
+
 /// Frame discriminator (preamble byte 6).
 enum class FrameType : uint8_t {
   kReports = 1,   ///< A batch of perturbed client reports (one chunk).
@@ -106,6 +120,9 @@ struct FrameInfo {
   FrameType type = FrameType::kReports;
   /// Context of report/sketch frames (undefined for snapshots).
   MethodSpec spec;
+  /// Tenant context (report/sketch frames): kDefaultTenant unless the
+  /// frame carries the kFlagTenantContext flag and a non-zero id.
+  uint32_t tenant = kDefaultTenant;
   /// Context of snapshot frames (undefined otherwise): epsilon group,
   /// estimator input granularity + pipeline, and output-bucket count.
   double snapshot_epsilon = 0.0;
@@ -116,7 +133,8 @@ struct FrameInfo {
 
 /// Validates the preamble and context block of any frame. Typed errors for
 /// truncation, bad magic, version skew, unknown frame type / method id,
-/// and non-zero flags.
+/// and undefined flag bits (only kFlagTenantContext is defined, and only
+/// on report/sketch frames).
 Result<FrameInfo> PeekFrame(std::span<const uint8_t> frame);
 Result<FrameInfo> PeekFrame(std::string_view frame);
 
@@ -124,6 +142,14 @@ Result<FrameInfo> PeekFrame(std::string_view frame);
 /// `spec`) into a self-describing report frame appended to `*out`.
 Status EncodeReportFrame(const MethodSpec& spec, const Protocol& protocol,
                          const ReportChunk& chunk, std::string* out);
+
+/// As above, bound to a tenant: a non-default tenant id travels in the
+/// frame's tenant context block (preamble flag kFlagTenantContext).
+/// `tenant == kDefaultTenant` produces the exact bytes of the untagged
+/// overload.
+Status EncodeReportFrame(const MethodSpec& spec, uint32_t tenant,
+                         const Protocol& protocol, const ReportChunk& chunk,
+                         std::string* out);
 
 /// Strictly decodes a report frame: the frame's context must equal `spec`,
 /// the payload must decode under `protocol`, and the payload must consume
@@ -136,6 +162,13 @@ Result<std::unique_ptr<ReportChunk>> DecodeReportFrame(
 /// appended to `*out`.
 Status EncodeSketchFrame(const MethodSpec& spec, const Accumulator& acc,
                          std::string* out);
+
+/// As above, bound to a tenant (see the tenant EncodeReportFrame
+/// overload). Tenant-tagged sketch frames are how a collector ships
+/// per-tenant aggregates upstream without collapsing them: a coordinator
+/// routes each to the same tenant's accumulator.
+Status EncodeSketchFrame(const MethodSpec& spec, uint32_t tenant,
+                         const Accumulator& acc, std::string* out);
 
 /// Strictly decodes a sketch frame into a fresh accumulator of `protocol`.
 /// The decoded accumulator is bit-equivalent to the encoded one: merging

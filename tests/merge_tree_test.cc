@@ -1,0 +1,173 @@
+// Merge-tree composability (serve/collector.h): coordinators absorb other
+// coordinators' sketch frames through the same HandleFrame path as leaf
+// sketches, and accumulator merging is exact-integer, associative, and
+// commutative — so ANY tree shape over the same shard set produces a
+// byte-identical root sketch. This file proves it in-process for flat,
+// binary, and lopsided-chain trees (with and without tenants); the
+// real-binary 2-level pipeline lives in tests/wire_process_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "protocol/sharded.h"
+#include "serve/collector.h"
+#include "wire/wire.h"
+
+namespace numdist {
+namespace {
+
+wire::MethodSpec TestSpec() {
+  return wire::ParseMethodSpec("sw-ems", 1.0, 32).ValueOrDie();
+}
+
+// One leaf collector per shard: absorbs its report frame, exports its
+// sketch frames (per-tenant when tenants are in play).
+std::vector<std::vector<std::string>> MakeLeafSketches(
+    const wire::MethodSpec& spec, size_t leaves, size_t shard_size,
+    uint64_t seed, const std::vector<uint32_t>& tenants) {
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+  const std::vector<double> values = GoldenRatioValues(leaves * shard_size);
+  std::vector<std::vector<std::string>> sketches;
+  for (size_t i = 0; i < leaves; ++i) {
+    Rng rng(ShardSeed(seed, i));
+    auto chunk = protocol
+                     ->EncodePerturbBatch(std::span<const double>(values)
+                                              .subspan(i * shard_size,
+                                                       shard_size),
+                                          rng)
+                     .ValueOrDie();
+    const uint32_t tenant =
+        tenants.empty() ? wire::kDefaultTenant : tenants[i % tenants.size()];
+    std::string frame;
+    const Status enc =
+        wire::EncodeReportFrame(spec, tenant, *protocol, *chunk, &frame);
+    EXPECT_TRUE(enc.ok()) << enc.ToString();
+    serve::CollectorSession leaf =
+        serve::CollectorSession::Make(spec).ValueOrDie();
+    EXPECT_TRUE(leaf.HandleFrame(frame).ok());
+    sketches.push_back(leaf.EncodeSketches().ValueOrDie());
+  }
+  return sketches;
+}
+
+// One interior/root node: merges its children's sketch frames and
+// re-exports its own (lossless per-tenant currency between levels).
+std::vector<std::string> MergeNode(
+    const wire::MethodSpec& spec,
+    const std::vector<std::vector<std::string>>& children) {
+  serve::CollectorSession node =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  for (const std::vector<std::string>& child : children) {
+    for (const std::string& sketch : child) {
+      const Status st = node.HandleFrame(sketch);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+  return node.EncodeSketches().ValueOrDie();
+}
+
+void RunTreeShapeCheck(const std::vector<uint32_t>& tenants) {
+  const wire::MethodSpec spec = TestSpec();
+  const size_t leaves = 8;
+  const std::vector<std::vector<std::string>> leaf_sketches =
+      MakeLeafSketches(spec, leaves, /*shard_size=*/50, /*seed=*/13, tenants);
+
+  // Flat: every leaf straight into one root.
+  const std::vector<std::string> flat = MergeNode(spec, leaf_sketches);
+
+  // Binary: 8 -> 4 -> 2 -> 1.
+  std::vector<std::vector<std::string>> level = leaf_sketches;
+  while (level.size() > 1) {
+    std::vector<std::vector<std::string>> next;
+    for (size_t i = 0; i < level.size(); i += 2) {
+      next.push_back(MergeNode(spec, {level[i], level[i + 1]}));
+    }
+    level = next;
+  }
+  const std::vector<std::string> binary = level[0];
+
+  // Lopsided chain: ((((l0+l1)+l2)+l3)+...).
+  std::vector<std::string> chain = leaf_sketches[0];
+  for (size_t i = 1; i < leaves; ++i) {
+    chain = MergeNode(spec, {chain, leaf_sketches[i]});
+  }
+
+  // Reversed flat order (commutativity).
+  std::vector<std::vector<std::string>> reversed(leaf_sketches.rbegin(),
+                                                 leaf_sketches.rend());
+  const std::vector<std::string> backwards = MergeNode(spec, reversed);
+
+  EXPECT_EQ(flat, binary);
+  EXPECT_EQ(flat, chain);
+  EXPECT_EQ(flat, backwards);
+
+  // The root reconstruction also matches the flat root's, bit for bit.
+  serve::CollectorSession root_a =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  serve::CollectorSession root_b =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  for (const std::string& s : flat) ASSERT_TRUE(root_a.HandleFrame(s).ok());
+  for (const std::string& s : binary) ASSERT_TRUE(root_b.HandleFrame(s).ok());
+  EXPECT_EQ(root_a.num_reports(), leaves * 50);
+  EXPECT_EQ(root_a.Reconstruct().ValueOrDie().distribution,
+            root_b.Reconstruct().ValueOrDie().distribution);
+}
+
+TEST(MergeTreeTest, AnyTreeShapeYieldsByteIdenticalRootSketch) {
+  RunTreeShapeCheck(/*tenants=*/{});
+}
+
+TEST(MergeTreeTest, TenantRoutingSurvivesEveryTreeShape) {
+  RunTreeShapeCheck(/*tenants=*/{wire::kDefaultTenant, 4, 7});
+}
+
+// Interior nodes must forward PER-TENANT sketches: collapsing to one
+// total sketch at an interior node would lose the split. The per-tenant
+// states at the root equal a flat merge's.
+TEST(MergeTreeTest, InteriorNodesPreserveTenantSplit) {
+  const wire::MethodSpec spec = TestSpec();
+  const std::vector<uint32_t> tenants = {2, 6};
+  const std::vector<std::vector<std::string>> leaf_sketches =
+      MakeLeafSketches(spec, /*leaves=*/4, /*shard_size=*/40, /*seed=*/23,
+                       tenants);
+
+  serve::CollectorSession flat_root =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  for (const auto& leaf : leaf_sketches) {
+    for (const std::string& s : leaf) {
+      ASSERT_TRUE(flat_root.HandleFrame(s).ok());
+    }
+  }
+  const std::vector<std::string> left =
+      MergeNode(spec, {leaf_sketches[0], leaf_sketches[1]});
+  const std::vector<std::string> right =
+      MergeNode(spec, {leaf_sketches[2], leaf_sketches[3]});
+  serve::CollectorSession tree_root =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  for (const std::string& s : left) ASSERT_TRUE(tree_root.HandleFrame(s).ok());
+  for (const std::string& s : right) {
+    ASSERT_TRUE(tree_root.HandleFrame(s).ok());
+  }
+
+  EXPECT_EQ(tree_root.TenantIds(), flat_root.TenantIds());
+  for (const uint32_t tenant : tree_root.TenantIds()) {
+    const AccumulatorState via_tree =
+        tree_root.ExportTenantState(tenant).ValueOrDie();
+    const AccumulatorState via_flat =
+        flat_root.ExportTenantState(tenant).ValueOrDie();
+    EXPECT_EQ(via_tree.num_reports, via_flat.num_reports)
+        << "tenant " << tenant;
+    ASSERT_EQ(via_tree.tables.size(), via_flat.tables.size());
+    for (size_t t = 0; t < via_tree.tables.size(); ++t) {
+      EXPECT_EQ(via_tree.tables[t].counts, via_flat.tables[t].counts)
+          << "tenant " << tenant << " table " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace numdist

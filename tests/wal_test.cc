@@ -1,0 +1,403 @@
+// Write-ahead log guarantees (serve/wal.h): replaying ANY truncation of a
+// log yields the state of an intact record prefix with a typed torn-tail
+// error (never a crash, never garbage state), checkpoint compaction is
+// state-preserving, replay is deterministic, and tenant routing survives
+// the log round trip. The cross-process SIGKILL variant of these claims
+// lives in tests/wal_process_test.cc.
+#include "serve/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "protocol/sharded.h"
+#include "serve/collector.h"
+#include "wire/wire.h"
+
+namespace numdist {
+namespace {
+
+wire::MethodSpec TestSpec() {
+  return wire::ParseMethodSpec("sw-ems", 1.0, 16).ValueOrDie();
+}
+
+// One seeded report frame per shard, optionally tenant-tagged.
+std::vector<std::string> MakeReportFrames(const wire::MethodSpec& spec,
+                                          size_t shards, size_t shard_size,
+                                          uint64_t seed,
+                                          uint32_t tenant = wire::kDefaultTenant) {
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+  const std::vector<double> values = GoldenRatioValues(shards * shard_size);
+  std::vector<std::string> frames;
+  for (size_t i = 0; i < shards; ++i) {
+    Rng rng(ShardSeed(seed, i));
+    auto chunk = protocol
+                     ->EncodePerturbBatch(std::span<const double>(values)
+                                              .subspan(i * shard_size,
+                                                       shard_size),
+                                          rng)
+                     .ValueOrDie();
+    std::string frame;
+    const Status st =
+        wire::EncodeReportFrame(spec, tenant, *protocol, *chunk, &frame);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+bool SameState(const AccumulatorState& a, const AccumulatorState& b) {
+  if (a.num_reports != b.num_reports) return false;
+  if (a.tables.size() != b.tables.size()) return false;
+  for (size_t t = 0; t < a.tables.size(); ++t) {
+    if (a.tables[t].n != b.tables[t].n) return false;
+    if (a.tables[t].counts != b.tables[t].counts) return false;
+  }
+  return true;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Builds a frame-record-only log (no checkpoint cadence) holding `frames`.
+void BuildLog(const std::string& path, const std::vector<std::string>& frames) {
+  std::remove(path.c_str());
+  serve::CollectorSession session =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  auto stats = session.RecoverAndAttachWal(path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (const std::string& frame : frames) {
+    const Status st = session.HandleFrame(frame);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+// Replays a log into a fresh session; returns the session + stats.
+struct ReplayedSession {
+  serve::CollectorSession session;
+  serve::WalReplayStats stats;
+};
+ReplayedSession Replay(const std::string& path) {
+  serve::CollectorSession session =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  auto stats = session.RecoverAndAttachWal(path);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return {std::move(session),
+          stats.ok() ? stats.value() : serve::WalReplayStats{}};
+}
+
+// The headline sweep: truncate the log at EVERY byte length and replay.
+// Each truncation must recover the state of some intact record prefix,
+// report the cut as a typed torn-tail error (except on record
+// boundaries), and never hard-fail or crash.
+TEST(WalTest, EveryByteTruncationYieldsAPrefixState) {
+  const wire::MethodSpec spec = TestSpec();
+  const std::vector<std::string> frames =
+      MakeReportFrames(spec, /*shards=*/5, /*shard_size=*/20, /*seed=*/11);
+
+  const std::string log_path = TempPath("wal_sweep.wal");
+  BuildLog(log_path, frames);
+  const std::string log_bytes = ReadFileBytes(log_path);
+  ASSERT_GT(log_bytes.size(), serve::kWalHeaderBytes);
+
+  // Expected state after each intact frame prefix.
+  std::vector<AccumulatorState> prefix_states;
+  {
+    serve::CollectorSession acc =
+        serve::CollectorSession::Make(spec).ValueOrDie();
+    prefix_states.push_back(acc.ExportState());
+    for (const std::string& frame : frames) {
+      ASSERT_TRUE(acc.HandleFrame(frame).ok());
+      prefix_states.push_back(acc.ExportState());
+    }
+  }
+
+  const std::string cut_path = TempPath("wal_sweep_cut.wal");
+  std::vector<bool> prefix_reached(frames.size() + 1, false);
+  for (size_t len = 0; len <= log_bytes.size(); ++len) {
+    WriteFileBytes(cut_path, log_bytes.substr(0, len));
+    ReplayedSession replayed = Replay(cut_path);
+    ASSERT_LE(replayed.stats.frames, frames.size()) << "cut at " << len;
+    ASSERT_EQ(replayed.stats.checkpoints, 0u) << "cut at " << len;
+    prefix_reached[replayed.stats.frames] = true;
+    // The recovered state is exactly the intact prefix's state.
+    ASSERT_TRUE(SameState(replayed.session.ExportState(),
+                          prefix_states[replayed.stats.frames]))
+        << "cut at " << len << " replayed " << replayed.stats.frames;
+    if (!replayed.stats.tail.ok()) {
+      EXPECT_EQ(replayed.stats.tail.code(), StatusCode::kOutOfRange)
+          << "cut at " << len << ": " << replayed.stats.tail.ToString();
+    } else {
+      // An OK tail means the cut landed exactly on a record boundary.
+      EXPECT_EQ(replayed.stats.clean_bytes, len) << "cut at " << len;
+    }
+    ASSERT_LE(replayed.stats.clean_bytes, len) << "cut at " << len;
+  }
+  // The sweep exercised every prefix length, 0 through all frames.
+  for (size_t k = 0; k <= frames.size(); ++k) {
+    EXPECT_TRUE(prefix_reached[k]) << "no truncation replayed to prefix " << k;
+  }
+  std::remove(log_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+// After recovery from a torn log, the writer truncates the tail and new
+// appends extend the clean prefix — a second replay sees old + new frames.
+TEST(WalTest, TornTailIsTruncatedBeforeNewAppends) {
+  const wire::MethodSpec spec = TestSpec();
+  const std::vector<std::string> frames =
+      MakeReportFrames(spec, /*shards=*/4, /*shard_size=*/20, /*seed=*/5);
+
+  const std::string path = TempPath("wal_torn_append.wal");
+  BuildLog(path, {frames[0], frames[1], frames[2]});
+  std::string bytes = ReadFileBytes(path);
+  // Cut inside the final record.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 3));
+
+  ReplayedSession replayed = Replay(path);
+  EXPECT_EQ(replayed.stats.frames, 2u);
+  EXPECT_EQ(replayed.stats.tail.code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(replayed.session.HandleFrame(frames[3]).ok());
+
+  ReplayedSession again = Replay(path);
+  EXPECT_EQ(again.stats.frames, 3u);
+  EXPECT_TRUE(again.stats.tail.ok()) << again.stats.tail.ToString();
+  serve::CollectorSession expect =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  ASSERT_TRUE(expect.HandleFrame(frames[0]).ok());
+  ASSERT_TRUE(expect.HandleFrame(frames[1]).ok());
+  ASSERT_TRUE(expect.HandleFrame(frames[3]).ok());
+  EXPECT_TRUE(SameState(again.session.ExportState(), expect.ExportState()));
+  std::remove(path.c_str());
+}
+
+// A flipped body byte fails the CRC: typed torn tail, prefix state kept.
+TEST(WalTest, CorruptRecordIsATypedTornTail) {
+  const std::vector<std::string> frames =
+      MakeReportFrames(TestSpec(), /*shards=*/3, /*shard_size=*/20, /*seed=*/2);
+  const std::string path = TempPath("wal_crc.wal");
+  BuildLog(path, frames);
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 1] ^= 0x40;  // inside the last record's body
+  WriteFileBytes(path, bytes);
+
+  ReplayedSession replayed = Replay(path);
+  EXPECT_EQ(replayed.stats.frames, 2u);
+  EXPECT_EQ(replayed.stats.tail.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(replayed.stats.tail.message().find("torn tail"),
+            std::string::npos)
+      << replayed.stats.tail.ToString();
+  std::remove(path.c_str());
+}
+
+// A zero-filled tail (preallocated blocks after a crash) cannot pass as a
+// record: length 0 is classified as torn, even though CRC(empty) == 0.
+TEST(WalTest, ZeroFilledTailIsATypedTornTail) {
+  const std::vector<std::string> frames =
+      MakeReportFrames(TestSpec(), /*shards=*/2, /*shard_size=*/20, /*seed=*/3);
+  const std::string path = TempPath("wal_zeros.wal");
+  BuildLog(path, frames);
+  std::string bytes = ReadFileBytes(path);
+  const uint64_t clean = bytes.size();
+  bytes.append(64, '\0');
+  WriteFileBytes(path, bytes);
+
+  ReplayedSession replayed = Replay(path);
+  EXPECT_EQ(replayed.stats.frames, 2u);
+  EXPECT_EQ(replayed.stats.clean_bytes, clean);
+  EXPECT_EQ(replayed.stats.tail.code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+// Corruption a torn write cannot explain is a HARD error, not a tail.
+TEST(WalTest, BadMagicAndVersionSkewAreHardErrors) {
+  const std::string path = TempPath("wal_magic.wal");
+  WriteFileBytes(path, std::string("XXXX\x01\x00\x00\x00", 8));
+  serve::WalConsumer consumer;
+  auto bad_magic = serve::ReplayWal(path, consumer);
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_EQ(bad_magic.status().code(), StatusCode::kInvalidArgument);
+
+  WriteFileBytes(path, std::string("NDWL\x09\x00\x00\x00", 8));
+  auto bad_version = serve::ReplayWal(path, consumer);
+  ASSERT_FALSE(bad_version.ok());
+  EXPECT_EQ(bad_version.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+// A missing file is an empty log, not an error (first boot).
+TEST(WalTest, MissingFileIsAnEmptyLog) {
+  const std::string path = TempPath("wal_missing_never_created.wal");
+  std::remove(path.c_str());
+  serve::WalConsumer consumer;
+  auto stats = serve::ReplayWal(path, consumer);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().frames, 0u);
+  EXPECT_EQ(stats.value().clean_bytes, 0u);
+  EXPECT_TRUE(stats.value().tail.ok());
+}
+
+// Compaction (checkpoint + truncate) replays to the identical state, and
+// the periodic cadence compacts mid-stream without perturbing anything.
+TEST(WalTest, CheckpointCompactionPreservesState) {
+  const wire::MethodSpec spec = TestSpec();
+  const std::vector<std::string> frames =
+      MakeReportFrames(spec, /*shards=*/6, /*shard_size=*/20, /*seed=*/17);
+  const std::string plain_path = TempPath("wal_plain.wal");
+  const std::string compact_path = TempPath("wal_compact.wal");
+  std::remove(plain_path.c_str());
+  std::remove(compact_path.c_str());
+
+  BuildLog(plain_path, frames);
+
+  // Same frames through a log that compacts every 2 frames.
+  serve::CollectorSession compacting =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  serve::WalOptions options;
+  options.checkpoint_every_frames = 2;
+  ASSERT_TRUE(compacting.RecoverAndAttachWal(compact_path, options).ok());
+  for (const std::string& frame : frames) {
+    ASSERT_TRUE(compacting.HandleFrame(frame).ok());
+  }
+
+  ReplayedSession from_plain = Replay(plain_path);
+  ReplayedSession from_compact = Replay(compact_path);
+  EXPECT_EQ(from_plain.stats.frames, frames.size());
+  EXPECT_GE(from_compact.stats.checkpoints, 1u);
+  EXPECT_LT(from_compact.stats.frames, frames.size());
+  EXPECT_TRUE(SameState(from_plain.session.ExportState(),
+                        from_compact.session.ExportState()));
+  // And both equal the live sessions' state and sketch bytes.
+  EXPECT_TRUE(SameState(from_compact.session.ExportState(),
+                        compacting.ExportState()));
+  EXPECT_EQ(from_plain.session.EncodeSketch().ValueOrDie(),
+            compacting.EncodeSketch().ValueOrDie());
+  // The compacted log is the smaller one (6 frame records vs a
+  // checkpoint plus at most 1 trailing frame).
+  EXPECT_LT(ReadFileBytes(compact_path).size(),
+            ReadFileBytes(plain_path).size() + frames.back().size());
+  std::remove(plain_path.c_str());
+  std::remove(compact_path.c_str());
+}
+
+// Replay is deterministic: for several seeds, two independent replays of
+// the same log produce byte-identical sketches.
+TEST(WalTest, ReplayIsDeterministicAcrossSeeds) {
+  const wire::MethodSpec spec = TestSpec();
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<std::string> frames =
+        MakeReportFrames(spec, /*shards=*/4, /*shard_size=*/25, seed);
+    const std::string path =
+        TempPath("wal_seed_" + std::to_string(seed) + ".wal");
+    BuildLog(path, frames);
+
+    ReplayedSession a = Replay(path);
+    ReplayedSession b = Replay(path);
+    EXPECT_EQ(a.stats.frames, frames.size()) << "seed " << seed;
+    EXPECT_EQ(a.stats.frames, b.stats.frames) << "seed " << seed;
+    EXPECT_EQ(a.stats.clean_bytes, b.stats.clean_bytes) << "seed " << seed;
+    EXPECT_TRUE(SameState(a.session.ExportState(), b.session.ExportState()))
+        << "seed " << seed;
+    EXPECT_EQ(a.session.EncodeSketch().ValueOrDie(),
+              b.session.EncodeSketch().ValueOrDie())
+        << "seed " << seed;
+    std::remove(path.c_str());
+  }
+}
+
+// Tenant routing survives the log: tagged frames replay into the same
+// per-tenant accumulators, through both frame records and checkpoints.
+TEST(WalTest, TenantRoutingSurvivesReplayAndCompaction) {
+  const wire::MethodSpec spec = TestSpec();
+  const std::vector<std::string> def_frames =
+      MakeReportFrames(spec, /*shards=*/2, /*shard_size=*/20, /*seed=*/8);
+  const std::vector<std::string> t5_frames = MakeReportFrames(
+      spec, /*shards=*/2, /*shard_size=*/20, /*seed=*/9, /*tenant=*/5);
+  const std::vector<std::string> t9_frames = MakeReportFrames(
+      spec, /*shards=*/1, /*shard_size=*/20, /*seed=*/10, /*tenant=*/9);
+
+  const std::string path = TempPath("wal_tenants.wal");
+  std::remove(path.c_str());
+  serve::CollectorSession live =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  ASSERT_TRUE(live.RecoverAndAttachWal(path).ok());
+  for (const auto* frames : {&def_frames, &t5_frames, &t9_frames}) {
+    for (const std::string& frame : *frames) {
+      ASSERT_TRUE(live.HandleFrame(frame).ok());
+    }
+  }
+
+  ReplayedSession replayed = Replay(path);
+  EXPECT_EQ(replayed.session.TenantIds(), (std::vector<uint32_t>{5, 9}));
+  for (const uint32_t tenant : {wire::kDefaultTenant, 5u, 9u}) {
+    EXPECT_TRUE(SameState(
+        replayed.session.ExportTenantState(tenant).ValueOrDie(),
+        live.ExportTenantState(tenant).ValueOrDie()))
+        << "tenant " << tenant;
+  }
+  EXPECT_EQ(replayed.session.EncodeSketches().ValueOrDie(),
+            live.EncodeSketches().ValueOrDie());
+
+  // Compact (checkpoint currency = per-tenant sketches) and replay again.
+  ASSERT_TRUE(replayed.session.CompactWal().ok());
+  ReplayedSession after_compact = Replay(path);
+  EXPECT_EQ(after_compact.stats.checkpoints, 1u);
+  EXPECT_EQ(after_compact.stats.frames, 0u);
+  EXPECT_EQ(after_compact.session.TenantIds(),
+            (std::vector<uint32_t>{5, 9}));
+  EXPECT_EQ(after_compact.session.EncodeSketches().ValueOrDie(),
+            live.EncodeSketches().ValueOrDie());
+  std::remove(path.c_str());
+}
+
+// Budget accounting is restored from the log: a tenant that exhausted its
+// budget before the crash is still over budget after recovery.
+TEST(WalTest, BudgetsAreRestoredByReplay) {
+  const wire::MethodSpec spec = TestSpec();
+  const std::vector<std::string> frames = MakeReportFrames(
+      spec, /*shards=*/2, /*shard_size=*/20, /*seed=*/4, /*tenant=*/3);
+  const std::string path = TempPath("wal_budget.wal");
+  std::remove(path.c_str());
+
+  serve::CollectorSession live =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  live.SetTenantBudget(3, {.max_reports = 40});
+  ASSERT_TRUE(live.RecoverAndAttachWal(path).ok());
+  ASSERT_TRUE(live.HandleFrame(frames[0]).ok());
+  ASSERT_TRUE(live.HandleFrame(frames[1]).ok());
+
+  serve::CollectorSession restarted =
+      serve::CollectorSession::Make(spec).ValueOrDie();
+  restarted.SetTenantBudget(3, {.max_reports = 40});
+  ASSERT_TRUE(restarted.RecoverAndAttachWal(path).ok());
+  EXPECT_EQ(restarted.ledger()->spent_reports(3), 40u);
+  const std::vector<std::string> more = MakeReportFrames(
+      spec, /*shards=*/1, /*shard_size=*/20, /*seed=*/6, /*tenant=*/3);
+  const Status over = restarted.HandleFrame(more[0]);
+  EXPECT_EQ(over.code(), StatusCode::kFailedPrecondition)
+      << over.ToString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace numdist

@@ -172,6 +172,85 @@ TEST(WireProcessTest, CrossProcessOlhPipelineIsBitIdentical) {
       {.method = "cfo-olh-16", .epsilon = 1.0, .buckets = 64});
 }
 
+// A 2-level coordinator tree built from the real binaries: four leaf
+// collectors, two interior --merge --emit-sketch coordinators, one root —
+// the root's CSV and re-emitted sketch bytes must equal the flat
+// single-coordinator merge of all four leaves.
+TEST(WireProcessTest, TwoLevelCoordinatorTreeMatchesFlatMerge) {
+  const std::string collector = NUMDIST_COLLECTOR_CLI_PATH;
+  const std::string client = NUMDIST_REPORT_CLIENT_PATH;
+  const std::string common_flags =
+      " --method=sw-ems --epsilon=1.0 --buckets=64";
+  const std::string tmp = testing::TempDir();
+
+  const std::vector<double> values = TestValues(16000);
+  const std::string values_path = WriteValuesFile(values);
+
+  // Four leaf collectors over a 4-way shard partition.
+  std::vector<std::string> leaves;
+  for (size_t k = 0; k < 4; ++k) {
+    const std::string sketch = tmp + "tree_leaf_" + std::to_string(k) +
+                               ".sketch";
+    leaves.push_back(sketch);
+    const std::string command =
+        "'" + client + "'" + common_flags + " --input='" + values_path +
+        "' --seed=7 --shard-size=2048 --offset=" + std::to_string(k) +
+        " --stride=4 2>/dev/null | '" + collector + "'" + common_flags +
+        " --out='" + sketch + "' 2>/dev/null";
+    ASSERT_EQ(RunPipeline(command), 0) << command;
+  }
+
+  // Interior coordinators re-emit merged sketches instead of estimating.
+  const std::string left = tmp + "tree_left.sketch";
+  const std::string right = tmp + "tree_right.sketch";
+  ASSERT_EQ(RunPipeline("'" + collector + "'" + common_flags + " --merge='" +
+                        leaves[0] + "," + leaves[1] +
+                        "' --emit-sketch --out='" + left + "' 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunPipeline("'" + collector + "'" + common_flags + " --merge='" +
+                        leaves[2] + "," + leaves[3] +
+                        "' --emit-sketch --out='" + right + "' 2>/dev/null"),
+            0);
+
+  // Root of the tree vs the flat merge: identical CSV estimates...
+  const std::string tree_csv = RunAndCapture(
+      "'" + collector + "'" + common_flags + " --merge='" + left + "," +
+      right + "' --csv 2>/dev/null");
+  const std::string flat_csv = RunAndCapture(
+      "'" + collector + "'" + common_flags + " --merge='" + leaves[0] + "," +
+      leaves[1] + "," + leaves[2] + "," + leaves[3] + "' --csv 2>/dev/null");
+  EXPECT_FALSE(tree_csv.empty());
+  EXPECT_EQ(tree_csv, flat_csv);
+
+  // ...and byte-identical re-emitted root sketch files.
+  const std::string tree_root = tmp + "tree_root.sketch";
+  const std::string flat_root = tmp + "tree_flat.sketch";
+  ASSERT_EQ(RunPipeline("'" + collector + "'" + common_flags + " --merge='" +
+                        left + "," + right + "' --emit-sketch --out='" +
+                        tree_root + "' 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunPipeline("'" + collector + "'" + common_flags + " --merge='" +
+                        leaves[0] + "," + leaves[1] + "," + leaves[2] + "," +
+                        leaves[3] + "' --emit-sketch --out='" + flat_root +
+                        "' 2>/dev/null"),
+            0);
+  std::ifstream a(tree_root, std::ios::binary);
+  std::ifstream b(flat_root, std::ios::binary);
+  const std::string a_bytes((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string b_bytes((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(a_bytes.empty());
+  EXPECT_EQ(a_bytes, b_bytes);
+
+  std::remove(values_path.c_str());
+  for (const std::string& path :
+       {leaves[0], leaves[1], leaves[2], leaves[3], left, right, tree_root,
+        flat_root}) {
+    std::remove(path.c_str());
+  }
+}
+
 #else
 
 TEST(WireProcessTest, SkippedWithoutTools) {

@@ -38,6 +38,16 @@
 //   collector_cli --method=sw-ems --epsilon=1.0 --buckets=64
 //       --merge --listen=tcp:7070 --expect-frames=4 --csv
 //
+// --merge=FILES with --emit-sketch re-emits the merged state as sketch
+// frames instead of reconstructing: an interior node of a merge TREE whose
+// output feeds another --merge level. Any tree shape over the same shards
+// yields a byte-identical root sketch (tests/merge_tree_test.cc).
+//
+// --wal=PATH makes collector and listen modes durable: the write-ahead log
+// (serve/wal.h) is replayed before serving and every accepted frame is
+// appended, so a collector SIGKILLed at any byte offset restarts with the
+// exact pre-crash state (tests/wal_process_test.cc).
+//
 // All endpoints must agree on (--method, --epsilon, --buckets): frames
 // carrying any other configuration are rejected with a typed error
 // (docs/WIRE_FORMAT.md). Merging is exact integer addition, so the
@@ -58,6 +68,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli_common.h"
@@ -96,6 +107,16 @@ struct CliFlags {
   double estimate_half_life = 0.0;     // minibatch forgetting (reports)
   size_t estimate_max_iterations = 0;  // per-tick EM budget (0 = default)
   std::string estimate_out;            // snapshot-frame stream per tick
+  // Durability (serve/wal.h): replay PATH before serving, append every
+  // accepted frame, compact to a checkpoint at clean exit.
+  std::string wal_path;
+  uint64_t wal_checkpoint_every = 0;  // compact after N appended frames
+  bool wal_sync = false;              // fsync after every record
+  // Per-tenant budgets: ID:MAX_REPORTS[:MAX_EPSILON],... (0 = unlimited).
+  std::string tenant_budgets;
+  // Coordinator file-merge: emit the merged per-tenant sketch frames to
+  // --out instead of reconstructing — the composable merge-tree mode.
+  bool emit_sketch = false;
 };
 
 void Usage() {
@@ -106,8 +127,13 @@ void Usage() {
           "       collector_cli ... --listen=tcp:PORT|unix:PATH\n"
           "                     [--port-file=FILE] [--expect-frames=N]\n"
           "       collector_cli ... --merge=a.sketch,b.sketch[,...] [--csv]\n"
+          "       collector_cli ... --merge=... --emit-sketch [--out=FILE]\n"
           "       collector_cli ... --merge --listen=tcp:PORT\n"
           "                     --expect-frames=N [--csv]\n"
+          "durability (collector + listen modes; serve/wal.h):\n"
+          "       --wal=PATH [--wal-checkpoint-every=N] [--wal-sync]\n"
+          "multi-tenancy:\n"
+          "       --tenant-budget=ID:MAX_REPORTS[:MAX_EPSILON][,...]\n"
           "live estimation (listen mode, sw-ems/sw-em only):\n"
           "       --estimate-every-frames=N and/or --estimate-every-ms=T\n"
           "       [--estimate-mode=warm|minibatch]\n"
@@ -154,6 +180,16 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->estimate_max_iterations = static_cast<size_t>(atoll(v));
     } else if (const char* v = FlagValue(arg, "--estimate-out=")) {
       flags->estimate_out = v;
+    } else if (const char* v = FlagValue(arg, "--wal=")) {
+      flags->wal_path = v;
+    } else if (const char* v = FlagValue(arg, "--wal-checkpoint-every=")) {
+      flags->wal_checkpoint_every = static_cast<uint64_t>(atoll(v));
+    } else if (arg == "--wal-sync") {
+      flags->wal_sync = true;
+    } else if (const char* v = FlagValue(arg, "--tenant-budget=")) {
+      flags->tenant_budgets = v;
+    } else if (arg == "--emit-sketch") {
+      flags->emit_sketch = true;
     } else if (arg == "--csv") {
       flags->csv = true;
     } else {
@@ -163,6 +199,19 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
   }
   if (flags->merge_listen && flags->listen.empty()) {
     fprintf(stderr, "bare --merge needs --listen (or use --merge=FILES)\n");
+    return false;
+  }
+  if (flags->emit_sketch && flags->merge.empty()) {
+    fprintf(stderr, "--emit-sketch needs --merge=FILES\n");
+    return false;
+  }
+  if (!flags->wal_path.empty() && !flags->merge.empty()) {
+    fprintf(stderr, "--wal applies to collector/listen modes, not --merge\n");
+    return false;
+  }
+  if (flags->wal_path.empty() &&
+      (flags->wal_checkpoint_every > 0 || flags->wal_sync)) {
+    fprintf(stderr, "--wal-checkpoint-every/--wal-sync need --wal=PATH\n");
     return false;
   }
   const bool estimating =
@@ -197,6 +246,50 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
 
 bool IsEndpointSpec(const std::string& s) {
   return s.rfind("tcp:", 0) == 0 || s.rfind("unix:", 0) == 0;
+}
+
+// Parses --tenant-budget=ID:MAX_REPORTS[:MAX_EPSILON][,...]. A cap of 0
+// means unlimited on that axis (TenantBudget's convention).
+bool ParseTenantBudgets(
+    const std::string& spec,
+    std::vector<std::pair<uint32_t, serve::TenantBudget>>* out) {
+  std::stringstream ss(spec);
+  std::string entry;
+  while (std::getline(ss, entry, ',')) {
+    if (entry.empty()) continue;
+    serve::TenantBudget budget;
+    unsigned long long tenant = 0, max_reports = 0;
+    double max_epsilon = 0.0;
+    const int matched = sscanf(entry.c_str(), "%llu:%llu:%lf", &tenant,
+                               &max_reports, &max_epsilon);
+    if (matched < 2 || tenant > 0xffffffffull) {
+      fprintf(stderr, "bad --tenant-budget entry '%s'\n", entry.c_str());
+      return false;
+    }
+    budget.max_reports = max_reports;
+    budget.max_epsilon = matched >= 3 ? max_epsilon : 0.0;
+    out->emplace_back(static_cast<uint32_t>(tenant), budget);
+  }
+  if (out->empty()) {
+    fprintf(stderr, "--tenant-budget holds no entries\n");
+    return false;
+  }
+  return true;
+}
+
+// One stderr line summarizing what WAL recovery replayed, including the
+// typed torn-tail diagnosis when the previous process died mid-record.
+void ReportWalRecovery(const serve::WalReplayStats& stats) {
+  fprintf(stderr,
+          "wal: recovered %llu frame(s), %llu checkpoint(s), "
+          "%llu clean byte(s)\n",
+          static_cast<unsigned long long>(stats.frames),
+          static_cast<unsigned long long>(stats.checkpoints),
+          static_cast<unsigned long long>(stats.clean_bytes));
+  if (!stats.tail.ok()) {
+    fprintf(stderr, "wal: discarded torn tail: %s\n",
+            stats.tail.message().c_str());
+  }
 }
 
 // Folds every length-prefixed frame of a collector output file into the
@@ -276,6 +369,9 @@ int PrintEstimate(const CliFlags& flags, const wire::MethodSpec& spec,
   return 0;
 }
 
+Status EmitSketches(const CliFlags& flags,
+                    const std::vector<std::string>& sketches);
+
 int RunCoordinator(const CliFlags& flags, serve::CollectorSession* session) {
   std::vector<std::string> paths;
   std::stringstream ss(flags.merge);
@@ -291,6 +387,20 @@ int RunCoordinator(const CliFlags& flags, serve::CollectorSession* session) {
     const Status st = MergeSketchFile(p, session);
     if (!st.ok()) return Fail(st);
   }
+  if (flags.emit_sketch) {
+    // Interior node of a merge tree: re-emit the merged state as sketch
+    // frames (per-tenant, lossless) instead of reconstructing, so the
+    // output file feeds another --merge level or a --listen coordinator.
+    Result<std::vector<std::string>> sketches = session->EncodeSketches();
+    if (!sketches.ok()) return Fail(sketches.status());
+    const Status emitted = EmitSketches(flags, sketches.value());
+    if (!emitted.ok()) return Fail(emitted);
+    fprintf(stderr, "merged %zu sketch file(s) into %zu frame(s), "
+            "%llu reports\n",
+            paths.size(), sketches.value().size(),
+            static_cast<unsigned long long>(session->num_reports()));
+    return 0;
+  }
   Result<MethodOutput> output = session->Reconstruct();
   if (!output.ok()) return Fail(output.status());
   fprintf(stderr, "merged %zu sketch(es), %llu reports\n", paths.size(),
@@ -299,17 +409,22 @@ int RunCoordinator(const CliFlags& flags, serve::CollectorSession* session) {
                        output.value());
 }
 
-// Writes one length-prefixed sketch frame either to a local file/stdout or
-// upstream over a freshly dialed connection (--out=tcp:/unix:).
-Status EmitSketch(const CliFlags& flags, const std::string& sketch) {
+// Writes length-prefixed sketch frames either to a local file/stdout or
+// upstream over a freshly dialed connection (--out=tcp:/unix:). Multiple
+// frames (one per tenant; EncodeSketches) go over one connection / into
+// one file, exactly as a serving collector would emit them.
+Status EmitSketches(const CliFlags& flags,
+                    const std::vector<std::string>& sketches) {
   if (IsEndpointSpec(flags.out_path)) {
     NUMDIST_ASSIGN_OR_RETURN(const net::Endpoint upstream,
                              net::ParseEndpoint(flags.out_path));
     NUMDIST_ASSIGN_OR_RETURN(net::Fd fd, net::Dial(upstream));
     std::string prefixed;
-    prefixed.reserve(4 + sketch.size());
-    ByteWriter(&prefixed).PutU32(static_cast<uint32_t>(sketch.size()));
-    prefixed.append(sketch);
+    for (const std::string& sketch : sketches) {
+      prefixed.reserve(prefixed.size() + 4 + sketch.size());
+      ByteWriter(&prefixed).PutU32(static_cast<uint32_t>(sketch.size()));
+      prefixed.append(sketch);
+    }
     return net::WriteAll(fd.get(), prefixed);
   }
   std::ofstream file_out;
@@ -321,10 +436,16 @@ Status EmitSketch(const CliFlags& flags, const std::string& sketch) {
     }
   }
   std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
-  NUMDIST_RETURN_NOT_OK(serve::WriteFrame(out, sketch));
+  for (const std::string& sketch : sketches) {
+    NUMDIST_RETURN_NOT_OK(serve::WriteFrame(out, sketch));
+  }
   out.flush();
   if (!out) return Status::Internal("collector: sketch write failed");
   return Status::OK();
+}
+
+Status EmitSketch(const CliFlags& flags, const std::string& sketch) {
+  return EmitSketches(flags, {sketch});
 }
 
 // Shared between RunServer and the estimate sink closure: the sink is
@@ -387,6 +508,9 @@ void OnDrainSignal(int) {
 int RunServer(const CliFlags& flags, const wire::MethodSpec& spec) {
   net::ServerOptions options;
   options.expect_frames = flags.expect_frames;
+  options.wal_path = flags.wal_path;
+  options.wal.checkpoint_every_frames = flags.wal_checkpoint_every;
+  options.wal.sync_each_record = flags.wal_sync;
   options.estimate_every_frames = flags.estimate_every_frames;
   options.estimate_every_ms = flags.estimate_every_ms;
   if (flags.estimate_mode == "minibatch") {
@@ -413,6 +537,16 @@ int RunServer(const CliFlags& flags, const wire::MethodSpec& spec) {
   Result<std::unique_ptr<net::CollectorServer>> server =
       net::CollectorServer::Make(spec, options);
   if (!server.ok()) return Fail(server.status());
+  if (!flags.wal_path.empty()) {
+    ReportWalRecovery(server.value()->wal_recovery());
+  }
+  if (!flags.tenant_budgets.empty()) {
+    std::vector<std::pair<uint32_t, serve::TenantBudget>> budgets;
+    if (!ParseTenantBudgets(flags.tenant_budgets, &budgets)) return 2;
+    for (const auto& [tenant, budget] : budgets) {
+      server.value()->SetTenantBudget(tenant, budget);
+    }
+  }
   if (estimating) {
     est->scratch.emplace(
         StreamingAggregator::ForEstimator(server.value()->live_estimator()));
@@ -484,6 +618,15 @@ int RunCollector(const CliFlags& flags, serve::CollectorSession* session) {
   // Stdio/pipe/file mode serves through the same poll-driven loop the
   // network server uses per connection, which is what gives --in streams
   // a mid-frame read deadline; output bytes are identical to ServeStream.
+  if (!flags.wal_path.empty()) {
+    serve::WalOptions wal_options;
+    wal_options.checkpoint_every_frames = flags.wal_checkpoint_every;
+    wal_options.sync_each_record = flags.wal_sync;
+    Result<serve::WalReplayStats> recovered =
+        session->RecoverAndAttachWal(flags.wal_path, wal_options);
+    if (!recovered.ok()) return Fail(recovered.status());
+    ReportWalRecovery(recovered.value());
+  }
   int in_fd = STDIN_FILENO;
   net::Fd file_fd;
   if (!flags.in_path.empty()) {
@@ -518,6 +661,12 @@ int RunCollector(const CliFlags& flags, serve::CollectorSession* session) {
     const Status st = serve::ServeFd(in_fd, out, session, options);
     if (!st.ok()) return Fail(st);
   }
+  if (session->has_wal()) {
+    // Clean EOF: compact the log to one checkpoint of the final state so
+    // a restart replays a single record instead of the whole stream.
+    const Status compacted = session->CompactWal();
+    if (!compacted.ok()) return Fail(compacted);
+  }
   fprintf(stderr, "collector absorbed %llu reports (%s)\n",
           static_cast<unsigned long long>(session->num_reports()),
           wire::MethodSpecName(session->spec()).c_str());
@@ -545,6 +694,13 @@ int main(int argc, char** argv) {
   Result<serve::CollectorSession> session =
       serve::CollectorSession::Make(spec.value());
   if (!session.ok()) return Fail(session.status());
+  if (!flags.tenant_budgets.empty()) {
+    std::vector<std::pair<uint32_t, serve::TenantBudget>> budgets;
+    if (!ParseTenantBudgets(flags.tenant_budgets, &budgets)) return 2;
+    for (const auto& [tenant, budget] : budgets) {
+      session.value().SetTenantBudget(tenant, budget);
+    }
+  }
   if (!flags.merge.empty()) {
     return RunCoordinator(flags, &session.value());
   }

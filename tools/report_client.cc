@@ -66,6 +66,10 @@ struct CliFlags {
   std::string connect;  // tcp:/unix: endpoint -> network mode
   size_t connections = 1;  // concurrent connections in network mode
   uint64_t pace_us = 0;    // sleep between frames (drain-test pacing)
+  // Tenant context stamped on every frame (wire::kFlagTenantContext).
+  // 0 = the default tenant; such frames stay byte-identical to a client
+  // without the flag.
+  uint32_t tenant = wire::kDefaultTenant;
 };
 
 void Usage() {
@@ -76,6 +80,7 @@ void Usage() {
           "                     [--offset=I] [--stride=P] [--out=FILE]\n"
           "                     [--connect=tcp:HOST:PORT|unix:PATH]\n"
           "                     [--connections=N] [--pace-us=T]\n"
+          "                     [--tenant=ID]\n"
           "process k of P client processes runs --offset=k --stride=P\n");
 }
 
@@ -112,6 +117,8 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->connections = static_cast<size_t>(atoll(v));
     } else if (const char* v = FlagValue(arg, "--pace-us=")) {
       flags->pace_us = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--tenant=")) {
+      flags->tenant = static_cast<uint32_t>(atoll(v));
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -209,8 +216,9 @@ int main(int argc, char** argv) {
             std::span<const double>(values).subspan(begin, len), rng);
     if (!chunk.ok()) return Fail(chunk.status());
     frame.clear();
-    const Status enc = wire::EncodeReportFrame(spec.value(), *protocol.value(),
-                                               *chunk.value(), &frame);
+    const Status enc =
+        wire::EncodeReportFrame(spec.value(), flags.tenant, *protocol.value(),
+                                *chunk.value(), &frame);
     if (!enc.ok()) return Fail(enc);
     const Status wr = sender ? sender->Send(frame)
                              : serve::WriteFrame(out, frame);
