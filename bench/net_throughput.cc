@@ -16,8 +16,16 @@
 // are clamped with a note rather than failing, so the bench degrades
 // gracefully on tight containers.
 //
+// With --faults=SEED the bench adds the fault-tolerance series: the
+// retry/ack sender (net/retry.h) against the same collector, once clean
+// and once through a seeded FaultPlan of injected connection resets
+// (net/fault.h) — FAULT_retry_clean measures the sequencing + ack
+// overhead over raw MultiSender ingest, FAULT_retry_resets the cost of
+// riding through the scripted faults (reconnect + retransmit included).
+// The seed makes the fault schedule identical on every run.
+//
 //   net_throughput [--n=N] [--shard-size=K] [--connections=a,b,...]
-//                  [--json=FILE]
+//                  [--faults=SEED] [--fault-resets=K] [--json=FILE]
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -32,6 +40,8 @@
 #include "common/rng.h"
 #include "data/datasets.h"
 #include "net/client.h"
+#include "net/fault.h"
+#include "net/retry.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "protocol/sharded.h"
@@ -62,6 +72,14 @@ double Percentile(std::vector<uint64_t>* samples, double q) {
   return static_cast<double>((*samples)[idx]);
 }
 
+/// One retry-sender run of the fault-tolerance series.
+struct FaultRunResult {
+  std::string key;  // bench series suffix ("clean", "resets/<k>")
+  uint64_t reports = 0;
+  double seconds = 0.0;
+  net::RetryStats stats;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +87,8 @@ int main(int argc, char** argv) {
   size_t shard_size = 500;
   std::string connection_list = "1000,10000";
   std::string json_path;
+  uint64_t fault_seed = 0;  // 0 = fault series off
+  uint32_t fault_resets = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--n=", 0) == 0) {
@@ -77,12 +97,18 @@ int main(int argc, char** argv) {
       shard_size = static_cast<size_t>(atoll(arg.c_str() + 13));
     } else if (arg.rfind("--connections=", 0) == 0) {
       connection_list = arg.substr(14);
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      fault_seed = static_cast<uint64_t>(atoll(arg.c_str() + 9));
+    } else if (arg.rfind("--fault-resets=", 0) == 0) {
+      fault_resets = static_cast<uint32_t>(atoll(arg.c_str() + 15));
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else {
       fprintf(stderr,
               "usage: net_throughput [--n=N] [--shard-size=K]\n"
-              "                      [--connections=a,b,...] [--json=FILE]\n");
+              "                      [--connections=a,b,...]\n"
+              "                      [--faults=SEED] [--fault-resets=K]\n"
+              "                      [--json=FILE]\n");
       return 2;
     }
   }
@@ -229,6 +255,93 @@ int main(int argc, char** argv) {
            "part of this run; the 1M reports/s radar did not fire\n");
   }
 
+  // Fault-tolerance series: the retry/ack sender, clean and through a
+  // seeded schedule of injected connection resets. Exactly-once dedup
+  // means the absorbed-report check is exact even though the faulted run
+  // retransmits whole windows.
+  std::vector<FaultRunResult> fault_runs;
+  if (fault_seed != 0) {
+    printf("%-22s %10s %10s %12s %12s %10s\n", "fault-series", "Mreports",
+           "Mrps", "reconnects", "retransmits", "injected");
+    auto run_retry = [&](const net::FaultPlan* plan,
+                         const std::string& key) -> int {
+      net::ServerOptions options;  // acks on: the retry path needs them
+      auto server = net::CollectorServer::Make(spec, options).ValueOrDie();
+      const net::Endpoint bound =
+          server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+              .ValueOrDie();
+      Status run_status;
+      std::thread serving([&] { run_status = server->Run(); });
+
+      net::RetryOptions retry_options;
+      retry_options.epoch = 1;
+      retry_options.base_backoff_ms = 1;
+      retry_options.max_backoff_ms = 20;
+      retry_options.total_deadline_ms = 120000;
+      retry_options.jitter_seed = fault_seed;
+      retry_options.faults = plan;
+      auto sender =
+          net::RetrySender::Make({bound}, retry_options).ValueOrDie();
+      const auto start = std::chrono::steady_clock::now();
+      for (const std::string& frame : frames) {
+        const Status st = sender.Send(frame);
+        if (!st.ok()) {
+          fprintf(stderr, "retry send: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      const Status finished = sender.Finish();
+      if (!finished.ok()) {
+        fprintf(stderr, "retry finish: %s\n", finished.ToString().c_str());
+        return 1;
+      }
+      server->RequestDrain();
+      serving.join();
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!run_status.ok()) {
+        fprintf(stderr, "server: %s\n", run_status.ToString().c_str());
+        return 1;
+      }
+      if (server->num_reports() != reports_per_round) {
+        fprintf(stderr, "exactly-once broken: absorbed %llu of %llu\n",
+                static_cast<unsigned long long>(server->num_reports()),
+                static_cast<unsigned long long>(reports_per_round));
+        return 1;
+      }
+      FaultRunResult r;
+      r.key = key;
+      r.reports = reports_per_round;
+      r.seconds = seconds;
+      r.stats = sender.stats();
+      fault_runs.push_back(r);
+      printf("%-22s %10.2f %10.2f %12llu %12llu %10llu\n", key.c_str(),
+             static_cast<double>(r.reports) / 1e6,
+             static_cast<double>(r.reports) / seconds / 1e6,
+             static_cast<unsigned long long>(r.stats.reconnects),
+             static_cast<unsigned long long>(r.stats.retransmits),
+             static_cast<unsigned long long>(r.stats.injected_faults));
+      return 0;
+    };
+    if (const int rc = run_retry(nullptr, "clean"); rc != 0) return rc;
+    const net::FaultPlan plan =
+        net::FaultPlan::Resets(fault_seed, fault_resets, /*max_byte=*/4096);
+    if (const int rc = run_retry(
+            &plan, "resets/" + std::to_string(fault_resets));
+        rc != 0) {
+      return rc;
+    }
+    const FaultRunResult& faulted = fault_runs.back();
+    if (faulted.stats.injected_faults != fault_resets) {
+      fprintf(stderr, "fault plan did not fire: %llu of %u resets\n",
+              static_cast<unsigned long long>(faulted.stats.injected_faults),
+              fault_resets);
+      return 1;
+    }
+  }
+
   if (!json_path.empty()) {
     // google-benchmark JSON shape, so tools/compare_bench.py can diff this
     // file against artifacts and the committed fallback baseline.
@@ -263,6 +376,20 @@ int main(int argc, char** argv) {
                 e.real_time, e.real_time, e.items_per_second);
         first = false;
       }
+    }
+    for (const FaultRunResult& r : fault_runs) {
+      const std::string name = "FAULT_retry_" + r.key;
+      const double ns_per_report =
+          r.seconds * 1e9 / static_cast<double>(r.reports);
+      fprintf(out,
+              "%s  {\"name\": \"%s\", \"run_name\": \"%s\", "
+              "\"run_type\": \"iteration\", \"iterations\": 1, "
+              "\"real_time\": %.3f, \"cpu_time\": %.3f, "
+              "\"time_unit\": \"ns\", \"items_per_second\": %.3f}",
+              first ? "" : ",\n", name.c_str(), name.c_str(), ns_per_report,
+              ns_per_report,
+              static_cast<double>(r.reports) / r.seconds);
+      first = false;
     }
     fprintf(out, "\n ]\n}\n");
     fclose(out);

@@ -1,0 +1,224 @@
+#include "net/retry.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "wire/wire.h"
+
+namespace numdist::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void SleepMs(uint64_t ms) {
+  if (ms == 0) return;
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000L);
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+Result<RetrySender> RetrySender::Make(std::vector<Endpoint> endpoints,
+                                      RetryOptions options) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("retry: the failover list is empty");
+  }
+  if (options.window == 0) {
+    return Status::InvalidArgument("retry: the ack window must hold at "
+                                   "least one frame");
+  }
+  return RetrySender(std::move(endpoints), options);
+}
+
+int64_t RetrySender::RemainingMs() const {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Clock::now() - start_)
+                           .count();
+  return static_cast<int64_t>(options_.total_deadline_ms) - elapsed;
+}
+
+Status RetrySender::DeadlineExceeded() const {
+  return Status::OutOfRange(
+      "retry: total deadline of " +
+      std::to_string(options_.total_deadline_ms) + " ms exceeded with " +
+      std::to_string(unacked_.size()) + " frame(s) unacked");
+}
+
+void RetrySender::SyncInjected() {
+  if (!writer_) return;
+  stats_.injected_faults += writer_->injected() - writer_credited_;
+  writer_credited_ = writer_->injected();
+}
+
+void RetrySender::DropConnection() {
+  SyncInjected();
+  writer_.reset();
+  writer_credited_ = 0;
+  fd_->reset();
+}
+
+Status RetrySender::ReconnectAndRetransmit() {
+  for (;;) {
+    DropConnection();
+    if (options_.max_attempts > 0 && attempts_ >= options_.max_attempts) {
+      return Status::OutOfRange(
+          "retry: gave up after " + std::to_string(attempts_) +
+          " connection attempt(s) with " + std::to_string(unacked_.size()) +
+          " frame(s) unacked");
+    }
+    if (RemainingMs() <= 0) return DeadlineExceeded();
+    if (attempts_ > 0) {
+      // Exponential backoff with seeded jitter: capped base·2^k plus a
+      // uniform draw, so colliding clients decorrelate deterministically.
+      const uint32_t k = std::min<uint32_t>(stats_.reconnects, 20);
+      const uint64_t base =
+          std::min<uint64_t>(options_.max_backoff_ms,
+                             static_cast<uint64_t>(options_.base_backoff_ms)
+                                 << k);
+      SleepMs(base + jitter_.UniformInt(options_.base_backoff_ms + 1));
+      ++stats_.reconnects;
+    }
+    const Endpoint& target = endpoints_[attempts_ % endpoints_.size()];
+    const uint32_t attempt = attempts_++;
+    Result<Fd> dialed = Dial(target);
+    if (!dialed.ok()) continue;  // backoff, try the next endpoint
+    *fd_ = std::move(dialed).value();
+    decoder_ = serve::FrameDecoder();
+    // One writer per connection: the fault script addresses the attempt's
+    // cumulative byte stream, so the same writer must also carry later
+    // Deliver calls on this connection. Any failure (injected or real)
+    // loops back around.
+    writer_.emplace(fd_.get(), options_.faults, attempt);
+    writer_credited_ = 0;
+    bool ok = true;
+    for (const auto& [seq, framed] : unacked_) {
+      if (!writer_->Write(framed).ok()) {
+        ok = false;
+        break;
+      }
+      // The very first connection's pushes are first transmissions, not
+      // retransmits.
+      if (attempt > 0) ++stats_.retransmits;
+    }
+    SyncInjected();
+    if (ok) return Status::OK();
+  }
+}
+
+Status RetrySender::Deliver(const std::string& framed) {
+  if (!started_) {
+    started_ = true;
+    start_ = Clock::now();
+  }
+  if (fd_->valid() && writer_) {
+    // Reuse the connection's writer so scripted fault offsets keep
+    // accumulating across frames within this attempt.
+    const Status wrote = writer_->Write(framed);
+    SyncInjected();
+    if (wrote.ok()) return Status::OK();
+  }
+  // First frame, a dead fd, or a failed write: (re)connect and push the
+  // whole window — `framed` is already in unacked_, so it rides along.
+  return ReconnectAndRetransmit();
+}
+
+Status RetrySender::PumpAcks(int timeout_ms, bool* progressed) {
+  *progressed = false;
+  if (!fd_->valid()) {
+    NUMDIST_RETURN_NOT_OK(ReconnectAndRetransmit());
+  }
+  struct pollfd pfd = {.fd = fd_->get(), .events = POLLIN, .revents = 0};
+  for (;;) {
+    const int ready = poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("retry: poll failed (") +
+                              std::strerror(errno) + ")");
+    }
+    if (ready == 0) return Status::OK();  // timeout; caller decides
+    break;
+  }
+  char buf[16 * 1024];
+  const ssize_t got = recv(fd_->get(), buf, sizeof(buf), 0);
+  if (got < 0) {
+    if (errno == EINTR) return Status::OK();
+    // ECONNRESET etc.: the connection died under us; rebuild it.
+    return ReconnectAndRetransmit();
+  }
+  if (got == 0) {
+    // The collector closed while frames are still unacked: mid-stream
+    // close, handled by reconnecting (a clean Finish never reaches here
+    // with an empty window).
+    return ReconnectAndRetransmit();
+  }
+  const Status fed = decoder_.Feed(std::string_view(buf, got));
+  if (!fed.ok()) return fed;  // a hostile ack stream is not retryable
+  std::string frame;
+  while (decoder_.Next(&frame)) {
+    Result<wire::FrameSeq> ack = wire::DecodeAckFrame(frame);
+    if (!ack.ok()) return ack.status();
+    if (ack.value().epoch != options_.epoch) continue;  // stale epoch
+    if (unacked_.erase(ack.value().seq) > 0) {
+      ++stats_.acks;
+      *progressed = true;
+    }
+    // else: an ack for an already retired frame (duplicate re-ack) — fine.
+  }
+  return Status::OK();
+}
+
+Status RetrySender::Send(std::string_view frame) {
+  while (unacked_.size() >= options_.window) {
+    bool progressed = false;
+    NUMDIST_RETURN_NOT_OK(
+        PumpAcks(static_cast<int>(options_.ack_timeout_ms), &progressed));
+    if (!progressed) {
+      if (RemainingMs() <= 0) return DeadlineExceeded();
+      // A full ack timeout with no progress: assume the connection (or
+      // the collector behind it) wedged; rebuild and retransmit.
+      NUMDIST_RETURN_NOT_OK(ReconnectAndRetransmit());
+    }
+  }
+  std::string stamped(frame);
+  const uint64_t seq = next_seq_++;
+  NUMDIST_RETURN_NOT_OK(wire::StampSequenceContext(
+      &stamped, wire::FrameSeq{.epoch = options_.epoch, .seq = seq}));
+  std::string framed;
+  framed.reserve(sizeof(uint32_t) + stamped.size());
+  serve::AppendFramePrefix(stamped.size(), &framed);
+  framed.append(stamped);
+  auto [it, inserted] = unacked_.emplace(seq, std::move(framed));
+  (void)inserted;
+  ++stats_.frames;
+  NUMDIST_RETURN_NOT_OK(Deliver(it->second));
+  // Opportunistic drain so the window empties while the pipe is busy.
+  bool progressed = false;
+  return PumpAcks(0, &progressed);
+}
+
+Status RetrySender::Finish() {
+  while (!unacked_.empty()) {
+    bool progressed = false;
+    NUMDIST_RETURN_NOT_OK(
+        PumpAcks(static_cast<int>(options_.ack_timeout_ms), &progressed));
+    if (progressed) continue;
+    if (RemainingMs() <= 0) return DeadlineExceeded();
+    NUMDIST_RETURN_NOT_OK(ReconnectAndRetransmit());
+  }
+  // Every frame acked: a plain close gives the collector its clean EOF.
+  DropConnection();
+  return Status::OK();
+}
+
+}  // namespace numdist::net

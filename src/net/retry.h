@@ -1,0 +1,149 @@
+// At-least-once delivery with server-side dedup = exactly-once absorption.
+//
+// RetrySender is the fault-tolerant counterpart of MultiSender: one
+// blocking connection, sequence-numbered frames, and a retransmit loop
+// driven by the collector's ack frames (wire/wire.h, FrameType::kAck).
+// Every frame is stamped with (epoch, seq) before its first send; a frame
+// stays in the unacked window and is retransmitted VERBATIM — same epoch,
+// same seq, same bytes — across reconnects until its ack arrives. The
+// collector's SequenceTracker (serve/collector.h) absorbs each (epoch,
+// seq) exactly once and re-acks duplicates, so a retransmit race can
+// never double-count a report. The guarantee survives a collector
+// restart: the WAL replays claimed ids back into the tracker before the
+// retransmit arrives.
+//
+// Failure handling: a send failure, an injected fault (net/fault.h), a
+// mid-stream close, or an ack timeout all tear down the connection and
+// enter the reconnect path — exponential backoff (base·2^k, capped) plus
+// seeded jitter, dialing endpoints round-robin by attempt (the failover
+// list), then retransmitting the entire unacked window in seq order. The
+// total deadline bounds the whole session; exceeding it is a typed
+// OutOfRange error with the number of frames still unacked.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "net/fault.h"
+#include "net/socket.h"
+#include "serve/framing.h"
+
+namespace numdist::net {
+
+struct RetryOptions {
+  /// Connection epoch stamped on every frame. Distinct senders MUST use
+  /// distinct epochs (the dedup window is keyed by (epoch, seq)); a
+  /// sender resuming after its own crash reuses its old epoch so its
+  /// retransmits dedup against what the collector already absorbed.
+  uint64_t epoch = 1;
+  /// Max connection attempts, 0 = unbounded (the deadline governs).
+  uint32_t max_attempts = 0;
+  /// Backoff before reconnect attempt k: min(max, base·2^k) + jitter ms.
+  uint32_t base_backoff_ms = 5;
+  uint32_t max_backoff_ms = 1000;
+  /// Hard ceiling on the whole session, first Send to last ack.
+  uint32_t total_deadline_ms = 30000;
+  /// A full window / Finish waits this long for one ack before declaring
+  /// the connection dead and retransmitting.
+  uint32_t ack_timeout_ms = 2000;
+  /// Max unacked frames before Send blocks waiting for acks.
+  size_t window = 32;
+  /// Seeds the backoff jitter (deterministic tests).
+  uint64_t jitter_seed = 1;
+  /// Optional injected-fault script; attempt k of this sender uses the
+  /// plan's attempt-k events. Null = clean writes.
+  const FaultPlan* faults = nullptr;
+};
+
+struct RetryStats {
+  uint64_t frames = 0;       ///< distinct frames handed to Send
+  uint64_t acks = 0;         ///< acks that retired an unacked frame
+  uint64_t retransmits = 0;  ///< frame re-sends after a reconnect
+  uint64_t reconnects = 0;   ///< connections dialed beyond the first
+  uint64_t injected_faults = 0;  ///< scripted faults fired (net/fault.h)
+};
+
+/// \brief Sequence-stamped, ack-driven, retrying frame sender.
+class RetrySender {
+ public:
+  /// `endpoints` is the failover list: attempt k dials
+  /// endpoints[k % size]. Dialing is lazy (first Send connects), so a
+  /// collector started concurrently with its clients wins the race.
+  static Result<RetrySender> Make(std::vector<Endpoint> endpoints,
+                                  RetryOptions options);
+
+  RetrySender(RetrySender&&) = default;
+  RetrySender& operator=(RetrySender&&) = default;
+
+  /// Stamps the next (epoch, seq) onto `frame` and delivers it, blocking
+  /// while the unacked window is full. The frame must be a report or
+  /// sketch frame without an existing sequence block.
+  Status Send(std::string_view frame);
+
+  /// Blocks until every sent frame is acked (retransmitting as needed),
+  /// then closes the connection cleanly. The sender is unusable after.
+  Status Finish();
+
+  const RetryStats& stats() const { return stats_; }
+  /// Frames sent but not yet acked (0 after a successful Finish).
+  size_t unacked() const { return unacked_.size(); }
+
+ private:
+  RetrySender(std::vector<Endpoint> endpoints, RetryOptions options)
+      : endpoints_(std::move(endpoints)),
+        options_(options),
+        jitter_(options.jitter_seed) {}
+
+  /// Milliseconds left before the total deadline (<= 0 = expired).
+  int64_t RemainingMs() const;
+  /// Typed deadline error naming the unacked count.
+  Status DeadlineExceeded() const;
+  /// Dials the next endpoint (with backoff for attempts beyond the
+  /// first) and retransmits the unacked window; loops until a dial +
+  /// retransmit succeeds or attempts/deadline run out.
+  Status ReconnectAndRetransmit();
+  /// Writes one prefixed frame through the connection's fault-injecting
+  /// writer; any failure tears down the connection and reconnects (which
+  /// retransmits this frame too — it is already in the window).
+  Status Deliver(const std::string& framed);
+  /// Folds the live writer's fired-fault count into stats_ (delta-based,
+  /// so it is safe to call after every write).
+  void SyncInjected();
+  /// Closes the connection and retires its writer (syncing stats first).
+  void DropConnection();
+  /// Reads acks for up to timeout_ms; `*progressed` reports whether any
+  /// unacked frame was retired. A dead connection is handled inside
+  /// (reconnect + retransmit), not surfaced.
+  Status PumpAcks(int timeout_ms, bool* progressed);
+
+  std::vector<Endpoint> endpoints_;
+  RetryOptions options_;
+  Rng jitter_;
+  /// Heap-held so its address survives moves of the sender — the live
+  /// FaultyWriter keeps a pointer to it for the connection's lifetime.
+  std::unique_ptr<Fd> fd_ = std::make_unique<Fd>();
+  /// One writer per connection attempt: fault-script offsets address the
+  /// attempt's CUMULATIVE stream, so the writer (and its offset) must
+  /// outlive individual Deliver calls.
+  std::optional<FaultyWriter> writer_;
+  /// Portion of writer_->injected() already folded into stats_.
+  uint64_t writer_credited_ = 0;
+  serve::FrameDecoder decoder_;  // reset per connection
+  uint32_t attempts_ = 0;        // connections dialed so far
+  uint64_t next_seq_ = 1;
+  /// seq -> length-prefixed stamped frame bytes (retransmit verbatim).
+  std::map<uint64_t, std::string> unacked_;
+  RetryStats stats_;
+  std::chrono::steady_clock::time_point start_{};
+  bool started_ = false;
+};
+
+}  // namespace numdist::net

@@ -48,6 +48,11 @@ struct CollectorServer::Connection : IoHandle {
   size_t inflight_bytes = 0;
   bool paused = false;
   bool closed = false;
+  /// Queued outbound bytes (ack frames) not yet accepted by the kernel.
+  std::string out_buf;
+  size_t out_off = 0;
+  /// EPOLLOUT armed: the last flush hit a full socket buffer.
+  bool want_write = false;
 };
 
 struct CollectorServer::PendingFrame {
@@ -105,6 +110,11 @@ Result<std::unique_ptr<CollectorServer>> CollectorServer::Make(
     sub.set_ledger(server->main_.ledger());
     server->sub_sessions_.push_back(std::move(sub));
   }
+  // Every slot also shares the main session's dedup window, so a re-sent
+  // sequenced frame is recognized no matter which slot claims it.
+  for (serve::CollectorSession& sub : server->sub_sessions_) {
+    sub.set_sequence_tracker(server->main_.sequence_tracker());
+  }
   if (!options.wal_path.empty()) {
     // Crash recovery happens here, before the first listener exists:
     // the log's clean prefix replays into the main session (sub-sessions
@@ -118,14 +128,33 @@ Result<std::unique_ptr<CollectorServer>> CollectorServer::Make(
     consumer.on_checkpoint = [main](const std::vector<std::string>& sketches) {
       return main->ResetToSketches(sketches);
     };
-    NUMDIST_ASSIGN_OR_RETURN(server->wal_recovery_,
-                             serve::ReplayWal(options.wal_path, consumer));
+    consumer.on_seq_checkpoint =
+        [main](const std::vector<serve::WalSeqEntry>& entries) {
+          main->sequence_tracker()->Restore(entries);
+          return Status::OK();
+        };
     NUMDIST_ASSIGN_OR_RETURN(
-        serve::WalWriter writer,
-        serve::WalWriter::Open(options.wal_path,
-                               server->wal_recovery_.clean_bytes,
-                               options.wal));
-    server->wal_ = std::make_unique<serve::WalWriter>(std::move(writer));
+        serve::WalLog log,
+        serve::WalLog::Open(options.wal_path, options.wal, consumer));
+    server->wal_ = std::make_unique<serve::WalLog>(std::move(log));
+    server->wal_recovery_ = server->wal_->recovery();
+  }
+  if (!options.replicate_to.empty()) {
+    NUMDIST_ASSIGN_OR_RETURN(const Endpoint replica,
+                             ParseEndpoint(options.replicate_to));
+    NUMDIST_ASSIGN_OR_RETURN(server->replica_fd_, Dial(replica));
+    if (server->wal_recovery_.frames > 0 ||
+        server->wal_recovery_.checkpoints > 0) {
+      // State recovered from the WAL predates this replication link; sync
+      // it as sketch frames before the first live frame. (The dedup
+      // window travels only through live sequenced frames — a standby
+      // attached after a recovery dedups from the first synced frame on.)
+      NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
+                               server->main_.EncodeSketches());
+      for (const std::string& sketch : sketches) {
+        NUMDIST_RETURN_NOT_OK(server->ForwardToReplica(sketch));
+      }
+    }
   }
   return server;
 }
@@ -248,28 +277,111 @@ void CollectorServer::HandleReadable(Connection* conn) {
     // Backpressure: drop read interest (level-triggered, so nothing is
     // lost) until the absorb stage catches up; the kernel buffer then
     // flow-controls the sender.
-    if (reactor_.Mod(conn->fd.get(), 0, static_cast<IoHandle*>(conn)).ok()) {
-      conn->paused = true;
-      ++stats_.pauses;
-    }
+    conn->paused = true;
+    ++stats_.pauses;
+    UpdateInterest(conn);
   }
+}
+
+void CollectorServer::UpdateInterest(Connection* conn) {
+  if (conn->closed) return;
+  const uint32_t events = (conn->paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                          (conn->want_write ? static_cast<uint32_t>(EPOLLOUT)
+                                            : 0u);
+  if (!reactor_.Mod(conn->fd.get(), events, static_cast<IoHandle*>(conn))
+           .ok()) {
+    // Un-pausing a dead fd etc.; surfaced by the next read/write instead.
+    conn->paused = false;
+  }
+}
+
+void CollectorServer::FlushConn(Connection* conn) {
+  if (conn->closed) return;
+  const bool wanted_write = conn->want_write;
+  while (conn->out_off < conn->out_buf.size()) {
+    const ssize_t wrote =
+        send(conn->fd.get(), conn->out_buf.data() + conn->out_off,
+             conn->out_buf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          UpdateInterest(conn);
+        }
+        return;
+      }
+      // A peer that vanished before reading its acks: the frames are
+      // absorbed and durable; only the notification is lost (the client's
+      // retry path handles it). Not a frame error — close quietly.
+      CloseConnection(conn);
+      return;
+    }
+    conn->out_off += static_cast<size_t>(wrote);
+  }
+  conn->out_buf.clear();
+  conn->out_off = 0;
+  if (wanted_write) {
+    conn->want_write = false;
+    UpdateInterest(conn);
+  }
+}
+
+void CollectorServer::QueueAck(Connection* conn, const wire::FrameSeq& seq) {
+  if (conn->closed) return;
+  std::string ack;
+  if (!wire::EncodeAckFrame(seq, &ack).ok()) return;  // seq 0 never queues
+  serve::AppendFramePrefix(ack.size(), &conn->out_buf);
+  conn->out_buf.append(ack);
+  ++stats_.acks_queued;
+}
+
+Status CollectorServer::ForwardToReplica(std::string_view frame) {
+  // The standby acks the sequenced frames we forward (it cannot tell a
+  // primary from a client). Drain and discard before writing so its send
+  // buffer never fills up and deadlocks both collectors.
+  char scratch[4096];
+  for (;;) {
+    const ssize_t got = recv(replica_fd_.get(), scratch, sizeof(scratch),
+                             MSG_DONTWAIT);
+    if (got > 0) continue;
+    if (got < 0 && errno == EINTR) continue;
+    if (got == 0) {
+      return Status::Internal(
+          "net: standby closed the replication stream mid-serve");
+    }
+    break;  // EAGAIN: nothing buffered
+  }
+  std::string framed;
+  framed.reserve(sizeof(uint32_t) + frame.size());
+  serve::AppendFramePrefix(frame.size(), &framed);
+  framed.append(frame);
+  NUMDIST_RETURN_NOT_OK(WriteAll(replica_fd_.get(), framed));
+  ++stats_.frames_replicated;
+  return Status::OK();
 }
 
 void CollectorServer::AbsorbPending() {
   if (pending_.empty()) return;
   const size_t n = pending_.size();
   std::vector<Status> statuses(n);
+  std::vector<serve::FrameOutcome> outcomes(n);
   Executor::Shared().ParallelFor(
       n, options_.max_parallelism, [&](size_t task, size_t slot) {
-        statuses[task] = sub_sessions_[slot].HandleFrame(pending_[task].frame);
+        statuses[task] = sub_sessions_[slot].HandleFrame(pending_[task].frame,
+                                                         &outcomes[task]);
       });
   const Clock::time_point done = Clock::now();
   for (size_t i = 0; i < n; ++i) {
     PendingFrame& pf = pending_[i];
     pf.conn->inflight_bytes -= pf.frame.size();
     if (statuses[i].ok()) {
-      ++stats_.frames_absorbed;
-      if (options_.record_latency) {
+      if (outcomes[i].duplicate) {
+        ++stats_.duplicates;
+      } else {
+        ++stats_.frames_absorbed;
+      }
+      if (options_.record_latency && !outcomes[i].duplicate) {
         stats_.latency_ns.push_back(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 done - pf.decoded_at)
@@ -280,20 +392,18 @@ void CollectorServer::AbsorbPending() {
     }
     if (pf.conn->paused && !pf.conn->closed &&
         pf.conn->inflight_bytes <= options_.pause_bytes / 2) {
-      if (reactor_.Mod(pf.conn->fd.get(), EPOLLIN,
-                       static_cast<IoHandle*>(pf.conn))
-              .ok()) {
-        pf.conn->paused = false;
-      }
+      pf.conn->paused = false;
+      UpdateInterest(pf.conn);
     }
   }
   if (wal_ != nullptr && wal_status_.ok()) {
     // Accepted frames hit the log in batch (= absorption) order, which
     // is the order recovery replays them in. Absorption itself is
     // order-independent (exact commutative merges), so the replayed
-    // aggregate is byte-identical regardless of batching.
+    // aggregate is byte-identical regardless of batching. Duplicates
+    // never reach the log — replay would double-claim their ids.
     for (size_t i = 0; i < n; ++i) {
-      if (!statuses[i].ok()) continue;
+      if (!statuses[i].ok() || outcomes[i].duplicate) continue;
       const Status appended = wal_->AppendFrame(pending_[i].frame);
       if (!appended.ok()) {
         wal_status_ = appended;
@@ -301,6 +411,29 @@ void CollectorServer::AbsorbPending() {
       }
       ++wal_frames_since_checkpoint_;
     }
+  }
+  if (replica_fd_.valid() && replica_status_.ok()) {
+    // Replication happens after the WAL append and before the acks below:
+    // an ack a client ever sees refers to a frame that is both locally
+    // durable and on the standby.
+    for (size_t i = 0; i < n; ++i) {
+      if (!statuses[i].ok() || outcomes[i].duplicate) continue;
+      const Status forwarded = ForwardToReplica(pending_[i].frame);
+      if (!forwarded.ok()) {
+        replica_status_ = forwarded;
+        break;
+      }
+    }
+  }
+  if (options_.send_acks) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!statuses[i].ok() || !outcomes[i].has_seq) continue;
+      QueueAck(pending_[i].conn, outcomes[i].seq);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Connection* conn = pending_[i].conn;
+    if (!conn->out_buf.empty()) FlushConn(conn);
   }
   pending_.clear();
   pending_bytes_ = 0;
@@ -323,7 +456,10 @@ Status CollectorServer::MaybeCheckpointWal() {
   }
   NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
                            scratch.EncodeSketches());
-  NUMDIST_RETURN_NOT_OK(wal_->Compact(sketches));
+  // The dedup window rides along in the checkpoint: after a crash the
+  // recovered collector still refuses the retransmits it already acked.
+  NUMDIST_RETURN_NOT_OK(
+      wal_->Compact(sketches, main_.sequence_tracker()->Export()));
   wal_frames_since_checkpoint_ = 0;
   return Status::OK();
 }
@@ -340,6 +476,20 @@ void CollectorServer::CloseConnection(Connection* conn) {
   conn->fd.reset();
   conn->closed = true;
   conn->paused = false;
+  conn->want_write = false;
+  conn->out_buf.clear();
+  conn->out_off = 0;
+  if (options_.drain_on_disconnect && !draining_ &&
+      stats_.connections_accepted > 0) {
+    bool any_open = false;
+    for (const auto& c : connections_) {
+      if (!c->closed) {
+        any_open = true;
+        break;
+      }
+    }
+    if (!any_open) EnterDrain(/*cut_connections=*/false);
+  }
 }
 
 void CollectorServer::ReapClosed() {
@@ -435,11 +585,16 @@ Status CollectorServer::Run() {
       if (handle->is_listener) {
         NUMDIST_RETURN_NOT_OK(HandleAccept(static_cast<Listener*>(handle)));
       } else {
-        HandleReadable(static_cast<Connection*>(handle));
+        auto* conn = static_cast<Connection*>(handle);
+        if ((events[i].events & EPOLLOUT) != 0) FlushConn(conn);
+        if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+          HandleReadable(conn);
+        }
       }
     }
     AbsorbPending();
     if (!wal_status_.ok()) return wal_status_;
+    if (!replica_status_.ok()) return replica_status_;
     NUMDIST_RETURN_NOT_OK(MaybeCheckpointWal());
     MaybeEstimate();
     if (options_.expect_frames > 0 &&
@@ -453,9 +608,13 @@ Status CollectorServer::Run() {
     // a restart replays a single record instead of the whole stream.
     NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
                              main_.EncodeSketches());
-    NUMDIST_RETURN_NOT_OK(wal_->Compact(sketches));
+    NUMDIST_RETURN_NOT_OK(
+        wal_->Compact(sketches, main_.sequence_tracker()->Export()));
     wal_frames_since_checkpoint_ = 0;
   }
+  // A clean shutdown ends the replication stream with an orderly EOF, which
+  // the standby reads as "primary finished" rather than a failure.
+  if (replica_fd_.valid()) replica_fd_.reset();
   return Status::OK();
 }
 

@@ -92,10 +92,36 @@ struct ServerOptions {
   /// absorbed frame is appended in absorption order, and the log is
   /// compacted to a checkpoint of the final state at drain. A collector
   /// killed at any byte offset restarts byte-identical to an
-  /// uninterrupted run over the logged frames (serve/wal.h).
+  /// uninterrupted run over the logged frames (serve/wal.h). With
+  /// wal.segment_bytes > 0 the path is a segment directory (WalLog).
   std::string wal_path;
-  /// Checkpoint cadence / sync policy for wal_path.
+  /// Checkpoint cadence / sync / segmentation policy for wal_path.
   serve::WalOptions wal;
+
+  /// Hot-standby replication endpoint (empty = none). Make dials it once;
+  /// every absorbed non-duplicate frame is then streamed there verbatim
+  /// (u32-prefixed, sequence context intact — the standby rebuilds the
+  /// same dedup window) AFTER the local WAL append and BEFORE the
+  /// client's ack, so an acked frame is always on the standby when the
+  /// primary dies. State recovered from the WAL is synced ahead of the
+  /// first frame as untagged/tenant-tagged sketch frames. A replication
+  /// write failure is fatal to Run — acks promise the standby has the
+  /// frame, so serving must not continue without it.
+  std::string replicate_to;
+
+  /// When false, sequenced frames are absorbed and deduplicated but never
+  /// acked. Standby mode: a standby must not write into the replication
+  /// stream — a primary that dies with unread data in its receive queue
+  /// RSTs the connection and may discard its own unsent tail, exactly the
+  /// bytes the standby exists to preserve.
+  bool send_acks = true;
+
+  /// Promote-on-disconnect: once at least one connection has been
+  /// accepted, the server drains itself when the last open connection
+  /// closes (clean EOF or error alike). Standby mode: the primary's death
+  /// ends the replication stream, and the standby finishes with exactly
+  /// the frames that reached it.
+  bool drain_on_disconnect = false;
 
   /// Live estimation cadence: re-reconstruct after this many newly
   /// absorbed frames (0 = off). SW methods only (the estimate is the
@@ -127,6 +153,12 @@ struct ServerStats {
   /// Connections dropped on a typed frame/decode error (the error is in
   /// `first_error`; the server keeps serving everyone else).
   uint64_t connection_errors = 0;
+  /// Sequenced frames skipped as already-claimed duplicates (still acked).
+  uint64_t duplicates = 0;
+  /// Ack frames queued to clients (absorbed + duplicate sequenced frames).
+  uint64_t acks_queued = 0;
+  /// Frames streamed to the standby (ServerOptions::replicate_to).
+  uint64_t frames_replicated = 0;
   /// Successful live-estimation ticks (see ServerOptions cadence knobs).
   uint64_t estimate_ticks = 0;
   Status first_error;
@@ -196,6 +228,18 @@ class CollectorServer {
   Status HandleAccept(Listener* listener);
   void HandleReadable(Connection* conn);
   void AbsorbPending();
+  /// Queues one ack frame on the source connection (sent after the frame
+  /// is locally durable and replicated).
+  void QueueAck(Connection* conn, const wire::FrameSeq& seq);
+  /// Pushes a connection's queued output (acks) to the socket; arms
+  /// EPOLLOUT when the kernel buffer is full.
+  void FlushConn(Connection* conn);
+  /// Re-registers a connection's epoll interest from its paused/want_write
+  /// state.
+  void UpdateInterest(Connection* conn);
+  /// Streams one absorbed frame to the standby (u32-prefixed, blocking),
+  /// discarding any acks the standby has sent back first.
+  Status ForwardToReplica(std::string_view frame);
   /// Compacts the WAL to a checkpoint of the merged live state once the
   /// append cadence is due (no-op without a WAL or cadence).
   Status MaybeCheckpointWal();
@@ -222,15 +266,21 @@ class CollectorServer {
   bool merged_ = false;
 
   /// Durability (null unless ServerOptions::wal_path was set). The server
-  /// owns the writer — appends happen from the batch loop in absorption
+  /// owns the log — appends happen from the batch loop in absorption
   /// order, NOT through main_, whose HandleFrame path must stay silent
   /// during the drain-time sub-session merge.
-  std::unique_ptr<serve::WalWriter> wal_;
+  std::unique_ptr<serve::WalLog> wal_;
   serve::WalReplayStats wal_recovery_;
   uint64_t wal_frames_since_checkpoint_ = 0;
   /// First WAL append failure; fatal (Run returns it — an aggregate the
   /// log no longer covers must not keep growing silently).
   Status wal_status_ = Status::OK();
+
+  /// Standby replication (invalid fd unless ServerOptions::replicate_to
+  /// was set). Blocking socket written from the batch loop; a write
+  /// failure lands in replica_status_ and is fatal like a WAL failure.
+  Fd replica_fd_;
+  Status replica_status_ = Status::OK();
 
   /// Live estimation (null unless a cadence is configured). The
   /// reconstructor only ever READS accumulator state (ExportState sums),

@@ -63,6 +63,52 @@ void TenantLedger::SetSpent(uint32_t tenant, uint64_t num_reports) {
   entries_[tenant].spent = num_reports;
 }
 
+bool SequenceTracker::Claim(uint64_t epoch, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Window& window = windows_[epoch];
+  if (seq <= window.floor) return false;
+  return window.sparse.insert(seq).second;
+}
+
+void SequenceTracker::Release(uint64_t epoch, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = windows_.find(epoch);
+  if (it != windows_.end()) it->second.sparse.erase(seq);
+}
+
+std::vector<WalSeqEntry> SequenceTracker::Export() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WalSeqEntry> entries;
+  entries.reserve(windows_.size());
+  for (auto& [epoch, window] : windows_) {
+    // Compress: fold the contiguous run above the floor into the floor.
+    // Safe only here — Claim/Release never move the floor, so a parallel
+    // absorb slot releasing a failed claim cannot race this advance.
+    while (!window.sparse.empty() &&
+           *window.sparse.begin() == window.floor + 1) {
+      ++window.floor;
+      window.sparse.erase(window.sparse.begin());
+    }
+    if (window.floor == 0 && window.sparse.empty()) continue;
+    WalSeqEntry entry;
+    entry.epoch = epoch;
+    entry.floor = window.floor;
+    entry.sparse.assign(window.sparse.begin(), window.sparse.end());
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void SequenceTracker::Restore(const std::vector<WalSeqEntry>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+  for (const WalSeqEntry& entry : entries) {
+    Window& window = windows_[entry.epoch];
+    window.floor = entry.floor;
+    window.sparse.insert(entry.sparse.begin(), entry.sparse.end());
+  }
+}
+
 Result<CollectorSession> CollectorSession::Make(const wire::MethodSpec& spec) {
   NUMDIST_ASSIGN_OR_RETURN(ProtocolPtr protocol,
                            wire::MakeProtocolForSpec(spec));
@@ -75,7 +121,8 @@ CollectorSession::CollectorSession(wire::MethodSpec spec, ProtocolPtr protocol,
     : spec_(spec),
       protocol_(std::move(protocol)),
       acc_(std::move(acc)),
-      ledger_(std::make_shared<TenantLedger>()) {}
+      ledger_(std::make_shared<TenantLedger>()),
+      tracker_(std::make_shared<SequenceTracker>()) {}
 
 uint64_t CollectorSession::num_reports() const {
   uint64_t total = acc_->num_reports();
@@ -93,8 +140,45 @@ const Accumulator* CollectorSession::FindTenant(uint32_t tenant) const {
   return it == tenants_.end() ? nullptr : it->second.get();
 }
 
-Status CollectorSession::HandleFrame(std::span<const uint8_t> frame) {
+Status CollectorSession::HandleFrame(std::span<const uint8_t> frame,
+                                     FrameOutcome* outcome) {
   NUMDIST_ASSIGN_OR_RETURN(const wire::FrameInfo info, wire::PeekFrame(frame));
+  if (outcome != nullptr) {
+    *outcome = FrameOutcome{};
+    outcome->has_seq = info.has_seq;
+    outcome->seq = info.seq;
+  }
+  if (info.type == wire::FrameType::kAck) {
+    return Status::InvalidArgument(
+        "collector: ack frames flow collector -> client, not as input");
+  }
+  // The exactly-once window: claim the (epoch, seq) before doing any
+  // work. A failed claim is a duplicate re-send — succeed without
+  // touching anything so the caller re-acks it; any failure after a
+  // successful claim releases it so the client's retry is accepted.
+  const bool sequenced = info.has_seq && tracker_ != nullptr;
+  if (sequenced && !tracker_->Claim(info.seq.epoch, info.seq.seq)) {
+    if (outcome != nullptr) outcome->duplicate = true;
+    return Status::OK();
+  }
+  const Status absorbed = AbsorbFrame(info, frame);
+  if (!absorbed.ok()) {
+    if (sequenced) tracker_->Release(info.seq.epoch, info.seq.seq);
+    return absorbed;
+  }
+  if (outcome != nullptr) outcome->absorbed = true;
+  if (forward_) {
+    // Replication failure does NOT roll back: the frame is absorbed and
+    // WAL-durable here, so releasing its claim would double-count the
+    // client's retry. The caller decides whether to keep serving.
+    return forward_(std::string_view(
+        reinterpret_cast<const char*>(frame.data()), frame.size()));
+  }
+  return Status::OK();
+}
+
+Status CollectorSession::AbsorbFrame(const wire::FrameInfo& info,
+                                     std::span<const uint8_t> frame) {
   // Reservation-then-absorb, into a staged accumulator for a first-seen
   // tenant: any failure (over budget, shape mismatch) must leave every
   // accumulator, the tenant map, AND the ledger exactly as they were.
@@ -139,12 +223,17 @@ Status CollectorSession::HandleFrame(std::span<const uint8_t> frame) {
       return Status::InvalidArgument(
           "collector: snapshot frames belong to the scenario checkpoint "
           "path, not a protocol collector");
+    case wire::FrameType::kAck:
+      // HandleFrame rejects acks before claiming; unreachable here.
+      return Status::InvalidArgument(
+          "collector: ack frames flow collector -> client, not as input");
   }
   return Status::InvalidArgument("collector: unknown frame type");
 }
 
-Status CollectorSession::HandleFrame(std::string_view frame) {
-  return HandleFrame(wire::FrameBytes(frame));
+Status CollectorSession::HandleFrame(std::string_view frame,
+                                     FrameOutcome* outcome) {
+  return HandleFrame(wire::FrameBytes(frame), outcome);
 }
 
 Result<std::unique_ptr<Accumulator>> CollectorSession::MergedTotal() const {
@@ -222,6 +311,16 @@ void CollectorSession::SetTenantBudget(uint32_t tenant, TenantBudget budget) {
 
 void CollectorSession::set_ledger(std::shared_ptr<TenantLedger> ledger) {
   if (ledger != nullptr) ledger_ = std::move(ledger);
+}
+
+void CollectorSession::set_sequence_tracker(
+    std::shared_ptr<SequenceTracker> tracker) {
+  if (tracker != nullptr) tracker_ = std::move(tracker);
+}
+
+void CollectorSession::set_forward(
+    std::function<Status(std::string_view frame)> forward) {
+  forward_ = std::move(forward);
 }
 
 Status CollectorSession::AbsorbSession(const CollectorSession& other) {
@@ -302,13 +401,15 @@ Result<WalReplayStats> CollectorSession::RecoverAndAttachWal(
   consumer.on_checkpoint = [this](const std::vector<std::string>& sketches) {
     return ResetToSketches(sketches);
   };
-  NUMDIST_ASSIGN_OR_RETURN(const WalReplayStats stats,
-                           ReplayWal(path, consumer));
-  NUMDIST_ASSIGN_OR_RETURN(WalWriter writer,
-                           WalWriter::Open(path, stats.clean_bytes, options));
-  wal_ = std::make_unique<WalWriter>(std::move(writer));
+  consumer.on_seq_checkpoint =
+      [this](const std::vector<WalSeqEntry>& entries) {
+        if (tracker_ != nullptr) tracker_->Restore(entries);
+        return Status::OK();
+      };
+  NUMDIST_ASSIGN_OR_RETURN(WalLog log, WalLog::Open(path, options, consumer));
+  wal_ = std::make_unique<WalLog>(std::move(log));
   wal_frames_since_checkpoint_ = 0;
-  return stats;
+  return wal_->recovery();
 }
 
 Status CollectorSession::CompactWal() {
@@ -317,7 +418,9 @@ Status CollectorSession::CompactWal() {
   }
   NUMDIST_ASSIGN_OR_RETURN(const std::vector<std::string> sketches,
                            EncodeSketches());
-  NUMDIST_RETURN_NOT_OK(wal_->Compact(sketches));
+  std::vector<WalSeqEntry> seqs;
+  if (tracker_ != nullptr) seqs = tracker_->Export();
+  NUMDIST_RETURN_NOT_OK(wal_->Compact(sketches, seqs));
   wal_frames_since_checkpoint_ = 0;
   return Status::OK();
 }
@@ -396,7 +499,16 @@ Status ServeFd(int in_fd, std::ostream& out, CollectorSession* session,
     NUMDIST_RETURN_NOT_OK(
         decoder.Feed(std::string_view(buf, static_cast<size_t>(got))));
     while (decoder.Next(&frame)) {
-      NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame));
+      FrameOutcome outcome;
+      NUMDIST_RETURN_NOT_OK(session->HandleFrame(frame, &outcome));
+      if (outcome.has_seq) {
+        // Ack AFTER absorb + WAL append: an ack the client sees always
+        // refers to a frame that survives this collector's crash.
+        std::string ack;
+        NUMDIST_RETURN_NOT_OK(wire::EncodeAckFrame(outcome.seq, &ack));
+        NUMDIST_RETURN_NOT_OK(WriteFrame(out, ack));
+        out.flush();
+      }
     }
   }
   return WriteSketches(out, session);

@@ -34,10 +34,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -95,6 +97,54 @@ class TenantLedger {
   std::map<uint32_t, Entry> entries_;
 };
 
+/// \brief Thread-safe exactly-once window over (epoch, seq) frame ids,
+/// shared across every CollectorSession of one collector process (like
+/// the TenantLedger, so the event-loop server's parallel sub-sessions
+/// dedup against one global window).
+///
+/// Per epoch the window is a floor (every seq <= floor absorbed) plus a
+/// sparse set above it. Claim/Release only touch the sparse set — the
+/// floor advances in Export, which runs single-threaded between
+/// absorption batches, so a concurrent Release can never race a floor
+/// advance.
+class SequenceTracker {
+ public:
+  /// Claims (epoch, seq): true when first seen (the caller absorbs the
+  /// frame), false when already claimed (the frame is a duplicate re-send
+  /// — skip it, but ack it again).
+  bool Claim(uint64_t epoch, uint64_t seq);
+  /// Rolls back a claim whose absorb failed, so the client's re-send is
+  /// accepted.
+  void Release(uint64_t epoch, uint64_t seq);
+  /// Compressed snapshot (floors advanced through contiguous sparse runs)
+  /// for WAL checkpointing; empty when nothing was ever claimed.
+  std::vector<WalSeqEntry> Export();
+  /// RESETS the window to a checkpointed snapshot.
+  void Restore(const std::vector<WalSeqEntry>& entries);
+
+ private:
+  struct Window {
+    uint64_t floor = 0;
+    std::set<uint64_t> sparse;
+  };
+  mutable std::mutex mu_;
+  std::map<uint64_t, Window> windows_;
+};
+
+/// What HandleFrame did with one frame, for callers that acknowledge
+/// sequenced frames (the serve loops and the event-loop server).
+struct FrameOutcome {
+  /// The frame mutated the aggregate (decoded, charged, absorbed, logged).
+  bool absorbed = false;
+  /// An already-claimed (epoch, seq): nothing was absorbed, but the frame
+  /// must be acked again — the client's ack was lost, not the frame.
+  bool duplicate = false;
+  /// The frame carried a sequence context (duplicates and absorbed
+  /// sequenced frames both get an ack for `seq`).
+  bool has_seq = false;
+  wire::FrameSeq seq;
+};
+
 /// \brief One collector (or coordinator) process's aggregation state.
 class CollectorSession {
  public:
@@ -109,10 +159,14 @@ class CollectorSession {
   /// Folds one wire frame in: report frames are decoded and absorbed,
   /// sketch frames are decoded and merged — each into the accumulator of
   /// the frame's tenant context (the default accumulator when untagged).
-  /// Snapshot, malformed, and over-budget frames are typed errors; a
-  /// failed frame leaves every accumulator and the ledger untouched.
-  Status HandleFrame(std::span<const uint8_t> frame);
-  Status HandleFrame(std::string_view frame);
+  /// Snapshot, ack, malformed, and over-budget frames are typed errors; a
+  /// failed frame leaves every accumulator, the ledger, and the dedup
+  /// window untouched. A sequenced frame whose (epoch, seq) was already
+  /// claimed is a DUPLICATE: skipped without error (see FrameOutcome).
+  /// `outcome` (optional) reports what happened, for ack emission.
+  Status HandleFrame(std::span<const uint8_t> frame,
+                     FrameOutcome* outcome = nullptr);
+  Status HandleFrame(std::string_view frame, FrameOutcome* outcome = nullptr);
 
   /// This session's TOTAL aggregate (default + all tenants merged) as one
   /// untagged wire sketch frame (what a collector ships to a coordinator
@@ -144,6 +198,21 @@ class CollectorSession {
   const std::shared_ptr<TenantLedger>& ledger() const { return ledger_; }
   void set_ledger(std::shared_ptr<TenantLedger> ledger);
 
+  /// The exactly-once dedup window. Shared like the ledger: the server
+  /// points every sub-session at one tracker so a re-sent frame dedups
+  /// no matter which slot absorbs it.
+  const std::shared_ptr<SequenceTracker>& sequence_tracker() const {
+    return tracker_;
+  }
+  void set_sequence_tracker(std::shared_ptr<SequenceTracker> tracker);
+
+  /// Replication hook: when set, every frame this session absorbs (WAL
+  /// replay included; never duplicates) is handed to `forward` AFTER
+  /// local absorb + WAL append — the primary-to-standby stream. A forward
+  /// error fails HandleFrame, but the frame stays absorbed and claimed
+  /// locally (it is already durable here).
+  void set_forward(std::function<Status(std::string_view frame)> forward);
+
   /// Merges every accumulator of `other` (default + tenants, per tenant)
   /// into this session WITHOUT charging the ledger — the frames behind
   /// `other`'s state were charged when first absorbed. This is how the
@@ -157,14 +226,16 @@ class CollectorSession {
   Status ResetToSketches(const std::vector<std::string>& sketches);
 
   /// Replays the WAL at `path` into this session (frames through
-  /// HandleFrame, checkpoints through ResetToSketches) and keeps the log
-  /// attached: every subsequently accepted frame is appended, and the
-  /// log is compacted every options.checkpoint_every_frames frames. The
-  /// torn-tail contract is ReplayWal's; the returned stats carry it.
+  /// HandleFrame, checkpoints through ResetToSketches, seq checkpoints
+  /// into the dedup window) and keeps the log attached: every
+  /// subsequently accepted frame is appended, and the log is compacted
+  /// every options.checkpoint_every_frames frames. With
+  /// options.segment_bytes > 0 `path` is a segment directory (WalLog).
+  /// The torn-tail contract is ReplayWal's; the returned stats carry it.
   Result<WalReplayStats> RecoverAndAttachWal(const std::string& path,
                                              const WalOptions& options = {});
   /// Compacts the attached WAL down to a checkpoint of the current state
-  /// (FailedPrecondition when no WAL is attached).
+  /// plus the dedup window (FailedPrecondition when no WAL is attached).
   Status CompactWal();
   bool has_wal() const { return wal_ != nullptr; }
 
@@ -181,6 +252,10 @@ class CollectorSession {
   const Accumulator* FindTenant(uint32_t tenant) const;
   /// The total aggregate as one freshly merged accumulator.
   Result<std::unique_ptr<Accumulator>> MergedTotal() const;
+  /// The decode-charge-absorb-log core of HandleFrame (dedup handled by
+  /// the caller).
+  Status AbsorbFrame(const wire::FrameInfo& info,
+                     std::span<const uint8_t> frame);
   /// Appends an accepted frame to the WAL and runs the checkpoint cadence.
   Status LogAccepted(std::span<const uint8_t> frame);
 
@@ -191,7 +266,9 @@ class CollectorSession {
   /// Lazily created per-tenant accumulators (tenant-tagged frames).
   std::map<uint32_t, std::unique_ptr<Accumulator>> tenants_;
   std::shared_ptr<TenantLedger> ledger_;
-  std::unique_ptr<WalWriter> wal_;
+  std::shared_ptr<SequenceTracker> tracker_;
+  std::function<Status(std::string_view frame)> forward_;
+  std::unique_ptr<WalLog> wal_;
   uint64_t wal_frames_since_checkpoint_ = 0;
 };
 
@@ -221,8 +298,11 @@ struct ServeFdOptions {
 /// ServeStream over a raw file descriptor (pipes, stdio, sockets): the
 /// same lifecycle — frames to clean EOF, then the sketch frames on `out` —
 /// but read via poll(2) + the incremental FrameDecoder, which is what
-/// makes the mid-frame read deadline implementable at all. Byte-for-byte
-/// output-compatible with ServeStream on the same input.
+/// makes the mid-frame read deadline implementable at all. Sequenced
+/// frames (wire::kFlagSequence) are acknowledged on `out` as soon as they
+/// are durably absorbed (or recognized as duplicates), interleaved before
+/// the final sketches. On sequence-free input, byte-for-byte
+/// output-compatible with ServeStream.
 Status ServeFd(int in_fd, std::ostream& out, CollectorSession* session,
                const ServeFdOptions& options = {});
 

@@ -35,6 +35,10 @@ Status WriteFrame(std::ostream& out, std::string_view frame,
   return Status::OK();
 }
 
+void AppendFramePrefix(size_t frame_len, std::string* out) {
+  ByteWriter(out).PutU32(static_cast<uint32_t>(frame_len));
+}
+
 Status ReadFrame(std::istream& in, std::string* frame, bool* eof,
                  size_t max_bytes) {
   frame->clear();

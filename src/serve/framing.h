@@ -30,6 +30,13 @@ inline constexpr size_t kMaxFrameBytes = 64u << 20;
 Status WriteFrame(std::ostream& out, std::string_view frame,
                   size_t max_bytes = kMaxFrameBytes);
 
+/// Appends the u32 little-endian transport prefix for a frame of
+/// `frame_len` bytes to `*out` — for callers that assemble framed bytes
+/// into their own buffers (the event-loop server's ack queue, the retry
+/// sender). `frame_len` must fit a u32; callers enforce their own frame
+/// ceiling first.
+void AppendFramePrefix(size_t frame_len, std::string* out);
+
 /// Reads one length-prefixed frame into `*frame`.
 ///
 /// Returns OK with `*eof = true` (and `*frame` empty) on a clean end of

@@ -1,11 +1,13 @@
 #include "serve/wal.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -76,6 +78,20 @@ std::string CheckpointBody(const std::vector<std::string>& sketches) {
   return body;
 }
 
+std::string SeqCheckpointBody(const std::vector<WalSeqEntry>& entries) {
+  std::string body;
+  ByteWriter writer(&body);
+  writer.PutU8(static_cast<uint8_t>(WalRecordType::kSeqCheckpoint));
+  writer.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const WalSeqEntry& entry : entries) {
+    writer.PutU64(entry.epoch);
+    writer.PutU64(entry.floor);
+    writer.PutU32(static_cast<uint32_t>(entry.sparse.size()));
+    for (uint64_t seq : entry.sparse) writer.PutU64(seq);
+  }
+  return body;
+}
+
 // The torn-tail taxonomy: truncation and checksum failures are what a
 // crashed write leaves behind, so they end replay with the prefix state
 // instead of failing it.
@@ -103,6 +119,41 @@ Status DecodeCheckpointBody(std::string_view payload,
   if (!in.AtEnd()) {
     return Status::InvalidArgument(
         "wal: trailing byte(s) after checkpoint payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeSeqCheckpointBody(std::string_view payload,
+                               std::vector<WalSeqEntry>* entries) {
+  ByteReader in(payload);
+  NUMDIST_ASSIGN_OR_RETURN(const uint32_t count, in.U32());
+  entries->clear();
+  // Each entry needs at least its epoch/floor/count fields (20 bytes);
+  // bound before reserving so a hostile count cannot drive allocation.
+  if (count > in.remaining() / 20) {
+    return Status::InvalidArgument(
+        "wal: seq checkpoint entry count exceeds the record payload");
+  }
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WalSeqEntry entry;
+    NUMDIST_ASSIGN_OR_RETURN(entry.epoch, in.U64());
+    NUMDIST_ASSIGN_OR_RETURN(entry.floor, in.U64());
+    NUMDIST_ASSIGN_OR_RETURN(const uint32_t sparse_count, in.U32());
+    if (sparse_count > in.remaining() / sizeof(uint64_t)) {
+      return Status::InvalidArgument(
+          "wal: seq checkpoint sparse count exceeds the record payload");
+    }
+    entry.sparse.reserve(sparse_count);
+    for (uint32_t j = 0; j < sparse_count; ++j) {
+      NUMDIST_ASSIGN_OR_RETURN(const uint64_t seq, in.U64());
+      entry.sparse.push_back(seq);
+    }
+    entries->push_back(std::move(entry));
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument(
+        "wal: trailing byte(s) after seq checkpoint payload");
   }
   return Status::OK();
 }
@@ -148,6 +199,7 @@ Result<WalReplayStats> ReplayWal(const std::string& path,
 
   std::string body;
   std::vector<std::string> sketches;
+  std::vector<WalSeqEntry> seq_entries;
   for (;;) {
     char record_header[8];
     NUMDIST_ASSIGN_OR_RETURN(const size_t got,
@@ -203,6 +255,13 @@ Result<WalReplayStats> ReplayWal(const std::string& path,
         }
         ++stats.checkpoints;
         break;
+      case WalRecordType::kSeqCheckpoint:
+        NUMDIST_RETURN_NOT_OK(DecodeSeqCheckpointBody(payload, &seq_entries));
+        if (consumer.on_seq_checkpoint) {
+          NUMDIST_RETURN_NOT_OK(consumer.on_seq_checkpoint(seq_entries));
+        }
+        ++stats.seq_checkpoints;
+        break;
       default:
         return Status::InvalidArgument(
             "wal: unknown record type " +
@@ -212,6 +271,21 @@ Result<WalReplayStats> ReplayWal(const std::string& path,
     stats.clean_bytes += sizeof(record_header) + len;
   }
   return stats;
+}
+
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir '" + dir + "'");
+  Status st = Status::OK();
+  // Some filesystems refuse to fsync a directory fd; a crashed rename on
+  // those is as durable as it gets, so EINVAL is not an error here.
+  if (fsync(fd) != 0 && errno != EINVAL) st = Errno("fsync dir '" + dir + "'");
+  close(fd);
+  return st;
 }
 
 Result<WalWriter> WalWriter::Open(const std::string& path, uint64_t resume_at,
@@ -289,6 +363,11 @@ Status WalWriter::AppendFrame(std::string_view frame) {
 }
 
 Status WalWriter::Compact(const std::vector<std::string>& sketches) {
+  return Compact(sketches, {});
+}
+
+Status WalWriter::Compact(const std::vector<std::string>& sketches,
+                          const std::vector<WalSeqEntry>& seqs) {
   const std::string tmp_path = path_ + ".compact.tmp";
   const int tmp_fd =
       open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
@@ -296,6 +375,7 @@ Status WalWriter::Compact(const std::vector<std::string>& sketches) {
   std::string log;
   AppendHeader(&log);
   AppendRecord(CheckpointBody(sketches), &log);
+  if (!seqs.empty()) AppendRecord(SeqCheckpointBody(seqs), &log);
   Status st = WriteAllFd(tmp_fd, log);
   // The rename is what makes compaction atomic: a crash before it leaves
   // the old log intact, a crash after it leaves the checkpoint-only log.
@@ -310,6 +390,9 @@ Status WalWriter::Compact(const std::vector<std::string>& sketches) {
     unlink(tmp_path.c_str());
     return Errno("rename '" + tmp_path + "'");
   }
+  // File contents are durable (temp-file fsync); the rename's dirent is
+  // not until the directory itself is synced.
+  NUMDIST_RETURN_NOT_OK(SyncParentDir(path_));
   const int new_fd = open(path_.c_str(), O_RDWR | O_CLOEXEC);
   if (new_fd < 0) return Errno("reopen '" + path_ + "'");
   if (lseek(new_fd, 0, SEEK_END) < 0) {
@@ -326,5 +409,205 @@ Status WalWriter::Sync() {
   if (fsync(fd_) != 0) return Errno("fsync '" + path_ + "'");
   return Status::OK();
 }
+
+namespace {
+
+// Segment files are named wal-00000001.ndwl, wal-00000002.ndwl, ...;
+// numbering is 1-based and zero-padded so lexicographic order matches
+// numeric order for the first hundred million segments.
+std::string SegmentFileName(uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.ndwl",
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+std::string SegmentPath(const std::string& dir, uint64_t seq) {
+  return dir + "/" + SegmentFileName(seq);
+}
+
+// Parses "wal-<digits>.ndwl" → segment number; 0 for anything else
+// (segment numbers are 1-based, so 0 doubles as "not a segment").
+uint64_t ParseSegmentName(const std::string& name) {
+  if (name.rfind("wal-", 0) != 0) return 0;
+  if (name.size() < 10 || name.substr(name.size() - 5) != ".ndwl") return 0;
+  uint64_t seq = 0;
+  for (size_t i = 4; i < name.size() - 5; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    if (seq > (UINT64_MAX - 9) / 10) return 0;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+// Lists the segment numbers present in `dir`, ascending. Files that do
+// not match the segment naming (including .tmp leftovers from a crashed
+// compaction) are ignored.
+Result<std::vector<uint64_t>> ListSegments(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir '" + dir + "'");
+  std::vector<uint64_t> seqs;
+  for (;;) {
+    errno = 0;
+    const dirent* entry = readdir(d);
+    if (entry == nullptr) {
+      if (errno != 0) {
+        const Status st = Errno("readdir '" + dir + "'");
+        closedir(d);
+        return st;
+      }
+      break;
+    }
+    const uint64_t seq = ParseSegmentName(entry->d_name);
+    if (seq > 0) seqs.push_back(seq);
+  }
+  closedir(d);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace
+
+Result<WalLog> WalLog::Open(const std::string& path, const WalOptions& options,
+                            const WalConsumer& consumer) {
+  WalLog log;
+  log.path_ = path;
+  log.options_ = options;
+  if (options.segment_bytes == 0) {
+    // Single-file layout: replay, then resume at the clean prefix.
+    NUMDIST_ASSIGN_OR_RETURN(log.recovery_, ReplayWal(path, consumer));
+    NUMDIST_ASSIGN_OR_RETURN(
+        WalWriter writer,
+        WalWriter::Open(path, log.recovery_.clean_bytes, options));
+    log.writer_.emplace(std::move(writer));
+    return log;
+  }
+  // Segmented layout: `path` is a directory of segment files.
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir '" + path + "'");
+  }
+  struct stat sb;
+  if (stat(path.c_str(), &sb) != 0) return Errno("stat '" + path + "'");
+  if (!S_ISDIR(sb.st_mode)) {
+    return Status::InvalidArgument(
+        "wal: segmented mode needs a directory, but '" + path +
+        "' is a file (a single-file log cannot be reopened with "
+        "--wal-segment-bytes)");
+  }
+  NUMDIST_ASSIGN_OR_RETURN(std::vector<uint64_t> seqs, ListSegments(path));
+  if (seqs.empty()) {
+    // Fresh log: create segment 1 and persist its dirent.
+    log.active_seq_ = 1;
+    log.segments_ = 1;
+    NUMDIST_ASSIGN_OR_RETURN(
+        WalWriter writer, WalWriter::Open(SegmentPath(path, 1), 0, options));
+    log.writer_.emplace(std::move(writer));
+    NUMDIST_RETURN_NOT_OK(SyncParentDir(SegmentPath(path, 1)));
+    return log;
+  }
+  // GC deletes oldest-first and the writer appends highest-last, so the
+  // live set must be one contiguous run; a hole means lost records.
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    if (seqs[i] != seqs[i - 1] + 1) {
+      return Status::InvalidArgument(
+          "wal: segment gap in '" + path + "': " + SegmentFileName(seqs[i - 1]) +
+          " is followed by " + SegmentFileName(seqs[i]));
+    }
+  }
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const std::string seg_path = SegmentPath(path, seqs[i]);
+    NUMDIST_ASSIGN_OR_RETURN(const WalReplayStats stats,
+                             ReplayWal(seg_path, consumer));
+    log.recovery_.frames += stats.frames;
+    log.recovery_.checkpoints += stats.checkpoints;
+    log.recovery_.seq_checkpoints += stats.seq_checkpoints;
+    log.recovery_.clean_bytes = stats.clean_bytes;
+    if (!stats.tail.ok() && i + 1 < seqs.size()) {
+      // Only the final segment can end mid-write: sealed segments were
+      // fsynced before the next was opened, so a torn record here is
+      // corruption, not a crash artifact.
+      return Status::InvalidArgument(
+          "wal: torn record in sealed segment '" + seg_path +
+          "': " + stats.tail.message());
+    }
+    log.recovery_.tail = stats.tail;
+  }
+  log.recovery_.segments = seqs.size();
+  log.active_seq_ = seqs.back();
+  log.segments_ = seqs.size();
+  NUMDIST_ASSIGN_OR_RETURN(
+      WalWriter writer,
+      WalWriter::Open(SegmentPath(path, seqs.back()),
+                      log.recovery_.clean_bytes, options));
+  log.writer_.emplace(std::move(writer));
+  return log;
+}
+
+Status WalLog::AppendFrame(std::string_view frame) {
+  NUMDIST_RETURN_NOT_OK(writer_->AppendFrame(frame));
+  if (options_.segment_bytes == 0 ||
+      writer_->bytes() < options_.segment_bytes) {
+    return Status::OK();
+  }
+  // Seal the active segment (fsync so a sealed segment can never be torn)
+  // and roll to the next. The new header's dirent is synced so replay
+  // after power loss sees the same contiguous run the writer left.
+  NUMDIST_RETURN_NOT_OK(writer_->Sync());
+  const std::string next_path = SegmentPath(path_, active_seq_ + 1);
+  NUMDIST_ASSIGN_OR_RETURN(WalWriter writer,
+                           WalWriter::Open(next_path, 0, options_));
+  writer_.emplace(std::move(writer));
+  ++active_seq_;
+  ++segments_;
+  return SyncParentDir(next_path);
+}
+
+Status WalLog::Compact(const std::vector<std::string>& sketches,
+                       const std::vector<WalSeqEntry>& seqs) {
+  if (options_.segment_bytes == 0) return writer_->Compact(sketches, seqs);
+  // Segmented compaction: publish the checkpoint as a fresh segment
+  // (temp file + fsync + rename + dir sync), THEN garbage-collect the
+  // older segments oldest-first. A crash mid-GC leaves a contiguous
+  // suffix whose replay still starts at the checkpoint.
+  const uint64_t new_seq = active_seq_ + 1;
+  const std::string final_path = SegmentPath(path_, new_seq);
+  const std::string tmp_path = final_path + ".tmp";
+  const int tmp_fd =
+      open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) return Errno("open '" + tmp_path + "'");
+  std::string log;
+  AppendHeader(&log);
+  AppendRecord(CheckpointBody(sketches), &log);
+  if (!seqs.empty()) AppendRecord(SeqCheckpointBody(seqs), &log);
+  Status st = WriteAllFd(tmp_fd, log);
+  if (st.ok() && fsync(tmp_fd) != 0) st = Errno("fsync '" + tmp_path + "'");
+  if (close(tmp_fd) != 0 && st.ok()) st = Errno("close '" + tmp_path + "'");
+  if (!st.ok()) {
+    unlink(tmp_path.c_str());
+    return st;
+  }
+  if (rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    unlink(tmp_path.c_str());
+    return Errno("rename '" + tmp_path + "'");
+  }
+  NUMDIST_RETURN_NOT_OK(SyncParentDir(final_path));
+  // The checkpoint segment is durable; everything before it is garbage.
+  for (uint64_t seq = new_seq - segments_; seq < new_seq; ++seq) {
+    const std::string old_path = SegmentPath(path_, seq);
+    if (unlink(old_path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("unlink '" + old_path + "'");
+    }
+  }
+  NUMDIST_RETURN_NOT_OK(SyncParentDir(final_path));
+  NUMDIST_ASSIGN_OR_RETURN(WalWriter writer,
+                           WalWriter::Open(final_path, log.size(), options_));
+  writer_.emplace(std::move(writer));
+  active_seq_ = new_seq;
+  segments_ = 1;
+  return Status::OK();
+}
+
+Status WalLog::Sync() { return writer_->Sync(); }
 
 }  // namespace numdist::serve

@@ -14,9 +14,9 @@ namespace numdist::wire {
 namespace {
 
 // Preamble layout (8 bytes): u32 magic, u16 version, u8 frame type,
-// u8 flags. The only defined flag bit is kFlagTenantContext (report and
-// sketch frames); every other bit must be zero — the forward-compatibility
-// escape hatch.
+// u8 flags. The defined flag bits are kFlagTenantContext and
+// kFlagSequence (report and sketch frames only); every other bit must be
+// zero — the forward-compatibility escape hatch.
 void WritePreamble(FrameType type, uint8_t flags, ByteWriter* out) {
   out->PutU32(kMagic);
   out->PutU16(kVersion);
@@ -27,6 +27,7 @@ void WritePreamble(FrameType type, uint8_t flags, ByteWriter* out) {
 struct Preamble {
   FrameType type = FrameType::kReports;
   bool has_tenant = false;
+  bool has_seq = false;
 };
 
 Result<Preamble> ReadPreamble(ByteReader* in) {
@@ -42,22 +43,26 @@ Result<Preamble> ReadPreamble(ByteReader* in) {
   }
   NUMDIST_ASSIGN_OR_RETURN(const uint8_t type, in->U8());
   if (type < static_cast<uint8_t>(FrameType::kReports) ||
-      type > static_cast<uint8_t>(FrameType::kSnapshot)) {
+      type > static_cast<uint8_t>(FrameType::kAck)) {
     return Status::InvalidArgument("wire: unknown frame type " +
                                    std::to_string(type));
   }
   NUMDIST_ASSIGN_OR_RETURN(const uint8_t flags, in->U8());
-  if ((flags & ~kFlagTenantContext) != 0) {
+  if ((flags & ~(kFlagTenantContext | kFlagSequence)) != 0) {
     return Status::InvalidArgument(
         "wire: unknown flags " + std::to_string(flags) +
-        " (version 1 defines only the tenant-context bit)");
+        " (version 1 defines only the tenant-context and sequence bits)");
   }
   Preamble preamble;
   preamble.type = static_cast<FrameType>(type);
   preamble.has_tenant = (flags & kFlagTenantContext) != 0;
-  if (preamble.has_tenant && preamble.type == FrameType::kSnapshot) {
+  preamble.has_seq = (flags & kFlagSequence) != 0;
+  if ((preamble.has_tenant || preamble.has_seq) &&
+      (preamble.type == FrameType::kSnapshot ||
+       preamble.type == FrameType::kAck)) {
     return Status::InvalidArgument(
-        "wire: snapshot frames cannot carry a tenant context");
+        "wire: only report and sketch frames may carry tenant/sequence "
+        "context flags");
   }
   return preamble;
 }
@@ -68,6 +73,22 @@ Result<uint32_t> ReadTenantBlock(const Preamble& preamble, ByteReader* in) {
   if (!preamble.has_tenant) return kDefaultTenant;
   NUMDIST_ASSIGN_OR_RETURN(const uint32_t tenant, in->U32());
   return tenant;
+}
+
+// The optional sequence context block: u64 epoch + u64 seq after the
+// tenant block (or method block), present iff kFlagSequence is set. A
+// sequence number of 0 is reserved (it would collide with "nothing
+// claimed yet" in the collector's dedup window) and rejected here.
+Result<FrameSeq> ReadSeqBlock(const Preamble& preamble, ByteReader* in) {
+  FrameSeq seq;
+  if (!preamble.has_seq) return seq;
+  NUMDIST_ASSIGN_OR_RETURN(seq.epoch, in->U64());
+  NUMDIST_ASSIGN_OR_RETURN(seq.seq, in->U64());
+  if (seq.seq == 0) {
+    return Status::InvalidArgument(
+        "wire: sequence numbers start at 1 (seq 0 is reserved)");
+  }
+  return seq;
 }
 
 // Method context block (17 bytes): u8 method id, u32 family parameter,
@@ -328,9 +349,19 @@ Result<FrameInfo> PeekFrame(std::span<const uint8_t> frame) {
     }
     info.snapshot_discrete = pipeline == 1;
     NUMDIST_ASSIGN_OR_RETURN(info.snapshot_buckets, in.U32());
+  } else if (info.type == FrameType::kAck) {
+    NUMDIST_ASSIGN_OR_RETURN(info.seq.epoch, in.U64());
+    NUMDIST_ASSIGN_OR_RETURN(info.seq.seq, in.U64());
+    if (info.seq.seq == 0) {
+      return Status::InvalidArgument(
+          "wire: ack frame acknowledges seq 0 (sequence numbers start at 1)");
+    }
+    info.has_seq = true;
   } else {
     NUMDIST_ASSIGN_OR_RETURN(info.spec, ReadMethodBlock(&in));
     NUMDIST_ASSIGN_OR_RETURN(info.tenant, ReadTenantBlock(preamble, &in));
+    NUMDIST_ASSIGN_OR_RETURN(info.seq, ReadSeqBlock(preamble, &in));
+    info.has_seq = preamble.has_seq;
   }
   return info;
 }
@@ -375,6 +406,7 @@ Result<std::unique_ptr<ReportChunk>> DecodeReportFrame(
   NUMDIST_ASSIGN_OR_RETURN(const MethodSpec frame_spec, ReadMethodBlock(&in));
   NUMDIST_RETURN_NOT_OK(MatchSpec(frame_spec, spec));
   NUMDIST_RETURN_NOT_OK(ReadTenantBlock(preamble, &in).status());
+  NUMDIST_RETURN_NOT_OK(ReadSeqBlock(preamble, &in).status());
   NUMDIST_ASSIGN_OR_RETURN(std::unique_ptr<ReportChunk> chunk,
                            protocol.DecodeChunkPayload(&in));
   NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "report"));
@@ -406,6 +438,7 @@ Result<std::unique_ptr<Accumulator>> DecodeSketchFrame(
   NUMDIST_ASSIGN_OR_RETURN(const MethodSpec frame_spec, ReadMethodBlock(&in));
   NUMDIST_RETURN_NOT_OK(MatchSpec(frame_spec, spec));
   NUMDIST_RETURN_NOT_OK(ReadTenantBlock(preamble, &in).status());
+  NUMDIST_RETURN_NOT_OK(ReadSeqBlock(preamble, &in).status());
   NUMDIST_ASSIGN_OR_RETURN(const AccumulatorState state,
                            ReadSketchPayload(&in));
   NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "sketch"));
@@ -477,6 +510,69 @@ Status DecodeSnapshotFrameInto(double epsilon,
   }
   NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "snapshot"));
   return agg->MergeCounts(counts, n);
+}
+
+Status EncodeAckFrame(const FrameSeq& seq, std::string* out) {
+  if (seq.seq == 0) {
+    return Status::InvalidArgument(
+        "wire: cannot ack seq 0 (sequence numbers start at 1)");
+  }
+  ByteWriter writer(out);
+  WritePreamble(FrameType::kAck, 0, &writer);
+  writer.PutU64(seq.epoch);
+  writer.PutU64(seq.seq);
+  return Status::OK();
+}
+
+Result<FrameSeq> DecodeAckFrame(std::span<const uint8_t> frame) {
+  ByteReader in(frame);
+  NUMDIST_ASSIGN_OR_RETURN(const Preamble preamble, ReadPreamble(&in));
+  NUMDIST_RETURN_NOT_OK(ExpectFrameType(preamble.type, FrameType::kAck));
+  FrameSeq seq;
+  NUMDIST_ASSIGN_OR_RETURN(seq.epoch, in.U64());
+  NUMDIST_ASSIGN_OR_RETURN(seq.seq, in.U64());
+  if (seq.seq == 0) {
+    return Status::InvalidArgument(
+        "wire: ack frame acknowledges seq 0 (sequence numbers start at 1)");
+  }
+  NUMDIST_RETURN_NOT_OK(ExpectFullyConsumed(in, "ack"));
+  return seq;
+}
+
+Result<FrameSeq> DecodeAckFrame(std::string_view frame) {
+  return DecodeAckFrame(FrameBytes(frame));
+}
+
+Status StampSequenceContext(std::string* frame, const FrameSeq& seq) {
+  if (seq.seq == 0) {
+    return Status::InvalidArgument(
+        "wire: cannot stamp seq 0 (sequence numbers start at 1)");
+  }
+  ByteReader in(FrameBytes(*frame));
+  NUMDIST_ASSIGN_OR_RETURN(const Preamble preamble, ReadPreamble(&in));
+  if (preamble.type != FrameType::kReports &&
+      preamble.type != FrameType::kSketch) {
+    return Status::InvalidArgument(
+        "wire: only report and sketch frames take a sequence context");
+  }
+  if (preamble.has_seq) {
+    return Status::InvalidArgument(
+        "wire: frame already carries a sequence context");
+  }
+  // The sequence block's defined position: after the 8-byte preamble, the
+  // 17-byte method block, and the 4-byte tenant block when present.
+  const size_t insert_at = 8 + 17 + (preamble.has_tenant ? 4u : 0u);
+  if (frame->size() < insert_at) {
+    return Status::OutOfRange("wire: truncated frame (no room for context)");
+  }
+  std::string block;
+  ByteWriter writer(&block);
+  writer.PutU64(seq.epoch);
+  writer.PutU64(seq.seq);
+  frame->insert(insert_at, block);
+  (*frame)[7] = static_cast<char>(static_cast<uint8_t>((*frame)[7]) |
+                                  kFlagSequence);
+  return Status::OK();
 }
 
 std::span<const uint8_t> FrameBytes(std::string_view frame) {

@@ -55,16 +55,37 @@ inline constexpr uint16_t kVersion = 1;
 /// encoders, and all other bits must still be zero.
 inline constexpr uint8_t kFlagTenantContext = 0x01;
 
+/// Preamble flag bit 1: the frame carries a sequence context — a u64
+/// client epoch + u64 sequence number after the method block (and after
+/// the tenant block, when both flags are set). A collector acknowledges
+/// each sequenced frame with an ack frame carrying the same (epoch, seq)
+/// once the frame is durably absorbed, and deduplicates re-sends of an
+/// already-claimed (epoch, seq) — the exactly-once substrate under
+/// client retry (net/retry.h). Report and sketch frames only; sequence
+/// numbers start at 1 (seq 0 is a typed error).
+inline constexpr uint8_t kFlagSequence = 0x02;
+
 /// The default tenant. Frames for tenant 0 are encoded WITHOUT the tenant
 /// flag (the canonical legacy encoding); decoders treat a flagged tenant
 /// id of 0 as the same default tenant.
 inline constexpr uint32_t kDefaultTenant = 0;
 
-/// Frame discriminator (preamble byte 6).
+/// Frame discriminator (preamble byte 6). Values are part of the wire
+/// format: never renumber, only append.
 enum class FrameType : uint8_t {
   kReports = 1,   ///< A batch of perturbed client reports (one chunk).
   kSketch = 2,    ///< A Protocol accumulator's exact integer state.
   kSnapshot = 3,  ///< A StreamingAggregator's per-bucket counts.
+  kAck = 4,       ///< Collector -> client: one sequenced frame is durable.
+};
+
+/// Sequence context of a frame (kFlagSequence): which client instance sent
+/// it (`epoch`, chosen by the client, unique per client lifetime) and its
+/// per-epoch position (`seq`, starting at 1). The pair is the dedup key
+/// the collector's exactly-once window is built on.
+struct FrameSeq {
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
 };
 
 /// Method tag carried by report and sketch frames. Values are part of the
@@ -123,6 +144,10 @@ struct FrameInfo {
   /// Tenant context (report/sketch frames): kDefaultTenant unless the
   /// frame carries the kFlagTenantContext flag and a non-zero id.
   uint32_t tenant = kDefaultTenant;
+  /// Sequence context: set for report/sketch frames carrying
+  /// kFlagSequence, and for ack frames (whose payload IS a FrameSeq).
+  bool has_seq = false;
+  FrameSeq seq;
   /// Context of snapshot frames (undefined otherwise): epsilon group,
   /// estimator input granularity + pipeline, and output-bucket count.
   double snapshot_epsilon = 0.0;
@@ -188,6 +213,23 @@ Status EncodeSnapshotFrame(double epsilon, const StreamingAggregator& agg,
 Status DecodeSnapshotFrameInto(double epsilon,
                                std::span<const uint8_t> frame,
                                StreamingAggregator* agg);
+
+/// Encodes an ack frame for one sequenced frame, appended to `*out`.
+/// Payload: the acknowledged (epoch, seq). Acks flow collector -> client;
+/// a collector handed an ack frame as input rejects it.
+Status EncodeAckFrame(const FrameSeq& seq, std::string* out);
+
+/// Strictly decodes an ack frame (exact length, seq >= 1).
+Result<FrameSeq> DecodeAckFrame(std::span<const uint8_t> frame);
+Result<FrameSeq> DecodeAckFrame(std::string_view frame);
+
+/// Stamps a sequence context onto an already-encoded report or sketch
+/// frame: sets kFlagSequence and inserts the 16-byte (epoch, seq) block at
+/// its defined position. The stamped frame decodes to the same payload.
+/// Typed errors for non-report/sketch frames, an already-stamped frame,
+/// or seq == 0. This is how the retry sender (net/retry.h) numbers frames
+/// without re-encoding their payloads.
+Status StampSequenceContext(std::string* frame, const FrameSeq& seq);
 
 /// Read-only byte view of frame bytes held in a string/string_view.
 std::span<const uint8_t> FrameBytes(std::string_view frame);

@@ -6,10 +6,16 @@
 // All runs are seeded and thread-count invariant.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "common/rng.h"
+#include "fo/adaptive.h"
+#include "hierarchy/haar.h"
+#include "hierarchy/hh.h"
+#include "mean/sr.h"
 #include "postprocess/defense.h"
 #include "scenario/attack.h"
 #include "scenario/scenario.h"
@@ -222,6 +228,221 @@ TEST(Defense, ValidateDefenseOptionsRejectsBadThresholds) {
   options.sum_tolerance = -1.0;
   EXPECT_FALSE(ValidateDefenseOptions(options).ok());
   EXPECT_TRUE(ValidateDefenseOptions(DefenseOptions{}).ok());
+}
+
+// --- Hierarchy estimators: spiked-level-report poisoning. ---
+
+// HH output poisoning: the malicious cohort pins every report to the LEAF
+// level and reports the target leaf verbatim through that level's GRR — a
+// protocol-legal report ValidateReport cannot reject. Per-level estimates
+// debias independently, so the injected mass lands squarely on the target
+// leaf. GRR reports always sum to the level's n, which keeps the leaf
+// estimates summing to 1: the sum check is structurally blind here, and
+// the leave-one-out spike test is the defense that must fire.
+TEST(Attack, HhSpikedLevelReportPoisoningIsCaughtBySpikeTest) {
+  const double epsilon = 2.0;
+  const size_t d = 16;
+  const uint32_t target = 11;
+  // Precondition for the crafted report shape: the leaf level's adaptive
+  // FO resolves to GRR at this (epsilon, d), i.e. d - 2 < 3 e^eps.
+  ASSERT_TRUE(AdaptiveFo::Make(epsilon, d).ValueOrDie().uses_grr());
+  auto hh = HhProtocol::Make(epsilon, d, /*beta=*/4).ValueOrDie();
+  const auto leaf_level = static_cast<uint32_t>(hh.tree().height());
+
+  // Honest population: uniform over the 16 leaves.
+  std::vector<uint32_t> honest(40000);
+  for (size_t i = 0; i < honest.size(); ++i) {
+    honest[i] = static_cast<uint32_t>(i % d);
+  }
+  Rng rng(1234);
+  std::vector<HhReport> reports;
+  hh.PerturbBatch(honest, rng, &reports);
+  auto clean_sketches = hh.MakeSketches();
+  for (const HhReport& report : reports) {
+    ASSERT_TRUE(hh.Absorb(report, &clean_sketches).ok());
+  }
+
+  // 2000 crafted leaf-level reports (5% of the population), all naming
+  // the target category outright.
+  auto sketches = clean_sketches;
+  const HhReport crafted{leaf_level, FoReport{.seed = 0, .value = target}};
+  ASSERT_TRUE(hh.ValidateReport(crafted).ok())
+      << "the maximal-gain report must be protocol-conformant";
+  for (size_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(hh.Absorb(crafted, &sketches).ok());
+  }
+
+  const size_t off = hh.tree().LevelOffset(leaf_level);
+  const std::vector<double> clean_nodes =
+      hh.NodeEstimatesFromSketches(clean_sketches);
+  const std::vector<double> nodes = hh.NodeEstimatesFromSketches(sketches);
+  const std::vector<double> clean_leaves(clean_nodes.begin() + off,
+                                         clean_nodes.begin() + off + d);
+  const std::vector<double> leaves(nodes.begin() + off,
+                                   nodes.begin() + off + d);
+  EXPECT_GT(leaves[target], clean_leaves[target] + 0.05)
+      << "the injected mass must skew the target leaf";
+
+  const auto clean_def = AnalyzeFrequencies(clean_leaves).ValueOrDie();
+  EXPECT_FALSE(clean_def.flagged) << "honest noise must not trip the z-test";
+  const auto def = AnalyzeFrequencies(leaves).ValueOrDie();
+  EXPECT_TRUE(def.spike_flag);
+  EXPECT_TRUE(def.flagged);
+  EXPECT_EQ(def.spike_bucket, target);
+  // The structural blind spot, asserted: level estimates stay normalized.
+  EXPECT_LT(std::fabs(def.sum_deviation), 0.05);
+}
+
+// HaarHRR output poisoning: malicious users cycle uniformly over the
+// internal levels (mimicking the honest population division) and at each
+// level report the target leaf's (ancestor node, sign) item with the
+// EXACT Hadamard entry for a cycled column — supporting the item with
+// probability 1 instead of p. Pushing the target's WHOLE ancestor path is
+// the attacker's strongest move AND the detectable one: Haar synthesis
+// conserves mass at every split, so the path attack depresses all 15
+// other leaves by exactly the same amount — the background stays flat and
+// the spike z-test fires. (A single-level attack dumps the entire
+// depression on the target's sibling, inflating the background std enough
+// to camouflage the z-score: a worked example of why spiked-LEVEL attacks
+// are the interesting case.) Leaf estimates sum to 1 by construction, so
+// the sum check is provably blind here.
+TEST(Attack, HaarSpikedLevelReportPoisoningIsCaughtBySpikeTest) {
+  const double epsilon = 1.0;
+  const size_t d = 16;
+  const uint32_t target = 5;
+  auto haar = HaarHrrProtocol::Make(epsilon, d).ValueOrDie();
+  const size_t h = haar.tree().height();
+
+  std::vector<uint32_t> honest(40000);
+  for (size_t i = 0; i < honest.size(); ++i) {
+    honest[i] = static_cast<uint32_t>(i % d);
+  }
+  Rng rng(4321);
+  std::vector<HaarReport> reports;
+  haar.PerturbBatch(honest, rng, &reports);
+  auto clean_sketches = haar.MakeSketches();
+  for (const HaarReport& report : reports) {
+    ASSERT_TRUE(haar.Absorb(report, &clean_sketches).ok());
+  }
+
+  auto sketches = clean_sketches;
+  const size_t n_bad = 6000;  // 15% of the combined population
+  for (size_t i = 0; i < n_bad; ++i) {
+    const size_t t = i % h;  // uniform over internal levels, like honest
+    const size_t node = haar.tree().AncestorAt(target, t);
+    // The (node, sign) item on the target's path: sign says which half
+    // of the node's span the target leaf lies in.
+    const auto item = static_cast<uint32_t>(
+        2 * node + (haar.tree().AncestorAt(target, t + 1) % 2));
+    // Hadamard order at level t: 2 * 2^t items, a power of two already.
+    const auto order = static_cast<uint32_t>(2 * haar.tree().LevelSize(t));
+    const auto col = static_cast<uint32_t>((i / h) % order);
+    // The exact matrix entry (-1)^popcount(item & col): this report
+    // supports `item` with probability 1 instead of p.
+    const auto bit =
+        static_cast<int8_t>((std::popcount(item & col) & 1) != 0 ? -1 : 1);
+    const HaarReport crafted{static_cast<uint32_t>(t),
+                             HrrReport{col, bit}};
+    ASSERT_TRUE(haar.ValidateReport(crafted).ok())
+        << "the maximal-gain report must be protocol-conformant";
+    ASSERT_TRUE(haar.Absorb(crafted, &sketches).ok());
+  }
+
+  const size_t off = haar.tree().LevelOffset(h);
+  const std::vector<double> clean_nodes =
+      haar.NodeEstimatesFromSketches(clean_sketches);
+  const std::vector<double> nodes = haar.NodeEstimatesFromSketches(sketches);
+  const std::vector<double> clean_leaves(clean_nodes.begin() + off,
+                                         clean_nodes.begin() + off + d);
+  const std::vector<double> leaves(nodes.begin() + off,
+                                   nodes.begin() + off + d);
+  EXPECT_GT(leaves[target], clean_leaves[target] + 0.05);
+
+  const auto clean_def = AnalyzeFrequencies(clean_leaves).ValueOrDie();
+  EXPECT_FALSE(clean_def.flagged);
+  const auto def = AnalyzeFrequencies(leaves).ValueOrDie();
+  EXPECT_TRUE(def.spike_flag);
+  EXPECT_TRUE(def.flagged);
+  EXPECT_EQ(def.spike_bucket, target);
+  // Mass conservation is exact in Haar synthesis — the sum defense is
+  // provably useless against it, which is why spike detection matters.
+  EXPECT_LT(std::fabs(def.sum_deviation), 1e-9);
+}
+
+// --- Mean/variance estimators: moment poisoning. ---
+
+// SR moment poisoning: the crafted report is the mechanism's own legal
+// extreme +1/(p - q), so no range or conformance check can reject it —
+// the scalar protocols have NO applicable consistency defense (the known
+// detection gap, mirroring the input-poisoning one). What the test pins
+// down is the gain hierarchy: output poisoning moves the mean by the full
+// report magnitude per malicious user, input poisoning only by the
+// honest sensitivity, and the same crafted reports drag the phase-2
+// variance estimate toward its maximum.
+TEST(Attack, MomentPoisoningInflatesMeanAndVariance) {
+  const double epsilon = 1.0;
+  auto sr = StochasticRounding::Make(epsilon).ValueOrDie();
+  const size_t n_honest = 20000;
+  const size_t n_bad = 1000;
+
+  // Honest population: a uniform grid on [0, 1] (mean 1/2 -> 0 mapped).
+  std::vector<double> honest_values(n_honest);
+  for (size_t i = 0; i < n_honest; ++i) {
+    honest_values[i] = static_cast<double>(i % 1000) / 999.0;
+  }
+  Rng rng(777);
+  std::vector<double> honest_reports;
+  honest_reports.reserve(n_honest);
+  for (const double v : honest_values) {
+    honest_reports.push_back(sr.Perturb(2.0 * v - 1.0, rng));
+  }
+  const double clean_mean =
+      StochasticRounding::MeanOfReports(honest_reports);
+
+  // Input poisoning: lie v = 1, perturb honestly.
+  std::vector<double> input_poisoned = honest_reports;
+  Rng rng_input(778);
+  for (size_t i = 0; i < n_bad; ++i) {
+    input_poisoned.push_back(sr.Perturb(1.0, rng_input));
+  }
+  // Output poisoning: the legal extreme, verbatim.
+  std::vector<double> output_poisoned = honest_reports;
+  for (size_t i = 0; i < n_bad; ++i) {
+    output_poisoned.push_back(sr.report_magnitude());
+  }
+  const double input_gain =
+      StochasticRounding::MeanOfReports(input_poisoned) - clean_mean;
+  const double output_gain =
+      StochasticRounding::MeanOfReports(output_poisoned) - clean_mean;
+  EXPECT_GT(input_gain, 0.0);
+  EXPECT_GT(output_gain, 1.5 * input_gain)
+      << "output poisoning must beat the sensitivity-capped input lie";
+  // ~(n_bad / n) * report_magnitude: the analytical per-user gain cap.
+  EXPECT_LT(output_gain, 2.0 * sr.report_magnitude() *
+                             static_cast<double>(n_bad) /
+                             static_cast<double>(n_honest + n_bad));
+
+  // Variance phase (two-phase moments protocol, phase 2): honest users
+  // report mapped squared deviations around the broadcast mean; the same
+  // crafted extreme claims the maximal deviation and inflates the
+  // variance estimate.
+  Rng rng_var(779);
+  std::vector<double> dev_reports;
+  dev_reports.reserve(n_honest + n_bad);
+  for (const double v : honest_values) {
+    const double dev = v - 0.5;
+    dev_reports.push_back(sr.Perturb(2.0 * dev * dev - 1.0, rng_var));
+  }
+  const double clean_variance =
+      (StochasticRounding::MeanOfReports(dev_reports) + 1.0) / 2.0;
+  EXPECT_NEAR(clean_variance, 1.0 / 12.0, 0.02)
+      << "honest uniform variance sanity check";
+  for (size_t i = 0; i < n_bad; ++i) {
+    dev_reports.push_back(sr.report_magnitude());
+  }
+  const double attacked_variance =
+      (StochasticRounding::MeanOfReports(dev_reports) + 1.0) / 2.0;
+  EXPECT_GT(attacked_variance, clean_variance + 0.03);
 }
 
 // --- Scenario engine integration: attacked SW phases. ---

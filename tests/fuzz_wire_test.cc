@@ -238,6 +238,9 @@ TEST(FuzzWire, EveryMutationKindOnEveryFrame) {
             (void)wire::DecodeSnapshotFrameInto(
                 1.0, wire::FrameBytes(mutant), &scratch);
             break;
+          case wire::FrameType::kAck:
+            (void)wire::DecodeAckFrame(wire::FrameBytes(mutant));
+            break;
         }
       }
     }

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 #include <span>
 #include <sstream>
@@ -367,6 +369,89 @@ TEST(ServeStreamTest, FullCollectorLifecycleOverIostreams) {
   std::stringstream sink;
   EXPECT_FALSE(serve::ServeStream(partial, sink, &broken).ok());
   EXPECT_TRUE(sink.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// ServeFd ack emission (the stdio/socket leg of the exactly-once
+// contract): every sequenced frame is acknowledged in arrival order, a
+// duplicate is re-acked without re-absorbing, and the final sketch is
+// byte-identical to a sequence-free run over the same payloads.
+TEST(ServeFdTest, SequencedFramesAreAckedAndDeduplicated) {
+  const auto spec = wire::ParseMethodSpec("sw-ems", 1.0, 32).ValueOrDie();
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+
+  // Three distinct payload frames; the stamped copies carry epoch 21,
+  // seqs 1..3.
+  std::vector<std::string> plain;
+  for (uint64_t i = 0; i < 3; ++i) {
+    Rng rng(ShardSeed(31, i));
+    auto chunk =
+        protocol->EncodePerturbBatch(TestValues(40), rng).ValueOrDie();
+    std::string frame;
+    ASSERT_TRUE(
+        wire::EncodeReportFrame(spec, *protocol, *chunk, &frame).ok());
+    plain.push_back(frame);
+  }
+  std::vector<std::string> stamped = plain;
+  for (size_t i = 0; i < stamped.size(); ++i) {
+    ASSERT_TRUE(wire::StampSequenceContext(&stamped[i],
+                                           {.epoch = 21, .seq = i + 1})
+                    .ok());
+  }
+
+  // Reference: the sequence-free ServeStream run.
+  std::string reference_sketch;
+  {
+    std::stringstream in, out;
+    for (const std::string& frame : plain) {
+      ASSERT_TRUE(serve::WriteFrame(in, frame).ok());
+    }
+    auto session = serve::CollectorSession::Make(spec).ValueOrDie();
+    ASSERT_TRUE(serve::ServeStream(in, out, &session).ok());
+    bool eof = false;
+    ASSERT_TRUE(serve::ReadFrame(out, &reference_sketch, &eof).ok());
+  }
+
+  // Sequenced run over a real pipe fd, with seq 2 re-sent mid-stream
+  // (the lost-ack retry shape).
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(pipe(fds), 0);
+  {
+    std::stringstream in;
+    ASSERT_TRUE(serve::WriteFrame(in, stamped[0]).ok());
+    ASSERT_TRUE(serve::WriteFrame(in, stamped[1]).ok());
+    ASSERT_TRUE(serve::WriteFrame(in, stamped[1]).ok());  // duplicate
+    ASSERT_TRUE(serve::WriteFrame(in, stamped[2]).ok());
+    const std::string bytes = in.str();
+    ASSERT_EQ(write(fds[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+    close(fds[1]);
+  }
+  auto session = serve::CollectorSession::Make(spec).ValueOrDie();
+  std::stringstream out;
+  const Status served = serve::ServeFd(fds[0], out, &session);
+  close(fds[0]);
+  ASSERT_TRUE(served.ok()) << served.ToString();
+  EXPECT_EQ(session.num_reports(), 120u) << "the duplicate must not absorb";
+
+  // Output: four acks (1, 2, 2 again, 3), then the sketch, then EOF.
+  const uint64_t expected_seqs[] = {1, 2, 2, 3};
+  std::string frame;
+  bool eof = false;
+  for (const uint64_t expected : expected_seqs) {
+    ASSERT_TRUE(serve::ReadFrame(out, &frame, &eof).ok());
+    ASSERT_FALSE(eof);
+    const auto ack = wire::DecodeAckFrame(frame);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_EQ(ack->epoch, 21u);
+    EXPECT_EQ(ack->seq, expected);
+  }
+  ASSERT_TRUE(serve::ReadFrame(out, &frame, &eof).ok());
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(frame, reference_sketch)
+      << "sequencing must not perturb the sketch bytes";
+  ASSERT_TRUE(serve::ReadFrame(out, &frame, &eof).ok());
+  EXPECT_TRUE(eof);
 }
 
 }  // namespace

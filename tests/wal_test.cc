@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <span>
 #include <string>
@@ -397,6 +399,251 @@ TEST(WalTest, BudgetsAreRestoredByReplay) {
   EXPECT_EQ(over.code(), StatusCode::kFailedPrecondition)
       << over.ToString();
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Segmented layout (WalOptions::segment_bytes > 0): rotation, replay
+// across a segment directory, the hardened gap / sealed-torn taxonomy,
+// compaction GC, and the exactly-once dedup-window checkpoint.
+
+std::vector<std::string> SegmentFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// A fresh (removed-then-absent) segment-directory path under TempDir.
+std::string TempSegDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Small segments so a handful of report frames forces several rotations.
+constexpr uint64_t kTestSegmentBytes = 1024;
+
+// Builds a segmented frame-only log and returns the live session's state.
+AccumulatorState BuildSegmentedLog(const std::string& dir,
+                                   const std::vector<std::string>& frames) {
+  serve::CollectorSession session =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  auto stats = session.RecoverAndAttachWal(
+      dir, {.segment_bytes = kTestSegmentBytes});
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  for (const std::string& frame : frames) {
+    const Status st = session.HandleFrame(frame);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return session.ExportState();
+}
+
+TEST(WalSegmentTest, RotationReplaysAcrossAContiguousSegmentRun) {
+  const std::string dir = TempSegDir("wal_seg_rotate");
+  const std::vector<std::string> frames =
+      MakeReportFrames(TestSpec(), /*shards=*/8, /*shard_size=*/50,
+                       /*seed=*/21);
+  const AccumulatorState live = BuildSegmentedLog(dir, frames);
+
+  // The writer rotated: several contiguous 1-based segments exist.
+  const std::vector<std::string> files = SegmentFiles(dir);
+  ASSERT_GT(files.size(), 1u) << "no rotation at segment_bytes="
+                              << kTestSegmentBytes;
+  EXPECT_EQ(files.front(), "wal-00000001.ndwl");
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "wal-%08zu.ndwl", files.size());
+  EXPECT_EQ(files.back(), expected);
+
+  // Replay walks the whole run and reproduces the exact state.
+  serve::CollectorSession restarted =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  auto stats = restarted.RecoverAndAttachWal(
+      dir, {.segment_bytes = kTestSegmentBytes});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->frames, frames.size());
+  EXPECT_EQ(stats->segments, files.size());
+  EXPECT_TRUE(stats->tail.ok()) << stats->tail.ToString();
+  EXPECT_TRUE(SameState(live, restarted.ExportState()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalSegmentTest, NumberingGapIsAHardError) {
+  const std::string dir = TempSegDir("wal_seg_gap");
+  BuildSegmentedLog(dir, MakeReportFrames(TestSpec(), 8, 50, 22));
+  const std::vector<std::string> files = SegmentFiles(dir);
+  ASSERT_GT(files.size(), 2u);
+  // Unlink a MIDDLE segment: no crash schedule can explain the hole.
+  ASSERT_TRUE(std::filesystem::remove(dir + "/" + files[1]));
+
+  serve::CollectorSession restarted =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  const auto stats = restarted.RecoverAndAttachWal(
+      dir, {.segment_bytes = kTestSegmentBytes});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stats.status().message().find("gap"), std::string::npos)
+      << stats.status().ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalSegmentTest, TornTailTaxonomyIsPerSegment) {
+  const std::string dir = TempSegDir("wal_seg_torn");
+  const std::vector<std::string> frames =
+      MakeReportFrames(TestSpec(), 8, 50, 23);
+  BuildSegmentedLog(dir, frames);
+  const std::vector<std::string> files = SegmentFiles(dir);
+  ASSERT_GT(files.size(), 1u);
+
+  // A cut in the FINAL segment is a crash shape: typed torn tail, the
+  // intact prefix's state is kept.
+  const std::string final_path = dir + "/" + files.back();
+  const std::string final_bytes = ReadFileBytes(final_path);
+  ASSERT_GT(final_bytes.size(), serve::kWalHeaderBytes + 3);
+  WriteFileBytes(final_path,
+                 final_bytes.substr(0, final_bytes.size() - 3));
+  {
+    serve::CollectorSession restarted =
+        serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+    const auto stats = restarted.RecoverAndAttachWal(
+        dir, {.segment_bytes = kTestSegmentBytes});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_FALSE(stats->tail.ok()) << "a cut final record must be typed";
+    EXPECT_LT(stats->frames, frames.size());
+    EXPECT_GT(stats->frames, 0u);
+  }
+
+  // The SAME cut in a sealed (non-final) segment is corruption a crash
+  // cannot explain: hard error, no silent prefix state.
+  const std::string sealed_path = dir + "/" + files.front();
+  const std::string sealed_bytes = ReadFileBytes(sealed_path);
+  WriteFileBytes(sealed_path,
+                 sealed_bytes.substr(0, sealed_bytes.size() - 3));
+  {
+    serve::CollectorSession restarted =
+        serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+    const auto stats = restarted.RecoverAndAttachWal(
+        dir, {.segment_bytes = kTestSegmentBytes});
+    ASSERT_FALSE(stats.ok());
+    EXPECT_NE(stats.status().message().find("sealed"), std::string::npos)
+        << stats.status().ToString();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalSegmentTest, CompactionCollapsesToOneFreshSegment) {
+  const std::string dir = TempSegDir("wal_seg_compact");
+  const std::vector<std::string> frames =
+      MakeReportFrames(TestSpec(), 8, 50, 24);
+
+  serve::CollectorSession session =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  ASSERT_TRUE(session
+                  .RecoverAndAttachWal(dir,
+                                       {.segment_bytes = kTestSegmentBytes})
+                  .ok());
+  for (const std::string& frame : frames) {
+    ASSERT_TRUE(session.HandleFrame(frame).ok());
+  }
+  const size_t before = SegmentFiles(dir).size();
+  ASSERT_GT(before, 1u);
+  ASSERT_TRUE(session.CompactWal().ok());
+
+  // GC left exactly one segment — the fresh checkpoint segment, numbered
+  // PAST the sealed run (the numbering never reuses a unlinked slot).
+  const std::vector<std::string> files = SegmentFiles(dir);
+  ASSERT_EQ(files.size(), 1u);
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "wal-%08zu.ndwl", before + 1);
+  EXPECT_EQ(files[0], expected);
+
+  // The checkpoint replays to the exact pre-compaction state.
+  serve::CollectorSession restarted =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  const auto stats = restarted.RecoverAndAttachWal(
+      dir, {.segment_bytes = kTestSegmentBytes});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->frames, 0u);
+  EXPECT_EQ(stats->checkpoints, 1u);
+  EXPECT_TRUE(SameState(session.ExportState(), restarted.ExportState()));
+  std::filesystem::remove_all(dir);
+}
+
+// The exactly-once window survives BOTH recovery paths: frame replay
+// re-claims each logged (epoch, seq), and compaction persists the window
+// as a type-3 record that replay restores.
+TEST(WalSegmentTest, DedupWindowSurvivesReplayAndCompaction) {
+  const std::string dir = TempSegDir("wal_seg_dedup");
+  std::vector<std::string> frames =
+      MakeReportFrames(TestSpec(), 4, 50, 25);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(wire::StampSequenceContext(
+                    &frames[i], {.epoch = 9, .seq = i + 1})
+                    .ok());
+  }
+
+  serve::CollectorSession session =
+      serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+  ASSERT_TRUE(session
+                  .RecoverAndAttachWal(dir,
+                                       {.segment_bytes = kTestSegmentBytes})
+                  .ok());
+  for (const std::string& frame : frames) {
+    serve::FrameOutcome outcome;
+    ASSERT_TRUE(session.HandleFrame(frame, &outcome).ok());
+    EXPECT_TRUE(outcome.absorbed);
+    EXPECT_FALSE(outcome.duplicate);
+  }
+
+  // Path 1: crash before any compaction — frame replay re-claims seqs,
+  // so a full client retransmission dedups to a no-op.
+  {
+    serve::CollectorSession restarted =
+        serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+    ASSERT_TRUE(restarted
+                    .RecoverAndAttachWal(
+                        dir, {.segment_bytes = kTestSegmentBytes})
+                    .ok());
+    const AccumulatorState recovered = restarted.ExportState();
+    for (const std::string& frame : frames) {
+      serve::FrameOutcome outcome;
+      ASSERT_TRUE(restarted.HandleFrame(frame, &outcome).ok());
+      EXPECT_TRUE(outcome.duplicate) << "replayed seq must be claimed";
+      EXPECT_TRUE(outcome.has_seq);
+      EXPECT_FALSE(outcome.absorbed);
+    }
+    EXPECT_TRUE(SameState(recovered, restarted.ExportState()));
+  }
+
+  // Path 2: compaction replaces the frame records with a checkpoint +
+  // type-3 dedup record; the window must survive that representation too.
+  ASSERT_TRUE(session.CompactWal().ok());
+  {
+    serve::CollectorSession restarted =
+        serve::CollectorSession::Make(TestSpec()).ValueOrDie();
+    const auto stats = restarted.RecoverAndAttachWal(
+        dir, {.segment_bytes = kTestSegmentBytes});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->seq_checkpoints, 1u);
+    for (const std::string& frame : frames) {
+      serve::FrameOutcome outcome;
+      ASSERT_TRUE(restarted.HandleFrame(frame, &outcome).ok());
+      EXPECT_TRUE(outcome.duplicate);
+    }
+    // A genuinely new sequence number still absorbs.
+    std::vector<std::string> fresh =
+        MakeReportFrames(TestSpec(), 1, 50, 26);
+    ASSERT_TRUE(wire::StampSequenceContext(
+                    &fresh[0],
+                    {.epoch = 9, .seq = frames.size() + 1})
+                    .ok());
+    serve::FrameOutcome outcome;
+    ASSERT_TRUE(restarted.HandleFrame(fresh[0], &outcome).ok());
+    EXPECT_TRUE(outcome.absorbed);
+    EXPECT_FALSE(outcome.duplicate);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

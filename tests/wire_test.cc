@@ -568,5 +568,97 @@ TEST_F(WireRejectionTest, CorruptedSnapshotCountsAreRejected) {
   EXPECT_EQ(target.count(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Sequence context and ack frames: the exactly-once substrate under client
+// retry (net/retry.h). Stamping must be payload-preserving, acks must
+// round-trip bit-exactly, and every malformed shape is a typed error.
+
+TEST_F(WireRejectionTest, StampedFramesDecodeToTheSamePayload) {
+  // A stamped report frame peeks with the sequence context visible and
+  // decodes to the identical chunk.
+  std::string stamped = report_frame_;
+  ASSERT_TRUE(
+      wire::StampSequenceContext(&stamped, {.epoch = 7, .seq = 3}).ok());
+  const wire::FrameInfo info =
+      wire::PeekFrame(wire::FrameBytes(stamped)).ValueOrDie();
+  EXPECT_EQ(info.type, wire::FrameType::kReports);
+  ASSERT_TRUE(info.has_seq);
+  EXPECT_EQ(info.seq.epoch, 7u);
+  EXPECT_EQ(info.seq.seq, 3u);
+  auto decoded =
+      wire::DecodeReportFrame(spec_, *protocol_, wire::FrameBytes(stamped));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto via_stamped = protocol_->MakeAccumulator();
+  ASSERT_TRUE(via_stamped->Absorb(**decoded).ok());
+  ExpectSameState(acc_->ExportState(), via_stamped->ExportState(),
+                  "stamped report");
+
+  // Same property for sketch frames (the retry sender numbers both kinds).
+  std::string sketch = sketch_frame_;
+  ASSERT_TRUE(
+      wire::StampSequenceContext(&sketch, {.epoch = 1, .seq = 1}).ok());
+  auto imported =
+      wire::DecodeSketchFrame(spec_, *protocol_, wire::FrameBytes(sketch));
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ExpectSameState(acc_->ExportState(), (*imported)->ExportState(),
+                  "stamped sketch");
+}
+
+TEST_F(WireRejectionTest, StampRejectsTheReservedAndIllegalShapes) {
+  // seq 0 is reserved (sequence numbers start at 1).
+  std::string frame = report_frame_;
+  EXPECT_FALSE(
+      wire::StampSequenceContext(&frame, {.epoch = 1, .seq = 0}).ok());
+  EXPECT_EQ(frame, report_frame_) << "a rejected stamp must not mutate";
+
+  // Double-stamping is a typed error, not a silent second block.
+  ASSERT_TRUE(
+      wire::StampSequenceContext(&frame, {.epoch = 1, .seq = 1}).ok());
+  EXPECT_FALSE(
+      wire::StampSequenceContext(&frame, {.epoch = 1, .seq = 2}).ok());
+
+  // Snapshot and ack frames never carry a sequence context.
+  StreamingAggregator agg =
+      StreamingAggregator::Make({.epsilon = 1.0, .d = 16}).ValueOrDie();
+  std::string snapshot;
+  ASSERT_TRUE(wire::EncodeSnapshotFrame(1.0, agg, &snapshot).ok());
+  EXPECT_FALSE(
+      wire::StampSequenceContext(&snapshot, {.epoch = 1, .seq = 1}).ok());
+  std::string ack;
+  ASSERT_TRUE(wire::EncodeAckFrame({.epoch = 1, .seq = 1}, &ack).ok());
+  EXPECT_FALSE(
+      wire::StampSequenceContext(&ack, {.epoch = 1, .seq = 1}).ok());
+}
+
+TEST_F(WireRejectionTest, AckFramesRoundTripAndRejectStrictly) {
+  const wire::FrameSeq seq = {.epoch = 0xDEADBEEFCAFEF00Dull,
+                              .seq = (1ull << 53) + 17};
+  std::string ack;
+  ASSERT_TRUE(wire::EncodeAckFrame(seq, &ack).ok());
+  const wire::FrameInfo info =
+      wire::PeekFrame(wire::FrameBytes(ack)).ValueOrDie();
+  EXPECT_EQ(info.type, wire::FrameType::kAck);
+  ASSERT_TRUE(info.has_seq);
+  const wire::FrameSeq decoded = wire::DecodeAckFrame(ack).ValueOrDie();
+  EXPECT_EQ(decoded.epoch, seq.epoch);
+  EXPECT_EQ(decoded.seq, seq.seq);
+
+  // Every truncation is a typed error, never UB.
+  for (size_t len = 0; len < ack.size(); ++len) {
+    EXPECT_FALSE(wire::DecodeAckFrame(ack.substr(0, len)).ok())
+        << "ack truncated to " << len << " bytes";
+  }
+  // Trailing bytes, a non-ack frame, and an acked seq of 0 are rejected.
+  EXPECT_FALSE(wire::DecodeAckFrame(ack + std::string(1, '\0')).ok());
+  EXPECT_FALSE(wire::DecodeAckFrame(report_frame_).ok());
+  std::string zero_seq;
+  ASSERT_TRUE(wire::EncodeAckFrame({.epoch = 3, .seq = 1}, &zero_seq).ok());
+  // The u64 seq sits in the last 8 payload bytes; zero them.
+  for (size_t i = zero_seq.size() - 8; i < zero_seq.size(); ++i) {
+    zero_seq[i] = '\0';
+  }
+  EXPECT_FALSE(wire::DecodeAckFrame(zero_seq).ok());
+}
+
 }  // namespace
 }  // namespace numdist

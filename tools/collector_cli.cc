@@ -112,6 +112,12 @@ struct CliFlags {
   std::string wal_path;
   uint64_t wal_checkpoint_every = 0;  // compact after N appended frames
   bool wal_sync = false;              // fsync after every record
+  uint64_t wal_segment_bytes = 0;     // > 0: --wal is a segment directory
+  // Fault tolerance (net/server.h): stream absorbed frames to a hot
+  // standby, or BE that standby (serve the replication stream, promote
+  // on primary death).
+  std::string replicate_to;
+  bool standby = false;
   // Per-tenant budgets: ID:MAX_REPORTS[:MAX_EPSILON],... (0 = unlimited).
   std::string tenant_budgets;
   // Coordinator file-merge: emit the merged per-tenant sketch frames to
@@ -132,6 +138,11 @@ void Usage() {
           "                     --expect-frames=N [--csv]\n"
           "durability (collector + listen modes; serve/wal.h):\n"
           "       --wal=PATH [--wal-checkpoint-every=N] [--wal-sync]\n"
+          "       [--wal-segment-bytes=N]   (PATH becomes a segment dir)\n"
+          "replication (listen mode; net/server.h):\n"
+          "       primary: --replicate-to=tcp:HOST:PORT|unix:PATH\n"
+          "       standby: --standby --listen=...   (promotes on primary\n"
+          "                death: drains and emits its sketch)\n"
           "multi-tenancy:\n"
           "       --tenant-budget=ID:MAX_REPORTS[:MAX_EPSILON][,...]\n"
           "live estimation (listen mode, sw-ems/sw-em only):\n"
@@ -186,6 +197,12 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->wal_checkpoint_every = static_cast<uint64_t>(atoll(v));
     } else if (arg == "--wal-sync") {
       flags->wal_sync = true;
+    } else if (const char* v = FlagValue(arg, "--wal-segment-bytes=")) {
+      flags->wal_segment_bytes = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--replicate-to=")) {
+      flags->replicate_to = v;
+    } else if (arg == "--standby") {
+      flags->standby = true;
     } else if (const char* v = FlagValue(arg, "--tenant-budget=")) {
       flags->tenant_budgets = v;
     } else if (arg == "--emit-sketch") {
@@ -210,8 +227,26 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
     return false;
   }
   if (flags->wal_path.empty() &&
-      (flags->wal_checkpoint_every > 0 || flags->wal_sync)) {
-    fprintf(stderr, "--wal-checkpoint-every/--wal-sync need --wal=PATH\n");
+      (flags->wal_checkpoint_every > 0 || flags->wal_sync ||
+       flags->wal_segment_bytes > 0)) {
+    fprintf(stderr,
+            "--wal-checkpoint-every/--wal-sync/--wal-segment-bytes "
+            "need --wal=PATH\n");
+    return false;
+  }
+  if (!flags->replicate_to.empty() && flags->listen.empty()) {
+    fprintf(stderr, "--replicate-to needs --listen (the primary serves "
+            "clients while it replicates)\n");
+    return false;
+  }
+  if (flags->standby && flags->listen.empty()) {
+    fprintf(stderr, "--standby needs --listen (the replication endpoint "
+            "the primary dials)\n");
+    return false;
+  }
+  if (flags->standby && !flags->replicate_to.empty()) {
+    fprintf(stderr, "--standby and --replicate-to are mutually exclusive "
+            "(chained standbys are not supported)\n");
     return false;
   }
   const bool estimating =
@@ -286,6 +321,11 @@ void ReportWalRecovery(const serve::WalReplayStats& stats) {
           static_cast<unsigned long long>(stats.frames),
           static_cast<unsigned long long>(stats.checkpoints),
           static_cast<unsigned long long>(stats.clean_bytes));
+  if (stats.segments > 0) {
+    fprintf(stderr, "wal: %llu segment(s), %llu sequence checkpoint(s)\n",
+            static_cast<unsigned long long>(stats.segments),
+            static_cast<unsigned long long>(stats.seq_checkpoints));
+  }
   if (!stats.tail.ok()) {
     fprintf(stderr, "wal: discarded torn tail: %s\n",
             stats.tail.message().c_str());
@@ -511,6 +551,17 @@ int RunServer(const CliFlags& flags, const wire::MethodSpec& spec) {
   options.wal_path = flags.wal_path;
   options.wal.checkpoint_every_frames = flags.wal_checkpoint_every;
   options.wal.sync_each_record = flags.wal_sync;
+  options.wal.segment_bytes = flags.wal_segment_bytes;
+  options.replicate_to = flags.replicate_to;
+  if (flags.standby) {
+    // A standby serves the primary's replication stream like any other
+    // client stream, but never writes back into it (acks from a standby
+    // would sit unread in the dying primary's receive queue and turn its
+    // final close into an RST that discards the tail), and it promotes —
+    // drains and emits its sketch — the moment the stream ends.
+    options.send_acks = false;
+    options.drain_on_disconnect = true;
+  }
   options.estimate_every_frames = flags.estimate_every_frames;
   options.estimate_every_ms = flags.estimate_every_ms;
   if (flags.estimate_mode == "minibatch") {
@@ -593,6 +644,15 @@ int RunServer(const CliFlags& flags, const wire::MethodSpec& spec) {
             static_cast<unsigned long long>(stats.connection_errors),
             stats.first_error.message().c_str());
   }
+  if (stats.acks_queued > 0 || stats.duplicates > 0 ||
+      stats.frames_replicated > 0) {
+    fprintf(stderr,
+            "fault tolerance: %llu ack(s), %llu duplicate(s) dropped, "
+            "%llu frame(s) replicated\n",
+            static_cast<unsigned long long>(stats.acks_queued),
+            static_cast<unsigned long long>(stats.duplicates),
+            static_cast<unsigned long long>(stats.frames_replicated));
+  }
   if (estimating) {
     fprintf(stderr, "live estimation: %llu tick(s) (%s mode)\n",
             static_cast<unsigned long long>(stats.estimate_ticks),
@@ -622,6 +682,7 @@ int RunCollector(const CliFlags& flags, serve::CollectorSession* session) {
     serve::WalOptions wal_options;
     wal_options.checkpoint_every_frames = flags.wal_checkpoint_every;
     wal_options.sync_each_record = flags.wal_sync;
+    wal_options.segment_bytes = flags.wal_segment_bytes;
     Result<serve::WalReplayStats> recovered =
         session->RecoverAndAttachWal(flags.wal_path, wal_options);
     if (!recovered.ok()) return Fail(recovered.status());

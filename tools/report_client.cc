@@ -25,17 +25,22 @@
 // drain/shutdown tests to SIGTERM the collector mid-run).
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_common.h"
 #include "common/rng.h"
 #include "net/client.h"
+#include "net/fault.h"
+#include "net/retry.h"
 #include "net/socket.h"
 #include "data/loader.h"
 #include "protocol/sharded.h"
@@ -70,6 +75,21 @@ struct CliFlags {
   // 0 = the default tenant; such frames stay byte-identical to a client
   // without the flag.
   uint32_t tenant = wire::kDefaultTenant;
+  // Fault-tolerant delivery (net/retry.h): sequence-stamped frames, acks,
+  // idempotent retransmit with exponential backoff. Needs --connect.
+  bool retry = false;
+  std::string failover;          // extra endpoints, comma-separated
+  uint64_t epoch = 1;            // dedup epoch (reuse across a restart)
+  uint32_t retry_max = 0;        // max connection attempts (0 = deadline)
+  uint32_t retry_backoff_ms = 5;
+  uint32_t retry_deadline_ms = 30000;
+  size_t retry_window = 32;      // unacked frames before Send blocks
+  // Deterministic fault injection (net/fault.h): --fault-resets=K RSTs
+  // the first K connection attempts at Rng(--fault-seed)-drawn offsets
+  // in [1, --fault-max-byte).
+  uint32_t fault_resets = 0;
+  uint64_t fault_seed = 1;
+  uint64_t fault_max_byte = 4096;
 };
 
 void Usage() {
@@ -81,6 +101,12 @@ void Usage() {
           "                     [--connect=tcp:HOST:PORT|unix:PATH]\n"
           "                     [--connections=N] [--pace-us=T]\n"
           "                     [--tenant=ID]\n"
+          "fault-tolerant delivery (needs --connect; net/retry.h):\n"
+          "       --retry [--failover=EP[,EP...]] [--epoch=N]\n"
+          "       [--retry-window=N] [--retry-max=K]\n"
+          "       [--retry-backoff-ms=T] [--retry-deadline-ms=T]\n"
+          "fault injection (needs --retry; net/fault.h):\n"
+          "       --fault-resets=K [--fault-seed=S] [--fault-max-byte=N]\n"
           "process k of P client processes runs --offset=k --stride=P\n");
 }
 
@@ -119,6 +145,26 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
       flags->pace_us = static_cast<uint64_t>(atoll(v));
     } else if (const char* v = FlagValue(arg, "--tenant=")) {
       flags->tenant = static_cast<uint32_t>(atoll(v));
+    } else if (arg == "--retry") {
+      flags->retry = true;
+    } else if (const char* v = FlagValue(arg, "--failover=")) {
+      flags->failover = v;
+    } else if (const char* v = FlagValue(arg, "--epoch=")) {
+      flags->epoch = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--retry-window=")) {
+      flags->retry_window = static_cast<size_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--retry-max=")) {
+      flags->retry_max = static_cast<uint32_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--retry-backoff-ms=")) {
+      flags->retry_backoff_ms = static_cast<uint32_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--retry-deadline-ms=")) {
+      flags->retry_deadline_ms = static_cast<uint32_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--fault-resets=")) {
+      flags->fault_resets = static_cast<uint32_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--fault-seed=")) {
+      flags->fault_seed = static_cast<uint64_t>(atoll(v));
+    } else if (const char* v = FlagValue(arg, "--fault-max-byte=")) {
+      flags->fault_max_byte = static_cast<uint64_t>(atoll(v));
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -144,10 +190,37 @@ bool ParseCli(int argc, char** argv, CliFlags* flags) {
     fprintf(stderr, "--connections needs --connect\n");
     return false;
   }
+  if (flags->retry && flags->connect.empty()) {
+    fprintf(stderr, "--retry needs --connect\n");
+    return false;
+  }
+  if (flags->retry && flags->connections > 1) {
+    fprintf(stderr,
+            "--retry uses one sequenced connection; drop --connections\n");
+    return false;
+  }
+  if (!flags->retry &&
+      (!flags->failover.empty() || flags->fault_resets > 0)) {
+    fprintf(stderr, "--failover/--fault-resets need --retry\n");
+    return false;
+  }
+  if (flags->retry && (flags->epoch == 0 || flags->retry_window == 0)) {
+    fprintf(stderr, "--epoch and --retry-window must be > 0\n");
+    return false;
+  }
   return true;
 }
 
 }  // namespace
+
+// A collector that closes (or dies) mid-send must surface as a typed
+// error and a nonzero exit, never as a silent partial run: the operator
+// needs to know which frames may be missing from the aggregate.
+int FailMidStream(const Status& status) {
+  fprintf(stderr, "error: collector closed the stream mid-send: %s\n",
+          status.message().c_str());
+  return 1;
+}
 
 int main(int argc, char** argv) {
   CliFlags flags;
@@ -155,6 +228,9 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  // A dying collector must produce a typed write error (EPIPE) on this
+  // end, not a SIGPIPE kill with no diagnostic.
+  std::signal(SIGPIPE, SIG_IGN);
   Result<wire::MethodSpec> spec = wire::ParseMethodSpec(
       flags.method, flags.epsilon, static_cast<uint32_t>(flags.buckets));
   if (!spec.ok()) return Fail(spec.status());
@@ -193,7 +269,37 @@ int main(int argc, char** argv) {
   std::ostream& out = flags.out_path.empty() ? std::cout : file_out;
 
   std::unique_ptr<net::MultiSender> sender;
-  if (!flags.connect.empty()) {
+  std::unique_ptr<net::RetrySender> retry;
+  net::FaultPlan faults;  // must outlive the sender that reads it
+  if (flags.retry) {
+    std::vector<net::Endpoint> endpoints;
+    std::stringstream targets(flags.connect + (flags.failover.empty()
+                                                   ? ""
+                                                   : "," + flags.failover));
+    std::string target;
+    while (std::getline(targets, target, ',')) {
+      if (target.empty()) continue;
+      Result<net::Endpoint> endpoint = net::ParseEndpoint(target);
+      if (!endpoint.ok()) return Fail(endpoint.status());
+      endpoints.push_back(endpoint.value());
+    }
+    net::RetryOptions retry_options;
+    retry_options.epoch = flags.epoch;
+    retry_options.max_attempts = flags.retry_max;
+    retry_options.base_backoff_ms = flags.retry_backoff_ms;
+    retry_options.total_deadline_ms = flags.retry_deadline_ms;
+    retry_options.window = flags.retry_window;
+    retry_options.jitter_seed = flags.seed;
+    if (flags.fault_resets > 0) {
+      faults = net::FaultPlan::Resets(flags.fault_seed, flags.fault_resets,
+                                      flags.fault_max_byte);
+      retry_options.faults = &faults;
+    }
+    Result<net::RetrySender> made =
+        net::RetrySender::Make(std::move(endpoints), retry_options);
+    if (!made.ok()) return Fail(made.status());
+    retry = std::make_unique<net::RetrySender>(std::move(made).value());
+  } else if (!flags.connect.empty()) {
     Result<net::Endpoint> endpoint = net::ParseEndpoint(flags.connect);
     if (!endpoint.ok()) return Fail(endpoint.status());
     Result<net::MultiSender> made =
@@ -220,16 +326,29 @@ int main(int argc, char** argv) {
         wire::EncodeReportFrame(spec.value(), flags.tenant, *protocol.value(),
                                 *chunk.value(), &frame);
     if (!enc.ok()) return Fail(enc);
-    const Status wr = sender ? sender->Send(frame)
-                             : serve::WriteFrame(out, frame);
-    if (!wr.ok()) return Fail(wr);
+    const Status wr = retry    ? retry->Send(frame)
+                      : sender ? sender->Send(frame)
+                               : serve::WriteFrame(out, frame);
+    if (!wr.ok()) return FailMidStream(wr);
     ++frames;
     reports += chunk.value()->num_reports();
     if (flags.pace_us > 0) usleep(static_cast<useconds_t>(flags.pace_us));
   }
+  if (retry) {
+    const Status fin = retry->Finish();
+    if (!fin.ok()) return FailMidStream(fin);
+    const net::RetryStats& rs = retry->stats();
+    fprintf(stderr,
+            "retry: %llu frame(s) acked, %llu retransmit(s), "
+            "%llu reconnect(s), %llu injected fault(s)\n",
+            static_cast<unsigned long long>(rs.acks),
+            static_cast<unsigned long long>(rs.retransmits),
+            static_cast<unsigned long long>(rs.reconnects),
+            static_cast<unsigned long long>(rs.injected_faults));
+  }
   if (sender) {
     const Status fin = sender->Finish();
-    if (!fin.ok()) return Fail(fin);
+    if (!fin.ok()) return FailMidStream(fin);
   }
   out.flush();
   if (flags.offset < num_shards) {
