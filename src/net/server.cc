@@ -396,37 +396,55 @@ void CollectorServer::AbsorbPending() {
       UpdateInterest(pf.conn);
     }
   }
-  if (wal_ != nullptr && wal_status_.ok()) {
-    // Accepted frames hit the log in batch (= absorption) order, which
-    // is the order recovery replays them in. Absorption itself is
-    // order-independent (exact commutative merges), so the replayed
-    // aggregate is byte-identical regardless of batching. Duplicates
-    // never reach the log — replay would double-claim their ids.
-    for (size_t i = 0; i < n; ++i) {
-      if (!statuses[i].ok() || outcomes[i].duplicate) continue;
-      const Status appended = wal_->AppendFrame(pending_[i].frame);
-      if (!appended.ok()) {
-        wal_status_ = appended;
-        break;
+  // Durability gate for the acks below: an ack a client ever sees refers
+  // to a frame that is both locally durable (when a WAL is attached) and
+  // on the standby (when replicating). A mid-batch failure truncates the
+  // durable prefix at the failing frame — everything from there on is
+  // neither forwarded nor acked, so the client retransmits it after the
+  // restarted collector replays a log that does not contain it. Acking
+  // past the failure would retire frames recovery cannot reproduce.
+  size_t durable = n;
+  if (wal_ != nullptr) {
+    if (!wal_status_.ok()) {
+      durable = 0;
+    } else {
+      // Accepted frames hit the log in batch (= absorption) order, which
+      // is the order recovery replays them in. Absorption itself is
+      // order-independent (exact commutative merges), so the replayed
+      // aggregate is byte-identical regardless of batching. Duplicates
+      // never reach the log — replay would double-claim their ids.
+      for (size_t i = 0; i < n; ++i) {
+        if (!statuses[i].ok() || outcomes[i].duplicate) continue;
+        const Status appended = wal_->AppendFrame(pending_[i].frame);
+        if (!appended.ok()) {
+          wal_status_ = appended;
+          durable = i;
+          break;
+        }
+        ++wal_frames_since_checkpoint_;
       }
-      ++wal_frames_since_checkpoint_;
     }
   }
-  if (replica_fd_.valid() && replica_status_.ok()) {
-    // Replication happens after the WAL append and before the acks below:
-    // an ack a client ever sees refers to a frame that is both locally
-    // durable and on the standby.
-    for (size_t i = 0; i < n; ++i) {
-      if (!statuses[i].ok() || outcomes[i].duplicate) continue;
-      const Status forwarded = ForwardToReplica(pending_[i].frame);
-      if (!forwarded.ok()) {
-        replica_status_ = forwarded;
-        break;
+  if (replica_fd_.valid()) {
+    if (!replica_status_.ok()) {
+      durable = 0;
+    } else {
+      // Replication covers only the locally durable prefix: a frame the
+      // WAL rejected must not reach the standby either, or a failover
+      // would serve state the acknowledged stream never contained.
+      for (size_t i = 0; i < durable; ++i) {
+        if (!statuses[i].ok() || outcomes[i].duplicate) continue;
+        const Status forwarded = ForwardToReplica(pending_[i].frame);
+        if (!forwarded.ok()) {
+          replica_status_ = forwarded;
+          durable = i;
+          break;
+        }
       }
     }
   }
   if (options_.send_acks) {
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < durable; ++i) {
       if (!statuses[i].ok() || !outcomes[i].has_seq) continue;
       QueueAck(pending_[i].conn, outcomes[i].seq);
     }

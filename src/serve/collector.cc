@@ -66,14 +66,31 @@ void TenantLedger::SetSpent(uint32_t tenant, uint64_t num_reports) {
 bool SequenceTracker::Claim(uint64_t epoch, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   Window& window = windows_[epoch];
-  if (seq <= window.floor) return false;
+  if (seq <= window.floor) {
+    // Normally a duplicate — unless this claim was released after an
+    // Export folded it into the floor (the absorb was in flight on
+    // another slot and later failed). Such a hole lives in `released`;
+    // claiming it closes the hole again.
+    return window.released.erase(seq) > 0;
+  }
   return window.sparse.insert(seq).second;
 }
 
 void SequenceTracker::Release(uint64_t epoch, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = windows_.find(epoch);
-  if (it != windows_.end()) it->second.sparse.erase(seq);
+  if (it == windows_.end()) return;
+  Window& window = it->second;
+  if (seq <= window.floor) {
+    // An Export folded this claim into the floor while its absorb was
+    // still in flight. The floor cannot move back (seqs between are
+    // genuinely absorbed), so record the hole: the client's retry is
+    // accepted through Claim, and the next Export re-opens the window
+    // below it so a checkpoint never persists the frame as absorbed.
+    window.released.insert(seq);
+  } else {
+    window.sparse.erase(seq);
+  }
 }
 
 std::vector<WalSeqEntry> SequenceTracker::Export() {
@@ -81,9 +98,24 @@ std::vector<WalSeqEntry> SequenceTracker::Export() {
   std::vector<WalSeqEntry> entries;
   entries.reserve(windows_.size());
   for (auto& [epoch, window] : windows_) {
+    // Un-fold any holes a Release punched below the floor since the last
+    // Export: drop the floor to just under the lowest hole and lift the
+    // still-absorbed seqs above it back into the sparse set. The
+    // exported window then claims exactly the frames that were actually
+    // absorbed, holes excluded. (Releases land at most a batch below the
+    // floor, so this loop is short.)
+    if (!window.released.empty()) {
+      const uint64_t new_floor = *window.released.begin() - 1;
+      for (uint64_t seq = new_floor + 1; seq <= window.floor; ++seq) {
+        if (!window.released.contains(seq)) window.sparse.insert(seq);
+      }
+      window.floor = new_floor;
+      window.released.clear();
+    }
     // Compress: fold the contiguous run above the floor into the floor.
-    // Safe only here — Claim/Release never move the floor, so a parallel
-    // absorb slot releasing a failed claim cannot race this advance.
+    // Claim/Release never raise the floor, and a release below it is
+    // re-opened above, so a parallel absorb slot releasing a failed
+    // claim cannot be lost to this advance.
     while (!window.sparse.empty() &&
            *window.sparse.begin() == window.floor + 1) {
       ++window.floor;
@@ -154,16 +186,27 @@ Status CollectorSession::HandleFrame(std::span<const uint8_t> frame,
   }
   // The exactly-once window: claim the (epoch, seq) before doing any
   // work. A failed claim is a duplicate re-send — succeed without
-  // touching anything so the caller re-acks it; any failure after a
-  // successful claim releases it so the client's retry is accepted.
+  // touching anything so the caller re-acks it; a failure after a
+  // successful claim releases it so the client's retry is accepted,
+  // but ONLY when the absorb left state untouched.
   const bool sequenced = info.has_seq && tracker_ != nullptr;
   if (sequenced && !tracker_->Claim(info.seq.epoch, info.seq.seq)) {
     if (outcome != nullptr) outcome->duplicate = true;
     return Status::OK();
   }
-  const Status absorbed = AbsorbFrame(info, frame);
+  bool committed = false;
+  const Status absorbed = AbsorbFrame(info, frame, &committed);
   if (!absorbed.ok()) {
-    if (sequenced) tracker_->Release(info.seq.epoch, info.seq.seq);
+    // A pre-commit failure (decode, over-budget, shape mismatch) rolled
+    // everything back, so the claim must reopen for the retry. A failure
+    // AFTER the accumulator/ledger commit — the WAL append inside
+    // LogAccepted — keeps the claim: the frame IS aggregated and charged
+    // here, so accepting a retransmit would double-count it. The caller
+    // treats a WAL failure as fatal either way (never acks the frame),
+    // and a restart replays a log without it, reopening the claim there.
+    if (sequenced && !committed) {
+      tracker_->Release(info.seq.epoch, info.seq.seq);
+    }
     return absorbed;
   }
   if (outcome != nullptr) outcome->absorbed = true;
@@ -178,10 +221,15 @@ Status CollectorSession::HandleFrame(std::span<const uint8_t> frame,
 }
 
 Status CollectorSession::AbsorbFrame(const wire::FrameInfo& info,
-                                     std::span<const uint8_t> frame) {
+                                     std::span<const uint8_t> frame,
+                                     bool* committed) {
+  *committed = false;
   // Reservation-then-absorb, into a staged accumulator for a first-seen
-  // tenant: any failure (over budget, shape mismatch) must leave every
-  // accumulator, the tenant map, AND the ledger exactly as they were.
+  // tenant: any failure (over budget, shape mismatch) before the commit
+  // point must leave every accumulator, the tenant map, AND the ledger
+  // exactly as they were. `committed` flips the moment they are mutated
+  // for good, so HandleFrame can tell a rolled-back failure from a WAL
+  // failure on an already-aggregated frame.
   const auto absorb = [&](uint64_t reports, auto&& apply) -> Status {
     Accumulator* target = nullptr;
     std::unique_ptr<Accumulator> staged;
@@ -200,6 +248,7 @@ Status CollectorSession::AbsorbFrame(const wire::FrameInfo& info,
       return applied;
     }
     if (staged != nullptr) tenants_[info.tenant] = std::move(staged);
+    *committed = true;
     return LogAccepted(frame);
   };
   switch (info.type) {

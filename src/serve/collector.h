@@ -103,10 +103,14 @@ class TenantLedger {
 /// dedup against one global window).
 ///
 /// Per epoch the window is a floor (every seq <= floor absorbed) plus a
-/// sparse set above it. Claim/Release only touch the sparse set — the
-/// floor advances in Export, which runs single-threaded between
-/// absorption batches, so a concurrent Release can never race a floor
-/// advance.
+/// sparse set above it. Claim/Release only touch the sparse set; the
+/// floor advances in Export, which call sites run single-threaded
+/// between absorption batches. Defense in depth for the remaining race
+/// (an Export folding a claim whose absorb is still in flight on
+/// another slot): a Release at or below the floor records the seq as a
+/// hole that Claim re-accepts and the next Export re-opens the window
+/// around, so a failed absorb can never strand its client's retry as a
+/// false duplicate.
 class SequenceTracker {
  public:
   /// Claims (epoch, seq): true when first seen (the caller absorbs the
@@ -126,6 +130,9 @@ class SequenceTracker {
   struct Window {
     uint64_t floor = 0;
     std::set<uint64_t> sparse;
+    /// Claims released at or below the floor (a failed absorb racing an
+    /// Export fold): holes in the window until re-claimed or exported.
+    std::set<uint64_t> released;
   };
   mutable std::mutex mu_;
   std::map<uint64_t, Window> windows_;
@@ -161,8 +168,12 @@ class CollectorSession {
   /// the frame's tenant context (the default accumulator when untagged).
   /// Snapshot, ack, malformed, and over-budget frames are typed errors; a
   /// failed frame leaves every accumulator, the ledger, and the dedup
-  /// window untouched. A sequenced frame whose (epoch, seq) was already
-  /// claimed is a DUPLICATE: skipped without error (see FrameOutcome).
+  /// window untouched — except a WAL-append failure AFTER the aggregate
+  /// committed, which keeps the frame absorbed and claimed (releasing it
+  /// would double-count the retry; the error is fatal to serving and the
+  /// frame is never acked). A sequenced frame whose (epoch, seq) was
+  /// already claimed is a DUPLICATE: skipped without error (see
+  /// FrameOutcome).
   /// `outcome` (optional) reports what happened, for ack emission.
   Status HandleFrame(std::span<const uint8_t> frame,
                      FrameOutcome* outcome = nullptr);
@@ -253,9 +264,12 @@ class CollectorSession {
   /// The total aggregate as one freshly merged accumulator.
   Result<std::unique_ptr<Accumulator>> MergedTotal() const;
   /// The decode-charge-absorb-log core of HandleFrame (dedup handled by
-  /// the caller).
+  /// the caller). `committed` reports whether the accumulator/ledger
+  /// mutation took: false on any rolled-back failure, true once the
+  /// frame is aggregated — including when the trailing WAL append then
+  /// fails, so the caller knows NOT to release the frame's claim.
   Status AbsorbFrame(const wire::FrameInfo& info,
-                     std::span<const uint8_t> frame);
+                     std::span<const uint8_t> frame, bool* committed);
   /// Appends an accepted frame to the WAL and runs the checkpoint cadence.
   Status LogAccepted(std::span<const uint8_t> frame);
 

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -415,6 +416,53 @@ TEST(CollectorServerTest, UnixListenerIsByteIdentical) {
   serving.join();
   ASSERT_TRUE(run_status.ok()) << run_status.message();
   EXPECT_EQ(server->EncodeSketch().ValueOrDie(), fx.reference_sketch);
+}
+
+TEST(CollectorServerTest, WalFailureNeverAcksNonDurableFrames) {
+  // An ack is a durability promise: after a WAL append failure the batch's
+  // acks must be suppressed and Run must return the error, so clients
+  // retransmit into the recovered log instead of retiring frames the
+  // replay cannot reproduce. Deleting the segment directory out from
+  // under a tiny-segment WAL makes the very first append fail at
+  // rotation, after the frames were absorbed in memory.
+  NetFixture fx = MakeNetFixture(600, 256);
+  for (size_t i = 0; i < fx.frames.size(); ++i) {
+    ASSERT_TRUE(wire::StampSequenceContext(&fx.frames[i],
+                                           {.epoch = 11, .seq = i + 1})
+                    .ok());
+  }
+  const std::string dir = testing::TempDir() + "net_wal_fail_acks";
+  std::filesystem::remove_all(dir);
+  net::ServerOptions options;
+  options.wal_path = dir;
+  options.wal.segment_bytes = 1;  // every append seals and rolls
+  auto server = net::CollectorServer::Make(fx.spec, options).ValueOrDie();
+  const net::Endpoint bound =
+      server->AddListener(net::ParseEndpoint("tcp:0").ValueOrDie())
+          .ValueOrDie();
+  std::filesystem::remove_all(dir);
+  Status run_status;
+  std::thread serving([&] { run_status = server->Run(); });
+  net::Fd client = net::Dial(bound).ValueOrDie();
+  const std::string bytes = EncodeFrames(fx.frames);
+  ASSERT_TRUE(net::WriteAll(client.get(), bytes).ok());
+  serving.join();
+  EXPECT_FALSE(run_status.ok()) << "the WAL failure must be fatal to Run";
+  EXPECT_EQ(server->stats().acks_queued, 0u)
+      << "no ack may cover a frame the log does not hold";
+  server.reset();  // closes the connection so the read below terminates
+  char buf[256];
+  size_t acked_bytes = 0;
+  for (;;) {
+    const ssize_t got = read(client.get(), buf, sizeof(buf));
+    if (got > 0) {
+      acked_bytes += static_cast<size_t>(got);
+      continue;
+    }
+    break;  // EOF or reset — nothing more is coming either way
+  }
+  EXPECT_EQ(acked_bytes, 0u)
+      << "a non-durable frame's ack reached the client";
 }
 
 TEST(CollectorServerTest, HostileClientLosesOnlyItsOwnConnection) {

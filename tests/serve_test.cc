@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <filesystem>
 #include <span>
 #include <sstream>
 #include <string>
@@ -452,6 +453,104 @@ TEST(ServeFdTest, SequencedFramesAreAckedAndDeduplicated) {
       << "sequencing must not perturb the sketch bytes";
   ASSERT_TRUE(serve::ReadFrame(out, &frame, &eof).ok());
   EXPECT_TRUE(eof);
+}
+
+// ---------------------------------------------------------------------------
+// SequenceTracker window semantics under the Export/Release race: an
+// Export may fold a claim into the floor while its absorb is still in
+// flight on another executor slot. If that absorb then fails, the Release
+// must re-open the window — otherwise the client's retry is rejected as a
+// duplicate and the frame is silently lost.
+
+TEST(SequenceTrackerTest, ReleaseBelowTheFloorReopensTheWindow) {
+  serve::SequenceTracker tracker;
+  ASSERT_TRUE(tracker.Claim(7, 1));
+  ASSERT_TRUE(tracker.Claim(7, 2));
+  ASSERT_TRUE(tracker.Claim(7, 3));
+  // Export folds 1..3 into the floor...
+  {
+    const std::vector<serve::WalSeqEntry> entries = tracker.Export();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].epoch, 7u);
+    EXPECT_EQ(entries[0].floor, 3u);
+    EXPECT_TRUE(entries[0].sparse.empty());
+  }
+  // ...then seq 2's in-flight absorb fails and releases its claim.
+  tracker.Release(7, 2);
+  // The retry must be accepted exactly once, then dedup again.
+  EXPECT_TRUE(tracker.Claim(7, 2));
+  EXPECT_FALSE(tracker.Claim(7, 2));
+  // Still-absorbed neighbors stay duplicates throughout.
+  EXPECT_FALSE(tracker.Claim(7, 1));
+  EXPECT_FALSE(tracker.Claim(7, 3));
+}
+
+TEST(SequenceTrackerTest, ExportNeverPersistsAReleasedClaimAsAbsorbed) {
+  serve::SequenceTracker tracker;
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_TRUE(tracker.Claim(9, seq));
+  }
+  ASSERT_EQ(tracker.Export().at(0).floor, 4u);
+  tracker.Release(9, 2);
+  // A checkpoint cut between the release and the retry must carry the
+  // hole: the floor drops below it and the genuinely absorbed seqs above
+  // it move back into the sparse set.
+  const std::vector<serve::WalSeqEntry> entries = tracker.Export();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].floor, 1u);
+  EXPECT_EQ(entries[0].sparse, (std::vector<uint64_t>{3, 4}));
+  // A tracker restored from that checkpoint accepts the retry and still
+  // dedups the absorbed neighbors.
+  serve::SequenceTracker restored;
+  restored.Restore(entries);
+  EXPECT_TRUE(restored.Claim(9, 2));
+  EXPECT_FALSE(restored.Claim(9, 3));
+  EXPECT_FALSE(restored.Claim(9, 1));
+}
+
+// A WAL append failure AFTER the accumulator committed must keep the
+// frame's claim (and ledger charge): the frame IS aggregated in memory,
+// so releasing the claim would let the client's retransmit double-count
+// it. Only pre-commit failures (decode, over-budget) roll the claim back.
+TEST(CollectorSessionTest, WalFailureAfterAbsorbKeepsTheClaim) {
+  const auto spec = wire::ParseMethodSpec("sw-ems", 1.0, 32).ValueOrDie();
+  auto protocol = wire::MakeProtocolForSpec(spec).ValueOrDie();
+  std::vector<std::string> frames;
+  for (uint64_t i = 0; i < 2; ++i) {
+    Rng rng(ShardSeed(47, i));
+    auto chunk =
+        protocol->EncodePerturbBatch(TestValues(40), rng).ValueOrDie();
+    std::string frame;
+    ASSERT_TRUE(
+        wire::EncodeReportFrame(spec, *protocol, *chunk, &frame).ok());
+    ASSERT_TRUE(
+        wire::StampSequenceContext(&frame, {.epoch = 5, .seq = i + 1}).ok());
+    frames.push_back(frame);
+  }
+
+  // Segmented WAL with a tiny segment cap: every append seals the active
+  // segment and rolls to the next, so deleting the directory makes the
+  // next append fail at rotation — AFTER that frame was absorbed.
+  const std::string dir = testing::TempDir() + "serve_wal_fail_claim";
+  std::filesystem::remove_all(dir);
+  auto session = serve::CollectorSession::Make(spec).ValueOrDie();
+  serve::WalOptions wal;
+  wal.segment_bytes = 1;
+  ASSERT_TRUE(session.RecoverAndAttachWal(dir, wal).ok());
+  serve::FrameOutcome outcome;
+  ASSERT_TRUE(session.HandleFrame(frames[0], &outcome).ok());
+  ASSERT_TRUE(outcome.absorbed);
+  ASSERT_EQ(session.num_reports(), 40u);
+
+  std::filesystem::remove_all(dir);
+  const Status failed = session.HandleFrame(frames[1], &outcome);
+  ASSERT_FALSE(failed.ok()) << "the append must fail in the deleted dir";
+  EXPECT_EQ(session.num_reports(), 80u)
+      << "the frame committed before the WAL failure";
+  // The claim survives: the retransmit dedups instead of re-absorbing.
+  ASSERT_TRUE(session.HandleFrame(frames[1], &outcome).ok());
+  EXPECT_TRUE(outcome.duplicate);
+  EXPECT_EQ(session.num_reports(), 80u) << "the retry must not double-count";
 }
 
 }  // namespace
